@@ -1,0 +1,206 @@
+//! AAL5 segmentation and reassembly.
+//!
+//! AAL5 appends an 8-byte trailer (2 reserved, 2 length, 4 CRC-32) to the
+//! PDU, pads to a multiple of 48, and marks the final cell with the
+//! PTI end-of-PDU bit. Reassembly collects cells until the end bit, then
+//! validates length and CRC — a single lost cell corrupts the whole PDU,
+//! which is exactly the behaviour that makes cell loss so expensive for
+//! courseware delivery and shows up in experiment E-BB.
+
+use crate::cell::{AtmCell, CELL_PAYLOAD};
+use bytes::Bytes;
+
+/// Errors from AAL5 reassembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aal5Error {
+    /// Fewer cells than the trailer's length implies / no end cell.
+    Incomplete,
+    /// Cell sequence had a gap (lost cell).
+    MissingCell {
+        /// Index of the first missing cell.
+        index: u32,
+    },
+    /// CRC mismatch after reassembly.
+    BadCrc,
+    /// Trailer length field inconsistent with the cell count.
+    BadLength,
+}
+
+impl std::fmt::Display for Aal5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Aal5Error::Incomplete => write!(f, "incomplete PDU"),
+            Aal5Error::MissingCell { index } => write!(f, "missing cell {index}"),
+            Aal5Error::BadCrc => write!(f, "CRC-32 mismatch"),
+            Aal5Error::BadLength => write!(f, "length field mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for Aal5Error {}
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected) as used by AAL5.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+const TRAILER: usize = 8;
+
+/// Segment a PDU into cells for the given VC identifiers.
+pub fn segment(vpi: u8, vci: u16, pdu_seq: u64, payload: &[u8]) -> Vec<AtmCell> {
+    // PDU + trailer padded up to a whole number of cells.
+    let body_len = payload.len() + TRAILER;
+    let ncells = body_len.div_ceil(CELL_PAYLOAD).max(1);
+    let total = ncells * CELL_PAYLOAD;
+    let mut buf = vec![0u8; total];
+    buf[..payload.len()].copy_from_slice(payload);
+    // Trailer sits at the very end of the padded buffer.
+    let len_field = payload.len() as u32;
+    buf[total - 6..total - 4].copy_from_slice(&(len_field as u16).to_be_bytes());
+    // (16-bit length like real AAL5; PDUs > 65535 carry length mod 2^16 and
+    // rely on the cell count check, as real AAL5 caps PDUs at 65535.)
+    let crc = crc32(&buf[..total - 4]);
+    buf[total - 4..].copy_from_slice(&crc.to_be_bytes());
+
+    buf.chunks_exact(CELL_PAYLOAD)
+        .enumerate()
+        .map(|(i, chunk)| {
+            AtmCell::new(vpi, vci, pdu_seq, i as u32, i == ncells - 1).with_payload(chunk)
+        })
+        .collect()
+}
+
+/// Reassemble a PDU from cells (in order, same `pdu_seq`). Validates the
+/// sequence, length field and CRC.
+pub fn reassemble(cells: &[AtmCell]) -> Result<Bytes, Aal5Error> {
+    if cells.is_empty() {
+        return Err(Aal5Error::Incomplete);
+    }
+    if !cells.last().expect("non-empty").pdu_end {
+        return Err(Aal5Error::Incomplete);
+    }
+    for (i, c) in cells.iter().enumerate() {
+        if c.cell_index != i as u32 {
+            return Err(Aal5Error::MissingCell { index: i as u32 });
+        }
+        if c.pdu_end && i != cells.len() - 1 {
+            return Err(Aal5Error::BadLength);
+        }
+    }
+    let total = cells.len() * CELL_PAYLOAD;
+    let mut buf = Vec::with_capacity(total);
+    for c in cells {
+        buf.extend_from_slice(&c.payload);
+    }
+    let crc_stored = u32::from_be_bytes(buf[total - 4..].try_into().expect("4 bytes"));
+    if crc32(&buf[..total - 4]) != crc_stored {
+        return Err(Aal5Error::BadCrc);
+    }
+    let len_field = u16::from_be_bytes(buf[total - 6..total - 4].try_into().expect("2 bytes")) as usize;
+    // Recover true length: the cell count pins the payload to within one
+    // 65536 window of the 16-bit length field.
+    let max_payload = total - TRAILER;
+    let mut length = len_field;
+    while length + 65536 <= max_payload {
+        length += 65536;
+    }
+    if length > max_payload || max_payload - length >= CELL_PAYLOAD + 65536 {
+        return Err(Aal5Error::BadLength);
+    }
+    // Padding must fit within the final cell (+ trailer).
+    if total - (length + TRAILER) >= CELL_PAYLOAD {
+        return Err(Aal5Error::BadLength);
+    }
+    buf.truncate(length);
+    Ok(Bytes::from(buf))
+}
+
+/// Number of cells a PDU of `len` bytes occupies.
+pub fn cells_for(len: usize) -> usize {
+    (len + TRAILER).div_ceil(CELL_PAYLOAD).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_sizes() {
+        for size in [0usize, 1, 39, 40, 41, 47, 48, 95, 96, 1000, 65_535] {
+            let payload: Vec<u8> = (0..size).map(|i| (i * 7) as u8).collect();
+            let cells = segment(0, 5, 1, &payload);
+            assert_eq!(cells.len(), cells_for(size));
+            let back = reassemble(&cells).unwrap_or_else(|e| panic!("size {size}: {e}"));
+            assert_eq!(&back[..], &payload[..], "size {size}");
+        }
+    }
+
+    #[test]
+    fn trailer_boundary_sizes() {
+        // 40 bytes + 8 trailer = exactly one cell; 41 spills to two.
+        assert_eq!(cells_for(40), 1);
+        assert_eq!(cells_for(41), 2);
+        assert_eq!(cells_for(0), 1);
+        assert_eq!(cells_for(88), 2);
+    }
+
+    #[test]
+    fn lost_cell_detected() {
+        let payload = vec![9u8; 500];
+        let mut cells = segment(0, 5, 1, &payload);
+        cells.remove(3);
+        assert_eq!(reassemble(&cells), Err(Aal5Error::MissingCell { index: 3 }));
+    }
+
+    #[test]
+    fn lost_last_cell_detected() {
+        let payload = vec![9u8; 500];
+        let mut cells = segment(0, 5, 1, &payload);
+        cells.pop();
+        assert_eq!(reassemble(&cells), Err(Aal5Error::Incomplete));
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let payload = vec![1u8; 200];
+        let mut cells = segment(0, 5, 1, &payload);
+        cells[1].payload[10] ^= 0xFF;
+        assert_eq!(reassemble(&cells), Err(Aal5Error::BadCrc));
+    }
+
+    #[test]
+    fn empty_input_incomplete() {
+        assert_eq!(reassemble(&[]), Err(Aal5Error::Incomplete));
+    }
+
+    #[test]
+    fn end_bit_only_on_last_cell() {
+        let cells = segment(0, 5, 1, &[0u8; 500]);
+        let ends: Vec<bool> = cells.iter().map(|c| c.pdu_end).collect();
+        assert!(ends[..ends.len() - 1].iter().all(|&e| !e));
+        assert!(*ends.last().unwrap());
+    }
+
+    #[test]
+    fn large_pdu_over_64k_window() {
+        // 70 000 bytes: length field wraps mod 2^16; cell count recovers it.
+        let payload: Vec<u8> = (0..70_000).map(|i| (i % 251) as u8).collect();
+        let cells = segment(0, 5, 9, &payload);
+        let back = reassemble(&cells).unwrap();
+        assert_eq!(&back[..], &payload[..]);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (standard check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mits-atm — the broadband substrate of MITS
+//!
+//! The prototype in the paper ran on OCRInet, "an R&D ATM network in the
+//! Ottawa region" (§5.1.1), chosen because "the advancement of B-ISDN and
+//! ATM technology has provided a prospective solution to deliver
+//! multimedia and hypermedia information through a computer network in a
+//! fast and quality manner" (§1.3.3). We have no OCRInet, so this crate
+//! *is* the network: a cell-level discrete-event simulator with
+//!
+//! * 53-byte **cells** (5-byte header carrying VPI/VCI/PTI/CLP) — [`cell`];
+//! * **AAL5** segmentation and reassembly with length + CRC-32 trailer —
+//!   [`aal5`];
+//! * **virtual circuits** routed across output-queued switches with
+//!   per-service-class priority queues (CBR > VBR > UBR) and GCRA
+//!   (leaky-bucket) policing — [`network`], [`link`];
+//! * configurable **link profiles**, including the narrowband baselines
+//!   the paper argues against (28.8 kb/s modem, 128 kb/s ISDN, shared
+//!   10 Mb/s LAN) and OC-3 ATM at 155.52 Mb/s — [`link`];
+//! * a small **transport layer** (datagram + stop-and-wait-window ARQ) that
+//!   plays the prototype's TCP/UDP role — [`transport`];
+//! * traffic **sources** (CBR, VBR video from MPEG frame models, on-off) —
+//!   [`traffic`].
+//!
+//! Like the MHEG engine, the network is clock-driven and deterministic:
+//! callers `send` PDUs, `advance(to)` the clock, and collect
+//! [`network::Delivery`] records; QoS statistics (cell transfer delay,
+//! delay variation, loss ratio) accumulate per VC for the experiment
+//! tables (E-BB, F3.5).
+
+pub mod aal5;
+pub mod cell;
+pub mod link;
+pub mod network;
+pub mod traffic;
+pub mod transport;
+
+pub use aal5::{reassemble, segment, Aal5Error};
+pub use cell::{AtmCell, CELL_PAYLOAD, CELL_SIZE};
+pub use link::{LinkProfile, ServiceClass};
+pub use network::{AtmNetwork, Delivery, NetError, NodeId, VcId, VcStats};
+pub use traffic::{CbrSource, OnOffSource, VbrVideoSource};
+pub use transport::{ReliableChannel, TransportEvent};

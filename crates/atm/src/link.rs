@@ -1,0 +1,203 @@
+//! Link profiles and service classes.
+//!
+//! The paper's argument for broadband (§1.3.3) is quantitative at heart:
+//! MPEG-rate courseware cannot ride a modem or ISDN line. These profiles
+//! pin the four infrastructures experiment E-BB compares, and
+//! [`ServiceClass`] carries the ATM service architecture the switch's
+//! priority queues implement.
+
+use mits_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// ATM service class, mapped to switch queue priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Constant bit rate — highest priority (live audio/video).
+    Cbr,
+    /// Variable bit rate — middle priority (stored video).
+    Vbr,
+    /// Unspecified bit rate — best effort (bulk object transfer, control).
+    Ubr,
+}
+
+impl ServiceClass {
+    /// Queue index: 0 is served first.
+    pub fn priority(self) -> usize {
+        match self {
+            ServiceClass::Cbr => 0,
+            ServiceClass::Vbr => 1,
+            ServiceClass::Ubr => 2,
+        }
+    }
+
+    /// Number of priority levels.
+    pub const LEVELS: usize = 3;
+}
+
+/// A unidirectional link's physical characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Serialization rate, bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub prop_delay: SimDuration,
+    /// Independent random cell-loss probability (line noise).
+    pub loss_rate: f64,
+    /// Output buffer capacity in cells (per priority level).
+    pub queue_cells: usize,
+}
+
+impl LinkProfile {
+    /// OC-3 ATM at 155.52 Mb/s — the OCRInet class of link.
+    pub fn atm_oc3() -> Self {
+        LinkProfile {
+            rate_bps: 155_520_000,
+            prop_delay: SimDuration::from_micros(100), // metro distance
+            loss_rate: 1e-9,
+            queue_cells: 1024,
+        }
+    }
+
+    /// OC-3 with a longer haul (inter-city).
+    pub fn atm_oc3_wan() -> Self {
+        LinkProfile {
+            prop_delay: SimDuration::from_millis(5),
+            ..Self::atm_oc3()
+        }
+    }
+
+    /// Shared 10 Mb/s LAN (effective throughput derated for contention).
+    pub fn lan_10m() -> Self {
+        LinkProfile {
+            rate_bps: 6_000_000, // ~60 % effective under load
+            prop_delay: SimDuration::from_micros(50),
+            loss_rate: 1e-7,
+            queue_cells: 256,
+        }
+    }
+
+    /// ISDN basic rate bonding, 128 kb/s.
+    pub fn isdn_128k() -> Self {
+        LinkProfile {
+            rate_bps: 128_000,
+            prop_delay: SimDuration::from_millis(2),
+            loss_rate: 1e-6,
+            queue_cells: 512,
+        }
+    }
+
+    /// V.34 modem, 28.8 kb/s.
+    pub fn modem_28_8k() -> Self {
+        LinkProfile {
+            rate_bps: 28_800,
+            prop_delay: SimDuration::from_millis(5),
+            loss_rate: 1e-5,
+            queue_cells: 512,
+        }
+    }
+
+    /// Time to serialize one 53-byte cell on this link.
+    pub fn cell_time(&self) -> SimDuration {
+        SimDuration::for_bits(crate::cell::CELL_BITS, self.rate_bps)
+    }
+
+    /// Wall time to move `bytes` of raw payload (ignoring cell overhead) —
+    /// the back-of-envelope number experiments quote as "line rate".
+    pub fn raw_transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bits(bytes * 8, self.rate_bps)
+    }
+}
+
+/// A traffic contract for policing: peak cell rate and a burst tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficContract {
+    /// Peak cell rate, cells per second.
+    pub pcr_cells_per_sec: f64,
+    /// Burst tolerance, cells.
+    pub burst_cells: f64,
+}
+
+impl TrafficContract {
+    /// Contract admitting `bits_per_sec` of payload throughput with the
+    /// given burst allowance.
+    pub fn for_bit_rate(bits_per_sec: u64, burst_cells: f64) -> Self {
+        let cells = bits_per_sec as f64 / (crate::cell::CELL_PAYLOAD as f64 * 8.0);
+        TrafficContract {
+            pcr_cells_per_sec: cells.max(1.0),
+            burst_cells: burst_cells.max(1.0),
+        }
+    }
+}
+
+/// GCRA policer state (token bucket formulation).
+#[derive(Debug, Clone)]
+pub struct Policer {
+    bucket: mits_sim::TokenBucket,
+}
+
+impl Policer {
+    /// Policer for a contract.
+    pub fn new(contract: TrafficContract) -> Self {
+        Policer {
+            bucket: mits_sim::TokenBucket::new(contract.pcr_cells_per_sec, contract.burst_cells),
+        }
+    }
+
+    /// Does a cell arriving at `now` conform? Non-conforming cells are
+    /// tagged CLP=1 by the caller.
+    pub fn conforms(&mut self, now: SimTime) -> bool {
+        self.bucket.try_take(now, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering() {
+        assert!(ServiceClass::Cbr.priority() < ServiceClass::Vbr.priority());
+        assert!(ServiceClass::Vbr.priority() < ServiceClass::Ubr.priority());
+        assert!(ServiceClass::Ubr.priority() < ServiceClass::LEVELS);
+    }
+
+    #[test]
+    fn cell_time_on_oc3() {
+        // 424 bits / 155.52 Mb/s ≈ 2.7 µs → ceil 3 µs.
+        assert_eq!(LinkProfile::atm_oc3().cell_time().as_micros(), 3);
+        // Modem: 424 / 28 800 ≈ 14.7 ms.
+        let t = LinkProfile::modem_28_8k().cell_time();
+        assert!((14_000..15_000).contains(&t.as_micros()), "{t}");
+    }
+
+    #[test]
+    fn transfer_time_sanity() {
+        // 1 MB over ISDN 128k ≈ 65.5 s; over OC-3 ≈ 54 ms.
+        let isdn = LinkProfile::isdn_128k().raw_transfer_time(1_048_576);
+        assert!((60.0..70.0).contains(&isdn.as_secs_f64()), "{isdn}");
+        let oc3 = LinkProfile::atm_oc3().raw_transfer_time(1_048_576);
+        assert!(oc3.as_secs_f64() < 0.06, "{oc3}");
+    }
+
+    #[test]
+    fn policer_enforces_pcr() {
+        use mits_sim::SimTime;
+        // 1000 cells/s, burst 2.
+        let mut p = Policer::new(TrafficContract {
+            pcr_cells_per_sec: 1000.0,
+            burst_cells: 2.0,
+        });
+        let t = SimTime::from_secs(1);
+        assert!(p.conforms(t));
+        assert!(p.conforms(t));
+        assert!(!p.conforms(t), "burst exhausted");
+        assert!(p.conforms(t + SimDuration::from_millis(1)), "refilled");
+    }
+
+    #[test]
+    fn contract_from_bit_rate() {
+        let c = TrafficContract::for_bit_rate(1_500_000, 32.0);
+        // 1.5 Mb/s over 384-bit payloads ≈ 3906 cells/s.
+        assert!((3_900.0..3_910.0).contains(&c.pcr_cells_per_sec));
+    }
+}

@@ -1,0 +1,845 @@
+//! The cell-level network simulator: hosts, output-queued switches,
+//! virtual circuits, and per-VC QoS accounting.
+//!
+//! Everything is clock-driven and deterministic. A caller builds a
+//! topology, opens VCs along explicit paths (MITS is connection-oriented:
+//! the prototype pre-established its author/database/user circuits),
+//! `send`s PDUs, and `advance`s the clock, collecting [`Delivery`]
+//! records. Cell transfer delay, delay variation, and loss accumulate per
+//! VC — the raw material of experiments E-BB and F3.5.
+
+use crate::aal5;
+use crate::cell::{AtmCell, CELL_BITS};
+use crate::link::{LinkProfile, Policer, ServiceClass, TrafficContract};
+use bytes::Bytes;
+use mits_sim::{BoundedQueue, DropPolicy, OnlineStats, SimRng, SimTime, TimeWeighted};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// A node (host or switch) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A virtual circuit handle (doubles as the VCI carried in cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VcId(pub u16);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct LinkId(u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc:{}", self.0)
+    }
+}
+
+/// Errors from topology and VC operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Node id out of range.
+    UnknownNode(NodeId),
+    /// VC id unknown.
+    UnknownVc(VcId),
+    /// Two consecutive path nodes are not connected.
+    NotConnected(NodeId, NodeId),
+    /// A path needs at least a source and a destination.
+    PathTooShort,
+    /// VC number space (16-bit) exhausted.
+    VcSpaceExhausted,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown {n}"),
+            NetError::UnknownVc(v) => write!(f, "unknown {v}"),
+            NetError::NotConnected(a, b) => write!(f, "{a} and {b} are not connected"),
+            NetError::PathTooShort => write!(f, "path needs ≥ 2 nodes"),
+            NetError::VcSpaceExhausted => write!(f, "no free VCIs"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A PDU delivered to a VC's destination host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Arrival instant (last cell received, PDU validated).
+    pub at: SimTime,
+    /// The circuit it arrived on.
+    pub vc: VcId,
+    /// Destination node.
+    pub node: NodeId,
+    /// The reassembled payload.
+    pub payload: Bytes,
+}
+
+/// Per-VC quality-of-service statistics.
+#[derive(Debug, Clone, Default)]
+pub struct VcStats {
+    /// Cells offered by the source.
+    pub cells_sent: u64,
+    /// Cells that reached the destination.
+    pub cells_delivered: u64,
+    /// Cells dropped (queue overflow, line loss, policing discard).
+    pub cells_dropped: u64,
+    /// PDUs offered.
+    pub pdus_sent: u64,
+    /// PDUs delivered intact.
+    pub pdus_delivered: u64,
+    /// PDUs lost to cell loss / CRC failure.
+    pub pdus_failed: u64,
+    /// Payload bytes offered.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Cell transfer delay (seconds).
+    pub ctd: OnlineStats,
+    /// PDU latency: send call → validated delivery (seconds).
+    pub pdu_latency: OnlineStats,
+}
+
+impl VcStats {
+    /// Cell loss ratio.
+    pub fn clr(&self) -> f64 {
+        if self.cells_sent == 0 {
+            0.0
+        } else {
+            self.cells_dropped as f64 / self.cells_sent as f64
+        }
+    }
+
+    /// Cell delay variation (std dev of CTD, seconds).
+    pub fn cdv(&self) -> f64 {
+        self.ctd.std_dev()
+    }
+}
+
+struct LinkState {
+    to: NodeId,
+    profile: LinkProfile,
+    queues: Vec<BoundedQueue<Flying>>,
+    busy: bool,
+    utilization: TimeWeighted,
+}
+
+#[derive(Clone)]
+struct Flying {
+    cell: AtmCell,
+    born: SimTime,
+    send_call: SimTime,
+}
+
+struct NodeState {
+    #[allow(dead_code)]
+    name: String,
+    is_switch: bool,
+    routes: HashMap<VcId, LinkId>,
+}
+
+struct VcState {
+    class: ServiceClass,
+    first_link: LinkId,
+    dst: NodeId,
+    policer: Option<Policer>,
+    next_pdu_seq: u64,
+    rx: Vec<Flying>,
+    /// PDU sequence numbers already declared failed (first cell drop
+    /// fails the whole AAL5 PDU; later drops of the same PDU don't
+    /// double-count).
+    failed_pdus: std::collections::HashSet<u64>,
+    stats: VcStats,
+}
+
+impl VcState {
+    /// Record a cell drop; marks the owning PDU failed exactly once.
+    fn drop_cell(&mut self, pdu_seq: u64) {
+        self.stats.cells_dropped += 1;
+        if self.failed_pdus.insert(pdu_seq) {
+            self.stats.pdus_failed += 1;
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum TimerKind {
+    /// Transmitter on `link` finished serializing; carries the cell.
+    TxDone(u32, u64),
+    /// Cell arrives at the far end of `link`.
+    Arrive(u32, u64),
+}
+
+struct Timer {
+    at: SimTime,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timer {}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The ATM network simulator.
+pub struct AtmNetwork {
+    nodes: Vec<NodeState>,
+    links: Vec<LinkState>,
+    link_index: HashMap<(NodeId, NodeId), LinkId>,
+    vcs: HashMap<VcId, VcState>,
+    next_vci: u16,
+    timers: BinaryHeap<Timer>,
+    timer_seq: u64,
+    in_flight: HashMap<u64, Flying>,
+    next_flight: u64,
+    now: SimTime,
+    rng: SimRng,
+    deliveries: Vec<Delivery>,
+}
+
+impl AtmNetwork {
+    /// An empty network; `seed` drives the loss process.
+    pub fn new(seed: u64) -> Self {
+        AtmNetwork {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            link_index: HashMap::new(),
+            vcs: HashMap::new(),
+            next_vci: 1,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            in_flight: HashMap::new(),
+            next_flight: 0,
+            now: SimTime::ZERO,
+            rng: SimRng::seed_from_u64(seed ^ 0xA7A7_17D0),
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Current network clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add an end host.
+    pub fn add_host(&mut self, name: &str) -> NodeId {
+        self.add_node(name, false)
+    }
+
+    /// Add a switch.
+    pub fn add_switch(&mut self, name: &str) -> NodeId {
+        self.add_node(name, true)
+    }
+
+    fn add_node(&mut self, name: &str, is_switch: bool) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeState {
+            name: name.to_string(),
+            is_switch,
+            routes: HashMap::new(),
+        });
+        id
+    }
+
+    /// Connect two nodes with a bidirectional link pair of this profile.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, profile: LinkProfile) {
+        assert!((a.0 as usize) < self.nodes.len(), "unknown node {a}");
+        assert!((b.0 as usize) < self.nodes.len(), "unknown node {b}");
+        for (from, to) in [(a, b), (b, a)] {
+            let id = LinkId(self.links.len() as u32);
+            // Host egress buffers model host memory (a sending application
+            // is backpressured, not dropped); only switch ports use the
+            // profile's shallow cell buffers.
+            let capacity = if self.nodes[from.0 as usize].is_switch {
+                profile.queue_cells
+            } else {
+                profile.queue_cells.max(1 << 20)
+            };
+            let queues = (0..ServiceClass::LEVELS)
+                .map(|_| BoundedQueue::new(capacity, DropPolicy::DropTail))
+                .collect();
+            self.links.push(LinkState {
+                to,
+                profile,
+                queues,
+                busy: false,
+                utilization: TimeWeighted::new(),
+            });
+            self.link_index.insert((from, to), id);
+        }
+    }
+
+    /// Open a unidirectional VC along `path` (source first, destination
+    /// last), optionally policed by `contract`.
+    pub fn open_vc(
+        &mut self,
+        path: &[NodeId],
+        class: ServiceClass,
+        contract: Option<TrafficContract>,
+    ) -> Result<VcId, NetError> {
+        if path.len() < 2 {
+            return Err(NetError::PathTooShort);
+        }
+        for n in path {
+            if (n.0 as usize) >= self.nodes.len() {
+                return Err(NetError::UnknownNode(*n));
+            }
+        }
+        let mut hop_links = Vec::with_capacity(path.len() - 1);
+        for pair in path.windows(2) {
+            let link = self
+                .link_index
+                .get(&(pair[0], pair[1]))
+                .copied()
+                .ok_or(NetError::NotConnected(pair[0], pair[1]))?;
+            hop_links.push((pair[0], link));
+        }
+        if self.next_vci == u16::MAX {
+            return Err(NetError::VcSpaceExhausted);
+        }
+        let vc = VcId(self.next_vci);
+        self.next_vci += 1;
+        for (node, link) in &hop_links {
+            self.nodes[node.0 as usize].routes.insert(vc, *link);
+        }
+        self.vcs.insert(
+            vc,
+            VcState {
+                class,
+                first_link: hop_links[0].1,
+                dst: *path.last().expect("non-empty"),
+                policer: contract.map(Policer::new),
+                next_pdu_seq: 0,
+                rx: Vec::new(),
+                failed_pdus: std::collections::HashSet::new(),
+                stats: VcStats::default(),
+            },
+        );
+        Ok(vc)
+    }
+
+    /// Queue a PDU on a VC at the current clock. Returns the PDU sequence
+    /// number.
+    pub fn send(&mut self, vc: VcId, payload: Bytes) -> Result<u64, NetError> {
+        let now = self.now;
+        let state = self.vcs.get_mut(&vc).ok_or(NetError::UnknownVc(vc))?;
+        let seq = state.next_pdu_seq;
+        state.next_pdu_seq += 1;
+        state.stats.pdus_sent += 1;
+        state.stats.bytes_sent += payload.len() as u64;
+        let mut cells = aal5::segment(0, vc.0, seq, &payload);
+        state.stats.cells_sent += cells.len() as u64;
+        // Police at the source UNI: non-conforming cells are tagged CLP=1.
+        if let Some(policer) = &mut state.policer {
+            for c in &mut cells {
+                if !policer.conforms(now) {
+                    c.clp = true;
+                }
+            }
+        }
+        let class = state.class;
+        let link = state.first_link;
+        for cell in cells {
+            let flying = Flying {
+                cell,
+                born: now,
+                send_call: now,
+            };
+            self.enqueue_cell(link, class, flying);
+        }
+        Ok(seq)
+    }
+
+    /// Advance the clock to `to`, returning all PDUs delivered in the
+    /// interval.
+    pub fn advance(&mut self, to: SimTime) -> Vec<Delivery> {
+        assert!(to >= self.now, "network clock cannot go backwards");
+        while let Some(t) = self.timers.peek() {
+            if t.at > to {
+                break;
+            }
+            let timer = self.timers.pop().expect("peeked");
+            self.now = timer.at;
+            match timer.kind {
+                TimerKind::TxDone(link, flight) => self.tx_done(LinkId(link), flight),
+                TimerKind::Arrive(link, flight) => self.arrive(LinkId(link), flight),
+            }
+        }
+        self.now = to;
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// True when no cells are queued or in flight.
+    pub fn idle(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// Instant of the next internal event, if any — lets a driver advance
+    /// straight to it instead of polling in fixed steps.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.timers.peek().map(|t| t.at)
+    }
+
+    /// Run until the network drains or `deadline` passes; returns
+    /// deliveries.
+    pub fn drain(&mut self, deadline: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while !self.idle() && self.now < deadline {
+            let next = self
+                .timers
+                .peek()
+                .map(|t| t.at)
+                .unwrap_or(deadline)
+                .min(deadline);
+            out.extend(self.advance(next));
+        }
+        out
+    }
+
+    /// QoS statistics for a VC.
+    pub fn vc_stats(&self, vc: VcId) -> Option<&VcStats> {
+        self.vcs.get(&vc).map(|s| &s.stats)
+    }
+
+    /// Mean utilization of the `a`→`b` link over `[0, now]`.
+    pub fn link_utilization(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let id = self.link_index.get(&(a, b))?;
+        Some(self.links[id.0 as usize].utilization.mean_until(self.now))
+    }
+
+    /// Queue drop counters of the `a`→`b` link, summed over classes.
+    pub fn link_drops(&self, a: NodeId, b: NodeId) -> Option<u64> {
+        let id = self.link_index.get(&(a, b))?;
+        Some(
+            self.links[id.0 as usize]
+                .queues
+                .iter()
+                .map(|q| q.drops.hits)
+                .sum(),
+        )
+    }
+
+    // ---- internals ----
+
+    fn schedule(&mut self, at: SimTime, kind: TimerKind) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(Timer { at, seq, kind });
+    }
+
+    fn stash(&mut self, f: Flying) -> u64 {
+        let id = self.next_flight;
+        self.next_flight += 1;
+        self.in_flight.insert(id, f);
+        id
+    }
+
+    fn enqueue_cell(&mut self, link_id: LinkId, class: ServiceClass, flying: Flying) {
+        let vc = VcId(flying.cell.vci);
+        let link = &mut self.links[link_id.0 as usize];
+        let queue = &mut link.queues[class.priority()];
+        // Early discard of tagged cells under congestion (90 % occupancy).
+        let congested = queue.len() * 10 >= queue.capacity() * 9;
+        if flying.cell.clp && congested {
+            let seq = flying.cell.pdu_seq;
+            if let Some(s) = self.vcs.get_mut(&vc) {
+                s.drop_cell(seq);
+            }
+            return;
+        }
+        if let Some(bounced) = queue.offer(flying) {
+            // Tail drop.
+            let seq = bounced.cell.pdu_seq;
+            if let Some(s) = self.vcs.get_mut(&vc) {
+                s.drop_cell(seq);
+            }
+            return;
+        }
+        if !link.busy {
+            self.start_tx(link_id);
+        }
+    }
+
+    /// Begin serializing the highest-priority queued cell, if any.
+    fn start_tx(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id.0 as usize];
+        let mut next = None;
+        for q in &mut link.queues {
+            if let Some(f) = q.take() {
+                next = Some(f);
+                break;
+            }
+        }
+        let Some(flying) = next else {
+            link.busy = false;
+            link.utilization.set(now, 0.0);
+            return;
+        };
+        link.busy = true;
+        link.utilization.set(now, 1.0);
+        let cell_time = mits_sim::SimDuration::for_bits(CELL_BITS, link.profile.rate_bps);
+        let flight = self.stash(flying);
+        self.schedule(now + cell_time, TimerKind::TxDone(link_id.0, flight));
+    }
+
+    fn tx_done(&mut self, link_id: LinkId, flight: u64) {
+        let Some(flying) = self.in_flight.remove(&flight) else { return };
+        let (loss_rate, prop) = {
+            let link = &self.links[link_id.0 as usize];
+            (link.profile.loss_rate, link.profile.prop_delay)
+        };
+        // Line loss.
+        if self.rng.chance(loss_rate) {
+            let vc = VcId(flying.cell.vci);
+            let seq = flying.cell.pdu_seq;
+            if let Some(s) = self.vcs.get_mut(&vc) {
+                s.drop_cell(seq);
+            }
+        } else {
+            let id = self.stash(flying);
+            self.schedule(self.now + prop, TimerKind::Arrive(link_id.0, id));
+        }
+        // Serve the next queued cell.
+        self.start_tx(link_id);
+    }
+
+    fn arrive(&mut self, link_id: LinkId, flight: u64) {
+        let Some(flying) = self.in_flight.remove(&flight) else { return };
+        let node_id = self.links[link_id.0 as usize].to;
+        let vc = VcId(flying.cell.vci);
+        let node = &self.nodes[node_id.0 as usize];
+        if node.is_switch {
+            let Some(next_link) = node.routes.get(&vc).copied() else {
+                // Misrouted cell: drop.
+                let seq = flying.cell.pdu_seq;
+                if let Some(s) = self.vcs.get_mut(&vc) {
+                    s.drop_cell(seq);
+                }
+                return;
+            };
+            let class = self.vcs.get(&vc).map(|s| s.class).unwrap_or(ServiceClass::Ubr);
+            self.enqueue_cell(next_link, class, flying);
+            return;
+        }
+        // Destination host: account and reassemble.
+        let now = self.now;
+        let Some(state) = self.vcs.get_mut(&vc) else { return };
+        if state.dst != node_id {
+            state.drop_cell(flying.cell.pdu_seq);
+            return;
+        }
+        state.stats.cells_delivered += 1;
+        state.stats.ctd.record(now.since(flying.born).as_secs_f64());
+        let is_end = flying.cell.pdu_end;
+        let this_seq = flying.cell.pdu_seq;
+        // Cells of an older PDU that lost its end cell: flush on seq change.
+        if state
+            .rx
+            .first()
+            .is_some_and(|f| f.cell.pdu_seq != this_seq)
+        {
+            let stale = state.rx[0].cell.pdu_seq;
+            if state.failed_pdus.insert(stale) {
+                state.stats.pdus_failed += 1;
+            }
+            state.rx.clear();
+        }
+        state.rx.push(flying);
+        if !is_end {
+            return;
+        }
+        let cells: Vec<AtmCell> = state.rx.iter().map(|f| f.cell.clone()).collect();
+        let send_call = state.rx.first().map(|f| f.send_call).unwrap_or(now);
+        state.rx.clear();
+        match aal5::reassemble(&cells) {
+            Ok(payload) => {
+                state.stats.pdus_delivered += 1;
+                state.stats.bytes_delivered += payload.len() as u64;
+                state
+                    .stats
+                    .pdu_latency
+                    .record(now.since(send_call).as_secs_f64());
+                self.deliveries.push(Delivery {
+                    at: now,
+                    vc,
+                    node: node_id,
+                    payload,
+                });
+            }
+            Err(_) => {
+                if state.failed_pdus.insert(this_seq) {
+                    state.stats.pdus_failed += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// host A — switch — host B, both hops OC-3.
+    fn small_net() -> (AtmNetwork, NodeId, NodeId, NodeId) {
+        let mut net = AtmNetwork::new(1);
+        let a = net.add_host("A");
+        let s = net.add_switch("S");
+        let b = net.add_host("B");
+        net.connect(a, s, LinkProfile::atm_oc3());
+        net.connect(s, b, LinkProfile::atm_oc3());
+        (net, a, s, b)
+    }
+
+    #[test]
+    fn pdu_crosses_one_switch() {
+        let (mut net, a, s, b) = small_net();
+        let vc = net.open_vc(&[a, s, b], ServiceClass::Ubr, None).unwrap();
+        let payload = Bytes::from(vec![7u8; 1000]);
+        net.send(vc, payload.clone()).unwrap();
+        let deliveries = net.drain(SimTime::from_secs(1));
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].payload, payload);
+        assert_eq!(deliveries[0].node, b);
+        let stats = net.vc_stats(vc).unwrap();
+        assert_eq!(stats.pdus_delivered, 1);
+        assert_eq!(stats.cells_dropped, 0);
+        assert!(stats.ctd.mean() > 0.0);
+    }
+
+    #[test]
+    fn latency_scales_with_link_rate() {
+        // The same 100 kB transfer over OC-3 vs modem.
+        let mut lat = Vec::new();
+        for profile in [LinkProfile::atm_oc3(), LinkProfile::modem_28_8k()] {
+            let mut net = AtmNetwork::new(1);
+            let a = net.add_host("A");
+            let b = net.add_host("B");
+            net.connect(a, b, profile);
+            let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+            net.send(vc, Bytes::from(vec![1u8; 100_000])).unwrap();
+            let d = net.drain(SimTime::from_secs(3600));
+            assert_eq!(d.len(), 1, "profile {profile:?}");
+            lat.push(net.vc_stats(vc).unwrap().pdu_latency.mean());
+        }
+        // OC-3 ≈ 5 ms, modem ≈ 31 s: ≥ 1000× apart.
+        assert!(lat[1] / lat[0] > 1000.0, "oc3 {} vs modem {}", lat[0], lat[1]);
+    }
+
+    #[test]
+    fn unconnected_path_rejected() {
+        let mut net = AtmNetwork::new(1);
+        let a = net.add_host("A");
+        let b = net.add_host("B");
+        assert_eq!(
+            net.open_vc(&[a, b], ServiceClass::Ubr, None),
+            Err(NetError::NotConnected(a, b))
+        );
+        assert_eq!(net.open_vc(&[a], ServiceClass::Ubr, None), Err(NetError::PathTooShort));
+    }
+
+    #[test]
+    fn cbr_preempts_ubr_under_contention() {
+        // Slow shared link; bulk UBR floods it, CBR cells keep low delay.
+        let mut net = AtmNetwork::new(2);
+        let a = net.add_host("A");
+        let b = net.add_host("B");
+        net.connect(a, b, LinkProfile::isdn_128k());
+        let bulk = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+        let live = net.open_vc(&[a, b], ServiceClass::Cbr, None).unwrap();
+        // Saturate with bulk…
+        net.send(bulk, Bytes::from(vec![0u8; 4_000])).unwrap();
+        // …then a small CBR message right behind it.
+        net.send(live, Bytes::from(vec![1u8; 96])).unwrap();
+        net.drain(SimTime::from_secs(60));
+        let bulk_lat = net.vc_stats(bulk).unwrap().pdu_latency.mean();
+        let live_lat = net.vc_stats(live).unwrap().pdu_latency.mean();
+        assert!(
+            live_lat < bulk_lat / 2.0,
+            "CBR {live_lat}s should beat UBR {bulk_lat}s"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_drops_cells_and_fails_pdus() {
+        // Fast ingress into a switch whose slow egress port has a tiny
+        // buffer: the classic output-queue overflow.
+        let mut net = AtmNetwork::new(3);
+        let a = net.add_host("A");
+        let s = net.add_switch("S");
+        let b = net.add_host("B");
+        net.connect(a, s, LinkProfile::atm_oc3());
+        net.connect(
+            s,
+            b,
+            LinkProfile {
+                queue_cells: 16,
+                ..LinkProfile::modem_28_8k()
+            },
+        );
+        let vc = net.open_vc(&[a, s, b], ServiceClass::Ubr, None).unwrap();
+        // 10 kB → ~209 cells arriving at OC-3 speed into a 16-cell queue
+        // drained at modem speed.
+        net.send(vc, Bytes::from(vec![0u8; 10_000])).unwrap();
+        net.drain(SimTime::from_secs(600));
+        let stats = net.vc_stats(vc).unwrap();
+        assert!(stats.cells_dropped > 0, "overflow must drop");
+        assert_eq!(stats.pdus_delivered, 0, "AAL5 PDU dies with its cells");
+        assert_eq!(stats.pdus_failed, 1);
+    }
+
+    #[test]
+    fn lossy_line_fails_pdus_proportionally() {
+        let mut net = AtmNetwork::new(4);
+        let a = net.add_host("A");
+        let b = net.add_host("B");
+        let profile = LinkProfile {
+            loss_rate: 0.05,
+            ..LinkProfile::atm_oc3()
+        };
+        net.connect(a, b, profile);
+        let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+        // 200 one-cell PDUs: each survives with p ≈ 0.95.
+        for _ in 0..200 {
+            net.send(vc, Bytes::from(vec![1u8; 40])).unwrap();
+        }
+        net.drain(SimTime::from_secs(10));
+        let stats = net.vc_stats(vc).unwrap();
+        assert!(stats.pdus_failed > 0, "some PDUs must fail at 5% cell loss");
+        assert!(stats.pdus_delivered > 150, "most still arrive");
+        assert_eq!(stats.pdus_delivered + stats.pdus_failed, 200);
+    }
+
+    #[test]
+    fn policing_tags_and_discards_under_congestion() {
+        // Tagged (CLP=1) cells are discarded early when a congested switch
+        // port fills past 90 % occupancy.
+        let mut net = AtmNetwork::new(5);
+        let a = net.add_host("A");
+        let s = net.add_switch("S");
+        let b = net.add_host("B");
+        net.connect(a, s, LinkProfile::atm_oc3());
+        net.connect(
+            s,
+            b,
+            LinkProfile {
+                queue_cells: 32,
+                ..LinkProfile::isdn_128k()
+            },
+        );
+        // Contract far below the offered rate: almost everything tagged.
+        let contract = TrafficContract {
+            pcr_cells_per_sec: 10.0,
+            burst_cells: 2.0,
+        };
+        let rogue = net
+            .open_vc(&[a, s, b], ServiceClass::Ubr, Some(contract))
+            .unwrap();
+        for _ in 0..50 {
+            net.send(rogue, Bytes::from(vec![0u8; 400])).unwrap();
+        }
+        net.drain(SimTime::from_secs(600));
+        let stats = net.vc_stats(rogue).unwrap();
+        assert!(
+            stats.cells_dropped > 0,
+            "tagged cells discarded at the congested port"
+        );
+    }
+
+    #[test]
+    fn multi_hop_path_and_utilization() {
+        let mut net = AtmNetwork::new(6);
+        let a = net.add_host("A");
+        let s1 = net.add_switch("S1");
+        let s2 = net.add_switch("S2");
+        let b = net.add_host("B");
+        net.connect(a, s1, LinkProfile::atm_oc3());
+        net.connect(s1, s2, LinkProfile::atm_oc3_wan());
+        net.connect(s2, b, LinkProfile::atm_oc3());
+        let vc = net.open_vc(&[a, s1, s2, b], ServiceClass::Vbr, None).unwrap();
+        net.send(vc, Bytes::from(vec![5u8; 50_000])).unwrap();
+        let d = net.drain(SimTime::from_secs(5));
+        assert_eq!(d.len(), 1);
+        assert!(net.link_utilization(a, s1).unwrap() > 0.0);
+        assert_eq!(net.link_drops(a, s1), Some(0));
+        // Latency includes the 5 ms WAN propagation.
+        assert!(net.vc_stats(vc).unwrap().pdu_latency.mean() > 0.005);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = AtmNetwork::new(seed);
+            let a = net.add_host("A");
+            let b = net.add_host("B");
+            net.connect(
+                a,
+                b,
+                LinkProfile {
+                    loss_rate: 0.02,
+                    ..LinkProfile::atm_oc3()
+                },
+            );
+            let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+            for _ in 0..100 {
+                net.send(vc, Bytes::from(vec![2u8; 96])).unwrap();
+            }
+            net.drain(SimTime::from_secs(10));
+            let s = net.vc_stats(vc).unwrap();
+            (s.pdus_delivered, s.cells_dropped)
+        };
+        assert_eq!(run(42), run(42), "same seed, same outcome");
+        assert_ne!(run(42), run(43), "different seed, different loss pattern");
+    }
+
+    #[test]
+    fn two_vcs_interleave_without_corruption() {
+        let (mut net, a, s, b) = small_net();
+        let vc1 = net.open_vc(&[a, s, b], ServiceClass::Ubr, None).unwrap();
+        let vc2 = net.open_vc(&[a, s, b], ServiceClass::Ubr, None).unwrap();
+        let p1 = Bytes::from(vec![1u8; 5_000]);
+        let p2 = Bytes::from(vec![2u8; 5_000]);
+        net.send(vc1, p1.clone()).unwrap();
+        net.send(vc2, p2.clone()).unwrap();
+        let d = net.drain(SimTime::from_secs(1));
+        assert_eq!(d.len(), 2);
+        for delivery in d {
+            if delivery.vc == vc1 {
+                assert_eq!(delivery.payload, p1);
+            } else {
+                assert_eq!(delivery.payload, p2);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_direction_needs_its_own_vc() {
+        let (mut net, a, s, b) = small_net();
+        let fwd = net.open_vc(&[a, s, b], ServiceClass::Ubr, None).unwrap();
+        let rev = net.open_vc(&[b, s, a], ServiceClass::Ubr, None).unwrap();
+        net.send(fwd, Bytes::from_static(b"ping")).unwrap();
+        net.send(rev, Bytes::from_static(b"pong")).unwrap();
+        let d = net.drain(SimTime::from_secs(1));
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.node == b && x.payload == "ping"));
+        assert!(d.iter().any(|x| x.node == a && x.payload == "pong"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Traffic sources for the delivery experiments.
+//!
+//! Each source yields a schedule of `(offset, pdu_size)` pairs describing
+//! when payload enters the network — constant-rate audio, VBR video paced
+//! by the MPEG frame model of `mits-media`, and bursty on-off
+//! interactive traffic.
+
+use mits_media::codec::FrameStream;
+use mits_sim::{SimDuration, SimRng};
+
+/// One scheduled emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Emission {
+    /// Offset from stream start.
+    pub at: SimDuration,
+    /// Payload bytes in this PDU.
+    pub bytes: usize,
+}
+
+/// Constant bit rate source: fixed-size PDUs at fixed intervals.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    /// Target payload rate, bits per second.
+    pub rate_bps: u64,
+    /// PDU payload size in bytes.
+    pub pdu_bytes: usize,
+}
+
+impl CbrSource {
+    /// Schedule for `duration` of traffic.
+    pub fn schedule(&self, duration: SimDuration) -> Vec<Emission> {
+        assert!(self.pdu_bytes > 0 && self.rate_bps > 0);
+        let interval = SimDuration::for_bits(self.pdu_bytes as u64 * 8, self.rate_bps);
+        let n = (duration.as_micros() / interval.as_micros().max(1)) as usize;
+        (0..n)
+            .map(|i| Emission {
+                at: interval * i as u64,
+                bytes: self.pdu_bytes,
+            })
+            .collect()
+    }
+}
+
+/// VBR video source: one PDU per coded frame, paced at the frame rate,
+/// sized by the MPEG GOP model — the workload "classroom presentation"
+/// puts on the network.
+#[derive(Debug, Clone)]
+pub struct VbrVideoSource {
+    /// Video length.
+    pub duration: SimDuration,
+    /// Mean coded rate, bits per second.
+    pub bits_per_sec: u64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl VbrVideoSource {
+    /// Schedule: one emission per frame at its PTS.
+    pub fn schedule(&self) -> Vec<Emission> {
+        FrameStream::new(self.duration, self.bits_per_sec, self.seed)
+            .map(|f| Emission {
+                at: f.pts,
+                bytes: f.size as usize,
+            })
+            .collect()
+    }
+}
+
+/// On-off source: exponential on and off periods; CBR inside on periods.
+/// Models interactive navigation traffic (bursts of object fetches).
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    /// Mean on-period length.
+    pub mean_on: SimDuration,
+    /// Mean off-period length.
+    pub mean_off: SimDuration,
+    /// Rate during on periods, bits per second.
+    pub on_rate_bps: u64,
+    /// PDU size during on periods.
+    pub pdu_bytes: usize,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl OnOffSource {
+    /// Schedule for `duration` of traffic.
+    pub fn schedule(&self, duration: SimDuration) -> Vec<Emission> {
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0x00FF_0A0F);
+        let mut out = Vec::new();
+        let interval = SimDuration::for_bits(self.pdu_bytes as u64 * 8, self.on_rate_bps);
+        let mut t = SimDuration::ZERO;
+        loop {
+            // On period.
+            let on_len = SimDuration::from_secs_f64(rng.exponential(self.mean_on.as_secs_f64()));
+            let on_end = t + on_len;
+            while t < on_end && t < duration {
+                out.push(Emission {
+                    at: t,
+                    bytes: self.pdu_bytes,
+                });
+                t += interval;
+            }
+            if t >= duration {
+                break;
+            }
+            // Off period.
+            t += SimDuration::from_secs_f64(rng.exponential(self.mean_off.as_secs_f64()));
+            if t >= duration {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_is_evenly_spaced_at_rate() {
+        let src = CbrSource {
+            rate_bps: 64_000,
+            pdu_bytes: 800,
+        };
+        let sched = src.schedule(SimDuration::from_secs(10));
+        // 800 B = 6400 bits → 10 PDUs/s → 100 total.
+        assert_eq!(sched.len(), 100);
+        assert_eq!(sched[1].at - sched[0].at, SimDuration::from_millis(100));
+        let total_bits: u64 = sched.iter().map(|e| e.bytes as u64 * 8).sum();
+        assert_eq!(total_bits, 640_000);
+    }
+
+    #[test]
+    fn vbr_video_matches_frame_model() {
+        let src = VbrVideoSource {
+            duration: SimDuration::from_secs(2),
+            bits_per_sec: 1_500_000,
+            seed: 7,
+        };
+        let sched = src.schedule();
+        assert_eq!(sched.len(), 60, "30 fps × 2 s");
+        let total: usize = sched.iter().map(|e| e.bytes).sum();
+        let nominal = 1_500_000 / 8 * 2;
+        let err = (total as f64 - nominal as f64).abs() / nominal as f64;
+        assert!(err < 0.15, "VBR total {total} vs nominal {nominal}");
+        // Frame sizes vary (it is VBR).
+        let min = sched.iter().map(|e| e.bytes).min().unwrap();
+        let max = sched.iter().map(|e| e.bytes).max().unwrap();
+        assert!(max > 2 * min, "I-frames dwarf B-frames");
+    }
+
+    #[test]
+    fn onoff_bursts_and_gaps() {
+        let src = OnOffSource {
+            mean_on: SimDuration::from_secs(1),
+            mean_off: SimDuration::from_secs(1),
+            on_rate_bps: 100_000,
+            pdu_bytes: 500,
+            seed: 3,
+        };
+        let sched = src.schedule(SimDuration::from_secs(60));
+        assert!(!sched.is_empty());
+        // Roughly half duty cycle: total bytes ≈ 50 % of always-on.
+        let total: usize = sched.iter().map(|e| e.bytes).sum();
+        let always_on = 100_000 / 8 * 60;
+        let duty = total as f64 / always_on as f64;
+        assert!((0.2..0.8).contains(&duty), "duty cycle {duty}");
+        // Gaps exist that far exceed the on-period spacing.
+        let spacing = SimDuration::from_millis(40);
+        let has_gap = sched
+            .windows(2)
+            .any(|w| (w[1].at - w[0].at) > spacing * 5);
+        assert!(has_gap, "off periods must appear");
+    }
+
+    #[test]
+    fn onoff_deterministic() {
+        let mk = |seed| {
+            OnOffSource {
+                mean_on: SimDuration::from_millis(500),
+                mean_off: SimDuration::from_millis(500),
+                on_rate_bps: 50_000,
+                pdu_bytes: 250,
+                seed,
+            }
+            .schedule(SimDuration::from_secs(10))
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+}

@@ -1,0 +1,411 @@
+//! Transport over AAL5 — the TCP/UDP role of the prototype
+//! ("the implementation makes use of the ATM network and the
+//! communication protocols (TCP/IP/UDP) for communication", §5.1.2).
+//!
+//! Datagram service is the network itself (one `send` = one PDU, lost
+//! PDUs are simply gone). [`ReliableChannel`] adds what the courseware
+//! database protocol needs: ordered, loss-recovering message delivery
+//! using a sliding window with cumulative acks and timeout retransmission.
+//!
+//! One `ReliableChannel` is one *endpoint*; a connection is two endpoints
+//! over a pair of opposed VCs. Both endpoints can send (full duplex).
+
+use crate::network::{AtmNetwork, Delivery, NetError, VcId};
+use bytes::{BufMut, Bytes, BytesMut};
+use mits_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Maximum segment payload (fits comfortably in one AAL5 PDU while
+/// keeping retransmission granularity useful).
+pub const MSS: usize = 8 * 1024;
+/// Frame type tags.
+const FT_DATA: u8 = 0;
+const FT_ACK: u8 = 1;
+/// Per-segment header: type(1) + seq(4) + flags(1).
+const HDR: usize = 6;
+const FLAG_LAST_FRAG: u8 = 1;
+
+/// Events surfaced to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportEvent {
+    /// A complete, ordered message arrived.
+    Message(Bytes),
+    /// All segments of the `n`-th message we sent have been acknowledged.
+    Sent(u64),
+}
+
+/// Statistics for a channel endpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Segments transmitted (including retransmissions).
+    pub segments_tx: u64,
+    /// Retransmissions alone.
+    pub retransmissions: u64,
+    /// Segments received in order.
+    pub segments_rx: u64,
+    /// Duplicate segments discarded.
+    pub duplicates: u64,
+    /// Acks transmitted.
+    pub acks_tx: u64,
+}
+
+/// One reliable endpoint.
+pub struct ReliableChannel {
+    /// VC we transmit on (data and acks).
+    out_vc: VcId,
+    /// VC we expect deliveries from.
+    in_vc: VcId,
+    window: usize,
+    timeout: SimDuration,
+    // Sender state.
+    next_seq: u32,
+    send_buffer: VecDeque<(u32, Bytes)>, // not yet admitted to window
+    unacked: BTreeMap<u32, (Bytes, SimTime, u32)>, // seq → (frame, deadline, retries)
+    msg_last_seq: VecDeque<(u32, u64)>, // last seq of each message → msg index
+    next_msg_id: u64,
+    // Receiver state.
+    rx_next: u32,
+    rx_ooo: BTreeMap<u32, Bytes>, // out-of-order frames
+    rx_assembly: BytesMut,
+    /// Counters.
+    pub stats: ChannelStats,
+}
+
+impl ReliableChannel {
+    /// An endpoint sending on `out_vc`, receiving on `in_vc`.
+    pub fn new(out_vc: VcId, in_vc: VcId, window: usize, timeout: SimDuration) -> Self {
+        assert!(window > 0, "zero window");
+        ReliableChannel {
+            out_vc,
+            in_vc,
+            window,
+            timeout,
+            next_seq: 0,
+            send_buffer: VecDeque::new(),
+            unacked: BTreeMap::new(),
+            msg_last_seq: VecDeque::new(),
+            next_msg_id: 0,
+            rx_next: 0,
+            rx_ooo: BTreeMap::new(),
+            rx_assembly: BytesMut::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Queue a message for reliable delivery. Returns its message index
+    /// (reported back via [`TransportEvent::Sent`]).
+    pub fn send_message(&mut self, net: &mut AtmNetwork, msg: &[u8]) -> Result<u64, NetError> {
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let nfrags = msg.len().div_ceil(MSS).max(1);
+        for (i, chunk) in msg.chunks(MSS).enumerate() {
+            self.queue_segment(chunk, i == nfrags - 1);
+        }
+        if msg.is_empty() {
+            self.queue_segment(&[], true);
+        }
+        self.msg_last_seq
+            .push_back((self.next_seq.wrapping_sub(1), msg_id));
+        self.pump(net)?;
+        Ok(msg_id)
+    }
+
+    fn queue_segment(&mut self, payload: &[u8], last: bool) {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let mut frame = BytesMut::with_capacity(HDR + payload.len());
+        frame.put_u8(FT_DATA);
+        frame.put_u32(seq);
+        frame.put_u8(if last { FLAG_LAST_FRAG } else { 0 });
+        frame.put_slice(payload);
+        self.send_buffer.push_back((seq, frame.freeze()));
+    }
+
+    /// Admit buffered segments to the window and transmit them.
+    fn pump(&mut self, net: &mut AtmNetwork) -> Result<(), NetError> {
+        let now = net.now();
+        while self.unacked.len() < self.window {
+            let Some((seq, frame)) = self.send_buffer.pop_front() else { break };
+            net.send(self.out_vc, frame.clone())?;
+            self.stats.segments_tx += 1;
+            self.unacked.insert(seq, (frame, now + self.timeout, 0));
+        }
+        Ok(())
+    }
+
+    /// Handle a network delivery. Returns application events. Deliveries
+    /// for other VCs are ignored (returns empty).
+    pub fn on_delivery(
+        &mut self,
+        net: &mut AtmNetwork,
+        d: &Delivery,
+    ) -> Result<Vec<TransportEvent>, NetError> {
+        if d.vc != self.in_vc || d.payload.is_empty() {
+            return Ok(Vec::new());
+        }
+        match d.payload[0] {
+            FT_ACK => self.on_ack(net, &d.payload),
+            FT_DATA => self.on_data(net, &d.payload),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        net: &mut AtmNetwork,
+        frame: &[u8],
+    ) -> Result<Vec<TransportEvent>, NetError> {
+        if frame.len() < 5 {
+            return Ok(Vec::new());
+        }
+        let cum = u32::from_be_bytes(frame[1..5].try_into().expect("4 bytes"));
+        // Cumulative: everything below `cum` is acknowledged.
+        let acked: Vec<u32> = self.unacked.range(..cum).map(|(s, _)| *s).collect();
+        for s in acked {
+            self.unacked.remove(&s);
+        }
+        let mut events = Vec::new();
+        while let Some((last_seq, msg_id)) = self.msg_last_seq.front().copied() {
+            if last_seq < cum {
+                events.push(TransportEvent::Sent(msg_id));
+                self.msg_last_seq.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.pump(net)?;
+        Ok(events)
+    }
+
+    fn on_data(
+        &mut self,
+        net: &mut AtmNetwork,
+        frame: &[u8],
+    ) -> Result<Vec<TransportEvent>, NetError> {
+        if frame.len() < HDR {
+            return Ok(Vec::new());
+        }
+        let seq = u32::from_be_bytes(frame[1..5].try_into().expect("4 bytes"));
+        let body = Bytes::copy_from_slice(&frame[5..]); // flags + payload
+        let mut events = Vec::new();
+        if seq == self.rx_next {
+            self.accept(body, &mut events);
+            // Drain any buffered successors.
+            while let Some(b) = self.rx_ooo.remove(&self.rx_next) {
+                self.accept(b, &mut events);
+            }
+        } else if seq > self.rx_next {
+            self.rx_ooo.entry(seq).or_insert(body);
+        } else {
+            self.stats.duplicates += 1;
+        }
+        // Ack the highest in-order point.
+        let mut ack = BytesMut::with_capacity(5);
+        ack.put_u8(FT_ACK);
+        ack.put_u32(self.rx_next);
+        net.send(self.out_vc, ack.freeze())?;
+        self.stats.acks_tx += 1;
+        Ok(events)
+    }
+
+    fn accept(&mut self, body: Bytes, events: &mut Vec<TransportEvent>) {
+        self.stats.segments_rx += 1;
+        self.rx_next = self.rx_next.wrapping_add(1);
+        let flags = body[0];
+        self.rx_assembly.extend_from_slice(&body[1..]);
+        if flags & FLAG_LAST_FRAG != 0 {
+            let msg = std::mem::take(&mut self.rx_assembly).freeze();
+            events.push(TransportEvent::Message(msg));
+        }
+    }
+
+    /// Retransmit timed-out segments. Call whenever the clock advances.
+    pub fn on_tick(&mut self, net: &mut AtmNetwork) -> Result<(), NetError> {
+        let now = net.now();
+        let expired: Vec<u32> = self
+            .unacked
+            .iter()
+            .filter(|(_, (_, deadline, _))| *deadline <= now)
+            .map(|(s, _)| *s)
+            .collect();
+        for seq in expired {
+            let (frame, _, retries) = self.unacked.get(&seq).expect("present").clone();
+            net.send(self.out_vc, frame.clone())?;
+            self.stats.segments_tx += 1;
+            self.stats.retransmissions += 1;
+            // Exponential backoff on the retransmission timer.
+            let backoff = self.timeout * (1u64 << retries.min(6));
+            self.unacked.insert(seq, (frame, now + backoff, retries + 1));
+        }
+        Ok(())
+    }
+
+    /// Earliest retransmission deadline (drive your advance loop to it).
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.unacked.values().map(|(_, d, _)| *d).min()
+    }
+
+    /// True when nothing is pending on the send side.
+    pub fn send_idle(&self) -> bool {
+        self.unacked.is_empty() && self.send_buffer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{LinkProfile, ServiceClass};
+    use crate::network::AtmNetwork;
+
+    struct Pair {
+        net: AtmNetwork,
+        a: ReliableChannel,
+        b: ReliableChannel,
+    }
+
+    fn pair_over(profile: LinkProfile, seed: u64) -> Pair {
+        let mut net = AtmNetwork::new(seed);
+        let ha = net.add_host("A");
+        let hb = net.add_host("B");
+        net.connect(ha, hb, profile);
+        let ab = net.open_vc(&[ha, hb], ServiceClass::Ubr, None).unwrap();
+        let ba = net.open_vc(&[hb, ha], ServiceClass::Ubr, None).unwrap();
+        let a = ReliableChannel::new(ab, ba, 16, SimDuration::from_millis(50));
+        let b = ReliableChannel::new(ba, ab, 16, SimDuration::from_millis(50));
+        Pair { net, a, b }
+    }
+
+    /// Pump the pair until quiescent; collect events per endpoint.
+    fn run(p: &mut Pair, deadline: SimTime) -> (Vec<TransportEvent>, Vec<TransportEvent>) {
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        loop {
+            let step_to = p
+                .net
+                .now()
+                .checked_add(SimDuration::from_millis(10))
+                .unwrap()
+                .min(deadline);
+            let deliveries = p.net.advance(step_to);
+            for d in &deliveries {
+                ea.extend(p.a.on_delivery(&mut p.net, d).unwrap());
+                eb.extend(p.b.on_delivery(&mut p.net, d).unwrap());
+            }
+            p.a.on_tick(&mut p.net).unwrap();
+            p.b.on_tick(&mut p.net).unwrap();
+            let done = p.net.idle() && p.a.send_idle() && p.b.send_idle();
+            if done || p.net.now() >= deadline {
+                return (ea, eb);
+            }
+        }
+    }
+
+    #[test]
+    fn message_crosses_clean_link() {
+        let mut p = pair_over(LinkProfile::atm_oc3(), 1);
+        let msg = vec![42u8; 30_000]; // 4 fragments
+        let id = p.a.send_message(&mut p.net, &msg).unwrap();
+        let (ea, eb) = run(&mut p, SimTime::from_secs(10));
+        assert!(eb.iter().any(|e| matches!(e, TransportEvent::Message(m) if m[..] == msg[..])));
+        assert!(ea.contains(&TransportEvent::Sent(id)));
+        assert_eq!(p.a.stats.retransmissions, 0, "clean link needs no ARQ");
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let mut p = pair_over(LinkProfile::atm_oc3(), 1);
+        p.a.send_message(&mut p.net, &[]).unwrap();
+        let (_, eb) = run(&mut p, SimTime::from_secs(1));
+        assert!(eb.iter().any(|e| matches!(e, TransportEvent::Message(m) if m.is_empty())));
+    }
+
+    #[test]
+    fn recovers_from_heavy_cell_loss() {
+        let profile = LinkProfile {
+            loss_rate: 0.002, // per cell → several PDU losses across the run
+            ..LinkProfile::atm_oc3()
+        };
+        let mut p = pair_over(profile, 7);
+        let msg: Vec<u8> = (0..200_000usize).map(|i| (i % 253) as u8).collect();
+        p.a.send_message(&mut p.net, &msg).unwrap();
+        let (_, eb) = run(&mut p, SimTime::from_secs(60));
+        let delivered = eb.iter().find_map(|e| match e {
+            TransportEvent::Message(m) => Some(m.clone()),
+            _ => None,
+        });
+        let delivered = delivered.expect("message must eventually arrive");
+        assert_eq!(&delivered[..], &msg[..], "content intact after ARQ");
+        assert!(p.a.stats.retransmissions > 0, "loss must have forced ARQ");
+    }
+
+    #[test]
+    fn ordered_delivery_of_many_messages() {
+        let mut p = pair_over(
+            LinkProfile {
+                loss_rate: 0.001,
+                ..LinkProfile::atm_oc3()
+            },
+            3,
+        );
+        for i in 0..20u8 {
+            p.a.send_message(&mut p.net, &vec![i; 2_000]).unwrap();
+        }
+        let (_, eb) = run(&mut p, SimTime::from_secs(60));
+        let messages: Vec<Bytes> = eb
+            .into_iter()
+            .filter_map(|e| match e {
+                TransportEvent::Message(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(messages.len(), 20);
+        for (i, m) in messages.iter().enumerate() {
+            assert!(m.iter().all(|&b| b == i as u8), "message {i} in order");
+        }
+    }
+
+    #[test]
+    fn full_duplex() {
+        let mut p = pair_over(LinkProfile::atm_oc3(), 5);
+        p.a.send_message(&mut p.net, b"from A").unwrap();
+        p.b.send_message(&mut p.net, b"from B").unwrap();
+        let (ea, eb) = run(&mut p, SimTime::from_secs(5));
+        assert!(eb.iter().any(|e| matches!(e, TransportEvent::Message(m) if &m[..] == b"from A")));
+        assert!(ea.iter().any(|e| matches!(e, TransportEvent::Message(m) if &m[..] == b"from B")));
+    }
+
+    #[test]
+    fn window_limits_outstanding_segments() {
+        let mut net = AtmNetwork::new(1);
+        let ha = net.add_host("A");
+        let hb = net.add_host("B");
+        net.connect(ha, hb, LinkProfile::modem_28_8k());
+        let ab = net.open_vc(&[ha, hb], ServiceClass::Ubr, None).unwrap();
+        let ba = net.open_vc(&[hb, ha], ServiceClass::Ubr, None).unwrap();
+        let mut a = ReliableChannel::new(ab, ba, 2, SimDuration::from_secs(30));
+        // 10 fragments, window 2: only 2 transmitted initially.
+        a.send_message(&mut net, &vec![0u8; MSS * 10]).unwrap();
+        assert_eq!(a.stats.segments_tx, 2);
+        assert!(!a.send_idle());
+    }
+
+    #[test]
+    fn duplicate_segments_counted_not_redelivered() {
+        // Long ack delay forces sender timeout → duplicate at receiver.
+        let profile = LinkProfile {
+            prop_delay: SimDuration::from_millis(100),
+            ..LinkProfile::atm_oc3()
+        };
+        let mut p = pair_over(profile, 2);
+        // Timeout (50 ms) < RTT (200 ms): every segment retransmits at
+        // least once.
+        p.a.send_message(&mut p.net, b"dup test").unwrap();
+        let (_, eb) = run(&mut p, SimTime::from_secs(10));
+        let delivered = eb
+            .iter()
+            .filter(|e| matches!(e, TransportEvent::Message(_)))
+            .count();
+        assert_eq!(delivered, 1, "exactly one delivery despite duplicates");
+        assert!(p.b.stats.duplicates > 0, "duplicates were seen and dropped");
+    }
+}

@@ -1,0 +1,270 @@
+//! The courseware class library (§4.4.2, Fig 4.6) — templates over the
+//! basic MHEG library "so that courseware authors can easily create
+//! objects by instantiating them directly without any deep understanding
+//! of the MHEG concepts".
+//!
+//! Three courseware object types: **Interactive** (buttons, menus, entry
+//! fields — "input from the users ... as well as the resulted actions"),
+//! **Output** (anything "intended to be presented in some way to the
+//! user"), and **Hyperobject** ("input and output objects plus explicit
+//! links between them").
+
+use crate::imd::MediaHandle;
+use mits_media::{MediaFormat, VideoDims};
+use mits_mheg::action::{ActionEntry, ElementaryAction, TargetRef};
+use mits_mheg::link::Condition;
+use mits_mheg::object::{ContentBody, ContentData};
+use mits_mheg::{ClassLibrary, GenericValue, MhegId};
+use serde::{Deserialize, Serialize};
+
+/// Kinds of interactive courseware objects.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InteractiveKind {
+    /// A push button with a label.
+    Button(String),
+    /// A menu with selectable items.
+    Menu(Vec<String>),
+    /// A free-text entry field.
+    EntryField,
+}
+
+/// Kinds of output courseware objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OutputKind {
+    /// A media object from the content database.
+    Media(MediaHandle),
+    /// Caption text authored inline.
+    Caption(String),
+}
+
+/// A created courseware object: its root MHEG id plus any satellite ids
+/// (menu items, hyperobject links).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoursewareObject {
+    /// The object presented/selected.
+    pub id: MhegId,
+    /// Satellite objects (menu items, internal links).
+    pub parts: Vec<MhegId>,
+}
+
+/// Instantiate an interactive object.
+pub fn interactive(lib: &mut ClassLibrary, kind: &InteractiveKind) -> CoursewareObject {
+    match kind {
+        InteractiveKind::Button(label) => {
+            let id = lib.value_content(&format!("button:{label}"), GenericValue::Int(0));
+            CoursewareObject { id, parts: vec![] }
+        }
+        InteractiveKind::EntryField => {
+            let id = lib.value_content("entry-field", GenericValue::Str(String::new()));
+            CoursewareObject { id, parts: vec![] }
+        }
+        InteractiveKind::Menu(items) => {
+            // A menu is a composite of item buttons; selecting item i sets
+            // the menu's data slot to i.
+            let mut item_ids = Vec::with_capacity(items.len());
+            for item in items {
+                item_ids
+                    .push(lib.value_content(&format!("menu-item:{item}"), GenericValue::Int(0)));
+            }
+            let on_start = item_ids
+                .iter()
+                .map(|i| {
+                    ActionEntry::now(
+                        TargetRef::Model(*i),
+                        vec![ElementaryAction::Run, ElementaryAction::SetInteraction(true)],
+                    )
+                })
+                .collect();
+            let menu = lib.composite("menu", item_ids.clone(), on_start, vec![]);
+            let mut parts = item_ids.clone();
+            for (idx, item) in item_ids.iter().enumerate() {
+                let link = lib.link(
+                    &format!("menu-select-{idx}"),
+                    Condition::selected(TargetRef::Model(*item)),
+                    vec![],
+                    vec![ActionEntry::now(
+                        TargetRef::Model(menu),
+                        vec![ElementaryAction::SetData(GenericValue::Int(idx as i64))],
+                    )],
+                );
+                parts.push(link);
+            }
+            CoursewareObject { id: menu, parts }
+        }
+    }
+}
+
+/// Content body for a media handle at a position — shared by the output
+/// template and the document compilers.
+pub fn media_body(h: &MediaHandle, position: (i32, i32)) -> ContentBody {
+    ContentBody {
+        data: ContentData::Referenced(h.media),
+        format: h.format,
+        original_size: h.dims,
+        original_duration: h.duration,
+        original_volume: 1000,
+        original_position: position,
+    }
+}
+
+/// Content body for inline caption text.
+pub fn caption_body(text: &str, position: (i32, i32)) -> ContentBody {
+    ContentBody {
+        data: ContentData::Inline(bytes::Bytes::from(text.as_bytes().to_vec())),
+        format: MediaFormat::Ascii,
+        original_size: VideoDims::new(text.len() as u32 * 8, 16),
+        original_duration: mits_sim::SimDuration::ZERO,
+        original_volume: 1000,
+        original_position: position,
+    }
+}
+
+/// Instantiate an output object at a screen position.
+pub fn output(lib: &mut ClassLibrary, kind: &OutputKind, position: (i32, i32)) -> CoursewareObject {
+    let id = match kind {
+        OutputKind::Media(h) => lib.content(&h.name, media_body(h, position)),
+        OutputKind::Caption(text) => lib.content("caption", caption_body(text, position)),
+    };
+    CoursewareObject { id, parts: vec![] }
+}
+
+/// A hyperobject: outputs + interactives + explicit links among them
+/// ("clicking `source` runs `target`").
+pub fn hyperobject(
+    lib: &mut ClassLibrary,
+    name: &str,
+    outputs: &[MhegId],
+    interactives: &[MhegId],
+    click_links: &[(MhegId, MhegId)],
+) -> CoursewareObject {
+    let mut on_start: Vec<ActionEntry> = outputs
+        .iter()
+        .map(|o| ActionEntry::now(TargetRef::Model(*o), vec![ElementaryAction::Run]))
+        .collect();
+    on_start.extend(interactives.iter().map(|i| {
+        ActionEntry::now(
+            TargetRef::Model(*i),
+            vec![ElementaryAction::Run, ElementaryAction::SetInteraction(true)],
+        )
+    }));
+    let mut components: Vec<MhegId> = outputs.to_vec();
+    components.extend_from_slice(interactives);
+    let id = lib.composite(name, components, on_start, vec![]);
+    let mut parts = Vec::new();
+    for (source, target) in click_links {
+        parts.push(lib.link(
+            &format!("hyper-{source}-{target}"),
+            Condition::selected(TargetRef::Model(*source)),
+            vec![],
+            vec![ActionEntry::now(TargetRef::Model(*target), vec![ElementaryAction::Run])],
+        ));
+    }
+    CoursewareObject { id, parts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mits_mheg::{ClassKind, MhegEngine, PresentationEvent, RtState};
+    use mits_sim::SimDuration;
+
+    fn handle() -> MediaHandle {
+        MediaHandle {
+            media: mits_media::MediaId(3),
+            format: MediaFormat::Mpeg,
+            duration: SimDuration::from_secs(4),
+            dims: VideoDims::new(320, 240),
+            name: "clip.mpg".into(),
+        }
+    }
+
+    #[test]
+    fn button_template() {
+        let mut lib = ClassLibrary::new(1);
+        let b = interactive(&mut lib, &InteractiveKind::Button("Stop".into()));
+        let obj = lib.get(b.id).unwrap();
+        assert_eq!(obj.class(), ClassKind::Content);
+        assert!(obj.info.name.contains("Stop"));
+    }
+
+    #[test]
+    fn output_media_template_inherits_handle() {
+        let mut lib = ClassLibrary::new(1);
+        let o = output(&mut lib, &OutputKind::Media(handle()), (10, 20));
+        match &lib.get(o.id).unwrap().body {
+            mits_mheg::ObjectBody::Content(c) => {
+                assert_eq!(c.original_duration, SimDuration::from_secs(4));
+                assert_eq!(c.original_position, (10, 20));
+                assert_eq!(c.format, MediaFormat::Mpeg);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn caption_is_inline_ascii() {
+        let mut lib = ClassLibrary::new(1);
+        let o = output(&mut lib, &OutputKind::Caption("Hello".into()), (0, 0));
+        match &lib.get(o.id).unwrap().body {
+            mits_mheg::ObjectBody::Content(c) => {
+                assert_eq!(c.format, MediaFormat::Ascii);
+                assert!(matches!(&c.data, ContentData::Inline(b) if &b[..] == b"Hello"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn menu_selection_sets_data() {
+        let mut lib = ClassLibrary::new(1);
+        let menu = interactive(
+            &mut lib,
+            &InteractiveKind::Menu(vec!["Classroom".into(), "Library".into(), "Exit".into()]),
+        );
+        let items: Vec<MhegId> = menu.parts.iter().take(3).copied().collect();
+        let mut eng = MhegEngine::new();
+        for o in lib.into_objects() {
+            eng.ingest(o);
+        }
+        let menu_rt = eng.new_rt(menu.id).unwrap();
+        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(menu_rt), vec![ElementaryAction::Run]))
+            .unwrap();
+        // Click "Library" (item index 1).
+        let item_rt = eng.rt_of_model(items[1]).expect("menu item instantiated");
+        assert!(eng.user_select(item_rt).unwrap());
+        assert_eq!(eng.rt(menu_rt).unwrap().attrs.data, GenericValue::Int(1));
+    }
+
+    #[test]
+    fn hyperobject_click_runs_target() {
+        let mut lib = ClassLibrary::new(1);
+        let video = output(&mut lib, &OutputKind::Media(handle()), (0, 0));
+        let caption = output(&mut lib, &OutputKind::Caption("ATM basics".into()), (0, 200));
+        let btn = interactive(&mut lib, &InteractiveKind::Button("play".into()));
+        let hyper = hyperobject(
+            &mut lib,
+            "lesson-card",
+            &[caption.id],
+            &[btn.id],
+            &[(btn.id, video.id)],
+        );
+        let mut eng = MhegEngine::new();
+        for o in lib.into_objects() {
+            eng.ingest(o);
+        }
+        let rt = eng.new_rt(hyper.id).unwrap();
+        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Run]))
+            .unwrap();
+        let events = eng.take_events();
+        assert!(
+            events.iter().any(|e| matches!(e, PresentationEvent::Started { .. })),
+            "outputs started with the hyperobject"
+        );
+        // Click the button: the video (not a component — fetched on demand)
+        // starts running.
+        let btn_rt = eng.rt_of_model(btn.id).unwrap();
+        assert!(eng.user_select(btn_rt).unwrap());
+        let video_rt = eng.rt_of_model(video.id).expect("video launched by click");
+        assert_eq!(eng.rt(video_rt).unwrap().state, RtState::Running);
+    }
+}

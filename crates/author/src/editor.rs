@@ -1,0 +1,484 @@
+//! Courseware editor facilities (§4.5): validation the editor runs before
+//! publishing, and the four authoring views (§4.5.3) as queryable
+//! structures — a headless stand-in for the GUI the prototype sketched.
+
+use crate::hyperdoc::{HyperDocument, NavCondition};
+use crate::imd::{Behavior, BehaviorAction, BehaviorCondition, ImDocument, Scene};
+use mits_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A problem the validator found. `Error`s block publishing; `Warning`s
+/// don't.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationIssue {
+    /// A timeline/behavior/nav reference names a missing element.
+    DanglingReference {
+        /// Where (scene/page title).
+        unit: String,
+        /// The missing key.
+        key: String,
+    },
+    /// Two elements share a key within one unit.
+    DuplicateKey {
+        /// Where.
+        unit: String,
+        /// The duplicated key.
+        key: String,
+    },
+    /// A behavior has no conditions.
+    EmptyConditionSet {
+        /// Where.
+        unit: String,
+    },
+    /// A `GotoScene`/nav edge points outside the document.
+    BadJumpTarget {
+        /// Where.
+        unit: String,
+        /// The out-of-range index.
+        target: usize,
+    },
+    /// A non-final scene can never end (no timer, no scene transition) —
+    /// students would be stuck.
+    DeadEndScene {
+        /// Where.
+        unit: String,
+    },
+    /// A page is unreachable from the entry page (warning).
+    UnreachablePage {
+        /// Page index.
+        page: usize,
+    },
+    /// Two timeline entries overlap at identical position and channel
+    /// (warning — the layout view would show them stacked).
+    LayoutCollision {
+        /// Where.
+        unit: String,
+        /// The two element keys.
+        keys: (String, String),
+    },
+}
+
+impl ValidationIssue {
+    /// Does this issue block publishing?
+    pub fn is_error(&self) -> bool {
+        !matches!(
+            self,
+            ValidationIssue::UnreachablePage { .. } | ValidationIssue::LayoutCollision { .. }
+        )
+    }
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::DanglingReference { unit, key } => {
+                write!(f, "{unit}: reference to missing element '{key}'")
+            }
+            ValidationIssue::DuplicateKey { unit, key } => {
+                write!(f, "{unit}: duplicate element key '{key}'")
+            }
+            ValidationIssue::EmptyConditionSet { unit } => {
+                write!(f, "{unit}: behavior with no conditions")
+            }
+            ValidationIssue::BadJumpTarget { unit, target } => {
+                write!(f, "{unit}: jump to nonexistent unit {target}")
+            }
+            ValidationIssue::DeadEndScene { unit } => {
+                write!(f, "{unit}: scene can never end or advance")
+            }
+            ValidationIssue::UnreachablePage { page } => {
+                write!(f, "page {page} unreachable from the entry page")
+            }
+            ValidationIssue::LayoutCollision { unit, keys } => {
+                write!(f, "{unit}: '{}' and '{}' occupy the same spot", keys.0, keys.1)
+            }
+        }
+    }
+}
+
+fn behavior_keys(b: &Behavior) -> Vec<&str> {
+    let mut keys = Vec::new();
+    for c in &b.conditions {
+        match c {
+            BehaviorCondition::Clicked(k)
+            | BehaviorCondition::Finished(k)
+            | BehaviorCondition::DataEquals(k, _) => keys.push(k.as_str()),
+        }
+    }
+    for a in &b.actions {
+        match a {
+            BehaviorAction::Start(k)
+            | BehaviorAction::Stop(k)
+            | BehaviorAction::Show(k)
+            | BehaviorAction::Hide(k)
+            | BehaviorAction::SetData(k, _) => keys.push(k.as_str()),
+            BehaviorAction::GotoScene(_) | BehaviorAction::NextScene => {}
+        }
+    }
+    keys
+}
+
+fn scene_can_advance(scene: &Scene) -> bool {
+    scene.scheduled_length().is_some()
+        || scene.behaviors.iter().any(|b| {
+            b.actions
+                .iter()
+                .any(|a| matches!(a, BehaviorAction::GotoScene(_) | BehaviorAction::NextScene))
+        })
+}
+
+/// Validate an interactive multimedia document.
+pub fn validate_imd(doc: &ImDocument) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let scene_count = doc.scene_count();
+    for (si, scene) in doc.scenes().enumerate() {
+        let unit = scene.title.clone();
+        // Duplicate keys.
+        let mut seen = HashSet::new();
+        for el in &scene.elements {
+            if !seen.insert(el.key.as_str()) {
+                issues.push(ValidationIssue::DuplicateKey {
+                    unit: unit.clone(),
+                    key: el.key.clone(),
+                });
+            }
+        }
+        // Timeline references.
+        for entry in &scene.timeline {
+            if scene.find(&entry.element).is_none() {
+                issues.push(ValidationIssue::DanglingReference {
+                    unit: unit.clone(),
+                    key: entry.element.clone(),
+                });
+            }
+        }
+        // Behavior references + condition sets + jump targets.
+        for b in &scene.behaviors {
+            if b.conditions.is_empty() {
+                issues.push(ValidationIssue::EmptyConditionSet { unit: unit.clone() });
+            }
+            for k in behavior_keys(b) {
+                if scene.find(k).is_none() {
+                    issues.push(ValidationIssue::DanglingReference {
+                        unit: unit.clone(),
+                        key: k.to_string(),
+                    });
+                }
+            }
+            for a in &b.actions {
+                if let BehaviorAction::GotoScene(t) = a {
+                    if *t >= scene_count {
+                        issues.push(ValidationIssue::BadJumpTarget {
+                            unit: unit.clone(),
+                            target: *t,
+                        });
+                    }
+                }
+            }
+        }
+        // Dead ends (last scene may legitimately rest).
+        if si + 1 < scene_count && !scene_can_advance(scene) {
+            issues.push(ValidationIssue::DeadEndScene { unit: unit.clone() });
+        }
+        // Layout collisions — only among *visible* elements (audio takes
+        // no screen space).
+        let visible = |key: &str| {
+            scene.find(key).is_none_or(|e| match &e.kind {
+                crate::imd::ElementKind::Media(h) => h.format.kind().is_visible(),
+                _ => true,
+            })
+        };
+        for (i, a) in scene.timeline.iter().enumerate() {
+            for b in scene.timeline.iter().skip(i + 1) {
+                if a.position == b.position
+                    && a.channel == b.channel
+                    && a.element != b.element
+                    && visible(&a.element)
+                    && visible(&b.element)
+                    && overlap(a.start, a.duration, b.start, b.duration)
+                {
+                    issues.push(ValidationIssue::LayoutCollision {
+                        unit: unit.clone(),
+                        keys: (a.element.clone(), b.element.clone()),
+                    });
+                }
+            }
+        }
+    }
+    issues
+}
+
+fn overlap(
+    s1: SimDuration,
+    d1: Option<SimDuration>,
+    s2: SimDuration,
+    d2: Option<SimDuration>,
+) -> bool {
+    let e1 = d1.map(|d| s1 + d);
+    let e2 = d2.map(|d| s2 + d);
+    let starts_before_end = |s: SimDuration, e: Option<SimDuration>| match e {
+        Some(end) => s < end,
+        None => true, // unbounded display overlaps anything after it
+    };
+    starts_before_end(s1, e2) && starts_before_end(s2, e1)
+}
+
+/// Validate a hypermedia document.
+pub fn validate_hyperdoc(doc: &HyperDocument) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    for (pi, page) in doc.pages.iter().enumerate() {
+        let mut seen = HashSet::new();
+        for el in &page.elements {
+            if !seen.insert(el.key.as_str()) {
+                issues.push(ValidationIssue::DuplicateKey {
+                    unit: page.title.clone(),
+                    key: el.key.clone(),
+                });
+            }
+        }
+        let _ = pi;
+    }
+    for nav in &doc.nav {
+        if nav.from >= doc.pages.len() || nav.to >= doc.pages.len() {
+            issues.push(ValidationIssue::BadJumpTarget {
+                unit: format!("nav from page {}", nav.from),
+                target: nav.to.max(nav.from),
+            });
+            continue;
+        }
+        let NavCondition::Clicked { element } = &nav.condition;
+        let page = &doc.pages[nav.from];
+        match page.find(element) {
+            None => issues.push(ValidationIssue::DanglingReference {
+                unit: page.title.clone(),
+                key: element.clone(),
+            }),
+            Some(el) if !el.kind.clickable() => issues.push(ValidationIssue::DanglingReference {
+                unit: page.title.clone(),
+                key: format!("{element} (not clickable)"),
+            }),
+            Some(_) => {}
+        }
+    }
+    for p in doc.unreachable_pages() {
+        issues.push(ValidationIssue::UnreachablePage { page: p });
+    }
+    issues
+}
+
+/// The time-line view (§4.5.3): rows of (element, start, end) per scene,
+/// sorted by start — what the editor renders graphically.
+pub fn timeline_view(scene: &Scene) -> Vec<(String, SimDuration, Option<SimDuration>)> {
+    let mut rows: Vec<(String, SimDuration, Option<SimDuration>)> = scene
+        .timeline
+        .iter()
+        .map(|t| {
+            let end = t
+                .duration
+                .or_else(|| {
+                    scene.find(&t.element).and_then(|e| match &e.kind {
+                        crate::imd::ElementKind::Media(h) if !h.duration.is_zero() => {
+                            Some(h.duration)
+                        }
+                        _ => None,
+                    })
+                })
+                .map(|d| t.start + d);
+            (t.element.clone(), t.start, end)
+        })
+        .collect();
+    rows.sort_by_key(|(_, s, _)| *s);
+    rows
+}
+
+/// The behavior view (§4.5.3): a two-field table of condition set and
+/// action set, rendered as text.
+pub fn behavior_view(scene: &Scene) -> Vec<(String, String)> {
+    scene
+        .behaviors
+        .iter()
+        .map(|b| {
+            let conds: Vec<String> = b
+                .conditions
+                .iter()
+                .map(|c| match c {
+                    BehaviorCondition::Clicked(k) => format!("clicked({k})"),
+                    BehaviorCondition::Finished(k) => format!("finished({k})"),
+                    BehaviorCondition::DataEquals(k, v) => format!("data({k}) == {v}"),
+                })
+                .collect();
+            let acts: Vec<String> = b
+                .actions
+                .iter()
+                .map(|a| match a {
+                    BehaviorAction::Start(k) => format!("start({k})"),
+                    BehaviorAction::Stop(k) => format!("stop({k})"),
+                    BehaviorAction::Show(k) => format!("show({k})"),
+                    BehaviorAction::Hide(k) => format!("hide({k})"),
+                    BehaviorAction::SetData(k, v) => format!("set({k}, {v})"),
+                    BehaviorAction::GotoScene(i) => format!("goto(scene {i})"),
+                    BehaviorAction::NextScene => "next-scene".to_string(),
+                })
+                .collect();
+            (conds.join(" && "), acts.join("; "))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imd::{ElementKind, Section, Subsection, TimelineEntry};
+
+    fn doc_with(scene: Scene, more: Option<Scene>) -> ImDocument {
+        let mut scenes = vec![scene];
+        scenes.extend(more);
+        let mut doc = ImDocument::new("d");
+        doc.sections.push(Section {
+            title: "s".into(),
+            subsections: vec![Subsection {
+                title: "ss".into(),
+                scenes,
+            }],
+        });
+        doc
+    }
+
+    #[test]
+    fn clean_document_validates() {
+        let scene = Scene::new("ok")
+            .element("t", ElementKind::Caption("x".into()))
+            .entry(TimelineEntry::at_start("t").for_duration(SimDuration::from_secs(1)));
+        assert!(validate_imd(&doc_with(scene, None)).is_empty());
+    }
+
+    #[test]
+    fn dangling_timeline_reference_flagged() {
+        let scene = Scene::new("bad").entry(TimelineEntry::at_start("ghost"));
+        let issues = validate_imd(&doc_with(scene, None));
+        assert!(issues.iter().any(|i| matches!(i,
+            ValidationIssue::DanglingReference { key, .. } if key == "ghost")));
+        assert!(issues[0].is_error());
+    }
+
+    #[test]
+    fn duplicate_keys_flagged() {
+        let scene = Scene::new("dup")
+            .element("x", ElementKind::Caption("a".into()))
+            .element("x", ElementKind::Caption("b".into()));
+        let issues = validate_imd(&doc_with(scene, None));
+        assert!(issues.iter().any(|i| matches!(i, ValidationIssue::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn dead_end_scene_flagged_only_when_not_last() {
+        let stuck = Scene::new("stuck").element("b", ElementKind::Button("hi".into()));
+        // As the only (last) scene: fine.
+        assert!(validate_imd(&doc_with(stuck.clone(), None)).is_empty());
+        // Followed by another scene: dead end.
+        let issues = validate_imd(&doc_with(stuck, Some(Scene::new("after"))));
+        assert!(issues.iter().any(|i| matches!(i, ValidationIssue::DeadEndScene { .. })));
+    }
+
+    #[test]
+    fn bad_jump_flagged() {
+        let scene = Scene::new("jumpy")
+            .element("b", ElementKind::Button("go".into()))
+            .behavior(crate::imd::Behavior::when(
+                crate::imd::BehaviorCondition::Clicked("b".into()),
+                vec![crate::imd::BehaviorAction::GotoScene(99)],
+            ));
+        let issues = validate_imd(&doc_with(scene, None));
+        assert!(issues.iter().any(|i| matches!(i,
+            ValidationIssue::BadJumpTarget { target: 99, .. })));
+    }
+
+    #[test]
+    fn layout_collision_is_warning() {
+        let scene = Scene::new("overlap")
+            .element("a", ElementKind::Caption("a".into()))
+            .element("b", ElementKind::Caption("b".into()))
+            .entry(TimelineEntry::at_start("a").at(5, 5))
+            .entry(TimelineEntry::at_start("b").at(5, 5));
+        let issues = validate_imd(&doc_with(scene, None));
+        let collision = issues
+            .iter()
+            .find(|i| matches!(i, ValidationIssue::LayoutCollision { .. }))
+            .expect("collision found");
+        assert!(!collision.is_error());
+    }
+
+    #[test]
+    fn no_collision_when_time_disjoint() {
+        let scene = Scene::new("seq")
+            .element("a", ElementKind::Caption("a".into()))
+            .element("b", ElementKind::Caption("b".into()))
+            .entry(TimelineEntry::at_start("a").at(5, 5).for_duration(SimDuration::from_secs(1)))
+            .entry(
+                TimelineEntry::at_start("b")
+                    .at(5, 5)
+                    .starting(SimDuration::from_secs(2))
+                    .for_duration(SimDuration::from_secs(1)),
+            );
+        assert!(validate_imd(&doc_with(scene, None)).is_empty());
+    }
+
+    #[test]
+    fn hyperdoc_validation() {
+        let doc = crate::hyperdoc::HyperDocument::figure_4_3_example();
+        assert!(validate_hyperdoc(&doc).is_empty());
+        let mut bad = doc.clone();
+        bad.link_click(0, "no-such-element", 1);
+        assert!(validate_hyperdoc(&bad)
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DanglingReference { .. })));
+        let mut far = doc;
+        far.link_click(0, "next_section", 99);
+        assert!(validate_hyperdoc(&far)
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::BadJumpTarget { .. })));
+    }
+
+    #[test]
+    fn nav_link_from_text_not_clickable() {
+        let mut doc = crate::hyperdoc::HyperDocument::new("d");
+        let a = doc.add_page(crate::hyperdoc::Page::new("a").text("body", "hello", 0));
+        let b = doc.add_page(crate::hyperdoc::Page::new("b"));
+        doc.link_click(a, "body", b);
+        let issues = validate_hyperdoc(&doc);
+        assert!(issues.iter().any(|i| matches!(i,
+            ValidationIssue::DanglingReference { key, .. } if key.contains("not clickable"))));
+    }
+
+    #[test]
+    fn views_render() {
+        use crate::imd::MediaHandle;
+        let scene = Scene::new("v")
+            .element(
+                "vid",
+                ElementKind::Media(MediaHandle {
+                    media: mits_media::MediaId(1),
+                    format: mits_media::MediaFormat::Mpeg,
+                    duration: SimDuration::from_secs(3),
+                    dims: mits_media::VideoDims::new(1, 1),
+                    name: "v.mpg".into(),
+                }),
+            )
+            .element("stop", ElementKind::Button("Stop".into()))
+            .entry(TimelineEntry::at_start("vid"))
+            .entry(TimelineEntry::at_start("stop").starting(SimDuration::from_secs(1)))
+            .behavior(crate::imd::Behavior::when(
+                crate::imd::BehaviorCondition::Clicked("stop".into()),
+                vec![crate::imd::BehaviorAction::Stop("vid".into())],
+            ));
+        let tl = timeline_view(&scene);
+        assert_eq!(tl[0].0, "vid");
+        assert_eq!(tl[0].2, Some(SimDuration::from_secs(3)));
+        assert_eq!(tl[1].0, "stop");
+        let bv = behavior_view(&scene);
+        assert_eq!(bv[0].0, "clicked(stop)");
+        assert_eq!(bv[0].1, "stop(vid)");
+    }
+}

@@ -1,0 +1,260 @@
+//! The hypermedia document model (§4.3.2, Fig 4.3).
+//!
+//! "A hypermedia document is modeled with a logical structure, a layout
+//! structure and a navigation structure." Pages hold media elements
+//! (including *choice* as "a new media object"); the navigation structure
+//! links logical nodes, fired by clickable conditions — the paper's
+//! example navigates "Next Section" and branches through "Test Your
+//! Knowledge" questions by answer.
+
+use crate::imd::MediaHandle;
+use serde::{Deserialize, Serialize};
+
+/// One element laid out on a page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageElement {
+    /// Page-unique key.
+    pub key: String,
+    /// What it is.
+    pub kind: PageElementKind,
+    /// Layout position.
+    pub position: (i32, i32),
+}
+
+/// Kinds of page element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PageElementKind {
+    /// Body text authored inline.
+    Text(String),
+    /// A media object from the content database.
+    Media(MediaHandle),
+    /// A clickable choice ("choice is added as a new media object").
+    Choice(String),
+    /// A clickable word within the page text — "Word is the smallest
+    /// component in the logical structure which is usually specified as
+    /// the source of a link."
+    Word(String),
+}
+
+impl PageElementKind {
+    /// Is this element clickable (a valid link source)?
+    pub fn clickable(&self) -> bool {
+        matches!(self, PageElementKind::Choice(_) | PageElementKind::Word(_))
+    }
+}
+
+/// A page: the logical unit of a hypermedia document.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Page {
+    /// Page title.
+    pub title: String,
+    /// Elements in layout order.
+    pub elements: Vec<PageElement>,
+}
+
+impl Page {
+    /// An empty page.
+    pub fn new(title: &str) -> Self {
+        Page {
+            title: title.to_string(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Add an element at a position.
+    pub fn element(mut self, key: &str, kind: PageElementKind, position: (i32, i32)) -> Self {
+        self.elements.push(PageElement {
+            key: key.to_string(),
+            kind,
+            position,
+        });
+        self
+    }
+
+    /// Shorthand: body text at (0, y).
+    pub fn text(self, key: &str, body: &str, y: i32) -> Self {
+        self.element(key, PageElementKind::Text(body.to_string()), (0, y))
+    }
+
+    /// Shorthand: a choice button.
+    pub fn choice(self, key: &str, label: &str, position: (i32, i32)) -> Self {
+        self.element(key, PageElementKind::Choice(label.to_string()), position)
+    }
+
+    /// Find an element by key.
+    pub fn find(&self, key: &str) -> Option<&PageElement> {
+        self.elements.iter().find(|e| e.key == key)
+    }
+}
+
+/// What fires a navigation link: "conditions are usually buttons or
+/// special clickable text in layout of the document".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NavCondition {
+    /// The element was clicked.
+    Clicked {
+        /// Element key on the source page.
+        element: String,
+    },
+}
+
+/// One edge of the navigation structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NavLink {
+    /// Source page index.
+    pub from: usize,
+    /// Firing condition.
+    pub condition: NavCondition,
+    /// Destination page index.
+    pub to: usize,
+}
+
+/// A complete hypermedia document.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HyperDocument {
+    /// Document title.
+    pub title: String,
+    /// Keywords for the database index.
+    pub keywords: Vec<String>,
+    /// Pages (index 0 is the entry page).
+    pub pages: Vec<Page>,
+    /// The navigation structure.
+    pub nav: Vec<NavLink>,
+}
+
+impl HyperDocument {
+    /// A document with a title.
+    pub fn new(title: &str) -> Self {
+        HyperDocument {
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a page; returns its index.
+    pub fn add_page(&mut self, page: Page) -> usize {
+        self.pages.push(page);
+        self.pages.len() - 1
+    }
+
+    /// Link: clicking `element` on page `from` navigates to page `to`.
+    pub fn link_click(&mut self, from: usize, element: &str, to: usize) {
+        self.nav.push(NavLink {
+            from,
+            condition: NavCondition::Clicked {
+                element: element.to_string(),
+            },
+            to,
+        });
+    }
+
+    /// Outgoing links of a page (the "subset view" the navigation view
+    /// shows, §4.5.3).
+    pub fn links_from(&self, page: usize) -> Vec<&NavLink> {
+        self.nav.iter().filter(|l| l.from == page).collect()
+    }
+
+    /// Pages unreachable from the entry page — an authoring smell the
+    /// editor flags.
+    pub fn unreachable_pages(&self) -> Vec<usize> {
+        if self.pages.is_empty() {
+            return Vec::new();
+        }
+        let mut reached = vec![false; self.pages.len()];
+        let mut stack = vec![0usize];
+        while let Some(p) = stack.pop() {
+            if reached[p] {
+                continue;
+            }
+            reached[p] = true;
+            for l in self.links_from(p) {
+                if l.to < self.pages.len() {
+                    stack.push(l.to);
+                }
+            }
+        }
+        (0..self.pages.len()).filter(|i| !reached[*i]).collect()
+    }
+
+    /// Build the paper's Fig 4.3b fragment: a section page with "Next
+    /// Section" and "Test Your Knowledge", a question page whose answers
+    /// branch to different nodes. Used by tests, examples and the F4.3
+    /// table.
+    pub fn figure_4_3_example() -> HyperDocument {
+        let mut doc = HyperDocument::new("Fig 4.3 navigation example");
+        let current = doc.add_page(
+            Page::new("Current Section")
+                .text("body", "This section explains ATM cell switching.", 10)
+                .choice("next_section", "Next Section", (0, 100))
+                .choice("test", "Test Your Knowledge", (150, 100)),
+        );
+        let next = doc.add_page(Page::new("Next Section").text(
+            "body",
+            "Virtual circuits and signalling.",
+            10,
+        ));
+        let question = doc.add_page(
+            Page::new("Question 1")
+                .text("q", "How large is an ATM cell?", 10)
+                .choice("ans_48", "48 bytes", (0, 60))
+                .choice("ans_53", "53 bytes", (0, 90)),
+        );
+        let wrong = doc.add_page(
+            Page::new("Review")
+                .text("r", "Not quite: 48 is the payload; the cell is 53.", 10)
+                .choice("back", "Try again", (0, 60)),
+        );
+        let right = doc.add_page(
+            Page::new("Correct")
+                .text("c", "Right: 53 bytes, 5 of header.", 10)
+                .choice("continue", "Continue", (0, 60)),
+        );
+        doc.link_click(current, "next_section", next);
+        doc.link_click(current, "test", question);
+        doc.link_click(question, "ans_48", wrong);
+        doc.link_click(question, "ans_53", right);
+        doc.link_click(wrong, "back", question);
+        doc.link_click(right, "continue", next);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_structure_matches_figure() {
+        let doc = HyperDocument::figure_4_3_example();
+        assert_eq!(doc.pages.len(), 5);
+        assert_eq!(doc.nav.len(), 6);
+        let from_current = doc.links_from(0);
+        assert_eq!(from_current.len(), 2, "Next Section + Test Your Knowledge");
+        assert!(doc.unreachable_pages().is_empty(), "all pages reachable");
+    }
+
+    #[test]
+    fn clickability() {
+        assert!(PageElementKind::Choice("x".into()).clickable());
+        assert!(PageElementKind::Word("atm".into()).clickable());
+        assert!(!PageElementKind::Text("body".into()).clickable());
+    }
+
+    #[test]
+    fn unreachable_detection() {
+        let mut doc = HyperDocument::new("d");
+        let a = doc.add_page(Page::new("a").choice("go", "Go", (0, 0)));
+        let b = doc.add_page(Page::new("b"));
+        let orphan = doc.add_page(Page::new("orphan"));
+        doc.link_click(a, "go", b);
+        assert_eq!(doc.unreachable_pages(), vec![orphan]);
+    }
+
+    #[test]
+    fn page_find() {
+        let p = Page::new("p").choice("c1", "Click", (5, 5));
+        assert!(p.find("c1").is_some());
+        assert_eq!(p.find("c1").unwrap().position, (5, 5));
+        assert!(p.find("zz").is_none());
+    }
+}

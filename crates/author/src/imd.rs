@@ -1,0 +1,395 @@
+//! The interactive multimedia document model (§4.3.3, Fig 4.4).
+//!
+//! A document divides into sections → subsections → **scenes** — "the
+//! grouping of a certain number of objects presented in the same space
+//! for a certain period of time". Each scene carries:
+//!
+//! * a set of elements (media, text, buttons),
+//! * a **time-line structure**: when each element starts and (optionally)
+//!   how long it shows — interruptible by user choices, as in the paper's
+//!   `choice1` example where clicking shows `image1` before its scheduled
+//!   time `t2`;
+//! * a **behavior structure**: condition sets → action sets ("when user
+//!   has clicked a stop button, audio1, text1 and image1 stop"; "when
+//!   text1 stops being displayed, image1 is shown").
+
+use mits_media::{MediaFormat, MediaObject, VideoDims};
+use mits_mheg::GenericValue;
+use mits_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A lightweight reference to a produced media object — what the author
+/// drags out of the content database into a scene.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediaHandle {
+    /// Content-store id.
+    pub media: mits_media::MediaId,
+    /// Coding method.
+    pub format: MediaFormat,
+    /// Intrinsic duration.
+    pub duration: SimDuration,
+    /// Native dimensions.
+    pub dims: VideoDims,
+    /// Display name.
+    pub name: String,
+}
+
+impl From<&MediaObject> for MediaHandle {
+    fn from(m: &MediaObject) -> Self {
+        MediaHandle {
+            media: m.id,
+            format: m.format,
+            duration: m.duration,
+            dims: m.dims,
+            name: m.name.clone(),
+        }
+    }
+}
+
+/// What a scene element is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ElementKind {
+    /// A produced media object (video, audio, image, text document).
+    Media(MediaHandle),
+    /// Inline caption text authored directly in the editor.
+    Caption(String),
+    /// An interactive button with a label ("stop", "show caption",
+    /// "enter hall").
+    Button(String),
+    /// A free-text entry field (quiz answers).
+    EntryField,
+}
+
+/// One element of a scene, addressed by a scene-unique key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneElement {
+    /// Scene-unique key ("video1", "choice1", "text1").
+    pub key: String,
+    /// What it is.
+    pub kind: ElementKind,
+}
+
+/// A time-line entry: element `key` starts at `start`; `duration`
+/// bounds static elements (time-based media end on their own).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Element key.
+    pub element: String,
+    /// Start offset from scene start.
+    pub start: SimDuration,
+    /// Display duration for static elements (None = until scene ends or
+    /// a behavior removes it).
+    pub duration: Option<SimDuration>,
+    /// Layout: screen position.
+    pub position: (i32, i32),
+    /// Layout: display size (0,0 = natural size).
+    pub size: (u32, u32),
+    /// Presentation channel (the logical space of §4.3.3's layout
+    /// structure; the engine maps channels to physical space).
+    pub channel: u8,
+}
+
+impl TimelineEntry {
+    /// Entry at scene start with natural size on channel 0.
+    pub fn at_start(element: &str) -> Self {
+        TimelineEntry {
+            element: element.to_string(),
+            start: SimDuration::ZERO,
+            duration: None,
+            position: (0, 0),
+            size: (0, 0),
+            channel: 0,
+        }
+    }
+
+    /// Builder: start offset.
+    pub fn starting(mut self, at: SimDuration) -> Self {
+        self.start = at;
+        self
+    }
+
+    /// Builder: bounded display duration.
+    pub fn for_duration(mut self, d: SimDuration) -> Self {
+        self.duration = Some(d);
+        self
+    }
+
+    /// Builder: position.
+    pub fn at(mut self, x: i32, y: i32) -> Self {
+        self.position = (x, y);
+        self
+    }
+}
+
+/// A condition in a behavior's condition set (§4.3.3: "a condition can be
+/// a user input or a status change of a media object"; trigger +
+/// additional conditions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BehaviorCondition {
+    /// The user clicked the element.
+    Clicked(String),
+    /// The element finished its presentation.
+    Finished(String),
+    /// The element's data slot equals a value (entry fields, counters).
+    DataEquals(String, GenericValue),
+}
+
+/// An action in a behavior's action set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BehaviorAction {
+    /// Start presenting an element.
+    Start(String),
+    /// Stop presenting an element.
+    Stop(String),
+    /// Make an element visible.
+    Show(String),
+    /// Hide an element.
+    Hide(String),
+    /// Store a value into an element's data slot.
+    SetData(String, i64),
+    /// Leave this scene and start scene `index` (document-ordered).
+    GotoScene(usize),
+    /// Advance to the next scene in document order.
+    NextScene,
+}
+
+/// One behavior: the first condition is the trigger; the rest are
+/// additional conditions tested at trigger time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Behavior {
+    /// Trigger + additional conditions (non-empty).
+    pub conditions: Vec<BehaviorCondition>,
+    /// Actions applied when the conditions hold.
+    pub actions: Vec<BehaviorAction>,
+}
+
+impl Behavior {
+    /// `when <condition> do <actions>`.
+    pub fn when(condition: BehaviorCondition, actions: Vec<BehaviorAction>) -> Self {
+        Behavior {
+            conditions: vec![condition],
+            actions,
+        }
+    }
+
+    /// Builder: add an additional condition.
+    pub fn and(mut self, condition: BehaviorCondition) -> Self {
+        self.conditions.push(condition);
+        self
+    }
+}
+
+/// A scene (Fig 4.4a leaf).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Scene {
+    /// Scene title.
+    pub title: String,
+    /// Elements presented in this scene.
+    pub elements: Vec<SceneElement>,
+    /// The time-line structure.
+    pub timeline: Vec<TimelineEntry>,
+    /// The behavior structure.
+    pub behaviors: Vec<Behavior>,
+}
+
+impl Scene {
+    /// An empty scene.
+    pub fn new(title: &str) -> Self {
+        Scene {
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Add an element.
+    pub fn element(mut self, key: &str, kind: ElementKind) -> Self {
+        self.elements.push(SceneElement {
+            key: key.to_string(),
+            kind,
+        });
+        self
+    }
+
+    /// Add a timeline entry.
+    pub fn entry(mut self, entry: TimelineEntry) -> Self {
+        self.timeline.push(entry);
+        self
+    }
+
+    /// Add a behavior.
+    pub fn behavior(mut self, b: Behavior) -> Self {
+        self.behaviors.push(b);
+        self
+    }
+
+    /// Find an element by key.
+    pub fn find(&self, key: &str) -> Option<&SceneElement> {
+        self.elements.iter().find(|e| e.key == key)
+    }
+
+    /// Scene length implied by the timeline: the latest scheduled end of
+    /// any entry with a known end (time-based media use their intrinsic
+    /// durations). `None` when nothing bounds the scene (it waits for
+    /// the user).
+    pub fn scheduled_length(&self) -> Option<SimDuration> {
+        let mut max_end: Option<SimDuration> = None;
+        for entry in &self.timeline {
+            let d = match entry.duration {
+                Some(d) => Some(d),
+                None => self.find(&entry.element).and_then(|e| match &e.kind {
+                    ElementKind::Media(h) if !h.duration.is_zero() => Some(h.duration),
+                    _ => None,
+                }),
+            };
+            if let Some(d) = d {
+                let end = entry.start + d;
+                max_end = Some(max_end.map_or(end, |m| m.max(end)));
+            }
+        }
+        max_end
+    }
+}
+
+/// A subsection: a run of scenes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Subsection {
+    /// Title.
+    pub title: String,
+    /// Scenes in presentation order.
+    pub scenes: Vec<Scene>,
+}
+
+/// A section: a run of subsections.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Section {
+    /// Title.
+    pub title: String,
+    /// Subsections in presentation order.
+    pub subsections: Vec<Subsection>,
+}
+
+/// The interactive multimedia document.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ImDocument {
+    /// Course title.
+    pub title: String,
+    /// Keywords for the database index.
+    pub keywords: Vec<String>,
+    /// Sections in presentation order.
+    pub sections: Vec<Section>,
+}
+
+impl ImDocument {
+    /// A document with a title.
+    pub fn new(title: &str) -> Self {
+        ImDocument {
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// All scenes in document order ("simple serial playback when there
+    /// is no users' interference").
+    pub fn scenes(&self) -> impl Iterator<Item = &Scene> {
+        self.sections
+            .iter()
+            .flat_map(|s| &s.subsections)
+            .flat_map(|ss| &ss.scenes)
+    }
+
+    /// Number of scenes.
+    pub fn scene_count(&self) -> usize {
+        self.scenes().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(dur_ms: u64) -> MediaHandle {
+        MediaHandle {
+            media: mits_media::MediaId(1),
+            format: MediaFormat::Mpeg,
+            duration: SimDuration::from_millis(dur_ms),
+            dims: VideoDims::new(320, 240),
+            name: "v.mpg".into(),
+        }
+    }
+
+    #[test]
+    fn scene_builder_and_lookup() {
+        let s = Scene::new("intro")
+            .element("video1", ElementKind::Media(handle(3_000)))
+            .element("stop", ElementKind::Button("Stop".into()))
+            .entry(TimelineEntry::at_start("video1"));
+        assert!(s.find("video1").is_some());
+        assert!(s.find("stop").is_some());
+        assert!(s.find("nope").is_none());
+    }
+
+    #[test]
+    fn scheduled_length_from_media_duration() {
+        let s = Scene::new("a")
+            .element("v", ElementKind::Media(handle(3_000)))
+            .entry(TimelineEntry::at_start("v").starting(SimDuration::from_secs(1)));
+        assert_eq!(s.scheduled_length(), Some(SimDuration::from_millis(4_000)));
+    }
+
+    #[test]
+    fn scheduled_length_from_explicit_duration() {
+        let s = Scene::new("a")
+            .element("t", ElementKind::Caption("hello".into()))
+            .entry(
+                TimelineEntry::at_start("t")
+                    .starting(SimDuration::from_secs(2))
+                    .for_duration(SimDuration::from_secs(5)),
+            );
+        assert_eq!(s.scheduled_length(), Some(SimDuration::from_secs(7)));
+    }
+
+    #[test]
+    fn unbounded_scene_has_no_length() {
+        let s = Scene::new("menu")
+            .element("b", ElementKind::Button("go".into()))
+            .entry(TimelineEntry::at_start("b"));
+        assert_eq!(s.scheduled_length(), None, "waits for the user");
+    }
+
+    #[test]
+    fn document_scene_order() {
+        let mut doc = ImDocument::new("ATM Course");
+        doc.sections.push(Section {
+            title: "s1".into(),
+            subsections: vec![Subsection {
+                title: "ss1".into(),
+                scenes: vec![Scene::new("a"), Scene::new("b")],
+            }],
+        });
+        doc.sections.push(Section {
+            title: "s2".into(),
+            subsections: vec![Subsection {
+                title: "ss2".into(),
+                scenes: vec![Scene::new("c")],
+            }],
+        });
+        let titles: Vec<&str> = doc.scenes().map(|s| s.title.as_str()).collect();
+        assert_eq!(titles, vec!["a", "b", "c"]);
+        assert_eq!(doc.scene_count(), 3);
+    }
+
+    #[test]
+    fn behavior_builder() {
+        let b = Behavior::when(
+            BehaviorCondition::Clicked("stop".into()),
+            vec![
+                BehaviorAction::Stop("audio1".into()),
+                BehaviorAction::Stop("text1".into()),
+                BehaviorAction::Stop("image1".into()),
+            ],
+        )
+        .and(BehaviorCondition::DataEquals("gate".into(), GenericValue::Int(1)));
+        assert_eq!(b.conditions.len(), 2);
+        assert_eq!(b.actions.len(), 3);
+    }
+}

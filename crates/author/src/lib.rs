@@ -1,0 +1,45 @@
+//! # mits-author — courseware authoring (Chapter 4)
+//!
+//! "Courseware authoring is the only step during which a teacher can
+//! affect the learning process" (§4.0). The paper organizes authoring in
+//! four layers (Fig 4.2) — teaching architecture → document → MHEG
+//! object → media — and leaves "the mapping of concepts and
+//! implementation details from each layer to its next lower layer" as
+//! future work (§6.2). This crate implements all four layers *and* the
+//! mappings:
+//!
+//! * [`teaching`] — the six Schank teaching architectures with framework
+//!   skeletons the editor offers (§4.2, §4.5.1).
+//! * [`hyperdoc`] — the hypermedia document model: logical, layout and
+//!   navigation structures (Fig 4.3), including the "Test Your Knowledge"
+//!   branching of the paper's example.
+//! * [`imd`] — the interactive multimedia document model: logical
+//!   structure (sections → subsections → scenes), layout structure,
+//!   time-line structure and behavior structure (Fig 4.4), with the ATM
+//!   course of the paper as the canonical instance.
+//! * [`courseware_lib`] — the courseware class library of Fig 4.6:
+//!   Interactive, Output and Hyper objects as templates over the basic
+//!   MHEG library (§4.4.2, §4.5.2).
+//! * [`compile`] — the document → MHEG compiler: every document becomes a
+//!   set of interchangeable MHEG objects that run unmodified on the
+//!   `mits-mheg` engine.
+//! * [`editor`] — editor facilities: validation (dangling references,
+//!   duplicate keys, timeline inconsistencies) and the four authoring
+//!   views (§4.5.3).
+
+pub mod compile;
+pub mod courseware_lib;
+pub mod editor;
+pub mod hyperdoc;
+pub mod imd;
+pub mod teaching;
+
+pub use compile::{compile_hyperdoc, compile_imd, CompiledCourseware};
+pub use courseware_lib::{CoursewareObject, InteractiveKind, OutputKind};
+pub use editor::{validate_hyperdoc, validate_imd, ValidationIssue};
+pub use hyperdoc::{HyperDocument, NavCondition, NavLink, Page, PageElement};
+pub use imd::{
+    Behavior, BehaviorAction, BehaviorCondition, ElementKind, ImDocument, MediaHandle, Scene,
+    SceneElement, Section, Subsection, TimelineEntry,
+};
+pub use teaching::{framework_document, FrameworkSkeleton, TeachingArchitecture};

@@ -1,0 +1,241 @@
+//! The six teaching architectures of Schank that §4.2 adopts, plus the
+//! framework skeletons the courseware editor offers for each (§4.5.1:
+//! "the chosen of a specific framework will result in a corresponding
+//! document model to be selected").
+
+use serde::{Deserialize, Serialize};
+
+/// Which document model a framework produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocumentModelKind {
+    /// Static interaction: the hypermedia model (Fig 4.3).
+    Hypermedia,
+    /// Dynamic interaction: the interactive multimedia model (Fig 4.4).
+    InteractiveMultimedia,
+}
+
+/// The six teaching architectures (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TeachingArchitecture {
+    /// Simulation-based learning by doing (pilot-training style).
+    SimulationBasedLearningByDoing,
+    /// Incidental learning ("Road Trip").
+    IncidentalLearning,
+    /// Learning by reflection ("Movie Reader").
+    LearningByReflection,
+    /// Case-based teaching ("Creanimate").
+    CaseBasedTeaching,
+    /// Learning by exploring (experts on demand).
+    LearningByExploring,
+    /// Goal-directed learning ("Museum visitors as genetic counselors").
+    GoalDirectedLearning,
+}
+
+impl TeachingArchitecture {
+    /// All six, in the paper's order.
+    pub const ALL: [TeachingArchitecture; 6] = [
+        TeachingArchitecture::SimulationBasedLearningByDoing,
+        TeachingArchitecture::IncidentalLearning,
+        TeachingArchitecture::LearningByReflection,
+        TeachingArchitecture::CaseBasedTeaching,
+        TeachingArchitecture::LearningByExploring,
+        TeachingArchitecture::GoalDirectedLearning,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TeachingArchitecture::SimulationBasedLearningByDoing => {
+                "simulation-based learning by doing"
+            }
+            TeachingArchitecture::IncidentalLearning => "incidental learning",
+            TeachingArchitecture::LearningByReflection => "learning by reflection",
+            TeachingArchitecture::CaseBasedTeaching => "case-based teaching",
+            TeachingArchitecture::LearningByExploring => "learning by exploring",
+            TeachingArchitecture::GoalDirectedLearning => "goal-directed learning",
+        }
+    }
+
+    /// Which document model its framework uses. Exploration maps onto the
+    /// free-navigation hypermedia model; the scenario-driven architectures
+    /// map onto the interactive multimedia model.
+    pub fn document_model(self) -> DocumentModelKind {
+        match self {
+            TeachingArchitecture::LearningByExploring
+            | TeachingArchitecture::IncidentalLearning => DocumentModelKind::Hypermedia,
+            _ => DocumentModelKind::InteractiveMultimedia,
+        }
+    }
+
+    /// The skeleton stage titles the framework pre-creates. The author
+    /// "need only fill the media objects into the frameworks and specify
+    /// the scenario" (§4.5.1).
+    pub fn framework_stages(self) -> &'static [&'static str] {
+        match self {
+            TeachingArchitecture::SimulationBasedLearningByDoing => {
+                &["briefing", "simulation", "expert stories", "debriefing"]
+            }
+            TeachingArchitecture::IncidentalLearning => {
+                &["destination map", "exploration", "discoveries"]
+            }
+            TeachingArchitecture::LearningByReflection => {
+                &["prompt", "student response", "reflection questions"]
+            }
+            TeachingArchitecture::CaseBasedTeaching => {
+                &["problem", "case library", "expert story", "application"]
+            }
+            TeachingArchitecture::LearningByExploring => {
+                &["topic web", "expert answers", "related topics"]
+            }
+            TeachingArchitecture::GoalDirectedLearning => {
+                &["goal statement", "tools", "task", "assessment"]
+            }
+        }
+    }
+
+    /// When a teacher should pick this architecture (the Analysis step of
+    /// Fig 4.1): matches knowledge/acquiror traits to an architecture.
+    pub fn suits(self, skill_based: bool, learner_driven: bool) -> bool {
+        match self {
+            TeachingArchitecture::SimulationBasedLearningByDoing => skill_based,
+            TeachingArchitecture::CaseBasedTeaching => skill_based,
+            TeachingArchitecture::LearningByExploring => learner_driven,
+            TeachingArchitecture::IncidentalLearning => learner_driven,
+            TeachingArchitecture::LearningByReflection => !skill_based,
+            TeachingArchitecture::GoalDirectedLearning => true,
+        }
+    }
+}
+
+
+/// A framework-instantiated document skeleton: the editor pre-creates one
+/// unit per framework stage; "the courseware authors need only to fill
+/// the media objects into the frameworks and specify the scenario"
+/// (§4.5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkSkeleton {
+    /// Scenario-driven architectures get an interactive multimedia
+    /// document with one scene per stage.
+    Imd(crate::imd::ImDocument),
+    /// Exploration architectures get a hypermedia document with one page
+    /// per stage, serially linked.
+    Hyper(crate::hyperdoc::HyperDocument),
+}
+
+/// Instantiate the framework for a teaching architecture.
+pub fn framework_document(arch: TeachingArchitecture, title: &str) -> FrameworkSkeleton {
+    match arch.document_model() {
+        DocumentModelKind::InteractiveMultimedia => {
+            let mut doc = crate::imd::ImDocument::new(title);
+            doc.sections.push(crate::imd::Section {
+                title: arch.name().to_string(),
+                subsections: vec![crate::imd::Subsection {
+                    title: "stages".into(),
+                    scenes: arch
+                        .framework_stages()
+                        .iter()
+                        .map(|stage| crate::imd::Scene::new(stage))
+                        .collect(),
+                }],
+            });
+            FrameworkSkeleton::Imd(doc)
+        }
+        DocumentModelKind::Hypermedia => {
+            let mut doc = crate::hyperdoc::HyperDocument::new(title);
+            let stages = arch.framework_stages();
+            let mut pages = Vec::with_capacity(stages.len());
+            for stage in stages {
+                pages.push(doc.add_page(
+                    crate::hyperdoc::Page::new(stage).choice(
+                        "next",
+                        "Continue",
+                        (0, 200),
+                    ),
+                ));
+            }
+            for pair in pages.windows(2) {
+                doc.link_click(pair[0], "next", pair[1]);
+            }
+            FrameworkSkeleton::Hyper(doc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_architectures_named_uniquely() {
+        let names: std::collections::HashSet<_> =
+            TeachingArchitecture::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn exploration_architectures_use_hypermedia() {
+        assert_eq!(
+            TeachingArchitecture::LearningByExploring.document_model(),
+            DocumentModelKind::Hypermedia
+        );
+        assert_eq!(
+            TeachingArchitecture::IncidentalLearning.document_model(),
+            DocumentModelKind::Hypermedia
+        );
+        assert_eq!(
+            TeachingArchitecture::SimulationBasedLearningByDoing.document_model(),
+            DocumentModelKind::InteractiveMultimedia
+        );
+    }
+
+    #[test]
+    fn frameworks_have_stages() {
+        for a in TeachingArchitecture::ALL {
+            assert!(
+                a.framework_stages().len() >= 3,
+                "{} has a usable skeleton",
+                a.name()
+            );
+        }
+    }
+
+
+    #[test]
+    fn frameworks_instantiate_their_document_model() {
+        for arch in TeachingArchitecture::ALL {
+            match framework_document(arch, "T") {
+                FrameworkSkeleton::Imd(doc) => {
+                    assert_eq!(arch.document_model(), DocumentModelKind::InteractiveMultimedia);
+                    assert_eq!(doc.scene_count(), arch.framework_stages().len());
+                    let titles: Vec<&str> = doc.scenes().map(|s| s.title.as_str()).collect();
+                    assert_eq!(titles, arch.framework_stages());
+                }
+                FrameworkSkeleton::Hyper(doc) => {
+                    assert_eq!(arch.document_model(), DocumentModelKind::Hypermedia);
+                    assert_eq!(doc.pages.len(), arch.framework_stages().len());
+                    assert!(doc.unreachable_pages().is_empty(), "stages serially linked");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hyper_framework_validates_and_compiles() {
+        let FrameworkSkeleton::Hyper(doc) =
+            framework_document(TeachingArchitecture::LearningByExploring, "Explore")
+        else {
+            panic!("exploring uses hypermedia");
+        };
+        assert!(crate::editor::validate_hyperdoc(&doc).is_empty());
+        let compiled = crate::compile::compile_hyperdoc(600, &doc);
+        assert!(!compiled.objects.is_empty());
+    }
+
+    #[test]
+    fn suitability_analysis() {
+        assert!(TeachingArchitecture::SimulationBasedLearningByDoing.suits(true, false));
+        assert!(!TeachingArchitecture::SimulationBasedLearningByDoing.suits(false, true));
+        assert!(TeachingArchitecture::LearningByExploring.suits(false, true));
+        assert!(TeachingArchitecture::GoalDirectedLearning.suits(false, false), "always applicable");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the courseware compiler: for arbitrary valid
+//! documents, the compiled object set is referentially closed, round-trips
+//! the interchange codecs, and runs on the engine without errors.
+
+use mits_author::{
+    compile_imd, validate_imd, Behavior, BehaviorAction, BehaviorCondition, ElementKind,
+    ImDocument, MediaHandle, Scene, Section, Subsection, TimelineEntry,
+};
+use mits_media::{MediaFormat, MediaId, VideoDims};
+use mits_mheg::action::{ActionEntry, ElementaryAction, TargetRef};
+use mits_mheg::{decode_object, encode_object, MhegEngine, WireFormat};
+use mits_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_element(key_idx: usize) -> impl Strategy<Value = (String, ElementKind)> {
+    let key = format!("el{key_idx}");
+    prop_oneof![
+        (1u64..50, 100u64..5_000).prop_map({
+            let key = key.clone();
+            move |(media, dur_ms)| {
+                (
+                    key.clone(),
+                    ElementKind::Media(MediaHandle {
+                        media: MediaId(media),
+                        format: MediaFormat::Mpeg,
+                        duration: SimDuration::from_millis(dur_ms),
+                        dims: VideoDims::new(160, 120),
+                        name: format!("m{media}.mpg"),
+                    }),
+                )
+            }
+        }),
+        "[ -~]{1,20}".prop_map({
+            let key = key.clone();
+            move |text| (key.clone(), ElementKind::Caption(text))
+        }),
+        "[a-zA-Z ]{1,12}".prop_map({
+            let key = key.clone();
+            move |label| (key.clone(), ElementKind::Button(label))
+        }),
+    ]
+}
+
+fn arb_scene(idx: usize, n_scenes: usize) -> impl Strategy<Value = Scene> {
+    (
+        prop::collection::vec(arb_element(0), 1..4),
+        0usize..n_scenes.max(1),
+    )
+        .prop_map(move |(elements, jump_target)| {
+            let mut scene = Scene::new(&format!("scene{idx}"));
+            let mut keys = Vec::new();
+            for (i, (_, kind)) in elements.into_iter().enumerate() {
+                let key = format!("el{i}");
+                scene = scene.element(&key, kind);
+                keys.push(key);
+            }
+            // Timeline: everything at start; captions bounded so scenes end.
+            for key in &keys {
+                let is_static = matches!(
+                    scene.find(key).map(|e| &e.kind),
+                    Some(ElementKind::Caption(_)) | Some(ElementKind::Button(_))
+                );
+                let entry = if is_static {
+                    TimelineEntry::at_start(key).for_duration(SimDuration::from_millis(500))
+                } else {
+                    TimelineEntry::at_start(key)
+                };
+                scene = scene.entry(entry);
+            }
+            // Buttons get a jump behavior (exercises links).
+            let button_keys: Vec<String> = scene
+                .elements
+                .iter()
+                .filter(|e| matches!(e.kind, ElementKind::Button(_)))
+                .map(|e| e.key.clone())
+                .collect();
+            for key in button_keys {
+                scene = scene.behavior(Behavior::when(
+                    BehaviorCondition::Clicked(key),
+                    vec![BehaviorAction::GotoScene(jump_target)],
+                ));
+            }
+            scene
+        })
+}
+
+fn arb_document() -> impl Strategy<Value = ImDocument> {
+    (1usize..5)
+        .prop_flat_map(|n_scenes| {
+            let scenes: Vec<_> = (0..n_scenes).map(|i| arb_scene(i, n_scenes)).collect();
+            scenes
+        })
+        .prop_map(|scenes| {
+            let mut doc = ImDocument::new("Prop Course");
+            doc.sections.push(Section {
+                title: "s".into(),
+                subsections: vec![Subsection {
+                    title: "ss".into(),
+                    scenes,
+                }],
+            });
+            doc
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled object sets are referentially closed: every id any object
+    /// mentions exists in the set.
+    #[test]
+    fn compiled_sets_are_closed(doc in arb_document()) {
+        prop_assume!(validate_imd(&doc).iter().all(|i| !i.is_error()));
+        let compiled = compile_imd(500, &doc);
+        let ids: HashSet<_> = compiled.objects.iter().map(|o| o.id).collect();
+        for obj in &compiled.objects {
+            for referenced in obj.referenced_objects() {
+                prop_assert!(ids.contains(&referenced), "{} dangles from {}", referenced, obj.id);
+            }
+            for target in obj.mentioned_targets() {
+                if let TargetRef::Model(m) = target {
+                    prop_assert!(ids.contains(&m), "target {} dangles from {}", m, obj.id);
+                }
+            }
+        }
+    }
+
+    /// Every compiled object survives both codecs.
+    #[test]
+    fn compiled_objects_round_trip(doc in arb_document()) {
+        prop_assume!(validate_imd(&doc).iter().all(|i| !i.is_error()));
+        let compiled = compile_imd(501, &doc);
+        for obj in &compiled.objects {
+            for fmt in [WireFormat::Tlv, WireFormat::Sgml] {
+                let back = decode_object(&encode_object(obj, fmt), fmt).expect("decode");
+                prop_assert_eq!(&back, obj);
+            }
+        }
+    }
+
+    /// Compiled courses load into an engine and play (serially) without
+    /// engine errors, ending with the position flag on a valid unit.
+    #[test]
+    fn compiled_courses_run_without_errors(doc in arb_document()) {
+        prop_assume!(validate_imd(&doc).iter().all(|i| !i.is_error()));
+        let compiled = compile_imd(502, &doc);
+        let mut eng = MhegEngine::new();
+        for o in &compiled.objects {
+            eng.ingest(o.clone());
+        }
+        eng.new_rt(compiled.entry).expect("entry composite instantiates");
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Model(compiled.entry),
+            vec![ElementaryAction::Run],
+        ))
+        .expect("course starts");
+        eng.advance(SimTime::from_secs(120)).expect("plays without engine errors");
+        let pos = eng.rt_of_model(compiled.position_flag).expect("flag live");
+        match &eng.rt(pos).expect("flag rt").attrs.data {
+            mits_mheg::GenericValue::Int(i) => {
+                prop_assert!((*i as usize) < compiled.units.len());
+            }
+            other => prop_assert!(false, "position flag holds {:?}", other),
+        }
+    }
+}

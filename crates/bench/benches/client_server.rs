@@ -1,0 +1,27 @@
+//! F3.5: the client-server model under growing client counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mits_bench::atm_course;
+use mits_core::{ClientId, MitsSystem, SystemConfig};
+
+fn bench_client_server(c: &mut Criterion) {
+    let (compiled, media, _) = atm_course(35);
+    let mut group = c.benchmark_group("client_server");
+    group.sample_size(10);
+    for &n in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("batch_fetch", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = MitsSystem::build(&SystemConfig::broadband(n)).unwrap();
+                sys.load_directly(compiled.objects.clone(), media.clone());
+                for cidx in 0..n {
+                    sys.fetch_courseware(ClientId(cidx), compiled.root).unwrap();
+                }
+                sys.now()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_client_server);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! T5.1: synthetic media generation at the paper-calibrated densities,
+//! plus the MPEG frame model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mits_media::codec::{CodecModel, FrameStream, MPEG_BITS_PER_SEC};
+use mits_media::{MediaFormat, VideoDims};
+use mits_sim::SimDuration;
+
+fn bench_media(c: &mut Criterion) {
+    let mut group = c.benchmark_group("media_codecs");
+    group.sample_size(20);
+    let dur = SimDuration::from_secs(5);
+    let dims = VideoDims::new(320, 240);
+    for f in [MediaFormat::Mpeg, MediaFormat::Avi, MediaFormat::Wav, MediaFormat::Midi] {
+        let model = CodecModel::for_format(f);
+        let size = model.coded_size(dur, dims).max(model.static_size(1000));
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(
+            BenchmarkId::new("generate_5s", f.to_string()),
+            &model,
+            |b, model| b.iter(|| model.generate_payload(dur, dims, 42)),
+        );
+    }
+    group.bench_function("frame_stream_60s", |b| {
+        b.iter(|| {
+            FrameStream::new(SimDuration::from_secs(60), MPEG_BITS_PER_SEC, 7)
+                .map(|f| f.size as u64)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_media);
+criterion_main!(benches);

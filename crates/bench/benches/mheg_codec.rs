@@ -1,0 +1,32 @@
+//! F2.9: interchange codec throughput — TLV vs SGML encode/decode for
+//! every MHEG class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mits_bench::one_of_each_class;
+use mits_mheg::{decode_object, encode_object, WireFormat};
+
+fn bench_codecs(c: &mut Criterion) {
+    let objects = one_of_each_class(1);
+    let mut group = c.benchmark_group("mheg_codec");
+    group.sample_size(30);
+    for (idx, obj) in objects.iter().enumerate() {
+        let class = format!("{}-{}", idx, obj.class());
+        for (fmt, name) in [(WireFormat::Tlv, "tlv"), (WireFormat::Sgml, "sgml")] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_{name}"), &class),
+                obj,
+                |b, obj| b.iter(|| encode_object(std::hint::black_box(obj), fmt)),
+            );
+            let wire = encode_object(obj, fmt);
+            group.bench_with_input(
+                BenchmarkId::new(format!("decode_{name}"), &class),
+                &wire,
+                |b, wire| b.iter(|| decode_object(std::hint::black_box(wire), fmt).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

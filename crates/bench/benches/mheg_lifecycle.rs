@@ -1,0 +1,63 @@
+//! F2.4: the object life cycle — interchange decode (a→b), run-time
+//! creation (b→c), and descriptor negotiation on/off (the "minimal
+//! resources" ablation of §3.1.2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mits_bench::one_of_each_class;
+use mits_mheg::{
+    encode_object, MhegEngine, Negotiation, ResourceNeed, SystemCapabilities, WireFormat,
+};
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let objects = one_of_each_class(2);
+    let wires: Vec<_> = objects
+        .iter()
+        .map(|o| encode_object(o, WireFormat::Tlv))
+        .collect();
+    let mut group = c.benchmark_group("mheg_lifecycle");
+    group.sample_size(30);
+
+    group.bench_function("ingest_wire_full_set", |b| {
+        b.iter(|| {
+            let mut eng = MhegEngine::new();
+            for w in &wires {
+                eng.ingest_wire(std::hint::black_box(w), WireFormat::Tlv).unwrap();
+            }
+            eng
+        })
+    });
+
+    let composite = objects
+        .iter()
+        .find(|o| o.class() == mits_mheg::ClassKind::Composite)
+        .expect("fixture has a composite");
+    group.bench_function("new_rt_composite_recursive", |b| {
+        let mut eng = MhegEngine::new();
+        for o in &objects {
+            eng.ingest(o.clone());
+        }
+        b.iter(|| {
+            let rt = eng.new_rt(composite.id).unwrap();
+            eng.delete_rt(rt).unwrap();
+        })
+    });
+
+    // Descriptor negotiation ablation: prepare with vs without checking.
+    let caps = SystemCapabilities::multimedia_pc(155_520_000);
+    let needs = vec![
+        ResourceNeed::Decoder(mits_media::MediaFormat::Mpeg),
+        ResourceNeed::Bandwidth(1_500_000),
+        ResourceNeed::AudioOutput,
+    ];
+    group.bench_function("prepare_with_negotiation", |b| {
+        b.iter(|| {
+            let n = Negotiation::run(std::hint::black_box(&needs), &caps);
+            assert!(n.accepted());
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

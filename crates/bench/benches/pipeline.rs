@@ -1,0 +1,40 @@
+//! F3.3/F3.4: the full courseware pipeline production → storage →
+//! presentation, end to end over the simulated network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mits_bench::atm_course;
+use mits_core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits_sim::SimDuration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("publish_course_over_network", |b| {
+        let (compiled, media, _) = atm_course(1);
+        b.iter(|| {
+            let mut sys = MitsSystem::build(&SystemConfig::broadband(0)).unwrap();
+            sys.publish(&compiled.objects, &media).unwrap()
+        })
+    });
+
+    group.bench_function("full_cod_session", |b| {
+        let (compiled, media, name) = atm_course(2);
+        b.iter(|| {
+            let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+            sys.load_directly(compiled.objects.clone(), media.clone());
+            let mut session =
+                CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
+            session.start().unwrap();
+            session.play(SimDuration::from_secs(1)).unwrap();
+            session.click("stop").unwrap();
+            session.auto_play(SimDuration::from_secs(10)).unwrap();
+            assert!(session.report.completed);
+            session.report.bytes_transferred
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

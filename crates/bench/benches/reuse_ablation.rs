@@ -1,0 +1,42 @@
+//! E-REUSE: the content-delivery policy ablation as a bench — wall time
+//! of the full two-session run per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mits_atm::LinkProfile;
+use mits_bench::reuse_course;
+use mits_core::models::{run_reuse_policy, ContentPolicy};
+
+fn bench_reuse(c: &mut Criterion) {
+    let (compiled, media, name) = reuse_course(4);
+    let mut group = c.benchmark_group("reuse_ablation");
+    group.sample_size(10);
+    for policy in [
+        ContentPolicy::SeparateCached,
+        ContentPolicy::SeparateUncached,
+        ContentPolicy::Embedded,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    run_reuse_policy(
+                        policy,
+                        &compiled.objects,
+                        &media,
+                        compiled.root,
+                        name,
+                        LinkProfile::atm_oc3(),
+                        2,
+                    )
+                    .unwrap()
+                    .bytes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! F4.4: engine-local scenario playback rate — how fast the MHEG engine
+//! interprets a compiled course (no network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mits_author::compile_hyperdoc;
+use mits_bench::atm_course;
+use mits_navigator::PresentationSession;
+use mits_sim::SimTime;
+
+fn bench_playback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_playback");
+    group.sample_size(30);
+
+    let (compiled, _, name) = atm_course(3);
+    group.bench_function("imd_course_to_completion", |b| {
+        b.iter(|| {
+            let mut p = PresentationSession::load(compiled.objects.clone(), name).unwrap();
+            p.start().unwrap();
+            p.advance(SimTime::from_secs(30)).unwrap();
+            p.click("stop").ok();
+            p.advance(SimTime::from_secs(60)).unwrap();
+            assert!(p.completed());
+            p.engine_stats().events_emitted
+        })
+    });
+
+    let doc = mits_author::HyperDocument::figure_4_3_example();
+    let hyper = compile_hyperdoc(90, &doc);
+    group.bench_function("hyperdoc_navigation_sequence", |b| {
+        b.iter(|| {
+            let mut p =
+                PresentationSession::load(hyper.objects.clone(), "Fig 4.3 navigation example")
+                    .unwrap();
+            p.start().unwrap();
+            p.click("Test Your Knowledge").unwrap();
+            p.click("48 bytes").unwrap();
+            p.click("Try again").unwrap();
+            p.click("53 bytes").unwrap();
+            p.click("Continue").unwrap();
+            p.current_unit()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_playback);
+criterion_main!(benches);

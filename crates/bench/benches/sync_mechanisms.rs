@@ -1,0 +1,74 @@
+//! F2.6: engine cost of each synchronization mechanism — run a composite
+//! using the mechanism to completion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mits_media::{CaptureSpec, MediaFormat, ProductionCenter};
+use mits_mheg::action::{ActionEntry, ElementaryAction, TargetRef};
+use mits_mheg::sync::{AtomicRelation, SyncMechanism, SyncSpec};
+use mits_mheg::{ClassLibrary, MhegEngine};
+use mits_sim::{SimDuration, SimTime};
+
+fn run_mechanism(make: impl Fn(TargetRef, TargetRef) -> SyncMechanism) -> u64 {
+    let mut studio = ProductionCenter::new(3);
+    let m1 = studio.capture(&CaptureSpec::audio("a.wav", MediaFormat::Wav, SimDuration::from_secs(1)));
+    let m2 = studio.capture(&CaptureSpec::audio("b.wav", MediaFormat::Wav, SimDuration::from_secs(1)));
+    let mut lib = ClassLibrary::new(1);
+    let a = lib.media_content(&m1, (0, 0));
+    let b = lib.media_content(&m2, (0, 0));
+    let scene = lib.composite(
+        "s",
+        vec![a, b],
+        vec![],
+        vec![SyncSpec::new(make(TargetRef::Model(a), TargetRef::Model(b)))],
+    );
+    let mut eng = MhegEngine::new();
+    for o in lib.into_objects() {
+        eng.ingest(o);
+    }
+    eng.new_rt(scene).unwrap();
+    eng.apply_entry(&ActionEntry::now(TargetRef::Model(scene), vec![ElementaryAction::Run]))
+        .unwrap();
+    eng.advance(SimTime::from_secs(30)).unwrap();
+    eng.stats.events_emitted
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_mechanisms");
+    group.sample_size(40);
+    type MechanismCtor = fn(TargetRef, TargetRef) -> SyncMechanism;
+    let cases: Vec<(&str, MechanismCtor)> = vec![
+        ("atomic_parallel", |a, b| SyncMechanism::Atomic {
+            a,
+            b,
+            relation: AtomicRelation::Parallel,
+        }),
+        ("atomic_serial", |a, b| SyncMechanism::Atomic {
+            a,
+            b,
+            relation: AtomicRelation::Serial,
+        }),
+        ("elementary", |a, b| SyncMechanism::Elementary {
+            a,
+            t1: SimDuration::from_millis(100),
+            b,
+            t2: SimDuration::from_millis(700),
+        }),
+        ("cyclic_x4", |a, _| SyncMechanism::Cyclic {
+            target: a,
+            period: SimDuration::from_secs(2),
+            repetitions: Some(4),
+        }),
+        ("chained", |a, b| SyncMechanism::Chained {
+            sequence: vec![a, b],
+        }),
+    ];
+    for (name, make) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &make, |bench, make| {
+            bench.iter(|| run_mechanism(make))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

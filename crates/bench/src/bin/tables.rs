@@ -1,0 +1,672 @@
+//! Regenerate every table and figure of the MITS evaluation
+//! (`DESIGN.md` §4, recorded in `EXPERIMENTS.md`).
+//!
+//! Usage:
+//!   cargo run -p mits-bench --bin tables            # all experiments
+//!   cargo run -p mits-bench --bin tables -- --exp e_bb
+
+use mits_atm::LinkProfile;
+use mits_author::compile_hyperdoc;
+use mits_bench::{atm_course, one_of_each_class, reuse_course};
+use mits_core::models::{compare_delivery_models, reuse_ablation};
+use mits_core::stack::layer_breakdown;
+use mits_core::stream::{profile_name, stream_audio_over, stream_video_over};
+use mits_core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits_media::codec::{
+    CodecModel, AVI_BITS_PER_SEC, MIDI_BYTES_PER_MIN, MPEG_BITS_PER_SEC, WAV_BYTES_PER_SEC,
+};
+use mits_media::{MediaFormat, VideoDims};
+use mits_mheg::{encode_object, MhegEngine, PresentationEvent, WireFormat};
+use mits_navigator::PresentationSession;
+use mits_school::{simulate_facilitation, FacilitationModel};
+use mits_sim::{SimDuration, SimTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let want = |name: &str| filter.as_deref().is_none_or(|f| f == name);
+
+    if want("t5_1") {
+        t5_1();
+    }
+    if want("f2_4") {
+        f2_4();
+    }
+    if want("f2_6") {
+        f2_6();
+    }
+    if want("f2_9") {
+        f2_9();
+    }
+    if want("f3_2") {
+        f3_2();
+    }
+    if want("f3_5") {
+        f3_5();
+    }
+    if want("f4_3") {
+        f4_3();
+    }
+    if want("f4_4") {
+        f4_4();
+    }
+    if want("f5_x") {
+        f5_x();
+    }
+    if want("e_bb") {
+        e_bb();
+    }
+    if want("e_sidl") {
+        e_sidl();
+    }
+    if want("e_model") {
+        e_model();
+    }
+    if want("e_reuse") {
+        e_reuse();
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Table 5.1 + §5.2.2 prose: media formats and measured storage densities.
+fn t5_1() {
+    header("T5.1", "multimedia file formats and storage densities");
+    println!(
+        "{:<14} {:<6} {:<8} {:>18} {:>22}",
+        "format", "ext", "kind", "model rate", "measured density"
+    );
+    let minute = SimDuration::from_secs(60);
+    for f in MediaFormat::ALL {
+        let model = CodecModel::for_format(f);
+        let rate = model
+            .nominal_bit_rate()
+            .map(|r| format!("{:.1} kb/s", r as f64 / 1e3))
+            .unwrap_or_else(|| "static".into());
+        let density = match f {
+            MediaFormat::Wav => {
+                let per_sec = model.coded_size(SimDuration::from_secs(1), VideoDims::default());
+                format!("{:.1} KB per second", per_sec as f64 / 1024.0)
+            }
+            MediaFormat::Midi => {
+                let per_min = model.coded_size(minute, VideoDims::default());
+                format!("{:.1} KB per minute", per_min as f64 / 1024.0)
+            }
+            MediaFormat::Mpeg | MediaFormat::Avi => {
+                let per_min = model.coded_size(minute, VideoDims::new(320, 240));
+                format!("{:.1} MB per minute", per_min as f64 / 1048576.0)
+            }
+            MediaFormat::Gif | MediaFormat::Jpeg => {
+                let sz = model.coded_size(SimDuration::ZERO, VideoDims::new(640, 480));
+                format!("{:.1} KB per 640x480", sz as f64 / 1024.0)
+            }
+            _ => "n/a".into(),
+        };
+        println!(
+            "{:<14} .{:<5} {:<8} {:>18} {:>22}",
+            f.to_string(),
+            f.extension(),
+            format!("{:?}", f.kind()),
+            rate,
+            density
+        );
+    }
+    println!(
+        "paper calibration: WAV 11 KB/s = {} B/s model; MIDI 5 KB/min = {} B/min; \
+         MPEG {} b/s; AVI {} b/s",
+        WAV_BYTES_PER_SEC, MIDI_BYTES_PER_MIN, MPEG_BITS_PER_SEC, AVI_BITS_PER_SEC
+    );
+}
+
+/// Figure 2.4: the object life cycle — encode(a) → decode(b) → new(c).
+fn f2_4() {
+    header("F2.4", "MHEG object life cycle: form (a) → (b) → (c)");
+    let objects = one_of_each_class(24);
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>8}",
+        "class", "wire B", "enc+dec µs", "new(c) µs", "rt?"
+    );
+    for obj in &objects {
+        let reps = 200u32;
+        let t0 = std::time::Instant::now();
+        let mut wire_len = 0;
+        for _ in 0..reps {
+            let wire = encode_object(obj, WireFormat::Tlv);
+            wire_len = wire.len();
+            std::hint::black_box(
+                mits_mheg::decode_object(&wire, WireFormat::Tlv).expect("round trip"),
+            );
+        }
+        let codec_us = t0.elapsed().as_micros() as f64 / reps as f64;
+        // Form (c): measure `new` on model classes.
+        let (new_us, has_rt) = if obj.is_model() {
+            let t1 = std::time::Instant::now();
+            let mut count = 0u32;
+            for _ in 0..reps {
+                let mut eng = MhegEngine::new();
+                for o in &objects {
+                    eng.ingest(o.clone());
+                }
+                eng.new_rt(obj.id).expect("model object");
+                count += 1;
+            }
+            (t1.elapsed().as_micros() as f64 / count as f64, true)
+        } else {
+            (0.0, false)
+        };
+        println!(
+            "{:<22} {:>10} {:>12.1} {:>12.1} {:>8}",
+            obj.class().to_string(),
+            wire_len,
+            codec_us,
+            new_us,
+            if has_rt { "yes" } else { "-" }
+        );
+    }
+}
+
+/// Figure 2.6: the four synchronization mechanisms — scheduled vs actual.
+fn f2_6() {
+    header("F2.6", "synchronization mechanisms: scheduled vs actual start times");
+    use mits_mheg::action::{ActionEntry, ElementaryAction, TargetRef};
+    use mits_mheg::sync::{AtomicRelation, SyncMechanism, SyncSpec};
+    use mits_mheg::ClassLibrary;
+    use mits_media::{CaptureSpec, ProductionCenter};
+
+    let mut studio = ProductionCenter::new(26);
+    let a_media = studio.capture(&CaptureSpec::audio("a.wav", MediaFormat::Wav, SimDuration::from_secs(2)));
+    let b_media = studio.capture(&CaptureSpec::audio("b.wav", MediaFormat::Wav, SimDuration::from_secs(2)));
+
+    type SyncCase = (&'static str, SyncMechanism, Vec<(&'static str, u64)>);
+    let cases: Vec<SyncCase> = vec![
+        (
+            "atomic parallel",
+            SyncMechanism::Atomic {
+                a: TargetRef::Model(mits_mheg::MhegId::new(0, 0)), // patched below
+                b: TargetRef::Model(mits_mheg::MhegId::new(0, 0)),
+                relation: AtomicRelation::Parallel,
+            },
+            vec![("a", 0), ("b", 0)],
+        ),
+        (
+            "atomic serial",
+            SyncMechanism::Atomic {
+                a: TargetRef::Model(mits_mheg::MhegId::new(0, 0)),
+                b: TargetRef::Model(mits_mheg::MhegId::new(0, 0)),
+                relation: AtomicRelation::Serial,
+            },
+            vec![("a", 0), ("b", 2_000_000)],
+        ),
+        (
+            "elementary T1=0.5s T2=1.5s",
+            SyncMechanism::Elementary {
+                a: TargetRef::Model(mits_mheg::MhegId::new(0, 0)),
+                t1: SimDuration::from_millis(500),
+                b: TargetRef::Model(mits_mheg::MhegId::new(0, 0)),
+                t2: SimDuration::from_millis(1500),
+            },
+            vec![("a", 500_000), ("b", 1_500_000)],
+        ),
+        (
+            "chained a→b",
+            SyncMechanism::Chained { sequence: vec![] },
+            vec![("a", 0), ("b", 2_000_000)],
+        ),
+    ];
+
+    println!(
+        "{:<28} {:<8} {:>14} {:>14} {:>8}",
+        "mechanism", "object", "scheduled µs", "actual µs", "skew µs"
+    );
+    for (name, mech, expected) in cases {
+        let mut lib = ClassLibrary::new(260);
+        let a = lib.media_content(&a_media, (0, 0));
+        let b = lib.media_content(&b_media, (0, 0));
+        let mech = match mech {
+            SyncMechanism::Atomic { relation, .. } => SyncMechanism::Atomic {
+                a: TargetRef::Model(a),
+                b: TargetRef::Model(b),
+                relation,
+            },
+            SyncMechanism::Elementary { t1, t2, .. } => SyncMechanism::Elementary {
+                a: TargetRef::Model(a),
+                t1,
+                b: TargetRef::Model(b),
+                t2,
+            },
+            SyncMechanism::Chained { .. } => SyncMechanism::Chained {
+                sequence: vec![TargetRef::Model(a), TargetRef::Model(b)],
+            },
+            other => other,
+        };
+        let scene = lib.composite("scene", vec![a, b], vec![], vec![SyncSpec::new(mech)]);
+        let mut eng = MhegEngine::new();
+        for o in lib.into_objects() {
+            eng.ingest(o);
+        }
+        eng.new_rt(scene).unwrap();
+        eng.apply_entry(&ActionEntry::now(TargetRef::Model(scene), vec![ElementaryAction::Run]))
+            .unwrap();
+        eng.advance(SimTime::from_secs(10)).unwrap();
+        let a_rt = eng.rt_of_model(a);
+        let b_rt = eng.rt_of_model(b);
+        let events = eng.take_events();
+        for (label, model_rt, (_, scheduled)) in
+            [("a", a_rt, expected[0]), ("b", b_rt, expected[1])]
+        {
+            let actual = events.iter().find_map(|e| match e {
+                PresentationEvent::Started { rt, at } if Some(*rt) == model_rt => {
+                    Some(at.as_micros())
+                }
+                _ => None,
+            });
+            match actual {
+                Some(at) => println!(
+                    "{:<28} {:<8} {:>14} {:>14} {:>8}",
+                    name,
+                    label,
+                    scheduled,
+                    at,
+                    at as i64 - scheduled as i64
+                ),
+                None => println!("{name:<28} {label:<8} {scheduled:>14} {:>14}", "never"),
+            }
+        }
+    }
+    // Cyclic separately: repetition instants.
+    let mut lib = mits_mheg::ClassLibrary::new(261);
+    let a = lib.media_content(&a_media, (0, 0));
+    let scene = lib.composite(
+        "loop",
+        vec![a],
+        vec![],
+        vec![SyncSpec::new(SyncMechanism::Cyclic {
+            target: TargetRef::Model(a),
+            period: SimDuration::from_secs(3),
+            repetitions: Some(3),
+        })],
+    );
+    let mut eng = MhegEngine::new();
+    for o in lib.into_objects() {
+        eng.ingest(o);
+    }
+    eng.new_rt(scene).unwrap();
+    eng.apply_entry(&ActionEntry::now(TargetRef::Model(scene), vec![ElementaryAction::Run]))
+        .unwrap();
+    eng.advance(SimTime::from_secs(20)).unwrap();
+    let starts: Vec<u64> = eng
+        .take_events()
+        .iter()
+        .filter_map(|e| match e {
+            PresentationEvent::Started { rt, at } if Some(*rt) == eng.rt_of_model(a) => {
+                Some(at.as_micros())
+            }
+            _ => None,
+        })
+        .collect();
+    println!("cyclic period=3s reps=3          starts at µs: {starts:?} (scheduled 0, 3e6, 6e6)");
+}
+
+/// Figure 2.9: interchange codecs — size and speed, TLV vs SGML.
+fn f2_9() {
+    header("F2.9", "interchange codecs: TLV (ASN.1 role) vs SGML");
+    let objects = one_of_each_class(29);
+    println!(
+        "{:<22} {:>9} {:>9} {:>8} {:>12} {:>12}",
+        "class", "TLV B", "SGML B", "ratio", "TLV µs", "SGML µs"
+    );
+    for obj in &objects {
+        let tlv = encode_object(obj, WireFormat::Tlv);
+        let sgml = encode_object(obj, WireFormat::Sgml);
+        let reps = 200;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(mits_mheg::decode_object(
+                &encode_object(obj, WireFormat::Tlv),
+                WireFormat::Tlv,
+            ))
+            .unwrap();
+        }
+        let tlv_us = t0.elapsed().as_micros() as f64 / reps as f64;
+        let t1 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(mits_mheg::decode_object(
+                &encode_object(obj, WireFormat::Sgml),
+                WireFormat::Sgml,
+            ))
+            .unwrap();
+        }
+        let sgml_us = t1.elapsed().as_micros() as f64 / reps as f64;
+        println!(
+            "{:<22} {:>9} {:>9} {:>8.2} {:>12.1} {:>12.1}",
+            obj.class().to_string(),
+            tlv.len(),
+            sgml.len(),
+            sgml.len() as f64 / tlv.len() as f64,
+            tlv_us,
+            sgml_us
+        );
+    }
+}
+
+/// Figure 3.2: per-layer cost of one object interchange.
+fn f3_2() {
+    header("F3.2", "layered interchange model: where the time goes");
+    let (compiled, media, _) = atm_course(32);
+    let container = compiled
+        .objects
+        .iter()
+        .find(|o| o.id == compiled.root)
+        .expect("container exists");
+    let content_bytes: u64 = media.iter().map(|m| m.data.len() as u64).sum();
+    for profile in [LinkProfile::atm_oc3(), LinkProfile::isdn_128k()] {
+        println!("-- access link: {} --", profile_name(&profile));
+        let rows = layer_breakdown(container, content_bytes, &profile);
+        for r in &rows {
+            println!("  {:<32} {:>14} ({})", r.layer, r.cost.to_string(), r.method);
+        }
+    }
+}
+
+/// Figure 3.5: client-server scalability sweep — all clients fetch the
+/// courseware *simultaneously*; the single server and shared backbone
+/// serialize them.
+fn f3_5() {
+    header("F3.5", "client-server model: fetch latency vs concurrent clients");
+    let (compiled, media, _) = atm_course(35);
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>12}",
+        "clients", "mean latency", "min", "max", "server reqs"
+    );
+    for &n in &[1usize, 2, 4, 8, 16, 32] {
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(n)).unwrap();
+        sys.load_directly(compiled.objects.clone(), media.clone());
+        let clients: Vec<ClientId> = (0..n).map(ClientId).collect();
+        let latencies = sys
+            .concurrent_fetch_courseware(&clients, compiled.root)
+            .unwrap();
+        let mean: f64 =
+            latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n as f64;
+        let min = latencies.iter().min().unwrap();
+        let max = latencies.iter().max().unwrap();
+        println!(
+            "{:<10} {:>12.2}ms {:>14} {:>14} {:>12}",
+            n,
+            mean * 1e3,
+            min.to_string(),
+            max.to_string(),
+            *sys.db.requests_served.read()
+        );
+    }
+}
+
+/// Figure 4.3: hypermedia navigation trace.
+fn f4_3() {
+    header("F4.3", "hypermedia document model: navigation trace");
+    let doc = mits_author::HyperDocument::figure_4_3_example();
+    let compiled = compile_hyperdoc(43, &doc);
+    let mut p = PresentationSession::load(compiled.objects.clone(), "Fig 4.3 navigation example")
+        .unwrap();
+    p.start().unwrap();
+    let script = [
+        ("(start)", None),
+        ("Test Your Knowledge", Some("Test Your Knowledge")),
+        ("48 bytes (wrong)", Some("48 bytes")),
+        ("Try again", Some("Try again")),
+        ("53 bytes (right)", Some("53 bytes")),
+        ("Continue", Some("Continue")),
+    ];
+    println!("{:<26} {:>6} {:<20}", "action", "page", "page title");
+    for (label, click) in script {
+        if let Some(c) = click {
+            p.click(c).unwrap();
+        }
+        let unit = p.current_unit().unwrap();
+        println!("{:<26} {:>6} {:<20}", label, unit, compiled.units[unit].0);
+    }
+}
+
+/// Figure 4.4: the interactive multimedia document timeline.
+fn f4_4() {
+    header("F4.4", "interactive multimedia document: timeline with preemption");
+    let (compiled, media, name) = atm_course(44);
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    sys.load_directly(compiled.objects.clone(), media);
+    let mut session = CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
+    session.start().unwrap();
+    println!("t=0.0s  scene1 starts; visible: {:?}", names(&session));
+    session.play(SimDuration::from_secs(1)).unwrap();
+    session.click("show image now").unwrap();
+    println!("t=1.0s  choice1 clicked (before t2=4s): {:?}", names(&session));
+    session.play(SimDuration::from_millis(500)).unwrap();
+    session.click("stop").unwrap();
+    println!(
+        "t=1.5s  stop clicked → audio1/text1/image1 stopped, unit {:?}",
+        session.current_unit()
+    );
+    session.auto_play(SimDuration::from_secs(10)).unwrap();
+    println!(
+        "course completed={} startup={} stalls={}",
+        session.report.completed,
+        session.report.startup(),
+        session.report.stalls.len()
+    );
+}
+
+fn names(session: &CodSession<'_>) -> Vec<String> {
+    session
+        .presentation()
+        .visible()
+        .into_iter()
+        .map(|v| v.name)
+        .collect()
+}
+
+/// Figures 5.3–5.7: the sample learning session step trace.
+fn f5_x() {
+    header("F5.3-5.7", "sample learning session step trace");
+    use mits_navigator::{NavigatorUi, UiEvent, UiOutcome};
+    use mits_school::{Course, CourseCode, StudentRegistry};
+    let (compiled, media, name) = atm_course(55);
+    let mut school = StudentRegistry::new();
+    school.add_program("Telecommunications");
+    school
+        .add_course(Course {
+            code: CourseCode("TEL101".into()),
+            name: name.into(),
+            program: "Telecommunications".into(),
+            planned_sessions: 3,
+            courseware: Some(compiled.root),
+        })
+        .unwrap();
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    sys.load_directly(compiled.objects.clone(), media);
+    let mut ui = NavigatorUi::new();
+    ui.handle(UiEvent::ClickRegister, &mut school);
+    ui.handle(
+        UiEvent::SubmitGeneralInfo {
+            name: "Sample Student".into(),
+            address: "Ottawa".into(),
+            email: "s@uottawa.ca".into(),
+        },
+        &mut school,
+    );
+    ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+    let UiOutcome::Registered(number) = ui.handle(UiEvent::FinishRegistration, &mut school) else {
+        panic!()
+    };
+    ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut school);
+    let mut session = CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
+    session.start().unwrap();
+    session.play(SimDuration::from_secs(1)).unwrap();
+    let stop_unit = session.current_unit().unwrap() as u32;
+    school
+        .record_session(number, &CourseCode("TEL101".into()), Some(stop_unit))
+        .unwrap();
+    ui.handle(UiEvent::Back, &mut school);
+    ui.handle(UiEvent::OpenAdministration, &mut school);
+    ui.handle(
+        UiEvent::SubmitProfile {
+            address: Some("75 Laurier Ave E".into()),
+            email: None,
+        },
+        &mut school,
+    );
+    ui.handle(UiEvent::OpenLibrary, &mut school);
+    ui.handle(UiEvent::Back, &mut school);
+    ui.handle(UiEvent::Exit, &mut school);
+    for (i, line) in ui.log.iter().enumerate() {
+        println!("{i:>3}. {line}");
+    }
+    println!(
+        "resume position saved: unit {:?}",
+        school
+            .resume_position(number, &CourseCode("TEL101".into()))
+            .unwrap()
+    );
+}
+
+/// E-BB: courseware streaming over the four infrastructures.
+fn e_bb() {
+    header("E-BB", "broadband vs narrowband: streamed MPEG course clip (30 s, 1.5 Mb/s, 1 s prebuffer)");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>10} {:>12} {:>10}",
+        "link", "frames", "lost", "late", "playable", "mean CTD ms", "CLR"
+    );
+    let profiles = [
+        LinkProfile::atm_oc3(),
+        LinkProfile::lan_10m(),
+        LinkProfile::isdn_128k(),
+        LinkProfile::modem_28_8k(),
+    ];
+    for p in profiles {
+        let r = stream_video_over(
+            p,
+            SimDuration::from_secs(30),
+            1_500_000,
+            SimDuration::from_secs(1),
+            1996,
+        );
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>9.1}% {:>12.3} {:>10.2e}",
+            profile_name(&p),
+            r.frames,
+            r.lost,
+            r.late,
+            r.playable * 100.0,
+            r.mean_ctd * 1e3,
+            r.clr
+        );
+    }
+    println!("\naudio row (WAV-rate 90 kb/s, 1 s prebuffer):");
+    for p in [LinkProfile::isdn_128k(), LinkProfile::modem_28_8k()] {
+        let r = stream_audio_over(
+            p,
+            SimDuration::from_secs(30),
+            90_112,
+            SimDuration::from_secs(1),
+            1996,
+        );
+        println!(
+            "{:<18} playable {:>6.1}%  (audio fits ISDN but not a modem)",
+            profile_name(&p),
+            r.playable * 100.0
+        );
+    }
+}
+
+/// E-SIDL: facilitation waiting times.
+fn e_sidl() {
+    header("E-SIDL", "on-demand facilitation vs SIDL telephone queue");
+    let arrival = SimDuration::from_secs(1200);
+    let service = SimDuration::from_secs(120);
+    let n = 2000;
+    println!("load: one question per {arrival}, {service} answers, n={n}");
+    println!("{:<36} {:>12} {:>12} {:>10}", "model", "mean wait", "p95", "answered");
+    let models: [(&str, FacilitationModel); 3] = [
+        ("MITS on-line, 2 facilitators", FacilitationModel::MitsOnline { facilitators: 2 }),
+        ("MITS on-line, 4 facilitators", FacilitationModel::MitsOnline { facilitators: 4 }),
+        (
+            "SIDL 3 lines, 1 h/day broadcast",
+            FacilitationModel::SidlBroadcast {
+                lines: 3,
+                window: SimDuration::from_secs(3600),
+                period: SimDuration::from_secs(24 * 3600),
+            },
+        ),
+    ];
+    for (name, model) in models {
+        let r = simulate_facilitation(model, arrival, service, n, 1996);
+        println!(
+            "{:<36} {:>11.0}s {:>11.0}s {:>10}",
+            name,
+            r.wait.mean(),
+            r.histogram.quantile(0.95).unwrap_or(0.0),
+            r.answered
+        );
+    }
+}
+
+/// E-MODEL: the three delivery infrastructures.
+fn e_model() {
+    header("E-MODEL", "broadcast vs CD-ROM vs network COD");
+    // Measure the real COD fetch on the broadband system.
+    let (compiled, media, name) = atm_course(57);
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    sys.load_directly(compiled.objects.clone(), media);
+    let mut session = CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
+    session.start().unwrap();
+    let cod_fetch = session.report.startup();
+    let rows = compare_delivery_models(
+        SimDuration::from_secs(7 * 24 * 3600),
+        SimDuration::from_secs(3 * 24 * 3600),
+        cod_fetch,
+        1996,
+    );
+    println!(
+        "{:<22} {:>18} {:>14} {:>12} {:>10}",
+        "model", "time to content", "interaction", "staleness", "learner-led"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>18} {:>14} {:>9} d {:>10}",
+            r.model,
+            r.time_to_content.to_string(),
+            r.interaction.map(|d| d.to_string()).unwrap_or_else(|| "none".into()),
+            r.freshness_days,
+            if r.learner_controlled { "yes" } else { "no" }
+        );
+    }
+}
+
+/// E-REUSE: the content-storage ablation.
+fn e_reuse() {
+    header("E-REUSE", "separate content + reuse vs embedded content (2 sessions, shared media)");
+    let (compiled, media, name) = reuse_course(58);
+    let reports = reuse_ablation(
+        &compiled.objects,
+        &media,
+        compiled.root,
+        name,
+        LinkProfile::atm_oc3(),
+        2,
+    )
+    .unwrap();
+    println!("{:<34} {:>14} {:>14}", "policy", "bytes to user", "fetch time");
+    let baseline = reports[0].bytes.max(1);
+    for r in &reports {
+        println!(
+            "{:<34} {:>14} {:>14}   ({:.2}x)",
+            r.policy.name(),
+            r.bytes,
+            r.fetch_time.to_string(),
+            r.bytes as f64 / baseline as f64
+        );
+    }
+}

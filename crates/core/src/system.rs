@@ -1,0 +1,669 @@
+//! The distributed system: topology, transport, server loop, and the
+//! client-facing service calls (Figs 3.1, 3.4, 3.5).
+//!
+//! One [`MitsSystem`] owns the ATM network, the courseware database
+//! server, one author endpoint, and N student endpoints. Every service
+//! call is a real protocol exchange: encoded request frames ride the
+//! reliable transport over AAL5 cells through the switch to the server
+//! host, the server "retrieves objects in the database according to the
+//! information provided by the client" with a modelled service time, and
+//! the response rides back — all on one deterministic virtual clock.
+
+use bytes::Bytes;
+use mits_atm::{
+    AtmNetwork, LinkProfile, NodeId, ReliableChannel, ServiceClass, TransportEvent, VcId,
+};
+use mits_db::{DbClient, DbError, DbServer, Request, Response};
+use mits_media::{MediaId, MediaObject};
+use mits_mheg::{MhegId, MhegObject};
+use mits_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Identifies one student endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub usize);
+
+/// Topology and behaviour parameters.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Access link profile for student hosts.
+    pub access_link: LinkProfile,
+    /// Backbone profile (database and author to the switch).
+    pub backbone: LinkProfile,
+    /// Number of student endpoints.
+    pub clients: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Client-side cache budget in bytes.
+    pub client_cache_bytes: usize,
+}
+
+impl SystemConfig {
+    /// The paper's reference deployment: OC-3 everywhere, a handful of
+    /// multimedia PCs.
+    pub fn broadband(clients: usize) -> Self {
+        SystemConfig {
+            access_link: LinkProfile::atm_oc3(),
+            backbone: LinkProfile::atm_oc3(),
+            clients,
+            seed: 1996,
+            client_cache_bytes: 16 << 20,
+        }
+    }
+
+    /// Same deployment with a narrowband access technology (E-BB).
+    pub fn with_access(mut self, profile: LinkProfile) -> Self {
+        self.access_link = profile;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Errors from system service calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The database returned an error response.
+    Db(DbError),
+    /// No response arrived before the deadline.
+    Timeout,
+    /// Network-level failure (VC setup etc.).
+    Net(String),
+    /// Unexpected response variant for the request.
+    Protocol(String),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Db(e) => write!(f, "database: {e}"),
+            SystemError::Timeout => write!(f, "request timed out"),
+            SystemError::Net(s) => write!(f, "network: {s}"),
+            SystemError::Protocol(s) => write!(f, "protocol: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<DbError> for SystemError {
+    fn from(e: DbError) -> Self {
+        SystemError::Db(e)
+    }
+}
+
+struct Endpoint {
+    host: NodeId,
+    chan: ReliableChannel,
+    db_client: DbClient,
+    inbox: Vec<(u64, Response)>,
+}
+
+/// The assembled MITS installation.
+pub struct MitsSystem {
+    /// The network (public for experiment instrumentation).
+    pub net: AtmNetwork,
+    /// The courseware database server (public for direct loading in
+    /// benches that don't measure publishing).
+    pub db: DbServer,
+    endpoints: Vec<Endpoint>,  // clients then author (last)
+    server_chans: Vec<ReliableChannel>,
+    server_ready: Vec<VecDeque<(SimTime, Bytes)>>,
+    data_vcs: Vec<(VcId, VcId)>, // (peer→db, db→peer) per endpoint
+    /// The server is a single service centre: requests queue behind each
+    /// other (F3.5 contention).
+    server_busy_until: SimTime,
+    /// Total requests that crossed the network.
+    pub requests_sent: u64,
+}
+
+impl MitsSystem {
+    /// Build the installation described by `config`.
+    pub fn build(config: &SystemConfig) -> Result<Self, SystemError> {
+        let mut net = AtmNetwork::new(config.seed);
+        let switch = net.add_switch("campus-switch");
+        let db_host = net.add_host("courseware-db");
+        net.connect(db_host, switch, config.backbone);
+        let author_host = net.add_host("author-site");
+        net.connect(author_host, switch, config.backbone);
+        let mut peer_hosts = Vec::with_capacity(config.clients + 1);
+        for i in 0..config.clients {
+            let h = net.add_host(&format!("student-{i}"));
+            net.connect(h, switch, config.access_link);
+            peer_hosts.push((h, config.access_link));
+        }
+        peer_hosts.push((author_host, config.backbone));
+
+        let mut endpoints = Vec::new();
+        let mut server_chans = Vec::new();
+        let mut server_ready = Vec::new();
+        let mut data_vcs = Vec::new();
+        for (host, profile) in peer_hosts {
+            let up = net
+                .open_vc(&[host, switch, db_host], ServiceClass::Ubr, None)
+                .map_err(|e| SystemError::Net(e.to_string()))?;
+            let down = net
+                .open_vc(&[db_host, switch, host], ServiceClass::Ubr, None)
+                .map_err(|e| SystemError::Net(e.to_string()))?;
+            let timeout = Self::arq_timeout(&profile);
+            // Window of 2 segments: enough to pipeline the link while
+            // keeping the burst inside realistic switch buffers (a 16-seg
+            // burst at backbone speed would overrun a narrowband port's
+            // queue and melt down in retransmissions).
+            endpoints.push(Endpoint {
+                host,
+                chan: ReliableChannel::new(up, down, 2, timeout),
+                db_client: DbClient::new(config.client_cache_bytes),
+                inbox: Vec::new(),
+            });
+            server_chans.push(ReliableChannel::new(down, up, 2, timeout));
+            server_ready.push(VecDeque::new());
+            data_vcs.push((up, down));
+        }
+
+        Ok(MitsSystem {
+            net,
+            db: DbServer::default(),
+            endpoints,
+            server_chans,
+            server_ready,
+            data_vcs,
+            server_busy_until: SimTime::ZERO,
+            requests_sent: 0,
+        })
+    }
+
+    /// ARQ timeout sized to the link: several max-segment serializations
+    /// plus round-trip propagation.
+    fn arq_timeout(profile: &LinkProfile) -> SimDuration {
+        let seg = profile.raw_transfer_time((mits_atm::transport::MSS + 512) as u64);
+        seg * 4 + profile.prop_delay * 8 + SimDuration::from_millis(20)
+    }
+
+    /// The author endpoint index.
+    fn author_index(&self) -> usize {
+        self.endpoints.len() - 1
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Host of a client endpoint.
+    pub fn client_host(&self, client: ClientId) -> NodeId {
+        self.endpoints[client.0].host
+    }
+
+    /// Bytes delivered to a peer on its downlink VC so far.
+    pub fn bytes_to_peer(&self, index: usize) -> u64 {
+        self.net
+            .vc_stats(self.data_vcs[index].1)
+            .map(|s| s.bytes_delivered)
+            .unwrap_or(0)
+    }
+
+    /// Bytes delivered downlink to a client.
+    pub fn bytes_to_client(&self, client: ClientId) -> u64 {
+        self.bytes_to_peer(client.0)
+    }
+
+    /// Client cache statistics (hits, misses).
+    pub fn client_cache_stats(&self, client: ClientId) -> (u64, u64) {
+        let c = &self.endpoints[client.0].db_client.cache;
+        (c.hits, c.misses)
+    }
+
+    // ---------- the pump ----------
+
+    fn earliest_wakeup(&self) -> Option<SimTime> {
+        let mut next = self.net.next_event_time();
+        for chan in self
+            .endpoints
+            .iter()
+            .map(|e| &e.chan)
+            .chain(self.server_chans.iter())
+        {
+            if let Some(t) = chan.next_timeout() {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        for q in &self.server_ready {
+            if let Some((t, _)) = q.front() {
+                next = Some(next.map_or(*t, |n| n.min(*t)));
+            }
+        }
+        next
+    }
+
+    fn flush_server_ready(&mut self) -> Result<(), SystemError> {
+        let now = self.net.now();
+        for i in 0..self.server_ready.len() {
+            while self.server_ready[i]
+                .front()
+                .is_some_and(|(t, _)| *t <= now)
+            {
+                let (_, frame) = self.server_ready[i].pop_front().expect("checked");
+                self.server_chans[i]
+                    .send_message(&mut self.net, &frame)
+                    .map_err(|e| SystemError::Net(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the whole system to `deadline`, processing everything due.
+    pub fn pump_until(&mut self, deadline: SimTime) -> Result<(), SystemError> {
+        loop {
+            self.flush_server_ready()?;
+            let next = self.earliest_wakeup();
+            let step_to = match next {
+                Some(t) if t <= deadline => t,
+                _ => deadline,
+            };
+            let deliveries = self.net.advance(step_to);
+            for d in &deliveries {
+                // Server side.
+                for i in 0..self.server_chans.len() {
+                    let events = self.server_chans[i]
+                        .on_delivery(&mut self.net, d)
+                        .map_err(|e| SystemError::Net(e.to_string()))?;
+                    for ev in events {
+                        if let TransportEvent::Message(frame) = ev {
+                            self.serve(i, &frame)?;
+                        }
+                    }
+                }
+                // Client side.
+                for i in 0..self.endpoints.len() {
+                    let events = self.endpoints[i]
+                        .chan
+                        .on_delivery(&mut self.net, d)
+                        .map_err(|e| SystemError::Net(e.to_string()))?;
+                    for ev in events {
+                        if let TransportEvent::Message(frame) = ev {
+                            let env = self.endpoints[i].db_client.on_response(&frame)?;
+                            self.endpoints[i].inbox.push((env.req_id, env.body));
+                        }
+                    }
+                }
+            }
+            for chan in self
+                .endpoints
+                .iter_mut()
+                .map(|e| &mut e.chan)
+                .chain(self.server_chans.iter_mut())
+            {
+                chan.on_tick(&mut self.net)
+                    .map_err(|e| SystemError::Net(e.to_string()))?;
+            }
+            if self.net.now() >= deadline {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Server request handling: decode, dispatch, queue the response
+    /// after the modelled service time.
+    fn serve(&mut self, peer: usize, frame: &[u8]) -> Result<(), SystemError> {
+        let env = Request::decode(frame)?;
+        let (resp, cost) = self.db.handle(&env.body);
+        // Single service centre: this request starts when the server frees.
+        let start = self.server_busy_until.max(self.net.now());
+        let ready_at = start + cost;
+        self.server_busy_until = ready_at;
+        let resp_frame = resp.encode(env.req_id);
+        self.server_ready[peer].push_back((ready_at, resp_frame));
+        Ok(())
+    }
+
+    // ---------- blocking service calls ----------
+
+    /// Send a request from endpoint `index` and pump until its response
+    /// arrives (or `timeout` elapses). Returns the response and elapsed
+    /// virtual time.
+    fn call(
+        &mut self,
+        index: usize,
+        req: Request,
+        timeout: SimDuration,
+    ) -> Result<(Response, SimDuration), SystemError> {
+        let started = self.net.now();
+        let (req_id, frame) = self.endpoints[index].db_client.request(req);
+        self.requests_sent += 1;
+        self.endpoints[index]
+            .chan
+            .send_message(&mut self.net, &frame)
+            .map_err(|e| SystemError::Net(e.to_string()))?;
+        let deadline = started + timeout;
+        loop {
+            // Check inbox.
+            if let Some(pos) = self.endpoints[index]
+                .inbox
+                .iter()
+                .position(|(id, _)| *id == req_id)
+            {
+                let (_, resp) = self.endpoints[index].inbox.swap_remove(pos);
+                let elapsed = self.net.now().since(started);
+                return match resp {
+                    Response::Err(e) => Err(SystemError::Db(e)),
+                    other => Ok((other, elapsed)),
+                };
+            }
+            if self.net.now() >= deadline {
+                return Err(SystemError::Timeout);
+            }
+            let step = self
+                .earliest_wakeup()
+                .unwrap_or(deadline)
+                .min(deadline)
+                .max(self.net.now() + SimDuration::from_micros(1));
+            self.pump_until(step)?;
+        }
+    }
+
+    /// Default call timeout: generous, scaled for narrowband links.
+    fn default_timeout() -> SimDuration {
+        SimDuration::from_secs(3600)
+    }
+
+    /// Author publishes a courseware: every object and media item crosses
+    /// the network to the database. Returns elapsed virtual time.
+    pub fn publish(
+        &mut self,
+        objects: &[MhegObject],
+        media: &[MediaObject],
+    ) -> Result<SimDuration, SystemError> {
+        let started = self.net.now();
+        let author = self.author_index();
+        for obj in objects {
+            let (resp, _) = self.call(
+                author,
+                Request::PutObject { object: obj.clone() },
+                Self::default_timeout(),
+            )?;
+            if resp != Response::Ack {
+                return Err(SystemError::Protocol("expected Ack".into()));
+            }
+        }
+        for m in media {
+            let (resp, _) = self.call(
+                author,
+                Request::PutContent { media: m.clone() },
+                Self::default_timeout(),
+            )?;
+            if resp != Response::Ack {
+                return Err(SystemError::Protocol("expected Ack".into()));
+            }
+        }
+        Ok(self.net.now().since(started))
+    }
+
+    /// Load content without the network (bench setup shortcut).
+    pub fn load_directly(&mut self, objects: Vec<MhegObject>, media: Vec<MediaObject>) {
+        self.db.load_objects(objects);
+        self.db.load_media(media);
+    }
+
+    /// `Get_List_Doc` from a client.
+    pub fn list_docs(
+        &mut self,
+        client: ClientId,
+    ) -> Result<(Vec<(MhegId, String)>, SimDuration), SystemError> {
+        match self.call(client.0, Request::ListDocs, Self::default_timeout())? {
+            (Response::DocList(l), t) => Ok((l, t)),
+            _ => Err(SystemError::Protocol("expected DocList".into())),
+        }
+    }
+
+    /// Fetch a courseware's full object closure from a client.
+    pub fn fetch_courseware(
+        &mut self,
+        client: ClientId,
+        root: MhegId,
+    ) -> Result<(Vec<MhegObject>, SimDuration), SystemError> {
+        match self.call(
+            client.0,
+            Request::GetCourseware { root },
+            Self::default_timeout(),
+        )? {
+            (Response::Objects(objs), t) => Ok((objs, t)),
+            _ => Err(SystemError::Protocol("expected Objects".into())),
+        }
+    }
+
+    /// Fetch a document by name (`Get_Selected_Doc`).
+    pub fn fetch_doc(
+        &mut self,
+        client: ClientId,
+        name: &str,
+    ) -> Result<(Vec<MhegObject>, SimDuration), SystemError> {
+        match self.call(
+            client.0,
+            Request::GetDoc { name: name.to_string() },
+            Self::default_timeout(),
+        )? {
+            (Response::Objects(objs), t) => Ok((objs, t)),
+            _ => Err(SystemError::Protocol("expected Objects".into())),
+        }
+    }
+
+    /// Fetch bulk content, consulting the client cache first.
+    pub fn fetch_content(
+        &mut self,
+        client: ClientId,
+        media: MediaId,
+    ) -> Result<(MediaObject, SimDuration), SystemError> {
+        if let Some(m) = self.endpoints[client.0].db_client.cache.get_content(media) {
+            return Ok((m, SimDuration::ZERO));
+        }
+        match self.call(
+            client.0,
+            Request::GetContent { media },
+            Self::default_timeout(),
+        )? {
+            (Response::Content(m), t) => Ok((m, t)),
+            _ => Err(SystemError::Protocol("expected Content".into())),
+        }
+    }
+
+    /// Keyword query from a client.
+    pub fn query_keyword(
+        &mut self,
+        client: ClientId,
+        keyword: &str,
+        subtree: bool,
+    ) -> Result<(Vec<MhegId>, SimDuration), SystemError> {
+        match self.call(
+            client.0,
+            Request::QueryKeyword {
+                keyword: keyword.to_string(),
+                subtree,
+            },
+            Self::default_timeout(),
+        )? {
+            (Response::DocIds(ids), t) => Ok((ids, t)),
+            _ => Err(SystemError::Protocol("expected DocIds".into())),
+        }
+    }
+
+    /// Fetch the keyword tree (library browsing).
+    pub fn fetch_keyword_tree(
+        &mut self,
+        client: ClientId,
+    ) -> Result<(mits_db::KeywordTree, SimDuration), SystemError> {
+        match self.call(client.0, Request::GetKeywordTree, Self::default_timeout())? {
+            (Response::KeywordTree(t), d) => Ok((t, d)),
+            _ => Err(SystemError::Protocol("expected KeywordTree".into())),
+        }
+    }
+
+    /// Issue the same request from many clients *concurrently* and wait
+    /// for every response — the F3.5 contention workload. Returns each
+    /// client's response latency.
+    pub fn concurrent_fetch_courseware(
+        &mut self,
+        clients: &[ClientId],
+        root: MhegId,
+    ) -> Result<Vec<SimDuration>, SystemError> {
+        let started = self.net.now();
+        let mut ids = Vec::with_capacity(clients.len());
+        for c in clients {
+            let (req_id, frame) = self.endpoints[c.0]
+                .db_client
+                .request(Request::GetCourseware { root });
+            self.requests_sent += 1;
+            self.endpoints[c.0]
+                .chan
+                .send_message(&mut self.net, &frame)
+                .map_err(|e| SystemError::Net(e.to_string()))?;
+            ids.push(req_id);
+        }
+        let deadline = started + Self::default_timeout();
+        let mut latencies = vec![None; clients.len()];
+        while latencies.iter().any(Option::is_none) {
+            if self.net.now() >= deadline {
+                return Err(SystemError::Timeout);
+            }
+            let step = self
+                .earliest_wakeup()
+                .unwrap_or(deadline)
+                .min(deadline)
+                .max(self.net.now() + SimDuration::from_micros(1));
+            self.pump_until(step)?;
+            for (i, c) in clients.iter().enumerate() {
+                if latencies[i].is_some() {
+                    continue;
+                }
+                if let Some(pos) = self.endpoints[c.0]
+                    .inbox
+                    .iter()
+                    .position(|(id, _)| *id == ids[i])
+                {
+                    let (_, resp) = self.endpoints[c.0].inbox.swap_remove(pos);
+                    if let Response::Err(e) = resp {
+                        return Err(SystemError::Db(e));
+                    }
+                    latencies[i] = Some(self.net.now().since(started));
+                }
+            }
+        }
+        Ok(latencies.into_iter().map(|l| l.expect("all filled")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mits_author::{compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry};
+    use mits_media::{CaptureSpec, MediaFormat, ProductionCenter};
+
+    fn tiny_course() -> (Vec<MhegObject>, Vec<MediaObject>, MhegId) {
+        let mut pc = ProductionCenter::new(7);
+        let clip = pc.capture(&CaptureSpec::video(
+            "intro.mpg",
+            MediaFormat::Mpeg,
+            SimDuration::from_millis(200),
+            mits_media::VideoDims::new(64, 64),
+        ));
+        let mut doc = ImDocument::new("Tiny Course");
+        doc.keywords = vec!["telecom/atm".into()];
+        doc.sections.push(Section {
+            title: "s".into(),
+            subsections: vec![Subsection {
+                title: "ss".into(),
+                scenes: vec![Scene::new("only")
+                    .element("v", ElementKind::Media((&clip).into()))
+                    .entry(TimelineEntry::at_start("v"))],
+            }],
+        });
+        let compiled = compile_imd(50, &doc);
+        (compiled.objects, vec![clip], compiled.root)
+    }
+
+    #[test]
+    fn publish_then_list_then_fetch() {
+        let (objects, media, root) = tiny_course();
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(2)).unwrap();
+        let publish_time = sys.publish(&objects, &media).unwrap();
+        assert!(publish_time > SimDuration::ZERO, "publishing crossed the network");
+        let (docs, _) = sys.list_docs(ClientId(0)).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].0, root);
+        assert_eq!(docs[0].1, "Tiny Course");
+        let (objs, fetch_time) = sys.fetch_courseware(ClientId(0), root).unwrap();
+        assert_eq!(objs.len(), objects.len());
+        assert!(fetch_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fetch_content_uses_cache_second_time() {
+        let (objects, media, _) = tiny_course();
+        let id = media[0].id;
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+        sys.load_directly(objects, media);
+        let (m1, t1) = sys.fetch_content(ClientId(0), id).unwrap();
+        assert!(t1 > SimDuration::ZERO);
+        assert!(m1.verify(), "content intact across the network");
+        let (_, t2) = sys.fetch_content(ClientId(0), id).unwrap();
+        assert_eq!(t2, SimDuration::ZERO, "cache hit skips the network");
+        let (hits, _) = sys.client_cache_stats(ClientId(0));
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn missing_doc_is_db_error() {
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+        let err = sys.fetch_doc(ClientId(0), "nothing here").unwrap_err();
+        assert!(matches!(err, SystemError::Db(DbError::NotFound(_))));
+    }
+
+    #[test]
+    fn keyword_queries_over_network() {
+        let (objects, media, root) = tiny_course();
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+        sys.publish(&objects, &media).unwrap();
+        let (ids, _) = sys.query_keyword(ClientId(0), "telecom", true).unwrap();
+        assert_eq!(ids, vec![root]);
+        let (tree, _) = sys.fetch_keyword_tree(ClientId(0)).unwrap();
+        assert_eq!(tree.lookup("telecom/atm"), vec![root]);
+    }
+
+    #[test]
+    fn narrowband_fetch_is_slower() {
+        let (objects, media, root) = tiny_course();
+        let mut elapsed = Vec::new();
+        for profile in [LinkProfile::atm_oc3(), LinkProfile::isdn_128k()] {
+            let mut sys = MitsSystem::build(
+                &SystemConfig::broadband(1).with_access(profile),
+            )
+            .unwrap();
+            sys.load_directly(objects.clone(), media.clone());
+            let (_, t) = sys.fetch_courseware(ClientId(0), root).unwrap();
+            let (_, tc) = sys.fetch_content(ClientId(0), media[0].id).unwrap();
+            elapsed.push(t + tc);
+        }
+        assert!(
+            elapsed[1].as_secs_f64() > 20.0 * elapsed[0].as_secs_f64(),
+            "ISDN {} vs OC-3 {}",
+            elapsed[1],
+            elapsed[0]
+        );
+    }
+
+    #[test]
+    fn two_clients_independent_caches() {
+        let (objects, media, _) = tiny_course();
+        let id = media[0].id;
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(2)).unwrap();
+        sys.load_directly(objects, media);
+        sys.fetch_content(ClientId(0), id).unwrap();
+        // Client 1 still pays the network.
+        let (_, t) = sys.fetch_content(ClientId(1), id).unwrap();
+        assert!(t > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,326 @@
+//! The client module embedded in the navigator (§5.3.2).
+//!
+//! "A client module, which is embedded in the navigator program at the
+//! courseware user site, to provide APIs for accessing the database."
+//! The prototype shipped `Get_List_Doc()` and `Get_Selected_Doc()`; the
+//! thesis lists `GetKeywordTree()` and `GetDocByKeyword()` as future
+//! work — all four are here, plus the object/content fetches the full
+//! courseware service needs and a byte-bounded cache so re-visited
+//! objects do not cross the network twice (the reuse half of E-REUSE).
+//!
+//! The client is transport-agnostic: it emits encoded request frames and
+//! consumes encoded response frames; `mits-core` pumps them through the
+//! simulated ATM network (or a loopback in tests).
+
+use crate::protocol::{DbError, Envelope, Request, Response};
+use bytes::Bytes;
+use mits_media::{MediaId, MediaObject};
+use mits_mheg::{MhegId, MhegObject};
+use std::collections::{HashMap, VecDeque};
+
+/// A byte-bounded object/content cache (FIFO eviction — simple and
+/// adequate for session-length reuse).
+pub struct ClientCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    objects: HashMap<MhegId, MhegObject>,
+    content: HashMap<MediaId, MediaObject>,
+    order: VecDeque<CacheKey>,
+    /// Cache hits (objects + content).
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheKey {
+    Obj(MhegId),
+    Med(MediaId),
+}
+
+impl ClientCache {
+    /// A cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ClientCache {
+            capacity_bytes,
+            used_bytes: 0,
+            objects: HashMap::new(),
+            content: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn evict_to(&mut self, target: usize) {
+        while self.used_bytes > target {
+            let Some(key) = self.order.pop_front() else { break };
+            match key {
+                CacheKey::Obj(id) => {
+                    if self.objects.remove(&id).is_some() {
+                        self.used_bytes = self.used_bytes.saturating_sub(OBJ_COST);
+                    }
+                }
+                CacheKey::Med(id) => {
+                    if let Some(m) = self.content.remove(&id) {
+                        self.used_bytes = self.used_bytes.saturating_sub(m.data.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert an object.
+    pub fn put_object(&mut self, obj: MhegObject) {
+        if self.objects.insert(obj.id, obj.clone()).is_none() {
+            self.used_bytes += OBJ_COST;
+            self.order.push_back(CacheKey::Obj(obj.id));
+        }
+        self.evict_to(self.capacity_bytes);
+    }
+
+    /// Insert a media object.
+    pub fn put_content(&mut self, m: MediaObject) {
+        let cost = m.data.len();
+        if cost > self.capacity_bytes {
+            return; // would evict everything for one oversized item
+        }
+        if self.content.insert(m.id, m.clone()).is_none() {
+            self.used_bytes += cost;
+            self.order.push_back(CacheKey::Med(m.id));
+        }
+        self.evict_to(self.capacity_bytes);
+    }
+
+    /// Look up an object, counting hit/miss.
+    pub fn get_object(&mut self, id: MhegId) -> Option<MhegObject> {
+        match self.objects.get(&id) {
+            Some(o) => {
+                self.hits += 1;
+                Some(o.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up content, counting hit/miss.
+    pub fn get_content(&mut self, id: MediaId) -> Option<MediaObject> {
+        match self.content.get(&id) {
+            Some(m) => {
+                self.hits += 1;
+                Some(m.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Bytes currently accounted.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+}
+
+/// Flat accounting cost of a cached scenario object.
+const OBJ_COST: usize = 512;
+
+/// A pending request awaiting its response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pending {
+    /// Correlation id.
+    pub req_id: u64,
+    /// The request (kept for retry/diagnostics).
+    pub request: Request,
+}
+
+/// The navigator-side database client.
+pub struct DbClient {
+    next_req: u64,
+    pending: HashMap<u64, Request>,
+    /// Object/content cache.
+    pub cache: ClientCache,
+    /// Requests that skipped the network thanks to the cache.
+    pub network_requests: u64,
+}
+
+impl DbClient {
+    /// A client with a cache of `cache_bytes`.
+    pub fn new(cache_bytes: usize) -> Self {
+        DbClient {
+            next_req: 1,
+            pending: HashMap::new(),
+            cache: ClientCache::new(cache_bytes),
+            network_requests: 0,
+        }
+    }
+
+    /// Encode a request frame for the network. Returns `(req_id, frame)`.
+    pub fn request(&mut self, req: Request) -> (u64, Bytes) {
+        let id = self.next_req;
+        self.next_req += 1;
+        let frame = req.encode(id);
+        self.pending.insert(id, req);
+        self.network_requests += 1;
+        (id, frame)
+    }
+
+    /// Cached-object fetch: returns the object immediately on a cache hit,
+    /// or the request frame to transmit.
+    pub fn fetch_object(&mut self, id: MhegId) -> Result<MhegObject, (u64, Bytes)> {
+        if let Some(o) = self.cache.get_object(id) {
+            return Ok(o);
+        }
+        Err(self.request(Request::GetObject { id }))
+    }
+
+    /// Cached-content fetch.
+    pub fn fetch_content(&mut self, id: MediaId) -> Result<MediaObject, (u64, Bytes)> {
+        if let Some(m) = self.cache.get_content(id) {
+            return Ok(m);
+        }
+        Err(self.request(Request::GetContent { media: id }))
+    }
+
+    /// Consume a response frame. Returns the decoded envelope and feeds
+    /// the cache; unknown correlation ids are rejected.
+    pub fn on_response(&mut self, frame: &[u8]) -> Result<Envelope<Response>, DbError> {
+        let env = Response::decode(frame)?;
+        if self.pending.remove(&env.req_id).is_none() {
+            return Err(DbError::Malformed(format!(
+                "unsolicited response id {}",
+                env.req_id
+            )));
+        }
+        match &env.body {
+            Response::Objects(objs) => {
+                for o in objs {
+                    self.cache.put_object(o.clone());
+                }
+            }
+            Response::Content(m) => self.cache.put_content(m.clone()),
+            _ => {}
+        }
+        Ok(env)
+    }
+
+    /// Requests still awaiting responses.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::DbServer;
+    use mits_mheg::{ClassLibrary, GenericValue};
+
+    /// Loopback: hand the frame to a server, return its response frame.
+    fn loopback(server: &DbServer, frame: &[u8]) -> Bytes {
+        let env = Request::decode(frame).expect("client frames are valid");
+        let (resp, _) = server.handle(&env.body);
+        resp.encode(env.req_id)
+    }
+
+    fn setup() -> (DbServer, MhegId, MhegId) {
+        let mut lib = ClassLibrary::new(1);
+        let a = lib.value_content("a", GenericValue::Int(1));
+        let course = lib.container("Course", vec![a]);
+        let server = DbServer::default();
+        server.load_objects(lib.into_objects());
+        (server, course, a)
+    }
+
+    #[test]
+    fn request_response_correlation() {
+        let (server, course, _) = setup();
+        let mut client = DbClient::new(1 << 20);
+        let (id1, f1) = client.request(Request::ListDocs);
+        let (id2, f2) = client.request(Request::GetCourseware { root: course });
+        assert_ne!(id1, id2);
+        assert_eq!(client.pending_count(), 2);
+        // Respond out of order.
+        let r2 = loopback(&server, &f2);
+        let r1 = loopback(&server, &f1);
+        let env2 = client.on_response(&r2).unwrap();
+        assert_eq!(env2.req_id, id2);
+        let env1 = client.on_response(&r1).unwrap();
+        assert_eq!(env1.req_id, id1);
+        assert_eq!(client.pending_count(), 0);
+    }
+
+    #[test]
+    fn unsolicited_response_rejected() {
+        let mut client = DbClient::new(1 << 20);
+        let frame = Response::Ack.encode(999);
+        assert!(client.on_response(&frame).is_err());
+    }
+
+    #[test]
+    fn objects_cached_after_fetch() {
+        let (server, course, a) = setup();
+        let mut client = DbClient::new(1 << 20);
+        // First fetch misses → network.
+        let err = client.fetch_object(a);
+        let (_, frame) = match err {
+            Err(x) => x,
+            Ok(_) => panic!("cold cache cannot hit"),
+        };
+        let resp = loopback(&server, &frame);
+        client.on_response(&resp).unwrap();
+        // Second fetch hits the cache, no frame.
+        let hit = client.fetch_object(a).expect("cache hit");
+        assert_eq!(hit.id, a);
+        assert_eq!(client.cache.hits, 1);
+        // Courseware fetch caches the whole closure.
+        let (_, frame) = client.request(Request::GetCourseware { root: course });
+        let resp = loopback(&server, &frame);
+        client.on_response(&resp).unwrap();
+        assert!(client.fetch_object(course).is_ok());
+    }
+
+    #[test]
+    fn cache_eviction_respects_capacity() {
+        use bytes::Bytes;
+        use mits_media::{MediaFormat, MediaObject, VideoDims};
+        use mits_sim::SimDuration;
+        let mut cache = ClientCache::new(10_000);
+        for i in 0..10u64 {
+            cache.put_content(MediaObject::new(
+                MediaId(i),
+                format!("m{i}"),
+                MediaFormat::Gif,
+                SimDuration::ZERO,
+                VideoDims::new(1, 1),
+                Bytes::from(vec![0u8; 3_000]),
+            ));
+        }
+        assert!(cache.used_bytes() <= 10_000, "bounded: {}", cache.used_bytes());
+        // Oldest entries evicted.
+        assert!(cache.get_content(MediaId(0)).is_none());
+        assert!(cache.get_content(MediaId(9)).is_some());
+    }
+
+    #[test]
+    fn oversized_item_not_cached() {
+        use bytes::Bytes;
+        use mits_media::{MediaFormat, MediaObject, VideoDims};
+        use mits_sim::SimDuration;
+        let mut cache = ClientCache::new(1_000);
+        cache.put_content(MediaObject::new(
+            MediaId(1),
+            "big",
+            MediaFormat::Mpeg,
+            SimDuration::ZERO,
+            VideoDims::new(1, 1),
+            Bytes::from(vec![0u8; 5_000]),
+        ));
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(cache.get_content(MediaId(1)).is_none());
+    }
+}

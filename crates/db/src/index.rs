@@ -1,0 +1,191 @@
+//! The keyword tree — §5.5 names `GetKeywordTree()` ("retrieve and
+//! display the keywords provided by the database") and
+//! `GetDocByKeyword(keyword)` as the query APIs the prototype planned.
+//!
+//! Keywords may be hierarchical with `/` separators ("telecom/atm/qos");
+//! the tree merges all document keywords into one taxonomy students browse
+//! in the library screen (Fig 5.7).
+
+use mits_mheg::MhegId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One node of the keyword taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeywordNode {
+    /// Documents directly tagged with the keyword path ending here.
+    pub documents: Vec<MhegId>,
+    /// Child keywords (ordered for deterministic display).
+    pub children: BTreeMap<String, KeywordNode>,
+}
+
+/// The whole keyword tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeywordTree {
+    root: KeywordNode,
+    entries: usize,
+}
+
+impl KeywordTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tag `doc` with a keyword path like `"telecom/atm"`.
+    pub fn insert(&mut self, keyword: &str, doc: MhegId) {
+        let mut node = &mut self.root;
+        for part in keyword.split('/').filter(|p| !p.is_empty()) {
+            node = node
+                .children
+                .entry(part.to_ascii_lowercase())
+                .or_default();
+        }
+        if !node.documents.contains(&doc) {
+            node.documents.push(doc);
+            self.entries += 1;
+        }
+    }
+
+    /// Documents tagged exactly at `keyword`.
+    pub fn lookup(&self, keyword: &str) -> Vec<MhegId> {
+        match self.node_at(keyword) {
+            Some(n) => n.documents.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Documents tagged at `keyword` or anywhere beneath it.
+    pub fn lookup_subtree(&self, keyword: &str) -> Vec<MhegId> {
+        let Some(node) = self.node_at(keyword) else { return Vec::new() };
+        let mut out = Vec::new();
+        collect(node, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn node_at(&self, keyword: &str) -> Option<&KeywordNode> {
+        let mut node = &self.root;
+        for part in keyword.split('/').filter(|p| !p.is_empty()) {
+            node = node.children.get(&part.to_ascii_lowercase())?;
+        }
+        Some(node)
+    }
+
+    /// Total (keyword, document) pairs.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Flatten to `(path, doc_count)` rows, depth-first — the library
+    /// browsing display.
+    pub fn outline(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        fn walk(node: &KeywordNode, path: &str, out: &mut Vec<(String, usize)>) {
+            for (name, child) in &node.children {
+                let p = if path.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{path}/{name}")
+                };
+                out.push((p.clone(), child.documents.len()));
+                walk(child, &p, out);
+            }
+        }
+        walk(&self.root, "", &mut out);
+        out
+    }
+
+    /// Root node (for custom traversals / wire encoding).
+    pub fn root(&self) -> &KeywordNode {
+        &self.root
+    }
+}
+
+fn collect(node: &KeywordNode, out: &mut Vec<MhegId>) {
+    out.extend_from_slice(&node.documents);
+    for child in node.children.values() {
+        collect(child, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(n: u64) -> MhegId {
+        MhegId::new(1, n)
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut t = KeywordTree::new();
+        t.insert("telecom/atm", doc(1));
+        t.insert("telecom/atm", doc(2));
+        t.insert("telecom", doc(3));
+        assert_eq!(t.lookup("telecom/atm"), vec![doc(1), doc(2)]);
+        assert_eq!(t.lookup("telecom"), vec![doc(3)]);
+        assert_eq!(t.lookup("biology"), Vec::<MhegId>::new());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_tag_ignored() {
+        let mut t = KeywordTree::new();
+        t.insert("atm", doc(1));
+        t.insert("atm", doc(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("atm"), vec![doc(1)]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let mut t = KeywordTree::new();
+        t.insert("Telecom/ATM", doc(1));
+        assert_eq!(t.lookup("telecom/atm"), vec![doc(1)]);
+        assert_eq!(t.lookup("TELECOM/atm"), vec![doc(1)]);
+    }
+
+    #[test]
+    fn subtree_lookup_gathers_descendants() {
+        let mut t = KeywordTree::new();
+        t.insert("telecom", doc(1));
+        t.insert("telecom/atm", doc(2));
+        t.insert("telecom/atm/qos", doc(3));
+        t.insert("telecom/isdn", doc(4));
+        t.insert("biology", doc(5));
+        let all = t.lookup_subtree("telecom");
+        assert_eq!(all, vec![doc(1), doc(2), doc(3), doc(4)]);
+        assert_eq!(t.lookup_subtree(""), vec![doc(1), doc(2), doc(3), doc(4), doc(5)]);
+    }
+
+    #[test]
+    fn outline_is_sorted_depth_first() {
+        let mut t = KeywordTree::new();
+        t.insert("b", doc(1));
+        t.insert("a/x", doc(2));
+        t.insert("a", doc(3));
+        let o = t.outline();
+        assert_eq!(
+            o,
+            vec![
+                ("a".to_string(), 1),
+                ("a/x".to_string(), 1),
+                ("b".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_segments_skipped() {
+        let mut t = KeywordTree::new();
+        t.insert("//atm//", doc(1));
+        assert_eq!(t.lookup("atm"), vec![doc(1)]);
+    }
+}

@@ -1,0 +1,539 @@
+//! The client-server wire protocol (Fig 3.5).
+//!
+//! "A database server waits and listens for a service request from a
+//! client. When such a request is received, the server retrieves objects
+//! in the database according to the information provided by the client.
+//! Then it establishes connections to the client and transmits the MHEG
+//! objects or the content data through the network."
+//!
+//! Requests and responses travel as framed binary messages over the
+//! reliable transport. MHEG objects ride in their own interchange (TLV)
+//! encoding — the protocol never re-describes them; that is the whole
+//! point of an interchange format.
+
+use crate::index::KeywordTree;
+use bytes::{BufMut, Bytes, BytesMut};
+use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
+use mits_mheg::{decode_object, encode_object, MhegId, MhegObject, WireFormat};
+use mits_sim::SimDuration;
+use std::fmt;
+
+/// Errors a server can return / decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The named thing does not exist.
+    NotFound(String),
+    /// The message could not be decoded.
+    Malformed(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NotFound(s) => write!(f, "not found: {s}"),
+            DbError::Malformed(s) => write!(f, "malformed message: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `Get_List_Doc()`: list all documents (containers).
+    ListDocs,
+    /// `Get_Selected_Doc(name)`: fetch a document's object closure by name.
+    GetDoc {
+        /// Document (container) name.
+        name: String,
+    },
+    /// Fetch one object by id.
+    GetObject {
+        /// Object id.
+        id: MhegId,
+    },
+    /// Fetch the full object closure of a courseware root.
+    GetCourseware {
+        /// Root (container or composite) id.
+        root: MhegId,
+    },
+    /// Fetch bulk content data.
+    GetContent {
+        /// Media id.
+        media: MediaId,
+    },
+    /// `GetKeywordTree()`.
+    GetKeywordTree,
+    /// `GetDocByKeyword(keyword)`; `subtree` widens to descendants.
+    QueryKeyword {
+        /// Keyword path.
+        keyword: String,
+        /// Include descendant keywords.
+        subtree: bool,
+    },
+    /// Author site: store an object.
+    PutObject {
+        /// The object.
+        object: MhegObject,
+    },
+    /// Production center: store a media object.
+    PutContent {
+        /// The media object.
+        media: MediaObject,
+    },
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Document list: (id, name) pairs.
+    DocList(Vec<(MhegId, String)>),
+    /// One or more MHEG objects.
+    Objects(Vec<MhegObject>),
+    /// A media object with payload.
+    Content(MediaObject),
+    /// The keyword taxonomy.
+    KeywordTree(KeywordTree),
+    /// Document ids matching a query.
+    DocIds(Vec<MhegId>),
+    /// Write acknowledged.
+    Ack,
+    /// Failure.
+    Err(DbError),
+}
+
+/// A correlated protocol message (request or response share the id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<T> {
+    /// Correlation id chosen by the client.
+    pub req_id: u64,
+    /// Payload.
+    pub body: T,
+}
+
+// ---------- wire helpers ----------
+
+struct W(BytesMut);
+
+impl W {
+    fn new() -> Self {
+        W(BytesMut::with_capacity(128))
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.put_u8(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.put_u32(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.put_u64(v);
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.put_slice(s.as_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.put_slice(b);
+    }
+    fn id(&mut self, id: MhegId) {
+        self.u32(id.app);
+        self.u64(id.num);
+    }
+    fn fin(self) -> Bytes {
+        self.0.freeze()
+    }
+}
+
+struct R<'a> {
+    d: &'a [u8],
+    p: usize,
+}
+
+type DR<T> = Result<T, DbError>;
+
+impl<'a> R<'a> {
+    fn new(d: &'a [u8]) -> Self {
+        R { d, p: 0 }
+    }
+    fn take(&mut self, n: usize) -> DR<&'a [u8]> {
+        let end = self.p.checked_add(n).ok_or_else(truncated)?;
+        if end > self.d.len() {
+            return Err(truncated());
+        }
+        let s = &self.d[self.p..end];
+        self.p = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> DR<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> DR<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> DR<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn str(&mut self) -> DR<String> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|e| DbError::Malformed(e.to_string()))
+    }
+    fn bytes(&mut self) -> DR<Bytes> {
+        let n = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(n)?))
+    }
+    fn id(&mut self) -> DR<MhegId> {
+        Ok(MhegId::new(self.u32()?, self.u64()?))
+    }
+    fn done(&self) -> DR<()> {
+        if self.p == self.d.len() {
+            Ok(())
+        } else {
+            Err(DbError::Malformed("trailing bytes".into()))
+        }
+    }
+}
+
+fn truncated() -> DbError {
+    DbError::Malformed("truncated".into())
+}
+
+fn write_media(w: &mut W, m: &MediaObject) {
+    w.u64(m.id.0);
+    w.str(&m.name);
+    w.u8(m.format.wire_tag());
+    w.u64(m.duration.as_micros());
+    w.u32(m.dims.width);
+    w.u32(m.dims.height);
+    w.bytes(&m.data);
+}
+
+fn read_media(r: &mut R<'_>) -> DR<MediaObject> {
+    let id = MediaId(r.u64()?);
+    let name = r.str()?;
+    let format = MediaFormat::from_wire_tag(r.u8()?)
+        .ok_or_else(|| DbError::Malformed("bad media format".into()))?;
+    let duration = SimDuration::from_micros(r.u64()?);
+    let dims = VideoDims::new(r.u32()?, r.u32()?);
+    let data = r.bytes()?;
+    Ok(MediaObject::new(id, name, format, duration, dims, data))
+}
+
+fn write_object(w: &mut W, o: &MhegObject) {
+    let enc = encode_object(o, WireFormat::Tlv);
+    w.bytes(&enc);
+}
+
+fn read_object(r: &mut R<'_>) -> DR<MhegObject> {
+    let raw = r.bytes()?;
+    decode_object(&raw, WireFormat::Tlv).map_err(|e| DbError::Malformed(e.to_string()))
+}
+
+fn write_tree_node(w: &mut W, node: &crate::index::KeywordNode) {
+    w.u32(node.documents.len() as u32);
+    for d in &node.documents {
+        w.id(*d);
+    }
+    w.u32(node.children.len() as u32);
+    for (name, child) in &node.children {
+        w.str(name);
+        write_tree_node(w, child);
+    }
+}
+
+fn read_tree_into(r: &mut R<'_>, tree: &mut KeywordTree, path: &str) -> DR<()> {
+    let ndocs = r.u32()? as usize;
+    for _ in 0..ndocs {
+        let d = r.id()?;
+        tree.insert(path, d);
+    }
+    let nchildren = r.u32()? as usize;
+    for _ in 0..nchildren {
+        let name = r.str()?;
+        let sub = if path.is_empty() {
+            name.clone()
+        } else {
+            format!("{path}/{name}")
+        };
+        read_tree_into(r, tree, &sub)?;
+    }
+    Ok(())
+}
+
+// ---------- request codec ----------
+
+impl Request {
+    /// Encode an enveloped request.
+    pub fn encode(&self, req_id: u64) -> Bytes {
+        let mut w = W::new();
+        w.u64(req_id);
+        match self {
+            Request::ListDocs => w.u8(1),
+            Request::GetDoc { name } => {
+                w.u8(2);
+                w.str(name);
+            }
+            Request::GetObject { id } => {
+                w.u8(3);
+                w.id(*id);
+            }
+            Request::GetCourseware { root } => {
+                w.u8(4);
+                w.id(*root);
+            }
+            Request::GetContent { media } => {
+                w.u8(5);
+                w.u64(media.0);
+            }
+            Request::GetKeywordTree => w.u8(6),
+            Request::QueryKeyword { keyword, subtree } => {
+                w.u8(7);
+                w.str(keyword);
+                w.u8(*subtree as u8);
+            }
+            Request::PutObject { object } => {
+                w.u8(8);
+                write_object(&mut w, object);
+            }
+            Request::PutContent { media } => {
+                w.u8(9);
+                write_media(&mut w, media);
+            }
+        }
+        w.fin()
+    }
+
+    /// Decode an enveloped request.
+    pub fn decode(data: &[u8]) -> DR<Envelope<Request>> {
+        let mut r = R::new(data);
+        let req_id = r.u64()?;
+        let body = match r.u8()? {
+            1 => Request::ListDocs,
+            2 => Request::GetDoc { name: r.str()? },
+            3 => Request::GetObject { id: r.id()? },
+            4 => Request::GetCourseware { root: r.id()? },
+            5 => Request::GetContent {
+                media: MediaId(r.u64()?),
+            },
+            6 => Request::GetKeywordTree,
+            7 => Request::QueryKeyword {
+                keyword: r.str()?,
+                subtree: r.u8()? != 0,
+            },
+            8 => Request::PutObject {
+                object: read_object(&mut r)?,
+            },
+            9 => Request::PutContent {
+                media: read_media(&mut r)?,
+            },
+            t => return Err(DbError::Malformed(format!("unknown request tag {t}"))),
+        };
+        r.done()?;
+        Ok(Envelope { req_id, body })
+    }
+}
+
+// ---------- response codec ----------
+
+impl Response {
+    /// Encode an enveloped response.
+    pub fn encode(&self, req_id: u64) -> Bytes {
+        let mut w = W::new();
+        w.u64(req_id);
+        match self {
+            Response::DocList(list) => {
+                w.u8(1);
+                w.u32(list.len() as u32);
+                for (id, name) in list {
+                    w.id(*id);
+                    w.str(name);
+                }
+            }
+            Response::Objects(objs) => {
+                w.u8(2);
+                w.u32(objs.len() as u32);
+                for o in objs {
+                    write_object(&mut w, o);
+                }
+            }
+            Response::Content(m) => {
+                w.u8(3);
+                write_media(&mut w, m);
+            }
+            Response::KeywordTree(t) => {
+                w.u8(4);
+                write_tree_node(&mut w, t.root());
+            }
+            Response::DocIds(ids) => {
+                w.u8(5);
+                w.u32(ids.len() as u32);
+                for id in ids {
+                    w.id(*id);
+                }
+            }
+            Response::Ack => w.u8(6),
+            Response::Err(e) => {
+                w.u8(7);
+                match e {
+                    DbError::NotFound(s) => {
+                        w.u8(1);
+                        w.str(s);
+                    }
+                    DbError::Malformed(s) => {
+                        w.u8(2);
+                        w.str(s);
+                    }
+                }
+            }
+        }
+        w.fin()
+    }
+
+    /// Decode an enveloped response.
+    pub fn decode(data: &[u8]) -> DR<Envelope<Response>> {
+        let mut r = R::new(data);
+        let req_id = r.u64()?;
+        let body = match r.u8()? {
+            1 => {
+                let n = r.u32()? as usize;
+                let mut list = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let id = r.id()?;
+                    let name = r.str()?;
+                    list.push((id, name));
+                }
+                Response::DocList(list)
+            }
+            2 => {
+                let n = r.u32()? as usize;
+                let mut objs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    objs.push(read_object(&mut r)?);
+                }
+                Response::Objects(objs)
+            }
+            3 => Response::Content(read_media(&mut r)?),
+            4 => {
+                let mut tree = KeywordTree::new();
+                read_tree_into(&mut r, &mut tree, "")?;
+                Response::KeywordTree(tree)
+            }
+            5 => {
+                let n = r.u32()? as usize;
+                let mut ids = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ids.push(r.id()?);
+                }
+                Response::DocIds(ids)
+            }
+            6 => Response::Ack,
+            7 => {
+                let kind = r.u8()?;
+                let msg = r.str()?;
+                Response::Err(match kind {
+                    1 => DbError::NotFound(msg),
+                    _ => DbError::Malformed(msg),
+                })
+            }
+            t => return Err(DbError::Malformed(format!("unknown response tag {t}"))),
+        };
+        r.done()?;
+        Ok(Envelope { req_id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mits_mheg::{ClassLibrary, GenericValue};
+
+    fn sample_object() -> MhegObject {
+        let mut lib = ClassLibrary::new(4);
+        let id = lib.value_content("v", GenericValue::Str("x<y>&\"".into()));
+        lib.get(id).unwrap().clone()
+    }
+
+    fn sample_media() -> MediaObject {
+        MediaObject::new(
+            MediaId(12),
+            "intro.mpg",
+            MediaFormat::Mpeg,
+            SimDuration::from_secs(30),
+            VideoDims::new(320, 240),
+            Bytes::from(vec![1, 2, 3, 4, 5]),
+        )
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        let reqs = vec![
+            Request::ListDocs,
+            Request::GetDoc { name: "ATM Course".into() },
+            Request::GetObject { id: MhegId::new(3, 9) },
+            Request::GetCourseware { root: MhegId::new(3, 1) },
+            Request::GetContent { media: MediaId(42) },
+            Request::GetKeywordTree,
+            Request::QueryKeyword { keyword: "telecom/atm".into(), subtree: true },
+            Request::PutObject { object: sample_object() },
+            Request::PutContent { media: sample_media() },
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let wire = req.encode(i as u64);
+            let env = Request::decode(&wire).unwrap_or_else(|e| panic!("{req:?}: {e}"));
+            assert_eq!(env.req_id, i as u64);
+            assert_eq!(env.body, req);
+        }
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        let mut tree = KeywordTree::new();
+        tree.insert("telecom/atm", MhegId::new(1, 1));
+        tree.insert("telecom", MhegId::new(1, 2));
+        let resps = vec![
+            Response::DocList(vec![(MhegId::new(1, 1), "A".into()), (MhegId::new(1, 2), "B".into())]),
+            Response::Objects(vec![sample_object()]),
+            Response::Content(sample_media()),
+            Response::KeywordTree(tree),
+            Response::DocIds(vec![MhegId::new(1, 1)]),
+            Response::Ack,
+            Response::Err(DbError::NotFound("nope".into())),
+            Response::Err(DbError::Malformed("bad".into())),
+        ];
+        for (i, resp) in resps.into_iter().enumerate() {
+            let wire = resp.encode(100 + i as u64);
+            let env = Response::decode(&wire).unwrap_or_else(|e| panic!("{resp:?}: {e}"));
+            assert_eq!(env.req_id, 100 + i as u64);
+            assert_eq!(env.body, resp);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let wire = Request::GetDoc { name: "hello".into() }.encode(1);
+        for cut in 0..wire.len() {
+            assert!(Request::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let wire = Response::Content(sample_media()).encode(1);
+        for cut in 0..wire.len() {
+            assert!(Response::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = Request::ListDocs.encode(1).to_vec();
+        wire.push(0);
+        assert!(Request::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let mut w = W::new();
+        w.u64(1);
+        w.u8(200);
+        assert!(Request::decode(&w.fin()).is_err());
+    }
+}

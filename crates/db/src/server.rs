@@ -1,0 +1,314 @@
+//! The courseware database server (Fig 3.5).
+//!
+//! Owns the object store, content store, and keyword index; turns each
+//! [`Request`] into a [`Response`] plus a modelled **service time** so the
+//! discrete-event layer can simulate a loaded server (experiment F3.5
+//! sweeps concurrent clients against one server).
+
+use crate::index::KeywordTree;
+use crate::protocol::{DbError, Request, Response};
+use crate::store::{ContentStore, ObjectStore};
+use mits_mheg::MhegObject;
+use mits_sim::SimDuration;
+use parking_lot::RwLock;
+
+/// Service-time model: fixed per-request CPU plus per-byte storage I/O.
+///
+/// Calibrated to a mid-90s SUN/ULTRA class server: ~200 µs request
+/// overhead, ~50 MB/s storage streaming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Fixed per-request cost.
+    pub per_request: SimDuration,
+    /// Cost per payload byte moved from storage.
+    pub per_byte_ns: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            per_request: SimDuration::from_micros(200),
+            per_byte_ns: 20, // 50 MB/s
+        }
+    }
+}
+
+impl ServiceModel {
+    /// Service time for a request that moved `bytes` of payload.
+    pub fn cost(&self, bytes: usize) -> SimDuration {
+        self.per_request + SimDuration::from_micros((bytes as u64 * self.per_byte_ns) / 1000)
+    }
+}
+
+/// The database server.
+pub struct DbServer {
+    /// MHEG object store (scenario database).
+    pub objects: ObjectStore,
+    /// Bulk content store.
+    pub content: ContentStore,
+    index: RwLock<KeywordTree>,
+    model: ServiceModel,
+    /// Requests served (for utilization reporting).
+    pub requests_served: RwLock<u64>,
+}
+
+impl Default for DbServer {
+    fn default() -> Self {
+        Self::new(ServiceModel::default())
+    }
+}
+
+impl DbServer {
+    /// A server with the given service-time model.
+    pub fn new(model: ServiceModel) -> Self {
+        DbServer {
+            objects: ObjectStore::new(),
+            content: ContentStore::new(),
+            index: RwLock::new(KeywordTree::new()),
+            model,
+            requests_served: RwLock::new(0),
+        }
+    }
+
+    /// Index an object's keywords (called on every PutObject).
+    fn index_object(&self, obj: &MhegObject) {
+        let mut index = self.index.write();
+        for kw in &obj.info.keywords {
+            index.insert(kw, obj.id);
+        }
+    }
+
+    /// Bulk-load objects (author-site publishing without the protocol).
+    pub fn load_objects(&self, objects: impl IntoIterator<Item = MhegObject>) {
+        for obj in objects {
+            self.index_object(&obj);
+            self.objects.put(obj);
+        }
+    }
+
+    /// Bulk-load media.
+    pub fn load_media(&self, media: impl IntoIterator<Item = mits_media::MediaObject>) {
+        for m in media {
+            self.content.put(m);
+        }
+    }
+
+    /// Handle one request; returns the response and its service time.
+    pub fn handle(&self, req: &Request) -> (Response, SimDuration) {
+        *self.requests_served.write() += 1;
+        let (resp, bytes) = self.dispatch(req);
+        (resp, self.model.cost(bytes))
+    }
+
+    fn dispatch(&self, req: &Request) -> (Response, usize) {
+        match req {
+            Request::ListDocs => {
+                let list = self.objects.list_containers();
+                let bytes = list.iter().map(|(_, n)| n.len() + 12).sum();
+                (Response::DocList(list), bytes)
+            }
+            Request::GetDoc { name } => {
+                let root = self
+                    .objects
+                    .list_containers()
+                    .into_iter()
+                    .find(|(_, n)| n == name)
+                    .map(|(id, _)| id);
+                match root {
+                    Some(id) => self.courseware_response(id),
+                    None => (Response::Err(DbError::NotFound(name.clone())), 0),
+                }
+            }
+            Request::GetObject { id } => match self.objects.get(*id) {
+                Some(obj) => {
+                    let bytes = approx_object_size(&obj);
+                    (Response::Objects(vec![obj]), bytes)
+                }
+                None => (Response::Err(DbError::NotFound(id.to_string())), 0),
+            },
+            Request::GetCourseware { root } => {
+                if self.objects.get(*root).is_none() {
+                    return (Response::Err(DbError::NotFound(root.to_string())), 0);
+                }
+                self.courseware_response(*root)
+            }
+            Request::GetContent { media } => match self.content.get(*media) {
+                Some(m) => {
+                    let bytes = m.data.len();
+                    (Response::Content(m), bytes)
+                }
+                None => (Response::Err(DbError::NotFound(media.to_string())), 0),
+            },
+            Request::GetKeywordTree => {
+                let tree = self.index.read().clone();
+                let bytes = tree.len() * 24;
+                (Response::KeywordTree(tree), bytes)
+            }
+            Request::QueryKeyword { keyword, subtree } => {
+                let index = self.index.read();
+                let ids = if *subtree {
+                    index.lookup_subtree(keyword)
+                } else {
+                    index.lookup(keyword)
+                };
+                let bytes = ids.len() * 12;
+                (Response::DocIds(ids), bytes)
+            }
+            Request::PutObject { object } => {
+                self.index_object(object);
+                let bytes = approx_object_size(object);
+                self.objects.put(object.clone());
+                (Response::Ack, bytes)
+            }
+            Request::PutContent { media } => {
+                let bytes = media.data.len();
+                self.content.put(media.clone());
+                (Response::Ack, bytes)
+            }
+        }
+    }
+
+    fn courseware_response(&self, root: mits_mheg::MhegId) -> (Response, usize) {
+        let objs = self.objects.closure(root);
+        let bytes = objs.iter().map(approx_object_size).sum();
+        (Response::Objects(objs), bytes)
+    }
+}
+
+/// Rough in-store footprint of an object (drives the I/O cost model;
+/// exactness is irrelevant, monotonicity matters).
+fn approx_object_size(obj: &MhegObject) -> usize {
+    use mits_mheg::{ContentData, ObjectBody};
+    let base = 128 + obj.info.name.len() + obj.info.keywords.iter().map(String::len).sum::<usize>();
+    let body = match &obj.body {
+        ObjectBody::Content(c) => match &c.data {
+            ContentData::Inline(b) => b.len(),
+            _ => 16,
+        },
+        ObjectBody::Script(s) => s.source.len(),
+        _ => 64,
+    };
+    base + body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
+    use mits_mheg::{ClassLibrary, GenericValue, MhegId, ObjectInfo};
+
+    fn loaded_server() -> (DbServer, MhegId) {
+        let mut lib = ClassLibrary::new(1);
+        let a = lib.value_content("a", GenericValue::Int(1));
+        let scene = lib.composite("scene", vec![a], vec![], vec![]);
+        let course = lib.container("ATM Course", vec![scene]);
+        let mut objs = lib.into_objects();
+        // Tag the course for the keyword index.
+        objs.iter_mut()
+            .find(|o| o.id == course)
+            .expect("course exists")
+            .info = ObjectInfo::named("ATM Course").with_keywords(["telecom/atm", "networks"]);
+        let server = DbServer::default();
+        server.load_objects(objs);
+        server.load_media([MediaObject::new(
+            MediaId(7),
+            "clip.mpg",
+            MediaFormat::Mpeg,
+            mits_sim::SimDuration::from_secs(5),
+            VideoDims::new(320, 240),
+            Bytes::from(vec![9u8; 10_000]),
+        )]);
+        (server, course)
+    }
+
+    #[test]
+    fn list_and_fetch_doc() {
+        let (server, course) = loaded_server();
+        let (resp, _) = server.handle(&Request::ListDocs);
+        assert_eq!(resp, Response::DocList(vec![(course, "ATM Course".into())]));
+        let (resp, _) = server.handle(&Request::GetDoc { name: "ATM Course".into() });
+        match resp {
+            Response::Objects(objs) => assert_eq!(objs.len(), 3, "closure"),
+            other => panic!("{other:?}"),
+        }
+        let (resp, _) = server.handle(&Request::GetDoc { name: "missing".into() });
+        assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
+    }
+
+    #[test]
+    fn content_fetch_costs_scale_with_size() {
+        let (server, _) = loaded_server();
+        let (_, small_cost) = server.handle(&Request::ListDocs);
+        let (resp, big_cost) = server.handle(&Request::GetContent { media: MediaId(7) });
+        assert!(matches!(resp, Response::Content(m) if m.data.len() == 10_000));
+        assert!(big_cost > small_cost, "10 kB fetch costs more than a list");
+    }
+
+    #[test]
+    fn keyword_queries() {
+        let (server, course) = loaded_server();
+        let (resp, _) = server.handle(&Request::QueryKeyword {
+            keyword: "telecom/atm".into(),
+            subtree: false,
+        });
+        assert_eq!(resp, Response::DocIds(vec![course]));
+        let (resp, _) = server.handle(&Request::QueryKeyword {
+            keyword: "telecom".into(),
+            subtree: true,
+        });
+        assert_eq!(resp, Response::DocIds(vec![course]));
+        let (resp, _) = server.handle(&Request::GetKeywordTree);
+        match resp {
+            Response::KeywordTree(t) => {
+                assert_eq!(t.lookup("networks"), vec![course]);
+                assert_eq!(t.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_object_indexes_keywords() {
+        let server = DbServer::default();
+        let mut lib = ClassLibrary::new(9);
+        let id = lib.value_content("tagged", GenericValue::Int(1));
+        let mut obj = lib.get(id).unwrap().clone();
+        obj.info.keywords = vec!["fresh/topic".into()];
+        let (resp, _) = server.handle(&Request::PutObject { object: obj });
+        assert_eq!(resp, Response::Ack);
+        let (resp, _) = server.handle(&Request::QueryKeyword {
+            keyword: "fresh/topic".into(),
+            subtree: false,
+        });
+        assert_eq!(resp, Response::DocIds(vec![id]));
+    }
+
+    #[test]
+    fn unknown_ids_not_found() {
+        let (server, _) = loaded_server();
+        let (resp, _) = server.handle(&Request::GetObject { id: MhegId::new(9, 9) });
+        assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
+        let (resp, _) = server.handle(&Request::GetContent { media: MediaId(99) });
+        assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
+        let (resp, _) = server.handle(&Request::GetCourseware { root: MhegId::new(9, 9) });
+        assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
+    }
+
+    #[test]
+    fn service_model_costs() {
+        let m = ServiceModel::default();
+        assert_eq!(m.cost(0), SimDuration::from_micros(200));
+        // 1 MB at 20 ns/B = 20 ms + 200 µs.
+        assert_eq!(m.cost(1_000_000), SimDuration::from_micros(200 + 20_000));
+    }
+
+    #[test]
+    fn request_counter() {
+        let (server, _) = loaded_server();
+        for _ in 0..5 {
+            server.handle(&Request::ListDocs);
+        }
+        assert_eq!(*server.requests_served.read(), 5);
+    }
+}

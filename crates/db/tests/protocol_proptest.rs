@@ -1,0 +1,114 @@
+//! Property tests for the client-server protocol: every request and
+//! response round-trips the wire exactly; the decoder never panics on
+//! noise; the keyword tree survives its wire form.
+
+use bytes::Bytes;
+use mits_db::{DbError, KeywordTree, Request, Response};
+use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
+use mits_mheg::{ClassLibrary, GenericValue, MhegId};
+use mits_sim::SimDuration;
+use proptest::prelude::*;
+
+fn arb_id() -> impl Strategy<Value = MhegId> {
+    (0u32..500, 0u64..10_000).prop_map(|(a, n)| MhegId::new(a, n))
+}
+
+fn arb_media() -> impl Strategy<Value = MediaObject> {
+    (
+        0u64..10_000,
+        "[ -~]{0,30}",
+        prop::sample::select(MediaFormat::ALL.to_vec()),
+        0u64..100_000_000,
+        (0u32..2000, 0u32..2000),
+        prop::collection::vec(any::<u8>(), 0..500),
+    )
+        .prop_map(|(id, name, format, dur, (w, h), data)| {
+            MediaObject::new(
+                MediaId(id),
+                name,
+                format,
+                SimDuration::from_micros(dur),
+                VideoDims::new(w, h),
+                Bytes::from(data),
+            )
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::ListDocs),
+        "[ -~]{0,40}".prop_map(|name| Request::GetDoc { name }),
+        arb_id().prop_map(|id| Request::GetObject { id }),
+        arb_id().prop_map(|root| Request::GetCourseware { root }),
+        (0u64..10_000).prop_map(|m| Request::GetContent { media: MediaId(m) }),
+        Just(Request::GetKeywordTree),
+        ("[a-z/]{0,20}", any::<bool>())
+            .prop_map(|(keyword, subtree)| Request::QueryKeyword { keyword, subtree }),
+        arb_media().prop_map(|media| Request::PutContent { media }),
+    ]
+}
+
+fn arb_tree() -> impl Strategy<Value = KeywordTree> {
+    prop::collection::vec(("[a-z]{1,6}(/[a-z]{1,6}){0,2}", arb_id()), 0..12).prop_map(|pairs| {
+        let mut t = KeywordTree::new();
+        for (kw, id) in pairs {
+            t.insert(&kw, id);
+        }
+        t
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        prop::collection::vec((arb_id(), "[ -~]{0,24}"), 0..10).prop_map(Response::DocList),
+        arb_media().prop_map(Response::Content),
+        arb_tree().prop_map(Response::KeywordTree),
+        prop::collection::vec(arb_id(), 0..20).prop_map(Response::DocIds),
+        Just(Response::Ack),
+        "[ -~]{0,30}".prop_map(|s| Response::Err(DbError::NotFound(s))),
+        "[ -~]{0,30}".prop_map(|s| Response::Err(DbError::Malformed(s))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip(req in arb_request(), req_id in any::<u64>()) {
+        let wire = req.encode(req_id);
+        let env = Request::decode(&wire).expect("decode");
+        prop_assert_eq!(env.req_id, req_id);
+        prop_assert_eq!(env.body, req);
+    }
+
+    #[test]
+    fn responses_round_trip(resp in arb_response(), req_id in any::<u64>()) {
+        let wire = resp.encode(req_id);
+        let env = Response::decode(&wire).expect("decode");
+        prop_assert_eq!(env.req_id, req_id);
+        prop_assert_eq!(env.body, resp);
+    }
+
+    #[test]
+    fn put_object_round_trips(value in any::<i64>(), name in "[ -~]{0,20}") {
+        let mut lib = ClassLibrary::new(1);
+        let id = lib.value_content(&name, GenericValue::Int(value));
+        let object = lib.get(id).unwrap().clone();
+        let req = Request::PutObject { object };
+        let env = Request::decode(&req.encode(9)).expect("decode");
+        prop_assert_eq!(env.body, req);
+    }
+
+    #[test]
+    fn decoder_never_panics(noise in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&noise);
+        let _ = Response::decode(&noise);
+    }
+
+    #[test]
+    fn truncation_always_errors(resp in arb_response(), frac in 0.0f64..1.0) {
+        let wire = resp.encode(1);
+        let cut = ((wire.len().saturating_sub(1)) as f64 * frac) as usize;
+        prop_assert!(Response::decode(&wire[..cut]).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Media formats and kinds.
+//!
+//! Table 5.1 of the paper lists the Windows 95 multimedia formats the
+//! navigator must play (`AVI`, `WAV`, `MID`); the production-center and
+//! MHEG chapters add MPEG video, JPEG/GIF images and ASCII/HTML text. A
+//! [`MediaFormat`] identifies the coding method carried in an MHEG content
+//! object's "coding method" attribute; a [`MediaKind`] is the perceptual
+//! category the presentation layer dispatches on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Perceptual category of a medium, deciding which presentation channel
+/// (visual, audible, textual) renders it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MediaKind {
+    /// Motion video (time-based, visible).
+    Video,
+    /// Audio (time-based, audible).
+    Audio,
+    /// Character text (static, visible).
+    Text,
+    /// Raster image (static, visible).
+    Image,
+    /// Vector/structured graphics (static, visible).
+    Graphics,
+}
+
+impl MediaKind {
+    /// Time-based media have intrinsic duration (video, audio); static
+    /// media are presented until replaced.
+    pub fn is_time_based(self) -> bool {
+        matches!(self, MediaKind::Video | MediaKind::Audio)
+    }
+
+    /// Visible media occupy screen space; audio does not.
+    pub fn is_visible(self) -> bool {
+        !matches!(self, MediaKind::Audio)
+    }
+}
+
+/// Concrete coding method for a media object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MediaFormat {
+    /// MPEG-1 system stream (video + interleaved audio), the production
+    /// center's video format (§3.3).
+    Mpeg,
+    /// Audio-Video Interleaved, the Windows 95 digital-video format.
+    Avi,
+    /// Waveform audio (PCM), ≈11 KB per second at the paper's quoted rate.
+    Wav,
+    /// MIDI music, ≈5 KB per minute per the paper.
+    Midi,
+    /// Plain ASCII text.
+    Ascii,
+    /// HTML document — the only type the prototype client fetched (§5.3.2).
+    Html,
+    /// GIF raster image.
+    Gif,
+    /// JPEG raster image.
+    Jpeg,
+    /// Structured vector graphics (simple draw-list).
+    DrawList,
+}
+
+impl MediaFormat {
+    /// All formats, for registries and exhaustive tests.
+    pub const ALL: [MediaFormat; 9] = [
+        MediaFormat::Mpeg,
+        MediaFormat::Avi,
+        MediaFormat::Wav,
+        MediaFormat::Midi,
+        MediaFormat::Ascii,
+        MediaFormat::Html,
+        MediaFormat::Gif,
+        MediaFormat::Jpeg,
+        MediaFormat::DrawList,
+    ];
+
+    /// The perceptual kind this format encodes.
+    pub fn kind(self) -> MediaKind {
+        match self {
+            MediaFormat::Mpeg | MediaFormat::Avi => MediaKind::Video,
+            MediaFormat::Wav | MediaFormat::Midi => MediaKind::Audio,
+            MediaFormat::Ascii | MediaFormat::Html => MediaKind::Text,
+            MediaFormat::Gif | MediaFormat::Jpeg => MediaKind::Image,
+            MediaFormat::DrawList => MediaKind::Graphics,
+        }
+    }
+
+    /// Conventional filename extension (Table 5.1).
+    pub fn extension(self) -> &'static str {
+        match self {
+            MediaFormat::Mpeg => "mpg",
+            MediaFormat::Avi => "avi",
+            MediaFormat::Wav => "wav",
+            MediaFormat::Midi => "mid",
+            MediaFormat::Ascii => "txt",
+            MediaFormat::Html => "html",
+            MediaFormat::Gif => "gif",
+            MediaFormat::Jpeg => "jpg",
+            MediaFormat::DrawList => "drw",
+        }
+    }
+
+    /// Parse from a filename extension (case-insensitive). `mpeg` and
+    /// `htm` aliases are accepted.
+    pub fn from_extension(ext: &str) -> Option<MediaFormat> {
+        Some(match ext.to_ascii_lowercase().as_str() {
+            "mpg" | "mpeg" => MediaFormat::Mpeg,
+            "avi" => MediaFormat::Avi,
+            "wav" => MediaFormat::Wav,
+            "mid" | "midi" => MediaFormat::Midi,
+            "txt" => MediaFormat::Ascii,
+            "html" | "htm" => MediaFormat::Html,
+            "gif" => MediaFormat::Gif,
+            "jpg" | "jpeg" => MediaFormat::Jpeg,
+            "drw" => MediaFormat::DrawList,
+            _ => return None,
+        })
+    }
+
+    /// Stable wire tag used by the MHEG codecs.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            MediaFormat::Mpeg => 1,
+            MediaFormat::Avi => 2,
+            MediaFormat::Wav => 3,
+            MediaFormat::Midi => 4,
+            MediaFormat::Ascii => 5,
+            MediaFormat::Html => 6,
+            MediaFormat::Gif => 7,
+            MediaFormat::Jpeg => 8,
+            MediaFormat::DrawList => 9,
+        }
+    }
+
+    /// Inverse of [`wire_tag`](Self::wire_tag).
+    pub fn from_wire_tag(tag: u8) -> Option<MediaFormat> {
+        MediaFormat::ALL.into_iter().find(|f| f.wire_tag() == tag)
+    }
+}
+
+impl fmt::Display for MediaFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MediaFormat::Mpeg => "MPEG",
+            MediaFormat::Avi => "AVI",
+            MediaFormat::Wav => "WAV",
+            MediaFormat::Midi => "MIDI",
+            MediaFormat::Ascii => "ASCII",
+            MediaFormat::Html => "HTML",
+            MediaFormat::Gif => "GIF",
+            MediaFormat::Jpeg => "JPEG",
+            MediaFormat::DrawList => "DRAWLIST",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_table() {
+        assert_eq!(MediaFormat::Avi.kind(), MediaKind::Video);
+        assert_eq!(MediaFormat::Wav.kind(), MediaKind::Audio);
+        assert_eq!(MediaFormat::Midi.kind(), MediaKind::Audio);
+        assert_eq!(MediaFormat::Html.kind(), MediaKind::Text);
+        assert_eq!(MediaFormat::Jpeg.kind(), MediaKind::Image);
+        assert_eq!(MediaFormat::DrawList.kind(), MediaKind::Graphics);
+    }
+
+    #[test]
+    fn extension_round_trip() {
+        for f in MediaFormat::ALL {
+            assert_eq!(MediaFormat::from_extension(f.extension()), Some(f));
+        }
+        assert_eq!(MediaFormat::from_extension("MPEG"), Some(MediaFormat::Mpeg));
+        assert_eq!(MediaFormat::from_extension("htm"), Some(MediaFormat::Html));
+        assert_eq!(MediaFormat::from_extension("exe"), None);
+    }
+
+    #[test]
+    fn wire_tag_round_trip_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for f in MediaFormat::ALL {
+            assert!(seen.insert(f.wire_tag()), "duplicate wire tag");
+            assert_eq!(MediaFormat::from_wire_tag(f.wire_tag()), Some(f));
+        }
+        assert_eq!(MediaFormat::from_wire_tag(0), None);
+        assert_eq!(MediaFormat::from_wire_tag(200), None);
+    }
+
+    #[test]
+    fn time_based_and_visible_partition() {
+        assert!(MediaKind::Video.is_time_based());
+        assert!(MediaKind::Audio.is_time_based());
+        assert!(!MediaKind::Text.is_time_based());
+        assert!(MediaKind::Video.is_visible());
+        assert!(!MediaKind::Audio.is_visible());
+        assert!(MediaKind::Graphics.is_visible());
+    }
+}

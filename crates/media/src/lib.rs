@@ -1,0 +1,34 @@
+//! # mits-media — the media substrate of MITS
+//!
+//! Chapter 5 of the paper runs the courseware navigator on Windows 95 and
+//! leans on three things the platform provides (Table 5.1, §5.2.2):
+//!
+//! 1. **Media file formats** — digital video (`.AVI`), waveform audio
+//!    (`.WAV`), MIDI (`.MID`) — plus the formats the production center emits
+//!    (MPEG video, JPEG/GIF images, ASCII/HTML text).
+//! 2. **A Media Control Interface (MCI)** — a device-independent
+//!    command-message *and command-string* interface (`play`, `stop`,
+//!    `pause`, `seek`, …).
+//! 3. **A media production center** that captures real-world footage into
+//!    media objects.
+//!
+//! We have no camera, no studio and no Windows 95, so this crate substitutes
+//! *synthetic* media: codec **models** that produce deterministic
+//! pseudo-payloads whose sizes, bit-rates and frame timing are calibrated to
+//! the figures the paper itself quotes — WAV ≈ 11 KB per second, MIDI
+//! ≈ 5 KB per minute ("one-twentieth of WAV"), MPEG-1 video around
+//! 1.5 Mb/s. Everything downstream (MHEG content objects, the courseware
+//! database, ATM delivery, navigator playback) handles the same byte counts
+//! and timing a real installation would.
+
+pub mod codec;
+pub mod format;
+pub mod mci;
+pub mod object;
+pub mod producer;
+
+pub use codec::{CodecModel, FrameKind, FrameStream, VideoFrame};
+pub use format::{MediaFormat, MediaKind};
+pub use mci::{MciCommand, MciError, MciPlayer, MciStatus, PlayerState};
+pub use object::{checksum64, MediaId, MediaObject, VideoDims};
+pub use producer::{CaptureSpec, ProductionCenter};

@@ -1,0 +1,390 @@
+//! Media Control Interface (§5.2.2).
+//!
+//! Windows 95 gave the prototype a "device-independent command-message and
+//! command-string interface for the playback and recording of audio and
+//! visual data". We reproduce both faces: typed [`MciCommand`] messages and
+//! the parsed command-string form (`"play paris.mpg from 2000 to 5000"`),
+//! driving a per-object [`MciPlayer`] state machine against the virtual
+//! clock. The navigator uses one player per active run-time content object.
+
+use crate::object::MediaObject;
+use mits_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed MCI command message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MciCommand {
+    /// Load/prepare the device.
+    Open,
+    /// Start or resume playback, optionally bounded to `[from, to]`
+    /// (milliseconds into the medium).
+    Play {
+        /// Start position (ms); `None` = current position.
+        from: Option<u64>,
+        /// End position (ms); `None` = end of medium.
+        to: Option<u64>,
+    },
+    /// Pause, retaining position.
+    Pause,
+    /// Stop and rewind to the start.
+    Stop,
+    /// Jump to a position (ms) without changing play/pause state.
+    Seek {
+        /// Target position in milliseconds.
+        to_ms: u64,
+    },
+    /// Query status (position, state, length).
+    Status,
+    /// Release the device.
+    Close,
+}
+
+/// Player lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlayerState {
+    /// Not yet opened / closed.
+    Closed,
+    /// Opened, positioned, not playing.
+    Stopped,
+    /// Actively playing.
+    Playing,
+    /// Paused mid-stream.
+    Paused,
+}
+
+/// Status snapshot returned by [`MciCommand::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MciStatus {
+    /// Current state.
+    pub state: PlayerState,
+    /// Position within the medium (ms).
+    pub position_ms: u64,
+    /// Total medium length (ms); 0 for static media.
+    pub length_ms: u64,
+}
+
+/// Errors from MCI command processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MciError {
+    /// Command issued on a closed device (other than `Open`).
+    NotOpen,
+    /// Seek/play bounds outside the medium.
+    OutOfRange {
+        /// Requested position (ms).
+        requested: u64,
+        /// Medium length (ms).
+        length: u64,
+    },
+    /// Command string did not parse.
+    Parse(String),
+}
+
+impl fmt::Display for MciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MciError::NotOpen => write!(f, "device not open"),
+            MciError::OutOfRange { requested, length } => {
+                write!(f, "position {requested}ms beyond medium length {length}ms")
+            }
+            MciError::Parse(s) => write!(f, "cannot parse MCI command: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MciError {}
+
+/// An MCI player bound to one media object, tracking position against the
+/// simulation clock.
+#[derive(Debug, Clone)]
+pub struct MciPlayer {
+    /// Name of the bound medium (for command-string addressing).
+    pub device: String,
+    length_ms: u64,
+    state: PlayerState,
+    /// Position when last stopped/paused/started (ms).
+    anchor_ms: u64,
+    /// Clock time playback (re)started; valid while Playing.
+    started_at: SimTime,
+    /// Optional stop bound for the current play command (ms).
+    play_until: Option<u64>,
+}
+
+impl MciPlayer {
+    /// A player for `object`.
+    pub fn new(object: &MediaObject) -> Self {
+        MciPlayer {
+            device: object.name.clone(),
+            length_ms: object.duration.as_millis(),
+            state: PlayerState::Closed,
+            anchor_ms: 0,
+            started_at: SimTime::ZERO,
+            play_until: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PlayerState {
+        self.state
+    }
+
+    /// Current position in ms at clock time `now`, clamped to the play
+    /// bound / medium length.
+    pub fn position_ms(&self, now: SimTime) -> u64 {
+        match self.state {
+            PlayerState::Playing => {
+                let elapsed = now.since(self.started_at).as_millis();
+                let pos = self.anchor_ms + elapsed;
+                let bound = self.play_until.unwrap_or(self.length_ms);
+                pos.min(bound)
+            }
+            _ => self.anchor_ms,
+        }
+    }
+
+    /// True when a playing medium has reached its end (or play bound).
+    pub fn finished(&self, now: SimTime) -> bool {
+        self.state == PlayerState::Playing
+            && self.position_ms(now) >= self.play_until.unwrap_or(self.length_ms)
+            && self.length_ms > 0
+    }
+
+    /// Process a typed command at clock time `now`.
+    pub fn command(&mut self, now: SimTime, cmd: MciCommand) -> Result<MciStatus, MciError> {
+        if self.state == PlayerState::Closed && !matches!(cmd, MciCommand::Open) {
+            return Err(MciError::NotOpen);
+        }
+        match cmd {
+            MciCommand::Open => {
+                self.state = PlayerState::Stopped;
+                self.anchor_ms = 0;
+            }
+            MciCommand::Play { from, to } => {
+                if let Some(f) = from {
+                    if f > self.length_ms && self.length_ms > 0 {
+                        return Err(MciError::OutOfRange {
+                            requested: f,
+                            length: self.length_ms,
+                        });
+                    }
+                    self.anchor_ms = f;
+                } else if self.state == PlayerState::Playing {
+                    self.anchor_ms = self.position_ms(now);
+                }
+                if let Some(t) = to {
+                    if t > self.length_ms && self.length_ms > 0 {
+                        return Err(MciError::OutOfRange {
+                            requested: t,
+                            length: self.length_ms,
+                        });
+                    }
+                }
+                self.play_until = to;
+                self.started_at = now;
+                self.state = PlayerState::Playing;
+            }
+            MciCommand::Pause => {
+                if self.state == PlayerState::Playing {
+                    self.anchor_ms = self.position_ms(now);
+                    self.state = PlayerState::Paused;
+                }
+            }
+            MciCommand::Stop => {
+                self.anchor_ms = 0;
+                self.play_until = None;
+                self.state = PlayerState::Stopped;
+            }
+            MciCommand::Seek { to_ms } => {
+                if to_ms > self.length_ms && self.length_ms > 0 {
+                    return Err(MciError::OutOfRange {
+                        requested: to_ms,
+                        length: self.length_ms,
+                    });
+                }
+                let was_playing = self.state == PlayerState::Playing;
+                self.anchor_ms = to_ms;
+                if was_playing {
+                    self.started_at = now;
+                }
+            }
+            MciCommand::Status => {}
+            MciCommand::Close => {
+                self.state = PlayerState::Closed;
+                self.anchor_ms = 0;
+                self.play_until = None;
+            }
+        }
+        Ok(MciStatus {
+            state: self.state,
+            position_ms: self.position_ms(now),
+            length_ms: self.length_ms,
+        })
+    }
+
+    /// Process a command string like `"play from 2000 to 5000"` or
+    /// `"seek 1500"`, the MCI command-string face.
+    pub fn command_str(&mut self, now: SimTime, line: &str) -> Result<MciStatus, MciError> {
+        let cmd = parse_command(line)?;
+        self.command(now, cmd)
+    }
+}
+
+/// Parse the MCI command-string grammar.
+///
+/// Accepted: `open` · `play [from N] [to N]` · `pause` · `stop` ·
+/// `seek N` · `status` · `close`.
+pub fn parse_command(line: &str) -> Result<MciCommand, MciError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let err = || MciError::Parse(line.to_string());
+    match toks.as_slice() {
+        ["open"] => Ok(MciCommand::Open),
+        ["pause"] => Ok(MciCommand::Pause),
+        ["stop"] => Ok(MciCommand::Stop),
+        ["status"] => Ok(MciCommand::Status),
+        ["close"] => Ok(MciCommand::Close),
+        ["seek", n] => n
+            .parse()
+            .map(|to_ms| MciCommand::Seek { to_ms })
+            .map_err(|_| err()),
+        ["play", rest @ ..] => {
+            let mut from = None;
+            let mut to = None;
+            let mut it = rest.iter();
+            while let Some(&kw) = it.next() {
+                let val: u64 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                match kw {
+                    "from" => from = Some(val),
+                    "to" => to = Some(val),
+                    _ => return Err(err()),
+                }
+            }
+            Ok(MciCommand::Play { from, to })
+        }
+        _ => Err(err()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::MediaFormat;
+    use crate::object::{MediaId, VideoDims};
+    use bytes::Bytes;
+    use mits_sim::SimDuration;
+
+    fn ten_sec_clip() -> MediaObject {
+        MediaObject::new(
+            MediaId(1),
+            "clip.mpg",
+            MediaFormat::Mpeg,
+            SimDuration::from_secs(10),
+            VideoDims::new(320, 240),
+            Bytes::from_static(b"xxxx"),
+        )
+    }
+
+    #[test]
+    fn closed_device_rejects_commands() {
+        let mut p = MciPlayer::new(&ten_sec_clip());
+        assert_eq!(
+            p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }),
+            Err(MciError::NotOpen)
+        );
+        assert!(p.command(SimTime::ZERO, MciCommand::Open).is_ok());
+    }
+
+    #[test]
+    fn position_advances_with_clock_while_playing() {
+        let mut p = MciPlayer::new(&ten_sec_clip());
+        p.command(SimTime::ZERO, MciCommand::Open).unwrap();
+        p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }).unwrap();
+        assert_eq!(p.position_ms(SimTime::from_millis(2_500)), 2_500);
+        assert_eq!(p.position_ms(SimTime::from_millis(10_000)), 10_000);
+        assert_eq!(p.position_ms(SimTime::from_millis(99_000)), 10_000, "clamped at end");
+        assert!(p.finished(SimTime::from_millis(10_000)));
+    }
+
+    #[test]
+    fn pause_freezes_position_resume_continues() {
+        let mut p = MciPlayer::new(&ten_sec_clip());
+        p.command(SimTime::ZERO, MciCommand::Open).unwrap();
+        p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }).unwrap();
+        p.command(SimTime::from_millis(3_000), MciCommand::Pause).unwrap();
+        assert_eq!(p.position_ms(SimTime::from_millis(8_000)), 3_000, "frozen");
+        p.command(SimTime::from_millis(8_000), MciCommand::Play { from: None, to: None })
+            .unwrap();
+        assert_eq!(p.position_ms(SimTime::from_millis(9_000)), 4_000, "resumed");
+    }
+
+    #[test]
+    fn stop_rewinds() {
+        let mut p = MciPlayer::new(&ten_sec_clip());
+        p.command(SimTime::ZERO, MciCommand::Open).unwrap();
+        p.command(SimTime::ZERO, MciCommand::Play { from: Some(5_000), to: None }).unwrap();
+        p.command(SimTime::from_millis(1_000), MciCommand::Stop).unwrap();
+        let st = p.command(SimTime::from_millis(1_000), MciCommand::Status).unwrap();
+        assert_eq!(st.position_ms, 0);
+        assert_eq!(st.state, PlayerState::Stopped);
+    }
+
+    #[test]
+    fn play_bounds_respected() {
+        let mut p = MciPlayer::new(&ten_sec_clip());
+        p.command(SimTime::ZERO, MciCommand::Open).unwrap();
+        p.command(SimTime::ZERO, MciCommand::Play { from: Some(2_000), to: Some(4_000) })
+            .unwrap();
+        assert_eq!(p.position_ms(SimTime::from_millis(1_000)), 3_000);
+        assert_eq!(p.position_ms(SimTime::from_millis(5_000)), 4_000, "bounded");
+        assert!(p.finished(SimTime::from_millis(5_000)));
+    }
+
+    #[test]
+    fn seek_out_of_range_rejected() {
+        let mut p = MciPlayer::new(&ten_sec_clip());
+        p.command(SimTime::ZERO, MciCommand::Open).unwrap();
+        assert_eq!(
+            p.command(SimTime::ZERO, MciCommand::Seek { to_ms: 20_000 }),
+            Err(MciError::OutOfRange { requested: 20_000, length: 10_000 })
+        );
+    }
+
+    #[test]
+    fn command_string_grammar() {
+        assert_eq!(parse_command("open"), Ok(MciCommand::Open));
+        assert_eq!(
+            parse_command("play from 2000 to 5000"),
+            Ok(MciCommand::Play { from: Some(2_000), to: Some(5_000) })
+        );
+        assert_eq!(parse_command("play"), Ok(MciCommand::Play { from: None, to: None }));
+        assert_eq!(parse_command("seek 1500"), Ok(MciCommand::Seek { to_ms: 1_500 }));
+        assert!(parse_command("rewind fully").is_err());
+        assert!(parse_command("play from").is_err());
+        assert!(parse_command("play sideways 3").is_err());
+    }
+
+    #[test]
+    fn command_string_drives_player() {
+        let mut p = MciPlayer::new(&ten_sec_clip());
+        p.command_str(SimTime::ZERO, "open").unwrap();
+        p.command_str(SimTime::ZERO, "play from 1000").unwrap();
+        let st = p.command_str(SimTime::from_millis(500), "status").unwrap();
+        assert_eq!(st.position_ms, 1_500);
+        assert_eq!(st.state, PlayerState::Playing);
+    }
+
+    #[test]
+    fn static_media_never_finishes() {
+        let obj = MediaObject::new(
+            MediaId(2),
+            "page.html",
+            MediaFormat::Html,
+            SimDuration::ZERO,
+            VideoDims::default(),
+            Bytes::from_static(b"<p>hi</p>"),
+        );
+        let mut p = MciPlayer::new(&obj);
+        p.command(SimTime::ZERO, MciCommand::Open).unwrap();
+        p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }).unwrap();
+        assert!(!p.finished(SimTime::from_secs(100)), "static media has no end");
+    }
+}

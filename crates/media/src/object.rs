@@ -1,0 +1,210 @@
+//! Media objects — the mono-media units produced by the production center,
+//! referenced by MHEG content objects, and stored in the content database.
+//!
+//! In MITS the *content data* is deliberately stored "separately from the
+//! scenario" (§3.4.2) so that a scenario fetch does not drag megabytes of
+//! video across the network. A [`MediaObject`] therefore carries its full
+//! payload, while the MHEG layer holds only a [`MediaId`] plus presentation
+//! parameters.
+
+use crate::format::{MediaFormat, MediaKind};
+use bytes::Bytes;
+use mits_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a media object within a MITS installation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct MediaId(pub u64);
+
+impl fmt::Display for MediaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "media:{}", self.0)
+    }
+}
+
+/// Pixel dimensions of visible media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct VideoDims {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl VideoDims {
+    /// Convenience constructor.
+    pub const fn new(width: u32, height: u32) -> Self {
+        VideoDims { width, height }
+    }
+
+    /// Pixel count.
+    pub fn pixels(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+}
+
+impl fmt::Display for VideoDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// FNV-1a 64-bit checksum — integrity check for content that crossed the
+/// simulated network (the AAL5 layer has its own CRC; this is end-to-end).
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A complete mono-media object: identification, coding parameters, and
+/// payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaObject {
+    /// Installation-unique id.
+    pub id: MediaId,
+    /// Human-readable name, e.g. `"Paris.mpg"` (the paper's own example).
+    pub name: String,
+    /// Coding method.
+    pub format: MediaFormat,
+    /// Intrinsic duration; zero for static media.
+    pub duration: SimDuration,
+    /// Display dimensions; zeroed for audio.
+    pub dims: VideoDims,
+    /// The (synthetic) coded payload.
+    pub data: Bytes,
+    /// End-to-end checksum of `data`.
+    pub checksum: u64,
+}
+
+impl MediaObject {
+    /// Build an object, computing the checksum.
+    pub fn new(
+        id: MediaId,
+        name: impl Into<String>,
+        format: MediaFormat,
+        duration: SimDuration,
+        dims: VideoDims,
+        data: Bytes,
+    ) -> Self {
+        let checksum = checksum64(&data);
+        MediaObject {
+            id,
+            name: name.into(),
+            format,
+            duration,
+            dims,
+            data,
+            checksum,
+        }
+    }
+
+    /// Perceptual kind (video/audio/text/image/graphics).
+    pub fn kind(&self) -> MediaKind {
+        self.format.kind()
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Average coded bit-rate; `None` for static media.
+    pub fn bit_rate(&self) -> Option<f64> {
+        let secs = self.duration.as_secs_f64();
+        (secs > 0.0).then(|| self.data.len() as f64 * 8.0 / secs)
+    }
+
+    /// Verify the payload against the stored checksum.
+    pub fn verify(&self) -> bool {
+        checksum64(&self.data) == self.checksum
+    }
+
+    /// Summary line for catalogues and logs.
+    pub fn describe(&self) -> String {
+        let dur = if self.duration.is_zero() {
+            "static".to_string()
+        } else {
+            format!("{}", self.duration)
+        };
+        format!(
+            "{} [{}] {} {} {} bytes",
+            self.name, self.format, self.dims, dur, self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MediaObject {
+        MediaObject::new(
+            MediaId(7),
+            "Paris.mpg",
+            MediaFormat::Mpeg,
+            SimDuration::from_secs(6),
+            VideoDims::new(64, 128),
+            Bytes::from(vec![1, 2, 3, 4]),
+        )
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut m = sample();
+        assert!(m.verify());
+        let mut corrupted = m.data.to_vec();
+        corrupted[2] ^= 0xFF;
+        m.data = Bytes::from(corrupted);
+        assert!(!m.verify());
+    }
+
+    #[test]
+    fn checksum64_is_order_sensitive() {
+        assert_ne!(checksum64(&[1, 2]), checksum64(&[2, 1]));
+        assert_ne!(checksum64(&[]), checksum64(&[0]));
+        assert_eq!(checksum64(b"abc"), checksum64(b"abc"));
+    }
+
+    #[test]
+    fn bit_rate_for_timed_media() {
+        let m = sample();
+        // 4 bytes over 6 s = 32 bits / 6 s.
+        let r = m.bit_rate().unwrap();
+        assert!((r - 32.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_rate_none_for_static() {
+        let m = MediaObject::new(
+            MediaId(1),
+            "page.html",
+            MediaFormat::Html,
+            SimDuration::ZERO,
+            VideoDims::default(),
+            Bytes::from_static(b"<html></html>"),
+        );
+        assert_eq!(m.bit_rate(), None);
+        assert_eq!(m.kind(), MediaKind::Text);
+    }
+
+    #[test]
+    fn describe_contains_key_facts() {
+        let d = sample().describe();
+        assert!(d.contains("Paris.mpg"));
+        assert!(d.contains("MPEG"));
+        assert!(d.contains("64x128"));
+        assert!(d.contains("4 bytes"));
+    }
+
+    #[test]
+    fn dims_pixels() {
+        assert_eq!(VideoDims::new(640, 480).pixels(), 307_200);
+    }
+}

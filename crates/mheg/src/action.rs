@@ -1,0 +1,233 @@
+//! Elementary actions (Figure 4.5c).
+//!
+//! "Objects of an action class are used to control the behavior of
+//! objects." The paper derives seven subclasses of the action class; we
+//! model each elementary action as an enum variant and tag it with its
+//! [`ActionGroup`] so the library structure of Fig 4.5c is queryable.
+
+use crate::ids::{MhegId, RtId};
+use crate::value::GenericValue;
+use mits_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whom an action (or a link condition) addresses: an interchanged model
+/// object or a run-time object created from one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetRef {
+    /// A form-(b) model object.
+    Model(MhegId),
+    /// A form-(c) run-time object.
+    Rt(RtId),
+}
+
+impl fmt::Display for TargetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetRef::Model(id) => write!(f, "{id}"),
+            TargetRef::Rt(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// The subclass families of Figure 4.5c.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionGroup {
+    /// Controls availability of the object in the system.
+    Preparation,
+    /// Builds presentation/script instances from model objects.
+    Creation,
+    /// Controls the progress of presentation instances.
+    Presentation,
+    /// Controls activation of script instances.
+    Activation,
+    /// Determines results of interaction between an instance and the system.
+    Interaction,
+    /// Reads attribute/status/behaviour values, expressing link conditions.
+    GettingValue,
+    /// Prepares rendition according to media type (speed, size, volume).
+    Rendition,
+}
+
+/// One elementary action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElementaryAction {
+    // --- Preparation ---
+    /// Make a model object ready (decode, negotiate resources, cache).
+    Prepare,
+    /// Remove a model object from availability (inverse of Prepare).
+    Destroy,
+    // --- Creation ---
+    /// Create a run-time object from a model object. The engine assigns
+    /// the `RtId` and reports it in a `Created` presentation event.
+    New,
+    /// Delete a run-time object.
+    DeleteRt,
+    // --- Presentation ---
+    /// Start/resume presentation of a run-time object.
+    Run,
+    /// Stop presentation of a run-time object.
+    Stop,
+    /// Move a visible run-time object (generic units).
+    SetPosition {
+        /// Horizontal position.
+        x: i32,
+        /// Vertical position.
+        y: i32,
+    },
+    /// Show or hide a visible run-time object.
+    SetVisibility(bool),
+    // --- Rendition ---
+    /// Resize a visible run-time object (generic units).
+    SetSize {
+        /// Width.
+        w: u32,
+        /// Height.
+        h: u32,
+    },
+    /// Playback speed in thousandths (1000 = nominal). Time-based media.
+    SetSpeed(i64),
+    /// Volume in thousandths (1000 = nominal). Audible media.
+    SetVolume(i64),
+    // --- Activation ---
+    /// Activate a script instance.
+    Activate,
+    /// Deactivate a script instance.
+    Deactivate,
+    // --- Interaction ---
+    /// Enable/disable user selectability of a run-time object (buttons,
+    /// menus, anchors).
+    SetInteraction(bool),
+    /// Store a value into a run-time object's data slot (form input,
+    /// counters).
+    SetData(GenericValue),
+    /// Enable/disable a single stream of a multiplexed content object —
+    /// "to turn audio on and off in an MPEG system stream" (§4.4.1).
+    SetStreamEnabled {
+        /// Stream identifier within the multiplex.
+        stream_id: u32,
+        /// New state.
+        enabled: bool,
+    },
+    // --- Getting Value ---
+    /// Read an attribute; the engine emits a `ValueReport` event.
+    GetValue(ValueAttribute),
+}
+
+/// Attributes readable with [`ElementaryAction::GetValue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueAttribute {
+    /// Current (x, y) — reported as two events.
+    Position,
+    /// Current (w, h).
+    Size,
+    /// Current speed (milli).
+    Speed,
+    /// Current volume (milli).
+    Volume,
+    /// Visibility flag.
+    Visibility,
+    /// Run-time state (ready/running/stopped).
+    State,
+    /// The data slot.
+    Data,
+}
+
+impl ElementaryAction {
+    /// The Fig 4.5c family this action belongs to.
+    pub fn group(&self) -> ActionGroup {
+        use ElementaryAction::*;
+        match self {
+            Prepare | Destroy => ActionGroup::Preparation,
+            New | DeleteRt => ActionGroup::Creation,
+            Run | Stop | SetPosition { .. } | SetVisibility(_) => ActionGroup::Presentation,
+            SetSize { .. } | SetSpeed(_) | SetVolume(_) => ActionGroup::Rendition,
+            Activate | Deactivate => ActionGroup::Activation,
+            SetInteraction(_) | SetData(_) => ActionGroup::Interaction,
+            SetStreamEnabled { .. } => ActionGroup::Rendition,
+            GetValue(_) => ActionGroup::GettingValue,
+        }
+    }
+
+    /// Whether this action is valid on a model object (vs run-time only).
+    pub fn applies_to_model(&self) -> bool {
+        matches!(
+            self,
+            ElementaryAction::Prepare | ElementaryAction::Destroy | ElementaryAction::New
+        )
+    }
+}
+
+/// A target plus the ordered elementary actions applied to it, optionally
+/// delayed — one row of an action object's synchronized set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionEntry {
+    /// The object acted upon.
+    pub target: TargetRef,
+    /// Delay from action-object execution to this entry running.
+    pub delay: SimDuration,
+    /// Actions applied in order.
+    pub actions: Vec<ElementaryAction>,
+}
+
+impl ActionEntry {
+    /// An immediate entry.
+    pub fn now(target: TargetRef, actions: Vec<ElementaryAction>) -> Self {
+        ActionEntry {
+            target,
+            delay: SimDuration::ZERO,
+            actions,
+        }
+    }
+
+    /// A delayed entry.
+    pub fn after(target: TargetRef, delay: SimDuration, actions: Vec<ElementaryAction>) -> Self {
+        ActionEntry {
+            target,
+            delay,
+            actions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_match_figure() {
+        use ElementaryAction::*;
+        assert_eq!(Prepare.group(), ActionGroup::Preparation);
+        assert_eq!(New.group(), ActionGroup::Creation);
+        assert_eq!(Run.group(), ActionGroup::Presentation);
+        assert_eq!(SetPosition { x: 0, y: 0 }.group(), ActionGroup::Presentation);
+        assert_eq!(SetSize { w: 1, h: 1 }.group(), ActionGroup::Rendition);
+        assert_eq!(SetSpeed(1000).group(), ActionGroup::Rendition);
+        assert_eq!(Activate.group(), ActionGroup::Activation);
+        assert_eq!(SetInteraction(true).group(), ActionGroup::Interaction);
+        assert_eq!(GetValue(ValueAttribute::State).group(), ActionGroup::GettingValue);
+    }
+
+    #[test]
+    fn model_applicability() {
+        assert!(ElementaryAction::Prepare.applies_to_model());
+        assert!(ElementaryAction::New.applies_to_model());
+        assert!(!ElementaryAction::Run.applies_to_model());
+        assert!(!ElementaryAction::DeleteRt.applies_to_model());
+    }
+
+    #[test]
+    fn entry_constructors() {
+        let t = TargetRef::Rt(crate::ids::RtId(1));
+        let e = ActionEntry::now(t, vec![ElementaryAction::Run]);
+        assert!(e.delay.is_zero());
+        let d = ActionEntry::after(t, SimDuration::from_secs(2), vec![ElementaryAction::Stop]);
+        assert_eq!(d.delay, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn target_display() {
+        assert_eq!(TargetRef::Model(MhegId::new(1, 2)).to_string(), "mheg:1/2");
+        assert_eq!(TargetRef::Rt(RtId(9)).to_string(), "rt:9");
+    }
+}

@@ -1,0 +1,243 @@
+//! The MHEG class hierarchy (Figure 4.5a).
+//!
+//! The paper's basic class library arranges the eight standard classes
+//! under abstract parents:
+//!
+//! ```text
+//! MhegObject
+//! ├── Presentation (abstract)
+//! │   └── Model (abstract)
+//! │       ├── Script
+//! │       └── Component (abstract)
+//! │           ├── Content
+//! │           │   └── MultiplexedContent
+//! │           └── Composite
+//! ├── Link
+//! ├── Action
+//! └── Interchange (abstract)
+//!     ├── Container
+//!     └── Descriptor
+//! ```
+//!
+//! ("Any subclass of the presentation class can be aggregated into a
+//! composite class for presentation, or a container class for
+//! interchange. From a model object ... run-time objects may be created.")
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Concrete and abstract MHEG classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ClassKind {
+    /// Root of the hierarchy.
+    MhegObject,
+    /// Abstract: objects that take part in presentations.
+    Presentation,
+    /// Abstract: model objects from which run-time objects are created.
+    Model,
+    /// Abstract: content + composite.
+    Component,
+    /// Content class — carries or references mono-media data.
+    Content,
+    /// Multiplexed content — content with multiple described streams.
+    MultiplexedContent,
+    /// Composite — spatio-temporal composition of components.
+    Composite,
+    /// Script — complex relationships in a non-MHEG language.
+    Script,
+    /// Link — conditional relationships between sources and targets.
+    Link,
+    /// Action — synchronized sets of elementary actions.
+    Action,
+    /// Abstract: interchange grouping classes.
+    Interchange,
+    /// Container — groups objects for interchange as a whole set.
+    Container,
+    /// Descriptor — resource information about other interchanged objects.
+    Descriptor,
+}
+
+impl ClassKind {
+    /// The eight concrete classes defined by the standard.
+    pub const CONCRETE: [ClassKind; 8] = [
+        ClassKind::Content,
+        ClassKind::MultiplexedContent,
+        ClassKind::Composite,
+        ClassKind::Script,
+        ClassKind::Link,
+        ClassKind::Action,
+        ClassKind::Container,
+        ClassKind::Descriptor,
+    ];
+
+    /// Immediate superclass (None for the root).
+    pub fn parent(self) -> Option<ClassKind> {
+        use ClassKind::*;
+        Some(match self {
+            MhegObject => return None,
+            Presentation | Link | Action | Interchange => MhegObject,
+            Model => Presentation,
+            Script | Component => Model,
+            Content | Composite => Component,
+            MultiplexedContent => Content,
+            Container | Descriptor => Interchange,
+        })
+    }
+
+    /// True when `self` is `ancestor` or inherits from it.
+    pub fn is_a(self, ancestor: ClassKind) -> bool {
+        let mut cur = Some(self);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = c.parent();
+        }
+        false
+    }
+
+    /// Abstract classes cannot be instantiated as interchanged objects.
+    pub fn is_abstract(self) -> bool {
+        matches!(
+            self,
+            ClassKind::MhegObject
+                | ClassKind::Presentation
+                | ClassKind::Model
+                | ClassKind::Component
+                | ClassKind::Interchange
+        )
+    }
+
+    /// Model classes support run-time object creation via the `new` action
+    /// (script, content, multiplexed content, composite).
+    pub fn is_model(self) -> bool {
+        self.is_a(ClassKind::Model) && !self.is_abstract()
+    }
+
+    /// Path from the root to this class, for SGML encoding and debugging.
+    pub fn lineage(self) -> Vec<ClassKind> {
+        let mut path = vec![self];
+        let mut cur = self;
+        while let Some(p) = cur.parent() {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Stable wire tag for the TLV codec (concrete classes only).
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            ClassKind::Content => 1,
+            ClassKind::MultiplexedContent => 2,
+            ClassKind::Composite => 3,
+            ClassKind::Script => 4,
+            ClassKind::Link => 5,
+            ClassKind::Action => 6,
+            ClassKind::Container => 7,
+            ClassKind::Descriptor => 8,
+            // Abstract classes never appear on the wire.
+            _ => 0,
+        }
+    }
+
+    /// Inverse of [`wire_tag`](Self::wire_tag).
+    pub fn from_wire_tag(tag: u8) -> Option<ClassKind> {
+        ClassKind::CONCRETE.into_iter().find(|c| c.wire_tag() == tag)
+    }
+}
+
+impl fmt::Display for ClassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClassKind::MhegObject => "mheg-object",
+            ClassKind::Presentation => "presentation",
+            ClassKind::Model => "model",
+            ClassKind::Component => "component",
+            ClassKind::Content => "content",
+            ClassKind::MultiplexedContent => "multiplexed-content",
+            ClassKind::Composite => "composite",
+            ClassKind::Script => "script",
+            ClassKind::Link => "link",
+            ClassKind::Action => "action",
+            ClassKind::Interchange => "interchange",
+            ClassKind::Container => "container",
+            ClassKind::Descriptor => "descriptor",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_matches_figure_4_5a() {
+        assert_eq!(ClassKind::Content.parent(), Some(ClassKind::Component));
+        assert_eq!(ClassKind::MultiplexedContent.parent(), Some(ClassKind::Content));
+        assert_eq!(ClassKind::Composite.parent(), Some(ClassKind::Component));
+        assert_eq!(ClassKind::Script.parent(), Some(ClassKind::Model));
+        assert_eq!(ClassKind::Component.parent(), Some(ClassKind::Model));
+        assert_eq!(ClassKind::Model.parent(), Some(ClassKind::Presentation));
+        assert_eq!(ClassKind::Container.parent(), Some(ClassKind::Interchange));
+        assert_eq!(ClassKind::Descriptor.parent(), Some(ClassKind::Interchange));
+        assert_eq!(ClassKind::Link.parent(), Some(ClassKind::MhegObject));
+        assert_eq!(ClassKind::MhegObject.parent(), None);
+    }
+
+    #[test]
+    fn is_a_transitive() {
+        assert!(ClassKind::MultiplexedContent.is_a(ClassKind::Content));
+        assert!(ClassKind::MultiplexedContent.is_a(ClassKind::Component));
+        assert!(ClassKind::MultiplexedContent.is_a(ClassKind::Presentation));
+        assert!(ClassKind::MultiplexedContent.is_a(ClassKind::MhegObject));
+        assert!(!ClassKind::MultiplexedContent.is_a(ClassKind::Interchange));
+        assert!(!ClassKind::Link.is_a(ClassKind::Presentation));
+    }
+
+    #[test]
+    fn model_classes() {
+        assert!(ClassKind::Content.is_model());
+        assert!(ClassKind::Composite.is_model());
+        assert!(ClassKind::Script.is_model());
+        assert!(ClassKind::MultiplexedContent.is_model());
+        assert!(!ClassKind::Link.is_model());
+        assert!(!ClassKind::Container.is_model());
+        assert!(!ClassKind::Model.is_model(), "abstract");
+    }
+
+    #[test]
+    fn abstract_flags() {
+        for c in ClassKind::CONCRETE {
+            assert!(!c.is_abstract(), "{c} is concrete");
+        }
+        assert!(ClassKind::Model.is_abstract());
+        assert!(ClassKind::Presentation.is_abstract());
+    }
+
+    #[test]
+    fn lineage_of_multiplexed_content() {
+        let l = ClassKind::MultiplexedContent.lineage();
+        assert_eq!(
+            l,
+            vec![
+                ClassKind::MhegObject,
+                ClassKind::Presentation,
+                ClassKind::Model,
+                ClassKind::Component,
+                ClassKind::Content,
+                ClassKind::MultiplexedContent,
+            ]
+        );
+    }
+
+    #[test]
+    fn wire_tags_round_trip() {
+        for c in ClassKind::CONCRETE {
+            assert_eq!(ClassKind::from_wire_tag(c.wire_tag()), Some(c));
+        }
+        assert_eq!(ClassKind::from_wire_tag(0), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! The shared document tree both wire formats serialize.
+
+use bytes::Bytes;
+
+/// One node of the interchange document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with a name, string attributes, and children.
+    Elem {
+        /// Element name (`"mheg"`, `"content"`, …).
+        name: String,
+        /// Attribute key/value pairs, in order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes, in order.
+        children: Vec<Node>,
+    },
+    /// Raw binary data (inline media); hex-encoded in SGML, raw in TLV.
+    Data(Bytes),
+}
+
+impl Node {
+    /// Build an element.
+    pub fn elem(name: &str) -> Node {
+        Node::Elem {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, key: &str, value: impl ToString) -> Node {
+        if let Node::Elem { attrs, .. } = &mut self {
+            attrs.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+
+    /// Builder: add a child.
+    pub fn child(mut self, node: Node) -> Node {
+        if let Node::Elem { children, .. } = &mut self {
+            children.push(node);
+        }
+        self
+    }
+
+    /// Builder: add several children.
+    pub fn children_from(mut self, nodes: impl IntoIterator<Item = Node>) -> Node {
+        if let Node::Elem { children, .. } = &mut self {
+            children.extend(nodes);
+        }
+        self
+    }
+
+    /// Element name, if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Node::Elem { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Attribute lookup.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        match self {
+            Node::Elem { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Children slice (empty for data nodes).
+    pub fn kids(&self) -> &[Node] {
+        match self {
+            Node::Elem { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&Node> {
+        self.kids().iter().find(|n| n.name() == Some(name))
+    }
+
+    /// All child elements with the given name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
+        self.kids().iter().filter(move |n| n.name() == Some(name))
+    }
+}
+
+/// Escape text for SGML attribute/text contexts.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape`]. Unknown entities are an error (caller maps it).
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i..];
+        let (entity, skip) = if rest.starts_with("&amp;") {
+            ('&', 4)
+        } else if rest.starts_with("&lt;") {
+            ('<', 3)
+        } else if rest.starts_with("&gt;") {
+            ('>', 3)
+        } else if rest.starts_with("&quot;") {
+            ('"', 5)
+        } else {
+            return Err(format!("unknown entity at byte {i}"));
+        };
+        out.push(entity);
+        for _ in 0..skip {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+/// Hex-encode bytes (for SGML data nodes).
+pub fn to_hex(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decode hex into bytes.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd hex length".to_string());
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or("bad hex digit")?;
+        let lo = (pair[1] as char).to_digit(16).ok_or("bad hex digit")?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let n = Node::elem("content")
+            .attr("format", "MPEG")
+            .attr("w", 64)
+            .child(Node::elem("ref").attr("media", 42));
+        assert_eq!(n.name(), Some("content"));
+        assert_eq!(n.get_attr("format"), Some("MPEG"));
+        assert_eq!(n.get_attr("w"), Some("64"));
+        assert_eq!(n.get_attr("missing"), None);
+        assert_eq!(n.find("ref").unwrap().get_attr("media"), Some("42"));
+        assert!(n.find("nope").is_none());
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let cases = ["", "plain", "a<b>&\"c", "&&&&", "&amp; already", "日本語 <tag>"];
+        for c in cases {
+            assert_eq!(unescape(&escape(c)).unwrap(), c, "case {c:?}");
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entities() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("trailing &").is_err());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0u8, 1, 0x7F, 0x80, 0xFF, 0xAB];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        assert_eq!(to_hex(&[0xAB]), "ab");
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "bad digit");
+    }
+}

@@ -1,0 +1,553 @@
+//! Conversions between [`MhegObject`] and the interchange document tree.
+//!
+//! This is the single source of truth for what goes on the wire; both the
+//! TLV and SGML codecs serialize the tree this module builds, so the two
+//! formats can never drift apart semantically.
+
+use super::node::Node;
+use super::CodecError;
+use crate::action::{ActionEntry, ElementaryAction, TargetRef, ValueAttribute};
+use crate::descriptor::ResourceNeed;
+use crate::ids::{MhegId, ObjectInfo, RtId};
+use crate::link::{Comparison, Condition, StatusKind};
+use crate::object::*;
+use crate::sync::{AtomicRelation, SyncMechanism, SyncSpec};
+use crate::value::GenericValue;
+use mits_media::{MediaFormat, MediaId, VideoDims};
+use mits_sim::SimDuration;
+
+type R<T> = Result<T, CodecError>;
+
+fn malformed(msg: impl Into<String>) -> CodecError {
+    CodecError::Malformed(msg.into())
+}
+
+fn req_attr<'a>(n: &'a Node, key: &str) -> R<&'a str> {
+    n.get_attr(key)
+        .ok_or_else(|| malformed(format!("<{}> missing attribute {key}", n.name().unwrap_or("?"))))
+}
+
+fn parse_num<T: std::str::FromStr>(n: &Node, key: &str) -> R<T> {
+    req_attr(n, key)?
+        .parse()
+        .map_err(|_| malformed(format!("attribute {key} not numeric")))
+}
+
+fn req_child<'a>(n: &'a Node, name: &str) -> R<&'a Node> {
+    n.find(name)
+        .ok_or_else(|| malformed(format!("<{}> missing child <{name}>", n.name().unwrap_or("?"))))
+}
+
+// ---------- leaf encoders/decoders ----------
+
+fn id_node(name: &str, id: MhegId) -> Node {
+    Node::elem(name).attr("app", id.app).attr("num", id.num)
+}
+
+fn id_from(n: &Node) -> R<MhegId> {
+    Ok(MhegId::new(parse_num(n, "app")?, parse_num(n, "num")?))
+}
+
+fn target_attrs(node: Node, t: TargetRef) -> Node {
+    match t {
+        TargetRef::Model(id) => node.attr("tkind", "m").attr("tapp", id.app).attr("tnum", id.num),
+        TargetRef::Rt(id) => node.attr("tkind", "r").attr("tid", id.0),
+    }
+}
+
+fn target_from(n: &Node) -> R<TargetRef> {
+    match req_attr(n, "tkind")? {
+        "m" => Ok(TargetRef::Model(MhegId::new(
+            parse_num(n, "tapp")?,
+            parse_num(n, "tnum")?,
+        ))),
+        "r" => Ok(TargetRef::Rt(RtId(parse_num(n, "tid")?))),
+        other => Err(malformed(format!("bad target kind {other}"))),
+    }
+}
+
+fn value_node(v: &GenericValue) -> Node {
+    match v {
+        GenericValue::Int(i) => Node::elem("val").attr("t", "i").attr("v", i),
+        GenericValue::Bool(b) => Node::elem("val").attr("t", "b").attr("v", b),
+        GenericValue::Str(s) => Node::elem("val").attr("t", "s").attr("v", s),
+        GenericValue::Milli(m) => Node::elem("val").attr("t", "m").attr("v", m),
+    }
+}
+
+fn value_from(n: &Node) -> R<GenericValue> {
+    let v = req_attr(n, "v")?;
+    Ok(match req_attr(n, "t")? {
+        "i" => GenericValue::Int(v.parse().map_err(|_| malformed("bad int value"))?),
+        "b" => GenericValue::Bool(v.parse().map_err(|_| malformed("bad bool value"))?),
+        "s" => GenericValue::Str(v.to_string()),
+        "m" => GenericValue::Milli(v.parse().map_err(|_| malformed("bad milli value"))?),
+        other => return Err(malformed(format!("bad value type {other}"))),
+    })
+}
+
+fn format_name(f: MediaFormat) -> String {
+    f.to_string()
+}
+
+fn format_from(s: &str) -> R<MediaFormat> {
+    MediaFormat::ALL
+        .into_iter()
+        .find(|f| f.to_string() == s)
+        .ok_or_else(|| malformed(format!("unknown media format {s}")))
+}
+
+fn status_name(s: StatusKind) -> String {
+    s.to_string()
+}
+
+fn status_from(s: &str) -> R<StatusKind> {
+    Ok(match s {
+        "run-state" => StatusKind::RunState,
+        "selection" => StatusKind::Selection,
+        "preparation" => StatusKind::Preparation,
+        "data" => StatusKind::Data,
+        "visibility" => StatusKind::Visibility,
+        "completion" => StatusKind::Completion,
+        other => return Err(malformed(format!("unknown status {other}"))),
+    })
+}
+
+fn cmp_name(c: Comparison) -> &'static str {
+    match c {
+        Comparison::Eq => "eq",
+        Comparison::Ne => "ne",
+        Comparison::Lt => "lt",
+        Comparison::Le => "le",
+        Comparison::Gt => "gt",
+        Comparison::Ge => "ge",
+    }
+}
+
+fn cmp_from(s: &str) -> R<Comparison> {
+    Ok(match s {
+        "eq" => Comparison::Eq,
+        "ne" => Comparison::Ne,
+        "lt" => Comparison::Lt,
+        "le" => Comparison::Le,
+        "gt" => Comparison::Gt,
+        "ge" => Comparison::Ge,
+        other => return Err(malformed(format!("unknown comparison {other}"))),
+    })
+}
+
+fn condition_node(name: &str, c: &Condition) -> Node {
+    target_attrs(Node::elem(name), c.source)
+        .attr("status", status_name(c.status))
+        .attr("cmp", cmp_name(c.cmp))
+        .child(value_node(&c.value))
+}
+
+fn condition_from(n: &Node) -> R<Condition> {
+    Ok(Condition {
+        source: target_from(n)?,
+        status: status_from(req_attr(n, "status")?)?,
+        cmp: cmp_from(req_attr(n, "cmp")?)?,
+        value: value_from(req_child(n, "val")?)?,
+    })
+}
+
+fn action_node(a: &ElementaryAction) -> Node {
+    use ElementaryAction::*;
+    match a {
+        Prepare => Node::elem("act").attr("k", "prepare"),
+        Destroy => Node::elem("act").attr("k", "destroy"),
+        New => Node::elem("act").attr("k", "new"),
+        DeleteRt => Node::elem("act").attr("k", "delete"),
+        Run => Node::elem("act").attr("k", "run"),
+        Stop => Node::elem("act").attr("k", "stop"),
+        SetPosition { x, y } => Node::elem("act").attr("k", "pos").attr("x", x).attr("y", y),
+        SetVisibility(v) => Node::elem("act").attr("k", "vis").attr("v", v),
+        SetSize { w, h } => Node::elem("act").attr("k", "size").attr("w", w).attr("h", h),
+        SetSpeed(s) => Node::elem("act").attr("k", "speed").attr("v", s),
+        SetVolume(v) => Node::elem("act").attr("k", "volume").attr("v", v),
+        Activate => Node::elem("act").attr("k", "activate"),
+        Deactivate => Node::elem("act").attr("k", "deactivate"),
+        SetInteraction(v) => Node::elem("act").attr("k", "interact").attr("v", v),
+        SetData(v) => Node::elem("act").attr("k", "setdata").child(value_node(v)),
+        SetStreamEnabled { stream_id, enabled } => Node::elem("act")
+            .attr("k", "stream")
+            .attr("id", stream_id)
+            .attr("on", enabled),
+        GetValue(attr) => Node::elem("act").attr("k", "getvalue").attr(
+            "a",
+            match attr {
+                ValueAttribute::Position => "position",
+                ValueAttribute::Size => "size",
+                ValueAttribute::Speed => "speed",
+                ValueAttribute::Volume => "volume",
+                ValueAttribute::Visibility => "visibility",
+                ValueAttribute::State => "state",
+                ValueAttribute::Data => "data",
+            },
+        ),
+    }
+}
+
+fn action_from(n: &Node) -> R<ElementaryAction> {
+    use ElementaryAction::*;
+    Ok(match req_attr(n, "k")? {
+        "prepare" => Prepare,
+        "destroy" => Destroy,
+        "new" => New,
+        "delete" => DeleteRt,
+        "run" => Run,
+        "stop" => Stop,
+        "pos" => SetPosition {
+            x: parse_num(n, "x")?,
+            y: parse_num(n, "y")?,
+        },
+        "vis" => SetVisibility(parse_num(n, "v")?),
+        "size" => SetSize {
+            w: parse_num(n, "w")?,
+            h: parse_num(n, "h")?,
+        },
+        "speed" => SetSpeed(parse_num(n, "v")?),
+        "volume" => SetVolume(parse_num(n, "v")?),
+        "activate" => Activate,
+        "deactivate" => Deactivate,
+        "interact" => SetInteraction(parse_num(n, "v")?),
+        "setdata" => SetData(value_from(req_child(n, "val")?)?),
+        "stream" => SetStreamEnabled {
+            stream_id: parse_num(n, "id")?,
+            enabled: parse_num(n, "on")?,
+        },
+        "getvalue" => GetValue(match req_attr(n, "a")? {
+            "position" => ValueAttribute::Position,
+            "size" => ValueAttribute::Size,
+            "speed" => ValueAttribute::Speed,
+            "volume" => ValueAttribute::Volume,
+            "visibility" => ValueAttribute::Visibility,
+            "state" => ValueAttribute::State,
+            "data" => ValueAttribute::Data,
+            other => return Err(malformed(format!("unknown attribute {other}"))),
+        }),
+        other => return Err(malformed(format!("unknown action {other}"))),
+    })
+}
+
+fn entry_node(e: &ActionEntry) -> Node {
+    target_attrs(Node::elem("entry"), e.target)
+        .attr("delay", e.delay.as_micros())
+        .children_from(e.actions.iter().map(action_node))
+}
+
+fn entry_from(n: &Node) -> R<ActionEntry> {
+    Ok(ActionEntry {
+        target: target_from(n)?,
+        delay: SimDuration::from_micros(parse_num(n, "delay")?),
+        actions: n.find_all("act").map(action_from).collect::<R<_>>()?,
+    })
+}
+
+fn sync_node(s: &SyncSpec) -> Node {
+    match &s.mechanism {
+        SyncMechanism::Atomic { a, b, relation } => {
+            let n = Node::elem("sync").attr("mech", "atomic").attr(
+                "rel",
+                match relation {
+                    AtomicRelation::Parallel => "parallel",
+                    AtomicRelation::Serial => "serial",
+                },
+            );
+            n.child(target_attrs(Node::elem("t"), *a))
+                .child(target_attrs(Node::elem("t"), *b))
+        }
+        SyncMechanism::Elementary { a, t1, b, t2 } => Node::elem("sync")
+            .attr("mech", "elementary")
+            .attr("t1", t1.as_micros())
+            .attr("t2", t2.as_micros())
+            .child(target_attrs(Node::elem("t"), *a))
+            .child(target_attrs(Node::elem("t"), *b)),
+        SyncMechanism::Cyclic {
+            target,
+            period,
+            repetitions,
+        } => {
+            let mut n = Node::elem("sync")
+                .attr("mech", "cyclic")
+                .attr("period", period.as_micros());
+            if let Some(r) = repetitions {
+                n = n.attr("reps", r);
+            }
+            n.child(target_attrs(Node::elem("t"), *target))
+        }
+        SyncMechanism::Chained { sequence } => Node::elem("sync")
+            .attr("mech", "chained")
+            .children_from(sequence.iter().map(|t| target_attrs(Node::elem("t"), *t))),
+    }
+}
+
+fn sync_from(n: &Node) -> R<SyncSpec> {
+    let targets: Vec<TargetRef> = n.find_all("t").map(target_from).collect::<R<_>>()?;
+    let two = |targets: &[TargetRef]| -> R<(TargetRef, TargetRef)> {
+        if targets.len() != 2 {
+            return Err(malformed("sync needs exactly two targets"));
+        }
+        Ok((targets[0], targets[1]))
+    };
+    let mech = match req_attr(n, "mech")? {
+        "atomic" => {
+            let (a, b) = two(&targets)?;
+            SyncMechanism::Atomic {
+                a,
+                b,
+                relation: match req_attr(n, "rel")? {
+                    "parallel" => AtomicRelation::Parallel,
+                    "serial" => AtomicRelation::Serial,
+                    other => return Err(malformed(format!("bad relation {other}"))),
+                },
+            }
+        }
+        "elementary" => {
+            let (a, b) = two(&targets)?;
+            SyncMechanism::Elementary {
+                a,
+                t1: SimDuration::from_micros(parse_num(n, "t1")?),
+                b,
+                t2: SimDuration::from_micros(parse_num(n, "t2")?),
+            }
+        }
+        "cyclic" => SyncMechanism::Cyclic {
+            target: *targets
+                .first()
+                .ok_or_else(|| malformed("cyclic sync needs a target"))?,
+            period: SimDuration::from_micros(parse_num(n, "period")?),
+            repetitions: match n.get_attr("reps") {
+                Some(r) => Some(r.parse().map_err(|_| malformed("bad reps"))?),
+                None => None,
+            },
+        },
+        "chained" => SyncMechanism::Chained { sequence: targets },
+        other => return Err(malformed(format!("unknown sync mechanism {other}"))),
+    };
+    Ok(SyncSpec::new(mech))
+}
+
+fn need_node(need: &ResourceNeed) -> Node {
+    match need {
+        ResourceNeed::Decoder(f) => Node::elem("need").attr("k", "decoder").attr("f", format_name(*f)),
+        ResourceNeed::Bandwidth(b) => Node::elem("need").attr("k", "bw").attr("bps", b),
+        ResourceNeed::Display(d) => Node::elem("need")
+            .attr("k", "display")
+            .attr("w", d.width)
+            .attr("h", d.height),
+        ResourceNeed::AudioOutput => Node::elem("need").attr("k", "audio"),
+        ResourceNeed::CacheBytes(b) => Node::elem("need").attr("k", "cache").attr("bytes", b),
+    }
+}
+
+fn need_from(n: &Node) -> R<ResourceNeed> {
+    Ok(match req_attr(n, "k")? {
+        "decoder" => ResourceNeed::Decoder(format_from(req_attr(n, "f")?)?),
+        "bw" => ResourceNeed::Bandwidth(parse_num(n, "bps")?),
+        "display" => ResourceNeed::Display(VideoDims::new(parse_num(n, "w")?, parse_num(n, "h")?)),
+        "audio" => ResourceNeed::AudioOutput,
+        "cache" => ResourceNeed::CacheBytes(parse_num(n, "bytes")?),
+        other => return Err(malformed(format!("unknown need {other}"))),
+    })
+}
+
+fn content_node(name: &str, c: &ContentBody) -> Node {
+    let data = match &c.data {
+        ContentData::Referenced(m) => Node::elem("ref").attr("media", m.0),
+        ContentData::Inline(b) => Node::elem("inline").child(Node::Data(b.clone())),
+        ContentData::Value(v) => Node::elem("value").child(value_node(v)),
+    };
+    Node::elem(name)
+        .attr("format", format_name(c.format))
+        .attr("w", c.original_size.width)
+        .attr("h", c.original_size.height)
+        .attr("dur", c.original_duration.as_micros())
+        .attr("vol", c.original_volume)
+        .attr("x", c.original_position.0)
+        .attr("y", c.original_position.1)
+        .child(data)
+}
+
+fn content_from(n: &Node) -> R<ContentBody> {
+    let data = if let Some(r) = n.find("ref") {
+        ContentData::Referenced(MediaId(parse_num(r, "media")?))
+    } else if let Some(i) = n.find("inline") {
+        match i.kids().first() {
+            Some(Node::Data(b)) => ContentData::Inline(b.clone()),
+            _ => return Err(malformed("inline content missing data node")),
+        }
+    } else if let Some(v) = n.find("value") {
+        ContentData::Value(value_from(req_child(v, "val")?)?)
+    } else {
+        return Err(malformed("content without data"));
+    };
+    Ok(ContentBody {
+        data,
+        format: format_from(req_attr(n, "format")?)?,
+        original_size: VideoDims::new(parse_num(n, "w")?, parse_num(n, "h")?),
+        original_duration: SimDuration::from_micros(parse_num(n, "dur")?),
+        original_volume: parse_num(n, "vol")?,
+        original_position: (parse_num(n, "x")?, parse_num(n, "y")?),
+    })
+}
+
+// ---------- whole objects ----------
+
+/// Build the interchange tree for an object.
+pub fn object_to_node(obj: &MhegObject) -> Node {
+    let info = Node::elem("info")
+        .attr("name", &obj.info.name)
+        .attr("owner", &obj.info.owner)
+        .attr("version", obj.info.version)
+        .attr("date", &obj.info.date)
+        .children_from(obj.info.keywords.iter().map(|k| Node::elem("kw").attr("v", k)));
+
+    let body = match &obj.body {
+        ObjectBody::Content(c) => content_node("content", c),
+        ObjectBody::MultiplexedContent { base, streams } => Node::elem("mux")
+            .child(content_node("content", base))
+            .children_from(streams.iter().map(|s| {
+                Node::elem("stream")
+                    .attr("id", s.stream_id)
+                    .attr("format", format_name(s.format))
+                    .attr("on", s.enabled)
+            })),
+        ObjectBody::Composite(c) => Node::elem("composite")
+            .children_from(c.components.iter().map(|id| id_node("comp", *id)))
+            .children_from(c.on_start.iter().map(entry_node))
+            .children_from(c.sync.iter().map(sync_node)),
+        ObjectBody::Link(l) => {
+            let effect = match &l.effect {
+                LinkEffect::ActionRef(id) => Node::elem("effect").attr("kind", "ref").child(id_node("aref", *id)),
+                LinkEffect::Inline(entries) => Node::elem("effect")
+                    .attr("kind", "inline")
+                    .children_from(entries.iter().map(entry_node)),
+            };
+            Node::elem("link")
+                .child(condition_node("trigger", &l.trigger))
+                .children_from(l.additional.iter().map(|c| condition_node("and", c)))
+                .child(effect)
+        }
+        ObjectBody::Action(a) => {
+            Node::elem("action").children_from(a.entries.iter().map(entry_node))
+        }
+        ObjectBody::Script(s) => Node::elem("script")
+            .attr("lang", &s.language)
+            .attr("src", &s.source),
+        ObjectBody::Container(c) => {
+            Node::elem("container").children_from(c.objects.iter().map(|id| id_node("obj", *id)))
+        }
+        ObjectBody::Descriptor(d) => Node::elem("descriptor")
+            .attr("readme", &d.readme)
+            .children_from(d.describes.iter().map(|id| id_node("subject", *id)))
+            .children_from(d.needs.iter().map(need_node)),
+    };
+
+    Node::elem("mheg")
+        .attr("std", STANDARD_ID)
+        .attr("ver", STANDARD_VERSION)
+        .attr("class", obj.class().to_string())
+        .attr("app", obj.id.app)
+        .attr("num", obj.id.num)
+        .child(info)
+        .child(body)
+}
+
+/// Rebuild an object from its interchange tree.
+pub fn node_to_object(n: &Node) -> R<MhegObject> {
+    if n.name() != Some("mheg") {
+        return Err(malformed("root element must be <mheg>"));
+    }
+    let std_id: u8 = parse_num(n, "std")?;
+    if std_id != STANDARD_ID {
+        return Err(malformed(format!("standard id {std_id}, expected {STANDARD_ID}")));
+    }
+    let id = MhegId::new(parse_num(n, "app")?, parse_num(n, "num")?);
+    let info_node = req_child(n, "info")?;
+    let info = ObjectInfo {
+        name: req_attr(info_node, "name")?.to_string(),
+        owner: req_attr(info_node, "owner")?.to_string(),
+        version: parse_num(info_node, "version")?,
+        date: req_attr(info_node, "date")?.to_string(),
+        keywords: info_node
+            .find_all("kw")
+            .map(|k| req_attr(k, "v").map(str::to_string))
+            .collect::<R<_>>()?,
+    };
+
+    let class = req_attr(n, "class")?;
+    let body = match class {
+        "content" => ObjectBody::Content(content_from(req_child(n, "content")?)?),
+        "multiplexed-content" => {
+            let mux = req_child(n, "mux")?;
+            ObjectBody::MultiplexedContent {
+                base: content_from(req_child(mux, "content")?)?,
+                streams: mux
+                    .find_all("stream")
+                    .map(|s| {
+                        Ok(StreamDesc {
+                            stream_id: parse_num(s, "id")?,
+                            format: format_from(req_attr(s, "format")?)?,
+                            enabled: parse_num(s, "on")?,
+                        })
+                    })
+                    .collect::<R<_>>()?,
+            }
+        }
+        "composite" => {
+            let c = req_child(n, "composite")?;
+            ObjectBody::Composite(CompositeBody {
+                components: c.find_all("comp").map(id_from).collect::<R<_>>()?,
+                on_start: c.find_all("entry").map(entry_from).collect::<R<_>>()?,
+                sync: c.find_all("sync").map(sync_from).collect::<R<_>>()?,
+            })
+        }
+        "link" => {
+            let l = req_child(n, "link")?;
+            let effect_node = req_child(l, "effect")?;
+            let effect = match req_attr(effect_node, "kind")? {
+                "ref" => LinkEffect::ActionRef(id_from(req_child(effect_node, "aref")?)?),
+                "inline" => LinkEffect::Inline(
+                    effect_node.find_all("entry").map(entry_from).collect::<R<_>>()?,
+                ),
+                other => return Err(malformed(format!("bad effect kind {other}"))),
+            };
+            ObjectBody::Link(LinkBody {
+                trigger: condition_from(req_child(l, "trigger")?)?,
+                additional: l.find_all("and").map(condition_from).collect::<R<_>>()?,
+                effect,
+            })
+        }
+        "action" => {
+            let a = req_child(n, "action")?;
+            ObjectBody::Action(ActionBody {
+                entries: a.find_all("entry").map(entry_from).collect::<R<_>>()?,
+            })
+        }
+        "script" => {
+            let s = req_child(n, "script")?;
+            ObjectBody::Script(ScriptBody {
+                language: req_attr(s, "lang")?.to_string(),
+                source: req_attr(s, "src")?.to_string(),
+            })
+        }
+        "container" => {
+            let c = req_child(n, "container")?;
+            ObjectBody::Container(ContainerBody {
+                objects: c.find_all("obj").map(id_from).collect::<R<_>>()?,
+            })
+        }
+        "descriptor" => {
+            let d = req_child(n, "descriptor")?;
+            ObjectBody::Descriptor(DescriptorBody {
+                describes: d.find_all("subject").map(id_from).collect::<R<_>>()?,
+                needs: d.find_all("need").map(need_from).collect::<R<_>>()?,
+                readme: req_attr(d, "readme")?.to_string(),
+            })
+        }
+        other => return Err(malformed(format!("unknown class {other}"))),
+    };
+    Ok(MhegObject::new(id, info, body))
+}

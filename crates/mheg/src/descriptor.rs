@@ -1,0 +1,288 @@
+//! Descriptor-based resource negotiation (§2.2.2, §2.3.2, §3.1.2.2).
+//!
+//! "Information of resources required to present the encoded data can be
+//! coded into a descriptor object and transmitted to the presentation
+//! environment before the real content objects are transmitted. This can
+//! facilitate a correspondence between the resources required ... and the
+//! resources available ... Descriptor objects can also perform a
+//! negotiation between the source of the MHEG objects and the presentation
+//! environment."
+//!
+//! A [`ResourceNeed`] states what presenting an object requires; a
+//! [`SystemCapabilities`] describes a presentation site; [`Negotiation`]
+//! decides accept / degrade / reject before any bulk content moves —
+//! exactly the "minimal resources" benefit the paper credits MHEG with.
+
+use mits_media::{MediaFormat, MediaKind, VideoDims};
+use serde::{Deserialize, Serialize};
+
+/// One resource requirement carried by a descriptor object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResourceNeed {
+    /// A decoder for this coding method must exist.
+    Decoder(MediaFormat),
+    /// Sustained network bandwidth in bits/s for streamed presentation.
+    Bandwidth(u64),
+    /// Display at least this large.
+    Display(VideoDims),
+    /// Audio output channel.
+    AudioOutput,
+    /// Free content-cache space in bytes.
+    CacheBytes(u64),
+}
+
+/// Capabilities of a presentation site (the navigator host).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemCapabilities {
+    /// Decoders installed (the OLE-player registry of §5.2.2).
+    pub decoders: Vec<MediaFormat>,
+    /// Access-link bandwidth in bits/s.
+    pub bandwidth: u64,
+    /// Display size.
+    pub display: VideoDims,
+    /// Audio hardware present.
+    pub audio: bool,
+    /// Free cache in bytes.
+    pub cache_bytes: u64,
+}
+
+impl SystemCapabilities {
+    /// A mid-90s multimedia PC on the given access link — the paper's
+    /// reference client (§5.1.2).
+    pub fn multimedia_pc(bandwidth: u64) -> Self {
+        SystemCapabilities {
+            decoders: MediaFormat::ALL.to_vec(),
+            bandwidth,
+            display: VideoDims::new(800, 600),
+            audio: true,
+            cache_bytes: 64 * 1024 * 1024,
+        }
+    }
+
+    /// A text-only terminal, for negotiation tests.
+    pub fn text_terminal(bandwidth: u64) -> Self {
+        SystemCapabilities {
+            decoders: vec![MediaFormat::Ascii, MediaFormat::Html],
+            bandwidth,
+            display: VideoDims::new(640, 480),
+            audio: false,
+            cache_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Outcome of negotiating one need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NeedOutcome {
+    /// Fully satisfiable.
+    Satisfied,
+    /// Satisfiable in degraded form (e.g. lower rate); carries a note.
+    Degraded(String),
+    /// Not satisfiable.
+    Unsatisfied(String),
+}
+
+/// Result of a full negotiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Negotiation {
+    /// Per-need outcomes, in need order.
+    pub outcomes: Vec<NeedOutcome>,
+}
+
+impl Negotiation {
+    /// Negotiate `needs` against `caps`.
+    pub fn run(needs: &[ResourceNeed], caps: &SystemCapabilities) -> Self {
+        let outcomes = needs
+            .iter()
+            .map(|need| match need {
+                ResourceNeed::Decoder(f) => {
+                    if caps.decoders.contains(f) {
+                        NeedOutcome::Satisfied
+                    } else {
+                        NeedOutcome::Unsatisfied(format!("no {f} decoder"))
+                    }
+                }
+                ResourceNeed::Bandwidth(bps) => {
+                    if caps.bandwidth >= *bps {
+                        NeedOutcome::Satisfied
+                    } else if caps.bandwidth * 2 >= *bps {
+                        // Within 2×: stream at reduced quality / prefetch.
+                        NeedOutcome::Degraded(format!(
+                            "need {bps} b/s, have {} b/s: prefetch or degrade",
+                            caps.bandwidth
+                        ))
+                    } else {
+                        NeedOutcome::Unsatisfied(format!(
+                            "need {bps} b/s, have {} b/s",
+                            caps.bandwidth
+                        ))
+                    }
+                }
+                ResourceNeed::Display(d) => {
+                    if caps.display.width >= d.width && caps.display.height >= d.height {
+                        NeedOutcome::Satisfied
+                    } else {
+                        NeedOutcome::Degraded(format!(
+                            "scale {d} onto {}",
+                            caps.display
+                        ))
+                    }
+                }
+                ResourceNeed::AudioOutput => {
+                    if caps.audio {
+                        NeedOutcome::Satisfied
+                    } else {
+                        NeedOutcome::Unsatisfied("no audio hardware".into())
+                    }
+                }
+                ResourceNeed::CacheBytes(n) => {
+                    if caps.cache_bytes >= *n {
+                        NeedOutcome::Satisfied
+                    } else {
+                        NeedOutcome::Unsatisfied(format!(
+                            "need {n} cache bytes, have {}",
+                            caps.cache_bytes
+                        ))
+                    }
+                }
+            })
+            .collect();
+        Negotiation { outcomes }
+    }
+
+    /// Everything satisfied outright.
+    pub fn accepted(&self) -> bool {
+        self.outcomes.iter().all(|o| *o == NeedOutcome::Satisfied)
+    }
+
+    /// Presentable, possibly degraded.
+    pub fn presentable(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| !matches!(o, NeedOutcome::Unsatisfied(_)))
+    }
+
+    /// Human-readable summary for the "readme" channel.
+    pub fn summary(&self) -> String {
+        if self.accepted() {
+            "accepted".to_string()
+        } else if self.presentable() {
+            let notes: Vec<&str> = self
+                .outcomes
+                .iter()
+                .filter_map(|o| match o {
+                    NeedOutcome::Degraded(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            format!("degraded: {}", notes.join("; "))
+        } else {
+            let notes: Vec<&str> = self
+                .outcomes
+                .iter()
+                .filter_map(|o| match o {
+                    NeedOutcome::Unsatisfied(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            format!("rejected: {}", notes.join("; "))
+        }
+    }
+}
+
+/// Derive the needs for presenting media of `kind`/`format` streamed at
+/// `bit_rate` on a `dims` canvas — the helper the courseware compiler uses
+/// to fill descriptor objects.
+pub fn needs_for_media(
+    format: MediaFormat,
+    bit_rate: Option<u64>,
+    dims: VideoDims,
+) -> Vec<ResourceNeed> {
+    let mut needs = vec![ResourceNeed::Decoder(format)];
+    if let Some(r) = bit_rate {
+        needs.push(ResourceNeed::Bandwidth(r));
+    }
+    match format.kind() {
+        MediaKind::Audio => needs.push(ResourceNeed::AudioOutput),
+        MediaKind::Video => {
+            needs.push(ResourceNeed::Display(dims));
+            // MPEG system streams carry audio too.
+            needs.push(ResourceNeed::AudioOutput);
+        }
+        _ if dims.pixels() > 0 => needs.push(ResourceNeed::Display(dims)),
+        _ => {}
+    }
+    needs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_accepts_mpeg_at_atm_rates() {
+        let caps = SystemCapabilities::multimedia_pc(155_000_000);
+        let needs = needs_for_media(MediaFormat::Mpeg, Some(1_500_000), VideoDims::new(320, 240));
+        let n = Negotiation::run(&needs, &caps);
+        assert!(n.accepted(), "{}", n.summary());
+    }
+
+    #[test]
+    fn modem_rejects_mpeg() {
+        let caps = SystemCapabilities::multimedia_pc(28_800);
+        let needs = needs_for_media(MediaFormat::Mpeg, Some(1_500_000), VideoDims::new(320, 240));
+        let n = Negotiation::run(&needs, &caps);
+        assert!(!n.presentable());
+        assert!(n.summary().starts_with("rejected"));
+    }
+
+    #[test]
+    fn near_rate_degrades_not_rejects() {
+        // Capability within 2× of the need → degraded.
+        let caps = SystemCapabilities::multimedia_pc(1_000_000);
+        let n = Negotiation::run(&[ResourceNeed::Bandwidth(1_500_000)], &caps);
+        assert!(!n.accepted());
+        assert!(n.presentable());
+        assert!(n.summary().starts_with("degraded"));
+    }
+
+    #[test]
+    fn text_terminal_lacks_decoders_and_audio() {
+        let caps = SystemCapabilities::text_terminal(128_000);
+        let needs = needs_for_media(MediaFormat::Wav, Some(90_112), VideoDims::default());
+        let n = Negotiation::run(&needs, &caps);
+        assert!(!n.presentable());
+        // Both the decoder and the audio hardware are missing.
+        let unsat = n
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, NeedOutcome::Unsatisfied(_)))
+            .count();
+        assert_eq!(unsat, 2);
+    }
+
+    #[test]
+    fn oversized_display_degrades() {
+        let caps = SystemCapabilities::multimedia_pc(155_000_000);
+        let n = Negotiation::run(
+            &[ResourceNeed::Display(VideoDims::new(1920, 1080))],
+            &caps,
+        );
+        assert!(n.presentable());
+        assert!(!n.accepted());
+    }
+
+    #[test]
+    fn needs_for_text_are_minimal() {
+        let needs = needs_for_media(MediaFormat::Html, None, VideoDims::default());
+        assert_eq!(needs, vec![ResourceNeed::Decoder(MediaFormat::Html)]);
+    }
+
+    #[test]
+    fn cache_need() {
+        let mut caps = SystemCapabilities::multimedia_pc(155_000_000);
+        caps.cache_bytes = 10;
+        let n = Negotiation::run(&[ResourceNeed::CacheBytes(100)], &caps);
+        assert!(!n.presentable());
+    }
+}

@@ -1,0 +1,117 @@
+//! Object identification.
+//!
+//! Every MHEG object carries an "MHEG identifier" plus general object
+//! information — name, owner, version, date, keywords (§4.4.1). Run-time
+//! objects (form c) get their own id space since many can be created from
+//! one model object.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an interchanged MHEG object: an application (authoring
+/// site / courseware) namespace plus an object number within it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct MhegId {
+    /// Application / courseware namespace.
+    pub app: u32,
+    /// Object number within the application.
+    pub num: u64,
+}
+
+impl MhegId {
+    /// Convenience constructor.
+    pub const fn new(app: u32, num: u64) -> Self {
+        MhegId { app, num }
+    }
+}
+
+impl fmt::Display for MhegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mheg:{}/{}", self.app, self.num)
+    }
+}
+
+/// Identifier of a run-time (form c) object inside one engine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RtId(pub u64);
+
+impl fmt::Display for RtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rt:{}", self.0)
+    }
+}
+
+/// General object information common to every MHEG class (§4.4.1:
+/// "name, owner, version, date, keywords, copyright, license and
+/// comments").
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ObjectInfo {
+    /// Human-readable object name.
+    pub name: String,
+    /// Owning author / institution.
+    pub owner: String,
+    /// Version number of the object.
+    pub version: u32,
+    /// Authoring date, free-form (the standard does not fix a calendar).
+    pub date: String,
+    /// Keywords for database retrieval (feeds the keyword tree in mits-db).
+    pub keywords: Vec<String>,
+}
+
+impl ObjectInfo {
+    /// Info with just a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        ObjectInfo {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style keyword attachment.
+    pub fn with_keywords<I, S>(mut self, kws: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.keywords = kws.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Builder-style owner attachment.
+    pub fn with_owner(mut self, owner: impl Into<String>) -> Self {
+        self.owner = owner.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MhegId::new(3, 17).to_string(), "mheg:3/17");
+        assert_eq!(RtId(5).to_string(), "rt:5");
+    }
+
+    #[test]
+    fn ordering_is_app_then_num() {
+        assert!(MhegId::new(1, 999) < MhegId::new(2, 0));
+        assert!(MhegId::new(1, 1) < MhegId::new(1, 2));
+    }
+
+    #[test]
+    fn info_builders() {
+        let i = ObjectInfo::named("ATM Course")
+            .with_owner("MIRLab")
+            .with_keywords(["atm", "telecom"]);
+        assert_eq!(i.name, "ATM Course");
+        assert_eq!(i.owner, "MIRLab");
+        assert_eq!(i.keywords, vec!["atm", "telecom"]);
+        assert_eq!(i.version, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # mits-mheg — an MHEG object system in the style of ISO/IEC 13522-1
+//!
+//! MITS chose MHEG over HyTime as its information-interchange scheme
+//! (§3.1.2.2): final-form, real-time, interactive, object-oriented. This
+//! crate reproduces everything Chapter 2 and Chapter 4 of the paper use:
+//!
+//! * The **eight object classes** — Content, Multiplexed Content,
+//!   Composite, Link, Action, Script, Container, Descriptor — with the
+//!   common identification attributes and the extended class hierarchy of
+//!   Figure 4.5 ([`class`], [`object`], [`library`]).
+//! * The **object life cycle** of Figure 2.4 — form (a) interchanged
+//!   encoding, form (b) decoded engine-internal objects, form (c) run-time
+//!   objects created with `new` and destroyed with `delete`
+//!   ([`codec`], [`runtime`], [`engine`]).
+//! * **Links and actions** — trigger + additional conditions, elementary
+//!   actions grouped into Preparation / Creation / Presentation /
+//!   Activation / Interaction / Getting-Value / Rendition ([`link`],
+//!   [`action`]).
+//! * The **four synchronization mechanisms** of §2.2.2.3 — atomic,
+//!   elementary, cyclic, chained — plus conditional synchronization
+//!   ([`sync`]).
+//! * **Interchange** — containers grouping object sets and descriptors
+//!   carrying resource needs for capability negotiation before transfer
+//!   ([`descriptor`]), with two wire formats: a compact TLV binary codec
+//!   (the ASN.1 role) and an SGML-like textual codec (§2.2.2, Figure 2.9).
+//!
+//! The [`engine::MhegEngine`] is deliberately synchronous and clock-driven:
+//! the courseware navigator advances virtual time and injects user input;
+//! the engine fires links, mutates run-time objects, and emits presentation
+//! events the using application renders.
+
+pub mod action;
+pub mod class;
+pub mod codec;
+pub mod descriptor;
+pub mod engine;
+pub mod ids;
+pub mod library;
+pub mod link;
+pub mod object;
+pub mod runtime;
+pub mod script;
+pub mod sync;
+pub mod value;
+
+pub use action::{ActionGroup, ElementaryAction, TargetRef};
+pub use class::ClassKind;
+pub use codec::{decode_object, encode_object, CodecError, WireFormat};
+pub use descriptor::{Negotiation, ResourceNeed, SystemCapabilities};
+pub use engine::{EngineError, MhegEngine, PresentationEvent};
+pub use ids::{MhegId, ObjectInfo, RtId};
+pub use library::ClassLibrary;
+pub use link::{Comparison, Condition, StatusKind};
+pub use object::{
+    ActionBody, CompositeBody, ContainerBody, ContentBody, ContentData, DescriptorBody,
+    LinkBody, MhegObject, ObjectBody, ScriptBody, StreamDesc,
+};
+pub use runtime::{RtObject, RtState, Socket, SocketKind};
+pub use script::{run as run_script, ScriptError};
+pub use sync::{SyncMechanism, SyncSpec};
+pub use value::GenericValue;

@@ -1,0 +1,395 @@
+//! The basic MHEG class library (Figure 4.5) as a fluent builder.
+//!
+//! "A basic MHEG class library for multimedia and hypermedia information
+//! coding is designed" (§4.4.1). This module is that library's programmatic
+//! face: it allocates object numbers inside an application namespace and
+//! offers one constructor per practical subclass — media-typed content
+//! objects (Fig 4.5b), the action subclass families (Fig 4.5c), links,
+//! composites, containers, descriptors. The *courseware* class library of
+//! Fig 4.6 (Interactive / Output / Hyperobject) builds on this in
+//! `mits-author`.
+
+use crate::action::{ActionEntry, TargetRef};
+use crate::descriptor::{needs_for_media, ResourceNeed};
+use crate::ids::{MhegId, ObjectInfo};
+use crate::link::Condition;
+use crate::object::*;
+use crate::sync::SyncSpec;
+use crate::value::GenericValue;
+use mits_media::{MediaFormat, MediaObject, VideoDims};
+use mits_sim::SimDuration;
+
+/// An object factory for one application namespace.
+#[derive(Debug)]
+pub struct ClassLibrary {
+    app: u32,
+    next_num: u64,
+    objects: Vec<MhegObject>,
+}
+
+impl ClassLibrary {
+    /// A library minting ids in application namespace `app`.
+    pub fn new(app: u32) -> Self {
+        ClassLibrary {
+            app,
+            next_num: 1,
+            objects: Vec::new(),
+        }
+    }
+
+    /// The application namespace.
+    pub fn app(&self) -> u32 {
+        self.app
+    }
+
+    fn mint(&mut self) -> MhegId {
+        let id = MhegId::new(self.app, self.next_num);
+        self.next_num += 1;
+        id
+    }
+
+    fn push(&mut self, info: ObjectInfo, body: ObjectBody) -> MhegId {
+        let id = self.mint();
+        self.objects.push(MhegObject::new(id, info, body));
+        id
+    }
+
+    /// Everything created so far.
+    pub fn objects(&self) -> &[MhegObject] {
+        &self.objects
+    }
+
+    /// Consume the library, yielding its objects.
+    pub fn into_objects(self) -> Vec<MhegObject> {
+        self.objects
+    }
+
+    /// Look up a created object.
+    pub fn get(&self, id: MhegId) -> Option<&MhegObject> {
+        self.objects.iter().find(|o| o.id == id)
+    }
+
+    // ---- content subclasses (Fig 4.5b) ----
+
+    /// Content object referencing a produced media object, inheriting its
+    /// size/duration as the original presentation parameters. The paper's
+    /// worked example:
+    /// `Media object = "Paris.mpg"; Coding method = MPEG; Size = 64*128;
+    /// Number of frame = 180; Position = (100, 200)`.
+    pub fn media_content(&mut self, media: &MediaObject, position: (i32, i32)) -> MhegId {
+        let body = ContentBody {
+            data: ContentData::Referenced(media.id),
+            format: media.format,
+            original_size: media.dims,
+            original_duration: media.duration,
+            original_volume: 1000,
+            original_position: position,
+        };
+        self.push(
+            ObjectInfo::named(media.name.clone()),
+            ObjectBody::Content(body),
+        )
+    }
+
+    /// Content object from an explicit body — the escape hatch template
+    /// layers (the courseware class library) build on.
+    pub fn content(&mut self, name: &str, body: ContentBody) -> MhegId {
+        self.push(ObjectInfo::named(name), ObjectBody::Content(body))
+    }
+
+    /// Content object carrying its data inline (the non-MITS scheme,
+    /// kept for the E-REUSE ablation).
+    pub fn inline_content(
+        &mut self,
+        name: &str,
+        format: MediaFormat,
+        data: bytes::Bytes,
+        duration: SimDuration,
+        size: VideoDims,
+    ) -> MhegId {
+        let body = ContentBody {
+            data: ContentData::Inline(data),
+            format,
+            original_size: size,
+            original_duration: duration,
+            original_volume: 1000,
+            original_position: (0, 0),
+        };
+        self.push(ObjectInfo::named(name), ObjectBody::Content(body))
+    }
+
+    /// Generic-value content object (Fig 4.5b: "a value may be stored in
+    /// the data for a comparison, an assignment or a presentation").
+    pub fn value_content(&mut self, name: &str, value: GenericValue) -> MhegId {
+        let body = ContentBody {
+            data: ContentData::Value(value),
+            format: MediaFormat::Ascii,
+            original_size: VideoDims::default(),
+            original_duration: SimDuration::ZERO,
+            original_volume: 1000,
+            original_position: (0, 0),
+        };
+        self.push(ObjectInfo::named(name), ObjectBody::Content(body))
+    }
+
+    /// Multiplexed content over a produced media object with a stream
+    /// table (e.g. MPEG system stream: video stream 1, audio stream 2).
+    pub fn multiplexed_content(
+        &mut self,
+        media: &MediaObject,
+        streams: Vec<StreamDesc>,
+    ) -> MhegId {
+        let base = ContentBody {
+            data: ContentData::Referenced(media.id),
+            format: media.format,
+            original_size: media.dims,
+            original_duration: media.duration,
+            original_volume: 1000,
+            original_position: (0, 0),
+        };
+        self.push(
+            ObjectInfo::named(media.name.clone()),
+            ObjectBody::MultiplexedContent { base, streams },
+        )
+    }
+
+    // ---- composition, links, actions ----
+
+    /// Composite of `components` with start-up actions and synchronization.
+    pub fn composite(
+        &mut self,
+        name: &str,
+        components: Vec<MhegId>,
+        on_start: Vec<ActionEntry>,
+        sync: Vec<SyncSpec>,
+    ) -> MhegId {
+        self.push(
+            ObjectInfo::named(name),
+            ObjectBody::Composite(CompositeBody {
+                components,
+                on_start,
+                sync,
+            }),
+        )
+    }
+
+    /// Link: *when `trigger` (and `additional`), do `entries`*.
+    pub fn link(
+        &mut self,
+        name: &str,
+        trigger: Condition,
+        additional: Vec<Condition>,
+        entries: Vec<ActionEntry>,
+    ) -> MhegId {
+        self.push(
+            ObjectInfo::named(name),
+            ObjectBody::Link(LinkBody {
+                trigger,
+                additional,
+                effect: LinkEffect::Inline(entries),
+            }),
+        )
+    }
+
+    /// Link whose effect is a shared action object.
+    pub fn link_to_action(
+        &mut self,
+        name: &str,
+        trigger: Condition,
+        additional: Vec<Condition>,
+        action: MhegId,
+    ) -> MhegId {
+        self.push(
+            ObjectInfo::named(name),
+            ObjectBody::Link(LinkBody {
+                trigger,
+                additional,
+                effect: LinkEffect::ActionRef(action),
+            }),
+        )
+    }
+
+    /// Standalone action object.
+    pub fn action(&mut self, name: &str, entries: Vec<ActionEntry>) -> MhegId {
+        self.push(ObjectInfo::named(name), ObjectBody::Action(ActionBody { entries }))
+    }
+
+    /// Script object.
+    pub fn script(&mut self, name: &str, language: &str, source: &str) -> MhegId {
+        self.push(
+            ObjectInfo::named(name),
+            ObjectBody::Script(ScriptBody {
+                language: language.to_string(),
+                source: source.to_string(),
+            }),
+        )
+    }
+
+    // ---- interchange classes ----
+
+    /// Container grouping `objects` for interchange as a whole set.
+    pub fn container(&mut self, name: &str, objects: Vec<MhegId>) -> MhegId {
+        self.push(
+            ObjectInfo::named(name),
+            ObjectBody::Container(ContainerBody { objects }),
+        )
+    }
+
+    /// Descriptor for `describes` with explicit needs.
+    pub fn descriptor(
+        &mut self,
+        name: &str,
+        describes: Vec<MhegId>,
+        needs: Vec<ResourceNeed>,
+        readme: &str,
+    ) -> MhegId {
+        self.push(
+            ObjectInfo::named(name),
+            ObjectBody::Descriptor(DescriptorBody {
+                describes,
+                needs,
+                readme: readme.to_string(),
+            }),
+        )
+    }
+
+    /// Descriptor derived automatically from a media object's parameters.
+    pub fn descriptor_for_media(&mut self, subject: MhegId, media: &MediaObject) -> MhegId {
+        let rate = media.bit_rate().map(|r| r as u64);
+        let needs = needs_for_media(media.format, rate, media.dims);
+        self.descriptor(
+            &format!("needs-{}", media.name),
+            vec![subject],
+            needs,
+            &format!("resource needs for {}", media.name),
+        )
+    }
+
+    /// Shorthand target for a created object.
+    pub fn target(&self, id: MhegId) -> TargetRef {
+        TargetRef::Model(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ElementaryAction;
+    use crate::class::ClassKind;
+    use bytes::Bytes;
+    use mits_media::MediaId;
+
+    fn media() -> MediaObject {
+        MediaObject::new(
+            MediaId(42),
+            "Paris.mpg",
+            MediaFormat::Mpeg,
+            SimDuration::from_secs(6),
+            VideoDims::new(64, 128),
+            Bytes::from_static(b"payload"),
+        )
+    }
+
+    #[test]
+    fn ids_are_sequential_within_app() {
+        let mut lib = ClassLibrary::new(7);
+        let a = lib.value_content("a", GenericValue::Int(1));
+        let b = lib.value_content("b", GenericValue::Int(2));
+        assert_eq!(a, MhegId::new(7, 1));
+        assert_eq!(b, MhegId::new(7, 2));
+        assert_eq!(lib.objects().len(), 2);
+    }
+
+    #[test]
+    fn media_content_inherits_parameters() {
+        let mut lib = ClassLibrary::new(1);
+        let m = media();
+        let id = lib.media_content(&m, (100, 200));
+        let obj = lib.get(id).unwrap();
+        assert_eq!(obj.class(), ClassKind::Content);
+        assert_eq!(obj.info.name, "Paris.mpg");
+        match &obj.body {
+            ObjectBody::Content(c) => {
+                assert_eq!(c.format, MediaFormat::Mpeg);
+                assert_eq!(c.original_size, VideoDims::new(64, 128));
+                assert_eq!(c.original_duration, SimDuration::from_secs(6));
+                assert_eq!(c.original_position, (100, 200));
+                assert_eq!(c.data, ContentData::Referenced(MediaId(42)));
+            }
+            other => panic!("not content: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_and_action_objects() {
+        let mut lib = ClassLibrary::new(1);
+        let button = lib.value_content("btn", GenericValue::Bool(false));
+        let video = lib.media_content(&media(), (0, 0));
+        let act = lib.action(
+            "stop-video",
+            vec![ActionEntry::now(TargetRef::Model(video), vec![ElementaryAction::Stop])],
+        );
+        let link = lib.link_to_action(
+            "on-click",
+            Condition::selected(TargetRef::Model(button)),
+            vec![],
+            act,
+        );
+        assert_eq!(lib.get(link).unwrap().class(), ClassKind::Link);
+        assert_eq!(lib.get(link).unwrap().referenced_objects(), vec![act]);
+    }
+
+    #[test]
+    fn descriptor_for_media_derives_needs() {
+        let mut lib = ClassLibrary::new(1);
+        let m = media();
+        let c = lib.media_content(&m, (0, 0));
+        let d = lib.descriptor_for_media(c, &m);
+        match &lib.get(d).unwrap().body {
+            ObjectBody::Descriptor(desc) => {
+                assert_eq!(desc.describes, vec![c]);
+                assert!(desc
+                    .needs
+                    .iter()
+                    .any(|n| matches!(n, ResourceNeed::Decoder(MediaFormat::Mpeg))));
+                assert!(desc.needs.iter().any(|n| matches!(n, ResourceNeed::Bandwidth(_))));
+            }
+            other => panic!("not descriptor: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn container_groups_objects() {
+        let mut lib = ClassLibrary::new(1);
+        let a = lib.value_content("a", GenericValue::Int(1));
+        let b = lib.value_content("b", GenericValue::Int(2));
+        let cont = lib.container("ship", vec![a, b]);
+        assert_eq!(lib.get(cont).unwrap().referenced_objects(), vec![a, b]);
+        assert_eq!(lib.get(cont).unwrap().class(), ClassKind::Container);
+    }
+
+    #[test]
+    fn every_constructor_yields_its_class() {
+        let mut lib = ClassLibrary::new(1);
+        let m = media();
+        let pairs = vec![
+            (lib.media_content(&m, (0, 0)), ClassKind::Content),
+            (
+                lib.inline_content("t", MediaFormat::Ascii, Bytes::new(), SimDuration::ZERO, VideoDims::default()),
+                ClassKind::Content,
+            ),
+            (
+                lib.multiplexed_content(&m, vec![]),
+                ClassKind::MultiplexedContent,
+            ),
+            (lib.composite("c", vec![], vec![], vec![]), ClassKind::Composite),
+            (lib.script("s", "mits-expr", "1"), ClassKind::Script),
+            (lib.action("a", vec![]), ClassKind::Action),
+            (lib.container("k", vec![]), ClassKind::Container),
+            (lib.descriptor("d", vec![], vec![], ""), ClassKind::Descriptor),
+        ];
+        for (id, class) in pairs {
+            assert_eq!(lib.get(id).unwrap().class(), class);
+        }
+    }
+}

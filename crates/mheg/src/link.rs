@@ -1,0 +1,203 @@
+//! Link conditions (§2.2.2.3 "Conditional Synchronization").
+//!
+//! "There are two types of condition: *Trigger conditions* — the trigger is
+//! activated when the MHEG engine detects a change in the value of an
+//! object status or a presentable status; *Additional conditions* — the
+//! MHEG engine is required to test the value of one or more additional
+//! status." A link fires when a status-change event matches its trigger
+//! and every additional condition holds against current engine state.
+
+use crate::action::TargetRef;
+use crate::value::GenericValue;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Which status of an object a condition inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StatusKind {
+    /// Run state of a run-time object; values are the strings
+    /// `"not-ready"`, `"ready"`, `"running"`, `"stopped"`.
+    RunState,
+    /// Selection state of an interactible (button pressed → `true` pulse).
+    Selection,
+    /// Preparation status of a model object (`true` once prepared).
+    Preparation,
+    /// The run-time object's data slot.
+    Data,
+    /// Visibility flag.
+    Visibility,
+    /// Presentation position reached end of medium (`true` pulse).
+    Completion,
+}
+
+impl fmt::Display for StatusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StatusKind::RunState => "run-state",
+            StatusKind::Selection => "selection",
+            StatusKind::Preparation => "preparation",
+            StatusKind::Data => "data",
+            StatusKind::Visibility => "visibility",
+            StatusKind::Completion => "completion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operator of a condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Comparison {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl Comparison {
+    /// Apply the operator to an observed value vs the condition constant.
+    /// Incomparable values never satisfy (except `Ne`, which they satisfy
+    /// trivially — a changed type *is* "not equal").
+    pub fn eval(self, observed: &GenericValue, constant: &GenericValue) -> bool {
+        match observed.partial_cmp_value(constant) {
+            Some(ord) => match self {
+                Comparison::Eq => ord == Ordering::Equal,
+                Comparison::Ne => ord != Ordering::Equal,
+                Comparison::Lt => ord == Ordering::Less,
+                Comparison::Le => ord != Ordering::Greater,
+                Comparison::Gt => ord == Ordering::Greater,
+                Comparison::Ge => ord != Ordering::Less,
+            },
+            None => self == Comparison::Ne,
+        }
+    }
+}
+
+/// A single condition: *status of source ⟨cmp⟩ value*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Whose status is inspected.
+    pub source: TargetRef,
+    /// Which status.
+    pub status: StatusKind,
+    /// Operator.
+    pub cmp: Comparison,
+    /// Constant to compare against.
+    pub value: GenericValue,
+}
+
+impl Condition {
+    /// `status of source == value` — the overwhelmingly common form.
+    pub fn equals(source: TargetRef, status: StatusKind, value: impl Into<GenericValue>) -> Self {
+        Condition {
+            source,
+            status,
+            cmp: Comparison::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// "Button was selected" — the paper's push-button example.
+    pub fn selected(source: TargetRef) -> Self {
+        Condition::equals(source, StatusKind::Selection, true)
+    }
+
+    /// "Presentation of source ended" — e.g. *when the audio has finished,
+    /// display the image* (§2.2.2.3).
+    pub fn completed(source: TargetRef) -> Self {
+        Condition::equals(source, StatusKind::Completion, true)
+    }
+
+    /// Does a status-change event match this condition as a trigger?
+    pub fn matches_event(&self, source: TargetRef, status: StatusKind, value: &GenericValue) -> bool {
+        self.source == source && self.status == status && self.cmp.eval(value, &self.value)
+    }
+}
+
+/// A status-change event flowing through the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusEvent {
+    /// The object whose status changed.
+    pub source: TargetRef,
+    /// Which status changed.
+    pub status: StatusKind,
+    /// The new value.
+    pub value: GenericValue,
+}
+
+impl StatusEvent {
+    /// Convenience constructor.
+    pub fn new(source: TargetRef, status: StatusKind, value: impl Into<GenericValue>) -> Self {
+        StatusEvent {
+            source,
+            status,
+            value: value.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RtId;
+
+    fn rt(n: u64) -> TargetRef {
+        TargetRef::Rt(RtId(n))
+    }
+
+    #[test]
+    fn comparisons() {
+        use Comparison::*;
+        let a = GenericValue::Int(3);
+        let b = GenericValue::Int(5);
+        assert!(Lt.eval(&a, &b));
+        assert!(Le.eval(&a, &b));
+        assert!(Ne.eval(&a, &b));
+        assert!(!Eq.eval(&a, &b));
+        assert!(Gt.eval(&b, &a));
+        assert!(Ge.eval(&b, &b));
+    }
+
+    #[test]
+    fn incomparable_only_ne() {
+        let s = GenericValue::Str("run".into());
+        let i = GenericValue::Int(1);
+        assert!(Comparison::Ne.eval(&s, &i));
+        assert!(!Comparison::Eq.eval(&s, &i));
+        assert!(!Comparison::Lt.eval(&s, &i));
+    }
+
+    #[test]
+    fn trigger_matching() {
+        let cond = Condition::selected(rt(1));
+        assert!(cond.matches_event(rt(1), StatusKind::Selection, &GenericValue::Bool(true)));
+        assert!(!cond.matches_event(rt(2), StatusKind::Selection, &GenericValue::Bool(true)),
+            "different source");
+        assert!(!cond.matches_event(rt(1), StatusKind::Completion, &GenericValue::Bool(true)),
+            "different status");
+        assert!(!cond.matches_event(rt(1), StatusKind::Selection, &GenericValue::Bool(false)),
+            "value mismatch");
+    }
+
+    #[test]
+    fn completed_helper() {
+        let cond = Condition::completed(rt(4));
+        assert_eq!(cond.status, StatusKind::Completion);
+        assert!(cond.matches_event(rt(4), StatusKind::Completion, &GenericValue::Bool(true)));
+    }
+
+    #[test]
+    fn run_state_string_conditions() {
+        let cond = Condition::equals(rt(1), StatusKind::RunState, "running");
+        assert!(cond.matches_event(rt(1), StatusKind::RunState, &GenericValue::Str("running".into())));
+        assert!(!cond.matches_event(rt(1), StatusKind::RunState, &GenericValue::Str("stopped".into())));
+    }
+}

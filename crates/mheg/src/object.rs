@@ -1,0 +1,396 @@
+//! The interchanged MHEG object: common attributes plus one of the eight
+//! class bodies (§2.2.2.1, §4.4.1).
+//!
+//! "Common attributes of the MHEG class are identification of the standard
+//! and standard version, identification of the class of the MHEG object,
+//! MHEG identifier of the MHEG object, and general object information."
+
+use crate::action::{ActionEntry, TargetRef};
+use crate::class::ClassKind;
+use crate::descriptor::ResourceNeed;
+use crate::ids::{MhegId, ObjectInfo};
+use crate::link::Condition;
+use crate::sync::SyncSpec;
+use crate::value::GenericValue;
+use bytes::Bytes;
+use mits_media::{MediaFormat, MediaId, VideoDims};
+use mits_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The standard identifier attribute — "19" stands for "MHEG" (§4.4.1).
+pub const STANDARD_ID: u8 = 19;
+/// Version of the (modelled) standard this library encodes.
+pub const STANDARD_VERSION: u8 = 1;
+
+/// Where a content object's data lives.
+///
+/// §3.4.2: "content data of different media types could be either included
+/// directly as binary data in an object, or stored separately in a content
+/// database and referenced by MHEG objects. In MITS, the latter scheme is
+/// chosen" — we support both so experiment E-REUSE can compare them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ContentData {
+    /// Reference into the separate content database (the MITS scheme).
+    Referenced(MediaId),
+    /// Data carried inline in the object (the rejected alternative).
+    Inline(Bytes),
+    /// A generic value (the Generic Value subclass of Fig 4.5b).
+    Value(GenericValue),
+}
+
+impl ContentData {
+    /// Bytes this data contributes to the *object's* wire size.
+    pub fn inline_len(&self) -> usize {
+        match self {
+            ContentData::Inline(b) => b.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Content class body: data plus the presentation parameter set
+/// ("identification of the coding method ... original size, duration and
+/// volume of the data ... expressed using generic units").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentBody {
+    /// The data or its reference.
+    pub data: ContentData,
+    /// Coding method.
+    pub format: MediaFormat,
+    /// Original presentation size (generic units ≙ pixels here).
+    pub original_size: VideoDims,
+    /// Original duration (zero for static media).
+    pub original_duration: SimDuration,
+    /// Original volume in thousandths (1000 = nominal).
+    pub original_volume: i64,
+    /// Original screen position (x, y).
+    pub original_position: (i32, i32),
+}
+
+impl ContentBody {
+    /// Referenced content with defaults for the optional parameters.
+    pub fn referenced(media: MediaId, format: MediaFormat) -> Self {
+        ContentBody {
+            data: ContentData::Referenced(media),
+            format,
+            original_size: VideoDims::default(),
+            original_duration: SimDuration::ZERO,
+            original_volume: 1000,
+            original_position: (0, 0),
+        }
+    }
+}
+
+/// One stream description inside a multiplexed content object: "data with
+/// a description for each multiplexed stream. A stream identifier ... can
+/// be used to control single streams, for example, to turn audio on and
+/// off in an MPEG system stream."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamDesc {
+    /// Stream identifier within the multiplex.
+    pub stream_id: u32,
+    /// Coding of this stream.
+    pub format: MediaFormat,
+    /// Whether the stream starts enabled.
+    pub enabled: bool,
+}
+
+/// Composite class body: components with synchronization in time and
+/// space, the information-presentation tool of the interchange model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeBody {
+    /// Component model objects, in socket order.
+    pub components: Vec<MhegId>,
+    /// Actions executed when a run-time composite starts running
+    /// (initial layout: positions, visibility, interaction enables).
+    pub on_start: Vec<ActionEntry>,
+    /// Synchronization of the components.
+    pub sync: Vec<SyncSpec>,
+}
+
+/// How a link describes its effect: by referencing an interchanged action
+/// object, or inline ("Action Class objects can be used alone or within a
+/// link object").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkEffect {
+    /// Reference to an action object.
+    ActionRef(MhegId),
+    /// Inline action entries.
+    Inline(Vec<ActionEntry>),
+}
+
+/// Link class body: trigger + additional conditions and the effect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkBody {
+    /// The triggering condition (status-change driven).
+    pub trigger: Condition,
+    /// Additional conditions tested against current state when triggered.
+    pub additional: Vec<Condition>,
+    /// What happens when the link fires.
+    pub effect: LinkEffect,
+}
+
+/// Action class body: a synchronized set of elementary actions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionBody {
+    /// Target/action rows, each optionally delayed.
+    pub entries: Vec<ActionEntry>,
+}
+
+/// Script class body: "a container for specifying complex relationships
+/// ... by a non-MHEG language." MITS's prototype deferred script support
+/// (§6.2); we carry the text and a language tag so scripts round-trip and
+/// can be activated/deactivated, and the TeleSchool quiz scripts execute a
+/// tiny expression language.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptBody {
+    /// Language identifier, e.g. `"mits-expr"`.
+    pub language: String,
+    /// Script source text.
+    pub source: String,
+}
+
+/// Container class body: "regrouping multimedia and hypermedia data in
+/// order to interchange them as a whole set."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerBody {
+    /// The grouped objects (by reference; the interchange layer decides
+    /// whether to ship them in one unit).
+    pub objects: Vec<MhegId>,
+}
+
+/// Descriptor class body: resource information for interchange
+/// negotiation plus the `readme` mechanism (§2.3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DescriptorBody {
+    /// Objects this descriptor describes.
+    pub describes: Vec<MhegId>,
+    /// Resources required to present them.
+    pub needs: Vec<ResourceNeed>,
+    /// Human-readable notes ("readme").
+    pub readme: String,
+}
+
+/// The class-specific part of an object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObjectBody {
+    /// Content class.
+    Content(ContentBody),
+    /// Multiplexed content class: base content plus stream table.
+    MultiplexedContent {
+        /// The underlying content.
+        base: ContentBody,
+        /// Stream descriptions.
+        streams: Vec<StreamDesc>,
+    },
+    /// Composite class.
+    Composite(CompositeBody),
+    /// Link class.
+    Link(LinkBody),
+    /// Action class.
+    Action(ActionBody),
+    /// Script class.
+    Script(ScriptBody),
+    /// Container class.
+    Container(ContainerBody),
+    /// Descriptor class.
+    Descriptor(DescriptorBody),
+}
+
+impl ObjectBody {
+    /// The concrete class of this body.
+    pub fn class(&self) -> ClassKind {
+        match self {
+            ObjectBody::Content(_) => ClassKind::Content,
+            ObjectBody::MultiplexedContent { .. } => ClassKind::MultiplexedContent,
+            ObjectBody::Composite(_) => ClassKind::Composite,
+            ObjectBody::Link(_) => ClassKind::Link,
+            ObjectBody::Action(_) => ClassKind::Action,
+            ObjectBody::Script(_) => ClassKind::Script,
+            ObjectBody::Container(_) => ClassKind::Container,
+            ObjectBody::Descriptor(_) => ClassKind::Descriptor,
+        }
+    }
+}
+
+/// A complete interchanged MHEG object (form (b) in memory; forms (a) via
+/// the codecs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MhegObject {
+    /// Object identifier.
+    pub id: MhegId,
+    /// General object information.
+    pub info: ObjectInfo,
+    /// Class-specific body.
+    pub body: ObjectBody,
+}
+
+impl MhegObject {
+    /// Construct an object.
+    pub fn new(id: MhegId, info: ObjectInfo, body: ObjectBody) -> Self {
+        MhegObject { id, info, body }
+    }
+
+    /// Concrete class.
+    pub fn class(&self) -> ClassKind {
+        self.body.class()
+    }
+
+    /// Is this a model object (can run-time objects be created from it)?
+    pub fn is_model(&self) -> bool {
+        self.class().is_model()
+    }
+
+    /// Media referenced by this object (content + multiplexed content).
+    pub fn referenced_media(&self) -> Option<MediaId> {
+        let content = match &self.body {
+            ObjectBody::Content(c) => c,
+            ObjectBody::MultiplexedContent { base, .. } => base,
+            _ => return None,
+        };
+        match &content.data {
+            ContentData::Referenced(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Objects this object refers to (composite components, container
+    /// members, action-ref links, descriptor subjects) — the closure the
+    /// database walks to ship a courseware.
+    pub fn referenced_objects(&self) -> Vec<MhegId> {
+        match &self.body {
+            ObjectBody::Composite(c) => c.components.clone(),
+            ObjectBody::Container(c) => c.objects.clone(),
+            ObjectBody::Link(l) => match &l.effect {
+                LinkEffect::ActionRef(id) => vec![*id],
+                LinkEffect::Inline(_) => Vec::new(),
+            },
+            ObjectBody::Descriptor(d) => d.describes.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All targets this object's conditions/actions mention — used by the
+    /// authoring validator to detect dangling references.
+    pub fn mentioned_targets(&self) -> Vec<TargetRef> {
+        let mut out = Vec::new();
+        match &self.body {
+            ObjectBody::Link(l) => {
+                out.push(l.trigger.source);
+                out.extend(l.additional.iter().map(|c| c.source));
+                if let LinkEffect::Inline(entries) = &l.effect {
+                    out.extend(entries.iter().map(|e| e.target));
+                }
+            }
+            ObjectBody::Action(a) => out.extend(a.entries.iter().map(|e| e.target)),
+            ObjectBody::Composite(c) => {
+                out.extend(c.on_start.iter().map(|e| e.target));
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ElementaryAction;
+    use crate::link::StatusKind;
+
+    fn content(num: u64) -> MhegObject {
+        MhegObject::new(
+            MhegId::new(1, num),
+            ObjectInfo::named(format!("c{num}")),
+            ObjectBody::Content(ContentBody::referenced(MediaId(num), MediaFormat::Mpeg)),
+        )
+    }
+
+    #[test]
+    fn class_of_each_body() {
+        assert_eq!(content(1).class(), ClassKind::Content);
+        let comp = MhegObject::new(
+            MhegId::new(1, 2),
+            ObjectInfo::default(),
+            ObjectBody::Composite(CompositeBody {
+                components: vec![MhegId::new(1, 1)],
+                on_start: vec![],
+                sync: vec![],
+            }),
+        );
+        assert_eq!(comp.class(), ClassKind::Composite);
+        assert!(comp.is_model());
+    }
+
+    #[test]
+    fn referenced_media_extraction() {
+        assert_eq!(content(9).referenced_media(), Some(MediaId(9)));
+        let inline = MhegObject::new(
+            MhegId::new(1, 3),
+            ObjectInfo::default(),
+            ObjectBody::Content(ContentBody {
+                data: ContentData::Inline(Bytes::from_static(b"abc")),
+                format: MediaFormat::Ascii,
+                original_size: VideoDims::default(),
+                original_duration: SimDuration::ZERO,
+                original_volume: 1000,
+                original_position: (0, 0),
+            }),
+        );
+        assert_eq!(inline.referenced_media(), None);
+        assert_eq!(inline.body.class(), ClassKind::Content);
+    }
+
+    #[test]
+    fn referenced_objects_closure_sources() {
+        let comp = MhegObject::new(
+            MhegId::new(1, 10),
+            ObjectInfo::default(),
+            ObjectBody::Composite(CompositeBody {
+                components: vec![MhegId::new(1, 1), MhegId::new(1, 2)],
+                on_start: vec![],
+                sync: vec![],
+            }),
+        );
+        assert_eq!(comp.referenced_objects(), vec![MhegId::new(1, 1), MhegId::new(1, 2)]);
+
+        let link = MhegObject::new(
+            MhegId::new(1, 11),
+            ObjectInfo::default(),
+            ObjectBody::Link(LinkBody {
+                trigger: Condition::selected(TargetRef::Model(MhegId::new(1, 1))),
+                additional: vec![],
+                effect: LinkEffect::ActionRef(MhegId::new(1, 12)),
+            }),
+        );
+        assert_eq!(link.referenced_objects(), vec![MhegId::new(1, 12)]);
+    }
+
+    #[test]
+    fn mentioned_targets_for_validation() {
+        let t1 = TargetRef::Model(MhegId::new(1, 1));
+        let t2 = TargetRef::Model(MhegId::new(1, 2));
+        let link = MhegObject::new(
+            MhegId::new(1, 20),
+            ObjectInfo::default(),
+            ObjectBody::Link(LinkBody {
+                trigger: Condition::selected(t1),
+                additional: vec![Condition::equals(t2, StatusKind::Visibility, true)],
+                effect: LinkEffect::Inline(vec![ActionEntry::now(
+                    t2,
+                    vec![ElementaryAction::Run],
+                )]),
+            }),
+        );
+        let mentioned = link.mentioned_targets();
+        assert!(mentioned.contains(&t1));
+        assert_eq!(mentioned.iter().filter(|t| **t == t2).count(), 2);
+    }
+
+    #[test]
+    fn inline_len_only_counts_inline() {
+        assert_eq!(ContentData::Inline(Bytes::from_static(b"12345")).inline_len(), 5);
+        assert_eq!(ContentData::Referenced(MediaId(1)).inline_len(), 0);
+        assert_eq!(ContentData::Value(GenericValue::Int(5)).inline_len(), 0);
+    }
+}

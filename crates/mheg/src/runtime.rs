@@ -1,0 +1,338 @@
+//! Run-time objects — form (c) of the MHEG object life cycle (Fig 2.4).
+//!
+//! "Form (c) objects come into existence whenever a 'new' action is
+//! applied to an appropriate form (b) object ... The result is a copy of
+//! this object, but can be presented and may have attribute values
+//! changed. Form (c) objects are removed from existence by a 'delete'
+//! action. ... The presentation or activation of a runtime-object does not
+//! affect the model object, which allows the reuse of a same model object
+//! in different runtime-objects."
+//!
+//! Run-time composites carry **sockets** — "an element of a
+//! runtime-composite where a runtime-component is plugged into": empty,
+//! presentable (rt-content / rt-multiplexed-content) or structural
+//! (rt-composite).
+
+use crate::ids::{MhegId, RtId};
+use crate::value::GenericValue;
+use mits_media::MediaFormat;
+use mits_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Presentation state of a run-time object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RtState {
+    /// Created, not yet run.
+    Inactive,
+    /// Currently presented / executing.
+    Running,
+    /// Stopped after running (or explicitly stopped).
+    Stopped,
+}
+
+impl RtState {
+    /// The string value reported through [`crate::link::StatusKind::RunState`]
+    /// conditions.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RtState::Inactive => "inactive",
+            RtState::Running => "running",
+            RtState::Stopped => "stopped",
+        }
+    }
+}
+
+/// What is plugged into a composite socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SocketKind {
+    /// Nothing plugged ("a null runtime-component is plugged").
+    Empty,
+    /// An rt-content or rt-multiplexed-content.
+    Presentable(RtId),
+    /// An rt-composite.
+    Structural(RtId),
+}
+
+/// A socket of a run-time composite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Socket {
+    /// Which model component this socket position corresponds to.
+    pub model: MhegId,
+    /// What is plugged in.
+    pub plugged: SocketKind,
+}
+
+/// Class-specific run-time payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RtKind {
+    /// rt-content / rt-multiplexed-content.
+    Content {
+        /// Coding method (for player dispatch).
+        format: MediaFormat,
+        /// Intrinsic duration at nominal speed (zero = static).
+        duration: SimDuration,
+        /// Enabled stream ids (multiplexed content only; empty otherwise).
+        enabled_streams: Vec<u32>,
+    },
+    /// rt-composite with its sockets.
+    Composite {
+        /// Sockets in component order.
+        sockets: Vec<Socket>,
+    },
+    /// rt-script instance.
+    Script {
+        /// Whether the script is activated.
+        active: bool,
+    },
+}
+
+/// Mutable presentation attributes of a run-time object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RtAttrs {
+    /// Screen position.
+    pub position: (i32, i32),
+    /// Display size (w, h).
+    pub size: (u32, u32),
+    /// Playback speed in thousandths (1000 = nominal).
+    pub speed: i64,
+    /// Volume in thousandths.
+    pub volume: i64,
+    /// Visibility.
+    pub visible: bool,
+    /// User-selectability (interaction enabled).
+    pub interactive: bool,
+    /// Data slot (form input, counters).
+    pub data: GenericValue,
+}
+
+impl Default for RtAttrs {
+    fn default() -> Self {
+        RtAttrs {
+            position: (0, 0),
+            size: (0, 0),
+            speed: 1000,
+            volume: 1000,
+            visible: true,
+            interactive: false,
+            data: GenericValue::Int(0),
+        }
+    }
+}
+
+/// A form-(c) run-time object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RtObject {
+    /// Run-time id.
+    pub id: RtId,
+    /// The model object this was created from.
+    pub model: MhegId,
+    /// Class-specific payload.
+    pub kind: RtKind,
+    /// Presentation state.
+    pub state: RtState,
+    /// Mutable attributes.
+    pub attrs: RtAttrs,
+    /// When the current run started (valid while Running).
+    pub started_at: SimTime,
+    /// *Media-time* progress accumulated before `started_at` (supports
+    /// pause/resume and speed changes: wall time × speed/1000).
+    pub accumulated: SimDuration,
+}
+
+impl RtObject {
+    /// Create an inactive run-time object.
+    pub fn new(id: RtId, model: MhegId, kind: RtKind) -> Self {
+        RtObject {
+            id,
+            model,
+            kind,
+            state: RtState::Inactive,
+            attrs: RtAttrs::default(),
+            started_at: SimTime::ZERO,
+            accumulated: SimDuration::ZERO,
+        }
+    }
+
+    /// Intrinsic duration adjusted for the current speed; `None` when the
+    /// object is static (no scheduled end).
+    pub fn effective_duration(&self) -> Option<SimDuration> {
+        match &self.kind {
+            RtKind::Content { duration, .. } if !duration.is_zero() => {
+                let speed = self.attrs.speed.max(1) as u64;
+                Some(SimDuration::from_micros(
+                    duration.as_micros() * 1000 / speed,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Start (or restart) running at `now`.
+    pub fn start(&mut self, now: SimTime) {
+        if self.state != RtState::Running {
+            self.started_at = now;
+            self.state = RtState::Running;
+        }
+    }
+
+    /// Wall time → media time at the current speed.
+    fn media_elapsed(&self, wall: SimDuration) -> SimDuration {
+        let speed = self.attrs.speed.max(0) as u64;
+        SimDuration::from_micros(wall.as_micros() * speed / 1000)
+    }
+
+    /// Stop at `now`, accumulating media-time progress.
+    pub fn stop(&mut self, now: SimTime) {
+        if self.state == RtState::Running {
+            self.accumulated += self.media_elapsed(now.since(self.started_at));
+        }
+        self.state = RtState::Stopped;
+    }
+
+    /// Media-time presentation progress at `now`.
+    pub fn progress(&self, now: SimTime) -> SimDuration {
+        match self.state {
+            RtState::Running => self.accumulated + self.media_elapsed(now.since(self.started_at)),
+            _ => self.accumulated,
+        }
+    }
+
+    /// The instant this run-time object will complete, if it is running
+    /// time-based content at its current speed.
+    pub fn completion_time(&self) -> Option<SimTime> {
+        if self.state != RtState::Running {
+            return None;
+        }
+        let duration = match &self.kind {
+            RtKind::Content { duration, .. } if !duration.is_zero() => *duration,
+            _ => return None,
+        };
+        let remaining_media = duration.saturating_sub(self.accumulated);
+        let speed = self.attrs.speed.max(1) as u64;
+        let remaining_wall =
+            SimDuration::from_micros(remaining_media.as_micros() * 1000 / speed);
+        Some(self.started_at + remaining_wall)
+    }
+
+    /// Is this a presentable (content) run-time object?
+    pub fn is_presentable(&self) -> bool {
+        matches!(self.kind, RtKind::Content { .. })
+    }
+
+    /// Sockets if this is a composite.
+    pub fn sockets(&self) -> Option<&[Socket]> {
+        match &self.kind {
+            RtKind::Composite { sockets } => Some(sockets),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn content_rt(dur_ms: u64) -> RtObject {
+        RtObject::new(
+            RtId(1),
+            MhegId::new(1, 1),
+            RtKind::Content {
+                format: MediaFormat::Mpeg,
+                duration: SimDuration::from_millis(dur_ms),
+                enabled_streams: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn new_rt_is_inactive_with_default_attrs() {
+        let rt = content_rt(1000);
+        assert_eq!(rt.state, RtState::Inactive);
+        assert_eq!(rt.attrs.speed, 1000);
+        assert!(rt.attrs.visible);
+        assert!(!rt.attrs.interactive);
+    }
+
+    #[test]
+    fn start_then_completion_time() {
+        let mut rt = content_rt(2000);
+        rt.start(SimTime::from_secs(10));
+        assert_eq!(rt.state, RtState::Running);
+        assert_eq!(rt.completion_time(), Some(SimTime::from_secs(12)));
+    }
+
+    #[test]
+    fn stop_accumulates_and_resume_continues() {
+        let mut rt = content_rt(2000);
+        rt.start(SimTime::ZERO);
+        rt.stop(SimTime::from_millis(500));
+        assert_eq!(rt.progress(SimTime::from_millis(800)), SimDuration::from_millis(500));
+        rt.start(SimTime::from_millis(800));
+        // 1.5 s of media left → completes at 0.8 + 1.5 = 2.3 s.
+        assert_eq!(rt.completion_time(), Some(SimTime::from_micros(2_300_000)));
+    }
+
+    #[test]
+    fn double_start_is_idempotent() {
+        let mut rt = content_rt(1000);
+        rt.start(SimTime::ZERO);
+        rt.start(SimTime::from_millis(400)); // ignored; already running
+        assert_eq!(rt.completion_time(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn speed_scales_duration() {
+        let mut rt = content_rt(1000);
+        rt.attrs.speed = 2000; // double speed
+        assert_eq!(rt.effective_duration(), Some(SimDuration::from_millis(500)));
+        rt.attrs.speed = 500; // half speed
+        assert_eq!(rt.effective_duration(), Some(SimDuration::from_millis(2000)));
+    }
+
+    #[test]
+    fn static_content_never_completes() {
+        let mut rt = RtObject::new(
+            RtId(2),
+            MhegId::new(1, 2),
+            RtKind::Content {
+                format: MediaFormat::Html,
+                duration: SimDuration::ZERO,
+                enabled_streams: vec![],
+            },
+        );
+        rt.start(SimTime::ZERO);
+        assert_eq!(rt.effective_duration(), None);
+        assert_eq!(rt.completion_time(), None);
+    }
+
+    #[test]
+    fn composite_sockets() {
+        let rt = RtObject::new(
+            RtId(3),
+            MhegId::new(1, 3),
+            RtKind::Composite {
+                sockets: vec![
+                    Socket {
+                        model: MhegId::new(1, 1),
+                        plugged: SocketKind::Empty,
+                    },
+                    Socket {
+                        model: MhegId::new(1, 2),
+                        plugged: SocketKind::Presentable(RtId(9)),
+                    },
+                ],
+            },
+        );
+        let s = rt.sockets().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].plugged, SocketKind::Empty);
+        assert!(!rt.is_presentable());
+    }
+
+    #[test]
+    fn state_strings() {
+        assert_eq!(RtState::Inactive.as_str(), "inactive");
+        assert_eq!(RtState::Running.as_str(), "running");
+        assert_eq!(RtState::Stopped.as_str(), "stopped");
+    }
+}

@@ -1,0 +1,536 @@
+//! The `mits-expr` script language — MHEG Part III support the thesis
+//! deferred ("script object class was not studied because of the
+//! unavailability of materials and standards", §6.2).
+//!
+//! Scripts express "complex synchronization taking into account previous
+//! user replies, calculated values, and the state of system resources"
+//! (§2.2.2.3). `mits-expr` is a small, total expression language over
+//! [`GenericValue`]s:
+//!
+//! ```text
+//! expr  := or
+//! or    := and ("||" and)*
+//! and   := cmp ("&&" cmp)*
+//! cmp   := sum (("=="|"!="|"<="|">="|"<"|">") sum)?
+//! sum   := prod (("+"|"-") prod)*
+//! prod  := unary (("*"|"/") unary)*
+//! unary := "!" unary | "-" unary | atom
+//! atom  := integer | "true" | "false" | 'single-quoted string'
+//!        | identifier | "(" expr ")"
+//! ```
+//!
+//! Identifiers resolve through a caller-supplied resolver; the engine
+//! binds them to the data slots of like-named run-time objects, so a quiz
+//! script like `score > 60 && attempts < 3` reads the values the
+//! courseware's entry fields and counters hold.
+
+use crate::value::GenericValue;
+use std::fmt;
+
+/// Errors from parsing or evaluating a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// Syntax error at byte offset.
+    Parse {
+        /// Byte offset in the source.
+        at: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// An identifier the resolver could not supply.
+    UnknownVariable(String),
+    /// Operands of incompatible types.
+    TypeError(String),
+    /// Integer division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            ScriptError::UnknownVariable(v) => write!(f, "unknown variable '{v}'"),
+            ScriptError::TypeError(m) => write!(f, "type error: {m}"),
+            ScriptError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// A parsed expression (kept for repeated evaluation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(GenericValue),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical not.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+` (also string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ScriptError> {
+        Err(ScriptError::Parse {
+            at: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.src.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.ws();
+        if self.src[self.pos..].starts_with(tok.as_bytes()) {
+            // Guard identifier-like tokens against prefix matches
+            // ("trueish" is not "true").
+            if tok
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                if let Some(&next) = self.src.get(self.pos + tok.len()) {
+                    if next.is_ascii_alphanumeric() || next == b'_' {
+                        return false;
+                    }
+                }
+            }
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        self.or()
+    }
+
+    fn or(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.and()?;
+        while self.eat("||") {
+            let rhs = self.and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.cmp()?;
+        while self.eat("&&") {
+            let rhs = self.cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, ScriptError> {
+        let lhs = self.sum()?;
+        for (tok, op) in [
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat(tok) {
+                let rhs = self.sum()?;
+                return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn sum(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.prod()?;
+        loop {
+            if self.eat("+") {
+                let rhs = self.prod()?;
+                lhs = Expr::Binary(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.peek_minus() {
+                self.eat("-");
+                let rhs = self.prod()?;
+                lhs = Expr::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// A `-` here is a binary minus (not `->` or similar).
+    fn peek_minus(&mut self) -> bool {
+        self.ws();
+        self.src.get(self.pos) == Some(&b'-')
+    }
+
+    fn prod(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat("*") {
+                let rhs = self.unary()?;
+                lhs = Expr::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat("/") {
+                let rhs = self.unary()?;
+                lhs = Expr::Binary(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ScriptError> {
+        if self.eat("!") {
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary()?)));
+        }
+        if self.peek_minus() {
+            self.eat("-");
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ScriptError> {
+        self.ws();
+        if self.eat("(") {
+            let e = self.expr()?;
+            if !self.eat(")") {
+                return self.err("expected ')'");
+            }
+            return Ok(e);
+        }
+        if self.eat("true") {
+            return Ok(Expr::Lit(GenericValue::Bool(true)));
+        }
+        if self.eat("false") {
+            return Ok(Expr::Lit(GenericValue::Bool(false)));
+        }
+        let Some(&c) = self.src.get(self.pos) else {
+            return self.err("unexpected end of script");
+        };
+        if c == b'\'' {
+            self.pos += 1;
+            let start = self.pos;
+            while let Some(&b) = self.src.get(self.pos) {
+                if b == b'\'' {
+                    let s = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| ScriptError::Parse {
+                            at: start,
+                            msg: "non-UTF8 string".into(),
+                        })?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(Expr::Lit(GenericValue::Str(s)));
+                }
+                self.pos += 1;
+            }
+            return self.err("unterminated string");
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while matches!(self.src.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+            let n: i64 = text.parse().map_err(|_| ScriptError::Parse {
+                at: start,
+                msg: "integer overflow".into(),
+            })?;
+            return Ok(Expr::Lit(GenericValue::Int(n)));
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while matches!(self.src.get(self.pos), Some(b) if b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                self.pos += 1;
+            }
+            let name = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ident bytes")
+                .to_string();
+            return Ok(Expr::Var(name));
+        }
+        self.err(format!("unexpected character {:?}", c as char))
+    }
+}
+
+/// Parse a script source into an expression tree.
+pub fn parse(src: &str) -> Result<Expr, ScriptError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let e = p.expr()?;
+    p.ws();
+    if p.pos != p.src.len() {
+        return Err(ScriptError::Parse {
+            at: p.pos,
+            msg: "trailing input".into(),
+        });
+    }
+    Ok(e)
+}
+
+fn as_int(v: &GenericValue, ctx: &str) -> Result<i64, ScriptError> {
+    match v {
+        GenericValue::Int(i) => Ok(*i),
+        GenericValue::Milli(m) => Ok(*m / 1000),
+        other => Err(ScriptError::TypeError(format!("{ctx}: {other} is not an integer"))),
+    }
+}
+
+fn as_bool(v: &GenericValue, ctx: &str) -> Result<bool, ScriptError> {
+    match v {
+        GenericValue::Bool(b) => Ok(*b),
+        other => Err(ScriptError::TypeError(format!("{ctx}: {other} is not a boolean"))),
+    }
+}
+
+/// Evaluate an expression with a variable resolver.
+pub fn eval(
+    expr: &Expr,
+    resolve: &dyn Fn(&str) -> Option<GenericValue>,
+) -> Result<GenericValue, ScriptError> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(name) => {
+            resolve(name).ok_or_else(|| ScriptError::UnknownVariable(name.clone()))
+        }
+        Expr::Unary(op, inner) => {
+            let v = eval(inner, resolve)?;
+            match op {
+                UnaryOp::Not => Ok(GenericValue::Bool(!as_bool(&v, "!")?)),
+                UnaryOp::Neg => Ok(GenericValue::Int(-as_int(&v, "-")?)),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            use BinOp::*;
+            // Short-circuit logicals.
+            if matches!(op, And | Or) {
+                let lv = as_bool(&eval(l, resolve)?, "logical operand")?;
+                return Ok(GenericValue::Bool(match op {
+                    And => lv && as_bool(&eval(r, resolve)?, "logical operand")?,
+                    Or => lv || as_bool(&eval(r, resolve)?, "logical operand")?,
+                    _ => unreachable!(),
+                }));
+            }
+            let lv = eval(l, resolve)?;
+            let rv = eval(r, resolve)?;
+            match op {
+                Eq | Ne | Lt | Le | Gt | Ge => {
+                    let ord = lv.partial_cmp_value(&rv).ok_or_else(|| {
+                        ScriptError::TypeError(format!("cannot compare {lv} with {rv}"))
+                    });
+                    let holds = match (op, ord) {
+                        (Ne, Err(_)) => true, // differing types are "not equal"
+                        (_, Err(e)) => return Err(e),
+                        (Eq, Ok(o)) => o == std::cmp::Ordering::Equal,
+                        (Ne, Ok(o)) => o != std::cmp::Ordering::Equal,
+                        (Lt, Ok(o)) => o == std::cmp::Ordering::Less,
+                        (Le, Ok(o)) => o != std::cmp::Ordering::Greater,
+                        (Gt, Ok(o)) => o == std::cmp::Ordering::Greater,
+                        (Ge, Ok(o)) => o != std::cmp::Ordering::Less,
+                        _ => unreachable!(),
+                    };
+                    Ok(GenericValue::Bool(holds))
+                }
+                Add => match (&lv, &rv) {
+                    (GenericValue::Str(a), GenericValue::Str(b)) => {
+                        Ok(GenericValue::Str(format!("{a}{b}")))
+                    }
+                    _ => Ok(GenericValue::Int(
+                        as_int(&lv, "+")?.wrapping_add(as_int(&rv, "+")?),
+                    )),
+                },
+                Sub => Ok(GenericValue::Int(
+                    as_int(&lv, "-")?.wrapping_sub(as_int(&rv, "-")?),
+                )),
+                Mul => Ok(GenericValue::Int(
+                    as_int(&lv, "*")?.wrapping_mul(as_int(&rv, "*")?),
+                )),
+                Div => {
+                    let d = as_int(&rv, "/")?;
+                    if d == 0 {
+                        return Err(ScriptError::DivisionByZero);
+                    }
+                    Ok(GenericValue::Int(as_int(&lv, "/")?.wrapping_div(d)))
+                }
+                And | Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// Parse and evaluate in one step.
+pub fn run(
+    src: &str,
+    resolve: &dyn Fn(&str) -> Option<GenericValue>,
+) -> Result<GenericValue, ScriptError> {
+    eval(&parse(src)?, resolve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn none(_: &str) -> Option<GenericValue> {
+        None
+    }
+
+    fn quiz_vars(name: &str) -> Option<GenericValue> {
+        match name {
+            "score" => Some(GenericValue::Int(72)),
+            "attempts" => Some(GenericValue::Int(2)),
+            "name" => Some(GenericValue::Str("alice".into())),
+            "passed" => Some(GenericValue::Bool(true)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("1 + 2 * 3", &none).unwrap(), GenericValue::Int(7));
+        assert_eq!(run("(1 + 2) * 3", &none).unwrap(), GenericValue::Int(9));
+        assert_eq!(run("10 - 4 - 3", &none).unwrap(), GenericValue::Int(3), "left assoc");
+        assert_eq!(run("20 / 2 / 5", &none).unwrap(), GenericValue::Int(2));
+        assert_eq!(run("-5 + 3", &none).unwrap(), GenericValue::Int(-2));
+        assert_eq!(run("--5", &none).unwrap(), GenericValue::Int(5));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run("3 < 5", &none).unwrap(), GenericValue::Bool(true));
+        assert_eq!(run("3 >= 5", &none).unwrap(), GenericValue::Bool(false));
+        assert_eq!(
+            run("1 < 2 && 2 < 3 || false", &none).unwrap(),
+            GenericValue::Bool(true)
+        );
+        assert_eq!(run("!(1 == 1)", &none).unwrap(), GenericValue::Bool(false));
+        assert_eq!(run("true && !false", &none).unwrap(), GenericValue::Bool(true));
+    }
+
+    #[test]
+    fn the_papers_quiz_script() {
+        // §4.4: "score > 60 && attempts < 3".
+        assert_eq!(
+            run("score > 60 && attempts < 3", &quiz_vars).unwrap(),
+            GenericValue::Bool(true)
+        );
+        let strict = |n: &str| match n {
+            "score" => Some(GenericValue::Int(50)),
+            "attempts" => Some(GenericValue::Int(2)),
+            _ => None,
+        };
+        assert_eq!(
+            run("score > 60 && attempts < 3", &strict).unwrap(),
+            GenericValue::Bool(false)
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            run("'abc' + 'def'", &none).unwrap(),
+            GenericValue::Str("abcdef".into())
+        );
+        assert_eq!(run("name == 'alice'", &quiz_vars).unwrap(), GenericValue::Bool(true));
+        assert_eq!(run("'a' < 'b'", &none).unwrap(), GenericValue::Bool(true));
+        assert_eq!(run("'a' != 1", &none).unwrap(), GenericValue::Bool(true), "type mismatch is Ne");
+    }
+
+    #[test]
+    fn short_circuit() {
+        // RHS would be an unknown variable, but LHS decides.
+        assert_eq!(run("false && bogus", &none).unwrap(), GenericValue::Bool(false));
+        assert_eq!(run("true || bogus", &none).unwrap(), GenericValue::Bool(true));
+        assert_eq!(
+            run("true && bogus", &none),
+            Err(ScriptError::UnknownVariable("bogus".into()))
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(run("1 +", &none), Err(ScriptError::Parse { .. })));
+        assert!(matches!(run("(1", &none), Err(ScriptError::Parse { .. })));
+        assert!(matches!(run("1 2", &none), Err(ScriptError::Parse { .. })));
+        assert!(matches!(run("'open", &none), Err(ScriptError::Parse { .. })));
+        assert_eq!(run("1 / 0", &none), Err(ScriptError::DivisionByZero));
+        assert!(matches!(run("1 && true", &none), Err(ScriptError::TypeError(_))));
+        assert!(matches!(run("true + 1", &none), Err(ScriptError::TypeError(_))));
+        assert_eq!(run("ghost", &none), Err(ScriptError::UnknownVariable("ghost".into())));
+    }
+
+    #[test]
+    fn keywords_not_prefixes() {
+        // "trueish" is an identifier, not the literal `true` + garbage.
+        let vars = |n: &str| (n == "trueish").then_some(GenericValue::Int(9));
+        assert_eq!(run("trueish", &vars).unwrap(), GenericValue::Int(9));
+    }
+
+    #[test]
+    fn milli_coerces_in_arithmetic() {
+        let vars = |n: &str| (n == "speed").then_some(GenericValue::Milli(2000));
+        assert_eq!(run("speed + 1", &vars).unwrap(), GenericValue::Int(3));
+        assert_eq!(run("speed == 2", &vars).unwrap(), GenericValue::Bool(true));
+    }
+
+    #[test]
+    fn parse_once_eval_many() {
+        let expr = parse("score > 60").unwrap();
+        for score in [10i64, 61, 99] {
+            let vars = move |n: &str| (n == "score").then_some(GenericValue::Int(score));
+            assert_eq!(
+                eval(&expr, &vars).unwrap(),
+                GenericValue::Bool(score > 60)
+            );
+        }
+    }
+}

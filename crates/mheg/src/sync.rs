@@ -1,0 +1,264 @@
+//! The four MHEG synchronization mechanisms (§2.2.2.3, Figure 2.6).
+//!
+//! 1. **Atomic** — two components of a composite related serially or in
+//!    parallel (Fig 2.6a).
+//! 2. **Elementary** — two components with explicit offsets T1, T2 from
+//!    composite start (Fig 2.6b).
+//! 3. **Cyclic** — repetitive presentation of one object, synchronized to
+//!    a periodic event such as a clock tick.
+//! 4. **Chained** — basic objects chained into a sequence, each starting
+//!    when its predecessor completes.
+//!
+//! A [`SyncSpec`] attached to a composite is *lowered* into the engine's
+//! three primitives: timed action entries, conditional links, and native
+//! cyclic tasks. The lowering is what the courseware compiler in
+//! `mits-author` relies on, and what experiment F2.6 measures.
+
+use crate::action::{ActionEntry, ElementaryAction, TargetRef};
+use crate::link::Condition;
+use crate::object::{LinkBody, LinkEffect};
+use mits_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Serial vs parallel relation of an atomic synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicRelation {
+    /// Both components start together.
+    Parallel,
+    /// The second starts when the first completes.
+    Serial,
+}
+
+/// One synchronization mechanism instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SyncMechanism {
+    /// Two components, serial or parallel (Fig 2.6a).
+    Atomic {
+        /// First component.
+        a: TargetRef,
+        /// Second component.
+        b: TargetRef,
+        /// Their relation.
+        relation: AtomicRelation,
+    },
+    /// Two components with start offsets from composite start (Fig 2.6b).
+    Elementary {
+        /// First component.
+        a: TargetRef,
+        /// Start offset of `a`.
+        t1: SimDuration,
+        /// Second component.
+        b: TargetRef,
+        /// Start offset of `b`.
+        t2: SimDuration,
+    },
+    /// Repetitive presentation of `target` every `period`, `repetitions`
+    /// times (`None` = until stopped).
+    Cyclic {
+        /// The repeated component.
+        target: TargetRef,
+        /// Repetition period.
+        period: SimDuration,
+        /// Bounded repetition count.
+        repetitions: Option<u32>,
+    },
+    /// Each component starts when its predecessor completes; the first
+    /// starts at composite start.
+    Chained {
+        /// The ordered chain.
+        sequence: Vec<TargetRef>,
+    },
+}
+
+/// A synchronization attached to a composite object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncSpec {
+    /// The mechanism.
+    pub mechanism: SyncMechanism,
+}
+
+/// A cyclic task the engine manages natively: re-run `target` every
+/// `period` until `remaining` reaches zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CyclicTask {
+    /// The repeated component.
+    pub target: TargetRef,
+    /// Repetition period.
+    pub period: SimDuration,
+    /// Remaining runs (`None` = unbounded).
+    pub remaining: Option<u32>,
+}
+
+/// Result of lowering a [`SyncSpec`] to engine primitives.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoweredSync {
+    /// Run actions scheduled at offsets from composite start.
+    pub timed: Vec<(SimDuration, ActionEntry)>,
+    /// Completion-triggered links (serial/chained relations).
+    pub links: Vec<LinkBody>,
+    /// Native cyclic tasks.
+    pub cyclic: Vec<CyclicTask>,
+}
+
+impl SyncSpec {
+    /// Wrap a mechanism.
+    pub fn new(mechanism: SyncMechanism) -> Self {
+        SyncSpec { mechanism }
+    }
+
+    /// Lower to engine primitives.
+    pub fn lower(&self) -> LoweredSync {
+        let mut out = LoweredSync::default();
+        match &self.mechanism {
+            SyncMechanism::Atomic { a, b, relation } => match relation {
+                AtomicRelation::Parallel => {
+                    out.timed.push((
+                        SimDuration::ZERO,
+                        ActionEntry::now(*a, vec![ElementaryAction::Run]),
+                    ));
+                    out.timed.push((
+                        SimDuration::ZERO,
+                        ActionEntry::now(*b, vec![ElementaryAction::Run]),
+                    ));
+                }
+                AtomicRelation::Serial => {
+                    out.timed.push((
+                        SimDuration::ZERO,
+                        ActionEntry::now(*a, vec![ElementaryAction::Run]),
+                    ));
+                    out.links.push(LinkBody {
+                        trigger: Condition::completed(*a),
+                        additional: Vec::new(),
+                        effect: LinkEffect::Inline(vec![ActionEntry::now(
+                            *b,
+                            vec![ElementaryAction::Run],
+                        )]),
+                    });
+                }
+            },
+            SyncMechanism::Elementary { a, t1, b, t2 } => {
+                out.timed
+                    .push((*t1, ActionEntry::now(*a, vec![ElementaryAction::Run])));
+                out.timed
+                    .push((*t2, ActionEntry::now(*b, vec![ElementaryAction::Run])));
+            }
+            SyncMechanism::Cyclic {
+                target,
+                period,
+                repetitions,
+            } => {
+                out.cyclic.push(CyclicTask {
+                    target: *target,
+                    period: *period,
+                    remaining: *repetitions,
+                });
+            }
+            SyncMechanism::Chained { sequence } => {
+                if let Some(first) = sequence.first() {
+                    out.timed.push((
+                        SimDuration::ZERO,
+                        ActionEntry::now(*first, vec![ElementaryAction::Run]),
+                    ));
+                }
+                for pair in sequence.windows(2) {
+                    out.links.push(LinkBody {
+                        trigger: Condition::completed(pair[0]),
+                        additional: Vec::new(),
+                        effect: LinkEffect::Inline(vec![ActionEntry::now(
+                            pair[1],
+                            vec![ElementaryAction::Run],
+                        )]),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RtId;
+
+    fn rt(n: u64) -> TargetRef {
+        TargetRef::Rt(RtId(n))
+    }
+
+    #[test]
+    fn atomic_parallel_lowers_to_two_immediate_runs() {
+        let l = SyncSpec::new(SyncMechanism::Atomic {
+            a: rt(1),
+            b: rt(2),
+            relation: AtomicRelation::Parallel,
+        })
+        .lower();
+        assert_eq!(l.timed.len(), 2);
+        assert!(l.links.is_empty());
+        assert!(l.timed.iter().all(|(d, _)| d.is_zero()));
+    }
+
+    #[test]
+    fn atomic_serial_lowers_to_run_plus_completion_link() {
+        let l = SyncSpec::new(SyncMechanism::Atomic {
+            a: rt(1),
+            b: rt(2),
+            relation: AtomicRelation::Serial,
+        })
+        .lower();
+        assert_eq!(l.timed.len(), 1);
+        assert_eq!(l.links.len(), 1);
+        assert_eq!(l.links[0].trigger, Condition::completed(rt(1)));
+        match &l.links[0].effect {
+            LinkEffect::Inline(entries) => {
+                assert_eq!(entries[0].target, rt(2));
+                assert_eq!(entries[0].actions, vec![ElementaryAction::Run]);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elementary_lowers_to_offset_runs() {
+        let l = SyncSpec::new(SyncMechanism::Elementary {
+            a: rt(1),
+            t1: SimDuration::from_secs(1),
+            b: rt(2),
+            t2: SimDuration::from_secs(3),
+        })
+        .lower();
+        assert_eq!(l.timed.len(), 2);
+        assert_eq!(l.timed[0].0, SimDuration::from_secs(1));
+        assert_eq!(l.timed[1].0, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn cyclic_lowers_to_native_task() {
+        let l = SyncSpec::new(SyncMechanism::Cyclic {
+            target: rt(7),
+            period: SimDuration::from_millis(500),
+            repetitions: Some(4),
+        })
+        .lower();
+        assert!(l.timed.is_empty());
+        assert_eq!(l.cyclic.len(), 1);
+        assert_eq!(l.cyclic[0].remaining, Some(4));
+    }
+
+    #[test]
+    fn chained_lowers_to_first_run_plus_n_minus_1_links() {
+        let l = SyncSpec::new(SyncMechanism::Chained {
+            sequence: vec![rt(1), rt(2), rt(3), rt(4)],
+        })
+        .lower();
+        assert_eq!(l.timed.len(), 1);
+        assert_eq!(l.links.len(), 3);
+        assert_eq!(l.links[2].trigger, Condition::completed(rt(3)));
+    }
+
+    #[test]
+    fn chained_empty_sequence_is_noop() {
+        let l = SyncSpec::new(SyncMechanism::Chained { sequence: vec![] }).lower();
+        assert_eq!(l, LoweredSync::default());
+    }
+}

@@ -1,0 +1,151 @@
+//! Generic values — the Generic Value subclass of the content class
+//! (Fig 4.5b): "a value may be stored in the data for a comparison, an
+//! assignment or a presentation". Also the currency of Getting-Value
+//! actions and of link additional conditions.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A generic MHEG value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GenericValue {
+    /// Integer value (positions, sizes, counters).
+    Int(i64),
+    /// Boolean value (visibility, selection state).
+    Bool(bool),
+    /// Character string (names, answers).
+    Str(String),
+    /// Rational number expressed in thousandths (speeds, volumes) —
+    /// avoids floats on the wire so codec round-trips are exact.
+    Milli(i64),
+}
+
+impl GenericValue {
+    /// Compare two values if they are comparable (same variant, or
+    /// Int vs Milli with scaling).
+    pub fn partial_cmp_value(&self, other: &GenericValue) -> Option<Ordering> {
+        use GenericValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Milli(a), Milli(b)) => Some(a.cmp(b)),
+            (Int(a), Milli(b)) => Some((a * 1000).cmp(b)),
+            (Milli(a), Int(b)) => Some(a.cmp(&(b * 1000))),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used when a value gates a link condition.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            GenericValue::Int(v) => *v != 0,
+            GenericValue::Bool(b) => *b,
+            GenericValue::Str(s) => !s.is_empty(),
+            GenericValue::Milli(v) => *v != 0,
+        }
+    }
+
+    /// Wire tag for the TLV codec.
+    pub fn wire_tag(&self) -> u8 {
+        match self {
+            GenericValue::Int(_) => 1,
+            GenericValue::Bool(_) => 2,
+            GenericValue::Str(_) => 3,
+            GenericValue::Milli(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for GenericValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenericValue::Int(v) => write!(f, "{v}"),
+            GenericValue::Bool(b) => write!(f, "{b}"),
+            GenericValue::Str(s) => write!(f, "{s:?}"),
+            GenericValue::Milli(v) => write!(f, "{}.{:03}", v / 1000, (v % 1000).abs()),
+        }
+    }
+}
+
+impl From<i64> for GenericValue {
+    fn from(v: i64) -> Self {
+        GenericValue::Int(v)
+    }
+}
+impl From<bool> for GenericValue {
+    fn from(v: bool) -> Self {
+        GenericValue::Bool(v)
+    }
+}
+impl From<&str> for GenericValue {
+    fn from(v: &str) -> Self {
+        GenericValue::Str(v.to_string())
+    }
+}
+impl From<String> for GenericValue {
+    fn from(v: String) -> Self {
+        GenericValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_same_type() {
+        assert_eq!(
+            GenericValue::Int(3).partial_cmp_value(&GenericValue::Int(5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            GenericValue::Str("b".into()).partial_cmp_value(&GenericValue::Str("a".into())),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn int_milli_cross_comparison() {
+        // 2 == 2000 milli
+        assert_eq!(
+            GenericValue::Int(2).partial_cmp_value(&GenericValue::Milli(2000)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            GenericValue::Milli(1500).partial_cmp_value(&GenericValue::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(
+            GenericValue::Bool(true).partial_cmp_value(&GenericValue::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(GenericValue::Int(1).is_truthy());
+        assert!(!GenericValue::Int(0).is_truthy());
+        assert!(!GenericValue::Str(String::new()).is_truthy());
+        assert!(GenericValue::Str("x".into()).is_truthy());
+        assert!(!GenericValue::Milli(0).is_truthy());
+    }
+
+    #[test]
+    fn display_milli() {
+        assert_eq!(GenericValue::Milli(1500).to_string(), "1.500");
+        assert_eq!(GenericValue::Milli(-250).to_string(), "0.250"); // magnitude of fraction
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(GenericValue::from(7i64), GenericValue::Int(7));
+        assert_eq!(GenericValue::from(true), GenericValue::Bool(true));
+        assert_eq!(GenericValue::from("hi"), GenericValue::Str("hi".into()));
+    }
+}

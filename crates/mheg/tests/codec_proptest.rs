@@ -1,0 +1,300 @@
+//! Property tests: every representable MHEG object round-trips through
+//! both interchange encodings, and decoding never panics on arbitrary
+//! bytes. These pin the form (a) ↔ form (b) boundary of the object life
+//! cycle (Fig 2.4) against regressions.
+
+use bytes::Bytes;
+use mits_media::{MediaFormat, MediaId, VideoDims};
+use mits_mheg::action::{ActionEntry, ElementaryAction, TargetRef, ValueAttribute};
+use mits_mheg::descriptor::ResourceNeed;
+use mits_mheg::ids::{MhegId, ObjectInfo, RtId};
+use mits_mheg::link::{Comparison, Condition, StatusKind};
+use mits_mheg::object::*;
+use mits_mheg::sync::{AtomicRelation, SyncMechanism, SyncSpec};
+use mits_mheg::value::GenericValue;
+use mits_mheg::{decode_object, encode_object, WireFormat};
+use mits_sim::SimDuration;
+use proptest::prelude::*;
+
+fn arb_id() -> impl Strategy<Value = MhegId> {
+    (0u32..1000, 0u64..100_000).prop_map(|(a, n)| MhegId::new(a, n))
+}
+
+fn arb_target() -> impl Strategy<Value = TargetRef> {
+    prop_oneof![
+        arb_id().prop_map(TargetRef::Model),
+        (0u64..10_000).prop_map(|n| TargetRef::Rt(RtId(n))),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = GenericValue> {
+    prop_oneof![
+        any::<i64>().prop_map(GenericValue::Int),
+        any::<bool>().prop_map(GenericValue::Bool),
+        // Strings exercise escaping: markup metacharacters included.
+        "[ -~<>&\"]{0,40}".prop_map(GenericValue::Str),
+        any::<i64>().prop_map(GenericValue::Milli),
+    ]
+}
+
+fn arb_format() -> impl Strategy<Value = MediaFormat> {
+    prop::sample::select(MediaFormat::ALL.to_vec())
+}
+
+fn arb_duration() -> impl Strategy<Value = SimDuration> {
+    (0u64..10_000_000_000).prop_map(SimDuration::from_micros)
+}
+
+fn arb_info() -> impl Strategy<Value = ObjectInfo> {
+    (
+        "[ -~]{0,30}",
+        "[ -~]{0,15}",
+        any::<u32>(),
+        "[ -~]{0,12}",
+        prop::collection::vec("[a-z]{1,10}", 0..4),
+    )
+        .prop_map(|(name, owner, version, date, keywords)| ObjectInfo {
+            name,
+            owner,
+            version,
+            date,
+            keywords,
+        })
+}
+
+fn arb_action() -> impl Strategy<Value = ElementaryAction> {
+    prop_oneof![
+        Just(ElementaryAction::Prepare),
+        Just(ElementaryAction::Destroy),
+        Just(ElementaryAction::New),
+        Just(ElementaryAction::DeleteRt),
+        Just(ElementaryAction::Run),
+        Just(ElementaryAction::Stop),
+        (any::<i32>(), any::<i32>()).prop_map(|(x, y)| ElementaryAction::SetPosition { x, y }),
+        any::<bool>().prop_map(ElementaryAction::SetVisibility),
+        (any::<u32>(), any::<u32>()).prop_map(|(w, h)| ElementaryAction::SetSize { w, h }),
+        any::<i64>().prop_map(ElementaryAction::SetSpeed),
+        any::<i64>().prop_map(ElementaryAction::SetVolume),
+        Just(ElementaryAction::Activate),
+        Just(ElementaryAction::Deactivate),
+        any::<bool>().prop_map(ElementaryAction::SetInteraction),
+        arb_value().prop_map(ElementaryAction::SetData),
+        (any::<u32>(), any::<bool>()).prop_map(|(stream_id, enabled)| {
+            ElementaryAction::SetStreamEnabled { stream_id, enabled }
+        }),
+        prop::sample::select(vec![
+            ValueAttribute::Position,
+            ValueAttribute::Size,
+            ValueAttribute::Speed,
+            ValueAttribute::Volume,
+            ValueAttribute::Visibility,
+            ValueAttribute::State,
+            ValueAttribute::Data,
+        ])
+        .prop_map(ElementaryAction::GetValue),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = ActionEntry> {
+    (arb_target(), arb_duration(), prop::collection::vec(arb_action(), 0..5)).prop_map(
+        |(target, delay, actions)| ActionEntry {
+            target,
+            delay,
+            actions,
+        },
+    )
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    (
+        arb_target(),
+        prop::sample::select(vec![
+            StatusKind::RunState,
+            StatusKind::Selection,
+            StatusKind::Preparation,
+            StatusKind::Data,
+            StatusKind::Visibility,
+            StatusKind::Completion,
+        ]),
+        prop::sample::select(vec![
+            Comparison::Eq,
+            Comparison::Ne,
+            Comparison::Lt,
+            Comparison::Le,
+            Comparison::Gt,
+            Comparison::Ge,
+        ]),
+        arb_value(),
+    )
+        .prop_map(|(source, status, cmp, value)| Condition {
+            source,
+            status,
+            cmp,
+            value,
+        })
+}
+
+fn arb_content() -> impl Strategy<Value = ContentBody> {
+    let data = prop_oneof![
+        (0u64..100_000).prop_map(|m| ContentData::Referenced(MediaId(m))),
+        prop::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|v| ContentData::Inline(Bytes::from(v))),
+        arb_value().prop_map(ContentData::Value),
+    ];
+    (
+        data,
+        arb_format(),
+        (0u32..4000, 0u32..4000),
+        arb_duration(),
+        any::<i64>(),
+        (any::<i32>(), any::<i32>()),
+    )
+        .prop_map(|(data, format, (w, h), dur, vol, pos)| ContentBody {
+            data,
+            format,
+            original_size: VideoDims::new(w, h),
+            original_duration: dur,
+            original_volume: vol,
+            original_position: pos,
+        })
+}
+
+fn arb_sync() -> impl Strategy<Value = SyncSpec> {
+    prop_oneof![
+        (arb_target(), arb_target(), any::<bool>()).prop_map(|(a, b, serial)| {
+            SyncSpec::new(SyncMechanism::Atomic {
+                a,
+                b,
+                relation: if serial {
+                    AtomicRelation::Serial
+                } else {
+                    AtomicRelation::Parallel
+                },
+            })
+        }),
+        (arb_target(), arb_duration(), arb_target(), arb_duration())
+            .prop_map(|(a, t1, b, t2)| SyncSpec::new(SyncMechanism::Elementary { a, t1, b, t2 })),
+        (arb_target(), arb_duration(), prop::option::of(any::<u32>())).prop_map(
+            |(target, period, repetitions)| SyncSpec::new(SyncMechanism::Cyclic {
+                target,
+                period,
+                repetitions,
+            })
+        ),
+        prop::collection::vec(arb_target(), 0..5)
+            .prop_map(|sequence| SyncSpec::new(SyncMechanism::Chained { sequence })),
+    ]
+}
+
+fn arb_need() -> impl Strategy<Value = ResourceNeed> {
+    prop_oneof![
+        arb_format().prop_map(ResourceNeed::Decoder),
+        any::<u64>().prop_map(ResourceNeed::Bandwidth),
+        (0u32..5000, 0u32..5000).prop_map(|(w, h)| ResourceNeed::Display(VideoDims::new(w, h))),
+        Just(ResourceNeed::AudioOutput),
+        any::<u64>().prop_map(ResourceNeed::CacheBytes),
+    ]
+}
+
+fn arb_body() -> impl Strategy<Value = ObjectBody> {
+    prop_oneof![
+        arb_content().prop_map(ObjectBody::Content),
+        (
+            arb_content(),
+            prop::collection::vec(
+                (any::<u32>(), arb_format(), any::<bool>()).prop_map(|(stream_id, format, enabled)| {
+                    StreamDesc {
+                        stream_id,
+                        format,
+                        enabled,
+                    }
+                }),
+                0..4
+            )
+        )
+            .prop_map(|(base, streams)| ObjectBody::MultiplexedContent { base, streams }),
+        (
+            prop::collection::vec(arb_id(), 0..5),
+            prop::collection::vec(arb_entry(), 0..3),
+            prop::collection::vec(arb_sync(), 0..3),
+        )
+            .prop_map(|(components, on_start, sync)| ObjectBody::Composite(CompositeBody {
+                components,
+                on_start,
+                sync,
+            })),
+        (
+            arb_condition(),
+            prop::collection::vec(arb_condition(), 0..3),
+            prop_oneof![
+                arb_id().prop_map(LinkEffect::ActionRef),
+                prop::collection::vec(arb_entry(), 0..3).prop_map(LinkEffect::Inline),
+            ],
+        )
+            .prop_map(|(trigger, additional, effect)| ObjectBody::Link(LinkBody {
+                trigger,
+                additional,
+                effect,
+            })),
+        prop::collection::vec(arb_entry(), 0..4)
+            .prop_map(|entries| ObjectBody::Action(ActionBody { entries })),
+        ("[a-z-]{1,12}", "[ -~]{0,60}").prop_map(|(language, source)| ObjectBody::Script(
+            ScriptBody { language, source }
+        )),
+        prop::collection::vec(arb_id(), 0..6)
+            .prop_map(|objects| ObjectBody::Container(ContainerBody { objects })),
+        (
+            prop::collection::vec(arb_id(), 0..3),
+            prop::collection::vec(arb_need(), 0..5),
+            "[ -~]{0,40}",
+        )
+            .prop_map(|(describes, needs, readme)| ObjectBody::Descriptor(DescriptorBody {
+                describes,
+                needs,
+                readme,
+            })),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = MhegObject> {
+    (arb_id(), arb_info(), arb_body()).prop_map(|(id, info, body)| MhegObject::new(id, info, body))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tlv_round_trip(obj in arb_object()) {
+        let wire = encode_object(&obj, WireFormat::Tlv);
+        let back = decode_object(&wire, WireFormat::Tlv).expect("decode");
+        prop_assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn sgml_round_trip(obj in arb_object()) {
+        let wire = encode_object(&obj, WireFormat::Sgml);
+        let back = decode_object(&wire, WireFormat::Sgml).expect("decode");
+        prop_assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn sgml_output_is_utf8_text(obj in arb_object()) {
+        let wire = encode_object(&obj, WireFormat::Sgml);
+        prop_assert!(std::str::from_utf8(&wire).is_ok());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Result may be Ok only if the noise happens to be a valid object
+        // (astronomically unlikely); it must never panic.
+        let _ = decode_object(&data, WireFormat::Tlv);
+        let _ = decode_object(&data, WireFormat::Sgml);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_truncated_valid(obj in arb_object(), frac in 0.0f64..1.0) {
+        let wire = encode_object(&obj, WireFormat::Tlv);
+        let cut = (wire.len() as f64 * frac) as usize;
+        let _ = decode_object(&wire[..cut], WireFormat::Tlv);
+    }
+}

@@ -1,0 +1,63 @@
+//! # MITS — a Broadband Multimedia TeleLearning System
+//!
+//! A full reproduction, in Rust, of the system described in *"A Broadband
+//! Multimedia TeleLearning System"* (HPDC 1996; thesis version: *Design
+//! and Implementation of a Broadband Multimedia TeleLearning System*,
+//! R. Wang, University of Ottawa).
+//!
+//! This facade re-exports the whole stack under one roof:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`sim`] | `mits-sim` | discrete-event kernel, RNG, statistics |
+//! | [`media`] | `mits-media` | media formats, synthetic codecs, production center, MCI |
+//! | [`mheg`] | `mits-mheg` | MHEG object system: classes, codecs, engine |
+//! | [`atm`] | `mits-atm` | ATM network simulator + narrowband baselines |
+//! | [`db`] | `mits-db` | courseware database: stores, index, protocol |
+//! | [`author`] | `mits-author` | document models, teaching architectures, compiler |
+//! | [`school`] | `mits-school` | TeleSchool: records, facilitation, exercises |
+//! | [`navigator`] | `mits-navigator` | screens, presentation, library, bookmarks |
+//! | [`core`] | `mits-core` | the assembled distributed Course-On-Demand system |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mits::author::{compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry};
+//! use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+//! use mits::media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
+//! use mits::sim::SimDuration;
+//!
+//! // 1. Produce media.
+//! let mut studio = ProductionCenter::new(42);
+//! let clip = studio.capture(&CaptureSpec::video(
+//!     "welcome.mpg", MediaFormat::Mpeg,
+//!     SimDuration::from_millis(500), VideoDims::new(320, 240)));
+//!
+//! // 2. Author and compile a course.
+//! let mut doc = ImDocument::new("Hello Course");
+//! doc.sections.push(Section { title: "s".into(), subsections: vec![Subsection {
+//!     title: "ss".into(),
+//!     scenes: vec![Scene::new("only")
+//!         .element("v", ElementKind::Media((&clip).into()))
+//!         .entry(TimelineEntry::at_start("v"))],
+//! }]});
+//! let compiled = compile_imd(1, &doc);
+//!
+//! // 3. Deploy and take the course over the simulated ATM network.
+//! let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+//! system.publish(&compiled.objects, studio.catalogue()).unwrap();
+//! let mut session = CodSession::open(&mut system, ClientId(0), compiled.root, "Hello Course").unwrap();
+//! session.start().unwrap();
+//! session.auto_play(SimDuration::from_secs(5)).unwrap();
+//! assert!(session.report.completed);
+//! ```
+
+pub use mits_atm as atm;
+pub use mits_author as author;
+pub use mits_core as core;
+pub use mits_db as db;
+pub use mits_media as media;
+pub use mits_mheg as mheg;
+pub use mits_navigator as navigator;
+pub use mits_school as school;
+pub use mits_sim as sim;

@@ -1,0 +1,112 @@
+//! Bookmarks (§5.2.1): "Bookmarks, which save the location of the
+//! interesting topics or media objects found during browsing, can be
+//! used." Stored per student, ordered by creation.
+
+use mits_mheg::MhegId;
+use mits_school::StudentNumber;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One saved location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bookmark {
+    /// Bookmark id (per student).
+    pub id: u32,
+    /// The document bookmarked.
+    pub document: MhegId,
+    /// Unit (scene/page) within it, if any.
+    pub unit: Option<u32>,
+    /// Student's note.
+    pub note: String,
+}
+
+/// Per-student bookmark store.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct BookmarkStore {
+    by_student: BTreeMap<StudentNumber, Vec<Bookmark>>,
+    next_id: u32,
+}
+
+impl BookmarkStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Save a bookmark; returns its id.
+    pub fn add(
+        &mut self,
+        student: StudentNumber,
+        document: MhegId,
+        unit: Option<u32>,
+        note: &str,
+    ) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_student.entry(student).or_default().push(Bookmark {
+            id,
+            document,
+            unit,
+            note: note.to_string(),
+        });
+        id
+    }
+
+    /// A student's bookmarks, oldest first.
+    pub fn list(&self, student: StudentNumber) -> &[Bookmark] {
+        self.by_student
+            .get(&student)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Remove a bookmark; returns whether it existed.
+    pub fn remove(&mut self, student: StudentNumber, id: u32) -> bool {
+        if let Some(list) = self.by_student.get_mut(&student) {
+            let before = list.len();
+            list.retain(|b| b.id != id);
+            return list.len() != before;
+        }
+        false
+    }
+
+    /// Bookmarks pointing at a document (any student) — used when a
+    /// course is withdrawn.
+    pub fn referencing(&self, document: MhegId) -> usize {
+        self.by_student
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|b| b.document == document)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_list_remove() {
+        let mut store = BookmarkStore::new();
+        let alice = StudentNumber(1);
+        let doc = MhegId::new(1, 1);
+        let id1 = store.add(alice, doc, Some(3), "great QoS diagram");
+        let id2 = store.add(alice, doc, None, "whole course");
+        assert_eq!(store.list(alice).len(), 2);
+        assert_eq!(store.list(alice)[0].note, "great QoS diagram");
+        assert!(store.remove(alice, id1));
+        assert!(!store.remove(alice, id1), "already gone");
+        assert_eq!(store.list(alice)[0].id, id2);
+        assert!(store.list(StudentNumber(2)).is_empty());
+    }
+
+    #[test]
+    fn ids_unique_across_students() {
+        let mut store = BookmarkStore::new();
+        let a = store.add(StudentNumber(1), MhegId::new(1, 1), None, "");
+        let b = store.add(StudentNumber(2), MhegId::new(1, 1), None, "");
+        assert_ne!(a, b);
+        assert_eq!(store.referencing(MhegId::new(1, 1)), 2);
+        assert_eq!(store.referencing(MhegId::new(9, 9)), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mits-navigator — the courseware navigator (Chapter 5)
+//!
+//! "The courseware navigator at each user site handles the access to the
+//! courseware stored in the database in accordance with pre-defined
+//! scenario or user interactions. Through a well-designed GUI, it
+//! provides various kinds of learning services to the students in a
+//! seamless integrated environment" (§3.2).
+//!
+//! The prototype's GUI was MFC dialogs on Windows 95; this reproduction
+//! is *headless but behaviourally identical*:
+//!
+//! * [`screens`] — the dialog state machine of Figures 5.3–5.7: welcome
+//!   (student number or registration), the registration dialogs, the main
+//!   window with administration / classroom / library / help, profile
+//!   update, and exit with saved state.
+//! * [`presentation`] — the classroom: an MHEG engine loaded with a
+//!   fetched courseware, driven by the virtual clock and user clicks;
+//!   exposes the visible scene the way a renderer would consume it.
+//! * [`library`] — library browsing over the database's keyword tree and
+//!   document list (Fig 5.7).
+//! * [`bookmarks`] — "bookmarks, which save the location of the
+//!   interesting topics or media objects found during browsing" (§5.2.1).
+//!
+//! Naming convention the compiler and navigator share: a courseware's
+//! container and its entry composite carry the course title; the
+//! position/completion flags are named `position-flag` and
+//! `completion-flag`; buttons are `button:<label>`, choices
+//! `choice:<label>`.
+
+pub mod bookmarks;
+pub mod library;
+pub mod presentation;
+pub mod screens;
+
+pub use bookmarks::{Bookmark, BookmarkStore};
+pub use library::LibraryBrowser;
+pub use presentation::{NavError, PresentationSession, VisibleElement};
+pub use screens::{NavigatorUi, Screen, UiEvent, UiOutcome};

@@ -1,0 +1,175 @@
+//! Library browsing (Fig 5.7): "textbooks, reference books, and other
+//! related documents in any kinds of media types should be provided for
+//! the students to browse. ... new areas of interests may be found and
+//! explored provided with the strong cross-reference capability of the
+//! hypermedia information structure."
+//!
+//! The browser walks the database's keyword tree, narrowing or widening
+//! the current path, and resolves documents through the `Get_List_Doc` /
+//! `GetDocByKeyword` responses it is fed.
+
+use mits_db::KeywordTree;
+use mits_mheg::MhegId;
+
+/// A headless library browser over a fetched keyword tree + doc list.
+#[derive(Debug, Clone)]
+pub struct LibraryBrowser {
+    tree: KeywordTree,
+    docs: Vec<(MhegId, String)>,
+    path: Vec<String>,
+}
+
+impl LibraryBrowser {
+    /// A browser over the given taxonomy and document list.
+    pub fn new(tree: KeywordTree, docs: Vec<(MhegId, String)>) -> Self {
+        LibraryBrowser {
+            tree,
+            docs,
+            path: Vec::new(),
+        }
+    }
+
+    /// Current keyword path as a string ("telecom/atm"; empty at root).
+    pub fn current_path(&self) -> String {
+        self.path.join("/")
+    }
+
+    /// Child keywords under the current path, with subtree document
+    /// counts — the shelf listing.
+    pub fn shelves(&self) -> Vec<(String, usize)> {
+        let prefix = self.current_path();
+        self.tree
+            .outline()
+            .into_iter()
+            .filter_map(|(path, _)| {
+                let rest = if prefix.is_empty() {
+                    path.as_str()
+                } else {
+                    path.strip_prefix(&format!("{prefix}/"))?
+                };
+                if rest.contains('/') || rest.is_empty() {
+                    return None;
+                }
+                let count = self.tree.lookup_subtree(&path).len();
+                Some((rest.to_string(), count))
+            })
+            .collect()
+    }
+
+    /// Descend into a child keyword. Returns false if no such shelf.
+    pub fn enter(&mut self, keyword: &str) -> bool {
+        if self
+            .shelves()
+            .iter()
+            .any(|(k, _)| k.eq_ignore_ascii_case(keyword))
+        {
+            self.path.push(keyword.to_ascii_lowercase());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Go up one level. Returns false at the root.
+    pub fn up(&mut self) -> bool {
+        self.path.pop().is_some()
+    }
+
+    /// Documents on the current shelf and below, resolved to names.
+    pub fn documents(&self) -> Vec<(MhegId, String)> {
+        let ids = self.tree.lookup_subtree(&self.current_path());
+        ids.into_iter()
+            .map(|id| {
+                let name = self
+                    .docs
+                    .iter()
+                    .find(|(d, _)| *d == id)
+                    .map(|(_, n)| n.clone())
+                    .unwrap_or_else(|| id.to_string());
+                (id, name)
+            })
+            .collect()
+    }
+
+    /// Find a document id by (case-insensitive) name anywhere in the
+    /// library.
+    pub fn find_by_name(&self, name: &str) -> Option<MhegId> {
+        self.docs
+            .iter()
+            .find(|(_, n)| n.eq_ignore_ascii_case(name))
+            .map(|(id, _)| *id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn browser() -> LibraryBrowser {
+        let mut tree = KeywordTree::new();
+        let atm_course = MhegId::new(1, 1);
+        let qos_notes = MhegId::new(1, 2);
+        let bio = MhegId::new(1, 3);
+        tree.insert("telecom/atm", atm_course);
+        tree.insert("telecom/atm/qos", qos_notes);
+        tree.insert("biology", bio);
+        LibraryBrowser::new(
+            tree,
+            vec![
+                (atm_course, "ATM Course".into()),
+                (qos_notes, "QoS Notes".into()),
+                (bio, "Cell Biology".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn shelves_at_root() {
+        let b = browser();
+        let shelves = b.shelves();
+        assert_eq!(shelves.len(), 2);
+        assert!(shelves.contains(&("biology".to_string(), 1)));
+        assert!(shelves.contains(&("telecom".to_string(), 2)));
+    }
+
+    #[test]
+    fn walk_down_and_up() {
+        let mut b = browser();
+        assert!(b.enter("telecom"));
+        assert_eq!(b.current_path(), "telecom");
+        assert_eq!(b.shelves(), vec![("atm".to_string(), 2)]);
+        assert!(b.enter("atm"));
+        assert_eq!(b.shelves(), vec![("qos".to_string(), 1)]);
+        assert!(!b.enter("nothing"));
+        assert!(b.up());
+        assert_eq!(b.current_path(), "telecom");
+        assert!(b.up());
+        assert!(!b.up(), "already at root");
+    }
+
+    #[test]
+    fn documents_gather_subtree() {
+        let mut b = browser();
+        b.enter("telecom");
+        let docs = b.documents();
+        assert_eq!(docs.len(), 2);
+        assert!(docs.iter().any(|(_, n)| n == "ATM Course"));
+        assert!(docs.iter().any(|(_, n)| n == "QoS Notes"));
+    }
+
+    #[test]
+    fn find_by_name_case_insensitive() {
+        let b = browser();
+        assert_eq!(b.find_by_name("atm course"), Some(MhegId::new(1, 1)));
+        assert_eq!(b.find_by_name("missing"), None);
+    }
+
+    #[test]
+    fn unknown_docs_render_as_ids() {
+        let mut tree = KeywordTree::new();
+        tree.insert("x", MhegId::new(9, 9));
+        let b = LibraryBrowser::new(tree, vec![]);
+        let docs = b.documents();
+        assert_eq!(docs[0].1, "mheg:9/9");
+    }
+}

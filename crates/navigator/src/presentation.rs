@@ -1,0 +1,498 @@
+//! The classroom presentation (§3.4.3, Fig 5.5).
+//!
+//! "The courseware navigator controls the presentation process according
+//! to a scenario pre-defined by an author. Meanwhile it handles the
+//! users' interaction through a GUI." A [`PresentationSession`] owns one
+//! MHEG engine, loads a fetched object set, and exposes exactly what a
+//! renderer needs: the visible elements, the clickable elements, the
+//! current unit (scene/page) and completion state — plus resume-position
+//! support (§5.4: "the courseware can automatically start the course
+//! presentation at the right place when a student enters again").
+
+use mits_mheg::action::{ActionEntry, ElementaryAction, TargetRef};
+use mits_mheg::{
+    EngineError, GenericValue, MhegEngine, MhegId, MhegObject, ObjectBody, PresentationEvent,
+    RtState,
+};
+use mits_sim::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from the presentation session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NavError {
+    /// No entry composite matching the course name was found.
+    NoEntryPoint(String),
+    /// Named element not found / not clickable right now.
+    NoSuchElement(String),
+    /// Underlying engine error.
+    Engine(EngineError),
+    /// Resume unit out of range.
+    BadResumeUnit(usize),
+}
+
+impl fmt::Display for NavError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NavError::NoEntryPoint(n) => write!(f, "courseware '{n}' has no entry composite"),
+            NavError::NoSuchElement(n) => write!(f, "no clickable element '{n}'"),
+            NavError::Engine(e) => write!(f, "engine: {e}"),
+            NavError::BadResumeUnit(u) => write!(f, "resume unit {u} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for NavError {}
+
+impl From<EngineError> for NavError {
+    fn from(e: EngineError) -> Self {
+        NavError::Engine(e)
+    }
+}
+
+/// One element the renderer would draw right now.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisibleElement {
+    /// Object name (from the interchanged object info).
+    pub name: String,
+    /// Screen position.
+    pub position: (i32, i32),
+    /// Display size.
+    pub size: (u32, u32),
+    /// Is it clickable right now?
+    pub interactive: bool,
+}
+
+/// A classroom presentation of one courseware.
+pub struct PresentationSession {
+    engine: MhegEngine,
+    course: String,
+    entry: MhegId,
+    units: Vec<MhegId>,
+    position_flag: Option<MhegId>,
+    completion_flag: Option<MhegId>,
+    names: HashMap<MhegId, String>,
+}
+
+impl PresentationSession {
+    /// Load a fetched object set for the course named `course`.
+    ///
+    /// The entry composite is located by the shared naming convention
+    /// (composite named like the course); its components are the units
+    /// (scenes/pages) in document order.
+    pub fn load(objects: Vec<MhegObject>, course: &str) -> Result<Self, NavError> {
+        let mut engine = MhegEngine::new();
+        let mut entry = None;
+        let mut position_flag = None;
+        let mut completion_flag = None;
+        let mut names = HashMap::new();
+        let mut units = Vec::new();
+        for obj in &objects {
+            names.insert(obj.id, obj.info.name.clone());
+            match &obj.body {
+                ObjectBody::Composite(c) if obj.info.name == course => {
+                    entry = Some(obj.id);
+                    units = c.components.clone();
+                }
+                ObjectBody::Content(_) if obj.info.name == "position-flag" => {
+                    position_flag = Some(obj.id);
+                }
+                ObjectBody::Content(_) if obj.info.name == "completion-flag" => {
+                    completion_flag = Some(obj.id);
+                }
+                _ => {}
+            }
+        }
+        let entry = entry.ok_or_else(|| NavError::NoEntryPoint(course.to_string()))?;
+        for obj in objects {
+            engine.ingest(obj);
+        }
+        Ok(PresentationSession {
+            engine,
+            course: course.to_string(),
+            entry,
+            units,
+            position_flag,
+            completion_flag,
+            names,
+        })
+    }
+
+    /// Course name.
+    pub fn course(&self) -> &str {
+        &self.course
+    }
+
+    /// Number of units (scenes/pages).
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Begin presentation from the first unit.
+    pub fn start(&mut self) -> Result<(), NavError> {
+        self.engine.new_rt(self.entry)?;
+        self.engine.apply_entry(&ActionEntry::now(
+            TargetRef::Model(self.entry),
+            vec![ElementaryAction::Run],
+        ))?;
+        Ok(())
+    }
+
+    /// Begin presentation at unit `unit` — the resume path. The unit's
+    /// own start-up records the position flag, so resuming is exactly
+    /// "run scene k".
+    pub fn resume(&mut self, unit: usize) -> Result<(), NavError> {
+        if unit >= self.units.len() {
+            return Err(NavError::BadResumeUnit(unit));
+        }
+        if unit == 0 {
+            return self.start();
+        }
+        self.engine.new_rt(self.entry)?;
+        // Run the document composite but immediately redirect: stop the
+        // auto-started first unit, run the saved one.
+        self.engine.apply_entry(&ActionEntry::now(
+            TargetRef::Model(self.entry),
+            vec![ElementaryAction::Run],
+        ))?;
+        self.engine.apply_entry(&ActionEntry::now(
+            TargetRef::Model(self.units[0]),
+            vec![ElementaryAction::Stop],
+        ))?;
+        self.engine.apply_entry(&ActionEntry::now(
+            TargetRef::Model(self.units[unit]),
+            vec![ElementaryAction::Run],
+        ))?;
+        Ok(())
+    }
+
+    /// Advance the presentation clock.
+    pub fn advance(&mut self, to: SimTime) -> Result<(), NavError> {
+        self.engine.advance(to)?;
+        Ok(())
+    }
+
+    /// Engine clock.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Current unit index, from the position flag.
+    pub fn current_unit(&self) -> Option<usize> {
+        let flag = self.position_flag?;
+        let rt = self.engine.rt_of_model(flag)?;
+        match &self.engine.rt(rt)?.attrs.data {
+            GenericValue::Int(i) if *i >= 0 => Some(*i as usize),
+            _ => None,
+        }
+    }
+
+    /// Has the course completed?
+    pub fn completed(&self) -> bool {
+        let Some(flag) = self.completion_flag else { return false };
+        let Some(rt) = self.engine.rt_of_model(flag) else { return false };
+        matches!(
+            self.engine.rt(rt).map(|r| &r.attrs.data),
+            Some(GenericValue::Int(1))
+        )
+    }
+
+    /// Click the element whose object name is `name`, or whose
+    /// `button:`/`choice:` label is `name`. Only interactive, live
+    /// elements accept clicks.
+    pub fn click(&mut self, name: &str) -> Result<(), NavError> {
+        let target = self
+            .find_live(name, true)
+            .ok_or_else(|| NavError::NoSuchElement(name.to_string()))?;
+        let accepted = self.engine.user_select(target)?;
+        if !accepted {
+            return Err(NavError::NoSuchElement(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Type text into a live entry field named `name`.
+    pub fn type_into(&mut self, name: &str, text: &str) -> Result<(), NavError> {
+        let target = self
+            .find_live(name, true)
+            .ok_or_else(|| NavError::NoSuchElement(name.to_string()))?;
+        let accepted = self
+            .engine
+            .user_input(target, GenericValue::Str(text.to_string()))?;
+        if !accepted {
+            return Err(NavError::NoSuchElement(name.to_string()));
+        }
+        Ok(())
+    }
+
+    fn matches_name(stored: &str, wanted: &str) -> bool {
+        stored == wanted
+            || stored.strip_prefix("button:") == Some(wanted)
+            || stored.strip_prefix("choice:") == Some(wanted)
+            || stored.strip_prefix("menu-item:") == Some(wanted)
+            || stored.strip_prefix("word:") == Some(wanted)
+    }
+
+    /// Find a live (running) rt by object name; `need_interactive`
+    /// restricts to clickable ones.
+    fn find_live(&self, name: &str, need_interactive: bool) -> Option<mits_mheg::RtId> {
+        // Prefer the running, interactive instance among same-named
+        // objects (different scenes may reuse labels).
+        let mut fallback = None;
+        for (model, stored) in &self.names {
+            if !Self::matches_name(stored, name) {
+                continue;
+            }
+            let Some(rt_id) = self.engine.rt_of_model(*model) else { continue };
+            let Some(rt) = self.engine.rt(rt_id) else { continue };
+            if need_interactive && !rt.attrs.interactive {
+                continue;
+            }
+            if rt.state == RtState::Running {
+                return Some(rt_id);
+            }
+            fallback = Some(rt_id);
+        }
+        fallback
+    }
+
+    /// What a renderer would draw right now (running, visible content).
+    pub fn visible(&self) -> Vec<VisibleElement> {
+        let mut out = Vec::new();
+        for (model, name) in &self.names {
+            let Some(rt_id) = self.engine.rt_of_model(*model) else { continue };
+            let Some(rt) = self.engine.rt(rt_id) else { continue };
+            if rt.state != RtState::Running || !rt.attrs.visible || !rt.is_presentable() {
+                continue;
+            }
+            if name == "position-flag" || name == "completion-flag" || name == "scene-timer" {
+                continue; // infrastructure objects are not rendered
+            }
+            out.push(VisibleElement {
+                name: name.clone(),
+                position: rt.attrs.position,
+                size: rt.attrs.size,
+                interactive: rt.attrs.interactive,
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Build an MCI player positioned to mirror a live media element —
+    /// the §5.2.2 bridge: the navigator hands each visible time-based
+    /// medium to its OLE-registered player. The player is opened and, if
+    /// the element is running, started at the element's current media
+    /// position.
+    pub fn mci_player(
+        &self,
+        name: &str,
+        media: &mits_media::MediaObject,
+    ) -> Result<mits_media::MciPlayer, NavError> {
+        use mits_media::MciCommand;
+        let rt_id = self
+            .find_live(name, false)
+            .ok_or_else(|| NavError::NoSuchElement(name.to_string()))?;
+        let rt = self.engine.rt(rt_id).expect("live rt");
+        let mut player = mits_media::MciPlayer::new(media);
+        let now = self.engine.now();
+        player.command(now, MciCommand::Open).expect("open never fails");
+        if rt.state == RtState::Running {
+            let pos_ms = rt.progress(now).as_millis();
+            player
+                .command(
+                    now,
+                    MciCommand::Play {
+                        from: Some(pos_ms.min(media.duration.as_millis())),
+                        to: None,
+                    },
+                )
+                .map_err(|e| NavError::NoSuchElement(e.to_string()))?;
+        }
+        Ok(player)
+    }
+
+    /// Drain presentation events (for logging / rendering).
+    pub fn events(&mut self) -> Vec<PresentationEvent> {
+        self.engine.take_events()
+    }
+
+    /// Engine statistics (for the experiment tables).
+    pub fn engine_stats(&self) -> mits_mheg::engine::EngineStats {
+        self.engine.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mits_author::{
+        compile_imd, Behavior, BehaviorAction, BehaviorCondition, ElementKind, HyperDocument,
+        ImDocument, MediaHandle, Scene, Section, Subsection, TimelineEntry,
+    };
+    use mits_author::compile_hyperdoc;
+    use mits_media::{MediaFormat, MediaId, VideoDims};
+    use mits_sim::SimDuration;
+
+    fn video(id: u64, secs: u64) -> MediaHandle {
+        MediaHandle {
+            media: MediaId(id),
+            format: MediaFormat::Mpeg,
+            duration: SimDuration::from_secs(secs),
+            dims: VideoDims::new(320, 240),
+            name: format!("video{id}.mpg"),
+        }
+    }
+
+    fn course() -> (Vec<MhegObject>, String) {
+        let mut doc = ImDocument::new("ATM Course");
+        doc.sections.push(Section {
+            title: "intro".into(),
+            subsections: vec![Subsection {
+                title: "basics".into(),
+                scenes: vec![
+                    Scene::new("welcome")
+                        .element("video1", ElementKind::Media(video(1, 3)))
+                        .element("skip", ElementKind::Button("Skip".into()))
+                        .entry(TimelineEntry::at_start("video1"))
+                        .entry(TimelineEntry::at_start("skip").at(10, 200))
+                        .behavior(Behavior::when(
+                            BehaviorCondition::Clicked("skip".into()),
+                            vec![BehaviorAction::NextScene],
+                        )),
+                    Scene::new("lesson")
+                        .element("text1", ElementKind::Caption("cells are 53 bytes".into()))
+                        .entry(
+                            TimelineEntry::at_start("text1")
+                                .for_duration(SimDuration::from_secs(2)),
+                        ),
+                ],
+            }],
+        });
+        let compiled = compile_imd(30, &doc);
+        (compiled.objects, "ATM Course".into())
+    }
+
+    #[test]
+    fn load_start_and_observe() {
+        let (objects, name) = course();
+        let mut p = PresentationSession::load(objects, &name).unwrap();
+        assert_eq!(p.unit_count(), 2);
+        p.start().unwrap();
+        assert_eq!(p.current_unit(), Some(0));
+        let visible = p.visible();
+        assert!(visible.iter().any(|v| v.name == "video1.mpg"));
+        assert!(visible.iter().any(|v| v.name.contains("Skip") && v.interactive));
+        assert!(!p.completed());
+    }
+
+    #[test]
+    fn serial_playback_completes() {
+        let (objects, name) = course();
+        let mut p = PresentationSession::load(objects, &name).unwrap();
+        p.start().unwrap();
+        p.advance(SimTime::from_secs(10)).unwrap();
+        assert_eq!(p.current_unit(), Some(1));
+        assert!(p.completed(), "3 s video + 2 s caption < 10 s");
+    }
+
+    #[test]
+    fn click_skips_ahead() {
+        let (objects, name) = course();
+        let mut p = PresentationSession::load(objects, &name).unwrap();
+        p.start().unwrap();
+        p.advance(SimTime::from_secs(1)).unwrap();
+        p.click("Skip").unwrap();
+        assert_eq!(p.current_unit(), Some(1), "behavior jumped to lesson");
+        // Clicking again fails: the button's scene stopped.
+        assert!(p.click("Skip").is_err());
+    }
+
+    #[test]
+    fn resume_at_saved_unit() {
+        let (objects, name) = course();
+        let mut p = PresentationSession::load(objects, &name).unwrap();
+        p.resume(1).unwrap();
+        assert_eq!(p.current_unit(), Some(1));
+        // The lesson caption is on screen without playing the intro.
+        assert!(p.visible().iter().any(|v| v.name == "caption"));
+        assert!(matches!(
+            PresentationSession::load(course().0, "ATM Course")
+                .unwrap()
+                .resume(9),
+            Err(NavError::BadResumeUnit(9))
+        ));
+    }
+
+    #[test]
+    fn missing_entry_point_rejected() {
+        let (objects, _) = course();
+        assert!(matches!(
+            PresentationSession::load(objects, "Wrong Name"),
+            Err(NavError::NoEntryPoint(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_click_rejected() {
+        let (objects, name) = course();
+        let mut p = PresentationSession::load(objects, &name).unwrap();
+        p.start().unwrap();
+        assert!(matches!(p.click("No Such Button"), Err(NavError::NoSuchElement(_))));
+    }
+
+    #[test]
+    fn hyperdoc_presentation_navigates() {
+        let doc = HyperDocument::figure_4_3_example();
+        let compiled = compile_hyperdoc(31, &doc);
+        let mut p =
+            PresentationSession::load(compiled.objects, "Fig 4.3 navigation example").unwrap();
+        p.start().unwrap();
+        assert_eq!(p.current_unit(), Some(0));
+        p.click("Test Your Knowledge").unwrap();
+        assert_eq!(p.current_unit(), Some(2));
+        p.click("53 bytes").unwrap();
+        assert_eq!(p.current_unit(), Some(4), "correct answer page");
+    }
+
+
+    #[test]
+    fn mci_player_mirrors_presentation_position() {
+        use mits_media::{CaptureSpec, PlayerState, ProductionCenter};
+        let mut studio = ProductionCenter::new(77);
+        let clip = studio.capture(&CaptureSpec::video(
+            "video1.mpg",
+            MediaFormat::Mpeg,
+            SimDuration::from_secs(5),
+            VideoDims::new(160, 120),
+        ));
+        let mut doc = ImDocument::new("MCI Course");
+        doc.sections.push(Section {
+            title: "s".into(),
+            subsections: vec![Subsection {
+                title: "ss".into(),
+                scenes: vec![Scene::new("only")
+                    .element("v", ElementKind::Media((&clip).into()))
+                    .entry(TimelineEntry::at_start("v"))],
+            }],
+        });
+        let compiled = compile_imd(32, &doc);
+        let mut p = PresentationSession::load(compiled.objects, "MCI Course").unwrap();
+        p.start().unwrap();
+        p.advance(mits_sim::SimTime::from_millis(1_500)).unwrap();
+        let player = p.mci_player("video1.mpg", &clip).unwrap();
+        assert_eq!(player.state(), PlayerState::Playing);
+        assert_eq!(player.position_ms(p.now()), 1_500, "player tracks engine progress");
+        // A missing element has no player.
+        assert!(p.mci_player("ghost.mpg", &clip).is_err());
+    }
+
+    #[test]
+    fn infrastructure_objects_hidden_from_renderer() {
+        let (objects, name) = course();
+        let mut p = PresentationSession::load(objects, &name).unwrap();
+        p.start().unwrap();
+        let names: Vec<String> = p.visible().iter().map(|v| v.name.clone()).collect();
+        assert!(!names.iter().any(|n| n.contains("flag") || n.contains("timer")), "{names:?}");
+    }
+}

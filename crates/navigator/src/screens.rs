@@ -1,0 +1,383 @@
+//! The navigator dialog flow (Figures 5.3–5.7) as a state machine.
+//!
+//! "A student starts the learning session by running a navigator
+//! application ... A dialog [Fig 5.3] will be displayed ... The student
+//! need to type in his student number to access the virtual school, while
+//! a new student ... will have to register first." Once inside, "all the
+//! facilities, including administration, classroom presentation, digital
+//! library, on-line help, can be accessed by the student through the main
+//! window."
+
+use mits_school::{CourseCode, StudentNumber, StudentRegistry};
+use serde::{Deserialize, Serialize};
+
+/// Which screen is on display.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Screen {
+    /// Fig 5.3: welcome video, student-number field, Register Now,
+    /// introduction and about buttons.
+    Welcome,
+    /// Fig 5.4a–c: general information dialogs.
+    RegisterGeneral,
+    /// Fig 5.4d: program/course selection.
+    RegisterCourses,
+    /// The main window: administration / classroom / library / help.
+    Main,
+    /// Fig 5.5: course presentation.
+    Classroom {
+        /// The course being presented.
+        course: CourseCode,
+    },
+    /// Fig 5.6: profile update.
+    ProfileUpdate,
+    /// Fig 5.7: library browsing.
+    Library,
+    /// Watching the welcome/introduction video clip.
+    IntroductionVideo,
+    /// Session terminated ("exit" clicked); state saved.
+    Exited,
+}
+
+/// User interface events the student can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UiEvent {
+    /// Typed a student number on the welcome screen.
+    EnterStudentNumber(StudentNumber),
+    /// Clicked "Register Now".
+    ClickRegister,
+    /// Clicked "Introduction".
+    ClickIntroduction,
+    /// Filled the general-information dialogs.
+    SubmitGeneralInfo {
+        /// Student name.
+        name: String,
+        /// Mailing address.
+        address: String,
+        /// E-mail.
+        email: String,
+    },
+    /// Selected a course to register for (Fig 5.4d "select").
+    SelectCourse(CourseCode),
+    /// Finished course registration ("continue").
+    FinishRegistration,
+    /// Main-window navigation.
+    OpenClassroom(CourseCode),
+    /// Open the profile-update screen.
+    OpenAdministration,
+    /// Open the library.
+    OpenLibrary,
+    /// Update profile fields (Fig 5.6).
+    SubmitProfile {
+        /// New address, if changed.
+        address: Option<String>,
+        /// New e-mail, if changed.
+        email: Option<String>,
+    },
+    /// Return to the main window.
+    Back,
+    /// Exit the navigator.
+    Exit,
+}
+
+/// What an event produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UiOutcome {
+    /// Moved to a new screen.
+    Moved,
+    /// Registration completed; the school issued this number.
+    Registered(StudentNumber),
+    /// Event rejected with a reason (stays on the current screen).
+    Rejected(String),
+}
+
+/// The navigator UI shell.
+#[derive(Debug)]
+pub struct NavigatorUi {
+    screen: Screen,
+    student: Option<StudentNumber>,
+    pending_registration: Option<StudentNumber>,
+    /// Step log: (screen left, event description) — the F5.x trace.
+    pub log: Vec<String>,
+}
+
+impl Default for NavigatorUi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NavigatorUi {
+    /// A navigator showing the welcome screen.
+    pub fn new() -> Self {
+        NavigatorUi {
+            screen: Screen::Welcome,
+            student: None,
+            pending_registration: None,
+            log: vec!["navigator started: welcome screen".to_string()],
+        }
+    }
+
+    /// The screen on display.
+    pub fn screen(&self) -> &Screen {
+        &self.screen
+    }
+
+    /// The authenticated student, if any.
+    pub fn student(&self) -> Option<StudentNumber> {
+        self.student
+    }
+
+    fn goto(&mut self, s: Screen, note: &str) -> UiOutcome {
+        self.log.push(note.to_string());
+        self.screen = s;
+        UiOutcome::Moved
+    }
+
+    fn reject(&mut self, why: &str) -> UiOutcome {
+        self.log.push(format!("rejected: {why}"));
+        UiOutcome::Rejected(why.to_string())
+    }
+
+    /// Feed one UI event, mutating school state where the dialogs do.
+    pub fn handle(&mut self, event: UiEvent, school: &mut StudentRegistry) -> UiOutcome {
+        match (&self.screen.clone(), event) {
+            // ---- welcome (Fig 5.3) ----
+            (Screen::Welcome, UiEvent::EnterStudentNumber(n)) => {
+                if school.lookup(n).is_some() {
+                    self.student = Some(n);
+                    self.goto(Screen::Main, &format!("{n} entered the TeleSchool"))
+                } else {
+                    self.reject("unknown student number")
+                }
+            }
+            (Screen::Welcome, UiEvent::ClickRegister) => {
+                self.goto(Screen::RegisterGeneral, "registration started")
+            }
+            (Screen::Welcome, UiEvent::ClickIntroduction) => {
+                self.goto(Screen::IntroductionVideo, "watching introduction video")
+            }
+            (Screen::IntroductionVideo, UiEvent::Back) => {
+                self.goto(Screen::Welcome, "introduction finished")
+            }
+            // ---- registration (Fig 5.4) ----
+            (Screen::RegisterGeneral, UiEvent::SubmitGeneralInfo { name, address, email }) => {
+                if name.trim().is_empty() {
+                    return self.reject("name is required");
+                }
+                let number = school.register(&name, &address, &email);
+                self.pending_registration = Some(number);
+                self.goto(
+                    Screen::RegisterCourses,
+                    &format!("profile stored; provisional number {number}"),
+                )
+            }
+            (Screen::RegisterCourses, UiEvent::SelectCourse(code)) => {
+                let Some(number) = self.pending_registration else {
+                    return self.reject("no registration in progress");
+                };
+                match school.enroll(number, &code) {
+                    Ok(()) => {
+                        self.log.push(format!("enrolled in {}", code.0));
+                        UiOutcome::Moved
+                    }
+                    Err(e) => self.reject(&e.to_string()),
+                }
+            }
+            (Screen::RegisterCourses, UiEvent::FinishRegistration) => {
+                let Some(number) = self.pending_registration.take() else {
+                    return self.reject("no registration in progress");
+                };
+                self.student = Some(number);
+                self.log
+                    .push(format!("registration finished: student number {number}"));
+                self.screen = Screen::Main;
+                UiOutcome::Registered(number)
+            }
+            // ---- main window ----
+            (Screen::Main, UiEvent::OpenClassroom(code)) => {
+                let Some(student) = self.student else {
+                    return self.reject("not authenticated");
+                };
+                let enrolled = school
+                    .lookup(student)
+                    .is_some_and(|s| s.enrollment(&code).is_some());
+                if !enrolled {
+                    return self.reject("not enrolled in this course");
+                }
+                self.goto(
+                    Screen::Classroom { course: code.clone() },
+                    &format!("classroom opened for {}", code.0),
+                )
+            }
+            (Screen::Main, UiEvent::OpenAdministration) => {
+                self.goto(Screen::ProfileUpdate, "administration opened")
+            }
+            (Screen::Main, UiEvent::OpenLibrary) => self.goto(Screen::Library, "library opened"),
+            (Screen::Main, UiEvent::Exit) => self.goto(Screen::Exited, "session ended"),
+            // ---- profile update (Fig 5.6) ----
+            (Screen::ProfileUpdate, UiEvent::SubmitProfile { address, email }) => {
+                let Some(student) = self.student else {
+                    return self.reject("not authenticated");
+                };
+                match school.update_profile(student, address.as_deref(), email.as_deref()) {
+                    Ok(()) => self.goto(Screen::Main, "profile updated"),
+                    Err(e) => self.reject(&e.to_string()),
+                }
+            }
+            // ---- generic back/exit ----
+            (Screen::Classroom { .. }, UiEvent::Back)
+            | (Screen::Library, UiEvent::Back)
+            | (Screen::ProfileUpdate, UiEvent::Back) => self.goto(Screen::Main, "back to main"),
+            (Screen::Classroom { .. }, UiEvent::Exit)
+            | (Screen::Library, UiEvent::Exit)
+            | (Screen::ProfileUpdate, UiEvent::Exit) => {
+                self.goto(Screen::Exited, "session ended from inner screen")
+            }
+            // Anything else is not wired on that screen.
+            (s, e) => self.reject(&format!("event {e:?} not available on {s:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mits_school::Course;
+
+    fn school() -> StudentRegistry {
+        let mut reg = StudentRegistry::new();
+        reg.add_program("Telecom");
+        reg.add_course(Course {
+            code: CourseCode("TEL101".into()),
+            name: "ATM Networks".into(),
+            program: "Telecom".into(),
+            planned_sessions: 10,
+            courseware: None,
+        })
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn full_registration_flow() {
+        let mut reg = school();
+        let mut ui = NavigatorUi::new();
+        assert_eq!(ui.screen(), &Screen::Welcome);
+        ui.handle(UiEvent::ClickRegister, &mut reg);
+        assert_eq!(ui.screen(), &Screen::RegisterGeneral);
+        ui.handle(
+            UiEvent::SubmitGeneralInfo {
+                name: "Alice".into(),
+                address: "1 Main".into(),
+                email: "a@x".into(),
+            },
+            &mut reg,
+        );
+        assert_eq!(ui.screen(), &Screen::RegisterCourses);
+        assert_eq!(
+            ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut reg),
+            UiOutcome::Moved
+        );
+        let outcome = ui.handle(UiEvent::FinishRegistration, &mut reg);
+        let UiOutcome::Registered(number) = outcome else {
+            panic!("{outcome:?}")
+        };
+        assert_eq!(ui.screen(), &Screen::Main);
+        assert_eq!(ui.student(), Some(number));
+        assert_eq!(reg.lookup(number).unwrap().find_number_of_course(), 1);
+    }
+
+    #[test]
+    fn returning_student_enters_directly() {
+        let mut reg = school();
+        let n = reg.register("Bob", "", "");
+        let mut ui = NavigatorUi::new();
+        ui.handle(UiEvent::EnterStudentNumber(n), &mut reg);
+        assert_eq!(ui.screen(), &Screen::Main);
+        let mut ui2 = NavigatorUi::new();
+        let out = ui2.handle(UiEvent::EnterStudentNumber(StudentNumber(999)), &mut reg);
+        assert!(matches!(out, UiOutcome::Rejected(_)));
+        assert_eq!(ui2.screen(), &Screen::Welcome, "stays on welcome");
+    }
+
+    #[test]
+    fn classroom_requires_enrollment() {
+        let mut reg = school();
+        let n = reg.register("Bob", "", "");
+        let mut ui = NavigatorUi::new();
+        ui.handle(UiEvent::EnterStudentNumber(n), &mut reg);
+        let out = ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut reg);
+        assert!(matches!(out, UiOutcome::Rejected(_)), "not enrolled");
+        reg.enroll(n, &CourseCode("TEL101".into())).unwrap();
+        let out = ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut reg);
+        assert_eq!(out, UiOutcome::Moved);
+        assert!(matches!(ui.screen(), Screen::Classroom { .. }));
+    }
+
+    #[test]
+    fn profile_update_round_trip() {
+        let mut reg = school();
+        let n = reg.register("Bob", "old", "old@x");
+        let mut ui = NavigatorUi::new();
+        ui.handle(UiEvent::EnterStudentNumber(n), &mut reg);
+        ui.handle(UiEvent::OpenAdministration, &mut reg);
+        assert_eq!(ui.screen(), &Screen::ProfileUpdate);
+        ui.handle(
+            UiEvent::SubmitProfile {
+                address: Some("new".into()),
+                email: None,
+            },
+            &mut reg,
+        );
+        assert_eq!(ui.screen(), &Screen::Main);
+        assert_eq!(reg.lookup(n).unwrap().address, "new");
+    }
+
+    #[test]
+    fn empty_name_rejected_at_registration() {
+        let mut reg = school();
+        let mut ui = NavigatorUi::new();
+        ui.handle(UiEvent::ClickRegister, &mut reg);
+        let out = ui.handle(
+            UiEvent::SubmitGeneralInfo {
+                name: "  ".into(),
+                address: "".into(),
+                email: "".into(),
+            },
+            &mut reg,
+        );
+        assert!(matches!(out, UiOutcome::Rejected(_)));
+        assert_eq!(reg.student_count(), 0, "nothing stored");
+    }
+
+    #[test]
+    fn introduction_video_and_back() {
+        let mut reg = school();
+        let mut ui = NavigatorUi::new();
+        ui.handle(UiEvent::ClickIntroduction, &mut reg);
+        assert_eq!(ui.screen(), &Screen::IntroductionVideo);
+        ui.handle(UiEvent::Back, &mut reg);
+        assert_eq!(ui.screen(), &Screen::Welcome);
+    }
+
+    #[test]
+    fn exit_from_anywhere_saves_log() {
+        let mut reg = school();
+        let n = reg.register("Bob", "", "");
+        let mut ui = NavigatorUi::new();
+        ui.handle(UiEvent::EnterStudentNumber(n), &mut reg);
+        ui.handle(UiEvent::OpenLibrary, &mut reg);
+        ui.handle(UiEvent::Exit, &mut reg);
+        assert_eq!(ui.screen(), &Screen::Exited);
+        assert!(ui.log.iter().any(|l| l.contains("library opened")));
+        assert!(ui.log.iter().any(|l| l.contains("session ended")));
+    }
+
+    #[test]
+    fn wrong_screen_events_rejected() {
+        let mut reg = school();
+        let mut ui = NavigatorUi::new();
+        let out = ui.handle(UiEvent::OpenLibrary, &mut reg);
+        assert!(matches!(out, UiOutcome::Rejected(_)), "not on main screen");
+    }
+}

@@ -1,0 +1,167 @@
+//! Billing hooks (§5.2.1): registration "leaves some space for the
+//! further studying and development of the billing services for the
+//! TeleLearning applications". Every billable event lands in a ledger;
+//! a simple tariff prices them.
+
+use crate::records::StudentNumber;
+use mits_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Billable service kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// A classroom presentation session (billed per minute).
+    Classroom,
+    /// Library browsing (per minute).
+    Library,
+    /// Facilitator consultation (per minute).
+    Facilitation,
+    /// Flat course registration fee.
+    Registration,
+}
+
+/// One billing record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BillingRecord {
+    /// The student billed.
+    pub student: StudentNumber,
+    /// Service used.
+    pub service: ServiceKind,
+    /// When the usage started.
+    pub at: SimTime,
+    /// Usage length (zero for flat fees).
+    pub duration: SimDuration,
+}
+
+/// Tariff in millicents to avoid float money.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tariff {
+    /// Millicents per minute of classroom.
+    pub classroom_per_min: u64,
+    /// Millicents per minute of library.
+    pub library_per_min: u64,
+    /// Millicents per minute of facilitation.
+    pub facilitation_per_min: u64,
+    /// Flat registration fee, millicents.
+    pub registration_flat: u64,
+}
+
+impl Default for Tariff {
+    fn default() -> Self {
+        Tariff {
+            classroom_per_min: 5_000,     // 5 ¢/min
+            library_per_min: 1_000,       // 1 ¢/min
+            facilitation_per_min: 20_000, // 20 ¢/min
+            registration_flat: 2_500_000, // $25 flat
+        }
+    }
+}
+
+impl Tariff {
+    /// Price one record in millicents.
+    pub fn price(&self, r: &BillingRecord) -> u64 {
+        let minutes = r.duration.as_micros().div_ceil(60_000_000);
+        match r.service {
+            ServiceKind::Classroom => self.classroom_per_min * minutes,
+            ServiceKind::Library => self.library_per_min * minutes,
+            ServiceKind::Facilitation => self.facilitation_per_min * minutes,
+            ServiceKind::Registration => self.registration_flat,
+        }
+    }
+}
+
+/// The billing ledger.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct BillingLedger {
+    records: Vec<BillingRecord>,
+    tariff: Tariff,
+}
+
+impl BillingLedger {
+    /// A ledger with the default tariff.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a billable usage.
+    pub fn record(
+        &mut self,
+        student: StudentNumber,
+        service: ServiceKind,
+        at: SimTime,
+        duration: SimDuration,
+    ) {
+        self.records.push(BillingRecord {
+            student,
+            service,
+            at,
+            duration,
+        });
+    }
+
+    /// Total owed by a student, millicents.
+    pub fn balance(&self, student: StudentNumber) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.student == student)
+            .map(|r| self.tariff.price(r))
+            .sum()
+    }
+
+    /// Itemized statement lines for a student.
+    pub fn statement(&self, student: StudentNumber) -> Vec<(ServiceKind, SimTime, u64)> {
+        self.records
+            .iter()
+            .filter(|r| r.student == student)
+            .map(|r| (r.service, r.at, self.tariff.price(r)))
+            .collect()
+    }
+
+    /// All records (administration reporting).
+    pub fn records(&self) -> &[BillingRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing_rounds_up_to_minutes() {
+        let t = Tariff::default();
+        let r = BillingRecord {
+            student: StudentNumber(1),
+            service: ServiceKind::Classroom,
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(61),
+        };
+        assert_eq!(t.price(&r), 10_000, "61 s bills as 2 minutes");
+    }
+
+    #[test]
+    fn flat_registration_ignores_duration() {
+        let t = Tariff::default();
+        let r = BillingRecord {
+            student: StudentNumber(1),
+            service: ServiceKind::Registration,
+            at: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+        };
+        assert_eq!(t.price(&r), 2_500_000);
+    }
+
+    #[test]
+    fn ledger_balance_and_statement() {
+        let mut l = BillingLedger::new();
+        let alice = StudentNumber(1);
+        let bob = StudentNumber(2);
+        l.record(alice, ServiceKind::Registration, SimTime::ZERO, SimDuration::ZERO);
+        l.record(alice, ServiceKind::Classroom, SimTime::from_secs(100), SimDuration::from_secs(600));
+        l.record(bob, ServiceKind::Library, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(l.balance(alice), 2_500_000 + 50_000);
+        assert_eq!(l.balance(bob), 1_000);
+        assert_eq!(l.statement(alice).len(), 2);
+        assert_eq!(l.records().len(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! The bulletin board (§5.2.1): "when information is to be published to
+//! all the students, bulletin board should be used ... We use news group
+//! to achieve this feature." Topics hold posts; per-student read marks
+//! give the navigator its "unread" badge.
+
+use crate::records::StudentNumber;
+use mits_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// One post in a topic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// Post id within the board.
+    pub id: u64,
+    /// Author ("administration", or a student number rendered).
+    pub author: String,
+    /// Posting time.
+    pub at: SimTime,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+}
+
+/// The news-group style bulletin board.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct BulletinBoard {
+    next_id: u64,
+    topics: BTreeMap<String, Vec<Post>>,
+    read: BTreeMap<StudentNumber, HashSet<u64>>,
+}
+
+impl BulletinBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a post to a topic; returns its id.
+    pub fn post(
+        &mut self,
+        topic: &str,
+        author: &str,
+        at: SimTime,
+        subject: &str,
+        body: &str,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.topics.entry(topic.to_string()).or_default().push(Post {
+            id,
+            author: author.to_string(),
+            at,
+            subject: subject.to_string(),
+            body: body.to_string(),
+        });
+        id
+    }
+
+    /// Topic names in order.
+    pub fn topics(&self) -> Vec<&str> {
+        self.topics.keys().map(String::as_str).collect()
+    }
+
+    /// Posts in a topic, oldest first.
+    pub fn posts(&self, topic: &str) -> &[Post] {
+        self.topics.get(topic).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mark a post read by a student.
+    pub fn mark_read(&mut self, student: StudentNumber, post: u64) {
+        self.read.entry(student).or_default().insert(post);
+    }
+
+    /// Unread posts in a topic for a student.
+    pub fn unread(&self, student: StudentNumber, topic: &str) -> Vec<&Post> {
+        let read = self.read.get(&student);
+        self.posts(topic)
+            .iter()
+            .filter(|p| read.is_none_or(|r| !r.contains(&p.id)))
+            .collect()
+    }
+
+    /// Total unread across all topics (the navigator badge).
+    pub fn unread_count(&self, student: StudentNumber) -> usize {
+        self.topics
+            .keys()
+            .map(|t| self.unread(student, t).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_list() {
+        let mut b = BulletinBoard::new();
+        let t0 = SimTime::ZERO;
+        b.post("announcements", "administration", t0, "New course", "TEL103 opens");
+        b.post("announcements", "administration", t0, "Maintenance", "offline Sunday");
+        b.post("exercise-help", "administration", t0, "Common mistakes", "see Q3");
+        assert_eq!(b.topics(), vec!["announcements", "exercise-help"]);
+        assert_eq!(b.posts("announcements").len(), 2);
+        assert_eq!(b.posts("announcements")[0].subject, "New course");
+        assert!(b.posts("nothing").is_empty());
+    }
+
+    #[test]
+    fn read_tracking_per_student() {
+        let mut b = BulletinBoard::new();
+        let p1 = b.post("news", "admin", SimTime::ZERO, "a", "x");
+        let p2 = b.post("news", "admin", SimTime::ZERO, "b", "y");
+        let alice = StudentNumber(1);
+        let bob = StudentNumber(2);
+        assert_eq!(b.unread_count(alice), 2);
+        b.mark_read(alice, p1);
+        assert_eq!(b.unread_count(alice), 1);
+        assert_eq!(b.unread(alice, "news")[0].id, p2);
+        assert_eq!(b.unread_count(bob), 2, "bob's marks independent");
+    }
+
+    #[test]
+    fn ids_are_unique_across_topics() {
+        let mut b = BulletinBoard::new();
+        let a = b.post("t1", "x", SimTime::ZERO, "s", "b");
+        let c = b.post("t2", "x", SimTime::ZERO, "s", "b");
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,134 @@
+//! Meeting and discussion (§5.2.1): "the students can use this facility
+//! to ask questions to the on-line consultants, or discuss or exchange
+//! their ideas with other students on a commonly interested topic.
+//! E-mail, telephone, and multimedia conferencing facilities are provided
+//! for the students to choose from according to the resources available
+//! on their platforms."
+
+use crate::records::StudentNumber;
+use mits_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A communication facility, ordered by richness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Facility {
+    /// Store-and-forward text.
+    Email,
+    /// Real-time audio.
+    Telephone,
+    /// Real-time multimedia conferencing.
+    Conference,
+}
+
+impl Facility {
+    /// Pick the richest facility a platform supports, given its access
+    /// bandwidth (b/s) and audio hardware — the "according to the
+    /// resources available" rule.
+    pub fn best_for(bandwidth_bps: u64, has_audio: bool) -> Facility {
+        if bandwidth_bps >= 384_000 && has_audio {
+            Facility::Conference
+        } else if has_audio {
+            Facility::Telephone
+        } else {
+            Facility::Email
+        }
+    }
+}
+
+/// One utterance in a room.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Utterance {
+    /// Speaker.
+    pub from: StudentNumber,
+    /// Time.
+    pub at: SimTime,
+    /// Text (or a caption of the AV contribution).
+    pub text: String,
+}
+
+/// A discussion room on a topic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscussionRoom {
+    /// Topic under discussion.
+    pub topic: String,
+    /// Facility in use.
+    pub facility: Facility,
+    members: BTreeSet<StudentNumber>,
+    log: Vec<Utterance>,
+}
+
+impl DiscussionRoom {
+    /// Open a room.
+    pub fn new(topic: &str, facility: Facility) -> Self {
+        DiscussionRoom {
+            topic: topic.to_string(),
+            facility,
+            members: BTreeSet::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Join; returns false if already present.
+    pub fn join(&mut self, s: StudentNumber) -> bool {
+        self.members.insert(s)
+    }
+
+    /// Leave; returns false if not present.
+    pub fn leave(&mut self, s: StudentNumber) -> bool {
+        self.members.remove(&s)
+    }
+
+    /// Current membership.
+    pub fn members(&self) -> impl Iterator<Item = StudentNumber> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Say something; only members may speak.
+    pub fn say(&mut self, from: StudentNumber, at: SimTime, text: &str) -> bool {
+        if !self.members.contains(&from) {
+            return false;
+        }
+        self.log.push(Utterance {
+            from,
+            at,
+            text: text.to_string(),
+        });
+        true
+    }
+
+    /// The transcript.
+    pub fn log(&self) -> &[Utterance] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facility_selection_by_resources() {
+        assert_eq!(Facility::best_for(155_000_000, true), Facility::Conference);
+        assert_eq!(Facility::best_for(128_000, true), Facility::Telephone);
+        assert_eq!(Facility::best_for(28_800, false), Facility::Email);
+        assert_eq!(Facility::best_for(155_000_000, false), Facility::Email, "no audio, no calls");
+    }
+
+    #[test]
+    fn membership_gates_speaking() {
+        let mut room = DiscussionRoom::new("ATM QoS", Facility::Conference);
+        let alice = StudentNumber(1);
+        let bob = StudentNumber(2);
+        assert!(room.join(alice));
+        assert!(!room.join(alice), "double join");
+        assert!(room.say(alice, SimTime::ZERO, "what is CDV?"));
+        assert!(!room.say(bob, SimTime::ZERO, "lurking"), "non-members muted");
+        room.join(bob);
+        assert!(room.say(bob, SimTime::from_secs(5), "delay variation"));
+        assert_eq!(room.log().len(), 2);
+        assert!(room.leave(bob));
+        assert!(!room.leave(bob));
+        assert_eq!(room.members().collect::<Vec<_>>(), vec![alice]);
+    }
+}

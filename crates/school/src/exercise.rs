@@ -1,0 +1,320 @@
+//! Exercises (§5.2.1): "practicing is the best way to learn ... exercises
+//! can be provided as a separate module. Problems designed for the
+//! exercises can be in various styles besides the traditional text-based
+//! one. Contest can also be organized to stimulate the interests of the
+//! students."
+
+use crate::records::StudentNumber;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Problem styles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProblemKind {
+    /// Choose one of several options.
+    MultipleChoice {
+        /// The options.
+        options: Vec<String>,
+        /// Index of the correct option.
+        correct: usize,
+    },
+    /// A numeric answer with tolerance.
+    Numeric {
+        /// Expected value.
+        answer: f64,
+        /// Accepted absolute error.
+        tolerance: f64,
+    },
+    /// Free text graded by required keywords.
+    FreeText {
+        /// Keywords that must all appear (case-insensitive).
+        keywords: Vec<String>,
+    },
+}
+
+/// One problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    /// Problem id within the bank.
+    pub id: u64,
+    /// Which course it belongs to.
+    pub course: String,
+    /// Question text.
+    pub question: String,
+    /// Style and key.
+    pub kind: ProblemKind,
+    /// Points awarded when correct.
+    pub points: u32,
+}
+
+/// A student's answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Answer {
+    /// Option index.
+    Choice(usize),
+    /// Numeric value.
+    Number(f64),
+    /// Free text.
+    Text(String),
+}
+
+/// Result of grading one answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Grade {
+    /// Full points.
+    Correct,
+    /// Zero points.
+    Incorrect,
+    /// Answer style does not match the problem style.
+    InvalidAnswer,
+}
+
+/// A recorded attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attempt {
+    /// Who.
+    pub student: StudentNumber,
+    /// Which problem.
+    pub problem: u64,
+    /// Outcome.
+    pub grade: Grade,
+    /// Points earned.
+    pub points: u32,
+}
+
+/// Grade an answer against a problem.
+pub fn grade(problem: &Problem, answer: &Answer) -> Grade {
+    match (&problem.kind, answer) {
+        (ProblemKind::MultipleChoice { options, correct }, Answer::Choice(i)) => {
+            if i >= &options.len() {
+                Grade::InvalidAnswer
+            } else if i == correct {
+                Grade::Correct
+            } else {
+                Grade::Incorrect
+            }
+        }
+        (ProblemKind::Numeric { answer: key, tolerance }, Answer::Number(x)) => {
+            if (x - key).abs() <= *tolerance {
+                Grade::Correct
+            } else {
+                Grade::Incorrect
+            }
+        }
+        (ProblemKind::FreeText { keywords }, Answer::Text(t)) => {
+            let lower = t.to_lowercase();
+            if keywords.iter().all(|k| lower.contains(&k.to_lowercase())) {
+                Grade::Correct
+            } else {
+                Grade::Incorrect
+            }
+        }
+        _ => Grade::InvalidAnswer,
+    }
+}
+
+/// The exercise bank: problems, attempts, scores, contests.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ExerciseBank {
+    next_id: u64,
+    problems: BTreeMap<u64, Problem>,
+    attempts: Vec<Attempt>,
+}
+
+impl ExerciseBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a problem; returns its id.
+    pub fn add(&mut self, course: &str, question: &str, kind: ProblemKind, points: u32) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.problems.insert(
+            id,
+            Problem {
+                id,
+                course: course.to_string(),
+                question: question.to_string(),
+                kind,
+                points,
+            },
+        );
+        id
+    }
+
+    /// Problems for a course.
+    pub fn for_course(&self, course: &str) -> Vec<&Problem> {
+        self.problems.values().filter(|p| p.course == course).collect()
+    }
+
+    /// Submit an answer; grades, records, and returns the attempt.
+    pub fn submit(
+        &mut self,
+        student: StudentNumber,
+        problem: u64,
+        answer: &Answer,
+    ) -> Option<Attempt> {
+        let p = self.problems.get(&problem)?;
+        let g = grade(p, answer);
+        let attempt = Attempt {
+            student,
+            problem,
+            grade: g,
+            points: if g == Grade::Correct { p.points } else { 0 },
+        };
+        self.attempts.push(attempt.clone());
+        Some(attempt)
+    }
+
+    /// Total score of a student in a course (best attempt per problem).
+    pub fn score(&self, student: StudentNumber, course: &str) -> u32 {
+        let mut best: BTreeMap<u64, u32> = BTreeMap::new();
+        for a in &self.attempts {
+            if a.student != student {
+                continue;
+            }
+            if let Some(p) = self.problems.get(&a.problem) {
+                if p.course == course {
+                    let e = best.entry(a.problem).or_default();
+                    *e = (*e).max(a.points);
+                }
+            }
+        }
+        best.values().sum()
+    }
+
+    /// Contest standings for a course: (student, score) sorted descending,
+    /// ties by student number.
+    pub fn standings(&self, course: &str) -> Vec<(StudentNumber, u32)> {
+        let students: std::collections::BTreeSet<StudentNumber> =
+            self.attempts.iter().map(|a| a.student).collect();
+        let mut rows: Vec<(StudentNumber, u32)> = students
+            .into_iter()
+            .map(|s| (s, self.score(s, course)))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// "Analysis of the common mistakes" (§5.2.1 bulletin example): per
+    /// problem, fraction of incorrect attempts.
+    pub fn mistake_analysis(&self, course: &str) -> Vec<(u64, f64)> {
+        let mut counts: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for a in &self.attempts {
+            if let Some(p) = self.problems.get(&a.problem) {
+                if p.course == course && a.grade != Grade::InvalidAnswer {
+                    let e = counts.entry(a.problem).or_default();
+                    e.1 += 1;
+                    if a.grade == Grade::Incorrect {
+                        e.0 += 1;
+                    }
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(id, (wrong, total))| (id, wrong as f64 / total.max(1) as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> (ExerciseBank, u64, u64, u64) {
+        let mut b = ExerciseBank::new();
+        let mc = b.add(
+            "TEL101",
+            "ATM cell size?",
+            ProblemKind::MultipleChoice {
+                options: vec!["48".into(), "53".into(), "64".into()],
+                correct: 1,
+            },
+            10,
+        );
+        let num = b.add(
+            "TEL101",
+            "OC-3 rate in Mb/s?",
+            ProblemKind::Numeric {
+                answer: 155.52,
+                tolerance: 0.01,
+            },
+            5,
+        );
+        let ft = b.add(
+            "TEL101",
+            "Explain AAL5 loss behaviour",
+            ProblemKind::FreeText {
+                keywords: vec!["CRC".into(), "PDU".into()],
+            },
+            15,
+        );
+        (b, mc, num, ft)
+    }
+
+    #[test]
+    fn grading_multiple_choice() {
+        let (mut b, mc, _, _) = bank();
+        let s = StudentNumber(1);
+        assert_eq!(b.submit(s, mc, &Answer::Choice(1)).unwrap().grade, Grade::Correct);
+        assert_eq!(b.submit(s, mc, &Answer::Choice(0)).unwrap().grade, Grade::Incorrect);
+        assert_eq!(b.submit(s, mc, &Answer::Choice(9)).unwrap().grade, Grade::InvalidAnswer);
+        assert_eq!(b.submit(s, mc, &Answer::Number(1.0)).unwrap().grade, Grade::InvalidAnswer);
+    }
+
+    #[test]
+    fn grading_numeric_tolerance() {
+        let (mut b, _, num, _) = bank();
+        let s = StudentNumber(1);
+        assert_eq!(b.submit(s, num, &Answer::Number(155.52)).unwrap().grade, Grade::Correct);
+        assert_eq!(b.submit(s, num, &Answer::Number(155.525)).unwrap().grade, Grade::Correct);
+        assert_eq!(b.submit(s, num, &Answer::Number(155.6)).unwrap().grade, Grade::Incorrect);
+    }
+
+    #[test]
+    fn grading_free_text_keywords() {
+        let (mut b, _, _, ft) = bank();
+        let s = StudentNumber(1);
+        let good = Answer::Text("A lost cell breaks the pdu; the crc catches it".into());
+        assert_eq!(b.submit(s, ft, &good).unwrap().grade, Grade::Correct);
+        let partial = Answer::Text("the CRC catches it".into());
+        assert_eq!(b.submit(s, ft, &partial).unwrap().grade, Grade::Incorrect);
+    }
+
+    #[test]
+    fn score_takes_best_attempt() {
+        let (mut b, mc, num, _) = bank();
+        let s = StudentNumber(1);
+        b.submit(s, mc, &Answer::Choice(0)); // wrong
+        b.submit(s, mc, &Answer::Choice(1)); // right → 10
+        b.submit(s, num, &Answer::Number(155.52)); // right → 5
+        b.submit(s, num, &Answer::Number(0.0)); // later wrong doesn't reduce
+        assert_eq!(b.score(s, "TEL101"), 15);
+        assert_eq!(b.score(s, "OTHER"), 0);
+    }
+
+    #[test]
+    fn standings_and_mistakes() {
+        let (mut b, mc, num, _) = bank();
+        let a = StudentNumber(1);
+        let c = StudentNumber(2);
+        b.submit(a, mc, &Answer::Choice(1));
+        b.submit(c, mc, &Answer::Choice(0));
+        b.submit(c, num, &Answer::Number(155.52));
+        let st = b.standings("TEL101");
+        assert_eq!(st[0], (a, 10));
+        assert_eq!(st[1], (c, 5));
+        let mistakes = b.mistake_analysis("TEL101");
+        let mc_row = mistakes.iter().find(|(id, _)| *id == mc).unwrap();
+        assert!((mc_row.1 - 0.5).abs() < 1e-9, "half the MC attempts wrong");
+    }
+
+    #[test]
+    fn unknown_problem_rejected() {
+        let (mut b, ..) = bank();
+        assert!(b.submit(StudentNumber(1), 999, &Answer::Choice(0)).is_none());
+    }
+}

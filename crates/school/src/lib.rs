@@ -1,0 +1,36 @@
+//! # mits-school — the TeleSchool (§5.2, §5.3.3)
+//!
+//! The navigator's feature set analysis (§5.2.1) lists six service
+//! families: administration, classroom presentation, library browsing,
+//! meeting & discussing, bulletin board, and exercises. Classroom
+//! presentation and the library live with the navigator and database;
+//! everything else is school-side state, reproduced here:
+//!
+//! * [`records`] — the `CStudent` / `CCourse` classes of §5.3.3 and the
+//!   registration workflow of Fig 5.4, including program/course catalogs,
+//!   profile updates, and the statistics the administration screen shows.
+//! * [`facilitator`] — the on-line facilitator service ("when a student
+//!   encounters a problem during learning, he can always get facilitation
+//!   on demand") and the **SIDL baseline** of §1.3.1: a satellite
+//!   broadcast system where "only three calls can be taken at a time,
+//!   others will be put into a queue" — experiment E-SIDL contrasts their
+//!   waiting-time distributions.
+//! * [`bulletin`] — the news-group bulletin board.
+//! * [`discussion`] — meeting & discussion rooms (e-mail / telephone /
+//!   conferencing choice per available resources).
+//! * [`exercise`] — the exercise bank with auto-grading and contests.
+//! * [`billing`] — the billing hooks §5.2.1 reserves space for.
+
+pub mod billing;
+pub mod bulletin;
+pub mod discussion;
+pub mod exercise;
+pub mod facilitator;
+pub mod records;
+
+pub use billing::{BillingLedger, BillingRecord, ServiceKind};
+pub use bulletin::BulletinBoard;
+pub use discussion::{DiscussionRoom, Facility};
+pub use exercise::{Answer, Attempt, ExerciseBank, Grade, Problem, ProblemKind};
+pub use facilitator::{simulate_facilitation, FacilitationModel, WaitReport};
+pub use records::{Course, CourseCode, Program, Student, StudentNumber, StudentRegistry};

@@ -1,0 +1,458 @@
+//! Student and course records (§5.3.3) and the registration workflow
+//! (Fig 5.4).
+//!
+//! "The CStudent class is designed for keep record of all data about a
+//! registered student ... The CCourse class is designed to keep record of
+//! courses a student has registered for. Course name, planned session to
+//! finish a course, course code, as well as the program which provides
+//! the courses are member variables."
+
+use mits_mheg::MhegId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A student number — "each time a student accesses a course, it is
+/// required that the student number which identifies his registration
+/// should be provided".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct StudentNumber(pub u32);
+
+impl std::fmt::Display for StudentNumber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{:06}", self.0)
+    }
+}
+
+/// A course code within a program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CourseCode(pub String);
+
+/// A course offered by the school (the catalog side of CCourse).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Course {
+    /// Course code ("ELG5378").
+    pub code: CourseCode,
+    /// Course name.
+    pub name: String,
+    /// The program offering it.
+    pub program: String,
+    /// Planned sessions to finish.
+    pub planned_sessions: u32,
+    /// Courseware root in the database (the multimedia introduction and
+    /// content, Fig 5.4d).
+    pub courseware: Option<MhegId>,
+}
+
+/// A program: a named group of courses (Fig 5.4d lets the student
+/// "choose a program, and get a list of courses provided in that
+/// program").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Courses in catalog order.
+    pub courses: Vec<CourseCode>,
+}
+
+/// A student's registration in one course (the per-student CCourse).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Enrollment {
+    /// Which course.
+    pub code: CourseCode,
+    /// Sessions completed so far.
+    pub sessions_done: u32,
+    /// Saved stop position: (unit index) for course resumption (§5.4).
+    pub resume_unit: Option<u32>,
+}
+
+/// A registered student (CStudent).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Student {
+    /// Registration number.
+    pub number: StudentNumber,
+    /// Full name.
+    pub name: String,
+    /// Mailing address (profile data of Fig 5.4b).
+    pub address: String,
+    /// E-mail.
+    pub email: String,
+    /// Course enrollments.
+    pub enrollments: Vec<Enrollment>,
+}
+
+impl Student {
+    /// `FindNumberOfCourse()` of §5.3.3.
+    pub fn find_number_of_course(&self) -> usize {
+        self.enrollments.len()
+    }
+
+    /// Enrollment lookup.
+    pub fn enrollment(&self, code: &CourseCode) -> Option<&Enrollment> {
+        self.enrollments.iter().find(|e| &e.code == code)
+    }
+
+    fn enrollment_mut(&mut self, code: &CourseCode) -> Option<&mut Enrollment> {
+        self.enrollments.iter_mut().find(|e| &e.code == code)
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Unknown student number.
+    UnknownStudent(StudentNumber),
+    /// Unknown course code.
+    UnknownCourse(String),
+    /// Unknown program name.
+    UnknownProgram(String),
+    /// Student already registered in the course.
+    AlreadyEnrolled,
+    /// Student not enrolled in the course.
+    NotEnrolled,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownStudent(n) => write!(f, "unknown student {n}"),
+            RegistryError::UnknownCourse(c) => write!(f, "unknown course {c}"),
+            RegistryError::UnknownProgram(p) => write!(f, "unknown program {p}"),
+            RegistryError::AlreadyEnrolled => write!(f, "already enrolled"),
+            RegistryError::NotEnrolled => write!(f, "not enrolled"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The school's registry: catalog + students + statistics.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct StudentRegistry {
+    next_number: u32,
+    students: BTreeMap<StudentNumber, Student>,
+    courses: BTreeMap<String, Course>,
+    programs: BTreeMap<String, Program>,
+}
+
+impl StudentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        StudentRegistry {
+            next_number: 1,
+            ..Default::default()
+        }
+    }
+
+    // ---- catalog ----
+
+    /// Add a program.
+    pub fn add_program(&mut self, name: &str) {
+        self.programs.insert(
+            name.to_string(),
+            Program {
+                name: name.to_string(),
+                courses: Vec::new(),
+            },
+        );
+    }
+
+    /// Add a course to a program.
+    pub fn add_course(&mut self, course: Course) -> Result<(), RegistryError> {
+        let program = self
+            .programs
+            .get_mut(&course.program)
+            .ok_or_else(|| RegistryError::UnknownProgram(course.program.clone()))?;
+        program.courses.push(course.code.clone());
+        self.courses.insert(course.code.0.clone(), course);
+        Ok(())
+    }
+
+    /// Courses offered by a program (Fig 5.4d's course list).
+    pub fn courses_in_program(&self, program: &str) -> Result<Vec<&Course>, RegistryError> {
+        let p = self
+            .programs
+            .get(program)
+            .ok_or_else(|| RegistryError::UnknownProgram(program.to_string()))?;
+        Ok(p.courses
+            .iter()
+            .filter_map(|c| self.courses.get(&c.0))
+            .collect())
+    }
+
+    /// All program names.
+    pub fn programs(&self) -> Vec<&str> {
+        self.programs.keys().map(String::as_str).collect()
+    }
+
+    /// Course lookup.
+    pub fn course(&self, code: &CourseCode) -> Option<&Course> {
+        self.courses.get(&code.0)
+    }
+
+    // ---- registration (Fig 5.4) ----
+
+    /// Register a new student; "having finished the registration, the
+    /// student is given a new student number".
+    pub fn register(&mut self, name: &str, address: &str, email: &str) -> StudentNumber {
+        let number = StudentNumber(self.next_number);
+        self.next_number += 1;
+        self.students.insert(
+            number,
+            Student {
+                number,
+                name: name.to_string(),
+                address: address.to_string(),
+                email: email.to_string(),
+                enrollments: Vec::new(),
+            },
+        );
+        number
+    }
+
+    /// Authenticate an existing student number (the first navigator
+    /// screen, Fig 5.3).
+    pub fn lookup(&self, number: StudentNumber) -> Option<&Student> {
+        self.students.get(&number)
+    }
+
+    /// Update profile data (Fig 5.6): "data is updated at the PC side ...
+    /// also modified at the database side immediately".
+    pub fn update_profile(
+        &mut self,
+        number: StudentNumber,
+        address: Option<&str>,
+        email: Option<&str>,
+    ) -> Result<(), RegistryError> {
+        let s = self
+            .students
+            .get_mut(&number)
+            .ok_or(RegistryError::UnknownStudent(number))?;
+        if let Some(a) = address {
+            s.address = a.to_string();
+        }
+        if let Some(e) = email {
+            s.email = e.to_string();
+        }
+        Ok(())
+    }
+
+    /// Enroll a student in a course (the "select" button, Fig 5.4d).
+    pub fn enroll(
+        &mut self,
+        number: StudentNumber,
+        code: &CourseCode,
+    ) -> Result<(), RegistryError> {
+        if !self.courses.contains_key(&code.0) {
+            return Err(RegistryError::UnknownCourse(code.0.clone()));
+        }
+        let s = self
+            .students
+            .get_mut(&number)
+            .ok_or(RegistryError::UnknownStudent(number))?;
+        if s.enrollment(code).is_some() {
+            return Err(RegistryError::AlreadyEnrolled);
+        }
+        s.enrollments.push(Enrollment {
+            code: code.clone(),
+            sessions_done: 0,
+            resume_unit: None,
+        });
+        Ok(())
+    }
+
+    /// Record a finished session and the stop position for resumption.
+    pub fn record_session(
+        &mut self,
+        number: StudentNumber,
+        code: &CourseCode,
+        resume_unit: Option<u32>,
+    ) -> Result<(), RegistryError> {
+        let s = self
+            .students
+            .get_mut(&number)
+            .ok_or(RegistryError::UnknownStudent(number))?;
+        let e = s.enrollment_mut(code).ok_or(RegistryError::NotEnrolled)?;
+        e.sessions_done += 1;
+        e.resume_unit = resume_unit;
+        Ok(())
+    }
+
+    /// Saved resume position.
+    pub fn resume_position(
+        &self,
+        number: StudentNumber,
+        code: &CourseCode,
+    ) -> Result<Option<u32>, RegistryError> {
+        let s = self
+            .students
+            .get(&number)
+            .ok_or(RegistryError::UnknownStudent(number))?;
+        Ok(s.enrollment(code).ok_or(RegistryError::NotEnrolled)?.resume_unit)
+    }
+
+    // ---- statistics (§5.2.1: "some statistics about the school, the
+    // course and the students themselves should also be available") ----
+
+    /// Number of registered students.
+    pub fn student_count(&self) -> usize {
+        self.students.len()
+    }
+
+    /// Enrollment count per course, sorted by code.
+    pub fn enrollment_statistics(&self) -> Vec<(CourseCode, usize)> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for s in self.students.values() {
+            for e in &s.enrollments {
+                *counts.entry(e.code.0.as_str()).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(c, n)| (CourseCode(c.to_string()), n))
+            .collect()
+    }
+
+    /// Mean progress (sessions done / planned) per course.
+    pub fn progress_statistics(&self) -> Vec<(CourseCode, f64)> {
+        let mut sums: BTreeMap<&str, (u32, u32)> = BTreeMap::new();
+        for s in self.students.values() {
+            for e in &s.enrollments {
+                if let Some(c) = self.courses.get(&e.code.0) {
+                    let entry = sums.entry(e.code.0.as_str()).or_default();
+                    entry.0 += e.sessions_done.min(c.planned_sessions);
+                    entry.1 += c.planned_sessions;
+                }
+            }
+        }
+        sums.into_iter()
+            .map(|(c, (done, planned))| {
+                (
+                    CourseCode(c.to_string()),
+                    if planned == 0 {
+                        0.0
+                    } else {
+                        done as f64 / planned as f64
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> StudentRegistry {
+        let mut reg = StudentRegistry::new();
+        reg.add_program("Telecommunications");
+        reg.add_course(Course {
+            code: CourseCode("TEL101".into()),
+            name: "ATM Networks".into(),
+            program: "Telecommunications".into(),
+            planned_sessions: 10,
+            courseware: Some(MhegId::new(1, 1)),
+        })
+        .unwrap();
+        reg.add_course(Course {
+            code: CourseCode("TEL102".into()),
+            name: "MHEG Systems".into(),
+            program: "Telecommunications".into(),
+            planned_sessions: 8,
+            courseware: None,
+        })
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn registration_allocates_numbers() {
+        let mut reg = catalog();
+        let a = reg.register("Alice", "1 Main St", "alice@uottawa.ca");
+        let b = reg.register("Bob", "2 Side St", "bob@uottawa.ca");
+        assert_ne!(a, b);
+        assert_eq!(reg.lookup(a).unwrap().name, "Alice");
+        assert!(reg.lookup(StudentNumber(999)).is_none());
+        assert_eq!(reg.student_count(), 2);
+        assert_eq!(a.to_string(), "S000001");
+    }
+
+    #[test]
+    fn program_course_listing() {
+        let reg = catalog();
+        let courses = reg.courses_in_program("Telecommunications").unwrap();
+        assert_eq!(courses.len(), 2);
+        assert_eq!(courses[0].name, "ATM Networks");
+        assert!(reg.courses_in_program("Biology").is_err());
+        assert_eq!(reg.programs(), vec!["Telecommunications"]);
+    }
+
+    #[test]
+    fn enrollment_flow_and_count() {
+        let mut reg = catalog();
+        let alice = reg.register("Alice", "", "");
+        reg.enroll(alice, &CourseCode("TEL101".into())).unwrap();
+        reg.enroll(alice, &CourseCode("TEL102".into())).unwrap();
+        assert_eq!(reg.lookup(alice).unwrap().find_number_of_course(), 2);
+        assert_eq!(
+            reg.enroll(alice, &CourseCode("TEL101".into())),
+            Err(RegistryError::AlreadyEnrolled)
+        );
+        assert_eq!(
+            reg.enroll(alice, &CourseCode("NOPE".into())),
+            Err(RegistryError::UnknownCourse("NOPE".into()))
+        );
+    }
+
+    #[test]
+    fn profile_update() {
+        let mut reg = catalog();
+        let alice = reg.register("Alice", "old", "old@x");
+        reg.update_profile(alice, Some("new address"), None).unwrap();
+        let s = reg.lookup(alice).unwrap();
+        assert_eq!(s.address, "new address");
+        assert_eq!(s.email, "old@x", "unspecified fields untouched");
+        assert!(reg.update_profile(StudentNumber(42), None, None).is_err());
+    }
+
+    #[test]
+    fn resume_position_round_trip() {
+        let mut reg = catalog();
+        let alice = reg.register("Alice", "", "");
+        let code = CourseCode("TEL101".into());
+        reg.enroll(alice, &code).unwrap();
+        assert_eq!(reg.resume_position(alice, &code).unwrap(), None);
+        reg.record_session(alice, &code, Some(3)).unwrap();
+        assert_eq!(reg.resume_position(alice, &code).unwrap(), Some(3));
+        assert_eq!(reg.lookup(alice).unwrap().enrollment(&code).unwrap().sessions_done, 1);
+        assert_eq!(
+            reg.record_session(alice, &CourseCode("TEL102".into()), None),
+            Err(RegistryError::NotEnrolled)
+        );
+    }
+
+    #[test]
+    fn statistics() {
+        let mut reg = catalog();
+        let a = reg.register("A", "", "");
+        let b = reg.register("B", "", "");
+        let c101 = CourseCode("TEL101".into());
+        let c102 = CourseCode("TEL102".into());
+        reg.enroll(a, &c101).unwrap();
+        reg.enroll(b, &c101).unwrap();
+        reg.enroll(b, &c102).unwrap();
+        assert_eq!(
+            reg.enrollment_statistics(),
+            vec![(c101.clone(), 2), (c102.clone(), 1)]
+        );
+        // Progress: a does 5 of 10 sessions in TEL101.
+        for _ in 0..5 {
+            reg.record_session(a, &c101, None).unwrap();
+        }
+        let progress = reg.progress_statistics();
+        let tel101 = progress.iter().find(|(c, _)| c == &c101).unwrap();
+        assert!((tel101.1 - 0.25).abs() < 1e-9, "5 of 20 pooled sessions");
+    }
+}

@@ -1,0 +1,338 @@
+//! The future event list and the simulation executor.
+//!
+//! MITS experiments (network delivery, client-server scalability, facilitator
+//! queueing) are all event-driven: "cell arrives at switch", "server finishes
+//! request", "student clicks choice1". Events are closures over a mutable
+//! world `W`; during execution they receive a [`Scheduler`] handle to post
+//! follow-up events. Simultaneous events run in the order they were
+//! scheduled (FIFO tie-break on a monotonically increasing sequence number),
+//! which keeps runs bit-for-bit deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A boxed event callback: receives the world and a scheduler for follow-ups.
+pub type Event<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    run: Event<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
+        // entry is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+pub struct EventQueue<W> {
+    heap: BinaryHeap<Entry<W>>,
+    next_seq: u64,
+}
+
+impl<W> Default for EventQueue<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> EventQueue<W> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to run at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event<W>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, run: event });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<W>)> {
+        self.heap.pop().map(|e| (e.at, e.run))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Handle given to running events so they can schedule follow-up work.
+///
+/// Also exposes the current virtual time, so events do not need to close
+/// over it.
+pub struct Scheduler<W> {
+    now: SimTime,
+    pending: Vec<(SimTime, Event<W>)>,
+}
+
+impl<W> Scheduler<W> {
+    /// Current virtual time (the timestamp of the running event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — a DES must never travel backwards.
+    pub fn at(&mut self, at: SimTime, event: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        self.pending.push((at, Box::new(event)));
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn after(
+        &mut self,
+        delay: crate::time::SimDuration,
+        event: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.pending.push((at, Box::new(event)));
+    }
+}
+
+/// A complete simulation: a world, a clock, and a future event list.
+pub struct Simulation<W> {
+    world: W,
+    now: SimTime,
+    queue: EventQueue<W>,
+    executed: u64,
+}
+
+impl<W> Simulation<W> {
+    /// Create a simulation owning `world`, with the clock at zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule an event at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        assert!(at >= self.now, "event scheduled in the past");
+        self.queue.push(at, Box::new(event));
+    }
+
+    /// Schedule an event after `delay` from the current clock.
+    pub fn schedule_after(
+        &mut self,
+        delay: crate::time::SimDuration,
+        event: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.queue.push(at, Box::new(event));
+    }
+
+    /// Run until the event list is empty. Returns the final clock value.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the event list is empty or the next event is after
+    /// `deadline`. Events *at* the deadline still run. Returns the clock.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked entry vanished");
+            self.now = at;
+            let mut sched = Scheduler {
+                now: at,
+                pending: Vec::new(),
+            };
+            event(&mut self.world, &mut sched);
+            self.executed += 1;
+            for (t, e) in sched.pending {
+                self.queue.push(t, e);
+            }
+        }
+        // If we stopped on the deadline with events remaining, advance the
+        // clock to the deadline so repeated run_until calls observe
+        // monotonically increasing time.
+        if self.queue.peek_time().is_some() && deadline != SimTime::MAX && self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// Run exactly one event, if any. Returns its timestamp.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (at, event) = self.queue.pop()?;
+        self.now = at;
+        let mut sched = Scheduler {
+            now: at,
+            pending: Vec::new(),
+        };
+        event(&mut self.world, &mut sched);
+        self.executed += 1;
+        for (t, e) in sched.pending {
+            self.queue.push(t, e);
+        }
+        Some(at)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &[30u64, 10, 20] {
+            sim.schedule(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run();
+        assert_eq!(*sim.world(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        for i in 0..100u32 {
+            sim.schedule(SimTime::from_micros(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run();
+        assert_eq!(*sim.world(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        // Chain: event at t schedules another at t+1, five deep.
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        fn chain(depth: u32) -> impl FnOnce(&mut Vec<u64>, &mut Scheduler<Vec<u64>>) {
+            move |w, s| {
+                w.push(s.now().as_micros());
+                if depth > 0 {
+                    s.after(SimDuration::from_micros(1), chain(depth - 1));
+                }
+            }
+        }
+        sim.schedule(SimTime::ZERO, chain(4));
+        let end = sim.run();
+        assert_eq!(*sim.world(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(end, SimTime::from_micros(4));
+        assert_eq!(sim.executed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule(SimTime::from_micros(10), |w: &mut u32, _| *w += 1);
+        sim.schedule(SimTime::from_micros(20), |w: &mut u32, _| *w += 1);
+        sim.schedule(SimTime::from_micros(30), |w: &mut u32, _| *w += 1);
+        let t = sim.run_until(SimTime::from_micros(20));
+        assert_eq!(*sim.world(), 2, "events at and before deadline ran");
+        assert_eq!(t, SimTime::from_micros(20));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(*sim.world(), 3);
+    }
+
+    #[test]
+    fn step_runs_single_event() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule(SimTime::from_micros(1), |w: &mut u32, _| *w += 1);
+        sim.schedule(SimTime::from_micros(2), |w: &mut u32, _| *w += 10);
+        assert_eq!(sim.step(), Some(SimTime::from_micros(1)));
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.step(), Some(SimTime::from_micros(2)));
+        assert_eq!(*sim.world(), 11);
+        assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule(SimTime::from_micros(10), |_, s| {
+            // now = 10; scheduling at 5 must panic.
+            s.at(SimTime::from_micros(5), |_, _| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn clock_is_monotone_across_run_until_calls() {
+        let mut sim = Simulation::new(());
+        sim.schedule(SimTime::from_micros(100), |_, _| {});
+        sim.run_until(SimTime::from_micros(50));
+        assert_eq!(sim.now(), SimTime::from_micros(50));
+        sim.run_until(SimTime::from_micros(150));
+        assert_eq!(sim.now(), SimTime::from_micros(100), "clock at last event");
+    }
+}

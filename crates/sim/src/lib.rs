@@ -1,0 +1,52 @@
+//! # mits-sim — discrete-event simulation kernel for MITS
+//!
+//! The original MITS prototype ran on OCRInet, a real ATM research network in
+//! the Ottawa region, with real SUN/ULTRA servers and Windows 95 clients.
+//! This reproduction replaces the physical testbed with a deterministic
+//! discrete-event simulation (DES). Every substrate that needs time — the
+//! ATM network, the courseware database server, the facilitator queueing
+//! experiments, the navigator's presentation clock — is built on this crate.
+//!
+//! The kernel is deliberately small and allocation-light:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
+//! * [`EventQueue`] — a binary-heap future event list with deterministic
+//!   FIFO tie-breaking for simultaneous events.
+//! * [`Simulation`] — an executor that owns a mutable world `W` and runs
+//!   closures-as-events against it.
+//! * [`rng`] — seedable, splittable random streams so that experiments are
+//!   reproducible run-to-run.
+//! * [`stats`] — online statistics (mean/variance/min/max), fixed-bin
+//!   histograms with percentile queries, and time-weighted averages used by
+//!   every benchmark table in `EXPERIMENTS.md`.
+//! * [`queue`] — bounded FIFO queues with drop accounting and a token-bucket
+//!   (leaky-bucket) regulator, the building blocks of the ATM switch.
+//!
+//! ## Example
+//!
+//! ```
+//! use mits_sim::{Simulation, SimTime};
+//!
+//! // World state: a counter.
+//! let mut sim = Simulation::new(0u64);
+//! for i in 0..10 {
+//!     sim.schedule(SimTime::from_millis(i), move |world: &mut u64, _sched| {
+//!         *world += 1;
+//!     });
+//! }
+//! let end = sim.run();
+//! assert_eq!(*sim.world(), 10);
+//! assert_eq!(end, SimTime::from_millis(9));
+//! ```
+
+pub mod event;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, Scheduler, Simulation};
+pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,255 @@
+//! Queueing primitives: bounded FIFO with drop accounting and a token
+//! bucket (GCRA-equivalent leaky bucket) used for ATM traffic policing and
+//! shaping, and for the facilitator telephone-line model.
+
+use crate::stats::RatioCounter;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// What a [`BoundedQueue`] does when full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Reject the arriving item (tail drop) — ATM output buffers.
+    DropTail,
+    /// Evict the oldest item to make room (head drop) — live media buffers
+    /// where stale frames are worthless.
+    DropHead,
+}
+
+/// A bounded FIFO queue that counts drops — the core of every switch port,
+/// server accept queue, and telephone hold queue in the reproduction.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    policy: DropPolicy,
+    /// Offered/accepted accounting: `hits` = drops, `total` = arrivals.
+    pub drops: RatioCounter,
+    high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: DropPolicy) -> Self {
+        assert!(capacity > 0, "zero-capacity queue");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            policy,
+            drops: RatioCounter::default(),
+            high_water: 0,
+        }
+    }
+
+    /// Offer an item. Returns the item that was dropped, if any
+    /// (the offered one under [`DropPolicy::DropTail`], the oldest under
+    /// [`DropPolicy::DropHead`]).
+    pub fn offer(&mut self, item: T) -> Option<T> {
+        let dropped = if self.items.len() >= self.capacity {
+            match self.policy {
+                DropPolicy::DropTail => {
+                    self.drops.record(true);
+                    return Some(item);
+                }
+                DropPolicy::DropHead => self.items.pop_front(),
+            }
+        } else {
+            None
+        };
+        if dropped.is_some() {
+            // A head drop still counts the arrival as accepted but records
+            // one loss for the evicted item.
+            self.drops.record(true);
+        } else {
+            self.drops.record(false);
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        dropped
+    }
+
+    /// Dequeue the oldest item.
+    pub fn take(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the oldest item.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Iterate over queued items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+/// A token bucket: tokens accrue at `rate` per second up to `depth`;
+/// conforming traffic spends tokens. This is the Generic Cell Rate
+/// Algorithm in its leaky-bucket formulation, used both for ATM usage
+/// parameter control (policing) and for source shaping.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    depth: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec` tokens/s, holding at most
+    /// `depth` tokens, initially full.
+    ///
+    /// # Panics
+    /// Panics on non-positive rate or depth.
+    pub fn new(rate_per_sec: f64, depth: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "non-positive rate");
+        assert!(depth > 0.0, "non-positive depth");
+        TokenBucket {
+            rate_per_sec,
+            depth,
+            tokens: depth,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.depth);
+        self.last = now;
+    }
+
+    /// Try to spend `cost` tokens at time `now`. Returns true when the
+    /// traffic conforms (tokens were available and are now spent).
+    pub fn try_take(&mut self, now: SimTime, cost: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long from `now` until `cost` tokens will be available (zero if
+    /// already available). Used by shapers to schedule the next emission.
+    pub fn time_until(&mut self, now: SimTime, cost: f64) -> SimDuration {
+        self.refill(now);
+        if self.tokens >= cost {
+            SimDuration::ZERO
+        } else {
+            let deficit = cost - self.tokens;
+            SimDuration::from_secs_f64(deficit / self.rate_per_sec)
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_drop_rejects_arrival() {
+        let mut q = BoundedQueue::new(2, DropPolicy::DropTail);
+        assert!(q.offer(1).is_none());
+        assert!(q.offer(2).is_none());
+        assert_eq!(q.offer(3), Some(3), "arriving item bounced");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.take(), Some(1));
+        assert_eq!(q.drops.hits, 1);
+        assert_eq!(q.drops.total, 3);
+    }
+
+    #[test]
+    fn head_drop_evicts_oldest() {
+        let mut q = BoundedQueue::new(2, DropPolicy::DropHead);
+        q.offer(1);
+        q.offer(2);
+        assert_eq!(q.offer(3), Some(1), "oldest evicted");
+        assert_eq!(q.take(), Some(2));
+        assert_eq!(q.take(), Some(3));
+        assert_eq!(q.drops.hits, 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = BoundedQueue::new(10, DropPolicy::DropTail);
+        for i in 0..7 {
+            q.offer(i);
+        }
+        for _ in 0..5 {
+            q.take();
+        }
+        assert_eq!(q.high_water(), 7);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0, DropPolicy::DropTail);
+    }
+
+    #[test]
+    fn token_bucket_conformance() {
+        // 10 tokens/s, depth 1: one token available every 100 ms.
+        let mut tb = TokenBucket::new(10.0, 1.0);
+        let t0 = SimTime::ZERO;
+        assert!(tb.try_take(t0, 1.0), "bucket starts full");
+        assert!(!tb.try_take(t0, 1.0), "immediately empty");
+        let wait = tb.time_until(t0, 1.0);
+        assert_eq!(wait.as_millis(), 100);
+        let t1 = t0 + wait;
+        assert!(tb.try_take(t1, 1.0), "conforms after refill interval");
+    }
+
+    #[test]
+    fn token_bucket_burst_up_to_depth() {
+        let mut tb = TokenBucket::new(1.0, 5.0);
+        let t = SimTime::from_secs(100); // long idle ⇒ full bucket, capped at depth
+        for _ in 0..5 {
+            assert!(tb.try_take(t, 1.0));
+        }
+        assert!(!tb.try_take(t, 1.0), "burst limited by depth");
+    }
+
+    #[test]
+    fn token_bucket_available_caps_at_depth() {
+        let mut tb = TokenBucket::new(100.0, 3.0);
+        assert!((tb.available(SimTime::from_secs(10)) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,430 @@
+//! Online statistics used by every experiment table.
+//!
+//! The MITS evaluation reports latencies, jitter, loss ratios, waiting-time
+//! distributions and bandwidth usage. These collectors accumulate samples in
+//! O(1) memory (except the histogram, which is fixed-size) so multi-million
+//! cell simulations stay cheap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Welford online mean/variance plus min/max.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty collector.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest sample (None when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+    /// Largest sample (None when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another collector into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bin histogram over [lo, hi) with overflow/underflow buckets and
+/// percentile queries. Used for waiting-time and jitter distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "zero bins");
+        assert!(lo < hi, "empty range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // Guard against floating error landing exactly on len().
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin contents.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) by linear interpolation within
+    /// the containing bin. Underflow samples count as `lo`, overflow as `hi`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            if cum + b >= target {
+                let within = (target - cum) as f64 / b.max(1) as f64;
+                return Some(self.lo + w * (i as f64 + within));
+            }
+            cum += b;
+        }
+        Some(self.hi)
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Merge another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo.to_bits(), other.lo.to_bits(), "geometry mismatch");
+        assert_eq!(self.hi.to_bits(), other.hi.to_bits(), "geometry mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "geometry mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or link utilisation over virtual time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    weighted_sum: f64,
+    started: Option<SimTime>,
+    max: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Empty collector.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_t: SimTime::ZERO,
+            last_v: 0.0,
+            weighted_sum: 0.0,
+            started: None,
+            max: 0.0,
+        }
+    }
+
+    /// Record that the signal changed to `v` at time `t`.
+    ///
+    /// Times must be non-decreasing.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        match self.started {
+            None => {
+                self.started = Some(t);
+            }
+            Some(_) => {
+                debug_assert!(t >= self.last_t, "time went backwards");
+                let dt = t.since(self.last_t).as_secs_f64();
+                self.weighted_sum += self.last_v * dt;
+            }
+        }
+        self.last_t = t;
+        self.last_v = v;
+        self.max = self.max.max(v);
+    }
+
+    /// Time-weighted mean over [start, `until`].
+    pub fn mean_until(&self, until: SimTime) -> f64 {
+        let Some(start) = self.started else { return 0.0 };
+        let total = until.since(start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_v;
+        }
+        let tail = until.since(self.last_t).as_secs_f64();
+        (self.weighted_sum + self.last_v * tail) / total
+    }
+
+    /// Maximum value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+}
+
+/// A ratio counter for loss-style metrics (cells dropped / cells offered).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RatioCounter {
+    /// Numerator (e.g. losses).
+    pub hits: u64,
+    /// Denominator (e.g. total offered).
+    pub total: u64,
+}
+
+impl RatioCounter {
+    /// Record one trial; `hit` increments the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// hits / total (0 when empty).
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn histogram_counts_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.bins()[5], 1); // 5.0
+        assert_eq!(h.bins()[9], 1); // 9.99
+    }
+
+    #[test]
+    fn histogram_median_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        let med = h.median().unwrap();
+        assert!((med - 50.0).abs() < 2.0, "median {med}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 99.0).abs() < 2.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_quantile_empty() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.median(), None);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(9.0);
+        b.record(-5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.bins()[0], 1);
+        assert_eq!(a.bins()[4], 1);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        // 0 for 1s, then 10 for 1s → mean 5 over [0, 2].
+        tw.set(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(1), 10.0);
+        let mean = tw.mean_until(SimTime::from_secs(2));
+        assert!((mean - 5.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(tw.max(), 10.0);
+        assert_eq!(tw.current(), 10.0);
+    }
+
+    #[test]
+    fn ratio_counter() {
+        let mut r = RatioCounter::default();
+        for i in 0..100 {
+            r.record(i % 4 == 0);
+        }
+        assert_eq!(r.total, 100);
+        assert_eq!(r.hits, 25);
+        assert!((r.ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(RatioCounter::default().ratio(), 0.0);
+    }
+}

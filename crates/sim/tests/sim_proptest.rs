@@ -1,0 +1,111 @@
+//! Property tests for the simulation kernel: event ordering, statistics
+//! merge equivalence, histogram conservation, token-bucket conformance.
+
+use mits_sim::{Histogram, OnlineStats, SimDuration, SimTime, Simulation, TokenBucket};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always execute in non-decreasing time order, regardless of
+    /// insertion order, with FIFO tie-breaks.
+    #[test]
+    fn events_execute_in_time_order(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &times {
+            sim.schedule(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run();
+        let executed = sim.world();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(executed, &sorted);
+    }
+
+    /// run_until never executes an event past the deadline, and a
+    /// follow-up run executes exactly the rest.
+    #[test]
+    fn run_until_partitions_events(
+        times in prop::collection::vec(0u64..1_000, 1..60),
+        deadline in 0u64..1_000,
+    ) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &times {
+            sim.schedule(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run_until(SimTime::from_micros(deadline));
+        let early = sim.world().clone();
+        prop_assert!(early.iter().all(|&t| t <= deadline));
+        sim.run();
+        prop_assert_eq!(sim.world().len(), times.len());
+    }
+
+    /// Merging split statistics equals computing them whole.
+    #[test]
+    fn stats_merge_equivalence(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] {
+            a.record(x);
+        }
+        for &x in &xs[split..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Histograms conserve counts: bins + underflow + overflow == total.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-100f64..200.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        let binned: u64 = h.bins().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+        if !xs.is_empty() {
+            let med = h.median().unwrap();
+            prop_assert!((0.0..=100.0).contains(&med));
+        }
+    }
+
+    /// A token bucket never admits more than rate*t + depth tokens over
+    /// any interval (the GCRA conformance bound).
+    #[test]
+    fn token_bucket_conformance_bound(
+        rate in 1.0f64..10_000.0,
+        depth in 1.0f64..100.0,
+        arrivals in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut tb = TokenBucket::new(rate, depth);
+        let mut t = SimTime::ZERO;
+        let mut admitted = 0u64;
+        for &gap in &arrivals {
+            t = t + SimDuration::from_micros(gap);
+            if tb.try_take(t, 1.0) {
+                admitted += 1;
+            }
+        }
+        let elapsed = t.as_secs_f64();
+        let bound = rate * elapsed + depth + 1.0;
+        prop_assert!(
+            (admitted as f64) <= bound,
+            "admitted {} > bound {}",
+            admitted,
+            bound
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's own worked example: an interactive multimedia course about
+//! ATM technology (Figure 4.4), authored with the full document model —
+//! logical structure (sections → subsections → scenes), time-line
+//! structure with user preemption (`choice1` shows `image1` before its
+//! scheduled time `t2`), and behavior structure (`stop` stops `audio1`,
+//! `text1` and `image1`; `text1` ending shows `image1`).
+//!
+//! Run with: `cargo run --example atm_course`
+
+use mits::author::{
+    compile_imd, validate_imd, Behavior, BehaviorAction, BehaviorCondition, ElementKind,
+    ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
+use mits::sim::SimDuration;
+
+fn main() {
+    // Course material from the production center.
+    let mut studio = ProductionCenter::new(4_4);
+    let audio1 = studio.capture(&CaptureSpec::audio(
+        "audio1.wav",
+        MediaFormat::Wav,
+        SimDuration::from_secs(4),
+    ));
+    let image1 = studio.capture(&CaptureSpec::image(
+        "image1.gif",
+        MediaFormat::Gif,
+        VideoDims::new(320, 240),
+    ));
+    let lecture = studio.capture(&CaptureSpec::video(
+        "atm-switching.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_secs(3),
+        VideoDims::new(320, 240),
+    ));
+
+    // The Fig 4.4 logical structure: a course with sections, subsections
+    // and scenes. Scene 1 is the figure's timeline/behavior example.
+    let mut doc = ImDocument::new("ATM Technology");
+    doc.keywords = vec!["telecom/atm".into(), "networks/broadband".into()];
+    doc.sections.push(Section {
+        title: "ATM basics".into(),
+        subsections: vec![Subsection {
+            title: "Cells and multiplexing".into(),
+            scenes: vec![
+                // Fig 4.4b/c: text1 shows for [t1, t2); choice1 can preempt
+                // it and display image1 early; a stop button stops
+                // audio1 + text1 + image1; text1 ending shows image1.
+                Scene::new("scene1")
+                    .element("audio1", ElementKind::Media((&audio1).into()))
+                    .element("text1", ElementKind::Caption("ATM multiplexes fixed-size cells.".into()))
+                    .element("image1", ElementKind::Media((&image1).into()))
+                    .element("choice1", ElementKind::Button("show image now".into()))
+                    .element("stop", ElementKind::Button("stop".into()))
+                    .entry(TimelineEntry::at_start("audio1"))
+                    .entry(TimelineEntry::at_start("text1").for_duration(SimDuration::from_secs(4)))
+                    .entry(TimelineEntry::at_start("choice1").at(10, 200))
+                    .entry(TimelineEntry::at_start("stop").at(120, 200))
+                    .behavior(Behavior::when(
+                        BehaviorCondition::Clicked("choice1".into()),
+                        vec![
+                            BehaviorAction::Stop("text1".into()),
+                            BehaviorAction::Start("image1".into()),
+                        ],
+                    ))
+                    .behavior(Behavior::when(
+                        BehaviorCondition::Finished("text1".into()),
+                        vec![BehaviorAction::Start("image1".into())],
+                    ))
+                    .behavior(Behavior::when(
+                        BehaviorCondition::Clicked("stop".into()),
+                        vec![
+                            BehaviorAction::Stop("audio1".into()),
+                            BehaviorAction::Stop("text1".into()),
+                            BehaviorAction::Stop("image1".into()),
+                            BehaviorAction::NextScene,
+                        ],
+                    )),
+                Scene::new("scene2")
+                    .element("video", ElementKind::Media((&lecture).into()))
+                    .entry(TimelineEntry::at_start("video")),
+            ],
+        }],
+    });
+    assert!(validate_imd(&doc).is_empty());
+    let compiled = compile_imd(44, &doc);
+    println!(
+        "authored '{}' → {} MHEG objects, {} scenes",
+        doc.title,
+        compiled.objects.len(),
+        compiled.units.len()
+    );
+
+    // Deploy and run with interaction.
+    let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    system.publish(&compiled.objects, studio.catalogue()).unwrap();
+    let mut session =
+        CodSession::open(&mut system, ClientId(0), compiled.root, "ATM Technology").unwrap();
+    session.start().unwrap();
+    println!("scene1 on screen: {:?}", visible_names(&session));
+
+    // Fig 4.4b: the user clicks choice1 at t=1 s, *before* text1's
+    // scheduled end at t=4 s — image1 appears early.
+    session.play(SimDuration::from_secs(1)).unwrap();
+    session.click("show image now").unwrap();
+    println!("after choice1 at t=1s: {:?}", visible_names(&session));
+    assert!(
+        visible_names(&session).iter().any(|n| n == "image1.gif"),
+        "image shown early by the choice"
+    );
+
+    // Fig 4.4c: the stop button stops everything and advances.
+    session.play(SimDuration::from_millis(500)).unwrap();
+    session.click("stop").unwrap();
+    println!("after stop: unit {:?}, on screen {:?}", session.current_unit(), visible_names(&session));
+
+    // scene2 plays out.
+    session.auto_play(SimDuration::from_secs(10)).unwrap();
+    println!(
+        "course completed: {} (startup {}, stalls {})",
+        session.report.completed,
+        session.report.startup(),
+        session.report.stalls.len()
+    );
+    assert!(session.report.completed);
+}
+
+fn visible_names(session: &CodSession<'_>) -> Vec<String> {
+    session
+        .presentation()
+        .visible()
+        .into_iter()
+        .map(|v| v.name)
+        .collect()
+}

@@ -1,0 +1,121 @@
+//! Quickstart: the whole courseware life cycle (Fig 3.3) in one file —
+//! production → authoring → storage → delivery → presentation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mits::author::{
+    compile_imd, validate_imd, Behavior, BehaviorAction, BehaviorCondition, ElementKind,
+    ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
+use mits::sim::SimDuration;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Media production center (§3.4.1): capture course material.
+    // ------------------------------------------------------------------
+    let mut studio = ProductionCenter::new(1996);
+    let welcome = studio.capture(&CaptureSpec::video(
+        "welcome.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_secs(2),
+        VideoDims::new(320, 240),
+    ));
+    let diagram = studio.capture(&CaptureSpec::image(
+        "cell-format.gif",
+        MediaFormat::Gif,
+        VideoDims::new(400, 300),
+    ));
+    let narration = studio.capture(&CaptureSpec::audio(
+        "narration.wav",
+        MediaFormat::Wav,
+        SimDuration::from_secs(3),
+    ));
+    println!("produced {} media objects ({} bytes):", studio.catalogue().len(), studio.total_bytes());
+    for m in studio.catalogue() {
+        println!("  {}", m.describe());
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Author site (Ch. 4): an interactive multimedia document.
+    // ------------------------------------------------------------------
+    let mut doc = ImDocument::new("Quickstart Course");
+    doc.keywords = vec!["telecom/atm".into(), "demo".into()];
+    doc.sections.push(Section {
+        title: "Introduction".into(),
+        subsections: vec![Subsection {
+            title: "Welcome".into(),
+            scenes: vec![
+                Scene::new("welcome")
+                    .element("video", ElementKind::Media((&welcome).into()))
+                    .element("skip", ElementKind::Button("Skip intro".into()))
+                    .entry(TimelineEntry::at_start("video"))
+                    .entry(TimelineEntry::at_start("skip").at(10, 220))
+                    .behavior(Behavior::when(
+                        BehaviorCondition::Clicked("skip".into()),
+                        vec![BehaviorAction::NextScene],
+                    )),
+                Scene::new("lesson")
+                    .element("figure", ElementKind::Media((&diagram).into()))
+                    .element("voice", ElementKind::Media((&narration).into()))
+                    .element("caption", ElementKind::Caption("The 53-byte ATM cell".into()))
+                    .entry(TimelineEntry::at_start("figure").for_duration(SimDuration::from_secs(3)))
+                    .entry(TimelineEntry::at_start("voice"))
+                    .entry(
+                        TimelineEntry::at_start("caption")
+                            .starting(SimDuration::from_millis(500))
+                            .for_duration(SimDuration::from_millis(2_500))
+                            .at(10, 260),
+                    ),
+            ],
+        }],
+    });
+    let issues = validate_imd(&doc);
+    assert!(issues.is_empty(), "authoring issues: {issues:?}");
+    let compiled = compile_imd(100, &doc);
+    println!(
+        "\ncompiled '{}': {} MHEG objects, {} scenes",
+        doc.title,
+        compiled.objects.len(),
+        compiled.units.len()
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Publish to the courseware database over the ATM network.
+    // ------------------------------------------------------------------
+    let mut system = MitsSystem::build(&SystemConfig::broadband(1)).expect("topology");
+    let publish_time = system
+        .publish(&compiled.objects, studio.catalogue())
+        .expect("publish");
+    println!("published over the network in {publish_time} (virtual)");
+
+    // ------------------------------------------------------------------
+    // 4. A student takes the course on demand.
+    // ------------------------------------------------------------------
+    let (docs, t) = system.list_docs(ClientId(0)).expect("list");
+    println!("\ncourse catalog (fetched in {t}):");
+    for (id, name) in &docs {
+        println!("  {id}  {name}");
+    }
+    let mut session = CodSession::open(&mut system, ClientId(0), compiled.root, "Quickstart Course")
+        .expect("open session");
+    session.start().expect("start");
+    println!(
+        "startup latency: {} (scenario {} + first-unit content {})",
+        session.report.startup(),
+        session.report.scenario_fetch,
+        session.report.first_unit_fetch
+    );
+    // Watch a bit of the intro, then skip.
+    session.play(SimDuration::from_millis(500)).unwrap();
+    session.click("Skip intro").expect("click");
+    println!("clicked 'Skip intro' → now at unit {:?}", session.current_unit());
+    session.auto_play(SimDuration::from_secs(10)).unwrap();
+    let r = &session.report;
+    println!(
+        "\ncourse completed: {} | stalls: {:?} | bytes transferred: {}",
+        r.completed, r.stalls, r.bytes_transferred
+    );
+    assert!(r.completed);
+}

@@ -1,0 +1,160 @@
+//! The sample learning session of §5.4 (Figures 5.3–5.7): a student runs
+//! the navigator, registers at the MIRL TeleSchool, registers for a
+//! course with a multimedia introduction, takes the class, updates their
+//! profile, browses the library, and exits — with the stop position saved
+//! and restored on the next session.
+//!
+//! Run with: `cargo run --example teleschool_session`
+
+use mits::author::{compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
+use mits::navigator::{LibraryBrowser, NavigatorUi, UiEvent, UiOutcome};
+use mits::school::{Course, CourseCode, StudentRegistry};
+use mits::sim::SimDuration;
+
+fn main() {
+    // ---- school-side setup: catalog + courseware -------------------
+    let mut studio = ProductionCenter::new(5);
+    let clip = |n: &str, s| {
+        CaptureSpec::video(n, MediaFormat::Mpeg, SimDuration::from_secs(s), VideoDims::new(320, 240))
+    };
+    let welcome_clip = studio.capture(&clip("welcome.mpg", 1));
+    let lesson1 = studio.capture(&clip("lesson1.mpg", 2));
+    let lesson2 = studio.capture(&clip("lesson2.mpg", 2));
+
+    let mut doc = ImDocument::new("ATM Networks");
+    doc.keywords = vec!["telecom/atm".into()];
+    doc.sections.push(Section {
+        title: "s".into(),
+        subsections: vec![Subsection {
+            title: "ss".into(),
+            scenes: vec![
+                Scene::new("welcome")
+                    .element("v", ElementKind::Media((&welcome_clip).into()))
+                    .entry(TimelineEntry::at_start("v")),
+                Scene::new("lesson-1")
+                    .element("v", ElementKind::Media((&lesson1).into()))
+                    .entry(TimelineEntry::at_start("v")),
+                Scene::new("lesson-2")
+                    .element("v", ElementKind::Media((&lesson2).into()))
+                    .entry(TimelineEntry::at_start("v")),
+            ],
+        }],
+    });
+    let compiled = compile_imd(55, &doc);
+
+    let mut school = StudentRegistry::new();
+    school.add_program("Telecommunications");
+    school
+        .add_course(Course {
+            code: CourseCode("TEL101".into()),
+            name: "ATM Networks".into(),
+            program: "Telecommunications".into(),
+            planned_sessions: 3,
+            courseware: Some(compiled.root),
+        })
+        .unwrap();
+
+    let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    system.publish(&compiled.objects, studio.catalogue()).unwrap();
+
+    // ---- Fig 5.3: the first screen of the navigator ----------------
+    let mut ui = NavigatorUi::new();
+    println!("== screen: {:?} (welcome video playing) ==", ui.screen());
+
+    // Watch the introduction, then register.
+    ui.handle(UiEvent::ClickIntroduction, &mut school);
+    ui.handle(UiEvent::Back, &mut school);
+    ui.handle(UiEvent::ClickRegister, &mut school);
+    println!("== screen: {:?} ==", ui.screen());
+
+    // ---- Fig 5.4: registration dialogs ------------------------------
+    ui.handle(
+        UiEvent::SubmitGeneralInfo {
+            name: "Ruiping Example".into(),
+            address: "800 King Edward Ave, Ottawa".into(),
+            email: "student@mirlab.uottawa.ca".into(),
+        },
+        &mut school,
+    );
+    println!(
+        "programs offered: {:?}; courses: {:?}",
+        school.programs(),
+        school
+            .courses_in_program("Telecommunications")
+            .unwrap()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+    );
+    ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+    let UiOutcome::Registered(number) = ui.handle(UiEvent::FinishRegistration, &mut school) else {
+        panic!("registration failed");
+    };
+    println!("registered: student number {number}\n");
+
+    // ---- Fig 5.5: classroom presentation ----------------------------
+    ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut school);
+    println!("== screen: {:?} ==", ui.screen());
+    {
+        let mut session =
+            CodSession::open(&mut system, ClientId(0), compiled.root, "ATM Networks").unwrap();
+        session.start().unwrap();
+        // Watch the welcome and the first lesson, then leave mid-course.
+        session.play(SimDuration::from_millis(1_200)).unwrap();
+        session.play(SimDuration::from_millis(1_000)).unwrap();
+        let stop_unit = session.current_unit().unwrap();
+        println!(
+            "watched up to unit {stop_unit} ('{}'); leaving class",
+            compiled.units[stop_unit].0
+        );
+        // "Some important information such as the stop position ... is to
+        // be automatically stored" (§5.4).
+        school
+            .record_session(number, &CourseCode("TEL101".into()), Some(stop_unit as u32))
+            .unwrap();
+    }
+    ui.handle(UiEvent::Back, &mut school);
+
+    // ---- Fig 5.6: update the student profile ------------------------
+    ui.handle(UiEvent::OpenAdministration, &mut school);
+    ui.handle(
+        UiEvent::SubmitProfile {
+            address: Some("75 Laurier Ave E, Ottawa".into()),
+            email: None,
+        },
+        &mut school,
+    );
+    println!("profile updated: {}", school.lookup(number).unwrap().address);
+
+    // ---- Fig 5.7: browse the library ---------------------------------
+    ui.handle(UiEvent::OpenLibrary, &mut school);
+    let (tree, _) = system.fetch_keyword_tree(ClientId(0)).unwrap();
+    let (docs, _) = system.list_docs(ClientId(0)).unwrap();
+    let mut browser = LibraryBrowser::new(tree, docs);
+    println!("library shelves: {:?}", browser.shelves());
+    browser.enter("telecom");
+    println!("telecom shelf: {:?}", browser.documents());
+    ui.handle(UiEvent::Back, &mut school);
+
+    // ---- exit, then resume next session ------------------------------
+    ui.handle(UiEvent::Exit, &mut school);
+    println!("\nsession log:");
+    for line in &ui.log {
+        println!("  - {line}");
+    }
+
+    // Next day: the course resumes at the saved unit.
+    let resume = school
+        .resume_position(number, &CourseCode("TEL101".into()))
+        .unwrap()
+        .expect("position saved");
+    let mut session2 =
+        CodSession::open(&mut system, ClientId(0), compiled.root, "ATM Networks").unwrap();
+    session2.resume(resume as usize).unwrap();
+    println!("\nresumed at unit {resume} ('{}')", compiled.units[resume as usize].0);
+    session2.auto_play(SimDuration::from_secs(10)).unwrap();
+    println!("course completed on second session: {}", session2.report.completed);
+    assert!(session2.report.completed);
+}

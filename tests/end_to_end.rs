@@ -1,0 +1,193 @@
+//! Cross-crate integration: the full courseware life cycle of Fig 3.3 —
+//! production → authoring → storage → delivery → presentation — over the
+//! simulated network, including failure injection and narrowband access.
+
+use mits::atm::LinkProfile;
+use mits::author::{
+    compile_imd, validate_imd, Behavior, BehaviorAction, BehaviorCondition, ElementKind,
+    ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::media::{CaptureSpec, MediaFormat, MediaObject, ProductionCenter, VideoDims};
+use mits::mheg::{MhegId, MhegObject};
+use mits::sim::SimDuration;
+
+/// A three-scene course with interaction and shared media.
+fn build_course(seed: u64) -> (Vec<MhegObject>, Vec<MediaObject>, MhegId, String) {
+    let mut studio = ProductionCenter::new(seed);
+    let intro = studio.capture(&CaptureSpec::video(
+        "intro.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_secs(1),
+        VideoDims::new(320, 240),
+    ));
+    let shared_logo = studio.capture(&CaptureSpec::image(
+        "logo.gif",
+        MediaFormat::Gif,
+        VideoDims::new(100, 60),
+    ));
+    let audio = studio.capture(&CaptureSpec::audio(
+        "talk.wav",
+        MediaFormat::Wav,
+        SimDuration::from_secs(1),
+    ));
+    let mut doc = ImDocument::new("Integration Course");
+    doc.keywords = vec!["telecom/atm/integration".into()];
+    doc.sections.push(Section {
+        title: "sec".into(),
+        subsections: vec![Subsection {
+            title: "sub".into(),
+            scenes: vec![
+                Scene::new("one")
+                    .element("v", ElementKind::Media((&intro).into()))
+                    .element("logo", ElementKind::Media((&shared_logo).into()))
+                    .element("skip", ElementKind::Button("Skip".into()))
+                    .entry(TimelineEntry::at_start("v"))
+                    .entry(TimelineEntry::at_start("logo").at(300, 0))
+                    .entry(TimelineEntry::at_start("skip").at(0, 220))
+                    .behavior(Behavior::when(
+                        BehaviorCondition::Clicked("skip".into()),
+                        vec![BehaviorAction::NextScene],
+                    )),
+                Scene::new("two")
+                    .element("a", ElementKind::Media((&audio).into()))
+                    .element("logo", ElementKind::Media((&shared_logo).into()))
+                    .entry(TimelineEntry::at_start("a"))
+                    .entry(TimelineEntry::at_start("logo").at(300, 0)),
+                Scene::new("three")
+                    .element("t", ElementKind::Caption("fin".into()))
+                    .entry(TimelineEntry::at_start("t").for_duration(SimDuration::from_millis(500))),
+            ],
+        }],
+    });
+    assert!(validate_imd(&doc).is_empty());
+    let compiled = compile_imd(77, &doc);
+    (
+        compiled.objects,
+        studio.catalogue().to_vec(),
+        compiled.root,
+        "Integration Course".to_string(),
+    )
+}
+
+#[test]
+fn publish_fetch_present_over_broadband() {
+    let (objects, media, root, name) = build_course(1);
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    let publish_time = sys.publish(&objects, &media).unwrap();
+    assert!(publish_time > SimDuration::ZERO);
+    let mut session = CodSession::open(&mut sys, ClientId(0), root, &name).unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(15)).unwrap();
+    assert!(session.report.completed, "{:?}", session.report);
+    // Shared logo fetched once, reused in scene two from the cache: only
+    // one stall entry can carry the audio fetch.
+    let (hits, _) = sys.client_cache_stats(ClientId(0));
+    assert!(hits >= 1, "logo cache hit expected");
+}
+
+#[test]
+fn course_survives_lossy_network() {
+    let (objects, media, root, name) = build_course(2);
+    // 0.1 % cell loss: AAL5 PDUs die regularly; the ARQ must recover all.
+    let lossy = LinkProfile {
+        loss_rate: 1e-3,
+        ..LinkProfile::atm_oc3()
+    };
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(1).with_access(lossy)).unwrap();
+    sys.load_directly(objects, media.clone());
+    let mut session = CodSession::open(&mut sys, ClientId(0), root, &name).unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(15)).unwrap();
+    assert!(session.report.completed, "ARQ recovers losses: {:?}", session.report);
+}
+
+#[test]
+fn interactive_session_over_isdn() {
+    let (objects, media, root, name) = build_course(3);
+    let mut sys =
+        MitsSystem::build(&SystemConfig::broadband(1).with_access(LinkProfile::isdn_128k()))
+            .unwrap();
+    sys.load_directly(objects, media);
+    let mut session = CodSession::open(&mut sys, ClientId(0), root, &name).unwrap();
+    session.start().unwrap();
+    // Startup over ISDN: ~190 kB of MPEG ≈ 12+ s.
+    assert!(
+        session.report.startup().as_secs_f64() > 5.0,
+        "ISDN startup {}",
+        session.report.startup()
+    );
+    session.play(SimDuration::from_millis(300)).unwrap();
+    session.click("Skip").unwrap();
+    assert_eq!(session.current_unit(), Some(1));
+    session.auto_play(SimDuration::from_secs(15)).unwrap();
+    assert!(session.report.completed);
+}
+
+#[test]
+fn two_students_take_the_course_independently() {
+    let (objects, media, root, name) = build_course(4);
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(2)).unwrap();
+    sys.load_directly(objects, media);
+    // Student 0 finishes first, then student 1 (virtual time is shared,
+    // state must not leak between endpoints).
+    for c in 0..2 {
+        let mut session = CodSession::open(&mut sys, ClientId(c), root, &name).unwrap();
+        session.start().unwrap();
+        session.auto_play(SimDuration::from_secs(15)).unwrap();
+        assert!(session.report.completed, "client {c}");
+        assert!(session.report.bytes_transferred > 0, "client {c} paid the network");
+    }
+}
+
+#[test]
+fn library_queries_match_course_keywords() {
+    let (objects, media, root, _) = build_course(5);
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    sys.publish(&objects, &media).unwrap();
+    let (ids, _) = sys.query_keyword(ClientId(0), "telecom", true).unwrap();
+    assert_eq!(ids, vec![root]);
+    let (ids, _) = sys
+        .query_keyword(ClientId(0), "telecom/atm/integration", false)
+        .unwrap();
+    assert_eq!(ids, vec![root]);
+    let (ids, _) = sys.query_keyword(ClientId(0), "biology", true).unwrap();
+    assert!(ids.is_empty());
+}
+
+#[test]
+fn scalability_latency_grows_with_client_count() {
+    // F3.5 shape: mean fetch latency grows as concurrent clients contend
+    // for the server and its backbone link.
+    let (objects, media, root, _) = build_course(6);
+    let mut latencies = Vec::new();
+    for &n in &[1usize, 8] {
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(n)).unwrap();
+        sys.load_directly(objects.clone(), media.clone());
+        // All clients fetch the scenario closure back-to-back; measure the
+        // total virtual time for the batch.
+        let started = sys.now();
+        for c in 0..n {
+            sys.fetch_courseware(ClientId(c), root).unwrap();
+        }
+        let total = sys.now().since(started).as_secs_f64() / n as f64;
+        latencies.push(total);
+    }
+    assert!(
+        latencies[1] > latencies[0] * 0.5,
+        "per-client cost should not shrink with contention: {latencies:?}"
+    );
+}
+
+#[test]
+fn corrupted_request_rejected_not_crashing() {
+    use mits::db::Request;
+    // Protocol robustness: a malformed frame must decode to an error.
+    let wire = Request::ListDocs.encode(1);
+    for cut in 0..wire.len() {
+        assert!(Request::decode(&wire[..cut]).is_err());
+    }
+    let mut bad = wire.to_vec();
+    bad[8] = 99; // unknown tag
+    assert!(Request::decode(&bad).is_err());
+}

@@ -1,0 +1,146 @@
+//! Interchange integrity across the whole stack: a compiled courseware
+//! shipped through either wire format (Fig 2.9) presents identically to
+//! one loaded directly — the "real-time, reusable information interchange
+//! through heterogeneous platforms" claim.
+
+use mits::author::{
+    compile_hyperdoc, compile_imd, ElementKind, HyperDocument, ImDocument, Scene, Section,
+    Subsection, TimelineEntry,
+};
+use mits::media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
+use mits::mheg::{decode_object, encode_object, MhegObject, PresentationEvent, WireFormat};
+use mits::navigator::PresentationSession;
+use mits::sim::{SimDuration, SimTime};
+
+fn sample_course() -> (Vec<MhegObject>, &'static str) {
+    let mut studio = ProductionCenter::new(11);
+    let clip = studio.capture(&CaptureSpec::video(
+        "clip.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_secs(1),
+        VideoDims::new(160, 120),
+    ));
+    let mut doc = ImDocument::new("Wire Course");
+    doc.sections.push(Section {
+        title: "s".into(),
+        subsections: vec![Subsection {
+            title: "ss".into(),
+            scenes: vec![
+                Scene::new("a")
+                    .element("v", ElementKind::Media((&clip).into()))
+                    .entry(TimelineEntry::at_start("v")),
+                Scene::new("b")
+                    .element("t", ElementKind::Caption("end".into()))
+                    .entry(TimelineEntry::at_start("t").for_duration(SimDuration::from_millis(300))),
+            ],
+        }],
+    });
+    (compile_imd(88, &doc).objects, "Wire Course")
+}
+
+/// Run a presentation to completion, returning its event log rendered to
+/// strings (timestamps included).
+fn event_log(objects: Vec<MhegObject>, name: &str) -> Vec<String> {
+    let mut p = PresentationSession::load(objects, name).unwrap();
+    p.start().unwrap();
+    let mut log = Vec::new();
+    for step in 1..=40 {
+        p.advance(SimTime::from_millis(step * 100)).unwrap();
+        for e in p.events() {
+            log.push(format!("{e:?}"));
+        }
+        if p.completed() {
+            break;
+        }
+    }
+    assert!(p.completed(), "presentation must finish");
+    log
+}
+
+#[test]
+fn tlv_shipment_presents_identically() {
+    let (objects, name) = sample_course();
+    let shipped: Vec<MhegObject> = objects
+        .iter()
+        .map(|o| {
+            let wire = encode_object(o, WireFormat::Tlv);
+            decode_object(&wire, WireFormat::Tlv).expect("decode")
+        })
+        .collect();
+    assert_eq!(event_log(objects, name), event_log(shipped, name));
+}
+
+#[test]
+fn sgml_shipment_presents_identically() {
+    let (objects, name) = sample_course();
+    let shipped: Vec<MhegObject> = objects
+        .iter()
+        .map(|o| {
+            let wire = encode_object(o, WireFormat::Sgml);
+            decode_object(&wire, WireFormat::Sgml).expect("decode")
+        })
+        .collect();
+    assert_eq!(event_log(objects, name), event_log(shipped, name));
+}
+
+#[test]
+fn cross_coded_objects_are_equal() {
+    // Author encodes in SGML (editing-friendly), database re-encodes in
+    // TLV (compact) — §2.2.2.4's heterogeneous-platform interchange.
+    let (objects, _) = sample_course();
+    for o in &objects {
+        let via_sgml = decode_object(&encode_object(o, WireFormat::Sgml), WireFormat::Sgml).unwrap();
+        let via_tlv = decode_object(&encode_object(&via_sgml, WireFormat::Tlv), WireFormat::Tlv).unwrap();
+        assert_eq!(&via_tlv, o);
+    }
+}
+
+#[test]
+fn hyperdoc_ships_and_navigates_after_round_trip() {
+    let doc = HyperDocument::figure_4_3_example();
+    let compiled = compile_hyperdoc(89, &doc);
+    let shipped: Vec<MhegObject> = compiled
+        .objects
+        .iter()
+        .map(|o| decode_object(&encode_object(o, WireFormat::Tlv), WireFormat::Tlv).unwrap())
+        .collect();
+    let mut p = PresentationSession::load(shipped, "Fig 4.3 navigation example").unwrap();
+    p.start().unwrap();
+    p.click("Test Your Knowledge").unwrap();
+    p.click("53 bytes").unwrap();
+    assert_eq!(p.current_unit(), Some(4), "navigation works on shipped objects");
+}
+
+#[test]
+fn presentation_events_deterministic_across_runs() {
+    let (objects, name) = sample_course();
+    let a = event_log(objects.clone(), name);
+    let b = event_log(objects, name);
+    assert_eq!(a, b);
+    assert!(a.iter().any(|e| e.contains("Started")));
+    assert!(a.iter().any(|e| e.contains("Completed")));
+}
+
+#[test]
+fn wire_size_accounting() {
+    // TLV is the compact transfer syntax; SGML is the readable one.
+    let (objects, _) = sample_course();
+    let tlv: usize = objects
+        .iter()
+        .map(|o| encode_object(o, WireFormat::Tlv).len())
+        .sum();
+    let sgml: usize = objects
+        .iter()
+        .map(|o| encode_object(o, WireFormat::Sgml).len())
+        .sum();
+    assert!(tlv < sgml, "TLV {tlv} >= SGML {sgml}?");
+    // Sanity: a whole two-scene course's scenario fits in a few kB —
+    // the separate-content design keeps scenarios light (§3.4.2).
+    assert!(tlv < 16 * 1024, "scenario bytes: {tlv}");
+}
+
+#[test]
+fn unused_import_guard() {
+    // PresentationEvent is used in event_log via Debug formatting.
+    let _ = std::mem::size_of::<PresentationEvent>();
+}

@@ -1,0 +1,172 @@
+//! Integration of the TeleSchool services (§5.2.1) around one cohort:
+//! registration, classroom, bulletin, discussion, exercises, billing,
+//! bookmarks — the "seamless integrated environment" claim.
+
+use mits::mheg::MhegId;
+use mits::navigator::{BookmarkStore, NavigatorUi, Screen, UiEvent, UiOutcome};
+use mits::school::{
+    Answer, BillingLedger, BulletinBoard, Course, CourseCode, DiscussionRoom, ExerciseBank,
+    Facility, Grade, ProblemKind, ServiceKind, StudentRegistry,
+};
+use mits::sim::{SimDuration, SimTime};
+
+fn school_with_course() -> StudentRegistry {
+    let mut reg = StudentRegistry::new();
+    reg.add_program("Telecommunications");
+    reg.add_course(Course {
+        code: CourseCode("TEL101".into()),
+        name: "ATM Networks".into(),
+        program: "Telecommunications".into(),
+        planned_sessions: 5,
+        courseware: Some(MhegId::new(1, 1)),
+    })
+    .unwrap();
+    reg
+}
+
+#[test]
+fn cohort_registers_and_studies() {
+    let mut school = school_with_course();
+    let mut numbers = Vec::new();
+    for i in 0..5 {
+        let mut ui = NavigatorUi::new();
+        ui.handle(UiEvent::ClickRegister, &mut school);
+        ui.handle(
+            UiEvent::SubmitGeneralInfo {
+                name: format!("Student {i}"),
+                address: format!("{i} Campus Rd"),
+                email: format!("s{i}@uottawa.ca"),
+            },
+            &mut school,
+        );
+        ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+        match ui.handle(UiEvent::FinishRegistration, &mut school) {
+            UiOutcome::Registered(n) => numbers.push(n),
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(school.student_count(), 5);
+    assert_eq!(school.enrollment_statistics()[0].1, 5);
+    // Each studies a different number of sessions.
+    for (i, n) in numbers.iter().enumerate() {
+        for _ in 0..=i {
+            school
+                .record_session(*n, &CourseCode("TEL101".into()), Some(i as u32))
+                .unwrap();
+        }
+    }
+    let progress = school.progress_statistics();
+    assert!((progress[0].1 - 0.6).abs() < 1e-9, "1+2+3+4+5 of 25 sessions");
+}
+
+#[test]
+fn bulletin_and_exercise_interplay() {
+    let mut school = school_with_course();
+    let alice = school.register("Alice", "", "");
+    let bob = school.register("Bob", "", "");
+
+    let mut bank = ExerciseBank::new();
+    let q = bank.add(
+        "TEL101",
+        "ATM cell size?",
+        ProblemKind::MultipleChoice {
+            options: vec!["48".into(), "53".into()],
+            correct: 1,
+        },
+        10,
+    );
+    assert_eq!(bank.submit(alice, q, &Answer::Choice(1)).unwrap().grade, Grade::Correct);
+    assert_eq!(bank.submit(bob, q, &Answer::Choice(0)).unwrap().grade, Grade::Incorrect);
+
+    // The administration posts the mistake analysis to the board
+    // (§5.2.1: "analysis of the common mistakes in an exercise").
+    let mistakes = bank.mistake_analysis("TEL101");
+    let mut board = BulletinBoard::new();
+    let post = board.post(
+        "exercise-help",
+        "administration",
+        SimTime::from_secs(3600),
+        "Common mistakes in exercise 1",
+        &format!("problem {} missed by {:.0}%", mistakes[0].0, mistakes[0].1 * 100.0),
+    );
+    assert_eq!(board.unread_count(bob), 1);
+    board.mark_read(bob, post);
+    assert_eq!(board.unread_count(bob), 0);
+    assert_eq!(board.unread_count(alice), 1, "alice has not read it");
+
+    // Contest standings.
+    let standings = bank.standings("TEL101");
+    assert_eq!(standings[0], (alice, 10));
+    assert_eq!(standings[1], (bob, 0));
+}
+
+#[test]
+fn discussion_room_by_platform_resources() {
+    let mut school = school_with_course();
+    let alice = school.register("Alice", "", "");
+    let bob = school.register("Bob", "", "");
+    // Alice is on the lab's ATM workstation; Bob dials in by modem.
+    let alice_facility = Facility::best_for(155_000_000, true);
+    let bob_facility = Facility::best_for(28_800, false);
+    assert_eq!(alice_facility, Facility::Conference);
+    assert_eq!(bob_facility, Facility::Email);
+    // The room degrades to what everyone supports.
+    let common = alice_facility.min(bob_facility);
+    let mut room = DiscussionRoom::new("AAL5 questions", common);
+    assert_eq!(room.facility, Facility::Email);
+    room.join(alice);
+    room.join(bob);
+    assert!(room.say(alice, SimTime::ZERO, "why does one lost cell kill a PDU?"));
+    assert!(room.say(bob, SimTime::from_secs(60), "the CRC covers the whole PDU"));
+    assert_eq!(room.log().len(), 2);
+}
+
+#[test]
+fn billing_accumulates_across_services() {
+    let mut school = school_with_course();
+    let alice = school.register("Alice", "", "");
+    let mut ledger = BillingLedger::new();
+    ledger.record(alice, ServiceKind::Registration, SimTime::ZERO, SimDuration::ZERO);
+    ledger.record(
+        alice,
+        ServiceKind::Classroom,
+        SimTime::from_secs(100),
+        SimDuration::from_secs(30 * 60),
+    );
+    ledger.record(
+        alice,
+        ServiceKind::Facilitation,
+        SimTime::from_secs(4000),
+        SimDuration::from_secs(5 * 60),
+    );
+    // $25 + 30 min × 5¢ + 5 min × 20¢ = $25 + $1.50 + $1.00.
+    assert_eq!(ledger.balance(alice), 2_500_000 + 150_000 + 100_000);
+    assert_eq!(ledger.statement(alice).len(), 3);
+}
+
+#[test]
+fn bookmarks_follow_the_student() {
+    let mut school = school_with_course();
+    let alice = school.register("Alice", "", "");
+    let mut bookmarks = BookmarkStore::new();
+    let course_doc = MhegId::new(1, 1);
+    bookmarks.add(alice, course_doc, Some(2), "good AAL5 figure");
+    bookmarks.add(alice, course_doc, None, "whole course");
+    assert_eq!(bookmarks.list(alice).len(), 2);
+    assert_eq!(bookmarks.list(alice)[0].unit, Some(2));
+    assert_eq!(bookmarks.referencing(course_doc), 2);
+}
+
+#[test]
+fn navigator_guards_against_out_of_order_flows() {
+    let mut school = school_with_course();
+    let mut ui = NavigatorUi::new();
+    // Cannot open the classroom before authenticating.
+    let out = ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut school);
+    assert!(matches!(out, UiOutcome::Rejected(_)));
+    // Cannot select a course before submitting the profile dialogs.
+    ui.handle(UiEvent::ClickRegister, &mut school);
+    let out = ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+    assert!(matches!(out, UiOutcome::Rejected(_)));
+    assert_eq!(ui.screen(), &Screen::RegisterGeneral, "stays on the profile dialog");
+}
