@@ -104,7 +104,8 @@ pub fn reassemble(cells: &[AtmCell]) -> Result<Bytes, Aal5Error> {
     if crc32(&buf[..total - 4]) != crc_stored {
         return Err(Aal5Error::BadCrc);
     }
-    let len_field = u16::from_be_bytes(buf[total - 6..total - 4].try_into().expect("2 bytes")) as usize;
+    let len_field =
+        u16::from_be_bytes(buf[total - 6..total - 4].try_into().expect("2 bytes")) as usize;
     // Recover true length: the cell count pins the payload to within one
     // 65536 window of the 16-bit length field.
     let max_payload = total - TRAILER;

@@ -29,6 +29,7 @@
 
 pub mod aal5;
 pub mod cell;
+pub mod fault;
 pub mod link;
 pub mod network;
 pub mod traffic;
@@ -36,6 +37,7 @@ pub mod transport;
 
 pub use aal5::{reassemble, segment, Aal5Error};
 pub use cell::{AtmCell, CELL_PAYLOAD, CELL_SIZE};
+pub use fault::{BurstLoss, FaultPlan, FaultStats, LinkFaults};
 pub use link::{LinkProfile, ServiceClass};
 pub use network::{AtmNetwork, Delivery, NetError, NodeId, VcId, VcStats};
 pub use traffic::{CbrSource, OnOffSource, VbrVideoSource};

@@ -10,9 +10,10 @@
 
 use crate::aal5;
 use crate::cell::{AtmCell, CELL_BITS};
+use crate::fault::{FaultPlan, FaultState, FaultStats, LinkFaults};
 use crate::link::{LinkProfile, Policer, ServiceClass, TrafficContract};
 use bytes::Bytes;
-use mits_sim::{BoundedQueue, DropPolicy, OnlineStats, SimRng, SimTime, TimeWeighted};
+use mits_sim::{BoundedQueue, DropPolicy, OnlineStats, SimDuration, SimRng, SimTime, TimeWeighted};
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
@@ -128,6 +129,9 @@ struct LinkState {
     queues: Vec<BoundedQueue<Flying>>,
     busy: bool,
     utilization: TimeWeighted,
+    /// Injected faults from the network's [`FaultPlan`], if any.
+    faults: Option<LinkFaults>,
+    fault_state: FaultState,
 }
 
 #[derive(Clone)]
@@ -190,7 +194,10 @@ impl PartialEq for Timer {
 impl Eq for Timer {}
 impl Ord for Timer {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Timer {
@@ -213,6 +220,12 @@ pub struct AtmNetwork {
     now: SimTime,
     rng: SimRng,
     deliveries: Vec<Delivery>,
+    fault_plan: FaultPlan,
+    /// Dedicated RNG stream for fault injection. Kept separate from the
+    /// line-noise RNG so an empty plan leaves the base simulation
+    /// bit-identical to a network without fault injection.
+    fault_rng: SimRng,
+    fault_stats: FaultStats,
 }
 
 impl AtmNetwork {
@@ -231,7 +244,29 @@ impl AtmNetwork {
             now: SimTime::ZERO,
             rng: SimRng::seed_from_u64(seed ^ 0xA7A7_17D0),
             deliveries: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            fault_rng: SimRng::seed_from_u64(seed ^ 0xFA17_0BAD),
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Install (or replace) the fault plan. Applies to links already
+    /// connected and to links connected afterwards.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+        for (&(from, to), id) in &self.link_index {
+            self.links[id.0 as usize].faults = self.fault_plan.for_link(from, to).cloned();
+        }
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// What fault injection has done so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Current network clock.
@@ -282,6 +317,8 @@ impl AtmNetwork {
                 queues,
                 busy: false,
                 utilization: TimeWeighted::new(),
+                faults: self.fault_plan.for_link(from, to).cloned(),
+                fault_state: FaultState::default(),
             });
             self.link_index.insert((from, to), id);
         }
@@ -502,28 +539,97 @@ impl AtmNetwork {
     }
 
     fn tx_done(&mut self, link_id: LinkId, flight: u64) {
-        let Some(flying) = self.in_flight.remove(&flight) else { return };
+        let Some(flying) = self.in_flight.remove(&flight) else {
+            return;
+        };
         let (loss_rate, prop) = {
             let link = &self.links[link_id.0 as usize];
             (link.profile.loss_rate, link.profile.prop_delay)
         };
-        // Line loss.
-        if self.rng.chance(loss_rate) {
-            let vc = VcId(flying.cell.vci);
-            let seq = flying.cell.pdu_seq;
-            if let Some(s) = self.vcs.get_mut(&vc) {
-                s.drop_cell(seq);
-            }
+        // Line loss, then any injected faults for surviving cells.
+        let injected = if self.rng.chance(loss_rate) {
+            Some(SimDuration::ZERO) // lost to line noise
         } else {
-            let id = self.stash(flying);
-            self.schedule(self.now + prop, TimerKind::Arrive(link_id.0, id));
+            self.apply_faults(link_id)
+        };
+        match injected {
+            Some(_) => {
+                let vc = VcId(flying.cell.vci);
+                let seq = flying.cell.pdu_seq;
+                if let Some(s) = self.vcs.get_mut(&vc) {
+                    s.drop_cell(seq);
+                }
+            }
+            None => {
+                let at = self.jittered_arrival(link_id, self.now + prop);
+                let id = self.stash(flying);
+                self.schedule(at, TimerKind::Arrive(link_id.0, id));
+            }
         }
         // Serve the next queued cell.
         self.start_tx(link_id);
     }
 
+    /// Run one cell through the link's injected loss faults. `Some(_)`
+    /// means the cell is lost; `None` means it crosses (jitter is applied
+    /// separately by [`Self::jittered_arrival`]). Links without faults
+    /// never touch the fault RNG, keeping fault-free runs bit-identical.
+    fn apply_faults(&mut self, link_id: LinkId) -> Option<SimDuration> {
+        let link = &mut self.links[link_id.0 as usize];
+        let faults = link.faults.as_ref()?;
+        self.fault_stats.faulted_cells += 1;
+        if faults.is_down(self.now) {
+            self.fault_stats.downtime_losses += 1;
+            return Some(SimDuration::ZERO);
+        }
+        if let Some(burst) = faults.burst {
+            if link.fault_state.in_burst {
+                // Geometric burst exit: expected length `mean_len` cells.
+                if self.fault_rng.chance(1.0 / burst.mean_len.max(1.0)) {
+                    link.fault_state.in_burst = false;
+                }
+                self.fault_stats.burst_losses += 1;
+                return Some(SimDuration::ZERO);
+            }
+            if self.fault_rng.chance(burst.enter) {
+                link.fault_state.in_burst = true;
+                self.fault_stats.burst_losses += 1;
+                return Some(SimDuration::ZERO);
+            }
+        }
+        if faults.extra_loss > 0.0 && self.fault_rng.chance(faults.extra_loss) {
+            self.fault_stats.random_losses += 1;
+            return Some(SimDuration::ZERO);
+        }
+        None
+    }
+
+    /// Arrival instant for a cell leaving this link at `base`, with any
+    /// injected jitter. Arrivals are clamped to the link's latest
+    /// scheduled arrival so jitter delays cells but never reorders them
+    /// (ATM preserves cell order within a VC; out-of-order cells would
+    /// spuriously kill AAL5 PDUs).
+    fn jittered_arrival(&mut self, link_id: LinkId, base: SimTime) -> SimTime {
+        let link = &mut self.links[link_id.0 as usize];
+        let Some(faults) = &link.faults else {
+            return base;
+        };
+        let Some(jitter) = faults.jitter.filter(|j| !j.is_zero()) else {
+            return base;
+        };
+        let extra = SimDuration::from_micros(self.fault_rng.below(jitter.as_micros() + 1));
+        if !extra.is_zero() {
+            self.fault_stats.jittered += 1;
+        }
+        let at = (base + extra).max(link.fault_state.last_arrival);
+        link.fault_state.last_arrival = at;
+        at
+    }
+
     fn arrive(&mut self, link_id: LinkId, flight: u64) {
-        let Some(flying) = self.in_flight.remove(&flight) else { return };
+        let Some(flying) = self.in_flight.remove(&flight) else {
+            return;
+        };
         let node_id = self.links[link_id.0 as usize].to;
         let vc = VcId(flying.cell.vci);
         let node = &self.nodes[node_id.0 as usize];
@@ -536,13 +642,19 @@ impl AtmNetwork {
                 }
                 return;
             };
-            let class = self.vcs.get(&vc).map(|s| s.class).unwrap_or(ServiceClass::Ubr);
+            let class = self
+                .vcs
+                .get(&vc)
+                .map(|s| s.class)
+                .unwrap_or(ServiceClass::Ubr);
             self.enqueue_cell(next_link, class, flying);
             return;
         }
         // Destination host: account and reassemble.
         let now = self.now;
-        let Some(state) = self.vcs.get_mut(&vc) else { return };
+        let Some(state) = self.vcs.get_mut(&vc) else {
+            return;
+        };
         if state.dst != node_id {
             state.drop_cell(flying.cell.pdu_seq);
             return;
@@ -552,11 +664,7 @@ impl AtmNetwork {
         let is_end = flying.cell.pdu_end;
         let this_seq = flying.cell.pdu_seq;
         // Cells of an older PDU that lost its end cell: flush on seq change.
-        if state
-            .rx
-            .first()
-            .is_some_and(|f| f.cell.pdu_seq != this_seq)
-        {
+        if state.rx.first().is_some_and(|f| f.cell.pdu_seq != this_seq) {
             let stale = state.rx[0].cell.pdu_seq;
             if state.failed_pdus.insert(stale) {
                 state.stats.pdus_failed += 1;
@@ -641,7 +749,12 @@ mod tests {
             lat.push(net.vc_stats(vc).unwrap().pdu_latency.mean());
         }
         // OC-3 ≈ 5 ms, modem ≈ 31 s: ≥ 1000× apart.
-        assert!(lat[1] / lat[0] > 1000.0, "oc3 {} vs modem {}", lat[0], lat[1]);
+        assert!(
+            lat[1] / lat[0] > 1000.0,
+            "oc3 {} vs modem {}",
+            lat[0],
+            lat[1]
+        );
     }
 
     #[test]
@@ -653,7 +766,10 @@ mod tests {
             net.open_vc(&[a, b], ServiceClass::Ubr, None),
             Err(NetError::NotConnected(a, b))
         );
-        assert_eq!(net.open_vc(&[a], ServiceClass::Ubr, None), Err(NetError::PathTooShort));
+        assert_eq!(
+            net.open_vc(&[a], ServiceClass::Ubr, None),
+            Err(NetError::PathTooShort)
+        );
     }
 
     #[test]
@@ -774,7 +890,9 @@ mod tests {
         net.connect(a, s1, LinkProfile::atm_oc3());
         net.connect(s1, s2, LinkProfile::atm_oc3_wan());
         net.connect(s2, b, LinkProfile::atm_oc3());
-        let vc = net.open_vc(&[a, s1, s2, b], ServiceClass::Vbr, None).unwrap();
+        let vc = net
+            .open_vc(&[a, s1, s2, b], ServiceClass::Vbr, None)
+            .unwrap();
         net.send(vc, Bytes::from(vec![5u8; 50_000])).unwrap();
         let d = net.drain(SimTime::from_secs(5));
         assert_eq!(d.len(), 1);
@@ -808,6 +926,148 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "same seed, same outcome");
         assert_ne!(run(42), run(43), "different seed, different loss pattern");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        // Installing an empty plan must not perturb the base RNG stream:
+        // same seed, same deliveries, same drop counts.
+        let run = |plan: Option<FaultPlan>| {
+            let mut net = AtmNetwork::new(7);
+            let a = net.add_host("A");
+            let b = net.add_host("B");
+            net.connect(
+                a,
+                b,
+                LinkProfile {
+                    loss_rate: 0.02,
+                    ..LinkProfile::atm_oc3()
+                },
+            );
+            if let Some(p) = plan {
+                net.set_fault_plan(p);
+            }
+            let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+            for _ in 0..100 {
+                net.send(vc, Bytes::from(vec![2u8; 96])).unwrap();
+            }
+            net.drain(SimTime::from_secs(10));
+            let s = net.vc_stats(vc).unwrap();
+            (s.pdus_delivered, s.cells_dropped)
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
+        assert_eq!(
+            run(None),
+            run(Some(FaultPlan::uniform(LinkFaults::default())))
+        );
+    }
+
+    #[test]
+    fn injected_loss_is_deterministic_and_counted() {
+        let run = |seed| {
+            let mut net = AtmNetwork::new(seed);
+            let a = net.add_host("A");
+            let b = net.add_host("B");
+            net.connect(a, b, LinkProfile::atm_oc3());
+            net.set_fault_plan(FaultPlan::uniform(LinkFaults::loss(0.05)));
+            let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+            for _ in 0..200 {
+                net.send(vc, Bytes::from(vec![1u8; 40])).unwrap();
+            }
+            net.drain(SimTime::from_secs(10));
+            let s = net.vc_stats(vc).unwrap();
+            (s.pdus_delivered, net.fault_stats().random_losses)
+        };
+        let (delivered, losses) = run(11);
+        assert!(losses > 0, "5% of 200 cells should lose some");
+        assert!(delivered > 150, "most should still arrive");
+        assert_eq!(run(11), run(11), "fault schedule is reproducible");
+        assert_ne!(run(11), run(12), "seed changes the schedule");
+    }
+
+    #[test]
+    fn down_window_kills_everything_inside_it() {
+        let mut net = AtmNetwork::new(8);
+        let a = net.add_host("A");
+        let b = net.add_host("B");
+        net.connect(a, b, LinkProfile::atm_oc3());
+        net.set_fault_plan(FaultPlan::uniform(
+            LinkFaults::default().with_down(SimTime::ZERO, SimTime::from_secs(5)),
+        ));
+        let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+        net.send(vc, Bytes::from(vec![1u8; 1000])).unwrap();
+        net.drain(SimTime::from_secs(2));
+        assert_eq!(net.vc_stats(vc).unwrap().pdus_delivered, 0, "link is down");
+        assert!(net.fault_stats().downtime_losses > 0);
+        // After the window, traffic flows again.
+        let mut net2 = AtmNetwork::new(8);
+        let a2 = net2.add_host("A");
+        let b2 = net2.add_host("B");
+        net2.connect(a2, b2, LinkProfile::atm_oc3());
+        net2.set_fault_plan(FaultPlan::uniform(
+            LinkFaults::default().with_down(SimTime::ZERO, SimTime::from_micros(1)),
+        ));
+        let vc2 = net2.open_vc(&[a2, b2], ServiceClass::Ubr, None).unwrap();
+        net2.advance(SimTime::from_secs(1));
+        net2.send(vc2, Bytes::from(vec![1u8; 1000])).unwrap();
+        net2.drain(SimTime::from_secs(2));
+        assert_eq!(net2.vc_stats(vc2).unwrap().pdus_delivered, 1);
+    }
+
+    #[test]
+    fn burst_loss_clusters_drops() {
+        let mut net = AtmNetwork::new(9);
+        let a = net.add_host("A");
+        let b = net.add_host("B");
+        net.connect(a, b, LinkProfile::atm_oc3());
+        net.set_fault_plan(FaultPlan::uniform(
+            LinkFaults::default().with_burst(0.02, 20.0),
+        ));
+        let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+        for _ in 0..300 {
+            net.send(vc, Bytes::from(vec![1u8; 40])).unwrap();
+        }
+        net.drain(SimTime::from_secs(10));
+        let stats = net.fault_stats();
+        assert!(stats.burst_losses > 0, "bursts must fire at 2% entry");
+        // Mean burst length 20 ⇒ losses well above the entry count alone.
+        assert!(
+            stats.burst_losses as f64 > 300.0 * 0.02,
+            "bursts cluster: {} losses",
+            stats.burst_losses
+        );
+    }
+
+    #[test]
+    fn jitter_delays_but_delivers() {
+        let base = {
+            let mut net = AtmNetwork::new(10);
+            let a = net.add_host("A");
+            let b = net.add_host("B");
+            net.connect(a, b, LinkProfile::atm_oc3());
+            let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+            net.send(vc, Bytes::from(vec![1u8; 10_000])).unwrap();
+            net.drain(SimTime::from_secs(10));
+            net.vc_stats(vc).unwrap().pdu_latency.mean()
+        };
+        let jittered = {
+            let mut net = AtmNetwork::new(10);
+            let a = net.add_host("A");
+            let b = net.add_host("B");
+            net.connect(a, b, LinkProfile::atm_oc3());
+            net.set_fault_plan(FaultPlan::uniform(
+                LinkFaults::default().with_jitter(SimDuration::from_millis(2)),
+            ));
+            let vc = net.open_vc(&[a, b], ServiceClass::Ubr, None).unwrap();
+            net.send(vc, Bytes::from(vec![1u8; 10_000])).unwrap();
+            net.drain(SimTime::from_secs(10));
+            assert!(net.fault_stats().jittered > 0);
+            net.vc_stats(vc).unwrap().pdu_latency.mean()
+        };
+        assert!(
+            jittered > base,
+            "jitter must add delay: {jittered} vs {base}"
+        );
     }
 
     #[test]

@@ -168,9 +168,7 @@ mod tests {
         assert!((0.2..0.8).contains(&duty), "duty cycle {duty}");
         // Gaps exist that far exceed the on-period spacing.
         let spacing = SimDuration::from_millis(40);
-        let has_gap = sched
-            .windows(2)
-            .any(|w| (w[1].at - w[0].at) > spacing * 5);
+        let has_gap = sched.windows(2).any(|w| (w[1].at - w[0].at) > spacing * 5);
         assert!(has_gap, "off periods must appear");
     }
 

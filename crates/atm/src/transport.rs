@@ -61,7 +61,7 @@ pub struct ReliableChannel {
     next_seq: u32,
     send_buffer: VecDeque<(u32, Bytes)>, // not yet admitted to window
     unacked: BTreeMap<u32, (Bytes, SimTime, u32)>, // seq → (frame, deadline, retries)
-    msg_last_seq: VecDeque<(u32, u64)>, // last seq of each message → msg index
+    msg_last_seq: VecDeque<(u32, u64)>,  // last seq of each message → msg index
     next_msg_id: u64,
     // Receiver state.
     rx_next: u32,
@@ -125,7 +125,9 @@ impl ReliableChannel {
     fn pump(&mut self, net: &mut AtmNetwork) -> Result<(), NetError> {
         let now = net.now();
         while self.unacked.len() < self.window {
-            let Some((seq, frame)) = self.send_buffer.pop_front() else { break };
+            let Some((seq, frame)) = self.send_buffer.pop_front() else {
+                break;
+            };
             net.send(self.out_vc, frame.clone())?;
             self.stats.segments_tx += 1;
             self.unacked.insert(seq, (frame, now + self.timeout, 0));
@@ -235,7 +237,8 @@ impl ReliableChannel {
             self.stats.retransmissions += 1;
             // Exponential backoff on the retransmission timer.
             let backoff = self.timeout * (1u64 << retries.min(6));
-            self.unacked.insert(seq, (frame, now + backoff, retries + 1));
+            self.unacked
+                .insert(seq, (frame, now + backoff, retries + 1));
         }
         Ok(())
     }
@@ -306,7 +309,9 @@ mod tests {
         let msg = vec![42u8; 30_000]; // 4 fragments
         let id = p.a.send_message(&mut p.net, &msg).unwrap();
         let (ea, eb) = run(&mut p, SimTime::from_secs(10));
-        assert!(eb.iter().any(|e| matches!(e, TransportEvent::Message(m) if m[..] == msg[..])));
+        assert!(eb
+            .iter()
+            .any(|e| matches!(e, TransportEvent::Message(m) if m[..] == msg[..])));
         assert!(ea.contains(&TransportEvent::Sent(id)));
         assert_eq!(p.a.stats.retransmissions, 0, "clean link needs no ARQ");
     }
@@ -316,7 +321,9 @@ mod tests {
         let mut p = pair_over(LinkProfile::atm_oc3(), 1);
         p.a.send_message(&mut p.net, &[]).unwrap();
         let (_, eb) = run(&mut p, SimTime::from_secs(1));
-        assert!(eb.iter().any(|e| matches!(e, TransportEvent::Message(m) if m.is_empty())));
+        assert!(eb
+            .iter()
+            .any(|e| matches!(e, TransportEvent::Message(m) if m.is_empty())));
     }
 
     #[test]
@@ -370,8 +377,12 @@ mod tests {
         p.a.send_message(&mut p.net, b"from A").unwrap();
         p.b.send_message(&mut p.net, b"from B").unwrap();
         let (ea, eb) = run(&mut p, SimTime::from_secs(5));
-        assert!(eb.iter().any(|e| matches!(e, TransportEvent::Message(m) if &m[..] == b"from A")));
-        assert!(ea.iter().any(|e| matches!(e, TransportEvent::Message(m) if &m[..] == b"from B")));
+        assert!(eb
+            .iter()
+            .any(|e| matches!(e, TransportEvent::Message(m) if &m[..] == b"from A")));
+        assert!(ea
+            .iter()
+            .any(|e| matches!(e, TransportEvent::Message(m) if &m[..] == b"from B")));
     }
 
     #[test]

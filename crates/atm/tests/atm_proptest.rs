@@ -3,9 +3,7 @@
 //! recovery under arbitrary loss rates.
 
 use bytes::Bytes;
-use mits_atm::{
-    aal5, AtmNetwork, LinkProfile, ReliableChannel, ServiceClass, TransportEvent,
-};
+use mits_atm::{aal5, AtmNetwork, LinkProfile, ReliableChannel, ServiceClass, TransportEvent};
 use mits_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 

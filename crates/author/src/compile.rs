@@ -62,15 +62,10 @@ pub fn compile_imd(app: u32, doc: &ImDocument) -> CompiledCourseware {
     // Pass 1: mint element objects per scene.
     for (si, scene) in scenes.iter().enumerate() {
         for el in &scene.elements {
-            let entry = scene
-                .timeline
-                .iter()
-                .find(|t| t.element == el.key);
+            let entry = scene.timeline.iter().find(|t| t.element == el.key);
             let position = entry.map(|t| t.position).unwrap_or((0, 0));
             let id = match &el.kind {
-                ElementKind::Media(h) => {
-                    lib.content(&h.name, media_body(h, position))
-                }
+                ElementKind::Media(h) => lib.content(&h.name, media_body(h, position)),
                 ElementKind::Caption(text) => lib.content("caption", caption_body(text, position)),
                 ElementKind::Button(label) => {
                     lib.value_content(&format!("button:{label}"), GenericValue::Int(0))
@@ -137,7 +132,11 @@ pub fn compile_imd(app: u32, doc: &ImDocument) -> CompiledCourseware {
             if matches!(el.kind, ElementKind::Button(_) | ElementKind::EntryField) {
                 actions.push(ElementaryAction::SetInteraction(true));
             }
-            on_start.push(ActionEntry::after(TargetRef::Model(id), entry.start, actions));
+            on_start.push(ActionEntry::after(
+                TargetRef::Model(id),
+                entry.start,
+                actions,
+            ));
             // Bounded static display: stop it at start + duration.
             if let Some(d) = entry.duration {
                 on_start.push(ActionEntry::after(
@@ -149,7 +148,10 @@ pub fn compile_imd(app: u32, doc: &ImDocument) -> CompiledCourseware {
         }
         // Timer runs from scene start.
         if let Some(t) = timer_ids[si] {
-            on_start.push(ActionEntry::now(TargetRef::Model(t), vec![ElementaryAction::Run]));
+            on_start.push(ActionEntry::now(
+                TargetRef::Model(t),
+                vec![ElementaryAction::Run],
+            ));
         }
         // Scene start also records the position flag.
         on_start.push(ActionEntry::now(
@@ -186,7 +188,12 @@ pub fn compile_imd(app: u32, doc: &ImDocument) -> CompiledCourseware {
                 position_flag,
                 completion_flag,
             );
-            lib.link(&format!("scene{si}-behavior{bi}"), trigger, additional, entries);
+            lib.link(
+                &format!("scene{si}-behavior{bi}"),
+                trigger,
+                additional,
+                entries,
+            );
         }
         // Default serial playback: timer completion advances the scene.
         if let Some(t) = timer_ids[si] {
@@ -325,7 +332,9 @@ pub fn compile_hyperdoc(app: u32, doc: &HyperDocument) -> CompiledCourseware {
     for (pi, page) in doc.pages.iter().enumerate() {
         for el in &page.elements {
             let id = match &el.kind {
-                PageElementKind::Text(body) => lib.content("page-text", caption_body(body, el.position)),
+                PageElementKind::Text(body) => {
+                    lib.content("page-text", caption_body(body, el.position))
+                }
                 PageElementKind::Media(h) => lib.content(&h.name, media_body(h, el.position)),
                 PageElementKind::Choice(label) => {
                     lib.value_content(&format!("choice:{label}"), GenericValue::Int(0))
@@ -529,9 +538,7 @@ mod tests {
                     .element("text1", ElementKind::Caption("intro text".into()))
                     .element("image1", ElementKind::Media(image))
                     .element("choice1", ElementKind::Button("show image".into()))
-                    .entry(
-                        TimelineEntry::at_start("text1").for_duration(SimDuration::from_secs(4)),
-                    )
+                    .entry(TimelineEntry::at_start("text1").for_duration(SimDuration::from_secs(4)))
                     .entry(TimelineEntry::at_start("choice1"))
                     .behavior(Behavior::when(
                         BehaviorCondition::Clicked("choice1".into()),
@@ -633,7 +640,11 @@ mod tests {
         assert_eq!(eng.rt(pos).unwrap().attrs.data, GenericValue::Int(2));
         let replay = compiled.element(2, "replay").unwrap();
         eng.user_select(eng.rt_of_model(replay).unwrap()).unwrap();
-        assert_eq!(eng.rt(pos).unwrap().attrs.data, GenericValue::Int(0), "jumped back");
+        assert_eq!(
+            eng.rt(pos).unwrap().attrs.data,
+            GenericValue::Int(0),
+            "jumped back"
+        );
         // And the course plays again to completion.
         eng.advance(SimTime::from_secs(30)).unwrap();
         assert_eq!(eng.rt(pos).unwrap().attrs.data, GenericValue::Int(2));

@@ -71,7 +71,10 @@ pub fn interactive(lib: &mut ClassLibrary, kind: &InteractiveKind) -> Courseware
                 .map(|i| {
                     ActionEntry::now(
                         TargetRef::Model(*i),
-                        vec![ElementaryAction::Run, ElementaryAction::SetInteraction(true)],
+                        vec![
+                            ElementaryAction::Run,
+                            ElementaryAction::SetInteraction(true),
+                        ],
                     )
                 })
                 .collect();
@@ -144,7 +147,10 @@ pub fn hyperobject(
     on_start.extend(interactives.iter().map(|i| {
         ActionEntry::now(
             TargetRef::Model(*i),
-            vec![ElementaryAction::Run, ElementaryAction::SetInteraction(true)],
+            vec![
+                ElementaryAction::Run,
+                ElementaryAction::SetInteraction(true),
+            ],
         )
     }));
     let mut components: Vec<MhegId> = outputs.to_vec();
@@ -156,7 +162,10 @@ pub fn hyperobject(
             &format!("hyper-{source}-{target}"),
             Condition::selected(TargetRef::Model(*source)),
             vec![],
-            vec![ActionEntry::now(TargetRef::Model(*target), vec![ElementaryAction::Run])],
+            vec![ActionEntry::now(
+                TargetRef::Model(*target),
+                vec![ElementaryAction::Run],
+            )],
         ));
     }
     CoursewareObject { id, parts }
@@ -227,8 +236,11 @@ mod tests {
             eng.ingest(o);
         }
         let menu_rt = eng.new_rt(menu.id).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(menu_rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(menu_rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         // Click "Library" (item index 1).
         let item_rt = eng.rt_of_model(items[1]).expect("menu item instantiated");
         assert!(eng.user_select(item_rt).unwrap());
@@ -239,7 +251,11 @@ mod tests {
     fn hyperobject_click_runs_target() {
         let mut lib = ClassLibrary::new(1);
         let video = output(&mut lib, &OutputKind::Media(handle()), (0, 0));
-        let caption = output(&mut lib, &OutputKind::Caption("ATM basics".into()), (0, 200));
+        let caption = output(
+            &mut lib,
+            &OutputKind::Caption("ATM basics".into()),
+            (0, 200),
+        );
         let btn = interactive(&mut lib, &InteractiveKind::Button("play".into()));
         let hyper = hyperobject(
             &mut lib,
@@ -253,11 +269,16 @@ mod tests {
             eng.ingest(o);
         }
         let rt = eng.new_rt(hyper.id).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         let events = eng.take_events();
         assert!(
-            events.iter().any(|e| matches!(e, PresentationEvent::Started { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, PresentationEvent::Started { .. })),
             "outputs started with the hyperobject"
         );
         // Click the button: the video (not a component — fetched on demand)

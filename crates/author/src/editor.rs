@@ -92,7 +92,11 @@ impl fmt::Display for ValidationIssue {
                 write!(f, "page {page} unreachable from the entry page")
             }
             ValidationIssue::LayoutCollision { unit, keys } => {
-                write!(f, "{unit}: '{}' and '{}' occupy the same spot", keys.0, keys.1)
+                write!(
+                    f,
+                    "{unit}: '{}' and '{}' occupy the same spot",
+                    keys.0, keys.1
+                )
             }
         }
     }
@@ -369,7 +373,9 @@ mod tests {
             .element("x", ElementKind::Caption("a".into()))
             .element("x", ElementKind::Caption("b".into()));
         let issues = validate_imd(&doc_with(scene, None));
-        assert!(issues.iter().any(|i| matches!(i, ValidationIssue::DuplicateKey { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DuplicateKey { .. })));
     }
 
     #[test]
@@ -379,7 +385,9 @@ mod tests {
         assert!(validate_imd(&doc_with(stuck.clone(), None)).is_empty());
         // Followed by another scene: dead end.
         let issues = validate_imd(&doc_with(stuck, Some(Scene::new("after"))));
-        assert!(issues.iter().any(|i| matches!(i, ValidationIssue::DeadEndScene { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DeadEndScene { .. })));
     }
 
     #[test]
@@ -391,8 +399,9 @@ mod tests {
                 vec![crate::imd::BehaviorAction::GotoScene(99)],
             ));
         let issues = validate_imd(&doc_with(scene, None));
-        assert!(issues.iter().any(|i| matches!(i,
-            ValidationIssue::BadJumpTarget { target: 99, .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::BadJumpTarget { target: 99, .. })));
     }
 
     #[test]
@@ -415,7 +424,11 @@ mod tests {
         let scene = Scene::new("seq")
             .element("a", ElementKind::Caption("a".into()))
             .element("b", ElementKind::Caption("b".into()))
-            .entry(TimelineEntry::at_start("a").at(5, 5).for_duration(SimDuration::from_secs(1)))
+            .entry(
+                TimelineEntry::at_start("a")
+                    .at(5, 5)
+                    .for_duration(SimDuration::from_secs(1)),
+            )
             .entry(
                 TimelineEntry::at_start("b")
                     .at(5, 5)

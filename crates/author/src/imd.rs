@@ -388,7 +388,10 @@ mod tests {
                 BehaviorAction::Stop("image1".into()),
             ],
         )
-        .and(BehaviorCondition::DataEquals("gate".into(), GenericValue::Int(1)));
+        .and(BehaviorCondition::DataEquals(
+            "gate".into(),
+            GenericValue::Int(1),
+        ));
         assert_eq!(b.conditions.len(), 2);
         assert_eq!(b.actions.len(), 3);
     }

@@ -107,7 +107,6 @@ impl TeachingArchitecture {
     }
 }
 
-
 /// A framework-instantiated document skeleton: the editor pre-creates one
 /// unit per framework stage; "the courseware authors need only to fill
 /// the media objects into the frameworks and specify the scenario"
@@ -145,13 +144,11 @@ pub fn framework_document(arch: TeachingArchitecture, title: &str) -> FrameworkS
             let stages = arch.framework_stages();
             let mut pages = Vec::with_capacity(stages.len());
             for stage in stages {
-                pages.push(doc.add_page(
-                    crate::hyperdoc::Page::new(stage).choice(
-                        "next",
-                        "Continue",
-                        (0, 200),
-                    ),
-                ));
+                pages.push(doc.add_page(crate::hyperdoc::Page::new(stage).choice(
+                    "next",
+                    "Continue",
+                    (0, 200),
+                )));
             }
             for pair in pages.windows(2) {
                 doc.link_click(pair[0], "next", pair[1]);
@@ -199,13 +196,15 @@ mod tests {
         }
     }
 
-
     #[test]
     fn frameworks_instantiate_their_document_model() {
         for arch in TeachingArchitecture::ALL {
             match framework_document(arch, "T") {
                 FrameworkSkeleton::Imd(doc) => {
-                    assert_eq!(arch.document_model(), DocumentModelKind::InteractiveMultimedia);
+                    assert_eq!(
+                        arch.document_model(),
+                        DocumentModelKind::InteractiveMultimedia
+                    );
                     assert_eq!(doc.scene_count(), arch.framework_stages().len());
                     let titles: Vec<&str> = doc.scenes().map(|s| s.title.as_str()).collect();
                     assert_eq!(titles, arch.framework_stages());
@@ -236,6 +235,9 @@ mod tests {
         assert!(TeachingArchitecture::SimulationBasedLearningByDoing.suits(true, false));
         assert!(!TeachingArchitecture::SimulationBasedLearningByDoing.suits(false, true));
         assert!(TeachingArchitecture::LearningByExploring.suits(false, true));
-        assert!(TeachingArchitecture::GoalDirectedLearning.suits(false, false), "always applicable");
+        assert!(
+            TeachingArchitecture::GoalDirectedLearning.suits(false, false),
+            "always applicable"
+        );
     }
 }

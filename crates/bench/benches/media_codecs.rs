@@ -11,7 +11,12 @@ fn bench_media(c: &mut Criterion) {
     group.sample_size(20);
     let dur = SimDuration::from_secs(5);
     let dims = VideoDims::new(320, 240);
-    for f in [MediaFormat::Mpeg, MediaFormat::Avi, MediaFormat::Wav, MediaFormat::Midi] {
+    for f in [
+        MediaFormat::Mpeg,
+        MediaFormat::Avi,
+        MediaFormat::Wav,
+        MediaFormat::Midi,
+    ] {
         let model = CodecModel::for_format(f);
         let size = model.coded_size(dur, dims).max(model.static_size(1000));
         group.throughput(Throughput::Bytes(size));

@@ -21,7 +21,8 @@ fn bench_lifecycle(c: &mut Criterion) {
         b.iter(|| {
             let mut eng = MhegEngine::new();
             for w in &wires {
-                eng.ingest_wire(std::hint::black_box(w), WireFormat::Tlv).unwrap();
+                eng.ingest_wire(std::hint::black_box(w), WireFormat::Tlv)
+                    .unwrap();
             }
             eng
         })

@@ -22,8 +22,13 @@ fn bench_networks(c: &mut Criterion) {
             &p,
             |b, p| {
                 b.iter(|| {
-                    stream_video_over(*p, SimDuration::from_secs(5), 1_500_000,
-                        SimDuration::from_secs(1), 1)
+                    stream_video_over(
+                        *p,
+                        SimDuration::from_secs(5),
+                        1_500_000,
+                        SimDuration::from_secs(1),
+                        1,
+                    )
                 })
             },
         );

@@ -23,8 +23,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
             sys.load_directly(compiled.objects.clone(), media.clone());
-            let mut session =
-                CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
+            let mut session = CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
             session.start().unwrap();
             session.play(SimDuration::from_secs(1)).unwrap();
             session.click("stop").unwrap();

@@ -10,8 +10,16 @@ use mits_sim::{SimDuration, SimTime};
 
 fn run_mechanism(make: impl Fn(TargetRef, TargetRef) -> SyncMechanism) -> u64 {
     let mut studio = ProductionCenter::new(3);
-    let m1 = studio.capture(&CaptureSpec::audio("a.wav", MediaFormat::Wav, SimDuration::from_secs(1)));
-    let m2 = studio.capture(&CaptureSpec::audio("b.wav", MediaFormat::Wav, SimDuration::from_secs(1)));
+    let m1 = studio.capture(&CaptureSpec::audio(
+        "a.wav",
+        MediaFormat::Wav,
+        SimDuration::from_secs(1),
+    ));
+    let m2 = studio.capture(&CaptureSpec::audio(
+        "b.wav",
+        MediaFormat::Wav,
+        SimDuration::from_secs(1),
+    ));
     let mut lib = ClassLibrary::new(1);
     let a = lib.media_content(&m1, (0, 0));
     let b = lib.media_content(&m2, (0, 0));
@@ -19,15 +27,21 @@ fn run_mechanism(make: impl Fn(TargetRef, TargetRef) -> SyncMechanism) -> u64 {
         "s",
         vec![a, b],
         vec![],
-        vec![SyncSpec::new(make(TargetRef::Model(a), TargetRef::Model(b)))],
+        vec![SyncSpec::new(make(
+            TargetRef::Model(a),
+            TargetRef::Model(b),
+        ))],
     );
     let mut eng = MhegEngine::new();
     for o in lib.into_objects() {
         eng.ingest(o);
     }
     eng.new_rt(scene).unwrap();
-    eng.apply_entry(&ActionEntry::now(TargetRef::Model(scene), vec![ElementaryAction::Run]))
-        .unwrap();
+    eng.apply_entry(&ActionEntry::now(
+        TargetRef::Model(scene),
+        vec![ElementaryAction::Run],
+    ))
+    .unwrap();
     eng.advance(SimTime::from_secs(30)).unwrap();
     eng.stats.events_emitted
 }

@@ -173,15 +173,26 @@ fn f2_4() {
 
 /// Figure 2.6: the four synchronization mechanisms — scheduled vs actual.
 fn f2_6() {
-    header("F2.6", "synchronization mechanisms: scheduled vs actual start times");
+    header(
+        "F2.6",
+        "synchronization mechanisms: scheduled vs actual start times",
+    );
+    use mits_media::{CaptureSpec, ProductionCenter};
     use mits_mheg::action::{ActionEntry, ElementaryAction, TargetRef};
     use mits_mheg::sync::{AtomicRelation, SyncMechanism, SyncSpec};
     use mits_mheg::ClassLibrary;
-    use mits_media::{CaptureSpec, ProductionCenter};
 
     let mut studio = ProductionCenter::new(26);
-    let a_media = studio.capture(&CaptureSpec::audio("a.wav", MediaFormat::Wav, SimDuration::from_secs(2)));
-    let b_media = studio.capture(&CaptureSpec::audio("b.wav", MediaFormat::Wav, SimDuration::from_secs(2)));
+    let a_media = studio.capture(&CaptureSpec::audio(
+        "a.wav",
+        MediaFormat::Wav,
+        SimDuration::from_secs(2),
+    ));
+    let b_media = studio.capture(&CaptureSpec::audio(
+        "b.wav",
+        MediaFormat::Wav,
+        SimDuration::from_secs(2),
+    ));
 
     type SyncCase = (&'static str, SyncMechanism, Vec<(&'static str, u64)>);
     let cases: Vec<SyncCase> = vec![
@@ -251,8 +262,11 @@ fn f2_6() {
             eng.ingest(o);
         }
         eng.new_rt(scene).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Model(scene), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Model(scene),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         eng.advance(SimTime::from_secs(10)).unwrap();
         let a_rt = eng.rt_of_model(a);
         let b_rt = eng.rt_of_model(b);
@@ -297,8 +311,11 @@ fn f2_6() {
         eng.ingest(o);
     }
     eng.new_rt(scene).unwrap();
-    eng.apply_entry(&ActionEntry::now(TargetRef::Model(scene), vec![ElementaryAction::Run]))
-        .unwrap();
+    eng.apply_entry(&ActionEntry::now(
+        TargetRef::Model(scene),
+        vec![ElementaryAction::Run],
+    ))
+    .unwrap();
     eng.advance(SimTime::from_secs(20)).unwrap();
     let starts: Vec<u64> = eng
         .take_events()
@@ -369,7 +386,12 @@ fn f3_2() {
         println!("-- access link: {} --", profile_name(&profile));
         let rows = layer_breakdown(container, content_bytes, &profile);
         for r in &rows {
-            println!("  {:<32} {:>14} ({})", r.layer, r.cost.to_string(), r.method);
+            println!(
+                "  {:<32} {:>14} ({})",
+                r.layer,
+                r.cost.to_string(),
+                r.method
+            );
         }
     }
 }
@@ -378,7 +400,10 @@ fn f3_2() {
 /// courseware *simultaneously*; the single server and shared backbone
 /// serialize them.
 fn f3_5() {
-    header("F3.5", "client-server model: fetch latency vs concurrent clients");
+    header(
+        "F3.5",
+        "client-server model: fetch latency vs concurrent clients",
+    );
     let (compiled, media, _) = atm_course(35);
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>12}",
@@ -391,8 +416,7 @@ fn f3_5() {
         let latencies = sys
             .concurrent_fetch_courseware(&clients, compiled.root)
             .unwrap();
-        let mean: f64 =
-            latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n as f64;
         let min = latencies.iter().min().unwrap();
         let max = latencies.iter().max().unwrap();
         println!(
@@ -411,8 +435,8 @@ fn f4_3() {
     header("F4.3", "hypermedia document model: navigation trace");
     let doc = mits_author::HyperDocument::figure_4_3_example();
     let compiled = compile_hyperdoc(43, &doc);
-    let mut p = PresentationSession::load(compiled.objects.clone(), "Fig 4.3 navigation example")
-        .unwrap();
+    let mut p =
+        PresentationSession::load(compiled.objects.clone(), "Fig 4.3 navigation example").unwrap();
     p.start().unwrap();
     let script = [
         ("(start)", None),
@@ -434,7 +458,10 @@ fn f4_3() {
 
 /// Figure 4.4: the interactive multimedia document timeline.
 fn f4_4() {
-    header("F4.4", "interactive multimedia document: timeline with preemption");
+    header(
+        "F4.4",
+        "interactive multimedia document: timeline with preemption",
+    );
     let (compiled, media, name) = atm_course(44);
     let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
     sys.load_directly(compiled.objects.clone(), media);
@@ -443,7 +470,10 @@ fn f4_4() {
     println!("t=0.0s  scene1 starts; visible: {:?}", names(&session));
     session.play(SimDuration::from_secs(1)).unwrap();
     session.click("show image now").unwrap();
-    println!("t=1.0s  choice1 clicked (before t2=4s): {:?}", names(&session));
+    println!(
+        "t=1.0s  choice1 clicked (before t2=4s): {:?}",
+        names(&session)
+    );
     session.play(SimDuration::from_millis(500)).unwrap();
     session.click("stop").unwrap();
     println!(
@@ -497,11 +527,17 @@ fn f5_x() {
         },
         &mut school,
     );
-    ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+    ui.handle(
+        UiEvent::SelectCourse(CourseCode("TEL101".into())),
+        &mut school,
+    );
     let UiOutcome::Registered(number) = ui.handle(UiEvent::FinishRegistration, &mut school) else {
         panic!()
     };
-    ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut school);
+    ui.handle(
+        UiEvent::OpenClassroom(CourseCode("TEL101".into())),
+        &mut school,
+    );
     let mut session = CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
     session.start().unwrap();
     session.play(SimDuration::from_secs(1)).unwrap();
@@ -534,7 +570,10 @@ fn f5_x() {
 
 /// E-BB: courseware streaming over the four infrastructures.
 fn e_bb() {
-    header("E-BB", "broadband vs narrowband: streamed MPEG course clip (30 s, 1.5 Mb/s, 1 s prebuffer)");
+    header(
+        "E-BB",
+        "broadband vs narrowband: streamed MPEG course clip (30 s, 1.5 Mb/s, 1 s prebuffer)",
+    );
     println!(
         "{:<18} {:>8} {:>8} {:>8} {:>10} {:>12} {:>10}",
         "link", "frames", "lost", "late", "playable", "mean CTD ms", "CLR"
@@ -588,10 +627,19 @@ fn e_sidl() {
     let service = SimDuration::from_secs(120);
     let n = 2000;
     println!("load: one question per {arrival}, {service} answers, n={n}");
-    println!("{:<36} {:>12} {:>12} {:>10}", "model", "mean wait", "p95", "answered");
+    println!(
+        "{:<36} {:>12} {:>12} {:>10}",
+        "model", "mean wait", "p95", "answered"
+    );
     let models: [(&str, FacilitationModel); 3] = [
-        ("MITS on-line, 2 facilitators", FacilitationModel::MitsOnline { facilitators: 2 }),
-        ("MITS on-line, 4 facilitators", FacilitationModel::MitsOnline { facilitators: 4 }),
+        (
+            "MITS on-line, 2 facilitators",
+            FacilitationModel::MitsOnline { facilitators: 2 },
+        ),
+        (
+            "MITS on-line, 4 facilitators",
+            FacilitationModel::MitsOnline { facilitators: 4 },
+        ),
         (
             "SIDL 3 lines, 1 h/day broadcast",
             FacilitationModel::SidlBroadcast {
@@ -638,7 +686,9 @@ fn e_model() {
             "{:<22} {:>18} {:>14} {:>9} d {:>10}",
             r.model,
             r.time_to_content.to_string(),
-            r.interaction.map(|d| d.to_string()).unwrap_or_else(|| "none".into()),
+            r.interaction
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "none".into()),
             r.freshness_days,
             if r.learner_controlled { "yes" } else { "no" }
         );
@@ -647,7 +697,10 @@ fn e_model() {
 
 /// E-REUSE: the content-storage ablation.
 fn e_reuse() {
-    header("E-REUSE", "separate content + reuse vs embedded content (2 sessions, shared media)");
+    header(
+        "E-REUSE",
+        "separate content + reuse vs embedded content (2 sessions, shared media)",
+    );
     let (compiled, media, name) = reuse_course(58);
     let reports = reuse_ablation(
         &compiled.objects,
@@ -658,7 +711,10 @@ fn e_reuse() {
         2,
     )
     .unwrap();
-    println!("{:<34} {:>14} {:>14}", "policy", "bytes to user", "fetch time");
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "policy", "bytes to user", "fetch time"
+    );
     let baseline = reports[0].bytes.max(1);
     for r in &reports {
         println!(

@@ -40,7 +40,10 @@ pub fn atm_course(seed: u64) -> (CompiledCourseware, Vec<MediaObject>, &'static 
             scenes: vec![
                 Scene::new("scene1")
                     .element("audio1", ElementKind::Media((&audio1).into()))
-                    .element("text1", ElementKind::Caption("ATM multiplexes cells.".into()))
+                    .element(
+                        "text1",
+                        ElementKind::Caption("ATM multiplexes cells.".into()),
+                    )
                     .element("image1", ElementKind::Media((&image1).into()))
                     .element("choice1", ElementKind::Button("show image now".into()))
                     .element("stop", ElementKind::Button("stop".into()))
@@ -74,7 +77,11 @@ pub fn atm_course(seed: u64) -> (CompiledCourseware, Vec<MediaObject>, &'static 
             ],
         }],
     });
-    (compile_imd(1000, &doc), studio.catalogue().to_vec(), "ATM Technology")
+    (
+        compile_imd(1000, &doc),
+        studio.catalogue().to_vec(),
+        "ATM Technology",
+    )
 }
 
 /// The E-REUSE course: three scenes sharing one video jingle plus a
@@ -99,7 +106,11 @@ pub fn reuse_course(seed: u64) -> (CompiledCourseware, Vec<MediaObject>, &'stati
                 .element("jingle", ElementKind::Media((&shared).into()))
                 .element("fig", ElementKind::Media((&img).into()))
                 .entry(TimelineEntry::at_start("jingle"))
-                .entry(TimelineEntry::at_start("fig").at(200, 0).for_duration(SimDuration::from_millis(400))),
+                .entry(
+                    TimelineEntry::at_start("fig")
+                        .at(200, 0)
+                        .for_duration(SimDuration::from_millis(400)),
+                ),
         );
     }
     let mut doc = ImDocument::new("Reuse Course");
@@ -110,7 +121,11 @@ pub fn reuse_course(seed: u64) -> (CompiledCourseware, Vec<MediaObject>, &'stati
             scenes,
         }],
     });
-    (compile_imd(2000, &doc), studio.catalogue().to_vec(), "Reuse Course")
+    (
+        compile_imd(2000, &doc),
+        studio.catalogue().to_vec(),
+        "Reuse Course",
+    )
 }
 
 /// One representative object of each concrete MHEG class, for codec and
@@ -134,15 +149,26 @@ pub fn one_of_each_class(seed: u64) -> Vec<MhegObject> {
     let mux = lib.multiplexed_content(
         &clip,
         vec![
-            StreamDesc { stream_id: 1, format: MediaFormat::Mpeg, enabled: true },
-            StreamDesc { stream_id: 2, format: MediaFormat::Wav, enabled: true },
+            StreamDesc {
+                stream_id: 1,
+                format: MediaFormat::Mpeg,
+                enabled: true,
+            },
+            StreamDesc {
+                stream_id: 2,
+                format: MediaFormat::Wav,
+                enabled: true,
+            },
         ],
     );
     let button = lib.value_content("btn", GenericValue::Bool(false));
     let composite = lib.composite(
         "scene",
         vec![content, button],
-        vec![ActionEntry::now(TargetRef::Model(content), vec![ElementaryAction::Run])],
+        vec![ActionEntry::now(
+            TargetRef::Model(content),
+            vec![ElementaryAction::Run],
+        )],
         vec![SyncSpec::new(SyncMechanism::Atomic {
             a: TargetRef::Model(content),
             b: TargetRef::Model(button),
@@ -153,7 +179,10 @@ pub fn one_of_each_class(seed: u64) -> Vec<MhegObject> {
         "stop-all",
         vec![ActionEntry::now(
             TargetRef::Model(content),
-            vec![ElementaryAction::Stop, ElementaryAction::SetVisibility(false)],
+            vec![
+                ElementaryAction::Stop,
+                ElementaryAction::SetVisibility(false),
+            ],
         )],
     );
     lib.link_to_action(

@@ -33,6 +33,9 @@ pub struct CodReport {
     pub bytes_transferred: u64,
     /// Did the course run to completion?
     pub completed: bool,
+    /// Media whose content never arrived: `(unit, media)`. The session
+    /// keeps playing with placeholders instead of aborting.
+    pub degraded: Vec<(usize, MediaId)>,
 }
 
 impl CodReport {
@@ -47,6 +50,11 @@ impl CodReport {
             .iter()
             .fold(SimDuration::ZERO, |acc, (_, d)| acc + *d)
     }
+
+    /// Did any content fail to arrive (placeholder playback)?
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
 }
 
 /// One student's Course-On-Demand session.
@@ -56,6 +64,8 @@ pub struct CodSession<'a> {
     presentation: PresentationSession,
     /// Media referenced by each unit (unit index → media ids).
     unit_media: Vec<Vec<MediaId>>,
+    /// Element name presenting each media id (for degradation marks).
+    media_names: HashMap<MediaId, String>,
     fetched_units: Vec<bool>,
     /// Accumulating report.
     pub report: CodReport,
@@ -75,14 +85,16 @@ impl<'a> CodSession<'a> {
 
         // Map units to the media their content objects reference.
         let mut by_id: HashMap<MhegId, &mits_mheg::MhegObject> = HashMap::new();
+        let mut media_names = HashMap::new();
         for o in &objects {
             by_id.insert(o.id, o);
+            if let Some(m) = o.referenced_media() {
+                media_names.insert(m, o.info.name.clone());
+            }
         }
         let entry = objects
             .iter()
-            .find(|o| {
-                matches!(o.body, ObjectBody::Composite(_)) && o.info.name == course_name
-            })
+            .find(|o| matches!(o.body, ObjectBody::Composite(_)) && o.info.name == course_name)
             .ok_or_else(|| SystemError::Protocol(format!("no entry composite '{course_name}'")))?;
         let units: Vec<MhegId> = match &entry.body {
             ObjectBody::Composite(c) => c.components.clone(),
@@ -122,6 +134,7 @@ impl<'a> CodSession<'a> {
             client,
             presentation,
             unit_media,
+            media_names,
             fetched_units,
             report,
         })
@@ -135,13 +148,34 @@ impl<'a> CodSession<'a> {
         let bytes_before = self.system.bytes_to_client(self.client);
         let mut total = SimDuration::ZERO;
         for media in self.unit_media[unit].clone() {
-            let (m, t) = self.system.fetch_content(self.client, media)?;
-            debug_assert!(m.verify(), "content corrupted in flight");
-            total += t;
+            match self.system.fetch_content(self.client, media) {
+                Ok((m, t)) => {
+                    debug_assert!(m.verify(), "content corrupted in flight");
+                    total += t;
+                }
+                // Graceful degradation: a missing or unreachable content
+                // object downgrades its element to a placeholder instead
+                // of killing the whole session. Anything else (protocol
+                // breakage, VC failure) still aborts.
+                Err(SystemError::Timeout) => {
+                    self.report.degraded.push((unit, media));
+                    if let Some(name) = self.media_names.get(&media) {
+                        self.presentation.mark_degraded(name);
+                    }
+                }
+                Err(SystemError::Db(e))
+                    if e.is_retryable() || matches!(e, mits_db::DbError::NotFound(_)) =>
+                {
+                    self.report.degraded.push((unit, media));
+                    if let Some(name) = self.media_names.get(&media) {
+                        self.presentation.mark_degraded(name);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         self.fetched_units[unit] = true;
-        self.report.bytes_transferred +=
-            self.system.bytes_to_client(self.client) - bytes_before;
+        self.report.bytes_transferred += self.system.bytes_to_client(self.client) - bytes_before;
         Ok(total)
     }
 
@@ -284,12 +318,19 @@ mod tests {
                         .element("d", ElementKind::Media((&img).into()))
                         .element("t", ElementKind::Caption("the end".into()))
                         .entry(TimelineEntry::at_start("d").for_duration(SimDuration::from_secs(1)))
-                        .entry(TimelineEntry::at_start("t").for_duration(SimDuration::from_secs(1))),
+                        .entry(
+                            TimelineEntry::at_start("t").for_duration(SimDuration::from_secs(1)),
+                        ),
                 ],
             }],
         });
         let compiled = compile_imd(60, &doc);
-        (compiled.objects, vec![clip, img], compiled.root, "COD Course")
+        (
+            compiled.objects,
+            vec![clip, img],
+            compiled.root,
+            "COD Course",
+        )
     }
 
     #[test]
@@ -341,6 +382,33 @@ mod tests {
         assert_eq!(session.current_unit(), Some(1));
         // The image scene's media was prefetched on the jump.
         assert_eq!(session.report.stalls.len(), 1);
+    }
+
+    #[test]
+    fn missing_content_degrades_instead_of_aborting() {
+        let (objects, media, root, name) = course();
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+        // Publish the scenario and the intro video, but "lose" the
+        // image: entering scene 2 must not kill the session.
+        let lost = media[1].id;
+        sys.load_directly(objects, vec![media[0].clone()]);
+        let mut session = CodSession::open(&mut sys, ClientId(0), root, name).unwrap();
+        session.start().unwrap();
+        session.auto_play(SimDuration::from_secs(10)).unwrap();
+        assert!(
+            session.report.completed,
+            "placeholder playback still finishes"
+        );
+        assert_eq!(session.report.degraded, vec![(1, lost)]);
+        assert!(session.report.is_degraded());
+        assert!(session.presentation().is_degraded());
+        assert_eq!(
+            session
+                .presentation()
+                .degraded_elements()
+                .collect::<Vec<_>>(),
+            vec!["diagram.gif"]
+        );
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub fn compare_delivery_models(
             model: "CD-ROM/PC",
             time_to_content: shipping,
             interaction: Some(SimDuration::from_millis(10)), // local disc
-            freshness_days: 180, // pressing + distribution cycle
+            freshness_days: 180,                             // pressing + distribution cycle
             learner_controlled: true,
         },
         ModelMetrics {
@@ -199,11 +199,18 @@ pub fn reuse_ablation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mits_author::{compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry};
+    use mits_author::{
+        compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry,
+    };
     use mits_media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
 
     /// Three scenes reusing one video clip plus a unique image each.
-    fn reuse_course() -> (Vec<MhegObject>, Vec<MediaObject>, mits_mheg::MhegId, &'static str) {
+    fn reuse_course() -> (
+        Vec<MhegObject>,
+        Vec<MediaObject>,
+        mits_mheg::MhegId,
+        &'static str,
+    ) {
         let mut pc = ProductionCenter::new(9);
         let shared = pc.capture(&CaptureSpec::video(
             "jingle.mpg",
@@ -223,7 +230,9 @@ mod tests {
                     .element("jingle", ElementKind::Media((&shared).into()))
                     .element("fig", ElementKind::Media((&img).into()))
                     .entry(TimelineEntry::at_start("jingle"))
-                    .entry(TimelineEntry::at_start("fig").for_duration(SimDuration::from_millis(400))),
+                    .entry(
+                        TimelineEntry::at_start("fig").for_duration(SimDuration::from_millis(400)),
+                    ),
             );
         }
         let mut doc = ImDocument::new("Reuse Course");
@@ -279,7 +288,10 @@ mod tests {
         let media_bytes: usize = media.iter().map(|m| m.data.len()).sum();
         // Shared video embedded 3× + each image once ⇒ more inline bytes
         // than the deduplicated store holds.
-        assert!(inline_bytes > media_bytes, "{inline_bytes} vs {media_bytes}");
+        assert!(
+            inline_bytes > media_bytes,
+            "{inline_bytes} vs {media_bytes}"
+        );
     }
 
     #[test]
@@ -296,7 +308,13 @@ mod tests {
         // alternatives re-ship the shared video every time it is used
         // (uncached re-fetches it; embedded duplicates it inside the
         // scenario shipment, re-sent every session).
-        assert!(2 * cached < uncached, "cached {cached} ≪ uncached {uncached}");
-        assert!(2 * cached < embedded, "cached {cached} ≪ embedded {embedded}");
+        assert!(
+            2 * cached < uncached,
+            "cached {cached} ≪ uncached {uncached}"
+        );
+        assert!(
+            2 * cached < embedded,
+            "cached {cached} ≪ embedded {embedded}"
+        );
     }
 }

@@ -40,9 +40,7 @@ pub fn layer_breakdown(
         let back = decode_object(&wire, WireFormat::Tlv).expect("round trip");
         std::hint::black_box(back);
     }
-    let codec = SimDuration::from_micros(
-        (start.elapsed().as_micros() as u64 / REPS as u64).max(1),
-    );
+    let codec = SimDuration::from_micros((start.elapsed().as_micros() as u64 / REPS as u64).max(1));
 
     // Application layer: request handling at the server (service model
     // fixed cost, both directions).
@@ -124,7 +122,12 @@ mod tests {
         let rows = layer_breakdown(&sample(), 1_000_000, &LinkProfile::modem_28_8k());
         let content = rows.iter().find(|r| r.layer.contains("content")).unwrap();
         let codec = rows.iter().find(|r| r.layer.contains("MHEG")).unwrap();
-        assert!(content.cost > codec.cost * 100, "content {} codec {}", content.cost, codec.cost);
+        assert!(
+            content.cost > codec.cost * 100,
+            "content {} codec {}",
+            content.cost,
+            codec.cost
+        );
     }
 
     #[test]

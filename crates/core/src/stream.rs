@@ -239,13 +239,18 @@ mod tests {
         );
         assert!(isdn.playable < 0.2, "ISDN playable {}", isdn.playable);
         assert!(lan.playable > 0.9, "LAN playable {}", lan.playable);
-        assert!(lan.playable <= stream_video_over(
-            LinkProfile::atm_oc3(),
-            SimDuration::from_secs(5),
-            MPEG_RATE,
-            SimDuration::from_secs(1),
-            1,
-        ).playable + 1e-12);
+        assert!(
+            lan.playable
+                <= stream_video_over(
+                    LinkProfile::atm_oc3(),
+                    SimDuration::from_secs(5),
+                    MPEG_RATE,
+                    SimDuration::from_secs(1),
+                    1,
+                )
+                .playable
+                    + 1e-12
+        );
     }
 
     #[test]

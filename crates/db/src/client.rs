@@ -4,18 +4,36 @@
 //! courseware user site, to provide APIs for accessing the database."
 //! The prototype shipped `Get_List_Doc()` and `Get_Selected_Doc()`; the
 //! thesis lists `GetKeywordTree()` and `GetDocByKeyword()` as future
-//! work — all four are here, plus the object/content fetches the full
-//! courseware service needs and a byte-bounded cache so re-visited
-//! objects do not cross the network twice (the reuse half of E-REUSE).
+//! work — all four are here as the paper-named facade
+//! ([`DbClient::get_list_doc`], [`DbClient::get_selected_doc`],
+//! [`DbClient::get_keyword_tree`], [`DbClient::get_doc_by_keyword`]),
+//! plus the object/content fetches the full courseware service needs and
+//! a byte-bounded cache so re-visited objects do not cross the network
+//! twice (the reuse half of E-REUSE).
 //!
 //! The client is transport-agnostic: it emits encoded request frames and
 //! consumes encoded response frames; `mits-core` pumps them through the
 //! simulated ATM network (or a loopback in tests).
+//!
+//! ## Deadlines, retries, backoff
+//!
+//! Over a faulty network (see `mits-atm`'s `FaultPlan`) frames vanish, so
+//! every request carries a [`RetryPolicy`]: a per-request **deadline**, a
+//! per-attempt **timeout**, and **exponential backoff with deterministic
+//! jitter** between re-issues. Requests are idempotent reads keyed by
+//! `req_id`, so a re-issue is byte-identical and a late duplicate response
+//! is silently ignored rather than treated as a protocol violation. The
+//! driver calls [`DbClient::poll`] with the simulation clock; it returns
+//! [`ClientAction`]s (resend this frame / this request expired) in sorted
+//! `req_id` order so a given seed always replays the same schedule.
+//! [`DbClientMetrics`] counts attempts, retries, timeouts and per-operation
+//! latency histograms for the experiment tables.
 
-use crate::protocol::{DbError, Envelope, Request, Response};
+use crate::protocol::{peek_req_id, DbError, Envelope, Request, RequestKind, Response};
 use bytes::Bytes;
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
+use mits_sim::{Histogram, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// A byte-bounded object/content cache (FIFO eviction — simple and
@@ -54,7 +72,9 @@ impl ClientCache {
 
     fn evict_to(&mut self, target: usize) {
         while self.used_bytes > target {
-            let Some(key) = self.order.pop_front() else { break };
+            let Some(key) = self.order.pop_front() else {
+                break;
+            };
             match key {
                 CacheKey::Obj(id) => {
                     if self.objects.remove(&id).is_some() {
@@ -129,73 +149,456 @@ impl ClientCache {
 /// Flat accounting cost of a cached scenario object.
 const OBJ_COST: usize = 512;
 
-/// A pending request awaiting its response.
+/// Deadline / retry / backoff parameters for every request a client
+/// issues.
+///
+/// The default is **no retry**: one attempt with effectively-infinite
+/// timeouts, which reproduces the pre-fault-injection client byte for
+/// byte on a clean network. Lossy experiments opt into
+/// [`RetryPolicy::interactive`] or a hand-built policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total budget per request, measured from first issue. When it
+    /// elapses the request fails with a timeout.
+    pub deadline: SimDuration,
+    /// How long one attempt waits for a response before the client
+    /// considers the frame (or its response) lost.
+    pub attempt_timeout: SimDuration,
+    /// Backoff before re-issue n is `min(base << (n-1), cap)`, stretched
+    /// by up to `jitter_frac`.
+    pub backoff_base: SimDuration,
+    /// Upper bound on a single backoff interval.
+    pub backoff_cap: SimDuration,
+    /// Deterministic jitter: each backoff is multiplied by a factor drawn
+    /// uniformly from `[1, 1 + jitter_frac]` on the client's RNG stream.
+    pub jitter_frac: f64,
+    /// Maximum issues of the same request (1 = no retry).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::no_retry()
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, hour-scale timeouts — the legacy clean-network
+    /// behavior.
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            deadline: SimDuration::from_secs(3600),
+            attempt_timeout: SimDuration::from_secs(3600),
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(5),
+            jitter_frac: 0.0,
+            max_attempts: 1,
+        }
+    }
+
+    /// A policy tuned for an interactive telelearning session: 10 s
+    /// deadline, 500 ms attempts, 100 ms → 2 s backoff with 50% jitter.
+    pub fn interactive() -> Self {
+        RetryPolicy {
+            deadline: SimDuration::from_secs(10),
+            attempt_timeout: SimDuration::from_millis(500),
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(2),
+            jitter_frac: 0.5,
+            max_attempts: 8,
+        }
+    }
+
+    /// Builder: override the deadline.
+    pub fn with_deadline(mut self, d: SimDuration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Builder: override the per-attempt timeout.
+    pub fn with_attempt_timeout(mut self, d: SimDuration) -> Self {
+        self.attempt_timeout = d;
+        self
+    }
+
+    /// Builder: override max attempts.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Builder: override backoff base/cap.
+    pub fn with_backoff(mut self, base: SimDuration, cap: SimDuration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Builder: override the jitter fraction.
+    pub fn with_jitter_frac(mut self, f: f64) -> Self {
+        self.jitter_frac = f.max(0.0);
+        self
+    }
+
+    /// Raw (unjittered) backoff before issue `attempt + 1`, with
+    /// `attempt` the number of issues already made (≥ 1).
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let raw = self.backoff_base.as_micros().saturating_mul(1u64 << shift);
+        SimDuration::from_micros(raw.min(self.backoff_cap.as_micros()))
+    }
+}
+
+/// A request in flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pending {
     /// Correlation id.
     pub req_id: u64,
-    /// The request (kept for retry/diagnostics).
+    /// The request (kept for retry and diagnostics).
     pub request: Request,
+    /// Encoded frame — re-issues are byte-identical (idempotent reads).
+    pub frame: Bytes,
+    /// When the request was first issued.
+    pub first_issued: SimTime,
+    /// When the latest attempt was issued.
+    pub last_issued: SimTime,
+    /// Issues so far (≥ 1).
+    pub attempts: u32,
+    /// Absolute end of the request's budget.
+    pub deadline: SimTime,
+    /// When the current attempt is considered lost.
+    pub attempt_deadline: SimTime,
+    /// Set while backing off: the earliest time to re-issue.
+    pub retry_at: Option<SimTime>,
+}
+
+/// What a response frame did to the client's state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// A pending request completed (possibly with a server-side error in
+    /// the envelope body).
+    Completed {
+        /// The decoded response.
+        env: Envelope<Response>,
+        /// How many times the request was issued.
+        attempts: u32,
+        /// First issue → completion.
+        latency: SimDuration,
+    },
+    /// A pending request failed terminally (e.g. its response body could
+    /// not be decoded, or the server said unavailable and the budget is
+    /// spent).
+    Failed {
+        /// Correlation id of the failed request.
+        req_id: u64,
+        /// Why.
+        error: DbError,
+    },
+    /// The server shed the request; the client scheduled a backed-off
+    /// re-issue — [`DbClient::poll`] will emit the resend.
+    RetryScheduled {
+        /// Correlation id.
+        req_id: u64,
+        /// Earliest re-issue time.
+        retry_at: SimTime,
+    },
+    /// The frame matched nothing in flight (late duplicate of a retried
+    /// request, or unsolicited noise) and was dropped.
+    Ignored,
+}
+
+/// Work the event loop must do on behalf of the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Put this frame back on the wire.
+    Resend {
+        /// Correlation id.
+        req_id: u64,
+        /// The byte-identical frame to transmit.
+        frame: Bytes,
+    },
+    /// The request ran out of budget; surface the error to the caller.
+    Expired {
+        /// Correlation id.
+        req_id: u64,
+        /// The original request, for diagnostics (boxed: requests can
+        /// carry whole media objects, resends must stay small).
+        request: Box<Request>,
+        /// A retryable timeout error.
+        error: DbError,
+    },
+}
+
+/// Counters and latency histograms for everything the client did.
+#[derive(Debug, Clone, Default)]
+pub struct DbClientMetrics {
+    /// Frames put on the wire (first issues + re-issues).
+    pub attempts: u64,
+    /// Re-issues only.
+    pub retries: u64,
+    /// Attempts that timed out without any response.
+    pub timeouts: u64,
+    /// Requests that exhausted their deadline or attempt budget.
+    pub expired: u64,
+    /// Requests completed with a response (including server errors).
+    pub completed: u64,
+    /// Frames dropped as unsolicited / late duplicates.
+    pub ignored: u64,
+    /// Response frames whose body failed to decode.
+    pub decode_errors: u64,
+    /// Request bytes issued (including re-issues).
+    pub bytes_sent: u64,
+    /// Response bytes consumed.
+    pub bytes_received: u64,
+    latency: HashMap<RequestKind, Histogram>,
+}
+
+/// Latency histogram geometry: 0–60 s in 10 ms bins covers everything an
+/// interactive session can survive; slower completions land in overflow.
+const LATENCY_HI_SECS: f64 = 60.0;
+const LATENCY_BINS: usize = 6000;
+
+impl DbClientMetrics {
+    fn record_latency(&mut self, kind: RequestKind, latency: SimDuration) {
+        self.latency
+            .entry(kind)
+            .or_insert_with(|| Histogram::new(0.0, LATENCY_HI_SECS, LATENCY_BINS))
+            .record(latency.as_secs_f64());
+    }
+
+    /// Completion-latency histogram for one operation, if any completed.
+    pub fn latency(&self, kind: RequestKind) -> Option<&Histogram> {
+        self.latency.get(&kind)
+    }
+
+    /// `q`-quantile of completion latency for one operation, in seconds.
+    pub fn latency_quantile(&self, kind: RequestKind, q: f64) -> Option<f64> {
+        self.latency.get(&kind)?.quantile(q)
+    }
+
+    /// `q`-quantile across all operations, in seconds.
+    pub fn overall_latency_quantile(&self, q: f64) -> Option<f64> {
+        let mut merged: Option<Histogram> = None;
+        for h in self.latency.values() {
+            match &mut merged {
+                Some(m) => m.merge(h),
+                None => merged = Some(h.clone()),
+            }
+        }
+        merged.and_then(|m| m.quantile(q))
+    }
 }
 
 /// The navigator-side database client.
 pub struct DbClient {
     next_req: u64,
-    pending: HashMap<u64, Request>,
+    policy: RetryPolicy,
+    pending: HashMap<u64, Pending>,
+    rng: SimRng,
     /// Object/content cache.
     pub cache: ClientCache,
-    /// Requests that skipped the network thanks to the cache.
+    /// Requests that went to the network (cache misses + explicit calls).
     pub network_requests: u64,
+    /// What the client has done so far.
+    pub metrics: DbClientMetrics,
 }
 
 impl DbClient {
-    /// A client with a cache of `cache_bytes`.
+    /// A client with a cache of `cache_bytes` and the default (no-retry)
+    /// policy.
     pub fn new(cache_bytes: usize) -> Self {
+        DbClient::with_policy(cache_bytes, RetryPolicy::default(), 0x0DB_C11E)
+    }
+
+    /// A client with an explicit retry policy. `seed` drives backoff
+    /// jitter; a fixed seed makes the whole retry schedule reproducible.
+    pub fn with_policy(cache_bytes: usize, policy: RetryPolicy, seed: u64) -> Self {
         DbClient {
             next_req: 1,
+            policy,
             pending: HashMap::new(),
+            rng: SimRng::seed_from_u64(seed),
             cache: ClientCache::new(cache_bytes),
             network_requests: 0,
+            metrics: DbClientMetrics::default(),
         }
     }
 
-    /// Encode a request frame for the network. Returns `(req_id, frame)`.
-    pub fn request(&mut self, req: Request) -> (u64, Bytes) {
+    /// The active retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Replace the retry policy (applies to requests issued afterwards).
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Encode and track a request issued at `now`. Returns `(req_id,
+    /// frame)`; the caller transmits the frame.
+    pub fn request_at(&mut self, req: Request, now: SimTime) -> (u64, Bytes) {
         let id = self.next_req;
         self.next_req += 1;
         let frame = req.encode(id);
-        self.pending.insert(id, req);
+        self.metrics.attempts += 1;
+        self.metrics.bytes_sent += frame.len() as u64;
+        self.pending.insert(
+            id,
+            Pending {
+                req_id: id,
+                request: req,
+                frame: frame.clone(),
+                first_issued: now,
+                last_issued: now,
+                attempts: 1,
+                deadline: now + self.policy.deadline,
+                attempt_deadline: now + self.policy.attempt_timeout,
+                retry_at: None,
+            },
+        );
         self.network_requests += 1;
         (id, frame)
     }
 
-    /// Cached-object fetch: returns the object immediately on a cache hit,
-    /// or the request frame to transmit.
-    pub fn fetch_object(&mut self, id: MhegId) -> Result<MhegObject, (u64, Bytes)> {
+    /// Encode a request frame for the network. Returns `(req_id, frame)`.
+    ///
+    /// Deprecated shim: issues at `SimTime::ZERO`, so with a finite
+    /// policy the deadline is measured from the epoch. Use
+    /// [`DbClient::request_at`].
+    #[deprecated(note = "use request_at(req, now) so deadlines are anchored to the clock")]
+    pub fn request(&mut self, req: Request) -> (u64, Bytes) {
+        self.request_at(req, SimTime::ZERO)
+    }
+
+    // --- The paper's query facade (§5.3.2) -------------------------------
+
+    /// `Get_List_Doc()`: ask for the catalogue of courseware documents.
+    /// Decode the eventual response with [`Response::into_doc_list`].
+    pub fn get_list_doc(&mut self, now: SimTime) -> (u64, Bytes) {
+        self.request_at(Request::ListDocs, now)
+    }
+
+    /// `Get_Selected_Doc(name)`: fetch a document's full object closure
+    /// by title. Decode with [`Response::into_objects`].
+    pub fn get_selected_doc(&mut self, name: &str, now: SimTime) -> (u64, Bytes) {
+        self.request_at(
+            Request::GetDoc {
+                name: name.to_string(),
+            },
+            now,
+        )
+    }
+
+    /// `GetKeywordTree()`: fetch the keyword taxonomy. Decode with
+    /// [`Response::into_keyword_tree`].
+    pub fn get_keyword_tree(&mut self, now: SimTime) -> (u64, Bytes) {
+        self.request_at(Request::GetKeywordTree, now)
+    }
+
+    /// `GetDocByKeyword(keyword)`: find documents under a keyword
+    /// (subtree match). Decode with [`Response::into_doc_ids`].
+    pub fn get_doc_by_keyword(&mut self, keyword: &str, now: SimTime) -> (u64, Bytes) {
+        self.request_at(
+            Request::QueryKeyword {
+                keyword: keyword.to_string(),
+                subtree: true,
+            },
+            now,
+        )
+    }
+
+    // --- Cache-aware fetches ---------------------------------------------
+
+    /// Cached-object fetch at `now`: returns the object immediately on a
+    /// cache hit, or the request frame to transmit.
+    pub fn fetch_object_at(
+        &mut self,
+        id: MhegId,
+        now: SimTime,
+    ) -> Result<MhegObject, (u64, Bytes)> {
         if let Some(o) = self.cache.get_object(id) {
             return Ok(o);
         }
-        Err(self.request(Request::GetObject { id }))
+        Err(self.request_at(Request::GetObject { id }, now))
     }
 
-    /// Cached-content fetch.
-    pub fn fetch_content(&mut self, id: MediaId) -> Result<MediaObject, (u64, Bytes)> {
+    /// Cached-content fetch at `now`.
+    pub fn fetch_content_at(
+        &mut self,
+        id: MediaId,
+        now: SimTime,
+    ) -> Result<MediaObject, (u64, Bytes)> {
         if let Some(m) = self.cache.get_content(id) {
             return Ok(m);
         }
-        Err(self.request(Request::GetContent { media: id }))
+        Err(self.request_at(Request::GetContent { media: id }, now))
     }
 
-    /// Consume a response frame. Returns the decoded envelope and feeds
-    /// the cache; unknown correlation ids are rejected.
-    pub fn on_response(&mut self, frame: &[u8]) -> Result<Envelope<Response>, DbError> {
-        let env = Response::decode(frame)?;
-        if self.pending.remove(&env.req_id).is_none() {
-            return Err(DbError::Malformed(format!(
-                "unsolicited response id {}",
-                env.req_id
-            )));
+    /// Cached-object fetch anchored at the epoch.
+    #[deprecated(note = "use fetch_object_at(id, now)")]
+    pub fn fetch_object(&mut self, id: MhegId) -> Result<MhegObject, (u64, Bytes)> {
+        self.fetch_object_at(id, SimTime::ZERO)
+    }
+
+    /// Cached-content fetch anchored at the epoch.
+    #[deprecated(note = "use fetch_content_at(id, now)")]
+    pub fn fetch_content(&mut self, id: MediaId) -> Result<MediaObject, (u64, Bytes)> {
+        self.fetch_content_at(id, SimTime::ZERO)
+    }
+
+    // --- Response path ---------------------------------------------------
+
+    /// Consume a response frame received at `now`.
+    ///
+    /// Completions feed the cache and the latency histograms. A frame
+    /// whose body fails to decode still fails its pending request (the
+    /// correlation id is readable from the first eight bytes), so the
+    /// slot is freed for the caller to retry — it does not leak. Frames
+    /// matching nothing in flight are [`ClientEvent::Ignored`]: with
+    /// idempotent re-issue a late duplicate of a completed request is
+    /// expected traffic, not a protocol violation.
+    pub fn on_frame(&mut self, frame: &[u8], now: SimTime) -> ClientEvent {
+        self.metrics.bytes_received += frame.len() as u64;
+        let env = match Response::decode(frame) {
+            Ok(env) => env,
+            Err(e) => {
+                self.metrics.decode_errors += 1;
+                // Correlate by the id prefix so the pending slot is
+                // released rather than leaked.
+                if let Some(req_id) = peek_req_id(frame) {
+                    if self.pending.remove(&req_id).is_some() {
+                        return ClientEvent::Failed { req_id, error: e };
+                    }
+                }
+                self.metrics.ignored += 1;
+                return ClientEvent::Ignored;
+            }
+        };
+        if !self.pending.contains_key(&env.req_id) {
+            self.metrics.ignored += 1;
+            return ClientEvent::Ignored;
         }
+        // Server shed the request and the budget allows another go:
+        // schedule a backed-off byte-identical re-issue.
+        if let Response::Err(e) = &env.body {
+            if e.is_retryable() {
+                let p = self.pending.get_mut(&env.req_id).expect("checked above");
+                if p.attempts < self.policy.max_attempts {
+                    let jitter = 1.0 + self.policy.jitter_frac * self.rng.f64();
+                    let backoff = self.policy.backoff(p.attempts).mul_f64(jitter);
+                    let retry_at = now + backoff;
+                    if retry_at < p.deadline {
+                        p.retry_at = Some(retry_at);
+                        p.attempt_deadline = p.deadline;
+                        return ClientEvent::RetryScheduled {
+                            req_id: env.req_id,
+                            retry_at,
+                        };
+                    }
+                }
+            }
+        }
+        let p = self.pending.remove(&env.req_id).expect("checked above");
         match &env.body {
             Response::Objects(objs) => {
                 for o in objs {
@@ -205,12 +608,114 @@ impl DbClient {
             Response::Content(m) => self.cache.put_content(m.clone()),
             _ => {}
         }
-        Ok(env)
+        self.metrics.completed += 1;
+        let latency = now - p.first_issued;
+        self.metrics.record_latency(p.request.kind(), latency);
+        ClientEvent::Completed {
+            env,
+            attempts: p.attempts,
+            latency,
+        }
+    }
+
+    /// Consume a response frame. Returns the decoded envelope and feeds
+    /// the cache; unknown correlation ids are rejected.
+    ///
+    /// Deprecated shim over [`DbClient::on_frame`] anchored at the epoch.
+    #[deprecated(note = "use on_frame(frame, now) for deadline/retry-aware handling")]
+    pub fn on_response(&mut self, frame: &[u8]) -> Result<Envelope<Response>, DbError> {
+        match self.on_frame(frame, SimTime::ZERO) {
+            ClientEvent::Completed { env, .. } => Ok(env),
+            ClientEvent::Failed { error, .. } => Err(error),
+            ClientEvent::RetryScheduled { req_id, .. } => Err(DbError::Unavailable(format!(
+                "request {req_id} backing off for retry"
+            ))),
+            ClientEvent::Ignored => Err(DbError::Malformed("unsolicited response".to_string())),
+        }
+    }
+
+    /// Advance the retry machinery to `now`. Returns resends and
+    /// expirations in ascending `req_id` order (deterministic for a
+    /// given seed and fault schedule). Call whenever the clock reaches
+    /// [`DbClient::next_wakeup`].
+    pub fn poll(&mut self, now: SimTime) -> Vec<ClientAction> {
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        let mut actions = Vec::new();
+        for id in ids {
+            let p = self.pending.get_mut(&id).expect("key from map");
+            if now >= p.deadline {
+                let p = self.pending.remove(&id).expect("key from map");
+                self.metrics.expired += 1;
+                actions.push(ClientAction::Expired {
+                    req_id: id,
+                    error: DbError::Unavailable(format!(
+                        "deadline exceeded after {} attempt(s)",
+                        p.attempts
+                    )),
+                    request: Box::new(p.request),
+                });
+                continue;
+            }
+            if let Some(retry_at) = p.retry_at {
+                if now >= retry_at {
+                    p.retry_at = None;
+                    p.attempts += 1;
+                    p.last_issued = now;
+                    p.attempt_deadline = now + self.policy.attempt_timeout;
+                    self.metrics.attempts += 1;
+                    self.metrics.retries += 1;
+                    self.metrics.bytes_sent += p.frame.len() as u64;
+                    actions.push(ClientAction::Resend {
+                        req_id: id,
+                        frame: p.frame.clone(),
+                    });
+                }
+                continue;
+            }
+            if now >= p.attempt_deadline {
+                self.metrics.timeouts += 1;
+                if p.attempts < self.policy.max_attempts {
+                    let jitter = 1.0 + self.policy.jitter_frac * self.rng.f64();
+                    let backoff = self.policy.backoff(p.attempts).mul_f64(jitter);
+                    let retry_at = now + backoff;
+                    if retry_at < p.deadline {
+                        p.retry_at = Some(retry_at);
+                        continue;
+                    }
+                }
+                let p = self.pending.remove(&id).expect("key from map");
+                self.metrics.expired += 1;
+                actions.push(ClientAction::Expired {
+                    req_id: id,
+                    error: DbError::Unavailable(format!(
+                        "no response after {} attempt(s)",
+                        p.attempts
+                    )),
+                    request: Box::new(p.request),
+                });
+            }
+        }
+        actions
+    }
+
+    /// The earliest time at which [`DbClient::poll`] has work to do, if
+    /// anything is in flight. Event loops fold this into their timer set.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.pending
+            .values()
+            .map(|p| p.retry_at.unwrap_or(p.attempt_deadline).min(p.deadline))
+            .min()
     }
 
     /// Requests still awaiting responses.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Snapshot of one in-flight request.
+    pub fn pending(&self, req_id: u64) -> Option<&Pending> {
+        self.pending.get(&req_id)
     }
 }
 
@@ -240,48 +745,211 @@ mod tests {
     fn request_response_correlation() {
         let (server, course, _) = setup();
         let mut client = DbClient::new(1 << 20);
-        let (id1, f1) = client.request(Request::ListDocs);
-        let (id2, f2) = client.request(Request::GetCourseware { root: course });
+        let t = SimTime::ZERO;
+        let (id1, f1) = client.get_list_doc(t);
+        let (id2, f2) = client.request_at(Request::GetCourseware { root: course }, t);
         assert_ne!(id1, id2);
         assert_eq!(client.pending_count(), 2);
         // Respond out of order.
         let r2 = loopback(&server, &f2);
         let r1 = loopback(&server, &f1);
-        let env2 = client.on_response(&r2).unwrap();
-        assert_eq!(env2.req_id, id2);
-        let env1 = client.on_response(&r1).unwrap();
-        assert_eq!(env1.req_id, id1);
+        match client.on_frame(&r2, t) {
+            ClientEvent::Completed { env, attempts, .. } => {
+                assert_eq!(env.req_id, id2);
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match client.on_frame(&r1, t) {
+            ClientEvent::Completed { env, .. } => assert_eq!(env.req_id, id1),
+            other => panic!("{other:?}"),
+        }
         assert_eq!(client.pending_count(), 0);
+        assert_eq!(client.metrics.completed, 2);
     }
 
     #[test]
-    fn unsolicited_response_rejected() {
+    fn unsolicited_response_ignored() {
         let mut client = DbClient::new(1 << 20);
         let frame = Response::Ack.encode(999);
-        assert!(client.on_response(&frame).is_err());
+        assert_eq!(client.on_frame(&frame, SimTime::ZERO), ClientEvent::Ignored);
+        assert_eq!(client.metrics.ignored, 1);
+        #[allow(deprecated)]
+        let legacy = client.on_response(&frame);
+        assert!(legacy.is_err());
+    }
+
+    #[test]
+    fn decode_error_frees_the_pending_slot() {
+        let (_, course, _) = setup();
+        let mut client = DbClient::new(1 << 20);
+        let (id, _) = client.request_at(Request::GetCourseware { root: course }, SimTime::ZERO);
+        assert_eq!(client.pending_count(), 1);
+        // A frame carrying the right correlation id but a mangled body.
+        let mut bad = id.to_be_bytes().to_vec();
+        bad.push(200); // unknown response tag
+        match client.on_frame(&bad, SimTime::ZERO) {
+            ClientEvent::Failed { req_id, error } => {
+                assert_eq!(req_id, id);
+                assert!(matches!(error, DbError::Malformed(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The slot is free: the caller can re-issue instead of leaking.
+        assert_eq!(client.pending_count(), 0);
+        assert_eq!(client.metrics.decode_errors, 1);
     }
 
     #[test]
     fn objects_cached_after_fetch() {
         let (server, course, a) = setup();
         let mut client = DbClient::new(1 << 20);
+        let t = SimTime::ZERO;
         // First fetch misses → network.
-        let err = client.fetch_object(a);
+        let err = client.fetch_object_at(a, t);
         let (_, frame) = match err {
             Err(x) => x,
             Ok(_) => panic!("cold cache cannot hit"),
         };
         let resp = loopback(&server, &frame);
-        client.on_response(&resp).unwrap();
+        client.on_frame(&resp, t);
         // Second fetch hits the cache, no frame.
-        let hit = client.fetch_object(a).expect("cache hit");
+        let hit = client.fetch_object_at(a, t).expect("cache hit");
         assert_eq!(hit.id, a);
         assert_eq!(client.cache.hits, 1);
         // Courseware fetch caches the whole closure.
-        let (_, frame) = client.request(Request::GetCourseware { root: course });
+        let (_, frame) = client.request_at(Request::GetCourseware { root: course }, t);
         let resp = loopback(&server, &frame);
-        client.on_response(&resp).unwrap();
-        assert!(client.fetch_object(course).is_ok());
+        client.on_frame(&resp, t);
+        assert!(client.fetch_object_at(course, t).is_ok());
+    }
+
+    #[test]
+    fn timeout_then_retry_then_success_is_deterministic() {
+        let (server, _, a) = setup();
+        let policy = RetryPolicy::interactive().with_jitter_frac(0.0);
+        let mut client = DbClient::with_policy(1 << 20, policy, 42);
+        let t0 = SimTime::ZERO;
+        let (id, frame) = client.request_at(Request::GetObject { id: a }, t0);
+        // Attempt 1 is lost; nothing happens until the 500 ms attempt
+        // timeout.
+        assert_eq!(client.poll(SimTime::from_millis(499)), vec![]);
+        assert_eq!(client.next_wakeup(), Some(SimTime::from_millis(500)));
+        // Attempt times out → 100 ms backoff scheduled, no action yet.
+        assert_eq!(client.poll(SimTime::from_millis(500)), vec![]);
+        assert_eq!(client.metrics.timeouts, 1);
+        assert_eq!(client.next_wakeup(), Some(SimTime::from_millis(600)));
+        // Backoff elapses → byte-identical resend.
+        let actions = client.poll(SimTime::from_millis(600));
+        match &actions[..] {
+            [ClientAction::Resend { req_id, frame: f }] => {
+                assert_eq!(*req_id, id);
+                assert_eq!(f, &frame, "re-issue is byte-identical");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(client.metrics.retries, 1);
+        // The retry reaches the server; the response completes the request.
+        let resp = loopback(&server, &frame);
+        match client.on_frame(&resp, SimTime::from_millis(620)) {
+            ClientEvent::Completed {
+                attempts, latency, ..
+            } => {
+                assert_eq!(attempts, 2);
+                assert_eq!(latency, SimDuration::from_millis(620));
+            }
+            other => panic!("{other:?}"),
+        }
+        // And a late duplicate of attempt 1 is quietly dropped.
+        assert_eq!(
+            client.on_frame(&resp, SimTime::from_millis(650)),
+            ClientEvent::Ignored
+        );
+        // Latency landed in the GetObject histogram.
+        let p50 = client
+            .metrics
+            .latency_quantile(RequestKind::GetObject, 0.5)
+            .expect("one sample");
+        assert!((p50 - 0.62).abs() < 0.02, "p50 ≈ 620 ms, got {p50}");
+    }
+
+    #[test]
+    fn deadline_expires_requests() {
+        let policy = RetryPolicy::interactive()
+            .with_jitter_frac(0.0)
+            .with_deadline(SimDuration::from_secs(2));
+        let mut client = DbClient::with_policy(1 << 20, policy, 7);
+        let (id, _) = client.get_keyword_tree(SimTime::ZERO);
+        // Never answer; walk the clock past the deadline.
+        let mut expired = None;
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(3) {
+            t += SimDuration::from_millis(50);
+            for a in client.poll(t) {
+                if let ClientAction::Expired { req_id, error, .. } = a {
+                    expired = Some((req_id, error, t));
+                }
+            }
+        }
+        let (req_id, error, at) = expired.expect("request must expire");
+        assert_eq!(req_id, id);
+        assert!(
+            error.is_retryable(),
+            "timeout errors are retryable: {error}"
+        );
+        // The client fails fast once the next retry cannot land inside
+        // the budget, so expiry happens at or before the deadline (plus
+        // one 50 ms poll step) — never after.
+        assert!(at <= SimTime::from_secs(2) + SimDuration::from_millis(50));
+        assert!(at >= SimTime::from_secs(1), "but only after real attempts");
+        assert_eq!(client.pending_count(), 0);
+        assert_eq!(client.metrics.expired, 1);
+        assert!(client.metrics.retries >= 2, "it kept trying first");
+    }
+
+    #[test]
+    fn unavailable_response_triggers_backoff() {
+        let policy = RetryPolicy::interactive().with_jitter_frac(0.0);
+        let mut client = DbClient::with_policy(1 << 20, policy, 3);
+        let (id, _) = client.get_list_doc(SimTime::ZERO);
+        let shed = Response::Err(DbError::Unavailable("queue full".into())).encode(id);
+        match client.on_frame(&shed, SimTime::from_millis(10)) {
+            ClientEvent::RetryScheduled { req_id, retry_at } => {
+                assert_eq!(req_id, id);
+                assert_eq!(
+                    retry_at,
+                    SimTime::from_millis(110),
+                    "10 ms + 100 ms backoff"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Still pending; the resend fires once the backoff elapses.
+        assert_eq!(client.pending_count(), 1);
+        let actions = client.poll(SimTime::from_millis(110));
+        assert!(matches!(&actions[..], [ClientAction::Resend { req_id, .. }] if *req_id == id));
+        // Second shed, second (doubled) backoff.
+        match client.on_frame(&shed, SimTime::from_millis(120)) {
+            ClientEvent::RetryScheduled { retry_at, .. } => {
+                assert_eq!(retry_at, SimTime::from_millis(320), "exponential: 200 ms");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_retry_policy_exhausts_immediately_on_shed() {
+        // With max_attempts = 1 an Unavailable response is terminal.
+        let mut client = DbClient::new(1 << 20);
+        let (id, _) = client.get_list_doc(SimTime::ZERO);
+        let shed = Response::Err(DbError::Unavailable("queue full".into())).encode(id);
+        match client.on_frame(&shed, SimTime::from_millis(1)) {
+            ClientEvent::Completed { env, .. } => {
+                assert!(matches!(env.body, Response::Err(DbError::Unavailable(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(client.pending_count(), 0);
     }
 
     #[test]
@@ -300,7 +968,11 @@ mod tests {
                 Bytes::from(vec![0u8; 3_000]),
             ));
         }
-        assert!(cache.used_bytes() <= 10_000, "bounded: {}", cache.used_bytes());
+        assert!(
+            cache.used_bytes() <= 10_000,
+            "bounded: {}",
+            cache.used_bytes()
+        );
         // Oldest entries evicted.
         assert!(cache.get_content(MediaId(0)).is_none());
         assert!(cache.get_content(MediaId(9)).is_some());

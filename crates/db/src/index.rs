@@ -36,10 +36,7 @@ impl KeywordTree {
     pub fn insert(&mut self, keyword: &str, doc: MhegId) {
         let mut node = &mut self.root;
         for part in keyword.split('/').filter(|p| !p.is_empty()) {
-            node = node
-                .children
-                .entry(part.to_ascii_lowercase())
-                .or_default();
+            node = node.children.entry(part.to_ascii_lowercase()).or_default();
         }
         if !node.documents.contains(&doc) {
             node.documents.push(doc);
@@ -57,7 +54,9 @@ impl KeywordTree {
 
     /// Documents tagged at `keyword` or anywhere beneath it.
     pub fn lookup_subtree(&self, keyword: &str) -> Vec<MhegId> {
-        let Some(node) = self.node_at(keyword) else { return Vec::new() };
+        let Some(node) = self.node_at(keyword) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         collect(node, &mut out);
         out.sort();
@@ -162,7 +161,10 @@ mod tests {
         t.insert("biology", doc(5));
         let all = t.lookup_subtree("telecom");
         assert_eq!(all, vec![doc(1), doc(2), doc(3), doc(4)]);
-        assert_eq!(t.lookup_subtree(""), vec![doc(1), doc(2), doc(3), doc(4), doc(5)]);
+        assert_eq!(
+            t.lookup_subtree(""),
+            vec![doc(1), doc(2), doc(3), doc(4), doc(5)]
+        );
     }
 
     #[test]

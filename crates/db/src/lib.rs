@@ -27,8 +27,10 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::{ClientCache, DbClient};
+pub use client::{
+    ClientAction, ClientCache, ClientEvent, DbClient, DbClientMetrics, Pending, RetryPolicy,
+};
 pub use index::KeywordTree;
-pub use protocol::{DbError, Request, Response};
+pub use protocol::{peek_req_id, DbError, Envelope, Request, RequestKind, Response};
 pub use server::{DbServer, ServiceModel};
 pub use store::{ContentStore, ObjectStore};

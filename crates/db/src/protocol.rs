@@ -25,6 +25,19 @@ pub enum DbError {
     NotFound(String),
     /// The message could not be decoded.
     Malformed(String),
+    /// The server is shedding load (queue past its overload threshold);
+    /// the request is safe to retry after a backoff.
+    Unavailable(String),
+    /// The expected response did not have this shape (typed extraction
+    /// on the wrong variant). Never travels on the wire.
+    UnexpectedResponse(&'static str),
+}
+
+impl DbError {
+    /// May an identical re-issue of the request succeed later?
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DbError::Unavailable(_))
+    }
 }
 
 impl fmt::Display for DbError {
@@ -32,11 +45,63 @@ impl fmt::Display for DbError {
         match self {
             DbError::NotFound(s) => write!(f, "not found: {s}"),
             DbError::Malformed(s) => write!(f, "malformed message: {s}"),
+            DbError::Unavailable(s) => write!(f, "server unavailable: {s}"),
+            DbError::UnexpectedResponse(want) => write!(f, "expected {want} response"),
         }
     }
 }
 
 impl std::error::Error for DbError {}
+
+/// The shape of a [`Request`], for per-operation accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RequestKind {
+    ListDocs,
+    GetDoc,
+    GetObject,
+    GetCourseware,
+    GetContent,
+    GetKeywordTree,
+    QueryKeyword,
+    PutObject,
+    PutContent,
+}
+
+impl RequestKind {
+    /// Stable human-readable name (paper spelling where one exists).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::ListDocs => "get_list_doc",
+            RequestKind::GetDoc => "get_selected_doc",
+            RequestKind::GetObject => "get_object",
+            RequestKind::GetCourseware => "get_courseware",
+            RequestKind::GetContent => "get_content",
+            RequestKind::GetKeywordTree => "get_keyword_tree",
+            RequestKind::QueryKeyword => "get_doc_by_keyword",
+            RequestKind::PutObject => "put_object",
+            RequestKind::PutContent => "put_content",
+        }
+    }
+
+    /// All kinds, for iteration in reports.
+    pub const ALL: [RequestKind; 9] = [
+        RequestKind::ListDocs,
+        RequestKind::GetDoc,
+        RequestKind::GetObject,
+        RequestKind::GetCourseware,
+        RequestKind::GetContent,
+        RequestKind::GetKeywordTree,
+        RequestKind::QueryKeyword,
+        RequestKind::PutObject,
+        RequestKind::PutContent,
+    ];
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +166,89 @@ pub enum Response {
     Ack,
     /// Failure.
     Err(DbError),
+}
+
+impl Request {
+    /// The request's shape.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::ListDocs => RequestKind::ListDocs,
+            Request::GetDoc { .. } => RequestKind::GetDoc,
+            Request::GetObject { .. } => RequestKind::GetObject,
+            Request::GetCourseware { .. } => RequestKind::GetCourseware,
+            Request::GetContent { .. } => RequestKind::GetContent,
+            Request::GetKeywordTree => RequestKind::GetKeywordTree,
+            Request::QueryKeyword { .. } => RequestKind::QueryKeyword,
+            Request::PutObject { .. } => RequestKind::PutObject,
+            Request::PutContent { .. } => RequestKind::PutContent,
+        }
+    }
+}
+
+impl Response {
+    /// Typed extraction: document list.
+    pub fn into_doc_list(self) -> Result<Vec<(MhegId, String)>, DbError> {
+        match self {
+            Response::DocList(list) => Ok(list),
+            Response::Err(e) => Err(e),
+            _ => Err(DbError::UnexpectedResponse("doc list")),
+        }
+    }
+
+    /// Typed extraction: object set.
+    pub fn into_objects(self) -> Result<Vec<MhegObject>, DbError> {
+        match self {
+            Response::Objects(objs) => Ok(objs),
+            Response::Err(e) => Err(e),
+            _ => Err(DbError::UnexpectedResponse("objects")),
+        }
+    }
+
+    /// Typed extraction: media content.
+    pub fn into_content(self) -> Result<MediaObject, DbError> {
+        match self {
+            Response::Content(m) => Ok(m),
+            Response::Err(e) => Err(e),
+            _ => Err(DbError::UnexpectedResponse("content")),
+        }
+    }
+
+    /// Typed extraction: keyword taxonomy.
+    pub fn into_keyword_tree(self) -> Result<KeywordTree, DbError> {
+        match self {
+            Response::KeywordTree(t) => Ok(t),
+            Response::Err(e) => Err(e),
+            _ => Err(DbError::UnexpectedResponse("keyword tree")),
+        }
+    }
+
+    /// Typed extraction: matching document ids.
+    pub fn into_doc_ids(self) -> Result<Vec<MhegId>, DbError> {
+        match self {
+            Response::DocIds(ids) => Ok(ids),
+            Response::Err(e) => Err(e),
+            _ => Err(DbError::UnexpectedResponse("doc ids")),
+        }
+    }
+
+    /// Typed extraction: write acknowledgement.
+    pub fn into_ack(self) -> Result<(), DbError> {
+        match self {
+            Response::Ack => Ok(()),
+            Response::Err(e) => Err(e),
+            _ => Err(DbError::UnexpectedResponse("ack")),
+        }
+    }
+}
+
+/// Read the correlation id off a frame without decoding the body.
+///
+/// The `req_id` is always the first big-endian `u64` on the wire, so a
+/// client can still correlate (and fail) a pending request whose response
+/// body arrives corrupted.
+pub fn peek_req_id(frame: &[u8]) -> Option<u64> {
+    let raw: [u8; 8] = frame.get(..8)?.try_into().ok()?;
+    Some(u64::from_be_bytes(raw))
 }
 
 /// A correlated protocol message (request or response share the id).
@@ -385,6 +533,16 @@ impl Response {
                         w.u8(2);
                         w.str(s);
                     }
+                    DbError::Unavailable(s) => {
+                        w.u8(3);
+                        w.str(s);
+                    }
+                    // Local-only error; degrade to a malformed report if it
+                    // somehow reaches the wire.
+                    DbError::UnexpectedResponse(want) => {
+                        w.u8(2);
+                        w.str(want);
+                    }
                 }
             }
         }
@@ -434,6 +592,7 @@ impl Response {
                 let msg = r.str()?;
                 Response::Err(match kind {
                     1 => DbError::NotFound(msg),
+                    3 => DbError::Unavailable(msg),
                     _ => DbError::Malformed(msg),
                 })
             }
@@ -470,14 +629,27 @@ mod tests {
     fn all_requests_round_trip() {
         let reqs = vec![
             Request::ListDocs,
-            Request::GetDoc { name: "ATM Course".into() },
-            Request::GetObject { id: MhegId::new(3, 9) },
-            Request::GetCourseware { root: MhegId::new(3, 1) },
+            Request::GetDoc {
+                name: "ATM Course".into(),
+            },
+            Request::GetObject {
+                id: MhegId::new(3, 9),
+            },
+            Request::GetCourseware {
+                root: MhegId::new(3, 1),
+            },
             Request::GetContent { media: MediaId(42) },
             Request::GetKeywordTree,
-            Request::QueryKeyword { keyword: "telecom/atm".into(), subtree: true },
-            Request::PutObject { object: sample_object() },
-            Request::PutContent { media: sample_media() },
+            Request::QueryKeyword {
+                keyword: "telecom/atm".into(),
+                subtree: true,
+            },
+            Request::PutObject {
+                object: sample_object(),
+            },
+            Request::PutContent {
+                media: sample_media(),
+            },
         ];
         for (i, req) in reqs.into_iter().enumerate() {
             let wire = req.encode(i as u64);
@@ -493,7 +665,10 @@ mod tests {
         tree.insert("telecom/atm", MhegId::new(1, 1));
         tree.insert("telecom", MhegId::new(1, 2));
         let resps = vec![
-            Response::DocList(vec![(MhegId::new(1, 1), "A".into()), (MhegId::new(1, 2), "B".into())]),
+            Response::DocList(vec![
+                (MhegId::new(1, 1), "A".into()),
+                (MhegId::new(1, 2), "B".into()),
+            ]),
             Response::Objects(vec![sample_object()]),
             Response::Content(sample_media()),
             Response::KeywordTree(tree),
@@ -501,6 +676,7 @@ mod tests {
             Response::Ack,
             Response::Err(DbError::NotFound("nope".into())),
             Response::Err(DbError::Malformed("bad".into())),
+            Response::Err(DbError::Unavailable("queue full".into())),
         ];
         for (i, resp) in resps.into_iter().enumerate() {
             let wire = resp.encode(100 + i as u64);
@@ -512,7 +688,10 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let wire = Request::GetDoc { name: "hello".into() }.encode(1);
+        let wire = Request::GetDoc {
+            name: "hello".into(),
+        }
+        .encode(1);
         for cut in 0..wire.len() {
             assert!(Request::decode(&wire[..cut]).is_err(), "cut {cut}");
         }

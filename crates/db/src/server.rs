@@ -48,8 +48,13 @@ pub struct DbServer {
     pub content: ContentStore,
     index: RwLock<KeywordTree>,
     model: ServiceModel,
+    /// Queue depth at or beyond which the server sheds load with
+    /// [`DbError::Unavailable`] instead of queuing unboundedly.
+    overload_threshold: Option<usize>,
     /// Requests served (for utilization reporting).
     pub requests_served: RwLock<u64>,
+    /// Requests shed with `Unavailable` (overload reporting).
+    pub requests_shed: RwLock<u64>,
 }
 
 impl Default for DbServer {
@@ -66,8 +71,22 @@ impl DbServer {
             content: ContentStore::new(),
             index: RwLock::new(KeywordTree::new()),
             model,
+            overload_threshold: None,
             requests_served: RwLock::new(0),
+            requests_shed: RwLock::new(0),
         }
+    }
+
+    /// Builder: shed requests arriving while `threshold` or more are
+    /// already queued. `None` (the default) queues without bound.
+    pub fn with_overload_threshold(mut self, threshold: usize) -> Self {
+        self.overload_threshold = Some(threshold);
+        self
+    }
+
+    /// The configured shed point, if any.
+    pub fn overload_threshold(&self) -> Option<usize> {
+        self.overload_threshold
     }
 
     /// Index an object's keywords (called on every PutObject).
@@ -94,7 +113,27 @@ impl DbServer {
     }
 
     /// Handle one request; returns the response and its service time.
+    /// Equivalent to [`DbServer::handle_at_depth`] with an idle queue.
     pub fn handle(&self, req: &Request) -> (Response, SimDuration) {
+        self.handle_at_depth(req, 0)
+    }
+
+    /// Handle one request arriving while `queue_depth` requests are
+    /// already waiting. Past the overload threshold the server answers
+    /// with a structured [`DbError::Unavailable`] at a nominal cost — a
+    /// rejection is cheap, and the client's backoff spreads the retry
+    /// load instead of letting the queue grow without bound.
+    pub fn handle_at_depth(&self, req: &Request, queue_depth: usize) -> (Response, SimDuration) {
+        if let Some(limit) = self.overload_threshold {
+            if queue_depth >= limit {
+                *self.requests_shed.write() += 1;
+                let msg = format!("queue depth {queue_depth} at limit {limit}");
+                return (
+                    Response::Err(DbError::Unavailable(msg)),
+                    self.model.per_request,
+                );
+            }
+        }
         *self.requests_served.write() += 1;
         let (resp, bytes) = self.dispatch(req);
         (resp, self.model.cost(bytes))
@@ -227,12 +266,16 @@ mod tests {
         let (server, course) = loaded_server();
         let (resp, _) = server.handle(&Request::ListDocs);
         assert_eq!(resp, Response::DocList(vec![(course, "ATM Course".into())]));
-        let (resp, _) = server.handle(&Request::GetDoc { name: "ATM Course".into() });
+        let (resp, _) = server.handle(&Request::GetDoc {
+            name: "ATM Course".into(),
+        });
         match resp {
             Response::Objects(objs) => assert_eq!(objs.len(), 3, "closure"),
             other => panic!("{other:?}"),
         }
-        let (resp, _) = server.handle(&Request::GetDoc { name: "missing".into() });
+        let (resp, _) = server.handle(&Request::GetDoc {
+            name: "missing".into(),
+        });
         assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
     }
 
@@ -287,11 +330,15 @@ mod tests {
     #[test]
     fn unknown_ids_not_found() {
         let (server, _) = loaded_server();
-        let (resp, _) = server.handle(&Request::GetObject { id: MhegId::new(9, 9) });
+        let (resp, _) = server.handle(&Request::GetObject {
+            id: MhegId::new(9, 9),
+        });
         assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
         let (resp, _) = server.handle(&Request::GetContent { media: MediaId(99) });
         assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
-        let (resp, _) = server.handle(&Request::GetCourseware { root: MhegId::new(9, 9) });
+        let (resp, _) = server.handle(&Request::GetCourseware {
+            root: MhegId::new(9, 9),
+        });
         assert!(matches!(resp, Response::Err(DbError::NotFound(_))));
     }
 
@@ -301,6 +348,35 @@ mod tests {
         assert_eq!(m.cost(0), SimDuration::from_micros(200));
         // 1 MB at 20 ns/B = 20 ms + 200 µs.
         assert_eq!(m.cost(1_000_000), SimDuration::from_micros(200 + 20_000));
+    }
+
+    #[test]
+    fn overload_threshold_sheds_load() {
+        let (server, _) = loaded_server();
+        let server = DbServer {
+            overload_threshold: Some(4),
+            ..server
+        };
+        // Below the limit: served normally.
+        let (resp, _) = server.handle_at_depth(&Request::ListDocs, 3);
+        assert!(matches!(resp, Response::DocList(_)));
+        // At and past the limit: structured, retryable rejection.
+        let (resp, cost) = server.handle_at_depth(&Request::ListDocs, 4);
+        match resp {
+            Response::Err(e) => assert!(e.is_retryable(), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            cost,
+            ServiceModel::default().per_request,
+            "rejection is cheap"
+        );
+        assert_eq!(*server.requests_shed.read(), 1);
+        assert_eq!(*server.requests_served.read(), 1);
+        // Unconfigured servers never shed.
+        let (fresh, _) = loaded_server();
+        let (resp, _) = fresh.handle_at_depth(&Request::ListDocs, 1_000_000);
+        assert!(matches!(resp, Response::DocList(_)));
     }
 
     #[test]

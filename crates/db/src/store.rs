@@ -152,7 +152,11 @@ impl ContentStore {
 
     /// Total stored payload bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.media.read().values().map(|m| m.data.len() as u64).sum()
+        self.media
+            .read()
+            .values()
+            .map(|m| m.data.len() as u64)
+            .sum()
     }
 }
 

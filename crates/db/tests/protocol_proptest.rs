@@ -3,7 +3,7 @@
 //! noise; the keyword tree survives its wire form.
 
 use bytes::Bytes;
-use mits_db::{DbError, KeywordTree, Request, Response};
+use mits_db::{peek_req_id, DbError, KeywordTree, Request, Response};
 use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
 use mits_mheg::{ClassLibrary, GenericValue, MhegId};
 use mits_sim::SimDuration;
@@ -67,6 +67,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         Just(Response::Ack),
         "[ -~]{0,30}".prop_map(|s| Response::Err(DbError::NotFound(s))),
         "[ -~]{0,30}".prop_map(|s| Response::Err(DbError::Malformed(s))),
+        "[ -~]{0,30}".prop_map(|s| Response::Err(DbError::Unavailable(s))),
     ]
 }
 
@@ -110,5 +111,29 @@ proptest! {
         let wire = resp.encode(1);
         let cut = ((wire.len().saturating_sub(1)) as f64 * frac) as usize;
         prop_assert!(Response::decode(&wire[..cut]).is_err());
+    }
+
+    // The retry machinery correlates corrupted frames by the id prefix;
+    // that only works if every frame really leads with its req_id.
+    #[test]
+    fn peeked_id_matches_decoded_id(resp in arb_response(), req in arb_request(), req_id in any::<u64>()) {
+        prop_assert_eq!(peek_req_id(&resp.encode(req_id)), Some(req_id));
+        prop_assert_eq!(peek_req_id(&req.encode(req_id)), Some(req_id));
+    }
+
+    // A corrupted body must never decode into a *different* correlation
+    // id: flip any byte past the id prefix — either the decode fails or
+    // the id is intact.
+    #[test]
+    fn corruption_preserves_correlation(resp in arb_response(), pos in 8usize..4096, bit in 0u8..8) {
+        let wire = resp.encode(77);
+        let mut bent = wire.to_vec();
+        if pos < bent.len() {
+            bent[pos] ^= 1 << bit;
+            if let Ok(env) = Response::decode(&bent) {
+                prop_assert_eq!(env.req_id, 77);
+            }
+            prop_assert_eq!(peek_req_id(&bent), Some(77));
+        }
     }
 }

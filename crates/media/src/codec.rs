@@ -153,7 +153,7 @@ impl CodecModel {
             MediaFormat::Wav => (WAV_BYTES_PER_SEC as f64 * secs) as u64,
             MediaFormat::Midi => (MIDI_BYTES_PER_MIN as f64 * secs / 60.0).ceil() as u64,
             // Static media: scale with pixel count; text handled separately.
-            MediaFormat::Gif => dims.pixels() / 8,  // ~1 bit/pixel after LZW
+            MediaFormat::Gif => dims.pixels() / 8, // ~1 bit/pixel after LZW
             MediaFormat::Jpeg => dims.pixels() / 10, // ~0.8 bit/pixel
             MediaFormat::DrawList => 2_048,
             MediaFormat::Ascii | MediaFormat::Html => 0,
@@ -182,12 +182,7 @@ impl CodecModel {
     }
 
     /// Generate the deterministic synthetic payload for a capture.
-    pub fn generate_payload(
-        &self,
-        duration: SimDuration,
-        dims: VideoDims,
-        seed: u64,
-    ) -> Vec<u8> {
+    pub fn generate_payload(&self, duration: SimDuration, dims: VideoDims, seed: u64) -> Vec<u8> {
         let size = self.coded_size(duration, dims) as usize;
         let mut rng = SimRng::seed_from_u64(seed ^ (self.format.wire_tag() as u64) << 56);
         let mut buf = vec![0u8; size];
@@ -205,9 +200,7 @@ impl CodecModel {
 
     /// Check that a payload claims to be this format (header stamp).
     pub fn validate_payload(&self, data: &[u8]) -> bool {
-        data.len() >= 4
-            && data[0] == self.format.wire_tag()
-            && &data[1..4] == b"MTS"
+        data.len() >= 4 && data[0] == self.format.wire_tag() && &data[1..4] == b"MTS"
     }
 
     /// Pacing: when must byte `offset` of the stream be available for
@@ -245,9 +238,15 @@ mod tests {
         // "1 second of sound in 11KB" and "one minute of sound in 1MB"
         // (the paper rounds; we honour the 11 KB/s figure).
         let m = CodecModel::for_format(MediaFormat::Wav);
-        assert_eq!(m.coded_size(SimDuration::from_secs(1), VideoDims::default()), 11 * 1024);
+        assert_eq!(
+            m.coded_size(SimDuration::from_secs(1), VideoDims::default()),
+            11 * 1024
+        );
         let one_min = m.coded_size(SimDuration::from_secs(60), VideoDims::default());
-        assert!((600_000..1_100_000).contains(&one_min), "{one_min} ≈ 1MB/min rounded");
+        assert!(
+            (600_000..1_100_000).contains(&one_min),
+            "{one_min} ≈ 1MB/min rounded"
+        );
     }
 
     #[test]
@@ -257,8 +256,10 @@ mod tests {
         let wav = CodecModel::for_format(MediaFormat::Wav)
             .coded_size(SimDuration::from_secs(60), VideoDims::default());
         let ratio = wav as f64 / midi as f64;
-        assert!((100.0..160.0).contains(&ratio) || (15.0..25.0).contains(&ratio),
-            "paper: MIDI ≈ 1/20th of WAV *for many purposes*; got ratio {ratio}");
+        assert!(
+            (100.0..160.0).contains(&ratio) || (15.0..25.0).contains(&ratio),
+            "paper: MIDI ≈ 1/20th of WAV *for many purposes*; got ratio {ratio}"
+        );
         // Precisely: 5 KB per minute.
         assert_eq!(midi, 5 * 1024);
     }
@@ -292,11 +293,17 @@ mod tests {
         assert_eq!(frames[1].kind, FrameKind::B);
         assert_eq!(frames[12].kind, FrameKind::I, "GOP repeats every 12");
         // I frames are bigger than B frames on average.
-        let i_avg: f64 = frames.iter().filter(|f| f.kind == FrameKind::I)
-            .map(|f| f.size as f64).sum::<f64>()
+        let i_avg: f64 = frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::I)
+            .map(|f| f.size as f64)
+            .sum::<f64>()
             / frames.iter().filter(|f| f.kind == FrameKind::I).count() as f64;
-        let b_avg: f64 = frames.iter().filter(|f| f.kind == FrameKind::B)
-            .map(|f| f.size as f64).sum::<f64>()
+        let b_avg: f64 = frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::B)
+            .map(|f| f.size as f64)
+            .sum::<f64>()
             / frames.iter().filter(|f| f.kind == FrameKind::B).count() as f64;
         assert!(i_avg > 2.0 * b_avg, "I {i_avg} vs B {b_avg}");
     }
@@ -309,7 +316,10 @@ mod tests {
             .sum();
         let nominal = MPEG_BITS_PER_SEC / 8 * 10;
         let err = (total as f64 - nominal as f64).abs() / nominal as f64;
-        assert!(err < 0.10, "coded {total} vs nominal {nominal} (err {err:.3})");
+        assert!(
+            err < 0.10,
+            "coded {total} vs nominal {nominal} (err {err:.3})"
+        );
     }
 
     #[test]
@@ -317,7 +327,10 @@ mod tests {
         let frames: Vec<_> =
             FrameStream::new(SimDuration::from_millis(200), MPEG_BITS_PER_SEC, 1).collect();
         assert_eq!(frames.len(), 6);
-        assert_eq!(frames[1].pts - frames[0].pts, SimDuration::from_micros(33_333));
+        assert_eq!(
+            frames[1].pts - frames[0].pts,
+            SimDuration::from_micros(33_333)
+        );
     }
 
     #[test]
@@ -338,7 +351,10 @@ mod tests {
         let html = CodecModel::for_format(MediaFormat::Html);
         assert_eq!(ascii.static_size(1000), 1000);
         assert_eq!(html.static_size(1000), 1300);
-        assert_eq!(ascii.coded_size(SimDuration::from_secs(9), VideoDims::default()), 0);
+        assert_eq!(
+            ascii.coded_size(SimDuration::from_secs(9), VideoDims::default()),
+            0
+        );
     }
 
     #[test]

@@ -287,7 +287,13 @@ mod tests {
     fn closed_device_rejects_commands() {
         let mut p = MciPlayer::new(&ten_sec_clip());
         assert_eq!(
-            p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }),
+            p.command(
+                SimTime::ZERO,
+                MciCommand::Play {
+                    from: None,
+                    to: None
+                }
+            ),
             Err(MciError::NotOpen)
         );
         assert!(p.command(SimTime::ZERO, MciCommand::Open).is_ok());
@@ -297,10 +303,21 @@ mod tests {
     fn position_advances_with_clock_while_playing() {
         let mut p = MciPlayer::new(&ten_sec_clip());
         p.command(SimTime::ZERO, MciCommand::Open).unwrap();
-        p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }).unwrap();
+        p.command(
+            SimTime::ZERO,
+            MciCommand::Play {
+                from: None,
+                to: None,
+            },
+        )
+        .unwrap();
         assert_eq!(p.position_ms(SimTime::from_millis(2_500)), 2_500);
         assert_eq!(p.position_ms(SimTime::from_millis(10_000)), 10_000);
-        assert_eq!(p.position_ms(SimTime::from_millis(99_000)), 10_000, "clamped at end");
+        assert_eq!(
+            p.position_ms(SimTime::from_millis(99_000)),
+            10_000,
+            "clamped at end"
+        );
         assert!(p.finished(SimTime::from_millis(10_000)));
     }
 
@@ -308,11 +325,25 @@ mod tests {
     fn pause_freezes_position_resume_continues() {
         let mut p = MciPlayer::new(&ten_sec_clip());
         p.command(SimTime::ZERO, MciCommand::Open).unwrap();
-        p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }).unwrap();
-        p.command(SimTime::from_millis(3_000), MciCommand::Pause).unwrap();
-        assert_eq!(p.position_ms(SimTime::from_millis(8_000)), 3_000, "frozen");
-        p.command(SimTime::from_millis(8_000), MciCommand::Play { from: None, to: None })
+        p.command(
+            SimTime::ZERO,
+            MciCommand::Play {
+                from: None,
+                to: None,
+            },
+        )
+        .unwrap();
+        p.command(SimTime::from_millis(3_000), MciCommand::Pause)
             .unwrap();
+        assert_eq!(p.position_ms(SimTime::from_millis(8_000)), 3_000, "frozen");
+        p.command(
+            SimTime::from_millis(8_000),
+            MciCommand::Play {
+                from: None,
+                to: None,
+            },
+        )
+        .unwrap();
         assert_eq!(p.position_ms(SimTime::from_millis(9_000)), 4_000, "resumed");
     }
 
@@ -320,9 +351,19 @@ mod tests {
     fn stop_rewinds() {
         let mut p = MciPlayer::new(&ten_sec_clip());
         p.command(SimTime::ZERO, MciCommand::Open).unwrap();
-        p.command(SimTime::ZERO, MciCommand::Play { from: Some(5_000), to: None }).unwrap();
-        p.command(SimTime::from_millis(1_000), MciCommand::Stop).unwrap();
-        let st = p.command(SimTime::from_millis(1_000), MciCommand::Status).unwrap();
+        p.command(
+            SimTime::ZERO,
+            MciCommand::Play {
+                from: Some(5_000),
+                to: None,
+            },
+        )
+        .unwrap();
+        p.command(SimTime::from_millis(1_000), MciCommand::Stop)
+            .unwrap();
+        let st = p
+            .command(SimTime::from_millis(1_000), MciCommand::Status)
+            .unwrap();
         assert_eq!(st.position_ms, 0);
         assert_eq!(st.state, PlayerState::Stopped);
     }
@@ -331,8 +372,14 @@ mod tests {
     fn play_bounds_respected() {
         let mut p = MciPlayer::new(&ten_sec_clip());
         p.command(SimTime::ZERO, MciCommand::Open).unwrap();
-        p.command(SimTime::ZERO, MciCommand::Play { from: Some(2_000), to: Some(4_000) })
-            .unwrap();
+        p.command(
+            SimTime::ZERO,
+            MciCommand::Play {
+                from: Some(2_000),
+                to: Some(4_000),
+            },
+        )
+        .unwrap();
         assert_eq!(p.position_ms(SimTime::from_millis(1_000)), 3_000);
         assert_eq!(p.position_ms(SimTime::from_millis(5_000)), 4_000, "bounded");
         assert!(p.finished(SimTime::from_millis(5_000)));
@@ -344,7 +391,10 @@ mod tests {
         p.command(SimTime::ZERO, MciCommand::Open).unwrap();
         assert_eq!(
             p.command(SimTime::ZERO, MciCommand::Seek { to_ms: 20_000 }),
-            Err(MciError::OutOfRange { requested: 20_000, length: 10_000 })
+            Err(MciError::OutOfRange {
+                requested: 20_000,
+                length: 10_000
+            })
         );
     }
 
@@ -353,10 +403,22 @@ mod tests {
         assert_eq!(parse_command("open"), Ok(MciCommand::Open));
         assert_eq!(
             parse_command("play from 2000 to 5000"),
-            Ok(MciCommand::Play { from: Some(2_000), to: Some(5_000) })
+            Ok(MciCommand::Play {
+                from: Some(2_000),
+                to: Some(5_000)
+            })
         );
-        assert_eq!(parse_command("play"), Ok(MciCommand::Play { from: None, to: None }));
-        assert_eq!(parse_command("seek 1500"), Ok(MciCommand::Seek { to_ms: 1_500 }));
+        assert_eq!(
+            parse_command("play"),
+            Ok(MciCommand::Play {
+                from: None,
+                to: None
+            })
+        );
+        assert_eq!(
+            parse_command("seek 1500"),
+            Ok(MciCommand::Seek { to_ms: 1_500 })
+        );
         assert!(parse_command("rewind fully").is_err());
         assert!(parse_command("play from").is_err());
         assert!(parse_command("play sideways 3").is_err());
@@ -384,7 +446,17 @@ mod tests {
         );
         let mut p = MciPlayer::new(&obj);
         p.command(SimTime::ZERO, MciCommand::Open).unwrap();
-        p.command(SimTime::ZERO, MciCommand::Play { from: None, to: None }).unwrap();
-        assert!(!p.finished(SimTime::from_secs(100)), "static media has no end");
+        p.command(
+            SimTime::ZERO,
+            MciCommand::Play {
+                from: None,
+                to: None,
+            },
+        )
+        .unwrap();
+        assert!(
+            !p.finished(SimTime::from_secs(100)),
+            "static media has no end"
+        );
     }
 }

@@ -135,7 +135,11 @@ impl MediaObject {
         };
         format!(
             "{} [{}] {} {} {} bytes",
-            self.name, self.format, self.dims, dur, self.data.len()
+            self.name,
+            self.format,
+            self.dims,
+            dur,
+            self.data.len()
         )
     }
 }

@@ -30,7 +30,12 @@ pub struct CaptureSpec {
 
 impl CaptureSpec {
     /// A video capture.
-    pub fn video(name: impl Into<String>, format: MediaFormat, duration: SimDuration, dims: VideoDims) -> Self {
+    pub fn video(
+        name: impl Into<String>,
+        format: MediaFormat,
+        duration: SimDuration,
+        dims: VideoDims,
+    ) -> Self {
         CaptureSpec {
             name: name.into(),
             format,
@@ -158,8 +163,16 @@ mod tests {
     #[test]
     fn capture_allocates_sequential_ids() {
         let mut pc = ProductionCenter::new(1);
-        let a = pc.capture(&CaptureSpec::audio("a.wav", MediaFormat::Wav, SimDuration::from_secs(1)));
-        let b = pc.capture(&CaptureSpec::audio("b.wav", MediaFormat::Wav, SimDuration::from_secs(1)));
+        let a = pc.capture(&CaptureSpec::audio(
+            "a.wav",
+            MediaFormat::Wav,
+            SimDuration::from_secs(1),
+        ));
+        let b = pc.capture(&CaptureSpec::audio(
+            "b.wav",
+            MediaFormat::Wav,
+            SimDuration::from_secs(1),
+        ));
         assert_eq!(a.id, MediaId(1));
         assert_eq!(b.id, MediaId(2));
         assert_eq!(pc.catalogue().len(), 2);
@@ -168,7 +181,11 @@ mod tests {
     #[test]
     fn audio_capture_has_calibrated_size() {
         let mut pc = ProductionCenter::new(1);
-        let a = pc.capture(&CaptureSpec::audio("a.wav", MediaFormat::Wav, SimDuration::from_secs(3)));
+        let a = pc.capture(&CaptureSpec::audio(
+            "a.wav",
+            MediaFormat::Wav,
+            SimDuration::from_secs(3),
+        ));
         assert_eq!(a.size_bytes() as u64, 3 * WAV_BYTES_PER_SEC);
         assert!(a.verify());
     }
@@ -210,6 +227,9 @@ mod tests {
             CaptureSpec::text("notes.txt", MediaFormat::Ascii, 400),
         ]);
         assert_eq!(objs.len(), 2);
-        assert_eq!(pc.total_bytes(), objs.iter().map(|o| o.size_bytes() as u64).sum::<u64>());
+        assert_eq!(
+            pc.total_bytes(),
+            objs.iter().map(|o| o.size_bytes() as u64).sum::<u64>()
+        );
     }
 }

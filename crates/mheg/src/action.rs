@@ -200,12 +200,18 @@ mod tests {
         assert_eq!(Prepare.group(), ActionGroup::Preparation);
         assert_eq!(New.group(), ActionGroup::Creation);
         assert_eq!(Run.group(), ActionGroup::Presentation);
-        assert_eq!(SetPosition { x: 0, y: 0 }.group(), ActionGroup::Presentation);
+        assert_eq!(
+            SetPosition { x: 0, y: 0 }.group(),
+            ActionGroup::Presentation
+        );
         assert_eq!(SetSize { w: 1, h: 1 }.group(), ActionGroup::Rendition);
         assert_eq!(SetSpeed(1000).group(), ActionGroup::Rendition);
         assert_eq!(Activate.group(), ActionGroup::Activation);
         assert_eq!(SetInteraction(true).group(), ActionGroup::Interaction);
-        assert_eq!(GetValue(ValueAttribute::State).group(), ActionGroup::GettingValue);
+        assert_eq!(
+            GetValue(ValueAttribute::State).group(),
+            ActionGroup::GettingValue
+        );
     }
 
     #[test]

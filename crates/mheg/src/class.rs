@@ -144,7 +144,9 @@ impl ClassKind {
 
     /// Inverse of [`wire_tag`](Self::wire_tag).
     pub fn from_wire_tag(tag: u8) -> Option<ClassKind> {
-        ClassKind::CONCRETE.into_iter().find(|c| c.wire_tag() == tag)
+        ClassKind::CONCRETE
+            .into_iter()
+            .find(|c| c.wire_tag() == tag)
     }
 }
 
@@ -176,7 +178,10 @@ mod tests {
     #[test]
     fn hierarchy_matches_figure_4_5a() {
         assert_eq!(ClassKind::Content.parent(), Some(ClassKind::Component));
-        assert_eq!(ClassKind::MultiplexedContent.parent(), Some(ClassKind::Content));
+        assert_eq!(
+            ClassKind::MultiplexedContent.parent(),
+            Some(ClassKind::Content)
+        );
         assert_eq!(ClassKind::Composite.parent(), Some(ClassKind::Component));
         assert_eq!(ClassKind::Script.parent(), Some(ClassKind::Model));
         assert_eq!(ClassKind::Component.parent(), Some(ClassKind::Model));

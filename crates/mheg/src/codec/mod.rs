@@ -74,8 +74,7 @@ pub fn decode_object(data: &[u8], format: WireFormat) -> Result<MhegObject, Code
     let node = match format {
         WireFormat::Tlv => tlv::decode(data)?,
         WireFormat::Sgml => {
-            let text =
-                std::str::from_utf8(data).map_err(|e| CodecError::BadText(e.to_string()))?;
+            let text = std::str::from_utf8(data).map_err(|e| CodecError::BadText(e.to_string()))?;
             sgml::decode(text)?
         }
     };
@@ -145,8 +144,16 @@ mod tests {
                 ObjectBody::MultiplexedContent {
                     base: ContentBody::referenced(MediaId(9), MediaFormat::Mpeg),
                     streams: vec![
-                        StreamDesc { stream_id: 1, format: MediaFormat::Mpeg, enabled: true },
-                        StreamDesc { stream_id: 2, format: MediaFormat::Wav, enabled: false },
+                        StreamDesc {
+                            stream_id: 1,
+                            format: MediaFormat::Mpeg,
+                            enabled: true,
+                        },
+                        StreamDesc {
+                            stream_id: 2,
+                            format: MediaFormat::Wav,
+                            enabled: false,
+                        },
                     ],
                 },
             ),
@@ -201,7 +208,10 @@ mod tests {
                     }],
                     effect: LinkEffect::Inline(vec![ActionEntry::now(
                         t(1),
-                        vec![ElementaryAction::Stop, ElementaryAction::SetVisibility(false)],
+                        vec![
+                            ElementaryAction::Stop,
+                            ElementaryAction::SetVisibility(false),
+                        ],
                     )]),
                 }),
             ),
@@ -310,7 +320,12 @@ mod tests {
             std::str::from_utf8(&sgml).unwrap().contains("mheg"),
             "markup names the root"
         );
-        assert!(tlv.len() < sgml.len(), "binary beats text: {} vs {}", tlv.len(), sgml.len());
+        assert!(
+            tlv.len() < sgml.len(),
+            "binary beats text: {} vs {}",
+            tlv.len(),
+            sgml.len()
+        );
     }
 
     #[test]

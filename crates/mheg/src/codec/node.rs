@@ -179,7 +179,14 @@ mod tests {
 
     #[test]
     fn escape_round_trip() {
-        let cases = ["", "plain", "a<b>&\"c", "&&&&", "&amp; already", "日本語 <tag>"];
+        let cases = [
+            "",
+            "plain",
+            "a<b>&\"c",
+            "&&&&",
+            "&amp; already",
+            "日本語 <tag>",
+        ];
         for c in cases {
             assert_eq!(unescape(&escape(c)).unwrap(), c, "case {c:?}");
         }

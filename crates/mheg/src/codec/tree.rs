@@ -23,8 +23,12 @@ fn malformed(msg: impl Into<String>) -> CodecError {
 }
 
 fn req_attr<'a>(n: &'a Node, key: &str) -> R<&'a str> {
-    n.get_attr(key)
-        .ok_or_else(|| malformed(format!("<{}> missing attribute {key}", n.name().unwrap_or("?"))))
+    n.get_attr(key).ok_or_else(|| {
+        malformed(format!(
+            "<{}> missing attribute {key}",
+            n.name().unwrap_or("?")
+        ))
+    })
 }
 
 fn parse_num<T: std::str::FromStr>(n: &Node, key: &str) -> R<T> {
@@ -34,8 +38,12 @@ fn parse_num<T: std::str::FromStr>(n: &Node, key: &str) -> R<T> {
 }
 
 fn req_child<'a>(n: &'a Node, name: &str) -> R<&'a Node> {
-    n.find(name)
-        .ok_or_else(|| malformed(format!("<{}> missing child <{name}>", n.name().unwrap_or("?"))))
+    n.find(name).ok_or_else(|| {
+        malformed(format!(
+            "<{}> missing child <{name}>",
+            n.name().unwrap_or("?")
+        ))
+    })
 }
 
 // ---------- leaf encoders/decoders ----------
@@ -50,7 +58,10 @@ fn id_from(n: &Node) -> R<MhegId> {
 
 fn target_attrs(node: Node, t: TargetRef) -> Node {
     match t {
-        TargetRef::Model(id) => node.attr("tkind", "m").attr("tapp", id.app).attr("tnum", id.num),
+        TargetRef::Model(id) => node
+            .attr("tkind", "m")
+            .attr("tapp", id.app)
+            .attr("tnum", id.num),
         TargetRef::Rt(id) => node.attr("tkind", "r").attr("tid", id.0),
     }
 }
@@ -163,7 +174,10 @@ fn action_node(a: &ElementaryAction) -> Node {
         Stop => Node::elem("act").attr("k", "stop"),
         SetPosition { x, y } => Node::elem("act").attr("k", "pos").attr("x", x).attr("y", y),
         SetVisibility(v) => Node::elem("act").attr("k", "vis").attr("v", v),
-        SetSize { w, h } => Node::elem("act").attr("k", "size").attr("w", w).attr("h", h),
+        SetSize { w, h } => Node::elem("act")
+            .attr("k", "size")
+            .attr("w", w)
+            .attr("h", h),
         SetSpeed(s) => Node::elem("act").attr("k", "speed").attr("v", s),
         SetVolume(v) => Node::elem("act").attr("k", "volume").attr("v", v),
         Activate => Node::elem("act").attr("k", "activate"),
@@ -331,7 +345,9 @@ fn sync_from(n: &Node) -> R<SyncSpec> {
 
 fn need_node(need: &ResourceNeed) -> Node {
     match need {
-        ResourceNeed::Decoder(f) => Node::elem("need").attr("k", "decoder").attr("f", format_name(*f)),
+        ResourceNeed::Decoder(f) => Node::elem("need")
+            .attr("k", "decoder")
+            .attr("f", format_name(*f)),
         ResourceNeed::Bandwidth(b) => Node::elem("need").attr("k", "bw").attr("bps", b),
         ResourceNeed::Display(d) => Node::elem("need")
             .attr("k", "display")
@@ -402,7 +418,12 @@ pub fn object_to_node(obj: &MhegObject) -> Node {
         .attr("owner", &obj.info.owner)
         .attr("version", obj.info.version)
         .attr("date", &obj.info.date)
-        .children_from(obj.info.keywords.iter().map(|k| Node::elem("kw").attr("v", k)));
+        .children_from(
+            obj.info
+                .keywords
+                .iter()
+                .map(|k| Node::elem("kw").attr("v", k)),
+        );
 
     let body = match &obj.body {
         ObjectBody::Content(c) => content_node("content", c),
@@ -420,7 +441,9 @@ pub fn object_to_node(obj: &MhegObject) -> Node {
             .children_from(c.sync.iter().map(sync_node)),
         ObjectBody::Link(l) => {
             let effect = match &l.effect {
-                LinkEffect::ActionRef(id) => Node::elem("effect").attr("kind", "ref").child(id_node("aref", *id)),
+                LinkEffect::ActionRef(id) => Node::elem("effect")
+                    .attr("kind", "ref")
+                    .child(id_node("aref", *id)),
                 LinkEffect::Inline(entries) => Node::elem("effect")
                     .attr("kind", "inline")
                     .children_from(entries.iter().map(entry_node)),
@@ -462,7 +485,9 @@ pub fn node_to_object(n: &Node) -> R<MhegObject> {
     }
     let std_id: u8 = parse_num(n, "std")?;
     if std_id != STANDARD_ID {
-        return Err(malformed(format!("standard id {std_id}, expected {STANDARD_ID}")));
+        return Err(malformed(format!(
+            "standard id {std_id}, expected {STANDARD_ID}"
+        )));
     }
     let id = MhegId::new(parse_num(n, "app")?, parse_num(n, "num")?);
     let info_node = req_child(n, "info")?;
@@ -510,7 +535,10 @@ pub fn node_to_object(n: &Node) -> R<MhegObject> {
             let effect = match req_attr(effect_node, "kind")? {
                 "ref" => LinkEffect::ActionRef(id_from(req_child(effect_node, "aref")?)?),
                 "inline" => LinkEffect::Inline(
-                    effect_node.find_all("entry").map(entry_from).collect::<R<_>>()?,
+                    effect_node
+                        .find_all("entry")
+                        .map(entry_from)
+                        .collect::<R<_>>()?,
                 ),
                 other => return Err(malformed(format!("bad effect kind {other}"))),
             };

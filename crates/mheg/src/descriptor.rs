@@ -122,10 +122,7 @@ impl Negotiation {
                     if caps.display.width >= d.width && caps.display.height >= d.height {
                         NeedOutcome::Satisfied
                     } else {
-                        NeedOutcome::Degraded(format!(
-                            "scale {d} onto {}",
-                            caps.display
-                        ))
+                        NeedOutcome::Degraded(format!("scale {d} onto {}", caps.display))
                     }
                 }
                 ResourceNeed::AudioOutput => {
@@ -264,10 +261,7 @@ mod tests {
     #[test]
     fn oversized_display_degrades() {
         let caps = SystemCapabilities::multimedia_pc(155_000_000);
-        let n = Negotiation::run(
-            &[ResourceNeed::Display(VideoDims::new(1920, 1080))],
-            &caps,
-        );
+        let n = Negotiation::run(&[ResourceNeed::Display(VideoDims::new(1920, 1080))], &caps);
         assert!(n.presentable());
         assert!(!n.accepted());
     }

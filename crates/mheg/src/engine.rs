@@ -197,7 +197,10 @@ struct Timer {
 impl Ord for Timer {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on (at, seq).
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Timer {
@@ -498,7 +501,10 @@ impl MhegEngine {
         }
         rt.attrs.data = data.clone();
         let model = rt.model;
-        self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "data" });
+        self.emit(PresentationEvent::AttributeChanged {
+            rt: id,
+            attr: "data",
+        });
         let ev = InternalEvent {
             rt: id,
             model,
@@ -517,11 +523,14 @@ impl MhegEngine {
         if entry.delay.is_zero() {
             self.apply_entry_now(entry)
         } else {
-            self.schedule(self.now + entry.delay, TimerKind::Action(ActionEntry {
-                target: entry.target,
-                delay: SimDuration::ZERO,
-                actions: entry.actions.clone(),
-            }));
+            self.schedule(
+                self.now + entry.delay,
+                TimerKind::Action(ActionEntry {
+                    target: entry.target,
+                    delay: SimDuration::ZERO,
+                    actions: entry.actions.clone(),
+                }),
+            );
             Ok(())
         }
     }
@@ -571,7 +580,9 @@ impl MhegEngine {
                 let id = match target {
                     TargetRef::Model(m) => m,
                     TargetRef::Rt(_) => {
-                        return Err(EngineError::BadTarget("prepare needs a model target".into()))
+                        return Err(EngineError::BadTarget(
+                            "prepare needs a model target".into(),
+                        ))
                     }
                 };
                 self.prepare(id)?;
@@ -586,7 +597,9 @@ impl MhegEngine {
                 let id = match target {
                     TargetRef::Model(m) => m,
                     TargetRef::Rt(_) => {
-                        return Err(EngineError::BadTarget("destroy needs a model target".into()))
+                        return Err(EngineError::BadTarget(
+                            "destroy needs a model target".into(),
+                        ))
                     }
                 };
                 self.prepared.insert(id, false);
@@ -624,7 +637,10 @@ impl MhegEngine {
                 let id = self.resolve_rt(target, true)?;
                 let rt = self.rt.get_mut(&id).expect("resolved");
                 rt.attrs.position = (*x, *y);
-                self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "position" });
+                self.emit(PresentationEvent::AttributeChanged {
+                    rt: id,
+                    attr: "position",
+                });
             }
             SetVisibility(v) => {
                 let id = self.resolve_rt(target, true)?;
@@ -632,7 +648,10 @@ impl MhegEngine {
                 if rt.attrs.visible != *v {
                     rt.attrs.visible = *v;
                     let model = rt.model;
-                    self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "visibility" });
+                    self.emit(PresentationEvent::AttributeChanged {
+                        rt: id,
+                        attr: "visibility",
+                    });
                     events.push(InternalEvent {
                         rt: id,
                         model,
@@ -644,7 +663,10 @@ impl MhegEngine {
             SetSize { w, h } => {
                 let id = self.resolve_rt(target, true)?;
                 self.rt.get_mut(&id).expect("resolved").attrs.size = (*w, *h);
-                self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "size" });
+                self.emit(PresentationEvent::AttributeChanged {
+                    rt: id,
+                    attr: "size",
+                });
             }
             SetSpeed(s) => {
                 let id = self.resolve_rt(target, true)?;
@@ -656,14 +678,20 @@ impl MhegEngine {
                     rt.started_at = now;
                 }
                 rt.attrs.speed = *s;
-                self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "speed" });
+                self.emit(PresentationEvent::AttributeChanged {
+                    rt: id,
+                    attr: "speed",
+                });
                 // Reschedule completion under the new speed.
                 self.reschedule_completion(id);
             }
             SetVolume(v) => {
                 let id = self.resolve_rt(target, true)?;
                 self.rt.get_mut(&id).expect("resolved").attrs.volume = *v;
-                self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "volume" });
+                self.emit(PresentationEvent::AttributeChanged {
+                    rt: id,
+                    attr: "volume",
+                });
             }
             Activate | Deactivate => {
                 let id = self.resolve_rt(target, true)?;
@@ -696,7 +724,10 @@ impl MhegEngine {
                         let rt = self.rt.get_mut(&id).expect("checked");
                         rt.attrs.data = result.clone();
                         let script_model = rt.model;
-                        self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "data" });
+                        self.emit(PresentationEvent::AttributeChanged {
+                            rt: id,
+                            attr: "data",
+                        });
                         events.push(InternalEvent {
                             rt: id,
                             model: script_model,
@@ -705,24 +736,31 @@ impl MhegEngine {
                         });
                     }
                 }
-                if let Some(RtKind::Script { active }) =
-                    self.rt.get_mut(&id).map(|r| &mut r.kind)
-                {
+                if let Some(RtKind::Script { active }) = self.rt.get_mut(&id).map(|r| &mut r.kind) {
                     *active = activating;
                 }
-                self.emit(PresentationEvent::ScriptActivation { rt: id, active: activating });
+                self.emit(PresentationEvent::ScriptActivation {
+                    rt: id,
+                    active: activating,
+                });
             }
             SetInteraction(v) => {
                 let id = self.resolve_rt(target, true)?;
                 self.rt.get_mut(&id).expect("resolved").attrs.interactive = *v;
-                self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "interaction" });
+                self.emit(PresentationEvent::AttributeChanged {
+                    rt: id,
+                    attr: "interaction",
+                });
             }
             SetData(value) => {
                 let id = self.resolve_rt(target, true)?;
                 let rt = self.rt.get_mut(&id).expect("resolved");
                 rt.attrs.data = value.clone();
                 let model = rt.model;
-                self.emit(PresentationEvent::AttributeChanged { rt: id, attr: "data" });
+                self.emit(PresentationEvent::AttributeChanged {
+                    rt: id,
+                    attr: "data",
+                });
                 events.push(InternalEvent {
                     rt: id,
                     model,
@@ -734,7 +772,9 @@ impl MhegEngine {
                 let id = self.resolve_rt(target, true)?;
                 let rt = self.rt.get_mut(&id).expect("resolved");
                 match &mut rt.kind {
-                    RtKind::Content { enabled_streams, .. } => {
+                    RtKind::Content {
+                        enabled_streams, ..
+                    } => {
                         if *enabled {
                             if !enabled_streams.contains(stream_id) {
                                 enabled_streams.push(*stream_id);
@@ -767,7 +807,11 @@ impl MhegEngine {
                     ValueAttribute::State => GenericValue::Str(rt.state.as_str().into()),
                     ValueAttribute::Data => rt.attrs.data.clone(),
                 };
-                self.emit(PresentationEvent::ValueReport { rt: id, attr: *attr, value });
+                self.emit(PresentationEvent::ValueReport {
+                    rt: id,
+                    attr: *attr,
+                    value,
+                });
             }
         }
         Ok(())
@@ -919,7 +963,9 @@ impl MhegEngine {
         if self.generations.get(&id) != Some(&generation) {
             return Ok(());
         }
-        let Some(rt) = self.rt.get(&id) else { return Ok(()) };
+        let Some(rt) = self.rt.get(&id) else {
+            return Ok(());
+        };
         if rt.state != RtState::Running {
             return Ok(());
         }
@@ -937,7 +983,9 @@ impl MhegEngine {
     }
 
     fn handle_cyclic(&mut self, index: usize) -> Result<(), EngineError> {
-        let Some(state) = self.cyclic.get_mut(index) else { return Ok(()) };
+        let Some(state) = self.cyclic.get_mut(index) else {
+            return Ok(());
+        };
         if !state.active {
             return Ok(());
         }
@@ -983,7 +1031,9 @@ impl MhegEngine {
         };
         match status {
             StatusKind::RunState => GenericValue::Str(
-                rt.map(|r| r.state.as_str()).unwrap_or("inactive").to_string(),
+                rt.map(|r| r.state.as_str())
+                    .unwrap_or("inactive")
+                    .to_string(),
             ),
             StatusKind::Visibility => GenericValue::Bool(rt.is_some_and(|r| r.attrs.visible)),
             StatusKind::Data => rt
@@ -1107,8 +1157,11 @@ mod tests {
         assert!(eng.is_prepared(video));
         let rt = eng.new_rt(video).unwrap();
         assert_eq!(eng.rt(rt).unwrap().state, RtState::Inactive);
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         assert_eq!(eng.rt(rt).unwrap().state, RtState::Running);
         // Advance past the 5 s duration: auto-completes.
         eng.advance(SimTime::from_secs(6)).unwrap();
@@ -1152,7 +1205,10 @@ mod tests {
             "on-stop",
             Condition::selected(TargetRef::Model(button)),
             vec![],
-            vec![ActionEntry::now(TargetRef::Model(video), vec![ElementaryAction::Stop])],
+            vec![ActionEntry::now(
+                TargetRef::Model(video),
+                vec![ElementaryAction::Stop],
+            )],
         );
         let mut eng = MhegEngine::new();
         for o in lib.into_objects() {
@@ -1160,8 +1216,11 @@ mod tests {
         }
         let v_rt = eng.new_rt(video).unwrap();
         let b_rt = eng.new_rt(button).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(v_rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(v_rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         eng.apply_entry(&ActionEntry::now(
             TargetRef::Rt(b_rt),
             vec![ElementaryAction::SetInteraction(true)],
@@ -1211,14 +1270,20 @@ mod tests {
             "audio-then-image",
             Condition::completed(TargetRef::Model(audio)),
             vec![],
-            vec![ActionEntry::now(TargetRef::Model(image), vec![ElementaryAction::Run])],
+            vec![ActionEntry::now(
+                TargetRef::Model(image),
+                vec![ElementaryAction::Run],
+            )],
         );
         let mut eng = MhegEngine::new();
         for o in lib.into_objects() {
             eng.ingest(o);
         }
-        eng.apply_entry(&ActionEntry::now(TargetRef::Model(audio), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Model(audio),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         eng.advance(SimTime::from_secs(2)).unwrap();
         assert!(eng.rt_of_model(image).is_none(), "image not yet shown");
         eng.advance(SimTime::from_secs(4)).unwrap();
@@ -1240,7 +1305,10 @@ mod tests {
                 StatusKind::Data,
                 GenericValue::Int(1),
             )],
-            vec![ActionEntry::now(TargetRef::Model(video), vec![ElementaryAction::Run])],
+            vec![ActionEntry::now(
+                TargetRef::Model(video),
+                vec![ElementaryAction::Run],
+            )],
         );
         let mut eng = MhegEngine::new();
         for o in lib.into_objects() {
@@ -1300,8 +1368,11 @@ mod tests {
         }
         let scene_rt = eng.new_rt(scene).unwrap();
         assert_eq!(eng.rt(scene_rt).unwrap().sockets().unwrap().len(), 2);
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(scene_rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(scene_rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         // a runs immediately; b after a completes at t=2.
         let a_rt = eng.rt_of_model(a).unwrap();
         assert_eq!(eng.rt(a_rt).unwrap().state, RtState::Running);
@@ -1336,8 +1407,11 @@ mod tests {
             eng.ingest(o);
         }
         let rt = eng.new_rt(scene).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         eng.advance(SimTime::from_secs(10)).unwrap();
         let starts = eng
             .take_events()
@@ -1354,12 +1428,18 @@ mod tests {
     fn speed_change_rescales_completion() {
         let (mut eng, video, _) = engine_with_video_and_button();
         let rt = eng.new_rt(video).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         // At t=1 switch to double speed: remaining 4 s of media plays in 2 s.
         eng.advance(SimTime::from_secs(1)).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::SetSpeed(2000)]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(rt),
+            vec![ElementaryAction::SetSpeed(2000)],
+        ))
+        .unwrap();
         eng.advance(SimTime::from_secs(10)).unwrap();
         let completed_at = eng.take_events().iter().find_map(|e| match e {
             PresentationEvent::Completed { rt: r, at } if *r == rt => Some(*at),
@@ -1404,8 +1484,11 @@ mod tests {
             eng.ingest(o);
         }
         let rt = eng.new_rt(scene).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         let before = eng.rt_count();
         assert_eq!(before, 3, "composite + two children");
         eng.delete_rt(rt).unwrap();
@@ -1422,13 +1505,19 @@ mod tests {
             "on",
             Condition::equals(TargetRef::Model(x), StatusKind::Visibility, true),
             vec![],
-            vec![ActionEntry::now(TargetRef::Model(x), vec![ElementaryAction::SetVisibility(false)])],
+            vec![ActionEntry::now(
+                TargetRef::Model(x),
+                vec![ElementaryAction::SetVisibility(false)],
+            )],
         );
         lib.link(
             "off",
             Condition::equals(TargetRef::Model(x), StatusKind::Visibility, false),
             vec![],
-            vec![ActionEntry::now(TargetRef::Model(x), vec![ElementaryAction::SetVisibility(true)])],
+            vec![ActionEntry::now(
+                TargetRef::Model(x),
+                vec![ElementaryAction::SetVisibility(true)],
+            )],
         );
         let mut eng = MhegEngine::new();
         for o in lib.into_objects() {
@@ -1455,7 +1544,6 @@ mod tests {
         assert!(eng.ingest_wire(b"garbage", WireFormat::Tlv).is_err());
     }
 
-
     #[test]
     fn script_activation_evaluates_quiz_expression() {
         let mut lib = ClassLibrary::new(1);
@@ -1479,18 +1567,30 @@ mod tests {
             vec![ElementaryAction::SetData(GenericValue::Int(2))],
         ))
         .unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(quiz_rt), vec![ElementaryAction::Activate]))
-            .unwrap();
-        assert_eq!(eng.rt(quiz_rt).unwrap().attrs.data, GenericValue::Bool(true));
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(quiz_rt),
+            vec![ElementaryAction::Activate],
+        ))
+        .unwrap();
+        assert_eq!(
+            eng.rt(quiz_rt).unwrap().attrs.data,
+            GenericValue::Bool(true)
+        );
         // Failing score re-evaluates to false.
         eng.apply_entry(&ActionEntry::now(
             TargetRef::Rt(score_rt),
             vec![ElementaryAction::SetData(GenericValue::Int(40))],
         ))
         .unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(quiz_rt), vec![ElementaryAction::Activate]))
-            .unwrap();
-        assert_eq!(eng.rt(quiz_rt).unwrap().attrs.data, GenericValue::Bool(false));
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(quiz_rt),
+            vec![ElementaryAction::Activate],
+        ))
+        .unwrap();
+        assert_eq!(
+            eng.rt(quiz_rt).unwrap().attrs.data,
+            GenericValue::Bool(false)
+        );
     }
 
     #[test]
@@ -1504,7 +1604,10 @@ mod tests {
             "pass-link",
             Condition::equals(TargetRef::Model(quiz), StatusKind::Data, true),
             vec![],
-            vec![ActionEntry::now(TargetRef::Model(reward), vec![ElementaryAction::Run])],
+            vec![ActionEntry::now(
+                TargetRef::Model(reward),
+                vec![ElementaryAction::Run],
+            )],
         );
         let mut eng = MhegEngine::new();
         for o in lib.into_objects() {
@@ -1512,8 +1615,11 @@ mod tests {
         }
         eng.new_rt(score).unwrap();
         let quiz_rt = eng.new_rt(quiz).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(quiz_rt), vec![ElementaryAction::Activate]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(quiz_rt),
+            vec![ElementaryAction::Activate],
+        ))
+        .unwrap();
         let reward_rt = eng.rt_of_model(reward).expect("reward launched by script");
         assert_eq!(eng.rt(reward_rt).unwrap().state, RtState::Running);
     }
@@ -1528,7 +1634,10 @@ mod tests {
         }
         let rt = eng.new_rt(broken).unwrap();
         let err = eng
-            .apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Activate]))
+            .apply_entry(&ActionEntry::now(
+                TargetRef::Rt(rt),
+                vec![ElementaryAction::Activate],
+            ))
             .unwrap_err();
         assert!(matches!(err, EngineError::Script(_)));
     }
@@ -1541,8 +1650,16 @@ mod tests {
         let mux = lib.multiplexed_content(
             &media,
             vec![
-                StreamDesc { stream_id: 1, format: MediaFormat::Mpeg, enabled: true },
-                StreamDesc { stream_id: 2, format: MediaFormat::Wav, enabled: true },
+                StreamDesc {
+                    stream_id: 1,
+                    format: MediaFormat::Mpeg,
+                    enabled: true,
+                },
+                StreamDesc {
+                    stream_id: 2,
+                    format: MediaFormat::Wav,
+                    enabled: true,
+                },
             ],
         );
         let mut eng = MhegEngine::new();
@@ -1551,27 +1668,38 @@ mod tests {
         }
         let rt = eng.new_rt(mux).unwrap();
         let streams = |eng: &MhegEngine| match &eng.rt(rt).unwrap().kind {
-            RtKind::Content { enabled_streams, .. } => enabled_streams.clone(),
+            RtKind::Content {
+                enabled_streams, ..
+            } => enabled_streams.clone(),
             _ => panic!("not content"),
         };
         assert_eq!(streams(&eng), vec![1, 2]);
         // "Turn audio off in an MPEG system stream."
         eng.apply_entry(&ActionEntry::now(
             TargetRef::Rt(rt),
-            vec![ElementaryAction::SetStreamEnabled { stream_id: 2, enabled: false }],
+            vec![ElementaryAction::SetStreamEnabled {
+                stream_id: 2,
+                enabled: false,
+            }],
         ))
         .unwrap();
         assert_eq!(streams(&eng), vec![1]);
         eng.apply_entry(&ActionEntry::now(
             TargetRef::Rt(rt),
-            vec![ElementaryAction::SetStreamEnabled { stream_id: 2, enabled: true }],
+            vec![ElementaryAction::SetStreamEnabled {
+                stream_id: 2,
+                enabled: true,
+            }],
         ))
         .unwrap();
         assert_eq!(streams(&eng), vec![1, 2]);
         // Idempotent re-enable.
         eng.apply_entry(&ActionEntry::now(
             TargetRef::Rt(rt),
-            vec![ElementaryAction::SetStreamEnabled { stream_id: 2, enabled: true }],
+            vec![ElementaryAction::SetStreamEnabled {
+                stream_id: 2,
+                enabled: true,
+            }],
         ))
         .unwrap();
         assert_eq!(streams(&eng), vec![1, 2]);
@@ -1589,7 +1717,10 @@ mod tests {
         assert!(matches!(
             eng.apply_entry(&ActionEntry::now(
                 TargetRef::Rt(s_rt),
-                vec![ElementaryAction::SetStreamEnabled { stream_id: 1, enabled: false }],
+                vec![ElementaryAction::SetStreamEnabled {
+                    stream_id: 1,
+                    enabled: false
+                }],
             )),
             Err(EngineError::BadTarget(_))
         ));
@@ -1600,8 +1731,11 @@ mod tests {
         let (mut eng, video, _) = engine_with_video_and_button();
         eng.prepare(video).unwrap();
         let rt = eng.new_rt(video).unwrap();
-        eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Run]))
-            .unwrap();
+        eng.apply_entry(&ActionEntry::now(
+            TargetRef::Rt(rt),
+            vec![ElementaryAction::Run],
+        ))
+        .unwrap();
         assert_eq!(eng.stats.ingested, 2);
         assert_eq!(eng.stats.rt_created, 1);
         assert_eq!(eng.stats.actions_applied, 1);

@@ -52,8 +52,8 @@ pub use ids::{MhegId, ObjectInfo, RtId};
 pub use library::ClassLibrary;
 pub use link::{Comparison, Condition, StatusKind};
 pub use object::{
-    ActionBody, CompositeBody, ContainerBody, ContentBody, ContentData, DescriptorBody,
-    LinkBody, MhegObject, ObjectBody, ScriptBody, StreamDesc,
+    ActionBody, CompositeBody, ContainerBody, ContentBody, ContentData, DescriptorBody, LinkBody,
+    MhegObject, ObjectBody, ScriptBody, StreamDesc,
 };
 pub use runtime::{RtObject, RtState, Socket, SocketKind};
 pub use script::{run as run_script, ScriptError};

@@ -134,11 +134,7 @@ impl ClassLibrary {
 
     /// Multiplexed content over a produced media object with a stream
     /// table (e.g. MPEG system stream: video stream 1, audio stream 2).
-    pub fn multiplexed_content(
-        &mut self,
-        media: &MediaObject,
-        streams: Vec<StreamDesc>,
-    ) -> MhegId {
+    pub fn multiplexed_content(&mut self, media: &MediaObject, streams: Vec<StreamDesc>) -> MhegId {
         let base = ContentBody {
             data: ContentData::Referenced(media.id),
             format: media.format,
@@ -211,7 +207,10 @@ impl ClassLibrary {
 
     /// Standalone action object.
     pub fn action(&mut self, name: &str, entries: Vec<ActionEntry>) -> MhegId {
-        self.push(ObjectInfo::named(name), ObjectBody::Action(ActionBody { entries }))
+        self.push(
+            ObjectInfo::named(name),
+            ObjectBody::Action(ActionBody { entries }),
+        )
     }
 
     /// Script object.
@@ -327,7 +326,10 @@ mod tests {
         let video = lib.media_content(&media(), (0, 0));
         let act = lib.action(
             "stop-video",
-            vec![ActionEntry::now(TargetRef::Model(video), vec![ElementaryAction::Stop])],
+            vec![ActionEntry::now(
+                TargetRef::Model(video),
+                vec![ElementaryAction::Stop],
+            )],
         );
         let link = lib.link_to_action(
             "on-click",
@@ -352,7 +354,10 @@ mod tests {
                     .needs
                     .iter()
                     .any(|n| matches!(n, ResourceNeed::Decoder(MediaFormat::Mpeg))));
-                assert!(desc.needs.iter().any(|n| matches!(n, ResourceNeed::Bandwidth(_))));
+                assert!(desc
+                    .needs
+                    .iter()
+                    .any(|n| matches!(n, ResourceNeed::Bandwidth(_))));
             }
             other => panic!("not descriptor: {other:?}"),
         }
@@ -375,18 +380,30 @@ mod tests {
         let pairs = vec![
             (lib.media_content(&m, (0, 0)), ClassKind::Content),
             (
-                lib.inline_content("t", MediaFormat::Ascii, Bytes::new(), SimDuration::ZERO, VideoDims::default()),
+                lib.inline_content(
+                    "t",
+                    MediaFormat::Ascii,
+                    Bytes::new(),
+                    SimDuration::ZERO,
+                    VideoDims::default(),
+                ),
                 ClassKind::Content,
             ),
             (
                 lib.multiplexed_content(&m, vec![]),
                 ClassKind::MultiplexedContent,
             ),
-            (lib.composite("c", vec![], vec![], vec![]), ClassKind::Composite),
+            (
+                lib.composite("c", vec![], vec![], vec![]),
+                ClassKind::Composite,
+            ),
             (lib.script("s", "mits-expr", "1"), ClassKind::Script),
             (lib.action("a", vec![]), ClassKind::Action),
             (lib.container("k", vec![]), ClassKind::Container),
-            (lib.descriptor("d", vec![], vec![], ""), ClassKind::Descriptor),
+            (
+                lib.descriptor("d", vec![], vec![], ""),
+                ClassKind::Descriptor,
+            ),
         ];
         for (id, class) in pairs {
             assert_eq!(lib.get(id).unwrap().class(), class);

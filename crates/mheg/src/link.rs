@@ -117,7 +117,12 @@ impl Condition {
     }
 
     /// Does a status-change event match this condition as a trigger?
-    pub fn matches_event(&self, source: TargetRef, status: StatusKind, value: &GenericValue) -> bool {
+    pub fn matches_event(
+        &self,
+        source: TargetRef,
+        status: StatusKind,
+        value: &GenericValue,
+    ) -> bool {
         self.source == source && self.status == status && self.cmp.eval(value, &self.value)
     }
 }
@@ -179,12 +184,18 @@ mod tests {
     fn trigger_matching() {
         let cond = Condition::selected(rt(1));
         assert!(cond.matches_event(rt(1), StatusKind::Selection, &GenericValue::Bool(true)));
-        assert!(!cond.matches_event(rt(2), StatusKind::Selection, &GenericValue::Bool(true)),
-            "different source");
-        assert!(!cond.matches_event(rt(1), StatusKind::Completion, &GenericValue::Bool(true)),
-            "different status");
-        assert!(!cond.matches_event(rt(1), StatusKind::Selection, &GenericValue::Bool(false)),
-            "value mismatch");
+        assert!(
+            !cond.matches_event(rt(2), StatusKind::Selection, &GenericValue::Bool(true)),
+            "different source"
+        );
+        assert!(
+            !cond.matches_event(rt(1), StatusKind::Completion, &GenericValue::Bool(true)),
+            "different status"
+        );
+        assert!(
+            !cond.matches_event(rt(1), StatusKind::Selection, &GenericValue::Bool(false)),
+            "value mismatch"
+        );
     }
 
     #[test]
@@ -197,7 +208,15 @@ mod tests {
     #[test]
     fn run_state_string_conditions() {
         let cond = Condition::equals(rt(1), StatusKind::RunState, "running");
-        assert!(cond.matches_event(rt(1), StatusKind::RunState, &GenericValue::Str("running".into())));
-        assert!(!cond.matches_event(rt(1), StatusKind::RunState, &GenericValue::Str("stopped".into())));
+        assert!(cond.matches_event(
+            rt(1),
+            StatusKind::RunState,
+            &GenericValue::Str("running".into())
+        ));
+        assert!(!cond.matches_event(
+            rt(1),
+            StatusKind::RunState,
+            &GenericValue::Str("stopped".into())
+        ));
     }
 }

@@ -352,7 +352,10 @@ mod tests {
                 sync: vec![],
             }),
         );
-        assert_eq!(comp.referenced_objects(), vec![MhegId::new(1, 1), MhegId::new(1, 2)]);
+        assert_eq!(
+            comp.referenced_objects(),
+            vec![MhegId::new(1, 1), MhegId::new(1, 2)]
+        );
 
         let link = MhegObject::new(
             MhegId::new(1, 11),
@@ -376,10 +379,7 @@ mod tests {
             ObjectBody::Link(LinkBody {
                 trigger: Condition::selected(t1),
                 additional: vec![Condition::equals(t2, StatusKind::Visibility, true)],
-                effect: LinkEffect::Inline(vec![ActionEntry::now(
-                    t2,
-                    vec![ElementaryAction::Run],
-                )]),
+                effect: LinkEffect::Inline(vec![ActionEntry::now(t2, vec![ElementaryAction::Run])]),
             }),
         );
         let mentioned = link.mentioned_targets();
@@ -389,7 +389,10 @@ mod tests {
 
     #[test]
     fn inline_len_only_counts_inline() {
-        assert_eq!(ContentData::Inline(Bytes::from_static(b"12345")).inline_len(), 5);
+        assert_eq!(
+            ContentData::Inline(Bytes::from_static(b"12345")).inline_len(),
+            5
+        );
         assert_eq!(ContentData::Referenced(MediaId(1)).inline_len(), 0);
         assert_eq!(ContentData::Value(GenericValue::Int(5)).inline_len(), 0);
     }

@@ -209,8 +209,7 @@ impl RtObject {
         };
         let remaining_media = duration.saturating_sub(self.accumulated);
         let speed = self.attrs.speed.max(1) as u64;
-        let remaining_wall =
-            SimDuration::from_micros(remaining_media.as_micros() * 1000 / speed);
+        let remaining_wall = SimDuration::from_micros(remaining_media.as_micros() * 1000 / speed);
         Some(self.started_at + remaining_wall)
     }
 
@@ -266,7 +265,10 @@ mod tests {
         let mut rt = content_rt(2000);
         rt.start(SimTime::ZERO);
         rt.stop(SimTime::from_millis(500));
-        assert_eq!(rt.progress(SimTime::from_millis(800)), SimDuration::from_millis(500));
+        assert_eq!(
+            rt.progress(SimTime::from_millis(800)),
+            SimDuration::from_millis(500)
+        );
         rt.start(SimTime::from_millis(800));
         // 1.5 s of media left → completes at 0.8 + 1.5 = 2.3 s.
         assert_eq!(rt.completion_time(), Some(SimTime::from_micros(2_300_000)));
@@ -286,7 +288,10 @@ mod tests {
         rt.attrs.speed = 2000; // double speed
         assert_eq!(rt.effective_duration(), Some(SimDuration::from_millis(500)));
         rt.attrs.speed = 500; // half speed
-        assert_eq!(rt.effective_duration(), Some(SimDuration::from_millis(2000)));
+        assert_eq!(
+            rt.effective_duration(),
+            Some(SimDuration::from_millis(2000))
+        );
     }
 
     #[test]

@@ -133,10 +133,7 @@ impl<'a> Parser<'a> {
         if self.src[self.pos..].starts_with(tok.as_bytes()) {
             // Guard identifier-like tokens against prefix matches
             // ("trueish" is not "true").
-            if tok
-                .bytes()
-                .all(|b| b.is_ascii_alphanumeric() || b == b'_')
-            {
+            if tok.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
                 if let Some(&next) = self.src.get(self.pos + tok.len()) {
                     if next.is_ascii_alphanumeric() || next == b'_' {
                         return false;
@@ -322,14 +319,18 @@ fn as_int(v: &GenericValue, ctx: &str) -> Result<i64, ScriptError> {
     match v {
         GenericValue::Int(i) => Ok(*i),
         GenericValue::Milli(m) => Ok(*m / 1000),
-        other => Err(ScriptError::TypeError(format!("{ctx}: {other} is not an integer"))),
+        other => Err(ScriptError::TypeError(format!(
+            "{ctx}: {other} is not an integer"
+        ))),
     }
 }
 
 fn as_bool(v: &GenericValue, ctx: &str) -> Result<bool, ScriptError> {
     match v {
         GenericValue::Bool(b) => Ok(*b),
-        other => Err(ScriptError::TypeError(format!("{ctx}: {other} is not a boolean"))),
+        other => Err(ScriptError::TypeError(format!(
+            "{ctx}: {other} is not a boolean"
+        ))),
     }
 }
 
@@ -340,9 +341,7 @@ pub fn eval(
 ) -> Result<GenericValue, ScriptError> {
     match expr {
         Expr::Lit(v) => Ok(v.clone()),
-        Expr::Var(name) => {
-            resolve(name).ok_or_else(|| ScriptError::UnknownVariable(name.clone()))
-        }
+        Expr::Var(name) => resolve(name).ok_or_else(|| ScriptError::UnknownVariable(name.clone())),
         Expr::Unary(op, inner) => {
             let v = eval(inner, resolve)?;
             match op {
@@ -438,7 +437,11 @@ mod tests {
     fn arithmetic_and_precedence() {
         assert_eq!(run("1 + 2 * 3", &none).unwrap(), GenericValue::Int(7));
         assert_eq!(run("(1 + 2) * 3", &none).unwrap(), GenericValue::Int(9));
-        assert_eq!(run("10 - 4 - 3", &none).unwrap(), GenericValue::Int(3), "left assoc");
+        assert_eq!(
+            run("10 - 4 - 3", &none).unwrap(),
+            GenericValue::Int(3),
+            "left assoc"
+        );
         assert_eq!(run("20 / 2 / 5", &none).unwrap(), GenericValue::Int(2));
         assert_eq!(run("-5 + 3", &none).unwrap(), GenericValue::Int(-2));
         assert_eq!(run("--5", &none).unwrap(), GenericValue::Int(5));
@@ -453,7 +456,10 @@ mod tests {
             GenericValue::Bool(true)
         );
         assert_eq!(run("!(1 == 1)", &none).unwrap(), GenericValue::Bool(false));
-        assert_eq!(run("true && !false", &none).unwrap(), GenericValue::Bool(true));
+        assert_eq!(
+            run("true && !false", &none).unwrap(),
+            GenericValue::Bool(true)
+        );
     }
 
     #[test]
@@ -480,16 +486,29 @@ mod tests {
             run("'abc' + 'def'", &none).unwrap(),
             GenericValue::Str("abcdef".into())
         );
-        assert_eq!(run("name == 'alice'", &quiz_vars).unwrap(), GenericValue::Bool(true));
+        assert_eq!(
+            run("name == 'alice'", &quiz_vars).unwrap(),
+            GenericValue::Bool(true)
+        );
         assert_eq!(run("'a' < 'b'", &none).unwrap(), GenericValue::Bool(true));
-        assert_eq!(run("'a' != 1", &none).unwrap(), GenericValue::Bool(true), "type mismatch is Ne");
+        assert_eq!(
+            run("'a' != 1", &none).unwrap(),
+            GenericValue::Bool(true),
+            "type mismatch is Ne"
+        );
     }
 
     #[test]
     fn short_circuit() {
         // RHS would be an unknown variable, but LHS decides.
-        assert_eq!(run("false && bogus", &none).unwrap(), GenericValue::Bool(false));
-        assert_eq!(run("true || bogus", &none).unwrap(), GenericValue::Bool(true));
+        assert_eq!(
+            run("false && bogus", &none).unwrap(),
+            GenericValue::Bool(false)
+        );
+        assert_eq!(
+            run("true || bogus", &none).unwrap(),
+            GenericValue::Bool(true)
+        );
         assert_eq!(
             run("true && bogus", &none),
             Err(ScriptError::UnknownVariable("bogus".into()))
@@ -501,11 +520,23 @@ mod tests {
         assert!(matches!(run("1 +", &none), Err(ScriptError::Parse { .. })));
         assert!(matches!(run("(1", &none), Err(ScriptError::Parse { .. })));
         assert!(matches!(run("1 2", &none), Err(ScriptError::Parse { .. })));
-        assert!(matches!(run("'open", &none), Err(ScriptError::Parse { .. })));
+        assert!(matches!(
+            run("'open", &none),
+            Err(ScriptError::Parse { .. })
+        ));
         assert_eq!(run("1 / 0", &none), Err(ScriptError::DivisionByZero));
-        assert!(matches!(run("1 && true", &none), Err(ScriptError::TypeError(_))));
-        assert!(matches!(run("true + 1", &none), Err(ScriptError::TypeError(_))));
-        assert_eq!(run("ghost", &none), Err(ScriptError::UnknownVariable("ghost".into())));
+        assert!(matches!(
+            run("1 && true", &none),
+            Err(ScriptError::TypeError(_))
+        ));
+        assert!(matches!(
+            run("true + 1", &none),
+            Err(ScriptError::TypeError(_))
+        ));
+        assert_eq!(
+            run("ghost", &none),
+            Err(ScriptError::UnknownVariable("ghost".into()))
+        );
     }
 
     #[test]
@@ -527,10 +558,7 @@ mod tests {
         let expr = parse("score > 60").unwrap();
         for score in [10i64, 61, 99] {
             let vars = move |n: &str| (n == "score").then_some(GenericValue::Int(score));
-            assert_eq!(
-                eval(&expr, &vars).unwrap(),
-                GenericValue::Bool(score > 60)
-            );
+            assert_eq!(eval(&expr, &vars).unwrap(), GenericValue::Bool(score > 60));
         }
     }
 }

@@ -96,13 +96,16 @@ fn arb_action() -> impl Strategy<Value = ElementaryAction> {
 }
 
 fn arb_entry() -> impl Strategy<Value = ActionEntry> {
-    (arb_target(), arb_duration(), prop::collection::vec(arb_action(), 0..5)).prop_map(
-        |(target, delay, actions)| ActionEntry {
+    (
+        arb_target(),
+        arb_duration(),
+        prop::collection::vec(arb_action(), 0..5),
+    )
+        .prop_map(|(target, delay, actions)| ActionEntry {
             target,
             delay,
             actions,
-        },
-    )
+        })
 }
 
 fn arb_condition() -> impl Strategy<Value = Condition> {
@@ -202,13 +205,15 @@ fn arb_body() -> impl Strategy<Value = ObjectBody> {
         (
             arb_content(),
             prop::collection::vec(
-                (any::<u32>(), arb_format(), any::<bool>()).prop_map(|(stream_id, format, enabled)| {
-                    StreamDesc {
-                        stream_id,
-                        format,
-                        enabled,
+                (any::<u32>(), arb_format(), any::<bool>()).prop_map(
+                    |(stream_id, format, enabled)| {
+                        StreamDesc {
+                            stream_id,
+                            format,
+                            enabled,
+                        }
                     }
-                }),
+                ),
                 0..4
             )
         )
@@ -218,11 +223,13 @@ fn arb_body() -> impl Strategy<Value = ObjectBody> {
             prop::collection::vec(arb_entry(), 0..3),
             prop::collection::vec(arb_sync(), 0..3),
         )
-            .prop_map(|(components, on_start, sync)| ObjectBody::Composite(CompositeBody {
-                components,
-                on_start,
-                sync,
-            })),
+            .prop_map(|(components, on_start, sync)| ObjectBody::Composite(
+                CompositeBody {
+                    components,
+                    on_start,
+                    sync,
+                }
+            )),
         (
             arb_condition(),
             prop::collection::vec(arb_condition(), 0..3),
@@ -238,9 +245,8 @@ fn arb_body() -> impl Strategy<Value = ObjectBody> {
             })),
         prop::collection::vec(arb_entry(), 0..4)
             .prop_map(|entries| ObjectBody::Action(ActionBody { entries })),
-        ("[a-z-]{1,12}", "[ -~]{0,60}").prop_map(|(language, source)| ObjectBody::Script(
-            ScriptBody { language, source }
-        )),
+        ("[a-z-]{1,12}", "[ -~]{0,60}")
+            .prop_map(|(language, source)| ObjectBody::Script(ScriptBody { language, source })),
         prop::collection::vec(arb_id(), 0..6)
             .prop_map(|objects| ObjectBody::Container(ContainerBody { objects })),
         (
@@ -248,11 +254,13 @@ fn arb_body() -> impl Strategy<Value = ObjectBody> {
             prop::collection::vec(arb_need(), 0..5),
             "[ -~]{0,40}",
         )
-            .prop_map(|(describes, needs, readme)| ObjectBody::Descriptor(DescriptorBody {
-                describes,
-                needs,
-                readme,
-            })),
+            .prop_map(|(describes, needs, readme)| ObjectBody::Descriptor(
+                DescriptorBody {
+                    describes,
+                    needs,
+                    readme,
+                }
+            )),
     ]
 }
 

@@ -61,6 +61,9 @@ pub struct VisibleElement {
     pub size: (u32, u32),
     /// Is it clickable right now?
     pub interactive: bool,
+    /// Is the element running at reduced fidelity (placeholder or
+    /// cached stand-in because its bulk content never arrived)?
+    pub degraded: bool,
 }
 
 /// A classroom presentation of one courseware.
@@ -72,6 +75,7 @@ pub struct PresentationSession {
     position_flag: Option<MhegId>,
     completion_flag: Option<MhegId>,
     names: HashMap<MhegId, String>,
+    degraded: std::collections::BTreeSet<String>,
 }
 
 impl PresentationSession {
@@ -115,6 +119,7 @@ impl PresentationSession {
             position_flag,
             completion_flag,
             names,
+            degraded: std::collections::BTreeSet::new(),
         })
     }
 
@@ -187,10 +192,31 @@ impl PresentationSession {
         }
     }
 
+    /// Mark the element named `name` as degraded: its bulk content could
+    /// not be fetched, so the renderer shows a placeholder (or a cached
+    /// lower-fidelity copy) instead of failing the whole presentation.
+    pub fn mark_degraded(&mut self, name: &str) {
+        self.degraded.insert(name.to_string());
+    }
+
+    /// Names of every element currently running at reduced fidelity.
+    pub fn degraded_elements(&self) -> impl Iterator<Item = &str> {
+        self.degraded.iter().map(String::as_str)
+    }
+
+    /// Is any element degraded?
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
     /// Has the course completed?
     pub fn completed(&self) -> bool {
-        let Some(flag) = self.completion_flag else { return false };
-        let Some(rt) = self.engine.rt_of_model(flag) else { return false };
+        let Some(flag) = self.completion_flag else {
+            return false;
+        };
+        let Some(rt) = self.engine.rt_of_model(flag) else {
+            return false;
+        };
         matches!(
             self.engine.rt(rt).map(|r| &r.attrs.data),
             Some(GenericValue::Int(1))
@@ -243,8 +269,12 @@ impl PresentationSession {
             if !Self::matches_name(stored, name) {
                 continue;
             }
-            let Some(rt_id) = self.engine.rt_of_model(*model) else { continue };
-            let Some(rt) = self.engine.rt(rt_id) else { continue };
+            let Some(rt_id) = self.engine.rt_of_model(*model) else {
+                continue;
+            };
+            let Some(rt) = self.engine.rt(rt_id) else {
+                continue;
+            };
             if need_interactive && !rt.attrs.interactive {
                 continue;
             }
@@ -260,8 +290,12 @@ impl PresentationSession {
     pub fn visible(&self) -> Vec<VisibleElement> {
         let mut out = Vec::new();
         for (model, name) in &self.names {
-            let Some(rt_id) = self.engine.rt_of_model(*model) else { continue };
-            let Some(rt) = self.engine.rt(rt_id) else { continue };
+            let Some(rt_id) = self.engine.rt_of_model(*model) else {
+                continue;
+            };
+            let Some(rt) = self.engine.rt(rt_id) else {
+                continue;
+            };
             if rt.state != RtState::Running || !rt.attrs.visible || !rt.is_presentable() {
                 continue;
             }
@@ -273,6 +307,7 @@ impl PresentationSession {
                 position: rt.attrs.position,
                 size: rt.attrs.size,
                 interactive: rt.attrs.interactive,
+                degraded: self.degraded.contains(name),
             });
         }
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -296,7 +331,9 @@ impl PresentationSession {
         let rt = self.engine.rt(rt_id).expect("live rt");
         let mut player = mits_media::MciPlayer::new(media);
         let now = self.engine.now();
-        player.command(now, MciCommand::Open).expect("open never fails");
+        player
+            .command(now, MciCommand::Open)
+            .expect("open never fails");
         if rt.state == RtState::Running {
             let pos_ms = rt.progress(now).as_millis();
             player
@@ -326,11 +363,11 @@ impl PresentationSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mits_author::compile_hyperdoc;
     use mits_author::{
         compile_imd, Behavior, BehaviorAction, BehaviorCondition, ElementKind, HyperDocument,
         ImDocument, MediaHandle, Scene, Section, Subsection, TimelineEntry,
     };
-    use mits_author::compile_hyperdoc;
     use mits_media::{MediaFormat, MediaId, VideoDims};
     use mits_sim::SimDuration;
 
@@ -382,7 +419,9 @@ mod tests {
         assert_eq!(p.current_unit(), Some(0));
         let visible = p.visible();
         assert!(visible.iter().any(|v| v.name == "video1.mpg"));
-        assert!(visible.iter().any(|v| v.name.contains("Skip") && v.interactive));
+        assert!(visible
+            .iter()
+            .any(|v| v.name.contains("Skip") && v.interactive));
         assert!(!p.completed());
     }
 
@@ -438,7 +477,10 @@ mod tests {
         let (objects, name) = course();
         let mut p = PresentationSession::load(objects, &name).unwrap();
         p.start().unwrap();
-        assert!(matches!(p.click("No Such Button"), Err(NavError::NoSuchElement(_))));
+        assert!(matches!(
+            p.click("No Such Button"),
+            Err(NavError::NoSuchElement(_))
+        ));
     }
 
     #[test]
@@ -454,7 +496,6 @@ mod tests {
         p.click("53 bytes").unwrap();
         assert_eq!(p.current_unit(), Some(4), "correct answer page");
     }
-
 
     #[test]
     fn mci_player_mirrors_presentation_position() {
@@ -482,9 +523,34 @@ mod tests {
         p.advance(mits_sim::SimTime::from_millis(1_500)).unwrap();
         let player = p.mci_player("video1.mpg", &clip).unwrap();
         assert_eq!(player.state(), PlayerState::Playing);
-        assert_eq!(player.position_ms(p.now()), 1_500, "player tracks engine progress");
+        assert_eq!(
+            player.position_ms(p.now()),
+            1_500,
+            "player tracks engine progress"
+        );
         // A missing element has no player.
         assert!(p.mci_player("ghost.mpg", &clip).is_err());
+    }
+
+    #[test]
+    fn degraded_elements_surface_to_the_renderer() {
+        let (objects, name) = course();
+        let mut p = PresentationSession::load(objects, &name).unwrap();
+        p.start().unwrap();
+        assert!(!p.is_degraded());
+        p.mark_degraded("video1.mpg");
+        assert!(p.is_degraded());
+        assert_eq!(
+            p.degraded_elements().collect::<Vec<_>>(),
+            vec!["video1.mpg"]
+        );
+        let visible = p.visible();
+        let video = visible.iter().find(|v| v.name == "video1.mpg").unwrap();
+        assert!(video.degraded, "renderer sees the placeholder flag");
+        assert!(visible
+            .iter()
+            .filter(|v| v.name != "video1.mpg")
+            .all(|v| !v.degraded));
     }
 
     #[test]
@@ -493,6 +559,11 @@ mod tests {
         let mut p = PresentationSession::load(objects, &name).unwrap();
         p.start().unwrap();
         let names: Vec<String> = p.visible().iter().map(|v| v.name.clone()).collect();
-        assert!(!names.iter().any(|n| n.contains("flag") || n.contains("timer")), "{names:?}");
+        assert!(
+            !names
+                .iter()
+                .any(|n| n.contains("flag") || n.contains("timer")),
+            "{names:?}"
+        );
     }
 }

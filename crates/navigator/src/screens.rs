@@ -160,7 +160,14 @@ impl NavigatorUi {
                 self.goto(Screen::Welcome, "introduction finished")
             }
             // ---- registration (Fig 5.4) ----
-            (Screen::RegisterGeneral, UiEvent::SubmitGeneralInfo { name, address, email }) => {
+            (
+                Screen::RegisterGeneral,
+                UiEvent::SubmitGeneralInfo {
+                    name,
+                    address,
+                    email,
+                },
+            ) => {
                 if name.trim().is_empty() {
                     return self.reject("name is required");
                 }
@@ -205,7 +212,9 @@ impl NavigatorUi {
                     return self.reject("not enrolled in this course");
                 }
                 self.goto(
-                    Screen::Classroom { course: code.clone() },
+                    Screen::Classroom {
+                        course: code.clone(),
+                    },
                     &format!("classroom opened for {}", code.0),
                 )
             }
@@ -306,10 +315,16 @@ mod tests {
         let n = reg.register("Bob", "", "");
         let mut ui = NavigatorUi::new();
         ui.handle(UiEvent::EnterStudentNumber(n), &mut reg);
-        let out = ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut reg);
+        let out = ui.handle(
+            UiEvent::OpenClassroom(CourseCode("TEL101".into())),
+            &mut reg,
+        );
         assert!(matches!(out, UiOutcome::Rejected(_)), "not enrolled");
         reg.enroll(n, &CourseCode("TEL101".into())).unwrap();
-        let out = ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut reg);
+        let out = ui.handle(
+            UiEvent::OpenClassroom(CourseCode("TEL101".into())),
+            &mut reg,
+        );
         assert_eq!(out, UiOutcome::Moved);
         assert!(matches!(ui.screen(), Screen::Classroom { .. }));
     }

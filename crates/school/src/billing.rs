@@ -156,9 +156,24 @@ mod tests {
         let mut l = BillingLedger::new();
         let alice = StudentNumber(1);
         let bob = StudentNumber(2);
-        l.record(alice, ServiceKind::Registration, SimTime::ZERO, SimDuration::ZERO);
-        l.record(alice, ServiceKind::Classroom, SimTime::from_secs(100), SimDuration::from_secs(600));
-        l.record(bob, ServiceKind::Library, SimTime::ZERO, SimDuration::from_secs(60));
+        l.record(
+            alice,
+            ServiceKind::Registration,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+        );
+        l.record(
+            alice,
+            ServiceKind::Classroom,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(600),
+        );
+        l.record(
+            bob,
+            ServiceKind::Library,
+            SimTime::ZERO,
+            SimDuration::from_secs(60),
+        );
         assert_eq!(l.balance(alice), 2_500_000 + 50_000);
         assert_eq!(l.balance(bob), 1_000);
         assert_eq!(l.statement(alice).len(), 2);

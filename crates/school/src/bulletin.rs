@@ -48,13 +48,16 @@ impl BulletinBoard {
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.topics.entry(topic.to_string()).or_default().push(Post {
-            id,
-            author: author.to_string(),
-            at,
-            subject: subject.to_string(),
-            body: body.to_string(),
-        });
+        self.topics
+            .entry(topic.to_string())
+            .or_default()
+            .push(Post {
+                id,
+                author: author.to_string(),
+                at,
+                subject: subject.to_string(),
+                body: body.to_string(),
+            });
         id
     }
 
@@ -99,9 +102,27 @@ mod tests {
     fn post_and_list() {
         let mut b = BulletinBoard::new();
         let t0 = SimTime::ZERO;
-        b.post("announcements", "administration", t0, "New course", "TEL103 opens");
-        b.post("announcements", "administration", t0, "Maintenance", "offline Sunday");
-        b.post("exercise-help", "administration", t0, "Common mistakes", "see Q3");
+        b.post(
+            "announcements",
+            "administration",
+            t0,
+            "New course",
+            "TEL103 opens",
+        );
+        b.post(
+            "announcements",
+            "administration",
+            t0,
+            "Maintenance",
+            "offline Sunday",
+        );
+        b.post(
+            "exercise-help",
+            "administration",
+            t0,
+            "Common mistakes",
+            "see Q3",
+        );
         assert_eq!(b.topics(), vec!["announcements", "exercise-help"]);
         assert_eq!(b.posts("announcements").len(), 2);
         assert_eq!(b.posts("announcements")[0].subject, "New course");

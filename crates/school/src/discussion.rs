@@ -112,7 +112,11 @@ mod tests {
         assert_eq!(Facility::best_for(155_000_000, true), Facility::Conference);
         assert_eq!(Facility::best_for(128_000, true), Facility::Telephone);
         assert_eq!(Facility::best_for(28_800, false), Facility::Email);
-        assert_eq!(Facility::best_for(155_000_000, false), Facility::Email, "no audio, no calls");
+        assert_eq!(
+            Facility::best_for(155_000_000, false),
+            Facility::Email,
+            "no audio, no calls"
+        );
     }
 
     #[test]
@@ -123,7 +127,10 @@ mod tests {
         assert!(room.join(alice));
         assert!(!room.join(alice), "double join");
         assert!(room.say(alice, SimTime::ZERO, "what is CDV?"));
-        assert!(!room.say(bob, SimTime::ZERO, "lurking"), "non-members muted");
+        assert!(
+            !room.say(bob, SimTime::ZERO, "lurking"),
+            "non-members muted"
+        );
         room.join(bob);
         assert!(room.say(bob, SimTime::from_secs(5), "delay variation"));
         assert_eq!(room.log().len(), 2);

@@ -94,7 +94,13 @@ pub fn grade(problem: &Problem, answer: &Answer) -> Grade {
                 Grade::Incorrect
             }
         }
-        (ProblemKind::Numeric { answer: key, tolerance }, Answer::Number(x)) => {
+        (
+            ProblemKind::Numeric {
+                answer: key,
+                tolerance,
+            },
+            Answer::Number(x),
+        ) => {
             if (x - key).abs() <= *tolerance {
                 Grade::Correct
             } else {
@@ -146,7 +152,10 @@ impl ExerciseBank {
 
     /// Problems for a course.
     pub fn for_course(&self, course: &str) -> Vec<&Problem> {
-        self.problems.values().filter(|p| p.course == course).collect()
+        self.problems
+            .values()
+            .filter(|p| p.course == course)
+            .collect()
     }
 
     /// Submit an answer; grades, records, and returns the attempt.
@@ -259,19 +268,40 @@ mod tests {
     fn grading_multiple_choice() {
         let (mut b, mc, _, _) = bank();
         let s = StudentNumber(1);
-        assert_eq!(b.submit(s, mc, &Answer::Choice(1)).unwrap().grade, Grade::Correct);
-        assert_eq!(b.submit(s, mc, &Answer::Choice(0)).unwrap().grade, Grade::Incorrect);
-        assert_eq!(b.submit(s, mc, &Answer::Choice(9)).unwrap().grade, Grade::InvalidAnswer);
-        assert_eq!(b.submit(s, mc, &Answer::Number(1.0)).unwrap().grade, Grade::InvalidAnswer);
+        assert_eq!(
+            b.submit(s, mc, &Answer::Choice(1)).unwrap().grade,
+            Grade::Correct
+        );
+        assert_eq!(
+            b.submit(s, mc, &Answer::Choice(0)).unwrap().grade,
+            Grade::Incorrect
+        );
+        assert_eq!(
+            b.submit(s, mc, &Answer::Choice(9)).unwrap().grade,
+            Grade::InvalidAnswer
+        );
+        assert_eq!(
+            b.submit(s, mc, &Answer::Number(1.0)).unwrap().grade,
+            Grade::InvalidAnswer
+        );
     }
 
     #[test]
     fn grading_numeric_tolerance() {
         let (mut b, _, num, _) = bank();
         let s = StudentNumber(1);
-        assert_eq!(b.submit(s, num, &Answer::Number(155.52)).unwrap().grade, Grade::Correct);
-        assert_eq!(b.submit(s, num, &Answer::Number(155.525)).unwrap().grade, Grade::Correct);
-        assert_eq!(b.submit(s, num, &Answer::Number(155.6)).unwrap().grade, Grade::Incorrect);
+        assert_eq!(
+            b.submit(s, num, &Answer::Number(155.52)).unwrap().grade,
+            Grade::Correct
+        );
+        assert_eq!(
+            b.submit(s, num, &Answer::Number(155.525)).unwrap().grade,
+            Grade::Correct
+        );
+        assert_eq!(
+            b.submit(s, num, &Answer::Number(155.6)).unwrap().grade,
+            Grade::Incorrect
+        );
     }
 
     #[test]
@@ -315,6 +345,8 @@ mod tests {
     #[test]
     fn unknown_problem_rejected() {
         let (mut b, ..) = bank();
-        assert!(b.submit(StudentNumber(1), 999, &Answer::Choice(0)).is_none());
+        assert!(b
+            .submit(StudentNumber(1), 999, &Answer::Choice(0))
+            .is_none());
     }
 }

@@ -97,7 +97,9 @@ impl World {
 
 fn try_serve(world: &mut World, sched: &mut mits_sim::Scheduler<World>) {
     while world.busy < world.capacity() && world.open_at(sched.now()) {
-        let Some((_, formed)) = world.queue.pop_front() else { break };
+        let Some((_, formed)) = world.queue.pop_front() else {
+            break;
+        };
         let now = sched.now();
         let waited = now.since(formed).as_secs_f64();
         world.wait.record(waited);
@@ -185,7 +187,11 @@ mod tests {
             1,
         );
         assert_eq!(report.answered, 500);
-        assert!(report.wait.mean() < 30.0, "mean wait {}s", report.wait.mean());
+        assert!(
+            report.wait.mean() < 30.0,
+            "mean wait {}s",
+            report.wait.mean()
+        );
     }
 
     #[test]
@@ -243,15 +249,33 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = simulate_facilitation(mits(3), SimDuration::from_secs(60), SimDuration::from_secs(120), 200, 5);
-        let b = simulate_facilitation(mits(3), SimDuration::from_secs(60), SimDuration::from_secs(120), 200, 5);
+        let a = simulate_facilitation(
+            mits(3),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(120),
+            200,
+            5,
+        );
+        let b = simulate_facilitation(
+            mits(3),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(120),
+            200,
+            5,
+        );
         assert_eq!(a.wait.mean(), b.wait.mean());
         assert_eq!(a.wait.std_dev(), b.wait.std_dev());
     }
 
     #[test]
     fn histogram_populated() {
-        let r = simulate_facilitation(mits(1), SimDuration::from_secs(60), SimDuration::from_secs(90), 300, 9);
+        let r = simulate_facilitation(
+            mits(1),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(90),
+            300,
+            9,
+        );
         assert_eq!(r.histogram.count(), 300);
         assert!(r.histogram.median().is_some());
     }

@@ -289,7 +289,9 @@ impl StudentRegistry {
             .students
             .get(&number)
             .ok_or(RegistryError::UnknownStudent(number))?;
-        Ok(s.enrollment(code).ok_or(RegistryError::NotEnrolled)?.resume_unit)
+        Ok(s.enrollment(code)
+            .ok_or(RegistryError::NotEnrolled)?
+            .resume_unit)
     }
 
     // ---- statistics (§5.2.1: "some statistics about the school, the
@@ -410,7 +412,8 @@ mod tests {
     fn profile_update() {
         let mut reg = catalog();
         let alice = reg.register("Alice", "old", "old@x");
-        reg.update_profile(alice, Some("new address"), None).unwrap();
+        reg.update_profile(alice, Some("new address"), None)
+            .unwrap();
         let s = reg.lookup(alice).unwrap();
         assert_eq!(s.address, "new address");
         assert_eq!(s.email, "old@x", "unspecified fields untouched");
@@ -426,7 +429,14 @@ mod tests {
         assert_eq!(reg.resume_position(alice, &code).unwrap(), None);
         reg.record_session(alice, &code, Some(3)).unwrap();
         assert_eq!(reg.resume_position(alice, &code).unwrap(), Some(3));
-        assert_eq!(reg.lookup(alice).unwrap().enrollment(&code).unwrap().sessions_done, 1);
+        assert_eq!(
+            reg.lookup(alice)
+                .unwrap()
+                .enrollment(&code)
+                .unwrap()
+                .sessions_done,
+            1
+        );
         assert_eq!(
             reg.record_session(alice, &CourseCode("TEL102".into()), None),
             Err(RegistryError::NotEnrolled)

@@ -68,7 +68,11 @@ impl<W> EventQueue<W> {
     pub fn push(&mut self, at: SimTime, event: Event<W>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, run: event });
+        self.heap.push(Entry {
+            at,
+            seq,
+            run: event,
+        });
     }
 
     /// Remove and return the earliest event, if any.
@@ -112,7 +116,11 @@ impl<W> Scheduler<W> {
     /// # Panics
     /// Panics if `at` is in the past — a DES must never travel backwards.
     pub fn at(&mut self, at: SimTime, event: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         self.pending.push((at, Box::new(event)));
     }
 
@@ -175,7 +183,11 @@ impl<W> Simulation<W> {
     ///
     /// # Panics
     /// Panics if `at` is before the current clock.
-    pub fn schedule(&mut self, at: SimTime, event: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
         assert!(at >= self.now, "event scheduled in the past");
         self.queue.push(at, Box::new(event));
     }
@@ -254,7 +266,9 @@ mod tests {
     fn events_run_in_time_order() {
         let mut sim = Simulation::new(Vec::<u64>::new());
         for &t in &[30u64, 10, 20] {
-            sim.schedule(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+            sim.schedule(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| {
+                w.push(t)
+            });
         }
         sim.run();
         assert_eq!(*sim.world(), vec![10, 20, 30]);
@@ -264,7 +278,9 @@ mod tests {
     fn simultaneous_events_fifo() {
         let mut sim = Simulation::new(Vec::<u32>::new());
         for i in 0..100u32 {
-            sim.schedule(SimTime::from_micros(5), move |w: &mut Vec<u32>, _| w.push(i));
+            sim.schedule(SimTime::from_micros(5), move |w: &mut Vec<u32>, _| {
+                w.push(i)
+            });
         }
         sim.run();
         assert_eq!(*sim.world(), (0..100).collect::<Vec<_>>());

@@ -261,7 +261,9 @@ impl TimeWeighted {
 
     /// Time-weighted mean over [start, `until`].
     pub fn mean_until(&self, until: SimTime) -> f64 {
-        let Some(start) = self.started else { return 0.0 };
+        let Some(start) = self.started else {
+            return 0.0;
+        };
         let total = until.since(start).as_secs_f64();
         if total <= 0.0 {
             return self.last_v;

@@ -124,6 +124,18 @@ impl SimDuration {
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
+
+    /// Scale by a non-negative float (rounding to the microsecond,
+    /// saturating on overflow). Used for jittered backoff intervals.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor >= 0.0, "negative duration scale");
+        let us = (self.0 as f64 * factor).round();
+        if us >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(us as u64)
+        }
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -263,7 +275,9 @@ mod tests {
 
     #[test]
     fn checked_add_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_micros(5)),
             Some(SimTime::from_micros(5))

@@ -94,7 +94,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         let mut admitted = 0u64;
         for &gap in &arrivals {
-            t = t + SimDuration::from_micros(gap);
+            t += SimDuration::from_micros(gap);
             if tb.try_take(t, 1.0) {
                 admitted += 1;
             }

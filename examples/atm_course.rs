@@ -49,7 +49,10 @@ fn main() {
                 // audio1 + text1 + image1; text1 ending shows image1.
                 Scene::new("scene1")
                     .element("audio1", ElementKind::Media((&audio1).into()))
-                    .element("text1", ElementKind::Caption("ATM multiplexes fixed-size cells.".into()))
+                    .element(
+                        "text1",
+                        ElementKind::Caption("ATM multiplexes fixed-size cells.".into()),
+                    )
                     .element("image1", ElementKind::Media((&image1).into()))
                     .element("choice1", ElementKind::Button("show image now".into()))
                     .element("stop", ElementKind::Button("stop".into()))
@@ -94,7 +97,9 @@ fn main() {
 
     // Deploy and run with interaction.
     let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
-    system.publish(&compiled.objects, studio.catalogue()).unwrap();
+    system
+        .publish(&compiled.objects, studio.catalogue())
+        .unwrap();
     let mut session =
         CodSession::open(&mut system, ClientId(0), compiled.root, "ATM Technology").unwrap();
     session.start().unwrap();
@@ -113,7 +118,11 @@ fn main() {
     // Fig 4.4c: the stop button stops everything and advances.
     session.play(SimDuration::from_millis(500)).unwrap();
     session.click("stop").unwrap();
-    println!("after stop: unit {:?}, on screen {:?}", session.current_unit(), visible_names(&session));
+    println!(
+        "after stop: unit {:?}, on screen {:?}",
+        session.current_unit(),
+        visible_names(&session)
+    );
 
     // scene2 plays out.
     session.auto_play(SimDuration::from_secs(10)).unwrap();

@@ -10,8 +10,8 @@ use mits::sim::SimDuration;
 
 fn main() {
     let arrival = SimDuration::from_secs(1200); // a question every 20 min
-    // (within SIDL's 3-line × 1 h/day capacity, so its queue is stable —
-    // at higher loads SIDL degenerates into an ever-growing backlog)
+                                                // (within SIDL's 3-line × 1 h/day capacity, so its queue is stable —
+                                                // at higher loads SIDL degenerates into an ever-growing backlog)
     let service = SimDuration::from_secs(120); // 2-min answers
     let questions = 2_000;
 

@@ -1,0 +1,142 @@
+//! Fault tolerance: the telelearning session under hostile network
+//! conditions — the part the paper's ideal-broadband argument leaves
+//! out. Three acts:
+//!
+//! 1. a noisy access uplink (independent cell loss) that the ARQ and
+//!    the client's deadline/backoff retry machinery absorb;
+//! 2. a mid-session link outage that the retry machinery carries a
+//!    fetch across;
+//! 3. lost content that degrades its element to a placeholder instead
+//!    of aborting the course.
+//!
+//! Everything is seeded: run it twice and the retry counts match.
+//!
+//! Run with: `cargo run --example fault_tolerance`
+
+use mits::atm::{FaultPlan, LinkFaults};
+use mits::author::{
+    compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::db::RetryPolicy;
+use mits::media::{CaptureSpec, MediaFormat, MediaObject, ProductionCenter, VideoDims};
+use mits::mheg::MhegObject;
+use mits::sim::{SimDuration, SimTime};
+
+fn course() -> (Vec<MhegObject>, Vec<MediaObject>, mits::mheg::MhegId) {
+    let mut studio = ProductionCenter::new(96);
+    let clip = studio.capture(&CaptureSpec::video(
+        "intro.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_secs(1),
+        VideoDims::new(320, 240),
+    ));
+    let diagram = studio.capture(&CaptureSpec::image(
+        "diagram.gif",
+        MediaFormat::Gif,
+        VideoDims::new(400, 300),
+    ));
+    let mut doc = ImDocument::new("Fault Course");
+    doc.sections.push(Section {
+        title: "s".into(),
+        subsections: vec![Subsection {
+            title: "ss".into(),
+            scenes: vec![
+                Scene::new("video")
+                    .element("v", ElementKind::Media((&clip).into()))
+                    .entry(TimelineEntry::at_start("v")),
+                Scene::new("image")
+                    .element("d", ElementKind::Media((&diagram).into()))
+                    .entry(TimelineEntry::at_start("d").for_duration(SimDuration::from_secs(1))),
+            ],
+        }],
+    });
+    let compiled = compile_imd(70, &doc);
+    (compiled.objects, vec![clip, diagram], compiled.root)
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Act 1: a noisy access uplink.
+    // ------------------------------------------------------------------
+    println!("== act 1: 30% cell loss on the student's access uplink ==");
+    let (objects, media, root) = course();
+    let cfg = SystemConfig::broadband(1)
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)));
+    let mut system = MitsSystem::build(&cfg).unwrap();
+    let student = system.client_host(ClientId(0));
+    system.net.set_fault_plan(FaultPlan::none().with_link(
+        student,
+        system.switch(),
+        LinkFaults::loss(0.30),
+    ));
+    system.load_directly(objects.clone(), media.clone());
+    for _ in 0..8 {
+        system.get_list_doc(ClientId(0)).unwrap();
+    }
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Fault Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    println!("course completed: {}", session.report.completed);
+    let faults = system.net.fault_stats();
+    println!(
+        "cells through the faulted link: {}, destroyed: {}",
+        faults.faulted_cells,
+        faults.total_losses()
+    );
+    let m = system.client_metrics(ClientId(0));
+    println!(
+        "client metrics: {} attempts / {} completed, {} retries, {} timeouts, {} expired",
+        m.attempts, m.completed, m.retries, m.timeouts, m.expired
+    );
+    println!(
+        "request latency: p50 {:.1} ms, p99 {:.1} ms",
+        m.overall_latency_quantile(0.50).unwrap_or(0.0) * 1e3,
+        m.overall_latency_quantile(0.99).unwrap_or(0.0) * 1e3,
+    );
+
+    // ------------------------------------------------------------------
+    // Act 2: the access link goes down for 2 s mid-session.
+    // ------------------------------------------------------------------
+    println!("\n== act 2: 2 s outage while fetching ==");
+    let (objects, media, root) = course();
+    let mut system = MitsSystem::build(&cfg).unwrap();
+    system.load_directly(objects, media);
+    system.pump_until(SimTime::from_millis(50)).unwrap();
+    let outage =
+        LinkFaults::default().with_down(SimTime::from_millis(50), SimTime::from_millis(2050));
+    system.net.set_fault_plan(FaultPlan::uniform(outage));
+    let (objs, t) = system.fetch_courseware(ClientId(0), root).unwrap();
+    let m = system.client_metrics(ClientId(0));
+    println!(
+        "fetched {} objects in {t} across the outage ({} retries, {} timeouts, {} cells lost to downtime)",
+        objs.len(),
+        m.retries,
+        m.timeouts,
+        system.net.fault_stats().downtime_losses,
+    );
+
+    // ------------------------------------------------------------------
+    // Act 3: content lost at the source — degrade, don't abort.
+    // ------------------------------------------------------------------
+    println!("\n== act 3: graceful degradation ==");
+    let (objects, media, root) = course();
+    let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    // The diagram never made it into the database.
+    system.load_directly(objects, vec![media[0].clone()]);
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Fault Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    println!(
+        "completed: {} (degraded media: {:?})",
+        session.report.completed, session.report.degraded
+    );
+    println!(
+        "placeholder elements: {:?}",
+        session
+            .presentation()
+            .degraded_elements()
+            .collect::<Vec<_>>()
+    );
+    assert!(session.report.completed && session.report.is_degraded());
+}

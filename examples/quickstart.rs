@@ -32,7 +32,11 @@ fn main() {
         MediaFormat::Wav,
         SimDuration::from_secs(3),
     ));
-    println!("produced {} media objects ({} bytes):", studio.catalogue().len(), studio.total_bytes());
+    println!(
+        "produced {} media objects ({} bytes):",
+        studio.catalogue().len(),
+        studio.total_bytes()
+    );
     for m in studio.catalogue() {
         println!("  {}", m.describe());
     }
@@ -59,8 +63,13 @@ fn main() {
                 Scene::new("lesson")
                     .element("figure", ElementKind::Media((&diagram).into()))
                     .element("voice", ElementKind::Media((&narration).into()))
-                    .element("caption", ElementKind::Caption("The 53-byte ATM cell".into()))
-                    .entry(TimelineEntry::at_start("figure").for_duration(SimDuration::from_secs(3)))
+                    .element(
+                        "caption",
+                        ElementKind::Caption("The 53-byte ATM cell".into()),
+                    )
+                    .entry(
+                        TimelineEntry::at_start("figure").for_duration(SimDuration::from_secs(3)),
+                    )
                     .entry(TimelineEntry::at_start("voice"))
                     .entry(
                         TimelineEntry::at_start("caption")
@@ -93,13 +102,14 @@ fn main() {
     // ------------------------------------------------------------------
     // 4. A student takes the course on demand.
     // ------------------------------------------------------------------
-    let (docs, t) = system.list_docs(ClientId(0)).expect("list");
+    let (docs, t) = system.get_list_doc(ClientId(0)).expect("list");
     println!("\ncourse catalog (fetched in {t}):");
     for (id, name) in &docs {
         println!("  {id}  {name}");
     }
-    let mut session = CodSession::open(&mut system, ClientId(0), compiled.root, "Quickstart Course")
-        .expect("open session");
+    let mut session =
+        CodSession::open(&mut system, ClientId(0), compiled.root, "Quickstart Course")
+            .expect("open session");
     session.start().expect("start");
     println!(
         "startup latency: {} (scenario {} + first-unit content {})",
@@ -110,7 +120,10 @@ fn main() {
     // Watch a bit of the intro, then skip.
     session.play(SimDuration::from_millis(500)).unwrap();
     session.click("Skip intro").expect("click");
-    println!("clicked 'Skip intro' → now at unit {:?}", session.current_unit());
+    println!(
+        "clicked 'Skip intro' → now at unit {:?}",
+        session.current_unit()
+    );
     session.auto_play(SimDuration::from_secs(10)).unwrap();
     let r = &session.report;
     println!(

@@ -35,20 +35,29 @@ fn main() {
         "on-submit",
         Condition::selected(TargetRef::Model(submit)),
         vec![],
-        vec![ActionEntry::now(TargetRef::Model(quiz), vec![ElementaryAction::Activate])],
+        vec![ActionEntry::now(
+            TargetRef::Model(quiz),
+            vec![ElementaryAction::Activate],
+        )],
     );
     // Script result routes the presentation.
     lib.link(
         "on-pass",
         Condition::equals(TargetRef::Model(quiz), StatusKind::Data, true),
         vec![],
-        vec![ActionEntry::now(TargetRef::Model(pass_banner), vec![ElementaryAction::Run])],
+        vec![ActionEntry::now(
+            TargetRef::Model(pass_banner),
+            vec![ElementaryAction::Run],
+        )],
     );
     lib.link(
         "on-fail",
         Condition::equals(TargetRef::Model(quiz), StatusKind::Data, false),
         vec![],
-        vec![ActionEntry::now(TargetRef::Model(retry_banner), vec![ElementaryAction::Run])],
+        vec![ActionEntry::now(
+            TargetRef::Model(retry_banner),
+            vec![ElementaryAction::Run],
+        )],
     );
 
     let objects: Vec<MhegObject> = lib.into_objects();
@@ -62,11 +71,14 @@ fn main() {
     eng.new_rt(quiz).unwrap();
     eng.apply_entry(&ActionEntry::now(
         TargetRef::Rt(submit_rt),
-        vec![ElementaryAction::Run, ElementaryAction::SetInteraction(true)],
+        vec![
+            ElementaryAction::Run,
+            ElementaryAction::SetInteraction(true),
+        ],
     ))
     .unwrap();
 
-    let mut attempt = |eng: &mut MhegEngine, s: i64, a: i64| {
+    let attempt = |eng: &mut MhegEngine, s: i64, a: i64| {
         eng.apply_entry(&ActionEntry::now(
             TargetRef::Rt(score_rt),
             vec![ElementaryAction::SetData(GenericValue::Int(s))],
@@ -91,8 +103,11 @@ fn main() {
         // Reset banners for the next attempt.
         for b in [pass_banner, retry_banner] {
             if let Some(rt) = eng.rt_of_model(b) {
-                eng.apply_entry(&ActionEntry::now(TargetRef::Rt(rt), vec![ElementaryAction::Stop]))
-                    .unwrap();
+                eng.apply_entry(&ActionEntry::now(
+                    TargetRef::Rt(rt),
+                    vec![ElementaryAction::Stop],
+                ))
+                .unwrap();
             }
         }
         pass
@@ -103,7 +118,10 @@ fn main() {
     assert!(!attempt(&mut eng, 90, 3), "attempts exhausted");
     assert!(attempt(&mut eng, 72, 2), "passing score within attempts");
     eng.advance(SimTime::from_secs(1)).unwrap();
-    println!("\nscript-gated routing works; links fired: {}", eng.stats.links_fired);
+    println!(
+        "\nscript-gated routing works; links fired: {}",
+        eng.stats.links_fired
+    );
 
     // And the same gate works compiled from the document layer:
     let mut doc = ImDocument::new("Quiz Course");
@@ -112,7 +130,10 @@ fn main() {
         subsections: vec![Subsection {
             title: "ss".into(),
             scenes: vec![Scene::new("lesson")
-                .element("text", ElementKind::Caption("ATM cells are 53 bytes.".into()))
+                .element(
+                    "text",
+                    ElementKind::Caption("ATM cells are 53 bytes.".into()),
+                )
                 .element("done", ElementKind::Button("Done".into()))
                 .entry(TimelineEntry::at_start("text"))
                 .entry(TimelineEntry::at_start("done"))
@@ -123,5 +144,8 @@ fn main() {
         }],
     });
     let compiled = compile_imd(8, &doc);
-    println!("document-layer course compiles to {} objects", compiled.objects.len());
+    println!(
+        "document-layer course compiles to {} objects",
+        compiled.objects.len()
+    );
 }

@@ -6,7 +6,9 @@
 //!
 //! Run with: `cargo run --example teleschool_session`
 
-use mits::author::{compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry};
+use mits::author::{
+    compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
 use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
 use mits::media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
 use mits::navigator::{LibraryBrowser, NavigatorUi, UiEvent, UiOutcome};
@@ -17,7 +19,12 @@ fn main() {
     // ---- school-side setup: catalog + courseware -------------------
     let mut studio = ProductionCenter::new(5);
     let clip = |n: &str, s| {
-        CaptureSpec::video(n, MediaFormat::Mpeg, SimDuration::from_secs(s), VideoDims::new(320, 240))
+        CaptureSpec::video(
+            n,
+            MediaFormat::Mpeg,
+            SimDuration::from_secs(s),
+            VideoDims::new(320, 240),
+        )
     };
     let welcome_clip = studio.capture(&clip("welcome.mpg", 1));
     let lesson1 = studio.capture(&clip("lesson1.mpg", 2));
@@ -57,7 +64,9 @@ fn main() {
         .unwrap();
 
     let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
-    system.publish(&compiled.objects, studio.catalogue()).unwrap();
+    system
+        .publish(&compiled.objects, studio.catalogue())
+        .unwrap();
 
     // ---- Fig 5.3: the first screen of the navigator ----------------
     let mut ui = NavigatorUi::new();
@@ -88,14 +97,20 @@ fn main() {
             .map(|c| c.name.as_str())
             .collect::<Vec<_>>()
     );
-    ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+    ui.handle(
+        UiEvent::SelectCourse(CourseCode("TEL101".into())),
+        &mut school,
+    );
     let UiOutcome::Registered(number) = ui.handle(UiEvent::FinishRegistration, &mut school) else {
         panic!("registration failed");
     };
     println!("registered: student number {number}\n");
 
     // ---- Fig 5.5: classroom presentation ----------------------------
-    ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut school);
+    ui.handle(
+        UiEvent::OpenClassroom(CourseCode("TEL101".into())),
+        &mut school,
+    );
     println!("== screen: {:?} ==", ui.screen());
     {
         let mut session =
@@ -126,12 +141,15 @@ fn main() {
         },
         &mut school,
     );
-    println!("profile updated: {}", school.lookup(number).unwrap().address);
+    println!(
+        "profile updated: {}",
+        school.lookup(number).unwrap().address
+    );
 
     // ---- Fig 5.7: browse the library ---------------------------------
     ui.handle(UiEvent::OpenLibrary, &mut school);
-    let (tree, _) = system.fetch_keyword_tree(ClientId(0)).unwrap();
-    let (docs, _) = system.list_docs(ClientId(0)).unwrap();
+    let (tree, _) = system.get_keyword_tree(ClientId(0)).unwrap();
+    let (docs, _) = system.get_list_doc(ClientId(0)).unwrap();
     let mut browser = LibraryBrowser::new(tree, docs);
     println!("library shelves: {:?}", browser.shelves());
     browser.enter("telecom");
@@ -153,8 +171,14 @@ fn main() {
     let mut session2 =
         CodSession::open(&mut system, ClientId(0), compiled.root, "ATM Networks").unwrap();
     session2.resume(resume as usize).unwrap();
-    println!("\nresumed at unit {resume} ('{}')", compiled.units[resume as usize].0);
+    println!(
+        "\nresumed at unit {resume} ('{}')",
+        compiled.units[resume as usize].0
+    );
     session2.auto_play(SimDuration::from_secs(10)).unwrap();
-    println!("course completed on second session: {}", session2.report.completed);
+    println!(
+        "course completed on second session: {}",
+        session2.report.completed
+    );
     assert!(session2.report.completed);
 }

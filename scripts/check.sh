@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The full local gate: what CI runs, in the order that fails fastest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atm_proptest-3a97b003073df5b6.d: crates/atm/tests/atm_proptest.rs
+
+/root/repo/target/debug/deps/atm_proptest-3a97b003073df5b6: crates/atm/tests/atm_proptest.rs
+
+crates/atm/tests/atm_proptest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atm_proptest-ded9917d0e648161.d: crates/atm/tests/atm_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatm_proptest-ded9917d0e648161.rmeta: crates/atm/tests/atm_proptest.rs Cargo.toml
+
+crates/atm/tests/atm_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

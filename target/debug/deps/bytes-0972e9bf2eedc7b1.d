@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-0972e9bf2eedc7b1.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0972e9bf2eedc7b1.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-f779291ea16028ed.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f779291ea16028ed.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f779291ea16028ed.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/client_server-4755e92616b3a2ce.d: crates/bench/benches/client_server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclient_server-4755e92616b3a2ce.rmeta: crates/bench/benches/client_server.rs Cargo.toml
+
+crates/bench/benches/client_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_server-bd3108f8a6c0d859.d: crates/bench/benches/client_server.rs
+
+/root/repo/target/debug/deps/client_server-bd3108f8a6c0d859: crates/bench/benches/client_server.rs
+
+crates/bench/benches/client_server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_proptest-5901b5d99344c016.d: crates/mheg/tests/codec_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_proptest-5901b5d99344c016.rmeta: crates/mheg/tests/codec_proptest.rs Cargo.toml
+
+crates/mheg/tests/codec_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_proptest-7a27a73f045a5650.d: crates/mheg/tests/codec_proptest.rs
+
+/root/repo/target/debug/deps/codec_proptest-7a27a73f045a5650: crates/mheg/tests/codec_proptest.rs
+
+crates/mheg/tests/codec_proptest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_proptest-5d8d9d47ec7de1ca.d: crates/author/tests/compile_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_proptest-5d8d9d47ec7de1ca.rmeta: crates/author/tests/compile_proptest.rs Cargo.toml
+
+crates/author/tests/compile_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

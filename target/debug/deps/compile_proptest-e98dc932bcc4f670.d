@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_proptest-e98dc932bcc4f670.d: crates/author/tests/compile_proptest.rs
+
+/root/repo/target/debug/deps/compile_proptest-e98dc932bcc4f670: crates/author/tests/compile_proptest.rs
+
+crates/author/tests/compile_proptest.rs:

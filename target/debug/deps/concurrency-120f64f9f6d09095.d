@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-120f64f9f6d09095.d: crates/mits/../../tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-120f64f9f6d09095: crates/mits/../../tests/concurrency.rs
+
+crates/mits/../../tests/concurrency.rs:

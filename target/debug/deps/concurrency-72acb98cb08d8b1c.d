@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-72acb98cb08d8b1c.d: crates/mits/../../tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-72acb98cb08d8b1c.rmeta: crates/mits/../../tests/concurrency.rs Cargo.toml
+
+crates/mits/../../tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

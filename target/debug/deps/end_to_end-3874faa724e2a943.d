@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3874faa724e2a943.d: crates/mits/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3874faa724e2a943: crates/mits/../../tests/end_to_end.rs
+
+crates/mits/../../tests/end_to_end.rs:

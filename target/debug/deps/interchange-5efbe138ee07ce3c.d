@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interchange-5efbe138ee07ce3c.d: crates/mits/../../tests/interchange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterchange-5efbe138ee07ce3c.rmeta: crates/mits/../../tests/interchange.rs Cargo.toml
+
+crates/mits/../../tests/interchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interchange-71e61a113a54e76c.d: crates/mits/../../tests/interchange.rs
+
+/root/repo/target/debug/deps/interchange-71e61a113a54e76c: crates/mits/../../tests/interchange.rs
+
+crates/mits/../../tests/interchange.rs:

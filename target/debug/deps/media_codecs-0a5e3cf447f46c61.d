@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/media_codecs-0a5e3cf447f46c61.d: crates/bench/benches/media_codecs.rs
+
+/root/repo/target/debug/deps/media_codecs-0a5e3cf447f46c61: crates/bench/benches/media_codecs.rs
+
+crates/bench/benches/media_codecs.rs:

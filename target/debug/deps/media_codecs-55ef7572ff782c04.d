@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/media_codecs-55ef7572ff782c04.d: crates/bench/benches/media_codecs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedia_codecs-55ef7572ff782c04.rmeta: crates/bench/benches/media_codecs.rs Cargo.toml
+
+crates/bench/benches/media_codecs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

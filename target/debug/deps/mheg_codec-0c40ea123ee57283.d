@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mheg_codec-0c40ea123ee57283.d: crates/bench/benches/mheg_codec.rs
+
+/root/repo/target/debug/deps/mheg_codec-0c40ea123ee57283: crates/bench/benches/mheg_codec.rs
+
+crates/bench/benches/mheg_codec.rs:

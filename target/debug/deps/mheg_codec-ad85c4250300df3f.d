@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mheg_codec-ad85c4250300df3f.d: crates/bench/benches/mheg_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmheg_codec-ad85c4250300df3f.rmeta: crates/bench/benches/mheg_codec.rs Cargo.toml
+
+crates/bench/benches/mheg_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

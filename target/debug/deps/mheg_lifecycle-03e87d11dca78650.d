@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mheg_lifecycle-03e87d11dca78650.d: crates/bench/benches/mheg_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmheg_lifecycle-03e87d11dca78650.rmeta: crates/bench/benches/mheg_lifecycle.rs Cargo.toml
+
+crates/bench/benches/mheg_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

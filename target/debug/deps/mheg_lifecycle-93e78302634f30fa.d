@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mheg_lifecycle-93e78302634f30fa.d: crates/bench/benches/mheg_lifecycle.rs
+
+/root/repo/target/debug/deps/mheg_lifecycle-93e78302634f30fa: crates/bench/benches/mheg_lifecycle.rs
+
+crates/bench/benches/mheg_lifecycle.rs:

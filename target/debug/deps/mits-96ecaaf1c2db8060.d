@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mits-96ecaaf1c2db8060.d: crates/mits/src/lib.rs
+
+/root/repo/target/debug/deps/mits-96ecaaf1c2db8060: crates/mits/src/lib.rs
+
+crates/mits/src/lib.rs:

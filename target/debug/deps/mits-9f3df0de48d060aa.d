@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mits-9f3df0de48d060aa.d: crates/mits/src/lib.rs
+
+/root/repo/target/debug/deps/libmits-9f3df0de48d060aa.rmeta: crates/mits/src/lib.rs
+
+crates/mits/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mits-ac317a89667ced4a.d: crates/mits/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits-ac317a89667ced4a.rmeta: crates/mits/src/lib.rs Cargo.toml
+
+crates/mits/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mits-bcba403af2d263e3.d: crates/mits/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits-bcba403af2d263e3.rmeta: crates/mits/src/lib.rs Cargo.toml
+
+crates/mits/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mits-c1ed4bc57900e472.d: crates/mits/src/lib.rs
+
+/root/repo/target/debug/deps/libmits-c1ed4bc57900e472.rlib: crates/mits/src/lib.rs
+
+/root/repo/target/debug/deps/libmits-c1ed4bc57900e472.rmeta: crates/mits/src/lib.rs
+
+crates/mits/src/lib.rs:

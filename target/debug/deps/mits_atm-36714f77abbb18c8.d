@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mits_atm-36714f77abbb18c8.d: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_atm-36714f77abbb18c8.rmeta: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs Cargo.toml
+
+crates/atm/src/lib.rs:
+crates/atm/src/aal5.rs:
+crates/atm/src/cell.rs:
+crates/atm/src/fault.rs:
+crates/atm/src/link.rs:
+crates/atm/src/network.rs:
+crates/atm/src/traffic.rs:
+crates/atm/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mits_atm-6875bece8e21512b.d: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+/root/repo/target/debug/deps/libmits_atm-6875bece8e21512b.rlib: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+/root/repo/target/debug/deps/libmits_atm-6875bece8e21512b.rmeta: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+crates/atm/src/lib.rs:
+crates/atm/src/aal5.rs:
+crates/atm/src/cell.rs:
+crates/atm/src/fault.rs:
+crates/atm/src/link.rs:
+crates/atm/src/network.rs:
+crates/atm/src/traffic.rs:
+crates/atm/src/transport.rs:

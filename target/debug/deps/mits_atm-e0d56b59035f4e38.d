@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mits_atm-e0d56b59035f4e38.d: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+/root/repo/target/debug/deps/libmits_atm-e0d56b59035f4e38.rmeta: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+crates/atm/src/lib.rs:
+crates/atm/src/aal5.rs:
+crates/atm/src/cell.rs:
+crates/atm/src/fault.rs:
+crates/atm/src/link.rs:
+crates/atm/src/network.rs:
+crates/atm/src/traffic.rs:
+crates/atm/src/transport.rs:

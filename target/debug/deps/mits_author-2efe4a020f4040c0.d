@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mits_author-2efe4a020f4040c0.d: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+/root/repo/target/debug/deps/libmits_author-2efe4a020f4040c0.rmeta: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+crates/author/src/lib.rs:
+crates/author/src/compile.rs:
+crates/author/src/courseware_lib.rs:
+crates/author/src/editor.rs:
+crates/author/src/hyperdoc.rs:
+crates/author/src/imd.rs:
+crates/author/src/teaching.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mits_author-a5457f701d856dd3.d: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_author-a5457f701d856dd3.rmeta: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs Cargo.toml
+
+crates/author/src/lib.rs:
+crates/author/src/compile.rs:
+crates/author/src/courseware_lib.rs:
+crates/author/src/editor.rs:
+crates/author/src/hyperdoc.rs:
+crates/author/src/imd.rs:
+crates/author/src/teaching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mits_author-ce1f4b8688773682.d: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+/root/repo/target/debug/deps/libmits_author-ce1f4b8688773682.rlib: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+/root/repo/target/debug/deps/libmits_author-ce1f4b8688773682.rmeta: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+crates/author/src/lib.rs:
+crates/author/src/compile.rs:
+crates/author/src/courseware_lib.rs:
+crates/author/src/editor.rs:
+crates/author/src/hyperdoc.rs:
+crates/author/src/imd.rs:
+crates/author/src/teaching.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mits_author-ef4005b9f6a45f80.d: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+/root/repo/target/debug/deps/mits_author-ef4005b9f6a45f80: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+crates/author/src/lib.rs:
+crates/author/src/compile.rs:
+crates/author/src/courseware_lib.rs:
+crates/author/src/editor.rs:
+crates/author/src/hyperdoc.rs:
+crates/author/src/imd.rs:
+crates/author/src/teaching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mits_bench-044410b0ca5e6932.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_bench-044410b0ca5e6932.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

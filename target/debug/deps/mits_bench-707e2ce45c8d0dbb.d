@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mits_bench-707e2ce45c8d0dbb.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_bench-707e2ce45c8d0dbb.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

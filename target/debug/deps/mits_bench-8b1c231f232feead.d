@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mits_bench-8b1c231f232feead.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmits_bench-8b1c231f232feead.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmits_bench-8b1c231f232feead.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mits_bench-a33762ec4ae6bbc1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mits_bench-a33762ec4ae6bbc1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

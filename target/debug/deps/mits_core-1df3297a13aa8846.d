@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mits_core-1df3297a13aa8846.d: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/mits_core-1df3297a13aa8846: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cod.rs:
+crates/core/src/models.rs:
+crates/core/src/stack.rs:
+crates/core/src/stream.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mits_core-b110a8332f914b67.d: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_core-b110a8332f914b67.rmeta: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cod.rs:
+crates/core/src/models.rs:
+crates/core/src/stack.rs:
+crates/core/src/stream.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

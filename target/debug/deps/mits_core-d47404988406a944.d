@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mits_core-d47404988406a944.d: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libmits_core-d47404988406a944.rmeta: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cod.rs:
+crates/core/src/models.rs:
+crates/core/src/stack.rs:
+crates/core/src/stream.rs:
+crates/core/src/system.rs:

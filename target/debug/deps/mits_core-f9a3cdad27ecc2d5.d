@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mits_core-f9a3cdad27ecc2d5.d: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libmits_core-f9a3cdad27ecc2d5.rlib: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libmits_core-f9a3cdad27ecc2d5.rmeta: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cod.rs:
+crates/core/src/models.rs:
+crates/core/src/stack.rs:
+crates/core/src/stream.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mits_media-009df64535642669.d: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+/root/repo/target/debug/deps/libmits_media-009df64535642669.rlib: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+/root/repo/target/debug/deps/libmits_media-009df64535642669.rmeta: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+crates/media/src/lib.rs:
+crates/media/src/codec.rs:
+crates/media/src/format.rs:
+crates/media/src/mci.rs:
+crates/media/src/object.rs:
+crates/media/src/producer.rs:

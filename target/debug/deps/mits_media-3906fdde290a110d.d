@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mits_media-3906fdde290a110d.d: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_media-3906fdde290a110d.rmeta: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs Cargo.toml
+
+crates/media/src/lib.rs:
+crates/media/src/codec.rs:
+crates/media/src/format.rs:
+crates/media/src/mci.rs:
+crates/media/src/object.rs:
+crates/media/src/producer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mits_media-6fe100111dd31b0f.d: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+/root/repo/target/debug/deps/mits_media-6fe100111dd31b0f: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+crates/media/src/lib.rs:
+crates/media/src/codec.rs:
+crates/media/src/format.rs:
+crates/media/src/mci.rs:
+crates/media/src/object.rs:
+crates/media/src/producer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mits_media-e7cd392a88fb9758.d: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+/root/repo/target/debug/deps/libmits_media-e7cd392a88fb9758.rmeta: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+crates/media/src/lib.rs:
+crates/media/src/codec.rs:
+crates/media/src/format.rs:
+crates/media/src/mci.rs:
+crates/media/src/object.rs:
+crates/media/src/producer.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/mits_mheg-888e3aaac20aa5e7.d: crates/mheg/src/lib.rs crates/mheg/src/action.rs crates/mheg/src/class.rs crates/mheg/src/codec/mod.rs crates/mheg/src/codec/node.rs crates/mheg/src/codec/sgml.rs crates/mheg/src/codec/tlv.rs crates/mheg/src/codec/tree.rs crates/mheg/src/descriptor.rs crates/mheg/src/engine.rs crates/mheg/src/ids.rs crates/mheg/src/library.rs crates/mheg/src/link.rs crates/mheg/src/object.rs crates/mheg/src/runtime.rs crates/mheg/src/script.rs crates/mheg/src/sync.rs crates/mheg/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_mheg-888e3aaac20aa5e7.rmeta: crates/mheg/src/lib.rs crates/mheg/src/action.rs crates/mheg/src/class.rs crates/mheg/src/codec/mod.rs crates/mheg/src/codec/node.rs crates/mheg/src/codec/sgml.rs crates/mheg/src/codec/tlv.rs crates/mheg/src/codec/tree.rs crates/mheg/src/descriptor.rs crates/mheg/src/engine.rs crates/mheg/src/ids.rs crates/mheg/src/library.rs crates/mheg/src/link.rs crates/mheg/src/object.rs crates/mheg/src/runtime.rs crates/mheg/src/script.rs crates/mheg/src/sync.rs crates/mheg/src/value.rs Cargo.toml
+
+crates/mheg/src/lib.rs:
+crates/mheg/src/action.rs:
+crates/mheg/src/class.rs:
+crates/mheg/src/codec/mod.rs:
+crates/mheg/src/codec/node.rs:
+crates/mheg/src/codec/sgml.rs:
+crates/mheg/src/codec/tlv.rs:
+crates/mheg/src/codec/tree.rs:
+crates/mheg/src/descriptor.rs:
+crates/mheg/src/engine.rs:
+crates/mheg/src/ids.rs:
+crates/mheg/src/library.rs:
+crates/mheg/src/link.rs:
+crates/mheg/src/object.rs:
+crates/mheg/src/runtime.rs:
+crates/mheg/src/script.rs:
+crates/mheg/src/sync.rs:
+crates/mheg/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

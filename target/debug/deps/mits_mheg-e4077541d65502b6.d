@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/mits_mheg-e4077541d65502b6.d: crates/mheg/src/lib.rs crates/mheg/src/action.rs crates/mheg/src/class.rs crates/mheg/src/codec/mod.rs crates/mheg/src/codec/node.rs crates/mheg/src/codec/sgml.rs crates/mheg/src/codec/tlv.rs crates/mheg/src/codec/tree.rs crates/mheg/src/descriptor.rs crates/mheg/src/engine.rs crates/mheg/src/ids.rs crates/mheg/src/library.rs crates/mheg/src/link.rs crates/mheg/src/object.rs crates/mheg/src/runtime.rs crates/mheg/src/script.rs crates/mheg/src/sync.rs crates/mheg/src/value.rs
+
+/root/repo/target/debug/deps/libmits_mheg-e4077541d65502b6.rlib: crates/mheg/src/lib.rs crates/mheg/src/action.rs crates/mheg/src/class.rs crates/mheg/src/codec/mod.rs crates/mheg/src/codec/node.rs crates/mheg/src/codec/sgml.rs crates/mheg/src/codec/tlv.rs crates/mheg/src/codec/tree.rs crates/mheg/src/descriptor.rs crates/mheg/src/engine.rs crates/mheg/src/ids.rs crates/mheg/src/library.rs crates/mheg/src/link.rs crates/mheg/src/object.rs crates/mheg/src/runtime.rs crates/mheg/src/script.rs crates/mheg/src/sync.rs crates/mheg/src/value.rs
+
+/root/repo/target/debug/deps/libmits_mheg-e4077541d65502b6.rmeta: crates/mheg/src/lib.rs crates/mheg/src/action.rs crates/mheg/src/class.rs crates/mheg/src/codec/mod.rs crates/mheg/src/codec/node.rs crates/mheg/src/codec/sgml.rs crates/mheg/src/codec/tlv.rs crates/mheg/src/codec/tree.rs crates/mheg/src/descriptor.rs crates/mheg/src/engine.rs crates/mheg/src/ids.rs crates/mheg/src/library.rs crates/mheg/src/link.rs crates/mheg/src/object.rs crates/mheg/src/runtime.rs crates/mheg/src/script.rs crates/mheg/src/sync.rs crates/mheg/src/value.rs
+
+crates/mheg/src/lib.rs:
+crates/mheg/src/action.rs:
+crates/mheg/src/class.rs:
+crates/mheg/src/codec/mod.rs:
+crates/mheg/src/codec/node.rs:
+crates/mheg/src/codec/sgml.rs:
+crates/mheg/src/codec/tlv.rs:
+crates/mheg/src/codec/tree.rs:
+crates/mheg/src/descriptor.rs:
+crates/mheg/src/engine.rs:
+crates/mheg/src/ids.rs:
+crates/mheg/src/library.rs:
+crates/mheg/src/link.rs:
+crates/mheg/src/object.rs:
+crates/mheg/src/runtime.rs:
+crates/mheg/src/script.rs:
+crates/mheg/src/sync.rs:
+crates/mheg/src/value.rs:

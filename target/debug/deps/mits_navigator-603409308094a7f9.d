@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mits_navigator-603409308094a7f9.d: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+/root/repo/target/debug/deps/libmits_navigator-603409308094a7f9.rmeta: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+crates/navigator/src/lib.rs:
+crates/navigator/src/bookmarks.rs:
+crates/navigator/src/library.rs:
+crates/navigator/src/presentation.rs:
+crates/navigator/src/screens.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mits_navigator-7d40740432e43993.d: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_navigator-7d40740432e43993.rmeta: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs Cargo.toml
+
+crates/navigator/src/lib.rs:
+crates/navigator/src/bookmarks.rs:
+crates/navigator/src/library.rs:
+crates/navigator/src/presentation.rs:
+crates/navigator/src/screens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mits_navigator-9fa6c8028b3c4b67.d: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+/root/repo/target/debug/deps/libmits_navigator-9fa6c8028b3c4b67.rlib: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+/root/repo/target/debug/deps/libmits_navigator-9fa6c8028b3c4b67.rmeta: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+crates/navigator/src/lib.rs:
+crates/navigator/src/bookmarks.rs:
+crates/navigator/src/library.rs:
+crates/navigator/src/presentation.rs:
+crates/navigator/src/screens.rs:

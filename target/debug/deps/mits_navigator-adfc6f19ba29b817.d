@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mits_navigator-adfc6f19ba29b817.d: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_navigator-adfc6f19ba29b817.rmeta: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs Cargo.toml
+
+crates/navigator/src/lib.rs:
+crates/navigator/src/bookmarks.rs:
+crates/navigator/src/library.rs:
+crates/navigator/src/presentation.rs:
+crates/navigator/src/screens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

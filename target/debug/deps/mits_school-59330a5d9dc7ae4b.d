@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mits_school-59330a5d9dc7ae4b.d: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_school-59330a5d9dc7ae4b.rmeta: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs Cargo.toml
+
+crates/school/src/lib.rs:
+crates/school/src/billing.rs:
+crates/school/src/bulletin.rs:
+crates/school/src/discussion.rs:
+crates/school/src/exercise.rs:
+crates/school/src/facilitator.rs:
+crates/school/src/records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mits_school-5fb80b1057e7c087.d: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+/root/repo/target/debug/deps/libmits_school-5fb80b1057e7c087.rlib: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+/root/repo/target/debug/deps/libmits_school-5fb80b1057e7c087.rmeta: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+crates/school/src/lib.rs:
+crates/school/src/billing.rs:
+crates/school/src/bulletin.rs:
+crates/school/src/discussion.rs:
+crates/school/src/exercise.rs:
+crates/school/src/facilitator.rs:
+crates/school/src/records.rs:

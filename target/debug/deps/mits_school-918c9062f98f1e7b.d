@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mits_school-918c9062f98f1e7b.d: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+/root/repo/target/debug/deps/mits_school-918c9062f98f1e7b: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+crates/school/src/lib.rs:
+crates/school/src/billing.rs:
+crates/school/src/bulletin.rs:
+crates/school/src/discussion.rs:
+crates/school/src/exercise.rs:
+crates/school/src/facilitator.rs:
+crates/school/src/records.rs:

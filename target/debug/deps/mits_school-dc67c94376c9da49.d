@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mits_school-dc67c94376c9da49.d: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+/root/repo/target/debug/deps/libmits_school-dc67c94376c9da49.rmeta: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+crates/school/src/lib.rs:
+crates/school/src/billing.rs:
+crates/school/src/bulletin.rs:
+crates/school/src/discussion.rs:
+crates/school/src/exercise.rs:
+crates/school/src/facilitator.rs:
+crates/school/src/records.rs:

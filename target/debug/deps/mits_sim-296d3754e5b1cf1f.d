@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mits_sim-296d3754e5b1cf1f.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libmits_sim-296d3754e5b1cf1f.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libmits_sim-296d3754e5b1cf1f.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mits_sim-8a64f03f93f708fc.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libmits_sim-8a64f03f93f708fc.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

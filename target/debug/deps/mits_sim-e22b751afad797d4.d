@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mits_sim-e22b751afad797d4.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmits_sim-e22b751afad797d4.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

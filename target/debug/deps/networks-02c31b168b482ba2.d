@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/networks-02c31b168b482ba2.d: crates/bench/benches/networks.rs
+
+/root/repo/target/debug/deps/networks-02c31b168b482ba2: crates/bench/benches/networks.rs
+
+crates/bench/benches/networks.rs:

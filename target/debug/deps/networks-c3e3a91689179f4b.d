@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/networks-c3e3a91689179f4b.d: crates/bench/benches/networks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetworks-c3e3a91689179f4b.rmeta: crates/bench/benches/networks.rs Cargo.toml
+
+crates/bench/benches/networks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

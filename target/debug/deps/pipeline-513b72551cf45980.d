@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-513b72551cf45980.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-513b72551cf45980: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

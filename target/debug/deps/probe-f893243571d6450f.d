@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-f893243571d6450f.d: crates/atm/tests/probe.rs
+
+/root/repo/target/debug/deps/probe-f893243571d6450f: crates/atm/tests/probe.rs
+
+crates/atm/tests/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe2-55206d5268e72389.d: crates/atm/tests/probe2.rs
+
+/root/repo/target/debug/deps/probe2-55206d5268e72389: crates/atm/tests/probe2.rs
+
+crates/atm/tests/probe2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_proptest-5c644832e6713963.d: crates/db/tests/protocol_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_proptest-5c644832e6713963.rmeta: crates/db/tests/protocol_proptest.rs Cargo.toml
+
+crates/db/tests/protocol_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_proptest-cd73e218391a7919.d: crates/db/tests/protocol_proptest.rs
+
+/root/repo/target/debug/deps/protocol_proptest-cd73e218391a7919: crates/db/tests/protocol_proptest.rs
+
+crates/db/tests/protocol_proptest.rs:

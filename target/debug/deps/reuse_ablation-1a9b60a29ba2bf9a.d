@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reuse_ablation-1a9b60a29ba2bf9a.d: crates/bench/benches/reuse_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreuse_ablation-1a9b60a29ba2bf9a.rmeta: crates/bench/benches/reuse_ablation.rs Cargo.toml
+
+crates/bench/benches/reuse_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

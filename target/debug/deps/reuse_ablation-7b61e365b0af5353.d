@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_ablation-7b61e365b0af5353.d: crates/bench/benches/reuse_ablation.rs
+
+/root/repo/target/debug/deps/reuse_ablation-7b61e365b0af5353: crates/bench/benches/reuse_ablation.rs
+
+crates/bench/benches/reuse_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenario_playback-3f2c4cdc9b98cd2b.d: crates/bench/benches/scenario_playback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario_playback-3f2c4cdc9b98cd2b.rmeta: crates/bench/benches/scenario_playback.rs Cargo.toml
+
+crates/bench/benches/scenario_playback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_playback-777a4d20ddf666b2.d: crates/bench/benches/scenario_playback.rs
+
+/root/repo/target/debug/deps/scenario_playback-777a4d20ddf666b2: crates/bench/benches/scenario_playback.rs
+
+crates/bench/benches/scenario_playback.rs:

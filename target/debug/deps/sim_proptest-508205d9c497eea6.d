@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_proptest-508205d9c497eea6.d: crates/sim/tests/sim_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_proptest-508205d9c497eea6.rmeta: crates/sim/tests/sim_proptest.rs Cargo.toml
+
+crates/sim/tests/sim_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

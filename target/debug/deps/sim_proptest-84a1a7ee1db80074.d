@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_proptest-84a1a7ee1db80074.d: crates/sim/tests/sim_proptest.rs
+
+/root/repo/target/debug/deps/sim_proptest-84a1a7ee1db80074: crates/sim/tests/sim_proptest.rs
+
+crates/sim/tests/sim_proptest.rs:

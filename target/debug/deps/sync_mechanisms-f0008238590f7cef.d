@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_mechanisms-f0008238590f7cef.d: crates/bench/benches/sync_mechanisms.rs
+
+/root/repo/target/debug/deps/sync_mechanisms-f0008238590f7cef: crates/bench/benches/sync_mechanisms.rs
+
+crates/bench/benches/sync_mechanisms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync_mechanisms-fa247ed38b4f20d8.d: crates/bench/benches/sync_mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync_mechanisms-fa247ed38b4f20d8.rmeta: crates/bench/benches/sync_mechanisms.rs Cargo.toml
+
+crates/bench/benches/sync_mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

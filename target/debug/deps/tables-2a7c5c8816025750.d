@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-2a7c5c8816025750.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-2a7c5c8816025750: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-b15a9d1a78667d80.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-b15a9d1a78667d80: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/teleschool-046f200f2705ebd1.d: crates/mits/../../tests/teleschool.rs
+
+/root/repo/target/debug/deps/teleschool-046f200f2705ebd1: crates/mits/../../tests/teleschool.rs
+
+crates/mits/../../tests/teleschool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/teleschool-e29af62d428f8dae.d: crates/mits/../../tests/teleschool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libteleschool-e29af62d428f8dae.rmeta: crates/mits/../../tests/teleschool.rs Cargo.toml
+
+crates/mits/../../tests/teleschool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

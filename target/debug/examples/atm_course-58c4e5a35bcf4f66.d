@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/atm_course-58c4e5a35bcf4f66.d: crates/mits/../../examples/atm_course.rs Cargo.toml
+
+/root/repo/target/debug/examples/libatm_course-58c4e5a35bcf4f66.rmeta: crates/mits/../../examples/atm_course.rs Cargo.toml
+
+crates/mits/../../examples/atm_course.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

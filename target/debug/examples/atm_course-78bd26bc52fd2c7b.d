@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/atm_course-78bd26bc52fd2c7b.d: crates/mits/../../examples/atm_course.rs
+
+/root/repo/target/debug/examples/atm_course-78bd26bc52fd2c7b: crates/mits/../../examples/atm_course.rs
+
+crates/mits/../../examples/atm_course.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/facilitator_comparison-6e1bd793ba05bf4b.d: crates/mits/../../examples/facilitator_comparison.rs
+
+/root/repo/target/debug/examples/facilitator_comparison-6e1bd793ba05bf4b: crates/mits/../../examples/facilitator_comparison.rs
+
+crates/mits/../../examples/facilitator_comparison.rs:

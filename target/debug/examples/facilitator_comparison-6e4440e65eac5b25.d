@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/facilitator_comparison-6e4440e65eac5b25.d: crates/mits/../../examples/facilitator_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfacilitator_comparison-6e4440e65eac5b25.rmeta: crates/mits/../../examples/facilitator_comparison.rs Cargo.toml
+
+crates/mits/../../examples/facilitator_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

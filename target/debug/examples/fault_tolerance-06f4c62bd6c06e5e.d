@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-06f4c62bd6c06e5e.d: crates/mits/../../examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-06f4c62bd6c06e5e: crates/mits/../../examples/fault_tolerance.rs
+
+crates/mits/../../examples/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerance-57ebd836d8f3fb99.d: crates/mits/../../examples/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerance-57ebd836d8f3fb99.rmeta: crates/mits/../../examples/fault_tolerance.rs Cargo.toml
+
+crates/mits/../../examples/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

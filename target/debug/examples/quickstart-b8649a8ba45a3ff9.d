@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b8649a8ba45a3ff9.d: crates/mits/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b8649a8ba45a3ff9.rmeta: crates/mits/../../examples/quickstart.rs Cargo.toml
+
+crates/mits/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

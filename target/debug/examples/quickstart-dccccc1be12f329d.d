@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dccccc1be12f329d.d: crates/mits/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dccccc1be12f329d: crates/mits/../../examples/quickstart.rs
+
+crates/mits/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quiz_course-056a977ff3c91c87.d: crates/mits/../../examples/quiz_course.rs
+
+/root/repo/target/debug/examples/quiz_course-056a977ff3c91c87: crates/mits/../../examples/quiz_course.rs
+
+crates/mits/../../examples/quiz_course.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quiz_course-265176c26c931754.d: crates/mits/../../examples/quiz_course.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquiz_course-265176c26c931754.rmeta: crates/mits/../../examples/quiz_course.rs Cargo.toml
+
+crates/mits/../../examples/quiz_course.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quiz_course-425dbfe144d845b3.d: crates/mits/../../examples/quiz_course.rs
+
+/root/repo/target/debug/examples/libquiz_course-425dbfe144d845b3.rmeta: crates/mits/../../examples/quiz_course.rs
+
+crates/mits/../../examples/quiz_course.rs:

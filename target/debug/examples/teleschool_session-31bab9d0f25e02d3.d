@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/teleschool_session-31bab9d0f25e02d3.d: crates/mits/../../examples/teleschool_session.rs
+
+/root/repo/target/debug/examples/teleschool_session-31bab9d0f25e02d3: crates/mits/../../examples/teleschool_session.rs
+
+crates/mits/../../examples/teleschool_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/teleschool_session-9e8a7c4c412c0d37.d: crates/mits/../../examples/teleschool_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libteleschool_session-9e8a7c4c412c0d37.rmeta: crates/mits/../../examples/teleschool_session.rs Cargo.toml
+
+crates/mits/../../examples/teleschool_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

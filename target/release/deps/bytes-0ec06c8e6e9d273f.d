@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-0ec06c8e6e9d273f.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0ec06c8e6e9d273f.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0ec06c8e6e9d273f.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mits-bccfd7218d9d63c9.d: crates/mits/src/lib.rs
+
+/root/repo/target/release/deps/libmits-bccfd7218d9d63c9.rlib: crates/mits/src/lib.rs
+
+/root/repo/target/release/deps/libmits-bccfd7218d9d63c9.rmeta: crates/mits/src/lib.rs
+
+crates/mits/src/lib.rs:

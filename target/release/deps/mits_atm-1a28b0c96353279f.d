@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mits_atm-1a28b0c96353279f.d: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+/root/repo/target/release/deps/libmits_atm-1a28b0c96353279f.rlib: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+/root/repo/target/release/deps/libmits_atm-1a28b0c96353279f.rmeta: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/cell.rs crates/atm/src/fault.rs crates/atm/src/link.rs crates/atm/src/network.rs crates/atm/src/traffic.rs crates/atm/src/transport.rs
+
+crates/atm/src/lib.rs:
+crates/atm/src/aal5.rs:
+crates/atm/src/cell.rs:
+crates/atm/src/fault.rs:
+crates/atm/src/link.rs:
+crates/atm/src/network.rs:
+crates/atm/src/traffic.rs:
+crates/atm/src/transport.rs:

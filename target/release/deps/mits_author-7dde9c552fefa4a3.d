@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mits_author-7dde9c552fefa4a3.d: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+/root/repo/target/release/deps/libmits_author-7dde9c552fefa4a3.rlib: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+/root/repo/target/release/deps/libmits_author-7dde9c552fefa4a3.rmeta: crates/author/src/lib.rs crates/author/src/compile.rs crates/author/src/courseware_lib.rs crates/author/src/editor.rs crates/author/src/hyperdoc.rs crates/author/src/imd.rs crates/author/src/teaching.rs
+
+crates/author/src/lib.rs:
+crates/author/src/compile.rs:
+crates/author/src/courseware_lib.rs:
+crates/author/src/editor.rs:
+crates/author/src/hyperdoc.rs:
+crates/author/src/imd.rs:
+crates/author/src/teaching.rs:

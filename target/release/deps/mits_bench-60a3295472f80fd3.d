@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mits_bench-60a3295472f80fd3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmits_bench-60a3295472f80fd3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmits_bench-60a3295472f80fd3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mits_core-bf602f4aedc2d695.d: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libmits_core-bf602f4aedc2d695.rlib: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libmits_core-bf602f4aedc2d695.rmeta: crates/core/src/lib.rs crates/core/src/cod.rs crates/core/src/models.rs crates/core/src/stack.rs crates/core/src/stream.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cod.rs:
+crates/core/src/models.rs:
+crates/core/src/stack.rs:
+crates/core/src/stream.rs:
+crates/core/src/system.rs:

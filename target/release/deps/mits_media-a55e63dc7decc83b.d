@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mits_media-a55e63dc7decc83b.d: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+/root/repo/target/release/deps/libmits_media-a55e63dc7decc83b.rlib: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+/root/repo/target/release/deps/libmits_media-a55e63dc7decc83b.rmeta: crates/media/src/lib.rs crates/media/src/codec.rs crates/media/src/format.rs crates/media/src/mci.rs crates/media/src/object.rs crates/media/src/producer.rs
+
+crates/media/src/lib.rs:
+crates/media/src/codec.rs:
+crates/media/src/format.rs:
+crates/media/src/mci.rs:
+crates/media/src/object.rs:
+crates/media/src/producer.rs:

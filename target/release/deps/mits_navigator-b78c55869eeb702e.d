@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mits_navigator-b78c55869eeb702e.d: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+/root/repo/target/release/deps/libmits_navigator-b78c55869eeb702e.rlib: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+/root/repo/target/release/deps/libmits_navigator-b78c55869eeb702e.rmeta: crates/navigator/src/lib.rs crates/navigator/src/bookmarks.rs crates/navigator/src/library.rs crates/navigator/src/presentation.rs crates/navigator/src/screens.rs
+
+crates/navigator/src/lib.rs:
+crates/navigator/src/bookmarks.rs:
+crates/navigator/src/library.rs:
+crates/navigator/src/presentation.rs:
+crates/navigator/src/screens.rs:

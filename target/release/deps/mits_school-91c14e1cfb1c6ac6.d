@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mits_school-91c14e1cfb1c6ac6.d: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+/root/repo/target/release/deps/libmits_school-91c14e1cfb1c6ac6.rlib: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+/root/repo/target/release/deps/libmits_school-91c14e1cfb1c6ac6.rmeta: crates/school/src/lib.rs crates/school/src/billing.rs crates/school/src/bulletin.rs crates/school/src/discussion.rs crates/school/src/exercise.rs crates/school/src/facilitator.rs crates/school/src/records.rs
+
+crates/school/src/lib.rs:
+crates/school/src/billing.rs:
+crates/school/src/bulletin.rs:
+crates/school/src/discussion.rs:
+crates/school/src/exercise.rs:
+crates/school/src/facilitator.rs:
+crates/school/src/records.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mits_sim-f430a10707811366.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libmits_sim-f430a10707811366.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libmits_sim-f430a10707811366.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-2653215a96c93402.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-2653215a96c93402: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/atm_course-42521046714c6fd0.d: crates/mits/../../examples/atm_course.rs
+
+/root/repo/target/release/examples/atm_course-42521046714c6fd0: crates/mits/../../examples/atm_course.rs
+
+crates/mits/../../examples/atm_course.rs:

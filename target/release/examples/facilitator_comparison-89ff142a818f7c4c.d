@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/facilitator_comparison-89ff142a818f7c4c.d: crates/mits/../../examples/facilitator_comparison.rs
+
+/root/repo/target/release/examples/facilitator_comparison-89ff142a818f7c4c: crates/mits/../../examples/facilitator_comparison.rs
+
+crates/mits/../../examples/facilitator_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-1891388baefc31d4.d: crates/mits/../../examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-1891388baefc31d4: crates/mits/../../examples/fault_tolerance.rs
+
+crates/mits/../../examples/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-acbc88afe92d35cd.d: crates/mits/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-acbc88afe92d35cd: crates/mits/../../examples/quickstart.rs
+
+crates/mits/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quiz_course-030c7b594ae28b2c.d: crates/mits/../../examples/quiz_course.rs
+
+/root/repo/target/release/examples/quiz_course-030c7b594ae28b2c: crates/mits/../../examples/quiz_course.rs
+
+crates/mits/../../examples/quiz_course.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/teleschool_session-ba0408948bcaceba.d: crates/mits/../../examples/teleschool_session.rs
+
+/root/repo/target/release/examples/teleschool_session-ba0408948bcaceba: crates/mits/../../examples/teleschool_session.rs
+
+crates/mits/../../examples/teleschool_session.rs:

@@ -4,7 +4,9 @@
 //! server from many OS threads — the in-process analog of many navigator
 //! processes — and check nothing tears.
 
-use mits::author::{compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry};
+use mits::author::{
+    compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
 use mits::db::{DbServer, Request, Response};
 use mits::media::{CaptureSpec, MediaFormat, ProductionCenter, VideoDims};
 use mits::mheg::MhegId;
@@ -35,7 +37,11 @@ fn loaded_server() -> (Arc<DbServer>, MhegId, String) {
     let server = DbServer::default();
     server.load_objects(compiled.objects);
     server.load_media(studio.catalogue().to_vec());
-    (Arc::new(server), compiled.root, "Concurrent Course".to_string())
+    (
+        Arc::new(server),
+        compiled.root,
+        "Concurrent Course".to_string(),
+    )
 }
 
 #[test]
@@ -87,10 +93,14 @@ fn concurrent_reads_with_author_updates() {
         let server2 = server.clone();
         scope.spawn(move |_| {
             let (resp, _) = server2.handle(&Request::GetObject { id: root });
-            let Response::Objects(mut objs) = resp else { panic!() };
+            let Response::Objects(mut objs) = resp else {
+                panic!()
+            };
             let obj = objs.pop().unwrap();
             for _ in 0..200 {
-                let (resp, _) = server2.handle(&Request::PutObject { object: obj.clone() });
+                let (resp, _) = server2.handle(&Request::PutObject {
+                    object: obj.clone(),
+                });
                 assert_eq!(resp, Response::Ack);
             }
         });
@@ -98,7 +108,9 @@ fn concurrent_reads_with_author_updates() {
     .unwrap();
     // The container's version advanced under concurrent readers.
     let (resp, _) = server.handle(&Request::GetObject { id: root });
-    let Response::Objects(objs) = resp else { panic!() };
+    let Response::Objects(objs) = resp else {
+        panic!()
+    };
     assert_eq!(objs[0].info.version, 200);
 }
 

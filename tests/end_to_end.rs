@@ -56,7 +56,9 @@ fn build_course(seed: u64) -> (Vec<MhegObject>, Vec<MediaObject>, MhegId, String
                     .entry(TimelineEntry::at_start("logo").at(300, 0)),
                 Scene::new("three")
                     .element("t", ElementKind::Caption("fin".into()))
-                    .entry(TimelineEntry::at_start("t").for_duration(SimDuration::from_millis(500))),
+                    .entry(
+                        TimelineEntry::at_start("t").for_duration(SimDuration::from_millis(500)),
+                    ),
             ],
         }],
     });
@@ -99,7 +101,11 @@ fn course_survives_lossy_network() {
     let mut session = CodSession::open(&mut sys, ClientId(0), root, &name).unwrap();
     session.start().unwrap();
     session.auto_play(SimDuration::from_secs(15)).unwrap();
-    assert!(session.report.completed, "ARQ recovers losses: {:?}", session.report);
+    assert!(
+        session.report.completed,
+        "ARQ recovers losses: {:?}",
+        session.report
+    );
 }
 
 #[test]
@@ -136,7 +142,10 @@ fn two_students_take_the_course_independently() {
         session.start().unwrap();
         session.auto_play(SimDuration::from_secs(15)).unwrap();
         assert!(session.report.completed, "client {c}");
-        assert!(session.report.bytes_transferred > 0, "client {c} paid the network");
+        assert!(
+            session.report.bytes_transferred > 0,
+            "client {c} paid the network"
+        );
     }
 }
 
@@ -145,13 +154,13 @@ fn library_queries_match_course_keywords() {
     let (objects, media, root, _) = build_course(5);
     let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
     sys.publish(&objects, &media).unwrap();
-    let (ids, _) = sys.query_keyword(ClientId(0), "telecom", true).unwrap();
+    let (ids, _) = sys.get_doc_by_keyword(ClientId(0), "telecom").unwrap();
     assert_eq!(ids, vec![root]);
     let (ids, _) = sys
-        .query_keyword(ClientId(0), "telecom/atm/integration", false)
+        .get_doc_by_keyword(ClientId(0), "telecom/atm/integration")
         .unwrap();
     assert_eq!(ids, vec![root]);
-    let (ids, _) = sys.query_keyword(ClientId(0), "biology", true).unwrap();
+    let (ids, _) = sys.get_doc_by_keyword(ClientId(0), "biology").unwrap();
     assert!(ids.is_empty());
 }
 
@@ -190,4 +199,55 @@ fn corrupted_request_rejected_not_crashing() {
     let mut bad = wire.to_vec();
     bad[8] = 99; // unknown tag
     assert!(Request::decode(&bad).is_err());
+}
+
+#[test]
+fn fetch_and_play_survives_seeded_cell_loss() {
+    use mits::atm::{FaultPlan, LinkFaults};
+    use mits::db::RetryPolicy;
+    // 5% cell loss on the student's access uplink (requests and ACKs):
+    // the full fetch-and-play pipeline must still complete, and because
+    // every fault draws from the seeded fault RNG, two runs must agree
+    // on every retry/timeout/loss count.
+    let run = || {
+        let (objects, media, root, name) = build_course(7);
+        let cfg = SystemConfig::broadband(1)
+            .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)));
+        let mut sys = MitsSystem::build(&cfg).unwrap();
+        let plan = FaultPlan::none().with_link(
+            sys.client_host(ClientId(0)),
+            sys.switch(),
+            LinkFaults::loss(0.05),
+        );
+        sys.net.set_fault_plan(plan);
+        sys.load_directly(objects, media);
+        // A browsing burst before the course starts: each query pushes a
+        // request frame and an ACK through the lossy uplink.
+        for _ in 0..20 {
+            sys.get_list_doc(ClientId(0)).unwrap();
+        }
+        let mut session = CodSession::open(&mut sys, ClientId(0), root, &name).unwrap();
+        session.start().unwrap();
+        session.auto_play(SimDuration::from_secs(15)).unwrap();
+        assert!(session.report.completed, "{:?}", session.report);
+        assert!(!session.report.is_degraded(), "all content arrived");
+        let m = sys.client_metrics(ClientId(0)).clone();
+        let faults = sys.net.fault_stats();
+        (
+            m.attempts,
+            m.retries,
+            m.timeouts,
+            m.completed,
+            faults.total_losses(),
+            faults.faulted_cells,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "seeded fault schedule must replay exactly");
+    assert!(a.4 > 0, "the plan destroyed cells: {a:?}");
+    assert!(
+        a.3 >= 23,
+        "queries + objects + content all completed: {a:?}"
+    );
 }

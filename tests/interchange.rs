@@ -31,7 +31,9 @@ fn sample_course() -> (Vec<MhegObject>, &'static str) {
                     .entry(TimelineEntry::at_start("v")),
                 Scene::new("b")
                     .element("t", ElementKind::Caption("end".into()))
-                    .entry(TimelineEntry::at_start("t").for_duration(SimDuration::from_millis(300))),
+                    .entry(
+                        TimelineEntry::at_start("t").for_duration(SimDuration::from_millis(300)),
+                    ),
             ],
         }],
     });
@@ -89,8 +91,10 @@ fn cross_coded_objects_are_equal() {
     // TLV (compact) — §2.2.2.4's heterogeneous-platform interchange.
     let (objects, _) = sample_course();
     for o in &objects {
-        let via_sgml = decode_object(&encode_object(o, WireFormat::Sgml), WireFormat::Sgml).unwrap();
-        let via_tlv = decode_object(&encode_object(&via_sgml, WireFormat::Tlv), WireFormat::Tlv).unwrap();
+        let via_sgml =
+            decode_object(&encode_object(o, WireFormat::Sgml), WireFormat::Sgml).unwrap();
+        let via_tlv =
+            decode_object(&encode_object(&via_sgml, WireFormat::Tlv), WireFormat::Tlv).unwrap();
         assert_eq!(&via_tlv, o);
     }
 }
@@ -108,7 +112,11 @@ fn hyperdoc_ships_and_navigates_after_round_trip() {
     p.start().unwrap();
     p.click("Test Your Knowledge").unwrap();
     p.click("53 bytes").unwrap();
-    assert_eq!(p.current_unit(), Some(4), "navigation works on shipped objects");
+    assert_eq!(
+        p.current_unit(),
+        Some(4),
+        "navigation works on shipped objects"
+    );
 }
 
 #[test]

@@ -39,7 +39,10 @@ fn cohort_registers_and_studies() {
             },
             &mut school,
         );
-        ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+        ui.handle(
+            UiEvent::SelectCourse(CourseCode("TEL101".into())),
+            &mut school,
+        );
         match ui.handle(UiEvent::FinishRegistration, &mut school) {
             UiOutcome::Registered(n) => numbers.push(n),
             other => panic!("{other:?}"),
@@ -56,7 +59,10 @@ fn cohort_registers_and_studies() {
         }
     }
     let progress = school.progress_statistics();
-    assert!((progress[0].1 - 0.6).abs() < 1e-9, "1+2+3+4+5 of 25 sessions");
+    assert!(
+        (progress[0].1 - 0.6).abs() < 1e-9,
+        "1+2+3+4+5 of 25 sessions"
+    );
 }
 
 #[test]
@@ -75,8 +81,14 @@ fn bulletin_and_exercise_interplay() {
         },
         10,
     );
-    assert_eq!(bank.submit(alice, q, &Answer::Choice(1)).unwrap().grade, Grade::Correct);
-    assert_eq!(bank.submit(bob, q, &Answer::Choice(0)).unwrap().grade, Grade::Incorrect);
+    assert_eq!(
+        bank.submit(alice, q, &Answer::Choice(1)).unwrap().grade,
+        Grade::Correct
+    );
+    assert_eq!(
+        bank.submit(bob, q, &Answer::Choice(0)).unwrap().grade,
+        Grade::Incorrect
+    );
 
     // The administration posts the mistake analysis to the board
     // (§5.2.1: "analysis of the common mistakes in an exercise").
@@ -87,7 +99,11 @@ fn bulletin_and_exercise_interplay() {
         "administration",
         SimTime::from_secs(3600),
         "Common mistakes in exercise 1",
-        &format!("problem {} missed by {:.0}%", mistakes[0].0, mistakes[0].1 * 100.0),
+        &format!(
+            "problem {} missed by {:.0}%",
+            mistakes[0].0,
+            mistakes[0].1 * 100.0
+        ),
     );
     assert_eq!(board.unread_count(bob), 1);
     board.mark_read(bob, post);
@@ -126,7 +142,12 @@ fn billing_accumulates_across_services() {
     let mut school = school_with_course();
     let alice = school.register("Alice", "", "");
     let mut ledger = BillingLedger::new();
-    ledger.record(alice, ServiceKind::Registration, SimTime::ZERO, SimDuration::ZERO);
+    ledger.record(
+        alice,
+        ServiceKind::Registration,
+        SimTime::ZERO,
+        SimDuration::ZERO,
+    );
     ledger.record(
         alice,
         ServiceKind::Classroom,
@@ -162,11 +183,21 @@ fn navigator_guards_against_out_of_order_flows() {
     let mut school = school_with_course();
     let mut ui = NavigatorUi::new();
     // Cannot open the classroom before authenticating.
-    let out = ui.handle(UiEvent::OpenClassroom(CourseCode("TEL101".into())), &mut school);
+    let out = ui.handle(
+        UiEvent::OpenClassroom(CourseCode("TEL101".into())),
+        &mut school,
+    );
     assert!(matches!(out, UiOutcome::Rejected(_)));
     // Cannot select a course before submitting the profile dialogs.
     ui.handle(UiEvent::ClickRegister, &mut school);
-    let out = ui.handle(UiEvent::SelectCourse(CourseCode("TEL101".into())), &mut school);
+    let out = ui.handle(
+        UiEvent::SelectCourse(CourseCode("TEL101".into())),
+        &mut school,
+    );
     assert!(matches!(out, UiOutcome::Rejected(_)));
-    assert_eq!(ui.screen(), &Screen::RegisterGeneral, "stays on the profile dialog");
+    assert_eq!(
+        ui.screen(),
+        &Screen::RegisterGeneral,
+        "stays on the profile dialog"
+    );
 }

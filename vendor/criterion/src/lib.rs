@@ -1,0 +1,187 @@
+//! Minimal, offline, API-compatible subset of `criterion`.
+//!
+//! Benchmarks compile against this stub and run each body a handful of
+//! times with coarse wall-clock timing — a smoke-run harness, not a
+//! statistics engine. This keeps `cargo bench` meaningful offline
+//! without pulling in the real crate's dependency tree.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many iterations the smoke harness runs per benchmark.
+const SMOKE_ITERS: u64 = 3;
+
+/// Measurement throughput annotation (recorded, reported alongside time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Trait unifying `&str` and [`BenchmarkId`] as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+    }
+
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            black_box(routine(input));
+        }
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let start = Instant::now();
+    let mut bencher = Bencher { iters: SMOKE_ITERS };
+    f(&mut bencher);
+    let elapsed = start.elapsed();
+    eprintln!(
+        "bench {label}: {:?}/iter ({SMOKE_ITERS} smoke iters)",
+        elapsed / (SMOKE_ITERS as u32)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into_benchmark_id(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(None, id, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,39 @@
+//! Minimal, offline, API-compatible subset of `crossbeam`.
+//!
+//! Only scoped threads are used by the workspace; they are backed by
+//! `std::thread::scope`. Child panics propagate when the scope unwinds
+//! (std semantics) rather than surfacing through the returned `Result`,
+//! which is indistinguishable for callers that `.unwrap()` the scope.
+
+pub mod thread {
+    /// Handle to a scope in which threads may be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope, crossbeam-style, so it can spawn
+        /// further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let rescoped = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&rescoped))
+        }
+    }
+
+    /// Result of a scope: `Ok` unless a child panicked.
+    pub type ScopeResult<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Create a scope for spawning borrowing threads; joins all children
+    /// before returning.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

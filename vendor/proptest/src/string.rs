@@ -1,0 +1,212 @@
+//! Generator for the regex subset the workspace's string strategies use:
+//! literals, escaped characters, character classes (with ranges and a
+//! trailing `-`), groups, alternation, `.`, and the `{m}`/`{m,n}`/`?`/
+//! `*`/`+` quantifiers.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+enum Node {
+    Alt(Vec<Node>),
+    Seq(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+    Class(Vec<char>),
+    Lit(char),
+    AnyChar,
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut branches = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_quant(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump() {
+            Some('(') => {
+                // Swallow non-capturing group markers `(?:`.
+                if self.peek() == Some('?') && self.peek_at(1) == Some(':') {
+                    self.bump();
+                    self.bump();
+                }
+                let inner = self.parse_alt();
+                self.bump(); // ')'
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Node::AnyChar,
+            Some('\\') => Node::Lit(unescape(self.bump().unwrap_or('\\'))),
+            Some(c) => Node::Lit(c),
+            None => Node::Seq(Vec::new()),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut set = Vec::new();
+        while let Some(c) = self.bump() {
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' {
+                unescape(self.bump().unwrap_or('\\'))
+            } else {
+                c
+            };
+            // `a-z` is a range unless the `-` is last in the class.
+            if self.peek() == Some('-') && self.peek_at(1).is_some() && self.peek_at(1) != Some(']')
+            {
+                self.bump(); // '-'
+                let hc = self.bump().unwrap();
+                let hi = if hc == '\\' {
+                    unescape(self.bump().unwrap_or('\\'))
+                } else {
+                    hc
+                };
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                let mut ch = lo;
+                loop {
+                    set.push(ch);
+                    if ch >= hi {
+                        break;
+                    }
+                    ch = char::from_u32(ch as u32 + 1).unwrap_or(hi);
+                }
+            } else {
+                set.push(lo);
+            }
+        }
+        if set.is_empty() {
+            set.push('?');
+        }
+        Node::Class(set)
+    }
+
+    fn parse_quant(&mut self, inner: Node) -> Node {
+        match self.peek() {
+            Some('{') => {
+                self.bump();
+                let mut digits = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    digits.push(self.bump().unwrap());
+                }
+                let lo: u32 = digits.parse().unwrap_or(0);
+                let hi = if self.peek() == Some(',') {
+                    self.bump();
+                    let mut digits = String::new();
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                        digits.push(self.bump().unwrap());
+                    }
+                    digits.parse().unwrap_or(lo + 8)
+                } else {
+                    lo
+                };
+                self.bump(); // '}'
+                Node::Repeat(Box::new(inner), lo, hi.max(lo))
+            }
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(inner), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(inner), 0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(inner), 1, 8)
+            }
+            _ => inner,
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let idx = rng.below_usize(branches.len());
+            emit(&branches[idx], rng, out);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let count = *lo as u64 + rng.below((*hi - *lo + 1) as u64);
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Class(set) => {
+            out.push(set[rng.below_usize(set.len())]);
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::AnyChar => {
+            // Printable ASCII.
+            out.push((b' ' + rng.below(95) as u8) as char);
+        }
+    }
+}
+
+/// Generate one string matching `pattern` (anchored, full match).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let ast = parser.parse_alt();
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}

@@ -1,0 +1,30 @@
+//! Minimal, offline, API-compatible subset of the `rand` crate.
+//!
+//! The workspace only uses `rand` to expose its `RngCore` trait on the
+//! deterministic simulation RNG, so this stub provides exactly that
+//! surface and nothing more.
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

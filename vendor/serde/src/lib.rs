@@ -1,0 +1,7 @@
+//! Minimal, offline, API-compatible subset of `serde`.
+//!
+//! The workspace hand-rolls every wire codec; the `Serialize` /
+//! `Deserialize` derives are kept purely as markers, so the traits here
+//! are empty and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};

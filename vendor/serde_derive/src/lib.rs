@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The workspace derives these traits for documentation value (the wire
+//! codecs are hand-rolled), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
