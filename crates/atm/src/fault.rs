@@ -134,6 +134,99 @@ impl FaultPlan {
     }
 }
 
+/// What a scheduled server-lifecycle event does to its target.
+///
+/// These extend fault injection beyond the network: where [`LinkFaults`]
+/// kill cells in flight, a crash schedule kills *endpoints* — the
+/// durability layer (`mits-db`'s WAL + snapshots) is what makes the
+/// restart meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The target process dies instantly: volatile state (queues,
+    /// in-flight responses, ARQ windows) is lost; only its log devices
+    /// survive.
+    ServerCrash,
+    /// The target comes back up and recovers from its devices; recovery
+    /// latency is charged from the bytes it replays.
+    ServerRestart,
+}
+
+/// One scheduled crash or restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// When it happens.
+    pub at: SimTime,
+    /// Which server (index into the system's server list).
+    pub target: u32,
+    /// Crash or restart.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of server crashes and restarts, kept sorted
+/// by time (ties break crash-before-restart so a crash and restart at
+/// the same instant net out to a bounce).
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    events: Vec<CrashEvent>,
+}
+
+impl CrashSchedule {
+    /// An empty schedule.
+    pub fn none() -> Self {
+        CrashSchedule::default()
+    }
+
+    fn push(&mut self, ev: CrashEvent) {
+        self.events.push(ev);
+        self.events
+            .sort_by_key(|e| (e.at, matches!(e.kind, FaultKind::ServerRestart), e.target));
+    }
+
+    /// Builder: crash server `target` at `at`.
+    pub fn with_crash(mut self, at: SimTime, target: u32) -> Self {
+        self.push(CrashEvent {
+            at,
+            target,
+            kind: FaultKind::ServerCrash,
+        });
+        self
+    }
+
+    /// Builder: restart server `target` at `at`.
+    pub fn with_restart(mut self, at: SimTime, target: u32) -> Self {
+        self.push(CrashEvent {
+            at,
+            target,
+            kind: FaultKind::ServerRestart,
+        });
+        self
+    }
+
+    /// The next event strictly after `now`, if any (for wakeup timers).
+    pub fn next_event_after(&self, now: SimTime) -> Option<SimTime> {
+        self.events.iter().map(|e| e.at).find(|&at| at > now)
+    }
+
+    /// Drain every event due in `(after, upto]`, in order.
+    pub fn due(&self, after: SimTime, upto: SimTime) -> Vec<CrashEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.at > after && e.at <= upto)
+            .collect()
+    }
+
+    /// Does the schedule contain anything?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, sorted.
+    pub fn events(&self) -> &[CrashEvent] {
+        &self.events
+    }
+}
+
 /// Per-link runtime state for the burst and jitter processes.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct FaultState {
@@ -187,6 +280,30 @@ mod tests {
         assert!(!FaultPlan::uniform(LinkFaults::loss(0.05)).is_empty());
         let keyed = FaultPlan::none().with_link(NodeId(0), NodeId(1), LinkFaults::loss(0.1));
         assert!(!keyed.is_empty());
+    }
+
+    #[test]
+    fn crash_schedule_sorts_and_drains_in_order() {
+        let sched = CrashSchedule::none()
+            .with_restart(SimTime::from_secs(5), 0)
+            .with_crash(SimTime::from_secs(2), 0)
+            .with_crash(SimTime::from_secs(5), 1);
+        assert_eq!(sched.events().len(), 3);
+        // Sorted by time; at t=5 the crash (of server 1) precedes the
+        // restart (of server 0).
+        assert_eq!(sched.events()[0].kind, FaultKind::ServerCrash);
+        assert_eq!(sched.events()[0].at, SimTime::from_secs(2));
+        assert_eq!(sched.events()[1].kind, FaultKind::ServerCrash);
+        assert_eq!(sched.events()[1].target, 1);
+        assert_eq!(sched.events()[2].kind, FaultKind::ServerRestart);
+        assert_eq!(
+            sched.next_event_after(SimTime::from_secs(2)),
+            Some(SimTime::from_secs(5))
+        );
+        let due = sched.due(SimTime::from_secs(2), SimTime::from_secs(5));
+        assert_eq!(due.len(), 2, "half-open (after, upto]");
+        assert!(CrashSchedule::none().is_empty());
+        assert!(!sched.is_empty());
     }
 
     #[test]

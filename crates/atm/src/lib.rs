@@ -37,7 +37,9 @@ pub mod transport;
 
 pub use aal5::{reassemble, segment, Aal5Error};
 pub use cell::{AtmCell, CELL_PAYLOAD, CELL_SIZE};
-pub use fault::{BurstLoss, FaultPlan, FaultStats, LinkFaults};
+pub use fault::{
+    BurstLoss, CrashEvent, CrashSchedule, FaultKind, FaultPlan, FaultStats, LinkFaults,
+};
 pub use link::{LinkProfile, ServiceClass};
 pub use network::{AtmNetwork, Delivery, NetError, NodeId, VcId, VcStats};
 pub use traffic::{CbrSource, OnOffSource, VbrVideoSource};

@@ -425,7 +425,7 @@ fn f3_5() {
             mean * 1e3,
             min.to_string(),
             max.to_string(),
-            *sys.db.requests_served.read()
+            *sys.db().requests_served.read()
         );
     }
 }

@@ -11,12 +11,12 @@
 
 use bytes::Bytes;
 use mits_atm::{
-    AtmNetwork, FaultPlan, LinkProfile, NetError, NodeId, ReliableChannel, ServiceClass,
-    TransportEvent, VcId,
+    AtmNetwork, CrashSchedule, FaultKind, FaultPlan, LinkProfile, NetError, NodeId,
+    ReliableChannel, ServiceClass, TransportEvent, VcId,
 };
 use mits_db::{
-    ClientAction, ClientEvent, DbClient, DbClientMetrics, DbError, DbServer, KeywordTree, Request,
-    Response, RetryPolicy,
+    read_snapshot, wal, ClientAction, ClientEvent, DbClient, DbClientMetrics, DbError, DbServer,
+    KeywordTree, RecoveryReport, Request, Response, RetryPolicy, ServiceModel, SharedLogDevice,
 };
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
@@ -50,6 +50,16 @@ pub struct SystemConfig {
     /// Server queue depth past which requests are shed with
     /// `Unavailable` instead of queuing unboundedly.
     pub server_queue_limit: Option<usize>,
+    /// Run a hot-standby replica database server: the primary ships WAL
+    /// frames to it over the backbone and clients fail over to it when
+    /// the primary stops answering.
+    pub replica: bool,
+    /// Scheduled server crashes and restarts (target 0 = primary,
+    /// 1 = replica).
+    pub crashes: CrashSchedule,
+    /// Checkpoint cadence: every so often each live server folds its
+    /// WAL into a snapshot and truncates the log.
+    pub checkpoint_every: Option<SimDuration>,
 }
 
 impl SystemConfig {
@@ -65,6 +75,9 @@ impl SystemConfig {
             retry: RetryPolicy::no_retry(),
             fault_plan: FaultPlan::none(),
             server_queue_limit: None,
+            replica: false,
+            crashes: CrashSchedule::none(),
+            checkpoint_every: None,
         }
     }
 
@@ -95,6 +108,30 @@ impl SystemConfig {
     /// Shed server load past `limit` queued requests.
     pub fn with_server_queue_limit(mut self, limit: usize) -> Self {
         self.server_queue_limit = Some(limit);
+        self
+    }
+
+    /// Add a hot-standby replica database server.
+    pub fn with_replica(mut self) -> Self {
+        self.replica = true;
+        self
+    }
+
+    /// Schedule a crash of server `target` at `at`.
+    pub fn with_crash(mut self, at: SimTime, target: u32) -> Self {
+        self.crashes = std::mem::take(&mut self.crashes).with_crash(at, target);
+        self
+    }
+
+    /// Schedule a restart of server `target` at `at`.
+    pub fn with_restart(mut self, at: SimTime, target: u32) -> Self {
+        self.crashes = std::mem::take(&mut self.crashes).with_restart(at, target);
+        self
+    }
+
+    /// Checkpoint every `every` of virtual time.
+    pub fn with_checkpoint_every(mut self, every: SimDuration) -> Self {
+        self.checkpoint_every = Some(every);
         self
     }
 }
@@ -147,28 +184,56 @@ impl From<NetError> for SystemError {
 
 struct Endpoint {
     host: NodeId,
-    chan: ReliableChannel,
+    profile: LinkProfile,
+    /// One reliable channel per database server.
+    chans: Vec<ReliableChannel>,
+    /// Which server this endpoint currently talks to (failover state).
+    active_server: usize,
     db_client: DbClient,
     inbox: Vec<(u64, Response)>,
+    /// Every downlink VC that ever carried data to this endpoint
+    /// (restarted servers open fresh VCs; byte accounting spans them).
+    down_vcs: Vec<VcId>,
+}
+
+/// One database server process: its host, store, per-endpoint transport,
+/// response queues, and the log devices that survive its crashes.
+struct ServerNode {
+    host: NodeId,
+    db: DbServer,
+    /// Server side of each endpoint's channel pair.
+    chans: Vec<ReliableChannel>,
+    /// Responses queued per endpoint, ready at their service time.
+    ready: Vec<VecDeque<(SimTime, Bytes)>>,
+    /// Single service centre: requests queue behind each other (F3.5
+    /// contention) — and behind recovery replay after a restart.
+    busy_until: SimTime,
+    up: bool,
+    wal_dev: SharedLogDevice,
+    snap_dev: SharedLogDevice,
+    /// Replication channel to the peer server, when one exists.
+    rep_chan: Option<ReliableChannel>,
 }
 
 /// The assembled MITS installation.
 pub struct MitsSystem {
     /// The network (public for experiment instrumentation).
     pub net: AtmNetwork,
-    /// The courseware database server (public for direct loading in
-    /// benches that don't measure publishing).
-    pub db: DbServer,
     switch: NodeId,
+    backbone: LinkProfile,
+    servers: Vec<ServerNode>, // primary first, optional replica second
     endpoints: Vec<Endpoint>, // clients then author (last)
-    server_chans: Vec<ReliableChannel>,
-    server_ready: Vec<VecDeque<(SimTime, Bytes)>>,
-    data_vcs: Vec<(VcId, VcId)>, // (peer→db, db→peer) per endpoint
-    /// The server is a single service centre: requests queue behind each
-    /// other (F3.5 contention).
-    server_busy_until: SimTime,
+    crashes: CrashSchedule,
+    crash_idx: usize,
+    checkpoint_every: Option<SimDuration>,
+    next_checkpoint: Option<SimTime>,
+    queue_limit: Option<usize>,
     /// Total requests that crossed the network.
     pub requests_sent: u64,
+    /// Times any endpoint switched servers after losing an attempt.
+    pub failovers: u64,
+    /// What the most recent server restart replayed.
+    pub last_recovery: Option<RecoveryReport>,
 }
 
 impl MitsSystem {
@@ -177,8 +242,13 @@ impl MitsSystem {
         let mut net = AtmNetwork::new(config.seed);
         net.set_fault_plan(config.fault_plan.clone());
         let switch = net.add_switch("campus-switch");
-        let db_host = net.add_host("courseware-db");
-        net.connect(db_host, switch, config.backbone);
+        let mut server_hosts = vec![net.add_host("courseware-db")];
+        net.connect(server_hosts[0], switch, config.backbone);
+        if config.replica {
+            let r = net.add_host("courseware-db-replica");
+            net.connect(r, switch, config.backbone);
+            server_hosts.push(r);
+        }
         let author_host = net.add_host("author-site");
         net.connect(author_host, switch, config.backbone);
         let mut peer_hosts = Vec::with_capacity(config.clients + 1);
@@ -189,48 +259,114 @@ impl MitsSystem {
         }
         peer_hosts.push((author_host, config.backbone));
 
+        let mut servers: Vec<ServerNode> = server_hosts
+            .into_iter()
+            .map(|host| {
+                let wal_dev = SharedLogDevice::new();
+                let snap_dev = SharedLogDevice::new();
+                let db = match config.server_queue_limit {
+                    Some(limit) => DbServer::default().with_overload_threshold(limit),
+                    None => DbServer::default(),
+                }
+                .with_durability(Box::new(wal_dev.clone()), Box::new(snap_dev.clone()));
+                ServerNode {
+                    host,
+                    db,
+                    chans: Vec::new(),
+                    ready: Vec::new(),
+                    busy_until: SimTime::ZERO,
+                    up: true,
+                    wal_dev,
+                    snap_dev,
+                    rep_chan: None,
+                }
+            })
+            .collect();
+        if servers.len() > 1 {
+            servers[0].db.set_shipping(true);
+        }
+
         let mut endpoints = Vec::new();
-        let mut server_chans = Vec::new();
-        let mut server_ready = Vec::new();
-        let mut data_vcs = Vec::new();
         for (i, (host, profile)) in peer_hosts.into_iter().enumerate() {
-            let up = net.open_vc(&[host, switch, db_host], ServiceClass::Ubr, None)?;
-            let down = net.open_vc(&[db_host, switch, host], ServiceClass::Ubr, None)?;
             let timeout = Self::arq_timeout(&profile);
+            let mut chans = Vec::new();
+            let mut down_vcs = Vec::new();
             // Window of 2 segments: enough to pipeline the link while
             // keeping the burst inside realistic switch buffers (a 16-seg
             // burst at backbone speed would overrun a narrowband port's
             // queue and melt down in retransmissions).
+            for s in &mut servers {
+                let up = net.open_vc(&[host, switch, s.host], ServiceClass::Ubr, None)?;
+                let down = net.open_vc(&[s.host, switch, host], ServiceClass::Ubr, None)?;
+                chans.push(ReliableChannel::new(up, down, 2, timeout));
+                s.chans.push(ReliableChannel::new(down, up, 2, timeout));
+                s.ready.push(VecDeque::new());
+                down_vcs.push(down);
+            }
             endpoints.push(Endpoint {
                 host,
-                chan: ReliableChannel::new(up, down, 2, timeout),
+                profile,
+                chans,
+                active_server: 0,
                 db_client: DbClient::with_policy(
                     config.client_cache_bytes,
                     config.retry,
                     config.seed ^ (0xC11E_0000 + i as u64),
                 ),
                 inbox: Vec::new(),
+                down_vcs,
             });
-            server_chans.push(ReliableChannel::new(down, up, 2, timeout));
-            server_ready.push(VecDeque::new());
-            data_vcs.push((up, down));
+        }
+        if servers.len() > 1 {
+            let timeout = Self::arq_timeout(&config.backbone);
+            let (a, b) = (servers[0].host, servers[1].host);
+            let up = net.open_vc(&[a, switch, b], ServiceClass::Ubr, None)?;
+            let down = net.open_vc(&[b, switch, a], ServiceClass::Ubr, None)?;
+            servers[0].rep_chan = Some(ReliableChannel::new(up, down, 2, timeout));
+            servers[1].rep_chan = Some(ReliableChannel::new(down, up, 2, timeout));
         }
 
-        let db = match config.server_queue_limit {
-            Some(limit) => DbServer::default().with_overload_threshold(limit),
-            None => DbServer::default(),
-        };
         Ok(MitsSystem {
             net,
-            db,
             switch,
+            backbone: config.backbone,
+            servers,
             endpoints,
-            server_chans,
-            server_ready,
-            data_vcs,
-            server_busy_until: SimTime::ZERO,
+            crashes: config.crashes.clone(),
+            crash_idx: 0,
+            checkpoint_every: config.checkpoint_every,
+            next_checkpoint: config.checkpoint_every.map(|e| SimTime::ZERO + e),
+            queue_limit: config.server_queue_limit,
             requests_sent: 0,
+            failovers: 0,
+            last_recovery: None,
         })
+    }
+
+    /// The primary database server (public for direct loading in benches
+    /// that don't measure publishing, and for counter assertions).
+    pub fn db(&self) -> &DbServer {
+        &self.servers[0].db
+    }
+
+    /// A database server by index (0 = primary, 1 = replica).
+    pub fn db_at(&self, index: usize) -> &DbServer {
+        &self.servers[index].db
+    }
+
+    /// How many database servers the installation runs.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Is server `index` currently up?
+    pub fn server_up(&self, index: usize) -> bool {
+        self.servers[index].up
+    }
+
+    /// Which server a client endpoint currently talks to.
+    pub fn active_server(&self, client: ClientId) -> usize {
+        self.endpoints[client.0].active_server
     }
 
     /// ARQ timeout sized to the link: several max-segment serializations
@@ -261,12 +397,15 @@ impl MitsSystem {
         self.switch
     }
 
-    /// Bytes delivered to a peer on its downlink VC so far.
+    /// Bytes delivered to a peer on its downlink VCs so far (summed over
+    /// every VC that ever carried data to it — restarts open fresh ones).
     pub fn bytes_to_peer(&self, index: usize) -> u64 {
-        self.net
-            .vc_stats(self.data_vcs[index].1)
+        self.endpoints[index]
+            .down_vcs
+            .iter()
+            .filter_map(|vc| self.net.vc_stats(*vc))
             .map(|s| s.bytes_delivered)
-            .unwrap_or(0)
+            .sum()
     }
 
     /// Bytes delivered downlink to a client.
@@ -290,39 +429,228 @@ impl MitsSystem {
 
     fn earliest_wakeup(&self) -> Option<SimTime> {
         let mut next = self.net.next_event_time();
-        for chan in self
-            .endpoints
-            .iter()
-            .map(|e| &e.chan)
-            .chain(self.server_chans.iter())
-        {
-            if let Some(t) = chan.next_timeout() {
+        let mut fold = |t: Option<SimTime>| {
+            if let Some(t) = t {
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
-        }
-        for q in &self.server_ready {
-            if let Some((t, _)) = q.front() {
-                next = Some(next.map_or(*t, |n| n.min(*t)));
-            }
-        }
-        // Retry machinery: attempt timeouts, backoff expiries, deadlines.
+        };
         for e in &self.endpoints {
-            if let Some(t) = e.db_client.next_wakeup() {
-                next = Some(next.map_or(t, |n| n.min(t)));
+            for chan in &e.chans {
+                fold(chan.next_timeout());
+            }
+            // Retry machinery: attempt timeouts, backoffs, deadlines.
+            fold(e.db_client.next_wakeup());
+        }
+        for s in &self.servers {
+            if !s.up {
+                continue;
+            }
+            for chan in &s.chans {
+                fold(chan.next_timeout());
+            }
+            if let Some(ch) = &s.rep_chan {
+                fold(ch.next_timeout());
+            }
+            for q in &s.ready {
+                fold(q.front().map(|(t, _)| *t));
             }
         }
+        // Scheduled crashes/restarts and checkpoint cadence.
+        fold(self.crashes.events().get(self.crash_idx).map(|e| e.at));
+        fold(self.next_checkpoint);
         next
     }
 
     fn flush_server_ready(&mut self) -> Result<(), SystemError> {
         let now = self.net.now();
-        for i in 0..self.server_ready.len() {
-            while self.server_ready[i].front().is_some_and(|(t, _)| *t <= now) {
-                let (_, frame) = self.server_ready[i].pop_front().expect("checked");
-                self.server_chans[i].send_message(&mut self.net, &frame)?;
+        for s in 0..self.servers.len() {
+            if !self.servers[s].up {
+                continue;
+            }
+            for i in 0..self.servers[s].ready.len() {
+                while self.servers[s].ready[i]
+                    .front()
+                    .is_some_and(|(t, _)| *t <= now)
+                {
+                    let (_, frame) = self.servers[s].ready[i].pop_front().expect("checked");
+                    self.servers[s].chans[i].send_message(&mut self.net, &frame)?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// Ship the primary's journaled frames to the replica. With the
+    /// replica down the frames are dropped — it resyncs from the
+    /// primary's devices when it restarts.
+    fn ship_replication(&mut self) -> Result<(), SystemError> {
+        if self.servers.len() < 2 || !self.servers[0].up {
+            return Ok(());
+        }
+        let frames = self.servers[0].db.take_outbox();
+        if frames.is_empty() || !self.servers[1].up {
+            return Ok(());
+        }
+        for f in frames {
+            if let Some(ch) = self.servers[0].rep_chan.as_mut() {
+                ch.send_message(&mut self.net, &f)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute every crash/restart whose time has come.
+    fn run_crash_events(&mut self) -> Result<(), SystemError> {
+        let now = self.net.now();
+        while self
+            .crashes
+            .events()
+            .get(self.crash_idx)
+            .is_some_and(|e| e.at <= now)
+        {
+            let ev = self.crashes.events()[self.crash_idx];
+            self.crash_idx += 1;
+            let target = ev.target as usize;
+            if target >= self.servers.len() {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::ServerCrash => self.crash_server(target),
+                FaultKind::ServerRestart => self.restart_server(target)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Kill a server: volatile state (queued responses, ARQ windows) is
+    /// gone; only its log devices survive. A surviving peer is promoted
+    /// to a strictly higher epoch so the dead server's in-flight
+    /// responses are recognisably stale.
+    fn crash_server(&mut self, target: usize) {
+        if !self.servers[target].up {
+            return;
+        }
+        self.servers[target].up = false;
+        for q in &mut self.servers[target].ready {
+            q.clear();
+        }
+        let max_epoch = self.servers.iter().map(|s| s.db.epoch()).max().unwrap_or(0);
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            if i != target && s.up {
+                s.db.set_epoch(max_epoch + 1);
+                break;
+            }
+        }
+    }
+
+    /// Bring a server back: recover from its surviving devices, resync
+    /// anything a live peer journaled meanwhile, adopt an epoch above
+    /// every one answered under so far, and rebuild transport state on
+    /// both ends (the dead process's VC bindings died with it). The
+    /// server is busy replaying until the modelled recovery cost elapses.
+    fn restart_server(&mut self, target: usize) -> Result<(), SystemError> {
+        if self.servers[target].up {
+            return Ok(());
+        }
+        let now = self.net.now();
+        let (db, report) = DbServer::recover(
+            ServiceModel::default(),
+            self.queue_limit,
+            Box::new(self.servers[target].wal_dev.clone()),
+            Box::new(self.servers[target].snap_dev.clone()),
+        );
+        // Resync from a live peer's devices: apply its snapshot records
+        // (idempotent) and re-journal its WAL tail, preserving sequence
+        // numbers. Both reads are charged to recovery latency.
+        let peer_state = self
+            .servers
+            .iter()
+            .enumerate()
+            .find(|(i, s)| *i != target && s.up)
+            .map(|(_, s)| (s.snap_dev.snapshot(), s.wal_dev.snapshot()));
+        let mut resync_bytes = 0u64;
+        if let Some((snap, wal_bytes)) = peer_state {
+            resync_bytes = (snap.len() + wal_bytes.len()) as u64;
+            let (_, recs, _) = read_snapshot(&snap);
+            for rec in &recs {
+                db.apply_record(rec);
+            }
+            let (frames, _) = wal::read_frames(&wal_bytes);
+            for (seq, rec) in &frames {
+                let frame = wal::encode_frame(*seq, &rec.encode());
+                let _ = db.apply_shipped(&frame);
+            }
+            // Fold the resynced state into this server's own snapshot so
+            // its devices are self-contained again.
+            db.checkpoint();
+        }
+        let max_epoch = self.servers.iter().map(|s| s.db.epoch()).max().unwrap_or(0);
+        db.set_epoch(max_epoch + 1);
+        db.set_shipping(target == 0 && self.servers.len() > 1);
+        let replayed = report.replayed_bytes() + resync_bytes;
+        self.servers[target].db = db;
+        self.servers[target].up = true;
+        self.servers[target].busy_until = now + ServiceModel::default().cost(replayed as usize);
+        self.last_recovery = Some(report);
+        self.reopen_server_transport(target)?;
+        // Failback: with the primary up again, clients return to it.
+        if self.servers[0].up {
+            for e in &mut self.endpoints {
+                e.active_server = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fresh VC pairs and reliable channels between a restarted server
+    /// and every endpoint (and the peer server) — on *both* ends, so no
+    /// ARQ window wedges on sequence numbers the dead process forgot.
+    fn reopen_server_transport(&mut self, target: usize) -> Result<(), SystemError> {
+        let s_host = self.servers[target].host;
+        for i in 0..self.endpoints.len() {
+            let host = self.endpoints[i].host;
+            let timeout = Self::arq_timeout(&self.endpoints[i].profile);
+            let up = self
+                .net
+                .open_vc(&[host, self.switch, s_host], ServiceClass::Ubr, None)?;
+            let down = self
+                .net
+                .open_vc(&[s_host, self.switch, host], ServiceClass::Ubr, None)?;
+            self.endpoints[i].chans[target] = ReliableChannel::new(up, down, 2, timeout);
+            self.servers[target].chans[i] = ReliableChannel::new(down, up, 2, timeout);
+            self.endpoints[i].down_vcs.push(down);
+        }
+        if self.servers.len() > 1 {
+            let timeout = Self::arq_timeout(&self.backbone);
+            let (a, b) = (self.servers[0].host, self.servers[1].host);
+            let up = self
+                .net
+                .open_vc(&[a, self.switch, b], ServiceClass::Ubr, None)?;
+            let down = self
+                .net
+                .open_vc(&[b, self.switch, a], ServiceClass::Ubr, None)?;
+            self.servers[0].rep_chan = Some(ReliableChannel::new(up, down, 2, timeout));
+            self.servers[1].rep_chan = Some(ReliableChannel::new(down, up, 2, timeout));
+        }
+        Ok(())
+    }
+
+    /// Fold WALs into snapshots on the configured cadence.
+    fn run_checkpoints(&mut self) {
+        let Some(every) = self.checkpoint_every else {
+            return;
+        };
+        let now = self.net.now();
+        let mut next = self.next_checkpoint.unwrap_or(SimTime::ZERO + every);
+        while next <= now {
+            for s in &mut self.servers {
+                if s.up {
+                    s.db.checkpoint();
+                }
+            }
+            next += every;
+        }
+        self.next_checkpoint = Some(next);
     }
 
     /// Route a decoded client event into the endpoint's inbox.
@@ -343,14 +671,35 @@ impl MitsSystem {
     }
 
     /// Run every endpoint's retry machinery: re-transmit frames whose
-    /// backoff elapsed, surface requests that ran out of budget.
+    /// backoff elapsed, surface requests that ran out of budget. An
+    /// endpoint whose attempt died outright (timeout, no response) fails
+    /// over to the next live server before re-issuing.
     fn poll_clients(&mut self) -> Result<(), SystemError> {
         let now = self.net.now();
         for i in 0..self.endpoints.len() {
-            for action in self.endpoints[i].db_client.poll(now) {
+            let timeouts_before = self.endpoints[i].db_client.metrics.timeouts;
+            let actions = self.endpoints[i].db_client.poll(now);
+            if self.servers.len() > 1
+                && self.endpoints[i].db_client.metrics.timeouts > timeouts_before
+            {
+                let cur = self.endpoints[i].active_server;
+                let n = self.servers.len();
+                for k in 1..=n {
+                    let cand = (cur + k) % n;
+                    if self.servers[cand].up {
+                        if cand != cur {
+                            self.endpoints[i].active_server = cand;
+                            self.failovers += 1;
+                        }
+                        break;
+                    }
+                }
+            }
+            let active = self.endpoints[i].active_server;
+            for action in actions {
                 match action {
                     ClientAction::Resend { frame, .. } => {
-                        self.endpoints[i].chan.send_message(&mut self.net, &frame)?;
+                        self.endpoints[i].chans[active].send_message(&mut self.net, &frame)?;
                     }
                     ClientAction::Expired { req_id, error, .. } => {
                         self.endpoints[i].inbox.push((req_id, Response::Err(error)));
@@ -364,6 +713,9 @@ impl MitsSystem {
     /// Advance the whole system to `deadline`, processing everything due.
     pub fn pump_until(&mut self, deadline: SimTime) -> Result<(), SystemError> {
         loop {
+            self.run_crash_events()?;
+            self.run_checkpoints();
+            self.ship_replication()?;
             self.flush_server_ready()?;
             self.poll_clients()?;
             let next = self.earliest_wakeup();
@@ -373,36 +725,64 @@ impl MitsSystem {
             };
             let deliveries = self.net.advance(step_to);
             for d in &deliveries {
-                // Server side.
-                for i in 0..self.server_chans.len() {
-                    let events = self.server_chans[i].on_delivery(&mut self.net, d)?;
-                    for ev in events {
-                        if let TransportEvent::Message(frame) = ev {
-                            self.serve(i, &frame)?;
+                // Server side. Cells addressed to a down server die with
+                // it — the process that owned the VC no longer exists.
+                for s in 0..self.servers.len() {
+                    if !self.servers[s].up {
+                        continue;
+                    }
+                    for i in 0..self.servers[s].chans.len() {
+                        let events = self.servers[s].chans[i].on_delivery(&mut self.net, d)?;
+                        for ev in events {
+                            if let TransportEvent::Message(frame) = ev {
+                                self.serve(s, i, &frame)?;
+                            }
+                        }
+                    }
+                    // Replication receive: the replica journals and
+                    // applies frames the primary shipped.
+                    if let Some(mut ch) = self.servers[s].rep_chan.take() {
+                        let events = ch.on_delivery(&mut self.net, d)?;
+                        self.servers[s].rep_chan = Some(ch);
+                        for ev in events {
+                            if let TransportEvent::Message(frame) = ev {
+                                let _ = self.servers[s].db.apply_shipped(&frame);
+                            }
                         }
                     }
                 }
                 // Client side.
                 for i in 0..self.endpoints.len() {
-                    let events = self.endpoints[i].chan.on_delivery(&mut self.net, d)?;
-                    for ev in events {
-                        if let TransportEvent::Message(frame) = ev {
-                            let now = self.net.now();
-                            let event = self.endpoints[i].db_client.on_frame(&frame, now);
-                            self.deliver_event(i, event);
+                    for c in 0..self.endpoints[i].chans.len() {
+                        let events = self.endpoints[i].chans[c].on_delivery(&mut self.net, d)?;
+                        for ev in events {
+                            if let TransportEvent::Message(frame) = ev {
+                                let now = self.net.now();
+                                let event = self.endpoints[i].db_client.on_frame(&frame, now);
+                                self.deliver_event(i, event);
+                            }
                         }
                     }
                 }
             }
-            for chan in self
-                .endpoints
-                .iter_mut()
-                .map(|e| &mut e.chan)
-                .chain(self.server_chans.iter_mut())
-            {
-                chan.on_tick(&mut self.net)?;
+            for e in &mut self.endpoints {
+                for chan in &mut e.chans {
+                    chan.on_tick(&mut self.net)?;
+                }
+            }
+            for s in &mut self.servers {
+                if !s.up {
+                    continue;
+                }
+                for chan in &mut s.chans {
+                    chan.on_tick(&mut self.net)?;
+                }
+                if let Some(ch) = s.rep_chan.as_mut() {
+                    ch.on_tick(&mut self.net)?;
+                }
             }
             if self.net.now() >= deadline {
+                self.run_crash_events()?;
                 self.poll_clients()?;
                 return Ok(());
             }
@@ -412,29 +792,32 @@ impl MitsSystem {
     /// Server request handling: decode, dispatch, queue the response
     /// after the modelled service time. Requests arriving while the
     /// backlog is past the configured overload threshold are shed with a
-    /// cheap `Unavailable` that bypasses the service queue.
-    fn serve(&mut self, peer: usize, frame: &[u8]) -> Result<(), SystemError> {
+    /// cheap `Unavailable` that bypasses the service queue. Every
+    /// response is stamped with the server's failover epoch.
+    fn serve(&mut self, server: usize, peer: usize, frame: &[u8]) -> Result<(), SystemError> {
         let env = Request::decode(frame)?;
         let now = self.net.now();
-        let depth = self
-            .server_ready
+        let node = &mut self.servers[server];
+        let depth = node
+            .ready
             .iter()
             .flat_map(|q| q.iter())
             .filter(|(t, _)| *t > now)
             .count();
-        let shed = self.db.overload_threshold().is_some_and(|l| depth >= l);
-        let (resp, cost) = self.db.handle_at_depth(&env.body, depth);
+        let shed = node.db.overload_threshold().is_some_and(|l| depth >= l);
+        let (resp, cost) = node.db.handle_at_depth(&env.body, depth);
         let ready_at = if shed {
             // Rejection is fast-path: it does not occupy the service centre.
             now + cost
         } else {
-            // Single service centre: the request starts when the server frees.
-            let start = self.server_busy_until.max(now);
-            self.server_busy_until = start + cost;
-            self.server_busy_until
+            // Single service centre: the request starts when the server
+            // frees — which after a restart includes recovery replay.
+            let start = node.busy_until.max(now);
+            node.busy_until = start + cost;
+            node.busy_until
         };
-        let resp_frame = resp.encode(env.req_id);
-        self.server_ready[peer].push_back((ready_at, resp_frame));
+        let resp_frame = resp.encode_with_epoch(env.req_id, node.db.epoch());
+        node.ready[peer].push_back((ready_at, resp_frame));
         Ok(())
     }
 
@@ -452,9 +835,8 @@ impl MitsSystem {
         let started = self.net.now();
         let (req_id, frame) = self.endpoints[index].db_client.request_at(req, started);
         self.requests_sent += 1;
-        self.endpoints[index]
-            .chan
-            .send_message(&mut self.net, &frame)?;
+        let active = self.endpoints[index].active_server;
+        self.endpoints[index].chans[active].send_message(&mut self.net, &frame)?;
         let deadline = started + timeout;
         loop {
             // Check inbox.
@@ -521,10 +903,15 @@ impl MitsSystem {
         Ok(self.net.now().since(started))
     }
 
-    /// Load content without the network (bench setup shortcut).
+    /// Load content without the network (bench setup shortcut). Every
+    /// server is loaded identically — the journals agree record for
+    /// record, so nothing needs shipping.
     pub fn load_directly(&mut self, objects: Vec<MhegObject>, media: Vec<MediaObject>) {
-        self.db.load_objects(objects);
-        self.db.load_media(media);
+        for s in &self.servers {
+            s.db.load_objects(objects.iter().cloned());
+            s.db.load_media(media.iter().cloned());
+        }
+        let _ = self.servers[0].db.take_outbox();
     }
 
     // ---------- the paper's query facade (§5.3.2) ----------
@@ -680,9 +1067,8 @@ impl MitsSystem {
                 .db_client
                 .request_at(Request::GetCourseware { root }, started);
             self.requests_sent += 1;
-            self.endpoints[c.0]
-                .chan
-                .send_message(&mut self.net, &frame)?;
+            let active = self.endpoints[c.0].active_server;
+            self.endpoints[c.0].chans[active].send_message(&mut self.net, &frame)?;
             ids.push(req_id);
         }
         let deadline = started + Self::default_timeout();
@@ -946,6 +1332,93 @@ mod tests {
     }
 
     #[test]
+    fn crash_restart_recovers_journaled_state() {
+        let (objects, media, root) = tiny_course();
+        // Crash-free twin: what the store should look like.
+        let mut clean = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+        clean.publish(&objects, &media).unwrap();
+        clean.pump_until(SimTime::from_secs(30)).unwrap();
+        let want = clean.db().state_digest();
+
+        let cfg = SystemConfig::broadband(1)
+            .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(120)))
+            .with_crash(SimTime::from_secs(10), 0)
+            .with_restart(SimTime::from_secs(12), 0);
+        let mut sys = MitsSystem::build(&cfg).unwrap();
+        sys.publish(&objects, &media).unwrap();
+        assert!(sys.now() < SimTime::from_secs(10), "published before crash");
+        sys.pump_until(SimTime::from_secs(11)).unwrap();
+        assert!(!sys.server_up(0), "crashed on schedule");
+        sys.pump_until(SimTime::from_secs(30)).unwrap();
+        assert!(sys.server_up(0), "restarted on schedule");
+        let report = sys.last_recovery.as_ref().expect("a recovery ran");
+        assert!(report.replayed_bytes() > 0);
+        assert_eq!(sys.db().state_digest(), want, "recovered store matches");
+        // And it serves again.
+        let (objs, _) = sys.fetch_courseware(ClientId(0), root).unwrap();
+        assert_eq!(objs.len(), objects.len());
+    }
+
+    #[test]
+    fn failover_to_replica_and_back() {
+        let (objects, media, root) = tiny_course();
+        let cfg = SystemConfig::broadband(1)
+            .with_replica()
+            .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)))
+            .with_crash(SimTime::from_secs(5), 0)
+            .with_restart(SimTime::from_secs(40), 0);
+        let mut sys = MitsSystem::build(&cfg).unwrap();
+        assert_eq!(sys.server_count(), 2);
+        sys.load_directly(objects.clone(), media.clone());
+        // Warm fetch against the primary.
+        let (docs, _) = sys.get_list_doc(ClientId(0)).unwrap();
+        assert_eq!(docs.len(), 1);
+        // Step past the crash; the next call must fail over to the
+        // replica and still answer inside the client deadline.
+        sys.pump_until(SimTime::from_secs(6)).unwrap();
+        assert!(!sys.server_up(0));
+        let (objs, t) = sys.fetch_courseware(ClientId(0), root).unwrap();
+        assert_eq!(objs.len(), objects.len());
+        assert!(t < SimDuration::from_secs(60), "inside the deadline: {t}");
+        assert!(sys.failovers > 0, "the flip was recorded");
+        assert_eq!(sys.active_server(ClientId(0)), 1, "talking to the replica");
+        // After the restart, clients fail back to the primary.
+        sys.pump_until(SimTime::from_secs(41)).unwrap();
+        assert!(sys.server_up(0));
+        assert_eq!(sys.active_server(ClientId(0)), 0, "failed back");
+        let (docs, _) = sys.get_list_doc(ClientId(0)).unwrap();
+        assert_eq!(docs.len(), 1);
+    }
+
+    #[test]
+    fn replica_tracks_published_mutations() {
+        let (objects, media, _) = tiny_course();
+        let mut sys = MitsSystem::build(&SystemConfig::broadband(1).with_replica()).unwrap();
+        sys.publish(&objects, &media).unwrap();
+        // Let the replication channel drain.
+        let t = sys.now() + SimDuration::from_secs(5);
+        sys.pump_until(t).unwrap();
+        assert_eq!(
+            sys.db_at(0).state_digest(),
+            sys.db_at(1).state_digest(),
+            "replica mirrors the primary byte for byte"
+        );
+    }
+
+    #[test]
+    fn checkpoint_cadence_truncates_the_wal() {
+        let (objects, media, _) = tiny_course();
+        let cfg = SystemConfig::broadband(1).with_checkpoint_every(SimDuration::from_secs(2));
+        let mut sys = MitsSystem::build(&cfg).unwrap();
+        sys.publish(&objects, &media).unwrap();
+        let wal_before = sys.db().wal_device_len();
+        assert!(wal_before > 0, "publishing journaled");
+        let t = sys.now() + SimDuration::from_secs(5);
+        sys.pump_until(t).unwrap();
+        assert_eq!(sys.db().wal_device_len(), 0, "cadence folded the log");
+    }
+
+    #[test]
     fn overloaded_server_sheds_and_clients_back_off() {
         let (objects, media, root) = tiny_course();
         let cfg = SystemConfig::broadband(6)
@@ -957,7 +1430,7 @@ mod tests {
         let latencies = sys.concurrent_fetch_courseware(&clients, root).unwrap();
         assert_eq!(latencies.len(), 6);
         assert!(
-            *sys.db.requests_shed.read() > 0,
+            *sys.db().requests_shed.read() > 0,
             "six concurrent fetches must trip a queue limit of 2"
         );
         let total_retries: u64 = clients.iter().map(|c| sys.client_metrics(*c).retries).sum();

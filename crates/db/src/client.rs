@@ -344,6 +344,10 @@ pub struct DbClientMetrics {
     pub completed: u64,
     /// Frames dropped as unsolicited / late duplicates.
     pub ignored: u64,
+    /// Frames rejected because they carried an epoch older than one the
+    /// client has already seen (a stale ex-primary answering after
+    /// failover).
+    pub stale_epoch: u64,
     /// Response frames whose body failed to decode.
     pub decode_errors: u64,
     /// Request bytes issued (including re-issues).
@@ -395,6 +399,9 @@ pub struct DbClient {
     policy: RetryPolicy,
     pending: HashMap<u64, Pending>,
     rng: SimRng,
+    /// Highest failover epoch seen in any response. Responses stamped
+    /// with a lower epoch come from a deposed primary and are rejected.
+    last_epoch: u64,
     /// Object/content cache.
     pub cache: ClientCache,
     /// Requests that went to the network (cache misses + explicit calls).
@@ -418,6 +425,7 @@ impl DbClient {
             policy,
             pending: HashMap::new(),
             rng: SimRng::seed_from_u64(seed),
+            last_epoch: 0,
             cache: ClientCache::new(cache_bytes),
             network_requests: 0,
             metrics: DbClientMetrics::default(),
@@ -559,8 +567,8 @@ impl DbClient {
     /// expected traffic, not a protocol violation.
     pub fn on_frame(&mut self, frame: &[u8], now: SimTime) -> ClientEvent {
         self.metrics.bytes_received += frame.len() as u64;
-        let env = match Response::decode(frame) {
-            Ok(env) => env,
+        let (env, epoch) = match Response::decode_with_epoch(frame) {
+            Ok(pair) => pair,
             Err(e) => {
                 self.metrics.decode_errors += 1;
                 // Correlate by the id prefix so the pending slot is
@@ -578,6 +586,16 @@ impl DbClient {
             self.metrics.ignored += 1;
             return ClientEvent::Ignored;
         }
+        // A response from a deposed primary (older failover epoch than
+        // one already observed) must not complete the request — the
+        // promoted replica's answer is the authoritative one. Keep the
+        // request pending; retry/deadline machinery carries on.
+        if epoch < self.last_epoch {
+            self.metrics.stale_epoch += 1;
+            self.metrics.ignored += 1;
+            return ClientEvent::Ignored;
+        }
+        self.last_epoch = epoch;
         // Server shed the request and the budget allows another go:
         // schedule a backed-off byte-identical re-issue.
         if let Response::Err(e) = &env.body {
@@ -706,6 +724,11 @@ impl DbClient {
             .values()
             .map(|p| p.retry_at.unwrap_or(p.attempt_deadline).min(p.deadline))
             .min()
+    }
+
+    /// Highest failover epoch the client has observed in responses.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
     }
 
     /// Requests still awaiting responses.
@@ -949,6 +972,40 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        assert_eq!(client.pending_count(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_responses_are_rejected_but_request_survives() {
+        let (server, _, a) = setup();
+        let mut client = DbClient::new(1 << 20);
+        let t = SimTime::ZERO;
+        // A completed request under epoch 2 raises the client's floor.
+        let (id1, f1) = client.request_at(Request::GetObject { id: a }, t);
+        let env = Request::decode(&f1).unwrap();
+        let (resp, _) = server.handle(&env.body);
+        match client.on_frame(&resp.encode_with_epoch(id1, 2), t) {
+            ClientEvent::Completed { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(client.last_epoch(), 2);
+        // A deposed primary (epoch 1) answers the next request: rejected,
+        // and the request stays pending for the promoted server.
+        let (id2, f2) = client.request_at(Request::GetObject { id: a }, t);
+        let env = Request::decode(&f2).unwrap();
+        let (resp, _) = server.handle(&env.body);
+        assert_eq!(
+            client.on_frame(&resp.encode_with_epoch(id2, 1), t),
+            ClientEvent::Ignored
+        );
+        assert_eq!(client.metrics.stale_epoch, 1);
+        assert_eq!(client.pending_count(), 1, "request still in flight");
+        // The promoted replica (epoch 3) completes it.
+        match client.on_frame(&resp.encode_with_epoch(id2, 3), t) {
+            ClientEvent::Completed { env, .. } => assert_eq!(env.req_id, id2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(client.last_epoch(), 3);
         assert_eq!(client.pending_count(), 0);
     }
 

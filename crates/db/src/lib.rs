@@ -25,12 +25,19 @@ pub mod client;
 pub mod index;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use client::{
     ClientAction, ClientCache, ClientEvent, DbClient, DbClientMetrics, Pending, RetryPolicy,
 };
 pub use index::KeywordTree;
 pub use protocol::{peek_req_id, DbError, Envelope, Request, RequestKind, Response};
-pub use server::{DbServer, ServiceModel};
+pub use server::{CheckpointStats, DbServer, RecoveryReport, ServiceModel};
+pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC};
 pub use store::{ContentStore, ObjectStore};
+pub use wal::{
+    crc32, decode_frame, encode_frame, read_frames, FileLogDevice, LogDevice, MemLogDevice,
+    ReplayReport, SharedLogDevice, Wal, WalRecord,
+};

@@ -486,10 +486,20 @@ impl Request {
 // ---------- response codec ----------
 
 impl Response {
-    /// Encode an enveloped response.
+    /// Encode an enveloped response at failover epoch 0 (single-server
+    /// deployments and tests).
     pub fn encode(&self, req_id: u64) -> Bytes {
+        self.encode_with_epoch(req_id, 0)
+    }
+
+    /// Encode an enveloped response stamped with the answering server's
+    /// failover `epoch`. The epoch rides right after the correlation id,
+    /// so clients can reject a stale primary's answer without decoding
+    /// the body.
+    pub fn encode_with_epoch(&self, req_id: u64, epoch: u64) -> Bytes {
         let mut w = W::new();
         w.u64(req_id);
+        w.u64(epoch);
         match self {
             Response::DocList(list) => {
                 w.u8(1);
@@ -549,10 +559,17 @@ impl Response {
         w.fin()
     }
 
-    /// Decode an enveloped response.
+    /// Decode an enveloped response, discarding the epoch stamp.
     pub fn decode(data: &[u8]) -> DR<Envelope<Response>> {
+        Ok(Self::decode_with_epoch(data)?.0)
+    }
+
+    /// Decode an enveloped response along with the server's failover
+    /// epoch.
+    pub fn decode_with_epoch(data: &[u8]) -> DR<(Envelope<Response>, u64)> {
         let mut r = R::new(data);
         let req_id = r.u64()?;
+        let epoch = r.u64()?;
         let body = match r.u8()? {
             1 => {
                 let n = r.u32()? as usize;
@@ -599,7 +616,7 @@ impl Response {
             t => return Err(DbError::Malformed(format!("unknown response tag {t}"))),
         };
         r.done()?;
-        Ok(Envelope { req_id, body })
+        Ok((Envelope { req_id, body }, epoch))
     }
 }
 
@@ -714,5 +731,18 @@ mod tests {
         w.u64(1);
         w.u8(200);
         assert!(Request::decode(&w.fin()).is_err());
+    }
+
+    #[test]
+    fn epoch_rides_after_the_correlation_id() {
+        let wire = Response::Ack.encode_with_epoch(7, 42);
+        assert_eq!(peek_req_id(&wire), Some(7));
+        let (env, epoch) = Response::decode_with_epoch(&wire).unwrap();
+        assert_eq!((env.req_id, epoch), (7, 42));
+        assert_eq!(env.body, Response::Ack);
+        // The epoch-less shims agree: encode stamps 0, decode discards.
+        let (env, epoch) = Response::decode_with_epoch(&Response::Ack.encode(9)).unwrap();
+        assert_eq!((env.req_id, epoch), (9, 0));
+        assert_eq!(Response::decode(&wire).unwrap().req_id, 7);
     }
 }

@@ -7,10 +7,14 @@
 
 use crate::index::KeywordTree;
 use crate::protocol::{DbError, Request, Response};
+use crate::snapshot;
 use crate::store::{ContentStore, ObjectStore};
-use mits_mheg::MhegObject;
+use crate::wal::{self, LogDevice, Wal, WalRecord};
+use bytes::Bytes;
+use mits_media::MediaObject;
+use mits_mheg::{encode_object, MhegId, MhegObject, WireFormat};
 use mits_sim::SimDuration;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 /// Service-time model: fixed per-request CPU plus per-byte storage I/O.
 ///
@@ -55,6 +59,21 @@ pub struct DbServer {
     pub requests_served: RwLock<u64>,
     /// Requests shed with `Unavailable` (overload reporting).
     pub requests_shed: RwLock<u64>,
+    /// Write-ahead log, if durability is attached. Mutations journal
+    /// here *before* touching the stores.
+    wal: Mutex<Option<Wal>>,
+    /// Snapshot device for checkpoints.
+    snap: Mutex<Option<Box<dyn LogDevice>>>,
+    /// Serializes the journal-then-apply sequence of every mutation so a
+    /// WAL record's version can never race another writer.
+    write_gate: Mutex<()>,
+    /// Framed WAL records awaiting shipment to a replica.
+    outbox: Mutex<Vec<Bytes>>,
+    /// Whether journaled frames are queued for replication.
+    shipping: Mutex<bool>,
+    /// Failover epoch stamped on every response; replicas promoted to
+    /// primary bump it so clients can reject a stale primary's answers.
+    epoch: RwLock<u64>,
 }
 
 impl Default for DbServer {
@@ -74,6 +93,12 @@ impl DbServer {
             overload_threshold: None,
             requests_served: RwLock::new(0),
             requests_shed: RwLock::new(0),
+            wal: Mutex::new(None),
+            snap: Mutex::new(None),
+            write_gate: Mutex::new(()),
+            outbox: Mutex::new(Vec::new()),
+            shipping: Mutex::new(false),
+            epoch: RwLock::new(0),
         }
     }
 
@@ -98,17 +123,63 @@ impl DbServer {
     }
 
     /// Bulk-load objects (author-site publishing without the protocol).
+    /// Journaled like any other mutation when durability is attached.
     pub fn load_objects(&self, objects: impl IntoIterator<Item = MhegObject>) {
         for obj in objects {
-            self.index_object(&obj);
-            self.objects.put(obj);
+            self.put_object(obj);
         }
     }
 
-    /// Bulk-load media.
+    /// Bulk-load media. Journaled when durability is attached.
     pub fn load_media(&self, media: impl IntoIterator<Item = mits_media::MediaObject>) {
         for m in media {
-            self.content.put(m);
+            self.put_media(m);
+        }
+    }
+
+    // ---------- durable mutation paths ----------
+
+    /// Store an object: journal first, then apply. The stored version is
+    /// current + 1 (or 0 for a fresh insert) and is recorded *inside* the
+    /// WAL record, so replay reproduces it exactly instead of re-bumping.
+    pub fn put_object(&self, mut obj: MhegObject) -> u32 {
+        let _gate = self.write_gate.lock();
+        self.index_object(&obj);
+        let prev = self.objects.version_of(obj.id);
+        obj.info.version = prev.map_or(0, |p| p + 1);
+        self.journal(&WalRecord::PutObject {
+            object: obj.clone(),
+        });
+        self.objects
+            .put_if_version(obj, prev)
+            .expect("write gate serializes object puts")
+    }
+
+    /// Store a media object: journal first, then apply.
+    pub fn put_media(&self, media: MediaObject) {
+        let _gate = self.write_gate.lock();
+        self.journal(&WalRecord::PutContent {
+            media: media.clone(),
+        });
+        self.content.put(media);
+    }
+
+    /// Remove an object: journal first, then apply.
+    pub fn remove_object(&self, id: MhegId) -> bool {
+        let _gate = self.write_gate.lock();
+        self.journal(&WalRecord::RemoveObject { id });
+        self.objects.remove(id)
+    }
+
+    /// Append a record to the WAL (when attached) and queue the framed
+    /// bytes for replication (when shipping).
+    fn journal(&self, rec: &WalRecord) {
+        let mut wal = self.wal.lock();
+        if let Some(w) = wal.as_mut() {
+            let (_, frame) = w.append(rec);
+            if *self.shipping.lock() {
+                self.outbox.lock().push(frame);
+            }
         }
     }
 
@@ -194,14 +265,13 @@ impl DbServer {
                 (Response::DocIds(ids), bytes)
             }
             Request::PutObject { object } => {
-                self.index_object(object);
                 let bytes = approx_object_size(object);
-                self.objects.put(object.clone());
+                self.put_object(object.clone());
                 (Response::Ack, bytes)
             }
             Request::PutContent { media } => {
                 let bytes = media.data.len();
-                self.content.put(media.clone());
+                self.put_media(media.clone());
                 (Response::Ack, bytes)
             }
         }
@@ -211,6 +281,282 @@ impl DbServer {
         let objs = self.objects.closure(root);
         let bytes = objs.iter().map(approx_object_size).sum();
         (Response::Objects(objs), bytes)
+    }
+
+    // ---------- durability, recovery, replication ----------
+
+    /// Attach durability to a fresh server: mutations journal to
+    /// `wal_dev`, checkpoints write `snap_dev`. Use [`DbServer::recover`]
+    /// instead when the devices may hold prior state.
+    pub fn with_durability(
+        self,
+        wal_dev: Box<dyn LogDevice>,
+        snap_dev: Box<dyn LogDevice>,
+    ) -> Self {
+        *self.wal.lock() = Some(Wal::create(wal_dev, 0));
+        *self.snap.lock() = Some(snap_dev);
+        self
+    }
+
+    /// True when a WAL is attached.
+    pub fn is_durable(&self) -> bool {
+        self.wal.lock().is_some()
+    }
+
+    /// Rebuild a server from its surviving devices: apply the snapshot,
+    /// then the WAL tail past the snapshot's cursor, tolerating (and
+    /// truncating) a torn or corrupt final record. The keyword index is
+    /// rebuilt as records apply. Never panics on bad devices — worst
+    /// case is an empty store and a loud report.
+    pub fn recover(
+        model: ServiceModel,
+        overload_threshold: Option<usize>,
+        wal_dev: Box<dyn LogDevice>,
+        snap_dev: Box<dyn LogDevice>,
+    ) -> (Self, RecoveryReport) {
+        let mut server = DbServer::new(model);
+        server.overload_threshold = overload_threshold;
+        let mut report = RecoveryReport::default();
+
+        let (through_seq, snap_records, snap_report) =
+            snapshot::read_snapshot(&snap_dev.read_all());
+        report.through_seq = through_seq;
+        report.snapshot_records = snap_report.records;
+        report.snapshot_bytes = snap_report.bytes;
+        if let Some(w) = snap_report.warning {
+            report.warnings.push(format!("snapshot: {w}"));
+        }
+        for rec in &snap_records {
+            if server.apply_record(rec) {
+                report.applied += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+
+        let (mut wal, tail, wal_report) = Wal::recover(wal_dev);
+        report.wal_records = wal_report.records;
+        report.wal_bytes = wal_report.bytes;
+        report.torn_tail = wal_report.torn_tail;
+        if let Some(w) = wal_report.warning {
+            report.warnings.push(format!("wal: {w}"));
+        }
+        for (seq, rec) in &tail {
+            if *seq < through_seq {
+                // Already folded into the snapshot.
+                report.skipped += 1;
+            } else if server.apply_record(rec) {
+                report.applied += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        wal.advance_seq_to(through_seq);
+        *server.wal.lock() = Some(wal);
+        *server.snap.lock() = Some(snap_dev);
+        (server, report)
+    }
+
+    /// Apply one WAL record to the stores (replay and replication).
+    /// Returns whether it changed anything; re-applying a record the
+    /// store already reflects is a no-op, never a version double-bump.
+    /// Bookmark records belong to the navigator and are skipped here.
+    pub fn apply_record(&self, rec: &WalRecord) -> bool {
+        match rec {
+            WalRecord::PutObject { object } => {
+                let v = object.info.version;
+                let cur = self.objects.version_of(object.id);
+                if cur == Some(v) {
+                    return false; // already applied
+                }
+                self.index_object(object);
+                // Sequential replay is a CAS from the predecessor
+                // version; a bootstrap out of order (snapshot records,
+                // resync) installs the recorded version directly.
+                if self
+                    .objects
+                    .put_if_version(object.clone(), v.checked_sub(1))
+                    .is_err()
+                {
+                    self.objects.put_exact(object.clone());
+                }
+                true
+            }
+            WalRecord::RemoveObject { id } => self.objects.remove(*id),
+            WalRecord::PutContent { media } => {
+                self.content.put(media.clone());
+                true
+            }
+            WalRecord::BookmarkAdd { .. } | WalRecord::BookmarkRemove { .. } => false,
+        }
+    }
+
+    /// Apply a frame shipped from the primary: verify its CRC, journal it
+    /// locally (preserving the primary's sequence number; duplicates are
+    /// verified but not re-appended), then apply the record. Returns
+    /// whether the record changed local state.
+    pub fn apply_shipped(&self, frame: &[u8]) -> Result<bool, DbError> {
+        let _gate = self.write_gate.lock();
+        let rec = {
+            let mut wal = self.wal.lock();
+            match wal.as_mut() {
+                Some(w) => w.append_frame(frame)?.1,
+                None => {
+                    let (_, payload, _) = wal::decode_frame(frame)?;
+                    WalRecord::decode(payload)?
+                }
+            }
+        };
+        Ok(self.apply_record(&rec))
+    }
+
+    /// Checkpoint: write the whole store (exact versions) to the
+    /// snapshot device as ordinary WAL frames, then truncate the log.
+    /// `None` when durability is not attached.
+    pub fn checkpoint(&self) -> Option<CheckpointStats> {
+        let _gate = self.write_gate.lock();
+        let mut wal_guard = self.wal.lock();
+        let wal = wal_guard.as_mut()?;
+        let mut snap_guard = self.snap.lock();
+        let snap = snap_guard.as_mut()?;
+
+        let mut objs: Vec<MhegObject> = Vec::new();
+        self.objects.for_each(|o| objs.push(o.clone()));
+        objs.sort_by_key(|o| o.id);
+        let mut media: Vec<MediaObject> = Vec::new();
+        self.content.for_each(|m| media.push(m.clone()));
+        media.sort_by_key(|m| m.id);
+        let records: Vec<WalRecord> = objs
+            .into_iter()
+            .map(|object| WalRecord::PutObject { object })
+            .chain(
+                media
+                    .into_iter()
+                    .map(|media| WalRecord::PutContent { media }),
+            )
+            .collect();
+
+        let through_seq = wal.next_seq();
+        let bytes = snapshot::write_snapshot(through_seq, &records);
+        snap.truncate_to(0);
+        snap.append(&bytes);
+        let truncated_wal_bytes = wal.device_len() as u64;
+        wal.truncate();
+        Some(CheckpointStats {
+            records: records.len() as u64,
+            snapshot_bytes: bytes.len() as u64,
+            truncated_wal_bytes,
+            through_seq,
+        })
+    }
+
+    /// Queue journaled frames for replication (primary role).
+    pub fn set_shipping(&self, on: bool) {
+        *self.shipping.lock() = on;
+    }
+
+    /// Drain the frames awaiting shipment to the replica.
+    pub fn take_outbox(&self) -> Vec<Bytes> {
+        std::mem::take(&mut *self.outbox.lock())
+    }
+
+    /// The next WAL sequence number (0 when no WAL is attached).
+    pub fn wal_next_seq(&self) -> u64 {
+        self.wal.lock().as_ref().map_or(0, Wal::next_seq)
+    }
+
+    /// Bytes currently on the WAL device (0 when no WAL is attached).
+    pub fn wal_device_len(&self) -> usize {
+        self.wal.lock().as_ref().map_or(0, Wal::device_len)
+    }
+
+    /// The server's failover epoch, stamped on every response.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.read()
+    }
+
+    /// Adopt a failover epoch (promotion, or a restarted server rejoining
+    /// above every epoch it may have answered under before the crash).
+    pub fn set_epoch(&self, epoch: u64) {
+        *self.epoch.write() = epoch;
+    }
+
+    /// Order-independent digest of the visible store state (objects with
+    /// exact versions, media with payloads) — what the crash-recovery
+    /// tests compare between a recovered server and a crash-free run.
+    pub fn state_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut objs: Vec<MhegObject> = Vec::new();
+        self.objects.for_each(|o| objs.push(o.clone()));
+        objs.sort_by_key(|o| o.id);
+        let mut media: Vec<MediaObject> = Vec::new();
+        self.content.for_each(|m| media.push(m.clone()));
+        media.sort_by_key(|m| m.id);
+        let mut h = FNV_OFFSET;
+        for o in &objs {
+            mix(&mut h, &o.id.app.to_be_bytes());
+            mix(&mut h, &o.id.num.to_be_bytes());
+            mix(&mut h, &o.info.version.to_be_bytes());
+            mix(&mut h, &encode_object(o, WireFormat::Tlv));
+        }
+        for m in &media {
+            mix(&mut h, &m.id.0.to_be_bytes());
+            mix(&mut h, m.name.as_bytes());
+            mix(&mut h, &m.data);
+        }
+        h
+    }
+}
+
+/// What [`DbServer::checkpoint`] wrote and reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Records folded into the snapshot.
+    pub records: u64,
+    /// Snapshot size on its device.
+    pub snapshot_bytes: u64,
+    /// WAL bytes reclaimed by truncation.
+    pub truncated_wal_bytes: u64,
+    /// Journal cursor the snapshot covers up to (exclusive).
+    pub through_seq: u64,
+}
+
+/// What [`DbServer::recover`] read, applied, and discarded. The byte
+/// counts drive the simulation's recovery-latency model: a restarted
+/// server is busy for `model.cost(replayed_bytes())` before it answers.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Intact records found in the snapshot.
+    pub snapshot_records: u64,
+    /// Snapshot bytes read.
+    pub snapshot_bytes: u64,
+    /// Intact records found in the WAL.
+    pub wal_records: u64,
+    /// WAL bytes read.
+    pub wal_bytes: u64,
+    /// Records that changed store state.
+    pub applied: u64,
+    /// Records skipped (already reflected, or folded into the snapshot).
+    pub skipped: u64,
+    /// A torn/corrupt WAL tail was truncated.
+    pub torn_tail: bool,
+    /// Human-readable accounts of anything discarded.
+    pub warnings: Vec<String>,
+    /// The snapshot's journal cursor.
+    pub through_seq: u64,
+}
+
+impl RecoveryReport {
+    /// Total bytes replayed off the devices (the recovery-latency input).
+    pub fn replayed_bytes(&self) -> u64 {
+        self.snapshot_bytes + self.wal_bytes
     }
 }
 
@@ -386,5 +732,154 @@ mod tests {
             server.handle(&Request::ListDocs);
         }
         assert_eq!(*server.requests_served.read(), 5);
+    }
+
+    // ---------- durability ----------
+
+    use crate::wal::SharedLogDevice;
+
+    fn durable_loaded_server() -> (DbServer, MhegId, SharedLogDevice, SharedLogDevice) {
+        let wal_dev = SharedLogDevice::new();
+        let snap_dev = SharedLogDevice::new();
+        let server = DbServer::default()
+            .with_durability(Box::new(wal_dev.clone()), Box::new(snap_dev.clone()));
+        let mut lib = ClassLibrary::new(1);
+        let a = lib.value_content("a", GenericValue::Int(1));
+        let scene = lib.composite("scene", vec![a], vec![], vec![]);
+        let course = lib.container("ATM Course", vec![scene]);
+        server.load_objects(lib.into_objects());
+        server.load_media([MediaObject::new(
+            MediaId(7),
+            "clip.mpg",
+            MediaFormat::Mpeg,
+            mits_sim::SimDuration::from_secs(5),
+            VideoDims::new(320, 240),
+            Bytes::from(vec![9u8; 4_000]),
+        )]);
+        (server, course, wal_dev, snap_dev)
+    }
+
+    #[test]
+    fn journal_then_recover_restores_state_and_versions() {
+        let (server, course, wal_dev, snap_dev) = durable_loaded_server();
+        // Mutate: re-put the course twice so its version climbs.
+        let obj = server.objects.get(course).expect("loaded");
+        assert_eq!(server.put_object(obj.clone()), 1);
+        let obj = server.objects.get(course).expect("loaded");
+        assert_eq!(server.put_object(obj.clone()), 2);
+        let digest = server.state_digest();
+
+        let (recovered, report) = DbServer::recover(
+            ServiceModel::default(),
+            None,
+            Box::new(SharedLogDevice::with_data(wal_dev.snapshot())),
+            Box::new(SharedLogDevice::with_data(snap_dev.snapshot())),
+        );
+        assert_eq!(recovered.state_digest(), digest);
+        assert_eq!(recovered.objects.version_of(course), Some(2));
+        assert!(!report.torn_tail);
+        assert!(report.replayed_bytes() > 0);
+        // The keyword index came back with the objects.
+        let (resp, _) = recovered.handle(&Request::GetDoc {
+            name: "ATM Course".into(),
+        });
+        assert!(matches!(resp, Response::Objects(_)));
+        // And the recovered journal continues where the old one stopped.
+        assert_eq!(recovered.wal_next_seq(), server.wal_next_seq());
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_recovery_uses_snapshot_plus_tail() {
+        let (server, course, wal_dev, snap_dev) = durable_loaded_server();
+        let pre_ckpt_wal = server.wal_device_len();
+        assert!(pre_ckpt_wal > 0, "loads are journaled");
+        let stats = server.checkpoint().expect("durability attached");
+        assert_eq!(stats.truncated_wal_bytes as usize, pre_ckpt_wal);
+        assert_eq!(server.wal_device_len(), 0, "log truncated");
+        // Post-checkpoint mutation lands in the WAL tail only.
+        let obj = server.objects.get(course).expect("loaded");
+        server.put_object(obj.clone());
+        let digest = server.state_digest();
+
+        let (recovered, report) = DbServer::recover(
+            ServiceModel::default(),
+            None,
+            Box::new(SharedLogDevice::with_data(wal_dev.snapshot())),
+            Box::new(SharedLogDevice::with_data(snap_dev.snapshot())),
+        );
+        assert_eq!(recovered.state_digest(), digest);
+        assert_eq!(report.through_seq, stats.through_seq);
+        assert!(report.snapshot_records > 0);
+        assert_eq!(report.wal_records, 1, "only the tail mutation");
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_to_last_good_record() {
+        let (server, course, wal_dev, snap_dev) = durable_loaded_server();
+        let digest_before_last = server.state_digest();
+        let obj = server.objects.get(course).expect("loaded");
+        server.put_object(obj.clone());
+        // Tear the final record: chop bytes off the device.
+        let mut data = wal_dev.snapshot();
+        data.truncate(data.len() - 3);
+        let (recovered, report) = DbServer::recover(
+            ServiceModel::default(),
+            None,
+            Box::new(SharedLogDevice::with_data(data)),
+            Box::new(SharedLogDevice::with_data(snap_dev.snapshot())),
+        );
+        assert!(report.torn_tail);
+        assert!(!report.warnings.is_empty());
+        assert_eq!(
+            recovered.state_digest(),
+            digest_before_last,
+            "state as of the last intact record"
+        );
+    }
+
+    #[test]
+    fn shipped_frames_replicate_without_double_bumps() {
+        let (primary, course, _, _) = durable_loaded_server();
+        primary.set_shipping(true);
+        let replica = DbServer::default().with_durability(
+            Box::new(SharedLogDevice::new()),
+            Box::new(SharedLogDevice::new()),
+        );
+        // The pre-shipping load is not in the outbox; bootstrap the
+        // replica by re-applying the primary's journal... here, simply
+        // replay the same loads.
+        let mut objs: Vec<MhegObject> = Vec::new();
+        primary.objects.for_each(|o| objs.push(o.clone()));
+        for o in &objs {
+            replica.apply_record(&WalRecord::PutObject { object: o.clone() });
+        }
+        let mut media: Vec<MediaObject> = Vec::new();
+        primary.content.for_each(|m| media.push(m.clone()));
+        for m in &media {
+            replica.apply_record(&WalRecord::PutContent { media: m.clone() });
+        }
+        // Live mutations ship as frames.
+        let obj = primary.objects.get(course).expect("loaded");
+        primary.put_object(obj.clone());
+        let frames = primary.take_outbox();
+        assert_eq!(frames.len(), 1);
+        for f in &frames {
+            assert!(replica.apply_shipped(f).expect("valid frame"));
+        }
+        assert_eq!(primary.state_digest(), replica.state_digest());
+        // Redelivery (duplicate ship) must not double-bump versions.
+        for f in &frames {
+            assert!(!replica.apply_shipped(f).expect("valid frame"));
+        }
+        assert_eq!(primary.state_digest(), replica.state_digest());
+        assert_eq!(primary.take_outbox().len(), 0, "outbox drained");
+    }
+
+    #[test]
+    fn epoch_is_adjustable_and_readable() {
+        let (server, _, _, _) = durable_loaded_server();
+        assert_eq!(server.epoch(), 0);
+        server.set_epoch(3);
+        assert_eq!(server.epoch(), 3);
     }
 }

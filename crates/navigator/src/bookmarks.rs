@@ -1,7 +1,15 @@
 //! Bookmarks (§5.2.1): "Bookmarks, which save the location of the
 //! interesting topics or media objects found during browsing, can be
 //! used." Stored per student, ordered by creation.
+//!
+//! [`DurableBookmarks`] wraps the store in the database crate's
+//! journal-before-apply discipline: every add/remove is appended to a
+//! write-ahead log before the in-memory state changes, and
+//! [`DurableBookmarks::recover`] rebuilds the store from that log —
+//! tolerating a torn final record — so a student's bookmarks survive a
+//! navigator crash.
 
+use mits_db::{LogDevice, ReplayReport, Wal, WalRecord};
 use mits_mheg::MhegId;
 use mits_school::StudentNumber;
 use serde::{Deserialize, Serialize};
@@ -79,6 +87,101 @@ impl BookmarkStore {
             .filter(|b| b.document == document)
             .count()
     }
+
+    /// The id the next [`BookmarkStore::add`] will hand out — what a
+    /// journal-first wrapper writes to the log before applying.
+    pub fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Re-insert a bookmark with its recorded id (journal replay). The
+    /// id counter advances past it so later adds never collide.
+    pub fn restore(&mut self, student: StudentNumber, bookmark: Bookmark) {
+        self.next_id = self.next_id.max(bookmark.id + 1);
+        self.by_student.entry(student).or_default().push(bookmark);
+    }
+}
+
+/// A [`BookmarkStore`] behind a write-ahead log: adds and removes are
+/// journaled before they apply, so the store can be rebuilt after a
+/// crash by replaying the log.
+pub struct DurableBookmarks {
+    store: BookmarkStore,
+    wal: Wal,
+}
+
+impl DurableBookmarks {
+    /// An empty durable store journaling to `dev`.
+    pub fn new(dev: Box<dyn LogDevice>) -> Self {
+        DurableBookmarks {
+            store: BookmarkStore::new(),
+            wal: Wal::create(dev, 0),
+        }
+    }
+
+    /// Rebuild a store from a surviving log device, tolerating (and
+    /// truncating) a torn final record.
+    pub fn recover(dev: Box<dyn LogDevice>) -> (Self, ReplayReport) {
+        let (wal, records, report) = Wal::recover(dev);
+        let mut store = BookmarkStore::new();
+        for (_, rec) in records {
+            match rec {
+                WalRecord::BookmarkAdd {
+                    student,
+                    id,
+                    document,
+                    unit,
+                    note,
+                } => store.restore(
+                    StudentNumber(student),
+                    Bookmark {
+                        id,
+                        document,
+                        unit,
+                        note,
+                    },
+                ),
+                WalRecord::BookmarkRemove { student, id } => {
+                    store.remove(StudentNumber(student), id);
+                }
+                _ => {}
+            }
+        }
+        (DurableBookmarks { store, wal }, report)
+    }
+
+    /// Save a bookmark (journal first); returns its id.
+    pub fn add(
+        &mut self,
+        student: StudentNumber,
+        document: MhegId,
+        unit: Option<u32>,
+        note: &str,
+    ) -> u32 {
+        let id = self.store.next_id();
+        self.wal.append(&WalRecord::BookmarkAdd {
+            student: student.0,
+            id,
+            document,
+            unit,
+            note: note.to_string(),
+        });
+        self.store.add(student, document, unit, note)
+    }
+
+    /// Remove a bookmark (journal first); returns whether it existed.
+    pub fn remove(&mut self, student: StudentNumber, id: u32) -> bool {
+        self.wal.append(&WalRecord::BookmarkRemove {
+            student: student.0,
+            id,
+        });
+        self.store.remove(student, id)
+    }
+
+    /// The underlying store (listing, reference counts).
+    pub fn store(&self) -> &BookmarkStore {
+        &self.store
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +211,96 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(store.referencing(MhegId::new(1, 1)), 2);
         assert_eq!(store.referencing(MhegId::new(9, 9)), 0);
+    }
+
+    #[test]
+    fn remove_nonexistent_id_is_a_clean_no_op() {
+        let mut store = BookmarkStore::new();
+        let alice = StudentNumber(1);
+        // Unknown student and unknown id both report false, change nothing.
+        assert!(!store.remove(alice, 0));
+        let id = store.add(alice, MhegId::new(1, 1), None, "keep");
+        assert!(!store.remove(alice, id + 1000));
+        assert!(!store.remove(StudentNumber(99), id), "wrong student");
+        assert_eq!(store.list(alice).len(), 1, "survivor untouched");
+    }
+
+    #[test]
+    fn referencing_counts_track_removal() {
+        let mut store = BookmarkStore::new();
+        let doc = MhegId::new(2, 2);
+        let a = store.add(StudentNumber(1), doc, Some(1), "");
+        let _b = store.add(StudentNumber(2), doc, None, "");
+        assert_eq!(store.referencing(doc), 2);
+        assert!(store.remove(StudentNumber(1), a));
+        assert_eq!(store.referencing(doc), 1, "one reference released");
+        // Removing it again must not double-decrement anything.
+        assert!(!store.remove(StudentNumber(1), a));
+        assert_eq!(store.referencing(doc), 1);
+    }
+
+    #[test]
+    fn duplicate_add_same_student_and_document_keeps_both() {
+        let mut store = BookmarkStore::new();
+        let alice = StudentNumber(1);
+        let doc = MhegId::new(3, 3);
+        let a = store.add(alice, doc, Some(1), "scene one");
+        let b = store.add(alice, doc, Some(1), "scene one again");
+        assert_ne!(a, b, "duplicates get distinct ids");
+        assert_eq!(store.list(alice).len(), 2);
+        assert_eq!(store.referencing(doc), 2);
+        // Removing one leaves the other.
+        assert!(store.remove(alice, a));
+        assert_eq!(
+            store.list(alice),
+            &[Bookmark {
+                id: b,
+                document: doc,
+                unit: Some(1),
+                note: "scene one again".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn durable_bookmarks_survive_recovery() {
+        use mits_db::SharedLogDevice;
+        let dev = SharedLogDevice::new();
+        let alice = StudentNumber(7);
+        let doc = MhegId::new(4, 4);
+        {
+            let mut bm = DurableBookmarks::new(Box::new(dev.clone()));
+            let a = bm.add(alice, doc, Some(2), "before the crash");
+            bm.add(alice, doc, None, "also kept");
+            bm.remove(alice, a);
+        }
+        // "Crash": only the device's bytes survive.
+        let (bm, report) = DurableBookmarks::recover(Box::new(dev.clone()));
+        assert!(!report.torn_tail);
+        assert_eq!(bm.store().list(alice).len(), 1);
+        assert_eq!(bm.store().list(alice)[0].note, "also kept");
+        assert_eq!(bm.store().referencing(doc), 1);
+        // Recovered ids continue past the replayed ones.
+        let mut bm = bm;
+        let c = bm.add(alice, doc, None, "after recovery");
+        assert_eq!(c, 2, "next_id advanced past replayed bookmarks");
+    }
+
+    #[test]
+    fn durable_recovery_tolerates_torn_tail() {
+        use mits_db::SharedLogDevice;
+        let dev = SharedLogDevice::new();
+        let alice = StudentNumber(1);
+        {
+            let mut bm = DurableBookmarks::new(Box::new(dev.clone()));
+            bm.add(alice, MhegId::new(1, 1), None, "intact");
+            bm.add(alice, MhegId::new(1, 2), None, "torn off");
+        }
+        let mut bytes = dev.snapshot();
+        bytes.truncate(bytes.len() - 2);
+        let (bm, report) = DurableBookmarks::recover(Box::new(SharedLogDevice::with_data(bytes)));
+        assert!(report.torn_tail);
+        assert_eq!(bm.store().list(alice).len(), 1);
+        assert_eq!(bm.store().list(alice)[0].note, "intact");
     }
 }

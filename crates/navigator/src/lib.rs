@@ -32,7 +32,7 @@ pub mod library;
 pub mod presentation;
 pub mod screens;
 
-pub use bookmarks::{Bookmark, BookmarkStore};
+pub use bookmarks::{Bookmark, BookmarkStore, DurableBookmarks};
 pub use library::LibraryBrowser;
 pub use presentation::{NavError, PresentationSession, VisibleElement};
 pub use screens::{NavigatorUi, Screen, UiEvent, UiOutcome};

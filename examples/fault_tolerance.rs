@@ -1,13 +1,17 @@
 //! Fault tolerance: the telelearning session under hostile network
 //! conditions — the part the paper's ideal-broadband argument leaves
-//! out. Three acts:
+//! out. Four acts:
 //!
 //! 1. a noisy access uplink (independent cell loss) that the ARQ and
 //!    the client's deadline/backoff retry machinery absorb;
 //! 2. a mid-session link outage that the retry machinery carries a
 //!    fetch across;
 //! 3. lost content that degrades its element to a placeholder instead
-//!    of aborting the course.
+//!    of aborting the course;
+//! 4. the primary courseware server killed mid-fetch — the client
+//!    fails over to the WAL-shipped replica, the course plays with
+//!    zero degraded elements, and a scheduled restart replays the
+//!    journal and fails the client back.
 //!
 //! Everything is seeded: run it twice and the retry counts match.
 //!
@@ -139,4 +143,59 @@ fn main() {
             .collect::<Vec<_>>()
     );
     assert!(session.report.completed && session.report.is_degraded());
+
+    // ------------------------------------------------------------------
+    // Act 4: the primary server dies mid-fetch; the replica carries on.
+    // ------------------------------------------------------------------
+    println!("\n== act 4: primary killed mid-fetch, replica failover ==");
+    let (objects, media, root) = course();
+    let cfg = SystemConfig::broadband(1)
+        .with_replica()
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)))
+        .with_crash(SimTime::from_secs(2), 0)
+        .with_restart(SimTime::from_secs(20), 0);
+    let mut system = MitsSystem::build(&cfg).unwrap();
+    system.load_directly(objects.clone(), media);
+    // Run straight into the crash: the fetch starts with the primary
+    // up and finishes against the replica.
+    system.pump_until(SimTime::from_micros(1_999_700)).unwrap();
+    let (objs, t) = system.fetch_courseware(ClientId(0), root).unwrap();
+    println!(
+        "fetched {} objects in {t}; primary up: {}, serving from server {} after {} failover(s)",
+        objs.len(),
+        system.server_up(0),
+        system.active_server(ClientId(0)),
+        system.failovers,
+    );
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Fault Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    println!(
+        "course on the replica — completed: {}, degraded elements: {}",
+        session.report.completed,
+        session.report.degraded.len()
+    );
+    assert!(session.report.completed && !session.report.is_degraded());
+    // Let the scheduled restart run: the primary replays its journal
+    // (plus whatever it missed, resynced from the replica) and the
+    // clients fail back to it.
+    system.pump_until(SimTime::from_secs(25)).unwrap();
+    let recovery = system.last_recovery.as_ref().unwrap();
+    println!(
+        "primary restarted: replayed {} snapshot + {} WAL records ({} bytes), torn tail: {}",
+        recovery.snapshot_records,
+        recovery.wal_records,
+        recovery.replayed_bytes(),
+        recovery.torn_tail,
+    );
+    println!(
+        "failed back to server {}; primary and replica digests match: {}",
+        system.active_server(ClientId(0)),
+        system.db_at(0).state_digest() == system.db_at(1).state_digest(),
+    );
+    assert_eq!(system.active_server(ClientId(0)), 0);
+    assert_eq!(
+        system.db_at(0).state_digest(),
+        system.db_at(1).state_digest()
+    );
 }

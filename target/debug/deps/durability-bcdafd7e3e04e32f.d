@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-bcdafd7e3e04e32f.d: crates/mits/../../tests/durability.rs
+
+/root/repo/target/debug/deps/durability-bcdafd7e3e04e32f: crates/mits/../../tests/durability.rs
+
+crates/mits/../../tests/durability.rs:

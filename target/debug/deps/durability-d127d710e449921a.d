@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durability-d127d710e449921a.d: crates/mits/../../tests/durability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurability-d127d710e449921a.rmeta: crates/mits/../../tests/durability.rs Cargo.toml
+
+crates/mits/../../tests/durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

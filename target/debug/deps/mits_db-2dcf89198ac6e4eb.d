@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/mits_db-2dcf89198ac6e4eb.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/debug/deps/mits_db-2dcf89198ac6e4eb.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
-/root/repo/target/debug/deps/libmits_db-2dcf89198ac6e4eb.rlib: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/debug/deps/libmits_db-2dcf89198ac6e4eb.rlib: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
-/root/repo/target/debug/deps/libmits_db-2dcf89198ac6e4eb.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/debug/deps/libmits_db-2dcf89198ac6e4eb.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
 crates/db/src/lib.rs:
 crates/db/src/client.rs:
 crates/db/src/index.rs:
 crates/db/src/protocol.rs:
 crates/db/src/server.rs:
+crates/db/src/snapshot.rs:
 crates/db/src/store.rs:
+crates/db/src/wal.rs:

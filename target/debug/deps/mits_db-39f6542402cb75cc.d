@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/mits_db-39f6542402cb75cc.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/debug/deps/mits_db-39f6542402cb75cc.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
-/root/repo/target/debug/deps/mits_db-39f6542402cb75cc: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/debug/deps/mits_db-39f6542402cb75cc: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
 crates/db/src/lib.rs:
 crates/db/src/client.rs:
 crates/db/src/index.rs:
 crates/db/src/protocol.rs:
 crates/db/src/server.rs:
+crates/db/src/snapshot.rs:
 crates/db/src/store.rs:
+crates/db/src/wal.rs:

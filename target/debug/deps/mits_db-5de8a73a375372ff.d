@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/mits_db-5de8a73a375372ff.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/mits_db-5de8a73a375372ff.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmits_db-5de8a73a375372ff.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libmits_db-5de8a73a375372ff.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs Cargo.toml
 
 crates/db/src/lib.rs:
 crates/db/src/client.rs:
 crates/db/src/index.rs:
 crates/db/src/protocol.rs:
 crates/db/src/server.rs:
+crates/db/src/snapshot.rs:
 crates/db/src/store.rs:
+crates/db/src/wal.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

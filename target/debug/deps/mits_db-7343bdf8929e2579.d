@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/mits_db-7343bdf8929e2579.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/mits_db-7343bdf8929e2579.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmits_db-7343bdf8929e2579.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libmits_db-7343bdf8929e2579.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs Cargo.toml
 
 crates/db/src/lib.rs:
 crates/db/src/client.rs:
 crates/db/src/index.rs:
 crates/db/src/protocol.rs:
 crates/db/src/server.rs:
+crates/db/src/snapshot.rs:
 crates/db/src/store.rs:
+crates/db/src/wal.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

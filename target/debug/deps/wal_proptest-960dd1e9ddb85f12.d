@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_proptest-960dd1e9ddb85f12.d: crates/db/tests/wal_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_proptest-960dd1e9ddb85f12.rmeta: crates/db/tests/wal_proptest.rs Cargo.toml
+
+crates/db/tests/wal_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_proptest-a2364d7fa8400c44.d: crates/db/tests/wal_proptest.rs
+
+/root/repo/target/debug/deps/wal_proptest-a2364d7fa8400c44: crates/db/tests/wal_proptest.rs
+
+crates/db/tests/wal_proptest.rs:

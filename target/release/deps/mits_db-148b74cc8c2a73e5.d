@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/mits_db-148b74cc8c2a73e5.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/release/deps/mits_db-148b74cc8c2a73e5.d: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
-/root/repo/target/release/deps/libmits_db-148b74cc8c2a73e5.rlib: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/release/deps/libmits_db-148b74cc8c2a73e5.rlib: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
-/root/repo/target/release/deps/libmits_db-148b74cc8c2a73e5.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/store.rs
+/root/repo/target/release/deps/libmits_db-148b74cc8c2a73e5.rmeta: crates/db/src/lib.rs crates/db/src/client.rs crates/db/src/index.rs crates/db/src/protocol.rs crates/db/src/server.rs crates/db/src/snapshot.rs crates/db/src/store.rs crates/db/src/wal.rs
 
 crates/db/src/lib.rs:
 crates/db/src/client.rs:
 crates/db/src/index.rs:
 crates/db/src/protocol.rs:
 crates/db/src/server.rs:
+crates/db/src/snapshot.rs:
 crates/db/src/store.rs:
+crates/db/src/wal.rs:

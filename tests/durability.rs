@@ -1,0 +1,185 @@
+//! Durability and failover, end to end: a server killed mid-session
+//! comes back from its write-ahead log with the exact store state a
+//! crash-free run would have, and a hot-standby replica keeps the
+//! telelearning session running while the primary is down.
+
+use mits::author::{
+    compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::db::{RetryPolicy, SharedLogDevice};
+use mits::media::{CaptureSpec, MediaFormat, MediaObject, ProductionCenter, VideoDims};
+use mits::mheg::{MhegId, MhegObject};
+use mits::navigator::DurableBookmarks;
+use mits::school::StudentNumber;
+use mits::sim::{SimDuration, SimTime};
+
+/// A small two-scene course (video then image).
+fn course(seed: u32) -> (Vec<MhegObject>, Vec<MediaObject>, MhegId, String) {
+    let mut pc = ProductionCenter::new(seed as u64);
+    let clip = pc.capture(&CaptureSpec::video(
+        "intro.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_millis(500),
+        VideoDims::new(160, 120),
+    ));
+    let img = pc.capture(&CaptureSpec::image(
+        "diagram.gif",
+        MediaFormat::Gif,
+        VideoDims::new(320, 240),
+    ));
+    let mut doc = ImDocument::new("Durable Course");
+    doc.keywords = vec!["telecom/atm".into()];
+    doc.sections.push(Section {
+        title: "s".into(),
+        subsections: vec![Subsection {
+            title: "ss".into(),
+            scenes: vec![
+                Scene::new("video")
+                    .element("v", ElementKind::Media((&clip).into()))
+                    .entry(TimelineEntry::at_start("v")),
+                Scene::new("image")
+                    .element("d", ElementKind::Media((&img).into()))
+                    .entry(TimelineEntry::at_start("d").for_duration(SimDuration::from_secs(1))),
+            ],
+        }],
+    });
+    let compiled = compile_imd(seed, &doc);
+    (
+        compiled.objects,
+        vec![clip, img],
+        compiled.root,
+        "Durable Course".to_string(),
+    )
+}
+
+/// The tentpole acceptance test: a `ServerCrash` mid-session followed by
+/// a restart yields a recovered store — objects, versions, media — whose
+/// digest is byte-identical to a crash-free run observed at the same
+/// virtual time. Bookmarks ride the same WAL discipline on the
+/// navigator side and are checked alongside.
+#[test]
+fn crash_recovery_matches_crash_free_run_at_same_sim_time() {
+    let (objects, media, root, _) = course(11);
+    let observe_at = SimTime::from_secs(30);
+
+    // Crash-free twin.
+    let mut clean = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    clean.publish(&objects, &media).unwrap();
+    clean.pump_until(observe_at).unwrap();
+    let want = clean.db().state_digest();
+
+    // Same workload, but the server dies at t=10 s and restarts at
+    // t=12 s. The publish finished long before; recovery must replay
+    // every journaled mutation, version bumps included.
+    let cfg = SystemConfig::broadband(1)
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(120)))
+        .with_crash(SimTime::from_secs(10), 0)
+        .with_restart(SimTime::from_secs(12), 0);
+    let mut sys = MitsSystem::build(&cfg).unwrap();
+    sys.publish(&objects, &media).unwrap();
+    assert!(sys.now() < SimTime::from_secs(10), "published pre-crash");
+    sys.pump_until(observe_at).unwrap();
+    assert!(sys.server_up(0), "restarted on schedule");
+    assert_eq!(
+        sys.db().state_digest(),
+        want,
+        "recovered store is byte-identical to the crash-free run"
+    );
+    let report = sys.last_recovery.as_ref().expect("recovery ran");
+    assert!(report.replayed_bytes() > 0, "it actually replayed the WAL");
+    assert!(!report.torn_tail, "clean shutdown of the device");
+
+    // The recovered server answers the paper facade correctly.
+    let (objs, _) = sys.fetch_courseware(ClientId(0), root).unwrap();
+    assert_eq!(objs.len(), objects.len());
+
+    // Bookmarks: same journal-first discipline, same survival guarantee.
+    let dev = SharedLogDevice::new();
+    let alice = StudentNumber(1);
+    let mut crash_free = mits::navigator::BookmarkStore::new();
+    {
+        let mut bm = DurableBookmarks::new(Box::new(dev.clone()));
+        let a = bm.add(alice, root, Some(1), "the QoS scene");
+        bm.add(alice, root, None, "whole course");
+        bm.remove(alice, a);
+        // Mirror the same operations on a store that never crashes.
+        let a = crash_free.add(alice, root, Some(1), "the QoS scene");
+        crash_free.add(alice, root, None, "whole course");
+        crash_free.remove(alice, a);
+    }
+    let (recovered, rep) = DurableBookmarks::recover(Box::new(dev));
+    assert!(!rep.torn_tail);
+    assert_eq!(recovered.store().list(alice), crash_free.list(alice));
+    assert_eq!(recovered.store().referencing(root), 1);
+}
+
+/// The failover acceptance test: with the primary down, the paper's
+/// `Get_Selected_Doc` succeeds against the replica inside the client's
+/// deadline, and a full Course-On-Demand session completes with zero
+/// degraded elements — the student never notices the crash.
+#[test]
+fn failover_session_completes_with_zero_degraded_elements() {
+    let (objects, media, root, name) = course(12);
+    let cfg = SystemConfig::broadband(1)
+        .with_replica()
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)))
+        .with_crash(SimTime::from_secs(5), 0);
+    let mut sys = MitsSystem::build(&cfg).unwrap();
+    sys.load_directly(objects.clone(), media.clone());
+
+    // Kill the primary, then ask for the document by name.
+    sys.pump_until(SimTime::from_secs(6)).unwrap();
+    assert!(!sys.server_up(0), "primary is down");
+    assert!(sys.server_up(1), "replica is up");
+    let (objs, t) = sys.get_selected_doc(ClientId(0), &name).unwrap();
+    assert_eq!(objs.len(), objects.len());
+    assert!(
+        t < SimDuration::from_secs(60),
+        "answered inside the client deadline: {t}"
+    );
+    assert!(sys.failovers > 0, "the client switched servers");
+    assert_eq!(sys.active_server(ClientId(0)), 1, "now on the replica");
+
+    // A whole course plays through against the replica: every content
+    // object arrives, nothing degrades to a placeholder.
+    let mut session = CodSession::open(&mut sys, ClientId(0), root, &name).unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(10)).unwrap();
+    let report = &session.report;
+    assert!(report.completed, "the course ran to the end");
+    assert!(
+        !report.is_degraded(),
+        "zero degraded elements: {:?}",
+        report.degraded
+    );
+    assert!(report.bytes_transferred > 0);
+}
+
+/// Determinism: the same crash schedule and seed replay to the same
+/// digest, recovery byte count, and failover count.
+#[test]
+fn crash_schedule_replays_deterministically() {
+    let run = || {
+        let (objects, media, _, _) = course(13);
+        let cfg = SystemConfig::broadband(1)
+            .with_replica()
+            .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)))
+            .with_crash(SimTime::from_secs(5), 0)
+            .with_restart(SimTime::from_secs(20), 0)
+            .with_checkpoint_every(SimDuration::from_secs(8));
+        let mut sys = MitsSystem::build(&cfg).unwrap();
+        sys.publish(&objects, &media).unwrap();
+        sys.pump_until(SimTime::from_secs(40)).unwrap();
+        (
+            sys.db().state_digest(),
+            sys.db_at(1).state_digest(),
+            sys.last_recovery.as_ref().map(|r| r.replayed_bytes()),
+            sys.failovers,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "seeded crash/recovery must replay exactly");
+    assert_eq!(a.0, a.1, "primary and replica converge after restart");
+}
