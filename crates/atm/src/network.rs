@@ -13,7 +13,10 @@ use crate::cell::{AtmCell, CELL_BITS};
 use crate::fault::{FaultPlan, FaultState, FaultStats, LinkFaults};
 use crate::link::{LinkProfile, Policer, ServiceClass, TrafficContract};
 use bytes::Bytes;
-use mits_sim::{BoundedQueue, DropPolicy, OnlineStats, SimDuration, SimRng, SimTime, TimeWeighted};
+use mits_sim::{
+    BoundedQueue, DropPolicy, MetricsRegistry, OnlineStats, SimDuration, SimRng, SimTime,
+    TimeWeighted,
+};
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
@@ -142,7 +145,6 @@ struct Flying {
 }
 
 struct NodeState {
-    #[allow(dead_code)]
     name: String,
     is_switch: bool,
     routes: HashMap<VcId, LinkId>,
@@ -472,6 +474,75 @@ impl AtmNetwork {
                 .map(|q| q.drops.hits)
                 .sum(),
         )
+    }
+
+    /// Name the node was added under.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.nodes.get(id.0 as usize).map(|n| n.name.as_str())
+    }
+
+    /// Snapshot network statistics into `reg` under the `atm.` prefix:
+    /// per-link utilization and queue drops (labelled by node names, in
+    /// link id order), circuit aggregates summed over every VC (cell /
+    /// PDU / byte counts, AAL5 reassembly failures, cell transfer delay
+    /// and its variation), and the fault-injection tallies.
+    pub fn export_metrics(&self, reg: &MetricsRegistry) {
+        let mut labels: Vec<Option<(NodeId, NodeId)>> = vec![None; self.links.len()];
+        for (&(from, to), id) in &self.link_index {
+            labels[id.0 as usize] = Some((from, to));
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            let Some((from, to)) = labels[i] else {
+                continue;
+            };
+            let p = format!(
+                "atm.link.{}->{}",
+                self.nodes[from.0 as usize].name, self.nodes[to.0 as usize].name
+            );
+            reg.gauge_set(
+                &format!("{p}.utilization"),
+                link.utilization.mean_until(self.now),
+            );
+            reg.counter_set(
+                &format!("{p}.drops"),
+                link.queues.iter().map(|q| q.drops.hits).sum(),
+            );
+        }
+        let mut agg = VcStats::default();
+        let mut ctd = OnlineStats::new();
+        let mut pdu_latency = OnlineStats::new();
+        for vc in self.vcs.values() {
+            agg.cells_sent += vc.stats.cells_sent;
+            agg.cells_delivered += vc.stats.cells_delivered;
+            agg.cells_dropped += vc.stats.cells_dropped;
+            agg.pdus_sent += vc.stats.pdus_sent;
+            agg.pdus_delivered += vc.stats.pdus_delivered;
+            agg.pdus_failed += vc.stats.pdus_failed;
+            agg.bytes_sent += vc.stats.bytes_sent;
+            agg.bytes_delivered += vc.stats.bytes_delivered;
+            ctd.merge(&vc.stats.ctd);
+            pdu_latency.merge(&vc.stats.pdu_latency);
+        }
+        reg.counter_set("atm.vc.cells_sent", agg.cells_sent);
+        reg.counter_set("atm.vc.cells_delivered", agg.cells_delivered);
+        reg.counter_set("atm.vc.cells_dropped", agg.cells_dropped);
+        reg.counter_set("atm.vc.pdus_sent", agg.pdus_sent);
+        reg.counter_set("atm.vc.pdus_delivered", agg.pdus_delivered);
+        reg.counter_set("atm.vc.aal5_reassembly_failures", agg.pdus_failed);
+        reg.counter_set("atm.vc.bytes_sent", agg.bytes_sent);
+        reg.counter_set("atm.vc.bytes_delivered", agg.bytes_delivered);
+        reg.gauge_set("atm.vc.ctd_mean_s", ctd.mean());
+        reg.gauge_set("atm.vc.cdv_s", ctd.std_dev());
+        reg.gauge_set("atm.vc.pdu_latency_mean_s", pdu_latency.mean());
+        reg.counter_set("atm.faults.random_losses", self.fault_stats.random_losses);
+        reg.counter_set("atm.faults.burst_losses", self.fault_stats.burst_losses);
+        reg.counter_set(
+            "atm.faults.downtime_losses",
+            self.fault_stats.downtime_losses,
+        );
+        reg.counter_set("atm.faults.jittered", self.fault_stats.jittered);
+        reg.counter_set("atm.faults.faulted_cells", self.fault_stats.faulted_cells);
+        reg.counter_set("atm.faults.total_losses", self.fault_stats.total_losses());
     }
 
     // ---- internals ----

@@ -5,13 +5,14 @@
 //!   cargo run -p mits-bench --bin tables            # all experiments
 //!   cargo run -p mits-bench --bin tables -- --exp e_bb
 
-use mits_atm::LinkProfile;
+use mits_atm::{FaultPlan, LinkFaults, LinkProfile};
 use mits_author::compile_hyperdoc;
 use mits_bench::{atm_course, one_of_each_class, reuse_course};
 use mits_core::models::{compare_delivery_models, reuse_ablation};
 use mits_core::stack::layer_breakdown;
 use mits_core::stream::{profile_name, stream_audio_over, stream_video_over};
 use mits_core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits_db::RetryPolicy;
 use mits_media::codec::{
     CodecModel, AVI_BITS_PER_SEC, MIDI_BYTES_PER_MIN, MPEG_BITS_PER_SEC, WAV_BYTES_PER_SEC,
 };
@@ -68,6 +69,9 @@ fn main() {
     }
     if want("e_reuse") {
         e_reuse();
+    }
+    if want("obs") {
+        obs();
     }
 }
 
@@ -693,6 +697,33 @@ fn e_model() {
             if r.learner_controlled { "yes" } else { "no" }
         );
     }
+}
+
+/// OBS: the observability subsystem — one lossy Course-On-Demand
+/// session's latency waterfall, and the metrics every layer registered.
+fn obs() {
+    header("OBS", "CodSession latency waterfall + metrics registry");
+    let (compiled, media, name) = atm_course(61);
+    let cfg = SystemConfig::broadband(1)
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)));
+    let mut sys = MitsSystem::build(&cfg).unwrap();
+    let student = sys.client_host(ClientId(0));
+    sys.net.set_fault_plan(FaultPlan::none().with_link(
+        student,
+        sys.switch(),
+        LinkFaults::loss(0.20),
+    ));
+    sys.load_directly(compiled.objects.clone(), media);
+    let mut session = CodSession::open(&mut sys, ClientId(0), compiled.root, name).unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(10)).unwrap();
+    session.finish();
+    let root = session.root_span();
+    drop(session);
+    println!("-- waterfall (offset, duration, span) --");
+    print!("{}", sys.tracer.waterfall(root));
+    println!("-- metrics --");
+    print!("{}", sys.metrics.to_text());
 }
 
 /// E-REUSE: the content-storage ablation.

@@ -15,7 +15,7 @@ use crate::system::{ClientId, MitsSystem, SystemError};
 use mits_media::MediaId;
 use mits_mheg::{MhegId, ObjectBody};
 use mits_navigator::{NavError, PresentationSession};
-use mits_sim::{SimDuration, SimTime};
+use mits_sim::{SimDuration, SimTime, SpanId};
 use std::collections::HashMap;
 
 /// Outcome of a full course playback.
@@ -67,6 +67,11 @@ pub struct CodSession<'a> {
     /// Element name presenting each media id (for degradation marks).
     media_names: HashMap<MediaId, String>,
     fetched_units: Vec<bool>,
+    /// The session's root trace span: stage spans (`cod.open`,
+    /// `cod.prefetch`) and every database request issued on the
+    /// session's behalf nest under it.
+    session_span: SpanId,
+    finished: bool,
     /// Accumulating report.
     pub report: CodReport,
 }
@@ -80,8 +85,27 @@ impl<'a> CodSession<'a> {
         root: MhegId,
         course_name: &str,
     ) -> Result<Self, SystemError> {
+        let tr = system.tracer.clone();
+        let now = system.now();
+        let session_span = tr.root_span("cod.session", now);
+        tr.attr(session_span, "course", course_name);
+        tr.attr_u64(session_span, "client", client.0 as u64);
+        tr.push_context(session_span);
+        let stage = tr.child(session_span, "cod.open", now);
+        tr.push_context(stage);
         let bytes_before = system.bytes_to_client(client);
-        let (objects, scenario_fetch) = system.fetch_courseware(client, root)?;
+        let fetched = system.fetch_courseware(client, root);
+        let opened_at = system.now();
+        tr.pop_context();
+        tr.end(stage, opened_at);
+        let (objects, scenario_fetch) = match fetched {
+            Ok(v) => v,
+            Err(e) => {
+                tr.pop_context();
+                tr.end(session_span, opened_at);
+                return Err(e);
+            }
+        };
 
         // Map units to the media their content objects reference.
         let mut by_id: HashMap<MhegId, &mits_mheg::MhegObject> = HashMap::new();
@@ -92,10 +116,19 @@ impl<'a> CodSession<'a> {
                 media_names.insert(m, o.info.name.clone());
             }
         }
-        let entry = objects
+        let entry = match objects
             .iter()
             .find(|o| matches!(o.body, ObjectBody::Composite(_)) && o.info.name == course_name)
-            .ok_or_else(|| SystemError::Protocol(format!("no entry composite '{course_name}'")))?;
+        {
+            Some(e) => e,
+            None => {
+                tr.pop_context();
+                tr.end(session_span, opened_at);
+                return Err(SystemError::Protocol(format!(
+                    "no entry composite '{course_name}'"
+                )));
+            }
+        };
         let units: Vec<MhegId> = match &entry.body {
             ObjectBody::Composite(c) => c.components.clone(),
             _ => unreachable!("matched composite above"),
@@ -121,8 +154,14 @@ impl<'a> CodSession<'a> {
             })
             .collect();
 
-        let presentation = PresentationSession::load(objects, course_name)
-            .map_err(|e| SystemError::Protocol(e.to_string()))?;
+        let presentation = match PresentationSession::load(objects, course_name) {
+            Ok(p) => p,
+            Err(e) => {
+                tr.pop_context();
+                tr.end(session_span, opened_at);
+                return Err(SystemError::Protocol(e.to_string()));
+            }
+        };
         let fetched_units = vec![false; unit_media.len()];
         let mut report = CodReport {
             scenario_fetch,
@@ -136,6 +175,8 @@ impl<'a> CodSession<'a> {
             unit_media,
             media_names,
             fetched_units,
+            session_span,
+            finished: false,
             report,
         })
     }
@@ -145,6 +186,19 @@ impl<'a> CodSession<'a> {
         if self.fetched_units.get(unit).copied().unwrap_or(true) {
             return Ok(SimDuration::ZERO);
         }
+        let tr = self.system.tracer.clone();
+        let stage = tr.child(self.session_span, "cod.prefetch", self.system.now());
+        tr.attr_u64(stage, "unit", unit as u64);
+        tr.push_context(stage);
+        let res = self.prefetch_unit_inner(unit);
+        tr.pop_context();
+        tr.end(stage, self.system.now());
+        res
+    }
+
+    /// The fetch loop behind [`CodSession::prefetch_unit`] — split out so
+    /// the stage span closes on every exit path.
+    fn prefetch_unit_inner(&mut self, unit: usize) -> Result<SimDuration, SystemError> {
         let bytes_before = self.system.bytes_to_client(self.client);
         let mut total = SimDuration::ZERO;
         for media in self.unit_media[unit].clone() {
@@ -211,6 +265,12 @@ impl<'a> CodSession<'a> {
             if let Some(u) = after {
                 let stall = self.prefetch_unit(u)?;
                 if !stall.is_zero() {
+                    self.system.tracer.event_with(
+                        Some(self.session_span),
+                        "cod.stall",
+                        self.system.now(),
+                        &[("unit", u.to_string()), ("stall", stall.to_string())],
+                    );
                     self.report.stalls.push((u, stall));
                 }
             }
@@ -270,6 +330,48 @@ impl<'a> CodSession<'a> {
     /// Borrow the presentation (rendering, assertions).
     pub fn presentation(&self) -> &PresentationSession {
         &self.presentation
+    }
+
+    /// The session's root trace span — feed it to
+    /// [`mits_sim::Tracer::waterfall`] for the latency breakdown.
+    pub fn root_span(&self) -> SpanId {
+        self.session_span
+    }
+
+    /// Close the session's root span and export every layer's counters
+    /// (network, servers, clients, MHEG engine, presentation) into the
+    /// system's [`mits_sim::MetricsRegistry`]. Idempotent; call it when
+    /// playback is over.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let now = self.system.now();
+        let tr = self.system.tracer.clone();
+        tr.pop_context();
+        tr.attr(
+            self.session_span,
+            "completed",
+            if self.report.completed {
+                "true"
+            } else {
+                "false"
+            },
+        );
+        tr.attr_u64(
+            self.session_span,
+            "bytes_transferred",
+            self.report.bytes_transferred,
+        );
+        tr.attr_u64(
+            self.session_span,
+            "degraded",
+            self.report.degraded.len() as u64,
+        );
+        tr.end(self.session_span, now);
+        self.presentation.export_metrics(&self.system.metrics);
+        self.system.export_metrics();
     }
 }
 

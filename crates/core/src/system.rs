@@ -15,13 +15,14 @@ use mits_atm::{
     ReliableChannel, ServiceClass, TransportEvent, VcId,
 };
 use mits_db::{
-    read_snapshot, wal, ClientAction, ClientEvent, DbClient, DbClientMetrics, DbError, DbServer,
-    KeywordTree, RecoveryReport, Request, Response, RetryPolicy, ServiceModel, SharedLogDevice,
+    peek_req_id, peek_response_trace, read_snapshot, wal, ClientAction, ClientEvent, DbClient,
+    DbClientMetrics, DbError, DbServer, KeywordTree, RecoveryReport, Request, Response,
+    RetryPolicy, ServiceModel, SharedLogDevice,
 };
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
-use mits_sim::{SimDuration, SimTime};
-use std::collections::VecDeque;
+use mits_sim::{MetricsRegistry, SimDuration, SimTime, SpanId, Tracer};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifies one student endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -234,6 +235,15 @@ pub struct MitsSystem {
     pub failovers: u64,
     /// What the most recent server restart replayed.
     pub last_recovery: Option<RecoveryReport>,
+    /// Deterministic span tracer shared with every endpoint's client.
+    /// Request spans propagate over the wire protocol's trace field, so
+    /// uplink/serve/downlink hop spans nest under the client request.
+    pub tracer: Tracer,
+    /// Registry every layer exports into via [`MitsSystem::export_metrics`].
+    pub metrics: MetricsRegistry,
+    /// When each queued response becomes ready, keyed by (endpoint,
+    /// req_id) — consumed on delivery to stamp the downlink hop span.
+    resp_meta: BTreeMap<(usize, u64), SimTime>,
 }
 
 impl MitsSystem {
@@ -286,6 +296,7 @@ impl MitsSystem {
             servers[0].db.set_shipping(true);
         }
 
+        let tracer = Tracer::new();
         let mut endpoints = Vec::new();
         for (i, (host, profile)) in peer_hosts.into_iter().enumerate() {
             let timeout = Self::arq_timeout(&profile);
@@ -303,16 +314,18 @@ impl MitsSystem {
                 s.ready.push(VecDeque::new());
                 down_vcs.push(down);
             }
+            let mut db_client = DbClient::with_policy(
+                config.client_cache_bytes,
+                config.retry,
+                config.seed ^ (0xC11E_0000 + i as u64),
+            );
+            db_client.set_tracer(tracer.clone());
             endpoints.push(Endpoint {
                 host,
                 profile,
                 chans,
                 active_server: 0,
-                db_client: DbClient::with_policy(
-                    config.client_cache_bytes,
-                    config.retry,
-                    config.seed ^ (0xC11E_0000 + i as u64),
-                ),
+                db_client,
                 inbox: Vec::new(),
                 down_vcs,
             });
@@ -340,6 +353,9 @@ impl MitsSystem {
             requests_sent: 0,
             failovers: 0,
             last_recovery: None,
+            tracer,
+            metrics: MetricsRegistry::new(),
+            resp_meta: BTreeMap::new(),
         })
     }
 
@@ -423,6 +439,36 @@ impl MitsSystem {
     /// latency histograms.
     pub fn client_metrics(&self, client: ClientId) -> &DbClientMetrics {
         &self.endpoints[client.0].db_client.metrics
+    }
+
+    /// Snapshot every layer's counters into [`MitsSystem::metrics`]:
+    /// per-link and per-VC network statistics, per-server queue/WAL/
+    /// checkpoint counters, per-endpoint retry/latency metrics, and the
+    /// system-level totals. Call it whenever a consistent snapshot is
+    /// wanted — exports are idempotent overwrites, so repeated calls
+    /// just refresh the registry.
+    pub fn export_metrics(&self) {
+        self.net.export_metrics(&self.metrics);
+        for (i, s) in self.servers.iter().enumerate() {
+            s.db.export_metrics(&self.metrics, &format!("db.server{i}"));
+        }
+        let author = self.author_index();
+        for (i, e) in self.endpoints.iter().enumerate() {
+            let prefix = if i == author {
+                "author".to_string()
+            } else {
+                format!("client{i}")
+            };
+            e.db_client.metrics.export_metrics(&self.metrics, &prefix);
+            let (hits, misses) = (e.db_client.cache.hits, e.db_client.cache.misses);
+            self.metrics
+                .counter_set(&format!("{prefix}.cache.hits"), hits);
+            self.metrics
+                .counter_set(&format!("{prefix}.cache.misses"), misses);
+        }
+        self.metrics
+            .counter_set("system.requests_sent", self.requests_sent);
+        self.metrics.counter_set("system.failovers", self.failovers);
     }
 
     // ---------- the pump ----------
@@ -530,6 +576,12 @@ impl MitsSystem {
         if !self.servers[target].up {
             return;
         }
+        self.tracer.event_with(
+            None,
+            "server.crash",
+            self.net.now(),
+            &[("server", target.to_string())],
+        );
         self.servers[target].up = false;
         for q in &mut self.servers[target].ready {
             q.clear();
@@ -590,7 +642,25 @@ impl MitsSystem {
         let replayed = report.replayed_bytes() + resync_bytes;
         self.servers[target].db = db;
         self.servers[target].up = true;
-        self.servers[target].busy_until = now + ServiceModel::default().cost(replayed as usize);
+        let busy_until = now + ServiceModel::default().cost(replayed as usize);
+        self.servers[target].busy_until = busy_until;
+        // The recovery itself is a root span: WAL replay plus (when a
+        // peer was live) the resync that re-journals its tail.
+        let rec = self
+            .tracer
+            .root_span(&format!("server{target}.recover"), now);
+        self.tracer
+            .attr_u64(rec, "epoch", self.servers[target].db.epoch());
+        let replay = self.tracer.child(rec, "wal.replay", now);
+        self.tracer
+            .attr_u64(replay, "bytes", report.replayed_bytes());
+        self.tracer.end(replay, busy_until);
+        if resync_bytes > 0 {
+            let rs = self.tracer.child(rec, "replica.resync", now);
+            self.tracer.attr_u64(rs, "bytes", resync_bytes);
+            self.tracer.end(rs, busy_until);
+        }
+        self.tracer.end(rec, busy_until);
         self.last_recovery = Some(report);
         self.reopen_server_transport(target)?;
         // Failback: with the primary up again, clients return to it.
@@ -690,6 +760,16 @@ impl MitsSystem {
                         if cand != cur {
                             self.endpoints[i].active_server = cand;
                             self.failovers += 1;
+                            self.tracer.event_with(
+                                None,
+                                "client.failover",
+                                now,
+                                &[
+                                    ("endpoint", i.to_string()),
+                                    ("from", cur.to_string()),
+                                    ("to", cand.to_string()),
+                                ],
+                            );
                         }
                         break;
                     }
@@ -758,6 +838,20 @@ impl MitsSystem {
                         for ev in events {
                             if let TransportEvent::Message(frame) = ev {
                                 let now = self.net.now();
+                                // Downlink hop span: from the response's
+                                // ready time (recorded at serve) to now.
+                                if let Some(parent) =
+                                    peek_response_trace(&frame).and_then(SpanId::from_wire)
+                                {
+                                    if let Some(ready_at) = peek_req_id(&frame)
+                                        .and_then(|id| self.resp_meta.remove(&(i, id)))
+                                    {
+                                        let hop =
+                                            self.tracer.child(parent, "net.downlink", ready_at);
+                                        self.tracer.attr_u64(hop, "bytes", frame.len() as u64);
+                                        self.tracer.end(hop, now);
+                                    }
+                                }
                                 let event = self.endpoints[i].db_client.on_frame(&frame, now);
                                 self.deliver_event(i, event);
                             }
@@ -797,6 +891,7 @@ impl MitsSystem {
     fn serve(&mut self, server: usize, peer: usize, frame: &[u8]) -> Result<(), SystemError> {
         let env = Request::decode(frame)?;
         let now = self.net.now();
+        let kind = env.body.kind();
         let node = &mut self.servers[server];
         let depth = node
             .ready
@@ -805,7 +900,9 @@ impl MitsSystem {
             .filter(|(t, _)| *t > now)
             .count();
         let shed = node.db.overload_threshold().is_some_and(|l| depth >= l);
+        let wal_before = node.db.wal_device_len();
         let (resp, cost) = node.db.handle_at_depth(&env.body, depth);
+        let wal_journaled = node.db.wal_device_len().saturating_sub(wal_before);
         let ready_at = if shed {
             // Rejection is fast-path: it does not occupy the service centre.
             now + cost
@@ -816,8 +913,33 @@ impl MitsSystem {
             node.busy_until = start + cost;
             node.busy_until
         };
-        let resp_frame = resp.encode_with_epoch(env.req_id, node.db.epoch());
+        let epoch = node.db.epoch();
+        let resp_frame = resp.encode_with_epoch_traced(env.req_id, epoch, env.trace);
         node.ready[peer].push_back((ready_at, resp_frame));
+        // Hop + service spans nest under the client's request span, which
+        // rode in on the wire's trace field.
+        if let Some(parent) = SpanId::from_wire(env.trace) {
+            let sent_at = self.endpoints[peer]
+                .db_client
+                .pending(env.req_id)
+                .map_or(now, |p| p.last_issued);
+            let hop = self.tracer.child(parent, "net.uplink", sent_at);
+            self.tracer.attr_u64(hop, "bytes", frame.len() as u64);
+            self.tracer.end(hop, now);
+            let sv = self
+                .tracer
+                .child(parent, &format!("server{server}.serve {kind}"), now);
+            self.tracer.attr_u64(sv, "queue_depth", depth as u64);
+            self.tracer
+                .attr(sv, "shed", if shed { "true" } else { "false" });
+            self.tracer.attr_u64(sv, "epoch", epoch);
+            if wal_journaled > 0 {
+                self.tracer
+                    .attr_u64(sv, "wal_bytes_journaled", wal_journaled as u64);
+            }
+            self.tracer.end(sv, ready_at);
+        }
+        self.resp_meta.insert((peer, env.req_id), ready_at);
         Ok(())
     }
 

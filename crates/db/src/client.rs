@@ -33,7 +33,7 @@ use crate::protocol::{peek_req_id, DbError, Envelope, Request, RequestKind, Resp
 use bytes::Bytes;
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
-use mits_sim::{Histogram, SimDuration, SimRng, SimTime};
+use mits_sim::{Histogram, MetricsRegistry, SimDuration, SimRng, SimTime, SpanId, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 /// A byte-bounded object/content cache (FIFO eviction — simple and
@@ -270,6 +270,12 @@ pub struct Pending {
     pub attempt_deadline: SimTime,
     /// Set while backing off: the earliest time to re-issue.
     pub retry_at: Option<SimTime>,
+    /// Raw id of the request span (0 when the client is untraced).
+    /// This is the trace context carried on the wire — constant across
+    /// re-issues, so retried frames stay byte-identical.
+    pub span: u64,
+    /// Raw id of the current attempt's span (0 when untraced).
+    pub attempt_span: u64,
 }
 
 /// What a response frame did to the client's state.
@@ -391,6 +397,27 @@ impl DbClientMetrics {
         }
         merged.and_then(|m| m.quantile(q))
     }
+
+    /// Snapshot every counter and latency histogram into `reg` under
+    /// `prefix` (e.g. `client0`). Kinds export in [`RequestKind::ALL`]
+    /// order, so output is deterministic despite the internal `HashMap`.
+    pub fn export_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.attempts"), self.attempts);
+        reg.counter_set(&format!("{prefix}.retries"), self.retries);
+        reg.counter_set(&format!("{prefix}.timeouts"), self.timeouts);
+        reg.counter_set(&format!("{prefix}.expired"), self.expired);
+        reg.counter_set(&format!("{prefix}.completed"), self.completed);
+        reg.counter_set(&format!("{prefix}.ignored"), self.ignored);
+        reg.counter_set(&format!("{prefix}.stale_epoch"), self.stale_epoch);
+        reg.counter_set(&format!("{prefix}.decode_errors"), self.decode_errors);
+        reg.counter_set(&format!("{prefix}.bytes_sent"), self.bytes_sent);
+        reg.counter_set(&format!("{prefix}.bytes_received"), self.bytes_received);
+        for kind in RequestKind::ALL {
+            if let Some(h) = self.latency.get(&kind) {
+                reg.record_histogram(&format!("{prefix}.latency.{kind}"), h);
+            }
+        }
+    }
 }
 
 /// The navigator-side database client.
@@ -408,6 +435,10 @@ pub struct DbClient {
     pub network_requests: u64,
     /// What the client has done so far.
     pub metrics: DbClientMetrics,
+    /// When set, every request opens a span (nested under the tracer's
+    /// current context) plus one child span per attempt, and the request
+    /// span's id rides the wire as the trace context.
+    tracer: Option<Tracer>,
 }
 
 impl DbClient {
@@ -429,7 +460,19 @@ impl DbClient {
             cache: ClientCache::new(cache_bytes),
             network_requests: 0,
             metrics: DbClientMetrics::default(),
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer; subsequent requests emit request/attempt spans
+    /// and carry the request span id on the wire.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// The active retry policy.
@@ -447,7 +490,16 @@ impl DbClient {
     pub fn request_at(&mut self, req: Request, now: SimTime) -> (u64, Bytes) {
         let id = self.next_req;
         self.next_req += 1;
-        let frame = req.encode(id);
+        let (span, attempt_span) = match &self.tracer {
+            Some(tr) => {
+                let s = tr.span(&format!("db.request {}", req.kind()), now);
+                tr.attr_u64(s, "req_id", id);
+                let a = tr.child(s, "attempt 1", now);
+                (s.as_u64(), a.as_u64())
+            }
+            None => (0, 0),
+        };
+        let frame = req.encode_traced(id, span);
         self.metrics.attempts += 1;
         self.metrics.bytes_sent += frame.len() as u64;
         self.pending.insert(
@@ -462,10 +514,27 @@ impl DbClient {
                 deadline: now + self.policy.deadline,
                 attempt_deadline: now + self.policy.attempt_timeout,
                 retry_at: None,
+                span,
+                attempt_span,
             },
         );
         self.network_requests += 1;
         (id, frame)
+    }
+
+    /// Close a pending request's attempt and request spans with an
+    /// `outcome` attribute. No-op when untraced.
+    fn end_spans(&self, p: &Pending, outcome: &str, now: SimTime) {
+        let Some(tr) = &self.tracer else { return };
+        if let Some(a) = SpanId::from_wire(p.attempt_span) {
+            tr.attr(a, "outcome", outcome);
+            tr.end(a, now);
+        }
+        if let Some(s) = SpanId::from_wire(p.span) {
+            tr.attr(s, "outcome", outcome);
+            tr.attr_u64(s, "attempts", u64::from(p.attempts));
+            tr.end(s, now);
+        }
     }
 
     /// Encode a request frame for the network. Returns `(req_id, frame)`.
@@ -574,7 +643,8 @@ impl DbClient {
                 // Correlate by the id prefix so the pending slot is
                 // released rather than leaked.
                 if let Some(req_id) = peek_req_id(frame) {
-                    if self.pending.remove(&req_id).is_some() {
+                    if let Some(p) = self.pending.remove(&req_id) {
+                        self.end_spans(&p, "decode_error", now);
                         return ClientEvent::Failed { req_id, error: e };
                     }
                 }
@@ -593,6 +663,21 @@ impl DbClient {
         if epoch < self.last_epoch {
             self.metrics.stale_epoch += 1;
             self.metrics.ignored += 1;
+            if let Some(tr) = &self.tracer {
+                let span = self
+                    .pending
+                    .get(&env.req_id)
+                    .and_then(|p| SpanId::from_wire(p.span));
+                tr.event_with(
+                    span,
+                    "stale_epoch_rejected",
+                    now,
+                    &[
+                        ("epoch", epoch.to_string()),
+                        ("floor", self.last_epoch.to_string()),
+                    ],
+                );
+            }
             return ClientEvent::Ignored;
         }
         self.last_epoch = epoch;
@@ -608,6 +693,18 @@ impl DbClient {
                     if retry_at < p.deadline {
                         p.retry_at = Some(retry_at);
                         p.attempt_deadline = p.deadline;
+                        if let Some(tr) = &self.tracer {
+                            if let Some(a) = SpanId::from_wire(p.attempt_span) {
+                                tr.attr(a, "outcome", "shed");
+                                tr.end(a, now);
+                            }
+                            tr.event_with(
+                                SpanId::from_wire(p.span),
+                                "retry_scheduled",
+                                now,
+                                &[("retry_at_us", retry_at.as_micros().to_string())],
+                            );
+                        }
                         return ClientEvent::RetryScheduled {
                             req_id: env.req_id,
                             retry_at,
@@ -617,6 +714,11 @@ impl DbClient {
             }
         }
         let p = self.pending.remove(&env.req_id).expect("checked above");
+        let outcome = match &env.body {
+            Response::Err(_) => "server_error",
+            _ => "ok",
+        };
+        self.end_spans(&p, outcome, now);
         match &env.body {
             Response::Objects(objs) => {
                 for o in objs {
@@ -665,6 +767,7 @@ impl DbClient {
             if now >= p.deadline {
                 let p = self.pending.remove(&id).expect("key from map");
                 self.metrics.expired += 1;
+                self.end_spans(&p, "expired", now);
                 actions.push(ClientAction::Expired {
                     req_id: id,
                     error: DbError::Unavailable(format!(
@@ -684,6 +787,12 @@ impl DbClient {
                     self.metrics.attempts += 1;
                     self.metrics.retries += 1;
                     self.metrics.bytes_sent += p.frame.len() as u64;
+                    if let Some(tr) = &self.tracer {
+                        if let Some(s) = SpanId::from_wire(p.span) {
+                            let a = tr.child(s, &format!("attempt {}", p.attempts), now);
+                            p.attempt_span = a.as_u64();
+                        }
+                    }
                     actions.push(ClientAction::Resend {
                         req_id: id,
                         frame: p.frame.clone(),
@@ -693,6 +802,13 @@ impl DbClient {
             }
             if now >= p.attempt_deadline {
                 self.metrics.timeouts += 1;
+                if let Some(tr) = &self.tracer {
+                    if let Some(a) = SpanId::from_wire(p.attempt_span) {
+                        tr.attr(a, "outcome", "timeout");
+                        tr.end(a, now);
+                        p.attempt_span = 0;
+                    }
+                }
                 if p.attempts < self.policy.max_attempts {
                     let jitter = 1.0 + self.policy.jitter_frac * self.rng.f64();
                     let backoff = self.policy.backoff(p.attempts).mul_f64(jitter);
@@ -704,6 +820,7 @@ impl DbClient {
                 }
                 let p = self.pending.remove(&id).expect("key from map");
                 self.metrics.expired += 1;
+                self.end_spans(&p, "expired", now);
                 actions.push(ClientAction::Expired {
                     req_id: id,
                     error: DbError::Unavailable(format!(
@@ -894,6 +1011,43 @@ mod tests {
             .latency_quantile(RequestKind::GetObject, 0.5)
             .expect("one sample");
         assert!((p50 - 0.62).abs() < 0.02, "p50 ≈ 620 ms, got {p50}");
+    }
+
+    #[test]
+    fn traced_retry_opens_one_span_per_attempt() {
+        use mits_sim::Tracer;
+        let (server, _, a) = setup();
+        let policy = RetryPolicy::interactive().with_jitter_frac(0.0);
+        let mut client = DbClient::with_policy(1 << 20, policy, 42);
+        let tr = Tracer::new();
+        client.set_tracer(tr.clone());
+        let (id, frame) = client.request_at(Request::GetObject { id: a }, SimTime::ZERO);
+        // The frame carries the request span as its trace context.
+        let span = client.pending(id).unwrap().span;
+        assert_ne!(span, 0);
+        assert_eq!(Request::decode(&frame).unwrap().trace, span);
+        // Attempt 1 times out, attempt 2 resends — and is byte-identical.
+        client.poll(SimTime::from_millis(500));
+        let actions = client.poll(SimTime::from_millis(600));
+        match &actions[..] {
+            [ClientAction::Resend { frame: f, .. }] => {
+                assert_eq!(f, &frame, "traced re-issue is byte-identical");
+            }
+            other => panic!("{other:?}"),
+        }
+        let resp = loopback(&server, &frame);
+        client.on_frame(&resp, SimTime::from_millis(620));
+        let spans = tr.spans();
+        let req = &spans[span as usize - 1];
+        assert_eq!(req.name, "db.request get_object");
+        assert_eq!(req.end, Some(SimTime::from_millis(620)));
+        let attempts: Vec<_> = spans.iter().filter(|s| s.parent == Some(req.id)).collect();
+        assert_eq!(attempts.len(), 2, "one child span per attempt");
+        assert_eq!(attempts[0].name, "attempt 1");
+        assert_eq!(attempts[0].end, Some(SimTime::from_millis(500)));
+        assert_eq!(attempts[1].name, "attempt 2");
+        assert_eq!(attempts[1].start, SimTime::from_millis(600));
+        assert_eq!(attempts[1].end, Some(SimTime::from_millis(620)));
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub use client::{
     ClientAction, ClientCache, ClientEvent, DbClient, DbClientMetrics, Pending, RetryPolicy,
 };
 pub use index::KeywordTree;
-pub use protocol::{peek_req_id, DbError, Envelope, Request, RequestKind, Response};
+pub use protocol::{
+    peek_req_id, peek_response_trace, DbError, Envelope, Request, RequestKind, Response,
+};
 pub use server::{CheckpointStats, DbServer, RecoveryReport, ServiceModel};
 pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC};
 pub use store::{ContentStore, ObjectStore};

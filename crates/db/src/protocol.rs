@@ -251,11 +251,24 @@ pub fn peek_req_id(frame: &[u8]) -> Option<u64> {
     Some(u64::from_be_bytes(raw))
 }
 
+/// Read a response's trace context off a frame without decoding the
+/// body. Returns the raw span id (0 = untraced); the trace rides right
+/// after the correlation id and epoch.
+pub fn peek_response_trace(frame: &[u8]) -> Option<u64> {
+    let raw: [u8; 8] = frame.get(16..24)?.try_into().ok()?;
+    Some(u64::from_be_bytes(raw))
+}
+
 /// A correlated protocol message (request or response share the id).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope<T> {
     /// Correlation id chosen by the client.
     pub req_id: u64,
+    /// Trace context: the client-side request span id, or 0 when the
+    /// issuer is not tracing. Echoed verbatim by the server so every
+    /// hop of a query — including retries and failovers — lands under
+    /// one span tree.
+    pub trace: u64,
     /// Payload.
     pub body: T,
 }
@@ -413,10 +426,18 @@ fn read_tree_into(r: &mut R<'_>, tree: &mut KeywordTree, path: &str) -> DR<()> {
 // ---------- request codec ----------
 
 impl Request {
-    /// Encode an enveloped request.
+    /// Encode an enveloped request with no trace context.
     pub fn encode(&self, req_id: u64) -> Bytes {
+        self.encode_traced(req_id, 0)
+    }
+
+    /// Encode an enveloped request carrying a trace context (the
+    /// client's request span id; 0 = untraced). The trace rides right
+    /// after the correlation id, before the operation tag.
+    pub fn encode_traced(&self, req_id: u64, trace: u64) -> Bytes {
         let mut w = W::new();
         w.u64(req_id);
+        w.u64(trace);
         match self {
             Request::ListDocs => w.u8(1),
             Request::GetDoc { name } => {
@@ -457,6 +478,7 @@ impl Request {
     pub fn decode(data: &[u8]) -> DR<Envelope<Request>> {
         let mut r = R::new(data);
         let req_id = r.u64()?;
+        let trace = r.u64()?;
         let body = match r.u8()? {
             1 => Request::ListDocs,
             2 => Request::GetDoc { name: r.str()? },
@@ -479,7 +501,11 @@ impl Request {
             t => return Err(DbError::Malformed(format!("unknown request tag {t}"))),
         };
         r.done()?;
-        Ok(Envelope { req_id, body })
+        Ok(Envelope {
+            req_id,
+            trace,
+            body,
+        })
     }
 }
 
@@ -497,9 +523,18 @@ impl Response {
     /// so clients can reject a stale primary's answer without decoding
     /// the body.
     pub fn encode_with_epoch(&self, req_id: u64, epoch: u64) -> Bytes {
+        self.encode_with_epoch_traced(req_id, epoch, 0)
+    }
+
+    /// Encode an enveloped response stamped with the failover `epoch`
+    /// and echoing the request's trace context (0 = untraced). The
+    /// trace rides after the epoch so [`peek_response_trace`] can read
+    /// it without decoding the body.
+    pub fn encode_with_epoch_traced(&self, req_id: u64, epoch: u64, trace: u64) -> Bytes {
         let mut w = W::new();
         w.u64(req_id);
         w.u64(epoch);
+        w.u64(trace);
         match self {
             Response::DocList(list) => {
                 w.u8(1);
@@ -570,6 +605,7 @@ impl Response {
         let mut r = R::new(data);
         let req_id = r.u64()?;
         let epoch = r.u64()?;
+        let trace = r.u64()?;
         let body = match r.u8()? {
             1 => {
                 let n = r.u32()? as usize;
@@ -616,7 +652,14 @@ impl Response {
             t => return Err(DbError::Malformed(format!("unknown response tag {t}"))),
         };
         r.done()?;
-        Ok((Envelope { req_id, body }, epoch))
+        Ok((
+            Envelope {
+                req_id,
+                trace,
+                body,
+            },
+            epoch,
+        ))
     }
 }
 
@@ -729,8 +772,28 @@ mod tests {
     fn unknown_tags_rejected() {
         let mut w = W::new();
         w.u64(1);
+        w.u64(0); // trace
         w.u8(200);
         assert!(Request::decode(&w.fin()).is_err());
+    }
+
+    #[test]
+    fn trace_context_round_trips_on_both_directions() {
+        let wire = Request::ListDocs.encode_traced(5, 77);
+        let env = Request::decode(&wire).unwrap();
+        assert_eq!((env.req_id, env.trace), (5, 77));
+        // The untraced shim stamps 0.
+        assert_eq!(
+            Request::decode(&Request::ListDocs.encode(5)).unwrap().trace,
+            0
+        );
+
+        let wire = Response::Ack.encode_with_epoch_traced(5, 3, 77);
+        assert_eq!(peek_req_id(&wire), Some(5));
+        assert_eq!(peek_response_trace(&wire), Some(77));
+        let (env, epoch) = Response::decode_with_epoch(&wire).unwrap();
+        assert_eq!((env.req_id, epoch, env.trace), (5, 3, 77));
+        assert_eq!(peek_response_trace(&wire[..20]), None);
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub struct DbServer {
     /// Failover epoch stamped on every response; replicas promoted to
     /// primary bump it so clients can reject a stale primary's answers.
     epoch: RwLock<u64>,
+    /// WAL records appended (local mutations + shipped frames).
+    wal_records_journaled: RwLock<u64>,
+    /// WAL bytes appended (framed size).
+    wal_bytes_journaled: RwLock<u64>,
+    /// Bytes replayed off the devices by [`DbServer::recover`].
+    wal_bytes_replayed: RwLock<u64>,
+    /// Checkpoints taken.
+    checkpoints_taken: RwLock<u64>,
 }
 
 impl Default for DbServer {
@@ -99,6 +107,10 @@ impl DbServer {
             outbox: Mutex::new(Vec::new()),
             shipping: Mutex::new(false),
             epoch: RwLock::new(0),
+            wal_records_journaled: RwLock::new(0),
+            wal_bytes_journaled: RwLock::new(0),
+            wal_bytes_replayed: RwLock::new(0),
+            checkpoints_taken: RwLock::new(0),
         }
     }
 
@@ -177,6 +189,8 @@ impl DbServer {
         let mut wal = self.wal.lock();
         if let Some(w) = wal.as_mut() {
             let (_, frame) = w.append(rec);
+            *self.wal_records_journaled.write() += 1;
+            *self.wal_bytes_journaled.write() += frame.len() as u64;
             if *self.shipping.lock() {
                 self.outbox.lock().push(frame);
             }
@@ -354,6 +368,7 @@ impl DbServer {
         wal.advance_seq_to(through_seq);
         *server.wal.lock() = Some(wal);
         *server.snap.lock() = Some(snap_dev);
+        *server.wal_bytes_replayed.write() = report.replayed_bytes();
         (server, report)
     }
 
@@ -400,7 +415,12 @@ impl DbServer {
         let rec = {
             let mut wal = self.wal.lock();
             match wal.as_mut() {
-                Some(w) => w.append_frame(frame)?.1,
+                Some(w) => {
+                    let rec = w.append_frame(frame)?.1;
+                    *self.wal_records_journaled.write() += 1;
+                    *self.wal_bytes_journaled.write() += frame.len() as u64;
+                    rec
+                }
                 None => {
                     let (_, payload, _) = wal::decode_frame(frame)?;
                     WalRecord::decode(payload)?
@@ -442,6 +462,7 @@ impl DbServer {
         snap.append(&bytes);
         let truncated_wal_bytes = wal.device_len() as u64;
         wal.truncate();
+        *self.checkpoints_taken.write() += 1;
         Some(CheckpointStats {
             records: records.len() as u64,
             snapshot_bytes: bytes.len() as u64,
@@ -479,6 +500,42 @@ impl DbServer {
     /// above every epoch it may have answered under before the crash).
     pub fn set_epoch(&self, epoch: u64) {
         *self.epoch.write() = epoch;
+    }
+
+    /// Snapshot the server's counters into `reg` under `prefix` (e.g.
+    /// `db.server0`): requests served/shed, WAL records and bytes
+    /// journaled, bytes replayed at the last recovery, checkpoints, the
+    /// live WAL device size, and the failover epoch.
+    pub fn export_metrics(&self, reg: &mits_sim::MetricsRegistry, prefix: &str) {
+        reg.counter_set(
+            &format!("{prefix}.requests_served"),
+            *self.requests_served.read(),
+        );
+        reg.counter_set(
+            &format!("{prefix}.requests_shed"),
+            *self.requests_shed.read(),
+        );
+        reg.counter_set(
+            &format!("{prefix}.wal.records_journaled"),
+            *self.wal_records_journaled.read(),
+        );
+        reg.counter_set(
+            &format!("{prefix}.wal.bytes_journaled"),
+            *self.wal_bytes_journaled.read(),
+        );
+        reg.counter_set(
+            &format!("{prefix}.wal.bytes_replayed"),
+            *self.wal_bytes_replayed.read(),
+        );
+        reg.counter_set(
+            &format!("{prefix}.checkpoints"),
+            *self.checkpoints_taken.read(),
+        );
+        reg.gauge_set(
+            &format!("{prefix}.wal.device_bytes"),
+            self.wal_device_len() as f64,
+        );
+        reg.gauge_set(&format!("{prefix}.epoch"), self.epoch() as f64);
     }
 
     /// Order-independent digest of the visible store state (objects with

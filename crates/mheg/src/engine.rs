@@ -163,6 +163,17 @@ pub struct EngineStats {
     pub events_emitted: u64,
 }
 
+impl EngineStats {
+    /// Snapshot the counters into `reg` under `prefix` (e.g. `mheg`).
+    pub fn export_metrics(&self, reg: &mits_sim::MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.ingested"), self.ingested);
+        reg.counter_set(&format!("{prefix}.rt_created"), self.rt_created);
+        reg.counter_set(&format!("{prefix}.links_fired"), self.links_fired);
+        reg.counter_set(&format!("{prefix}.actions_applied"), self.actions_applied);
+        reg.counter_set(&format!("{prefix}.events_emitted"), self.events_emitted);
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LinkOrigin {
     /// From an interchanged link object.

@@ -358,6 +358,18 @@ impl PresentationSession {
     pub fn engine_stats(&self) -> mits_mheg::engine::EngineStats {
         self.engine.stats
     }
+
+    /// Snapshot the session's MHEG engine counters and degradation state
+    /// into `reg`: engine action rates under `mheg.*`, plus the number
+    /// of degraded elements and completion under `presentation.*`.
+    pub fn export_metrics(&self, reg: &mits_sim::MetricsRegistry) {
+        self.engine.stats.export_metrics(reg, "mheg");
+        reg.counter_set("presentation.degraded_elements", self.degraded.len() as u64);
+        reg.gauge_set(
+            "presentation.completed",
+            if self.completed() { 1.0 } else { 0.0 },
+        );
+    }
 }
 
 #[cfg(test)]

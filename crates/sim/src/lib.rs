@@ -21,6 +21,10 @@
 //!   every benchmark table in `EXPERIMENTS.md`.
 //! * [`queue`] — bounded FIFO queues with drop accounting and a token-bucket
 //!   (leaky-bucket) regulator, the building blocks of the ATM switch.
+//! * [`trace`] — deterministic hierarchical spans/events stamped with
+//!   [`SimTime`], with JSONL and latency-waterfall exporters.
+//! * [`registry`] — a unified [`MetricsRegistry`] of named counters, gauges
+//!   and histograms that every layer of the stack exports into.
 //!
 //! ## Example
 //!
@@ -41,12 +45,16 @@
 
 pub mod event;
 pub mod queue;
+pub mod registry;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventQueue, Scheduler, Simulation};
 pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
+pub use registry::{MetricValue, MetricsRegistry};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanId, SpanInfo, Tracer};

@@ -1,0 +1,243 @@
+//! A unified metrics registry: named counters, gauges and histograms
+//! that every layer of the MITS stack registers into.
+//!
+//! Before this existed each layer kept private ad-hoc counters
+//! (`DbClientMetrics`, `FaultStats`, `CodReport`, ...). The registry
+//! gives them one namespace — dotted, lowercase names such as
+//! `atm.link.client0->switch.drops` or `db.server0.wal.bytes_journaled`
+//! — and two deterministic exporters: an aligned text snapshot for the
+//! bench tables and a JSON object for machine consumption. Names are
+//! stored in a `BTreeMap`, so export order is sorted and byte-stable.
+//!
+//! Counters are monotonic `u64`s, gauges are instantaneous `f64`s, and
+//! histograms reuse [`Histogram`] from the stats module (exported as
+//! count plus p50/p99). There is no background aggregation thread —
+//! the simulation is single-threaded and layers either update metrics
+//! in place or snapshot their internal stats into the registry at
+//! export time.
+
+use crate::stats::Histogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One named metric's value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Instantaneous measurement.
+    Gauge(f64),
+    /// Distribution of samples.
+    Histogram(Histogram),
+}
+
+/// A shared, cloneable registry of named metrics. Clones view the same
+/// underlying map, so each layer can hold its own handle.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    map: Arc<Mutex<BTreeMap<String, MetricValue>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to the counter `name`, creating it at zero first. If
+    /// `name` exists with a different type it becomes a counter.
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut map = self.map.lock();
+        let v = match map.get(name) {
+            Some(MetricValue::Counter(c)) => c + by,
+            _ => by,
+        };
+        map.insert(name.to_string(), MetricValue::Counter(v));
+    }
+
+    /// Set the counter `name` to an absolute value (for layers that
+    /// already maintain their own totals and snapshot them at export).
+    pub fn counter_set(&self, name: &str, value: u64) {
+        self.map
+            .lock()
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Set the gauge `name`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.map
+            .lock()
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Record one sample into the histogram `name`, creating it with
+    /// range `[lo, hi)` and `bins` buckets if absent. An existing
+    /// non-histogram entry is replaced.
+    pub fn observe(&self, name: &str, x: f64, lo: f64, hi: f64, bins: usize) {
+        let mut map = self.map.lock();
+        match map.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.record(x),
+            _ => {
+                let mut h = Histogram::new(lo, hi, bins);
+                h.record(x);
+                map.insert(name.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// Store a snapshot of an externally maintained histogram under
+    /// `name` (replacing any previous snapshot).
+    pub fn record_histogram(&self, name: &str, h: &Histogram) {
+        self.map
+            .lock()
+            .insert(name.to_string(), MetricValue::Histogram(h.clone()));
+    }
+
+    /// Current value of the counter `name`, if it is a counter.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        match self.map.lock().get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Current value of the gauge `name`, if it is a gauge.
+    pub fn get_gauge(&self, name: &str) -> Option<f64> {
+        match self.map.lock().get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// All metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.map.lock().keys().cloned().collect()
+    }
+
+    /// Aligned text snapshot, one metric per line, names sorted.
+    /// Histograms render as `count=N p50=X p99=Y`.
+    pub fn to_text(&self) -> String {
+        let map = self.map.lock();
+        let width = map.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, v) in map.iter() {
+            let _ = write!(out, "{name:<width$}  ");
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{g:.6}");
+                }
+                MetricValue::Histogram(h) => {
+                    let p50 = h.quantile(0.50).unwrap_or(0.0);
+                    let p99 = h.quantile(0.99).unwrap_or(0.0);
+                    let _ = writeln!(out, "count={} p50={:.3} p99={:.3}", h.count(), p50, p99);
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object snapshot (hand-written; names sorted). Counters are
+    /// integers, gauges floats, histograms
+    /// `{"count":N,"p50":X,"p99":Y}`.
+    pub fn to_json(&self) -> String {
+        let map = self.map.lock();
+        let mut out = String::from("{");
+        for (i, (name, v)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", crate::trace::json_escape(name));
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, "{g:.6}");
+                }
+                MetricValue::Histogram(h) => {
+                    let p50 = h.quantile(0.50).unwrap_or(0.0);
+                    let p99 = h.quantile(0.99).unwrap_or(0.0);
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"p50\":{:.3},\"p99\":{:.3}}}",
+                        h.count(),
+                        p50,
+                        p99
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_set() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a.count", 2);
+        reg.inc("a.count", 3);
+        assert_eq!(reg.get_counter("a.count"), Some(5));
+        reg.counter_set("a.count", 1);
+        assert_eq!(reg.get_counter("a.count"), Some(1));
+        assert_eq!(reg.get_counter("missing"), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = MetricsRegistry::new();
+        let other = reg.clone();
+        other.inc("shared", 7);
+        assert_eq!(reg.get_counter("shared"), Some(7));
+    }
+
+    #[test]
+    fn text_export_is_sorted_and_aligned() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("zz.util", 0.25);
+        reg.inc("aa.count", 4);
+        reg.observe("mm.lat", 1.0, 0.0, 10.0, 10);
+        reg.observe("mm.lat", 2.0, 0.0, 10.0, 10);
+        let text = reg.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("aa.count"));
+        assert!(lines[1].starts_with("mm.lat"));
+        assert!(lines[2].starts_with("zz.util"));
+        assert!(lines[1].contains("count=2"));
+        let a = reg.to_text();
+        let b = reg.to_text();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_export_has_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.inc("c", 3);
+        reg.gauge_set("g", 0.5);
+        reg.observe("h", 1.0, 0.0, 2.0, 4);
+        let json = reg.to_json();
+        assert_eq!(
+            json,
+            "{\"c\":3,\"g\":0.500000,\"h\":{\"count\":1,\"p50\":1.500,\"p99\":1.500}}"
+        );
+    }
+}

@@ -166,19 +166,52 @@ impl Histogram {
         &self.bins
     }
 
-    /// Approximate `q`-quantile (0 ≤ q ≤ 1) by linear interpolation within
-    /// the containing bin. Underflow samples count as `lo`, overflow as `hi`.
+    /// Approximate `q`-quantile by linear interpolation within the
+    /// containing bin.
+    ///
+    /// Return behavior, exhaustively:
+    ///
+    /// * **Empty histogram** (`count == 0`): `None`, for every `q`.
+    /// * **`q` outside `[0, 1]`** is clamped; a **NaN** `q` is treated
+    ///   as `0.0`.
+    /// * **`q == 0.0`**: the left edge of the lowest occupied region —
+    ///   `lo` if any underflow sample exists, else the left edge of the
+    ///   first non-empty bin, else `hi` (all samples in overflow).
+    /// * **`q == 1.0`**: the right edge of the highest occupied region —
+    ///   `hi` if any overflow sample exists, else the right edge of the
+    ///   last non-empty bin, else `lo` (all samples in underflow).
+    /// * **Interior `q`**: underflow samples count as `lo`, overflow as
+    ///   `hi`; in particular, if every sample landed in overflow the
+    ///   result is `hi`, never a value beyond the range.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        if q == 0.0 {
+            if self.underflow > 0 {
+                return Some(self.lo);
+            }
+            return Some(match self.bins.iter().position(|&b| b > 0) {
+                Some(i) => self.lo + w * i as f64,
+                None => self.hi, // all samples in overflow
+            });
+        }
+        if q == 1.0 {
+            if self.overflow > 0 {
+                return Some(self.hi);
+            }
+            return Some(match self.bins.iter().rposition(|&b| b > 0) {
+                Some(i) => self.lo + w * (i + 1) as f64,
+                None => self.lo, // all samples in underflow
+            });
+        }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = self.underflow;
         if cum >= target {
             return Some(self.lo);
         }
-        let w = (self.hi - self.lo) / self.bins.len() as f64;
         for (i, &b) in self.bins.iter().enumerate() {
             if cum + b >= target {
                 let within = (target - cum) as f64 / b.max(1) as f64;
@@ -242,14 +275,18 @@ impl TimeWeighted {
 
     /// Record that the signal changed to `v` at time `t`.
     ///
-    /// Times must be non-decreasing.
+    /// Times should be non-decreasing; a `t` earlier than the previous
+    /// call is clamped to that call's time (the out-of-order update
+    /// contributes zero weight for the past, then takes effect as the
+    /// new current value), so the collector never goes backwards and
+    /// `mean_until` stays finite and within the observed value range.
     pub fn set(&mut self, t: SimTime, v: f64) {
+        let t = t.max(self.last_t);
         match self.started {
             None => {
                 self.started = Some(t);
             }
             Some(_) => {
-                debug_assert!(t >= self.last_t, "time went backwards");
                 let dt = t.since(self.last_t).as_secs_f64();
                 self.weighted_sum += self.last_v * dt;
             }
@@ -390,6 +427,61 @@ mod tests {
     fn histogram_quantile_empty() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.median(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_quantile_extremes_track_occupied_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(3.5); // bin 3: [3, 4)
+        h.record(7.2); // bin 7: [7, 8)
+        assert_eq!(h.quantile(0.0), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        // Under/overflow samples pull the extremes to the range edges.
+        h.record(-1.0);
+        h.record(99.0);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_quantile_all_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(5.0);
+        h.record(6.0);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_quantile_all_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_weird_q() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(4.5);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+    }
+
+    #[test]
+    fn time_weighted_out_of_order_set_is_clamped() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(2), 4.0);
+        // Out-of-order update: clamped to t=2, becomes the current value.
+        tw.set(SimTime::from_secs(1), 8.0);
+        let mean = tw.mean_until(SimTime::from_secs(4));
+        assert!((mean - 8.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(tw.current(), 8.0);
     }
 
     #[test]

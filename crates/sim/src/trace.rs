@@ -1,0 +1,493 @@
+//! Deterministic hierarchical tracing stamped with virtual time.
+//!
+//! The MITS evaluation needs to explain *where* a slow or degraded
+//! playback spent its deadline: which query attempt died on the lossy
+//! uplink, how long the server's service centre held a request, what a
+//! restarted server replayed before it answered. This module provides
+//! spans (named intervals with a parent) and events (named instants),
+//! all stamped with [`SimTime`] — never a wall clock — so that **two
+//! runs with the same seed produce byte-identical trace output**. A
+//! trace is therefore usable as a regression witness: `scripts/check.sh`
+//! diffs the example trace against a checked-in golden file.
+//!
+//! Span ids are assigned sequentially in creation order, which in a
+//! deterministic simulation is itself deterministic. The id of a span
+//! doubles as the trace context that rides the DB wire protocol
+//! (`mits-db` reserves `0` for "no trace"), so the server side of a
+//! request can parent its own spans under the client's request span —
+//! client, network and server all share one process here, and one
+//! [`Tracer`].
+//!
+//! Exports: [`Tracer::to_jsonl`] (one JSON object per line; spans in id
+//! order, then events in record order) and [`Tracer::waterfall`] (a
+//! text span-tree with offset/duration bars for one root span). JSON is
+//! hand-written: the workspace deliberately vendors no JSON crate, and
+//! the subset needed here — objects of strings and integers — is tiny.
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Identifies one span in a [`Tracer`]. Ids start at 1; the raw value
+/// `0` is reserved on the wire for "no trace context".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw id, as carried in protocol headers.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a span id from a wire value; `0` means no context.
+    pub fn from_wire(raw: u64) -> Option<SpanId> {
+        (raw != 0).then_some(SpanId(raw))
+    }
+}
+
+/// A read-only copy of one span's record (introspection and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanInfo {
+    /// The span's id.
+    pub id: SpanId,
+    /// Parent span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name.
+    pub name: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant; `None` while the span is open.
+    pub end: Option<SimTime>,
+    /// Attributes in record order (export sorts and dedups them).
+    pub attrs: Vec<(String, String)>,
+}
+
+struct SpanRec {
+    parent: Option<u64>,
+    name: String,
+    start: SimTime,
+    end: Option<SimTime>,
+    attrs: Vec<(String, String)>,
+}
+
+struct EventRec {
+    span: Option<u64>,
+    name: String,
+    at: SimTime,
+    attrs: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct TraceBuf {
+    spans: Vec<SpanRec>,
+    events: Vec<EventRec>,
+    /// Current-parent stack for implicit nesting (e.g. a Course-On-Demand
+    /// stage pushes itself so the DB requests it triggers nest under it).
+    stack: Vec<u64>,
+}
+
+/// A shared, cloneable collector of spans and events.
+///
+/// All mutation goes through a mutex, so one `Tracer` can be cloned into
+/// every layer of the system (client, network pump, server, session)
+/// without borrow gymnastics. The simulation is single-threaded, so the
+/// lock is uncontended and ordering is deterministic.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    buf: Arc<Mutex<TraceBuf>>,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    fn push_span(&self, parent: Option<u64>, name: &str, at: SimTime) -> SpanId {
+        let mut buf = self.buf.lock();
+        buf.spans.push(SpanRec {
+            parent,
+            name: name.to_string(),
+            start: at,
+            end: None,
+            attrs: Vec::new(),
+        });
+        SpanId(buf.spans.len() as u64)
+    }
+
+    /// Open a span nested under the current context (see
+    /// [`Tracer::push_context`]), or at the root when no context is set.
+    pub fn span(&self, name: &str, at: SimTime) -> SpanId {
+        let parent = self.buf.lock().stack.last().copied();
+        self.push_span(parent, name, at)
+    }
+
+    /// Open a span with an explicit parent.
+    pub fn child(&self, parent: SpanId, name: &str, at: SimTime) -> SpanId {
+        self.push_span(Some(parent.0), name, at)
+    }
+
+    /// Open a root span (no parent, regardless of context).
+    pub fn root_span(&self, name: &str, at: SimTime) -> SpanId {
+        self.push_span(None, name, at)
+    }
+
+    /// Close a span. Closing an already-closed span moves its end (the
+    /// last close wins); spans never closed export with `"end_us":null`.
+    pub fn end(&self, id: SpanId, at: SimTime) {
+        let mut buf = self.buf.lock();
+        if let Some(rec) = buf.spans.get_mut(id.0 as usize - 1) {
+            rec.end = Some(at);
+        }
+    }
+
+    /// Attach a string attribute to a span (appended; keys are sorted at
+    /// export time, and a later duplicate key overrides an earlier one).
+    pub fn attr(&self, id: SpanId, key: &str, value: &str) {
+        let mut buf = self.buf.lock();
+        if let Some(rec) = buf.spans.get_mut(id.0 as usize - 1) {
+            rec.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Attach an integer attribute to a span.
+    pub fn attr_u64(&self, id: SpanId, key: &str, value: u64) {
+        self.attr(id, key, &value.to_string());
+    }
+
+    /// Record an instantaneous event, optionally tied to a span.
+    pub fn event(&self, span: Option<SpanId>, name: &str, at: SimTime) {
+        self.event_with(span, name, at, &[]);
+    }
+
+    /// Record an event carrying attributes.
+    pub fn event_with(
+        &self,
+        span: Option<SpanId>,
+        name: &str,
+        at: SimTime,
+        attrs: &[(&str, String)],
+    ) {
+        let mut buf = self.buf.lock();
+        buf.events.push(EventRec {
+            span: span.map(|s| s.0),
+            name: name.to_string(),
+            at,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Push a span onto the context stack: spans opened with
+    /// [`Tracer::span`] nest under it until the matching
+    /// [`Tracer::pop_context`].
+    pub fn push_context(&self, id: SpanId) {
+        self.buf.lock().stack.push(id.0);
+    }
+
+    /// Pop the innermost context span.
+    pub fn pop_context(&self) {
+        self.buf.lock().stack.pop();
+    }
+
+    /// The current context span, if any.
+    pub fn context(&self) -> Option<SpanId> {
+        self.buf.lock().stack.last().map(|&id| SpanId(id))
+    }
+
+    /// Number of spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.buf.lock().spans.len()
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.buf.lock().events.len()
+    }
+
+    /// Read-only copies of every span, in id order.
+    pub fn spans(&self) -> Vec<SpanInfo> {
+        let buf = self.buf.lock();
+        buf.spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SpanInfo {
+                id: SpanId(i as u64 + 1),
+                parent: s.parent.map(SpanId),
+                name: s.name.clone(),
+                start: s.start,
+                end: s.end,
+                attrs: s.attrs.clone(),
+            })
+            .collect()
+    }
+
+    // ---------- exporters ----------
+
+    /// Serialize the whole trace as JSON Lines: every span (in id order),
+    /// then every event (in record order). Deterministic byte for byte
+    /// for a given sequence of calls — the regression-witness property.
+    pub fn to_jsonl(&self) -> String {
+        let buf = self.buf.lock();
+        let mut out = String::new();
+        for (i, s) in buf.spans.iter().enumerate() {
+            let _ = write!(out, "{{\"t\":\"span\",\"id\":{}", i + 1);
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(out, ",\"parent\":{p}");
+                }
+                None => out.push_str(",\"parent\":null"),
+            }
+            let _ = write!(out, ",\"name\":\"{}\"", json_escape(&s.name));
+            let _ = write!(out, ",\"start_us\":{}", s.start.as_micros());
+            match s.end {
+                Some(e) => {
+                    let _ = write!(out, ",\"end_us\":{}", e.as_micros());
+                }
+                None => out.push_str(",\"end_us\":null"),
+            }
+            write_attrs(&mut out, &s.attrs);
+            out.push_str("}\n");
+        }
+        for e in &buf.events {
+            out.push_str("{\"t\":\"event\"");
+            match e.span {
+                Some(s) => {
+                    let _ = write!(out, ",\"span\":{s}");
+                }
+                None => out.push_str(",\"span\":null"),
+            }
+            let _ = write!(out, ",\"name\":\"{}\"", json_escape(&e.name));
+            let _ = write!(out, ",\"at_us\":{}", e.at.as_micros());
+            write_attrs(&mut out, &e.attrs);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Render the span tree under `root` as a text "latency waterfall":
+    /// one line per span with its offset from the root, its duration,
+    /// and a bar showing where in the root's lifetime it ran. Children
+    /// print in id (creation) order, depth first. Open spans render with
+    /// a `+` after the offset and a zero-length bar.
+    pub fn waterfall(&self, root: SpanId) -> String {
+        let spans = self.spans();
+        let Some(root_info) = spans.iter().find(|s| s.id == root) else {
+            return String::new();
+        };
+        let t0 = root_info.start;
+        // The root's extent: its own end, or the latest end among spans
+        // (an unfinished session still renders meaningfully).
+        let t1 = root_info
+            .end
+            .or_else(|| spans.iter().filter_map(|s| s.end).max())
+            .unwrap_or(t0);
+        let total_us = t1.since(t0).as_micros().max(1);
+        let mut out = String::new();
+        let mut stack = vec![(root, 0usize)];
+        while let Some((id, depth)) = stack.pop() {
+            let s = spans
+                .iter()
+                .find(|s| s.id == id)
+                .expect("ids come from the span list");
+            let off_us = s.start.since(t0).as_micros();
+            let (dur_us, open) = match s.end {
+                Some(e) => (e.since(s.start).as_micros(), false),
+                None => (0, true),
+            };
+            const BAR: u64 = 32;
+            let bar_start = (off_us.min(total_us) * BAR) / total_us;
+            let bar_len = ((dur_us * BAR) / total_us).max(u64::from(dur_us > 0));
+            let bar_len = bar_len.min(BAR - bar_start.min(BAR));
+            let mut bar = String::with_capacity(BAR as usize);
+            for i in 0..BAR {
+                bar.push(if i >= bar_start && i < bar_start + bar_len {
+                    '#'
+                } else {
+                    '.'
+                });
+            }
+            let _ = writeln!(
+                out,
+                "{:>10}{} {:>9} |{}| {:indent$}{}",
+                fmt_ms(off_us),
+                if open { '+' } else { ' ' },
+                fmt_ms(dur_us),
+                bar,
+                "",
+                s.name,
+                indent = depth * 2,
+            );
+            // Push children in reverse id order so they pop in id order.
+            let mut children: Vec<SpanId> = spans
+                .iter()
+                .filter(|c| c.parent == Some(id))
+                .map(|c| c.id)
+                .collect();
+            children.reverse();
+            for c in children {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+/// Milliseconds with fixed microsecond precision — integer math only,
+/// so the rendering is deterministic.
+fn fmt_ms(us: u64) -> String {
+    format!("{}.{:03}ms", us / 1000, us % 1000)
+}
+
+fn write_attrs(out: &mut String, attrs: &[(String, String)]) {
+    out.push_str(",\"attrs\":{");
+    // Sort keys for canonical output; the last write of a key wins.
+    let mut sorted: Vec<&(String, String)> = attrs.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut prev: Option<&str> = None;
+    let mut first = true;
+    let mut i = 0;
+    while i < sorted.len() {
+        // Skip all but the last occurrence of a key.
+        if i + 1 < sorted.len() && sorted[i + 1].0 == sorted[i].0 {
+            i += 1;
+            continue;
+        }
+        let (k, v) = sorted[i];
+        if prev != Some(k.as_str()) {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+            first = false;
+            prev = Some(k.as_str());
+        }
+        i += 1;
+    }
+    out.push('}');
+}
+
+/// Escape a string for a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn span_ids_are_sequential_and_nonzero() {
+        let tr = Tracer::new();
+        let a = tr.span("a", SimTime::ZERO);
+        let b = tr.span("b", SimTime::ZERO);
+        assert_eq!(a.as_u64(), 1);
+        assert_eq!(b.as_u64(), 2);
+        assert_eq!(SpanId::from_wire(0), None);
+        assert_eq!(SpanId::from_wire(2), Some(b));
+    }
+
+    #[test]
+    fn context_stack_nests_spans() {
+        let tr = Tracer::new();
+        let root = tr.root_span("session", SimTime::ZERO);
+        tr.push_context(root);
+        let child = tr.span("request", SimTime::from_millis(1));
+        tr.pop_context();
+        let orphan = tr.span("later", SimTime::from_millis(2));
+        let spans = tr.spans();
+        assert_eq!(spans[child.as_u64() as usize - 1].parent, Some(root));
+        assert_eq!(spans[orphan.as_u64() as usize - 1].parent, None);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_escaped() {
+        let build = || {
+            let tr = Tracer::new();
+            let s = tr.root_span("say \"hi\"\n", SimTime::from_micros(5));
+            tr.attr(s, "kind", "demo");
+            tr.attr_u64(s, "bytes", 42);
+            tr.end(s, SimTime::from_micros(9));
+            tr.event_with(
+                Some(s),
+                "tick",
+                SimTime::from_micros(7),
+                &[("n", "1".into())],
+            );
+            tr.to_jsonl()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "byte-identical across runs");
+        assert_eq!(
+            a,
+            "{\"t\":\"span\",\"id\":1,\"parent\":null,\"name\":\"say \\\"hi\\\"\\n\",\
+             \"start_us\":5,\"end_us\":9,\"attrs\":{\"bytes\":\"42\",\"kind\":\"demo\"}}\n\
+             {\"t\":\"event\",\"span\":1,\"name\":\"tick\",\"at_us\":7,\"attrs\":{\"n\":\"1\"}}\n"
+        );
+    }
+
+    #[test]
+    fn duplicate_attr_keys_last_write_wins() {
+        let tr = Tracer::new();
+        let s = tr.root_span("s", SimTime::ZERO);
+        tr.attr(s, "outcome", "pending");
+        tr.attr(s, "outcome", "ok");
+        tr.end(s, SimTime::ZERO);
+        let line = tr.to_jsonl();
+        assert!(line.contains("\"outcome\":\"ok\""), "{line}");
+        assert!(!line.contains("pending"), "{line}");
+    }
+
+    #[test]
+    fn waterfall_renders_tree_in_creation_order() {
+        let tr = Tracer::new();
+        let root = tr.root_span("session", SimTime::ZERO);
+        let a = tr.child(root, "first", SimTime::from_millis(0));
+        tr.end(a, SimTime::from_millis(40));
+        let b = tr.child(root, "second", SimTime::from_millis(60));
+        let ba = tr.child(b, "nested", SimTime::from_millis(70));
+        tr.end(ba, SimTime::from_millis(80));
+        tr.end(b, SimTime::from_millis(100));
+        tr.end(root, SimTime::from_millis(100));
+        let w = tr.waterfall(root);
+        let lines: Vec<&str> = w.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with("session"));
+        assert!(lines[1].ends_with("  first"));
+        assert!(lines[2].ends_with("  second"));
+        assert!(lines[3].ends_with("    nested"));
+        // The first child's bar starts at the left edge, the second's
+        // past the middle.
+        assert!(lines[1].contains("|#"));
+        assert!(lines[2].contains("....#"), "{w}");
+    }
+
+    #[test]
+    fn open_spans_export_null_end() {
+        let tr = Tracer::new();
+        let s = tr.root_span("open", SimTime::from_secs(1) + SimDuration::ZERO);
+        let _ = s;
+        assert!(tr.to_jsonl().contains("\"end_us\":null"));
+        let w = tr.waterfall(s);
+        assert!(w.contains('+'), "open marker: {w}");
+    }
+}

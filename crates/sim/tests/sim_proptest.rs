@@ -1,8 +1,18 @@
 //! Property tests for the simulation kernel: event ordering, statistics
 //! merge equivalence, histogram conservation, token-bucket conformance.
 
-use mits_sim::{Histogram, OnlineStats, SimDuration, SimTime, Simulation, TokenBucket};
+use mits_sim::{
+    Histogram, OnlineStats, SimDuration, SimTime, Simulation, TimeWeighted, TokenBucket,
+};
 use proptest::prelude::*;
+
+fn stats_approx_eq(a: &OnlineStats, b: &OnlineStats) -> bool {
+    a.count() == b.count()
+        && (a.mean() - b.mean()).abs() < 1e-6 * (1.0 + b.mean().abs())
+        && (a.variance() - b.variance()).abs() < 1e-3 * (1.0 + b.variance())
+        && a.min() == b.min()
+        && a.max() == b.max()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -80,6 +90,95 @@ proptest! {
             let med = h.median().unwrap();
             prop_assert!((0.0..=100.0).contains(&med));
         }
+    }
+
+    /// OnlineStats::merge is associative (up to floating-point noise):
+    /// (a ∪ b) ∪ c agrees with a ∪ (b ∪ c).
+    #[test]
+    fn online_stats_merge_is_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..60),
+        ys in prop::collection::vec(-1e6f64..1e6, 0..60),
+        zs in prop::collection::vec(-1e6f64..1e6, 0..60),
+    ) {
+        let collect = |v: &[f64]| {
+            let mut s = OnlineStats::new();
+            for &x in v {
+                s.record(x);
+            }
+            s
+        };
+        let (a, b, c) = (collect(&xs), collect(&ys), collect(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert!(
+            stats_approx_eq(&left, &right),
+            "left {:?} right {:?}",
+            left,
+            right
+        );
+    }
+
+    /// Histogram::merge is exactly associative — bins are integer counts.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in prop::collection::vec(-50f64..150.0, 0..60),
+        ys in prop::collection::vec(-50f64..150.0, 0..60),
+        zs in prop::collection::vec(-50f64..150.0, 0..60),
+    ) {
+        let collect = |v: &[f64]| {
+            let mut h = Histogram::new(0.0, 100.0, 20);
+            for &x in v {
+                h.record(x);
+            }
+            h
+        };
+        let (a, b, c) = (collect(&xs), collect(&ys), collect(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.bins(), right.bins());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.underflow(), right.underflow());
+        prop_assert_eq!(left.overflow(), right.overflow());
+    }
+
+    /// TimeWeighted::set with out-of-order timestamps never panics and
+    /// keeps mean_until finite and inside the observed value range.
+    #[test]
+    fn time_weighted_tolerates_out_of_order_sets(
+        points in prop::collection::vec((0u64..10_000, 0f64..100.0), 1..80),
+        until_extra in 0u64..10_000,
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut max_t = 0u64;
+        for &(t, v) in &points {
+            tw.set(SimTime::from_micros(t), v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            max_t = max_t.max(t);
+        }
+        let until = SimTime::from_micros(max_t + until_extra);
+        let mean = tw.mean_until(until);
+        prop_assert!(mean.is_finite(), "mean {}", mean);
+        prop_assert!(
+            mean >= lo - 1e-9 && mean <= hi + 1e-9,
+            "mean {} outside [{}, {}]",
+            mean,
+            lo,
+            hi
+        );
+        prop_assert!(tw.max() >= hi);
     }
 
     /// A token bucket never admits more than rate*t + depth tokens over

@@ -1,0 +1,101 @@
+//! Observability: every layer of a Course-On-Demand session, traced.
+//!
+//! A student takes a two-scene course over an access uplink losing 25%
+//! of its cells. The system's deterministic tracer records a span tree —
+//! the session root, its open/prefetch stages, each database request
+//! with one child span per retry attempt, and the uplink / service /
+//! downlink hops stitched across the wire by the protocol's trace
+//! field. The metrics registry collects counters from the ATM links,
+//! the server's WAL, the client's retry machinery, and the MHEG engine.
+//!
+//! Everything is seeded, so two runs print byte-identical traces —
+//! `scripts/check.sh` diffs the JSONL dump against a golden file.
+//!
+//! Run with: `cargo run --example observability [-- --trace-out trace.jsonl]`
+
+use mits::atm::{FaultPlan, LinkFaults};
+use mits::author::{
+    compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::db::RetryPolicy;
+use mits::media::{CaptureSpec, MediaFormat, MediaObject, ProductionCenter, VideoDims};
+use mits::mheg::MhegObject;
+use mits::sim::SimDuration;
+
+fn course() -> (Vec<MhegObject>, Vec<MediaObject>, mits::mheg::MhegId) {
+    let mut studio = ProductionCenter::new(61);
+    let clip = studio.capture(&CaptureSpec::video(
+        "intro.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_secs(1),
+        VideoDims::new(320, 240),
+    ));
+    let diagram = studio.capture(&CaptureSpec::image(
+        "diagram.gif",
+        MediaFormat::Gif,
+        VideoDims::new(400, 300),
+    ));
+    let mut doc = ImDocument::new("Observed Course");
+    doc.sections.push(Section {
+        title: "s".into(),
+        subsections: vec![Subsection {
+            title: "ss".into(),
+            scenes: vec![
+                Scene::new("video")
+                    .element("v", ElementKind::Media((&clip).into()))
+                    .entry(TimelineEntry::at_start("v")),
+                Scene::new("image")
+                    .element("d", ElementKind::Media((&diagram).into()))
+                    .entry(TimelineEntry::at_start("d").for_duration(SimDuration::from_secs(1))),
+            ],
+        }],
+    });
+    let compiled = compile_imd(71, &doc);
+    (compiled.objects, vec![clip, diagram], compiled.root)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (objects, media, root) = course();
+    let cfg = SystemConfig::broadband(1)
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)));
+    let mut system = MitsSystem::build(&cfg).unwrap();
+    let student = system.client_host(ClientId(0));
+    system.net.set_fault_plan(FaultPlan::none().with_link(
+        student,
+        system.switch(),
+        LinkFaults::loss(0.25),
+    ));
+    system.load_directly(objects, media);
+
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Observed Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    session.finish();
+    let session_span = session.root_span();
+    drop(session);
+
+    println!("== CodSession latency waterfall ==");
+    print!("{}", system.tracer.waterfall(session_span));
+
+    println!("\n== metrics registry ==");
+    print!("{}", system.metrics.to_text());
+
+    println!(
+        "\n{} spans, {} events recorded",
+        system.tracer.span_count(),
+        system.tracer.event_count()
+    );
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, system.tracer.to_jsonl()).unwrap();
+        println!("JSONL trace written to {path}");
+    }
+}

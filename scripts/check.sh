@@ -7,3 +7,11 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Determinism gate: the observability example's trace must reproduce the
+# checked-in golden byte for byte (same seed => same spans, same times).
+trace="$(mktemp)"
+trap 'rm -f "$trace"' EXIT
+cargo run -q --release -p mits --example observability -- --trace-out "$trace" >/dev/null
+diff -u tests/golden/observability_trace.jsonl "$trace"
+echo "observability trace matches golden"

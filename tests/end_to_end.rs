@@ -197,7 +197,7 @@ fn corrupted_request_rejected_not_crashing() {
         assert!(Request::decode(&wire[..cut]).is_err());
     }
     let mut bad = wire.to_vec();
-    bad[8] = 99; // unknown tag
+    bad[16] = 99; // unknown tag (after the req-id and trace fields)
     assert!(Request::decode(&bad).is_err());
 }
 

@@ -1,0 +1,212 @@
+//! The tracing + metrics subsystem, end to end: identical seeds yield
+//! byte-identical JSONL traces even under heavy cell loss, and the
+//! trace of a retried, failed-over database query carries a span for
+//! every attempt, every network hop, and the WAL replay — correctly
+//! nested.
+
+use mits::atm::{FaultPlan, LinkFaults};
+use mits::author::{
+    compile_imd, ElementKind, ImDocument, Scene, Section, Subsection, TimelineEntry,
+};
+use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits::db::RetryPolicy;
+use mits::media::{CaptureSpec, MediaFormat, MediaObject, ProductionCenter, VideoDims};
+use mits::mheg::MhegObject;
+use mits::sim::{SimDuration, SimTime, SpanInfo};
+
+fn course() -> (Vec<MhegObject>, Vec<MediaObject>, mits::mheg::MhegId) {
+    let mut studio = ProductionCenter::new(81);
+    let clip = studio.capture(&CaptureSpec::video(
+        "intro.mpg",
+        MediaFormat::Mpeg,
+        SimDuration::from_millis(400),
+        VideoDims::new(160, 120),
+    ));
+    let diagram = studio.capture(&CaptureSpec::image(
+        "diagram.gif",
+        MediaFormat::Gif,
+        VideoDims::new(320, 240),
+    ));
+    let mut doc = ImDocument::new("Traced Course");
+    doc.sections.push(Section {
+        title: "s".into(),
+        subsections: vec![Subsection {
+            title: "ss".into(),
+            scenes: vec![
+                Scene::new("video")
+                    .element("v", ElementKind::Media((&clip).into()))
+                    .entry(TimelineEntry::at_start("v")),
+                Scene::new("image")
+                    .element("d", ElementKind::Media((&diagram).into()))
+                    .entry(TimelineEntry::at_start("d").for_duration(SimDuration::from_secs(1))),
+            ],
+        }],
+    });
+    let compiled = compile_imd(82, &doc);
+    (compiled.objects, vec![clip, diagram], compiled.root)
+}
+
+/// One faulty-network CodSession, returning the full JSONL trace.
+fn lossy_session_trace() -> String {
+    let (objects, media, root) = course();
+    let cfg = SystemConfig::broadband(1)
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)));
+    let mut system = MitsSystem::build(&cfg).unwrap();
+    let student = system.client_host(ClientId(0));
+    system.net.set_fault_plan(FaultPlan::none().with_link(
+        student,
+        system.switch(),
+        LinkFaults::loss(0.30),
+    ));
+    system.load_directly(objects, media);
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Traced Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    session.finish();
+    assert!(session.report.completed);
+    drop(session);
+    system.tracer.to_jsonl()
+}
+
+#[test]
+fn same_seed_lossy_traces_are_byte_identical() {
+    let a = lossy_session_trace();
+    let b = lossy_session_trace();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "identical seeds must yield byte-identical traces");
+}
+
+fn children<'a>(spans: &'a [SpanInfo], parent: &SpanInfo) -> Vec<&'a SpanInfo> {
+    spans
+        .iter()
+        .filter(|s| s.parent == Some(parent.id))
+        .collect()
+}
+
+#[test]
+fn failed_over_query_trace_has_every_attempt_hop_and_replay() {
+    let (objects, media, root) = course();
+    let cfg = SystemConfig::broadband(1)
+        .with_replica()
+        .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(60)))
+        .with_crash(SimTime::from_secs(2), 0)
+        .with_restart(SimTime::from_secs(20), 0);
+    let mut system = MitsSystem::build(&cfg).unwrap();
+    system.load_directly(objects.clone(), media);
+    // Run straight into the crash, so the fetch starts against the
+    // primary and completes against the replica after a retry.
+    system.pump_until(SimTime::from_micros(1_999_700)).unwrap();
+    let (objs, _) = system.fetch_courseware(ClientId(0), root).unwrap();
+    assert_eq!(objs.len(), objects.len());
+    assert!(system.failovers > 0, "the fetch crossed a failover");
+    // Let the scheduled restart replay the journal.
+    system.pump_until(SimTime::from_secs(25)).unwrap();
+
+    let spans = system.tracer.spans();
+
+    // The failed-over request span: attempts attr >= 2, outcome ok.
+    let req = spans
+        .iter()
+        .find(|s| {
+            s.name == "db.request get_courseware"
+                && s.attrs.iter().any(|(k, v)| k == "outcome" && v == "ok")
+        })
+        .expect("a completed get_courseware request span");
+    let attempts: u64 = req
+        .attrs
+        .iter()
+        .find(|(k, _)| k == "attempts")
+        .map(|(_, v)| v.parse().unwrap())
+        .expect("attempts attr");
+    assert!(attempts >= 2, "the crash forced a re-attempt: {attempts}");
+
+    // One child span per attempt, in order, plus the hops and the
+    // replica's service span — all nested under the request span.
+    let kids = children(&spans, req);
+    for n in 1..=attempts {
+        assert!(
+            kids.iter().any(|s| s.name == format!("attempt {n}")),
+            "missing span for attempt {n}"
+        );
+    }
+    assert!(
+        kids.iter().any(|s| s.name == "net.uplink"),
+        "uplink hop span missing"
+    );
+    assert!(
+        kids.iter().any(|s| s.name == "net.downlink"),
+        "downlink hop span missing"
+    );
+    assert!(
+        kids.iter()
+            .any(|s| s.name == "server1.serve get_courseware"),
+        "the replica's service span is missing: {:?}",
+        kids.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+
+    // The restart produced a recovery span with a nested WAL replay
+    // (and a resync from the live replica).
+    let recover = spans
+        .iter()
+        .find(|s| s.name == "server0.recover")
+        .expect("recovery span");
+    assert!(recover.end.is_some(), "recovery span closed");
+    let rkids = children(&spans, recover);
+    assert!(
+        rkids.iter().any(|s| s.name == "wal.replay"),
+        "WAL replay span missing"
+    );
+    assert!(
+        rkids.iter().any(|s| s.name == "replica.resync"),
+        "resync span missing"
+    );
+
+    // Every span's parent exists and opened no later than the child.
+    for s in &spans {
+        if let Some(pid) = s.parent {
+            let p = spans
+                .iter()
+                .find(|c| c.id == pid)
+                .expect("parent span exists");
+            assert!(
+                p.start <= s.start,
+                "{} starts before parent {}",
+                s.name,
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_registry_covers_every_layer() {
+    let (objects, media, root) = course();
+    let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    system.publish(&objects, &media).unwrap();
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Traced Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    session.finish();
+    drop(session);
+    let names = system.metrics.names();
+    for prefix in [
+        "atm.link.",
+        "atm.vc.",
+        "db.server0.wal.",
+        "client0.",
+        "author.",
+        "mheg.",
+        "presentation.",
+        "system.",
+    ] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix} metrics in {names:?}"
+        );
+    }
+    assert!(
+        system.metrics.get_counter("db.server0.wal.bytes_journaled") > Some(0),
+        "publishing journaled bytes"
+    );
+    assert!(system.metrics.get_counter("system.requests_sent") > Some(0));
+}
