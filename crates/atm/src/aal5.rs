@@ -6,9 +6,18 @@
 //! validates length and CRC — a single lost cell corrupts the whole PDU,
 //! which is exactly the behaviour that makes cell loss so expensive for
 //! courseware delivery and shows up in experiment E-BB.
+//!
+//! Segmentation copies the PDU **once** into a padded buffer and hands every
+//! cell a 48-byte [`Payload`] window into it. Reassembly detects when the
+//! arriving cells are still consecutive windows of one buffer (the common
+//! clean-delivery case) and returns a zero-copy view of it; only cells that
+//! were individually mutated in flight (fault injection) or stitched from
+//! multiple sources fall back to a copying path.
 
 use crate::cell::{AtmCell, CELL_PAYLOAD};
 use bytes::Bytes;
+use mits_sim::Payload;
+use std::sync::Arc;
 
 /// Errors from AAL5 reassembly.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,21 +49,70 @@ impl std::fmt::Display for Aal5Error {
 impl std::error::Error for Aal5Error {}
 
 /// CRC-32 (IEEE 802.3 polynomial, bit-reflected) as used by AAL5.
+///
+/// Table-driven, slice-by-8: the CRC runs over every PDU twice (once at
+/// segmentation, once at reassembly), so at media rates the bit-serial
+/// formulation was the single hottest loop in the simulator.
 pub fn crc32(data: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(c[4..].try_into().expect("4 bytes"));
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
+}
+
+/// Lookup tables for [`crc32`]: `CRC_TABLES[0]` is the classic byte-at-a-
+/// time table; table `k` advances a byte `k` positions further into the
+/// message, letting the main loop fold 8 bytes per iteration.
+static CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = (c & 1).wrapping_neg();
+            c = (c >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
 const TRAILER: usize = 8;
 
 /// Segment a PDU into cells for the given VC identifiers.
+///
+/// The PDU is copied once into a padded trailer-carrying buffer; the cells
+/// are zero-copy 48-byte views into it.
 pub fn segment(vpi: u8, vci: u16, pdu_seq: u64, payload: &[u8]) -> Vec<AtmCell> {
     // PDU + trailer padded up to a whole number of cells.
     let body_len = payload.len() + TRAILER;
@@ -70,36 +128,19 @@ pub fn segment(vpi: u8, vci: u16, pdu_seq: u64, payload: &[u8]) -> Vec<AtmCell> 
     let crc = crc32(&buf[..total - 4]);
     buf[total - 4..].copy_from_slice(&crc.to_be_bytes());
 
-    buf.chunks_exact(CELL_PAYLOAD)
-        .enumerate()
-        .map(|(i, chunk)| {
-            AtmCell::new(vpi, vci, pdu_seq, i as u32, i == ncells - 1).with_payload(chunk)
+    let shared = Payload::from(buf);
+    (0..ncells)
+        .map(|i| {
+            AtmCell::new(vpi, vci, pdu_seq, i as u32, i == ncells - 1)
+                .with_payload_view(shared.slice(i * CELL_PAYLOAD..(i + 1) * CELL_PAYLOAD))
         })
         .collect()
 }
 
-/// Reassemble a PDU from cells (in order, same `pdu_seq`). Validates the
-/// sequence, length field and CRC.
-pub fn reassemble(cells: &[AtmCell]) -> Result<Bytes, Aal5Error> {
-    if cells.is_empty() {
-        return Err(Aal5Error::Incomplete);
-    }
-    if !cells.last().expect("non-empty").pdu_end {
-        return Err(Aal5Error::Incomplete);
-    }
-    for (i, c) in cells.iter().enumerate() {
-        if c.cell_index != i as u32 {
-            return Err(Aal5Error::MissingCell { index: i as u32 });
-        }
-        if c.pdu_end && i != cells.len() - 1 {
-            return Err(Aal5Error::BadLength);
-        }
-    }
-    let total = cells.len() * CELL_PAYLOAD;
-    let mut buf = Vec::with_capacity(total);
-    for c in cells {
-        buf.extend_from_slice(&c.payload);
-    }
+/// Validate trailer length against the cell count, returning the true PDU
+/// length within the padded body `buf`.
+fn validated_length(buf: &[u8]) -> Result<usize, Aal5Error> {
+    let total = buf.len();
     let crc_stored = u32::from_be_bytes(buf[total - 4..].try_into().expect("4 bytes"));
     if crc32(&buf[..total - 4]) != crc_stored {
         return Err(Aal5Error::BadCrc);
@@ -120,6 +161,45 @@ pub fn reassemble(cells: &[AtmCell]) -> Result<Bytes, Aal5Error> {
     if total - (length + TRAILER) >= CELL_PAYLOAD {
         return Err(Aal5Error::BadLength);
     }
+    Ok(length)
+}
+
+/// Reassemble a PDU from cells (in order, same `pdu_seq`). Validates the
+/// sequence, length field and CRC.
+pub fn reassemble(cells: &[AtmCell]) -> Result<Bytes, Aal5Error> {
+    if cells.is_empty() {
+        return Err(Aal5Error::Incomplete);
+    }
+    if !cells.last().expect("non-empty").pdu_end {
+        return Err(Aal5Error::Incomplete);
+    }
+    for (i, c) in cells.iter().enumerate() {
+        if c.cell_index != i as u32 {
+            return Err(Aal5Error::MissingCell { index: i as u32 });
+        }
+        if c.pdu_end && i != cells.len() - 1 {
+            return Err(Aal5Error::BadLength);
+        }
+    }
+    let total = cells.len() * CELL_PAYLOAD;
+    // Fast path: all payloads are still consecutive windows of the single
+    // buffer segmentation built — validate in place and return a zero-copy
+    // view of the original bytes.
+    if cells
+        .windows(2)
+        .all(|w| w[0].payload.is_contiguous_with(&w[1].payload))
+    {
+        let (base, _) = cells[0].payload.range();
+        let arc = Arc::clone(cells[0].payload.backing());
+        let length = validated_length(&arc[base..base + total])?;
+        return Ok(Bytes::from_shared_range(arc, base, base + length));
+    }
+    // Slow path: stitch the payloads together, then validate the copy.
+    let mut buf = Vec::with_capacity(total);
+    for c in cells {
+        buf.extend_from_slice(&c.payload);
+    }
+    let length = validated_length(&buf)?;
     buf.truncate(length);
     Ok(Bytes::from(buf))
 }
@@ -173,7 +253,7 @@ mod tests {
     fn corruption_detected_by_crc() {
         let payload = vec![1u8; 200];
         let mut cells = segment(0, 5, 1, &payload);
-        cells[1].payload[10] ^= 0xFF;
+        cells[1].payload.make_mut()[10] ^= 0xFF;
         assert_eq!(reassemble(&cells), Err(Aal5Error::BadCrc));
     }
 
@@ -203,5 +283,29 @@ mod tests {
     fn crc32_known_vector() {
         // CRC-32("123456789") = 0xCBF43926 (standard check value).
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn clean_reassembly_is_zero_copy() {
+        let payload: Vec<u8> = (0..5_000).map(|i| (i % 256) as u8).collect();
+        let cells = segment(0, 5, 3, &payload);
+        let seg_arc = Arc::clone(cells[0].payload.backing());
+        let back = reassemble(&cells).unwrap();
+        assert_eq!(&back[..], &payload[..]);
+        assert!(
+            Arc::ptr_eq(back.shared(), &seg_arc),
+            "clean delivery reuses the segmentation buffer"
+        );
+    }
+
+    #[test]
+    fn mutated_cell_falls_back_to_copy_path() {
+        // A CoW-mutated cell breaks contiguity; reassembly must still work
+        // when the mutation is reverted byte-for-byte (copy path, valid CRC).
+        let payload = vec![5u8; 500];
+        let mut cells = segment(0, 5, 1, &payload);
+        cells[2].payload.make_mut()[0] = 5; // same value: CRC stays valid
+        let back = reassemble(&cells).unwrap();
+        assert_eq!(&back[..], &payload[..]);
     }
 }

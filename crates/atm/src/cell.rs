@@ -4,6 +4,14 @@
 //! payload-type "end of AAL5 PDU" flag, and CLP — plus bookkeeping the
 //! real header carries implicitly (which PDU and which position within it,
 //! recoverable on real hardware from arrival order).
+//!
+//! The payload is a [`Payload`] view, normally a 48-byte window into the
+//! PDU-wide buffer built by AAL5 segmentation: cloning a cell (which the
+//! switch fabric, per-VC queues and retransmit buffers do constantly) bumps
+//! a reference count instead of copying bytes.
+
+use mits_sim::Payload;
+use std::sync::{Arc, OnceLock};
 
 /// Total cell size on the wire, bytes.
 pub const CELL_SIZE: usize = 53;
@@ -13,6 +21,13 @@ pub const CELL_PAYLOAD: usize = 48;
 pub const CELL_HEADER: usize = CELL_SIZE - CELL_PAYLOAD;
 /// Bits serialized per cell.
 pub const CELL_BITS: u64 = (CELL_SIZE as u64) * 8;
+
+/// All-zero 48-byte payload, shared by every freshly built cell.
+fn zero_payload() -> Payload {
+    static ZERO: OnceLock<Arc<[u8]>> = OnceLock::new();
+    let arc = ZERO.get_or_init(|| Arc::from([0u8; CELL_PAYLOAD].as_slice()));
+    Payload::from_arc(Arc::clone(arc))
+}
 
 /// One ATM cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +46,7 @@ pub struct AtmCell {
     /// Cell index within its PDU.
     pub cell_index: u32,
     /// Payload (always [`CELL_PAYLOAD`] bytes; final cell is padded).
-    pub payload: [u8; CELL_PAYLOAD],
+    pub payload: Payload,
 }
 
 impl AtmCell {
@@ -44,14 +59,27 @@ impl AtmCell {
             clp: false,
             pdu_seq,
             cell_index,
-            payload: [0u8; CELL_PAYLOAD],
+            payload: zero_payload(),
         }
     }
 
     /// Copy payload bytes in (`data.len()` ≤ 48; the rest stays zero).
     pub fn with_payload(mut self, data: &[u8]) -> Self {
         assert!(data.len() <= CELL_PAYLOAD, "payload too large for a cell");
-        self.payload[..data.len()].copy_from_slice(data);
+        let mut buf = [0u8; CELL_PAYLOAD];
+        buf[..data.len()].copy_from_slice(data);
+        self.payload = Payload::copy_from_slice(&buf);
+        self
+    }
+
+    /// Adopt a 48-byte shared view as the payload — no copy. This is how
+    /// AAL5 segmentation hands every cell a window into one PDU buffer.
+    ///
+    /// # Panics
+    /// Panics unless `view` is exactly [`CELL_PAYLOAD`] bytes.
+    pub fn with_payload_view(mut self, view: Payload) -> Self {
+        assert!(view.len() == CELL_PAYLOAD, "cell view must be 48 bytes");
+        self.payload = view;
         self
     }
 }
@@ -79,5 +107,24 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn oversize_payload_panics() {
         let _ = AtmCell::new(0, 1, 0, 0, false).with_payload(&[0u8; 49]);
+    }
+
+    #[test]
+    fn payload_view_shares_storage() {
+        let pdu = Payload::from(vec![7u8; 96]);
+        let c = AtmCell::new(0, 1, 0, 0, false).with_payload_view(pdu.slice(48..96));
+        assert!(Arc::ptr_eq(c.payload.backing(), pdu.backing()));
+        let clone = c.clone();
+        assert!(
+            Arc::ptr_eq(clone.payload.backing(), pdu.backing()),
+            "clone is a view too"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bytes")]
+    fn short_view_panics() {
+        let pdu = Payload::from(vec![0u8; 10]);
+        let _ = AtmCell::new(0, 1, 0, 0, false).with_payload_view(pdu);
     }
 }

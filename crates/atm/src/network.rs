@@ -147,7 +147,28 @@ struct Flying {
 struct NodeState {
     name: String,
     is_switch: bool,
-    routes: HashMap<VcId, LinkId>,
+    /// Route table indexed by VCI (VCIs are allocated densely from 1).
+    routes: Vec<u32>,
+}
+
+/// Sentinel in a node's route table: no route for this VCI.
+const NO_ROUTE: u32 = u32::MAX;
+
+impl NodeState {
+    fn route(&self, vc: VcId) -> Option<LinkId> {
+        match self.routes.get(vc.0 as usize) {
+            Some(&l) if l != NO_ROUTE => Some(LinkId(l)),
+            _ => None,
+        }
+    }
+
+    fn set_route(&mut self, vc: VcId, link: LinkId) {
+        let i = vc.0 as usize;
+        if self.routes.len() <= i {
+            self.routes.resize(i + 1, NO_ROUTE);
+        }
+        self.routes[i] = link.0;
+    }
 }
 
 struct VcState {
@@ -177,9 +198,9 @@ impl VcState {
 #[derive(PartialEq, Eq)]
 enum TimerKind {
     /// Transmitter on `link` finished serializing; carries the cell.
-    TxDone(u32, u64),
+    TxDone(u32, u32),
     /// Cell arrives at the far end of `link`.
-    Arrive(u32, u64),
+    Arrive(u32, u32),
 }
 
 struct Timer {
@@ -213,12 +234,15 @@ pub struct AtmNetwork {
     nodes: Vec<NodeState>,
     links: Vec<LinkState>,
     link_index: HashMap<(NodeId, NodeId), LinkId>,
-    vcs: HashMap<VcId, VcState>,
+    /// VC states indexed by `vci - 1` (VCIs are allocated densely from 1).
+    vcs: Vec<VcState>,
     next_vci: u16,
     timers: BinaryHeap<Timer>,
     timer_seq: u64,
-    in_flight: HashMap<u64, Flying>,
-    next_flight: u64,
+    /// Slab of cells in flight (serializing or propagating). A slot is
+    /// claimed by exactly one pending timer, so ids never alias.
+    in_flight: Vec<Option<Flying>>,
+    free_flights: Vec<u32>,
     now: SimTime,
     rng: SimRng,
     deliveries: Vec<Delivery>,
@@ -237,12 +261,12 @@ impl AtmNetwork {
             nodes: Vec::new(),
             links: Vec::new(),
             link_index: HashMap::new(),
-            vcs: HashMap::new(),
+            vcs: Vec::new(),
             next_vci: 1,
             timers: BinaryHeap::new(),
             timer_seq: 0,
-            in_flight: HashMap::new(),
-            next_flight: 0,
+            in_flight: Vec::new(),
+            free_flights: Vec::new(),
             now: SimTime::ZERO,
             rng: SimRng::seed_from_u64(seed ^ 0xA7A7_17D0),
             deliveries: Vec::new(),
@@ -291,7 +315,7 @@ impl AtmNetwork {
         self.nodes.push(NodeState {
             name: name.to_string(),
             is_switch,
-            routes: HashMap::new(),
+            routes: Vec::new(),
         });
         id
     }
@@ -357,29 +381,30 @@ impl AtmNetwork {
         let vc = VcId(self.next_vci);
         self.next_vci += 1;
         for (node, link) in &hop_links {
-            self.nodes[node.0 as usize].routes.insert(vc, *link);
+            self.nodes[node.0 as usize].set_route(vc, *link);
         }
-        self.vcs.insert(
-            vc,
-            VcState {
-                class,
-                first_link: hop_links[0].1,
-                dst: *path.last().expect("non-empty"),
-                policer: contract.map(Policer::new),
-                next_pdu_seq: 0,
-                rx: Vec::new(),
-                failed_pdus: std::collections::HashSet::new(),
-                stats: VcStats::default(),
-            },
-        );
+        self.vcs.push(VcState {
+            class,
+            first_link: hop_links[0].1,
+            dst: *path.last().expect("non-empty"),
+            policer: contract.map(Policer::new),
+            next_pdu_seq: 0,
+            rx: Vec::new(),
+            failed_pdus: std::collections::HashSet::new(),
+            stats: VcStats::default(),
+        });
         Ok(vc)
+    }
+
+    fn vc_mut(&mut self, vc: VcId) -> Option<&mut VcState> {
+        self.vcs.get_mut((vc.0 as usize).wrapping_sub(1))
     }
 
     /// Queue a PDU on a VC at the current clock. Returns the PDU sequence
     /// number.
     pub fn send(&mut self, vc: VcId, payload: Bytes) -> Result<u64, NetError> {
         let now = self.now;
-        let state = self.vcs.get_mut(&vc).ok_or(NetError::UnknownVc(vc))?;
+        let state = self.vc_mut(vc).ok_or(NetError::UnknownVc(vc))?;
         let seq = state.next_pdu_seq;
         state.next_pdu_seq += 1;
         state.stats.pdus_sent += 1;
@@ -426,6 +451,36 @@ impl AtmNetwork {
         std::mem::take(&mut self.deliveries)
     }
 
+    /// Advance the clock toward `to`, stopping early the moment one or
+    /// more PDUs are delivered — the clock then rests at the delivery
+    /// instant (every event of that same instant is processed first).
+    /// This lets a driver react to each delivery at its exact time
+    /// without being woken for every intervening cell event. When
+    /// nothing is delivered the clock lands on `to`, exactly like
+    /// [`AtmNetwork::advance`].
+    pub fn advance_until_delivery(&mut self, to: SimTime) -> Vec<Delivery> {
+        assert!(to >= self.now, "network clock cannot go backwards");
+        while let Some(t) = self.timers.peek() {
+            if t.at > to {
+                break;
+            }
+            if !self.deliveries.is_empty() && t.at > self.now {
+                // Deliveries landed at `now`; later events keep.
+                return std::mem::take(&mut self.deliveries);
+            }
+            let timer = self.timers.pop().expect("peeked");
+            self.now = timer.at;
+            match timer.kind {
+                TimerKind::TxDone(link, flight) => self.tx_done(LinkId(link), flight),
+                TimerKind::Arrive(link, flight) => self.arrive(LinkId(link), flight),
+            }
+        }
+        if self.deliveries.is_empty() {
+            self.now = to;
+        }
+        std::mem::take(&mut self.deliveries)
+    }
+
     /// True when no cells are queued or in flight.
     pub fn idle(&self) -> bool {
         self.timers.is_empty()
@@ -455,7 +510,9 @@ impl AtmNetwork {
 
     /// QoS statistics for a VC.
     pub fn vc_stats(&self, vc: VcId) -> Option<&VcStats> {
-        self.vcs.get(&vc).map(|s| &s.stats)
+        self.vcs
+            .get((vc.0 as usize).wrapping_sub(1))
+            .map(|s| &s.stats)
     }
 
     /// Mean utilization of the `a`→`b` link over `[0, now]`.
@@ -511,7 +568,7 @@ impl AtmNetwork {
         let mut agg = VcStats::default();
         let mut ctd = OnlineStats::new();
         let mut pdu_latency = OnlineStats::new();
-        for vc in self.vcs.values() {
+        for vc in &self.vcs {
             agg.cells_sent += vc.stats.cells_sent;
             agg.cells_delivered += vc.stats.cells_delivered;
             agg.cells_dropped += vc.stats.cells_dropped;
@@ -553,11 +610,25 @@ impl AtmNetwork {
         self.timers.push(Timer { at, seq, kind });
     }
 
-    fn stash(&mut self, f: Flying) -> u64 {
-        let id = self.next_flight;
-        self.next_flight += 1;
-        self.in_flight.insert(id, f);
-        id
+    fn stash(&mut self, f: Flying) -> u32 {
+        match self.free_flights.pop() {
+            Some(id) => {
+                self.in_flight[id as usize] = Some(f);
+                id
+            }
+            None => {
+                self.in_flight.push(Some(f));
+                (self.in_flight.len() - 1) as u32
+            }
+        }
+    }
+
+    fn unstash(&mut self, id: u32) -> Option<Flying> {
+        let f = self.in_flight.get_mut(id as usize)?.take();
+        if f.is_some() {
+            self.free_flights.push(id);
+        }
+        f
     }
 
     fn enqueue_cell(&mut self, link_id: LinkId, class: ServiceClass, flying: Flying) {
@@ -568,7 +639,7 @@ impl AtmNetwork {
         let congested = queue.len() * 10 >= queue.capacity() * 9;
         if flying.cell.clp && congested {
             let seq = flying.cell.pdu_seq;
-            if let Some(s) = self.vcs.get_mut(&vc) {
+            if let Some(s) = self.vc_mut(vc) {
                 s.drop_cell(seq);
             }
             return;
@@ -576,7 +647,7 @@ impl AtmNetwork {
         if let Some(bounced) = queue.offer(flying) {
             // Tail drop.
             let seq = bounced.cell.pdu_seq;
-            if let Some(s) = self.vcs.get_mut(&vc) {
+            if let Some(s) = self.vc_mut(vc) {
                 s.drop_cell(seq);
             }
             return;
@@ -609,8 +680,8 @@ impl AtmNetwork {
         self.schedule(now + cell_time, TimerKind::TxDone(link_id.0, flight));
     }
 
-    fn tx_done(&mut self, link_id: LinkId, flight: u64) {
-        let Some(flying) = self.in_flight.remove(&flight) else {
+    fn tx_done(&mut self, link_id: LinkId, flight: u32) {
+        let Some(flying) = self.unstash(flight) else {
             return;
         };
         let (loss_rate, prop) = {
@@ -627,7 +698,7 @@ impl AtmNetwork {
             Some(_) => {
                 let vc = VcId(flying.cell.vci);
                 let seq = flying.cell.pdu_seq;
-                if let Some(s) = self.vcs.get_mut(&vc) {
+                if let Some(s) = self.vc_mut(vc) {
                     s.drop_cell(seq);
                 }
             }
@@ -697,25 +768,25 @@ impl AtmNetwork {
         at
     }
 
-    fn arrive(&mut self, link_id: LinkId, flight: u64) {
-        let Some(flying) = self.in_flight.remove(&flight) else {
+    fn arrive(&mut self, link_id: LinkId, flight: u32) {
+        let Some(flying) = self.unstash(flight) else {
             return;
         };
         let node_id = self.links[link_id.0 as usize].to;
         let vc = VcId(flying.cell.vci);
         let node = &self.nodes[node_id.0 as usize];
         if node.is_switch {
-            let Some(next_link) = node.routes.get(&vc).copied() else {
+            let Some(next_link) = node.route(vc) else {
                 // Misrouted cell: drop.
                 let seq = flying.cell.pdu_seq;
-                if let Some(s) = self.vcs.get_mut(&vc) {
+                if let Some(s) = self.vc_mut(vc) {
                     s.drop_cell(seq);
                 }
                 return;
             };
             let class = self
                 .vcs
-                .get(&vc)
+                .get((vc.0 as usize).wrapping_sub(1))
                 .map(|s| s.class)
                 .unwrap_or(ServiceClass::Ubr);
             self.enqueue_cell(next_link, class, flying);
@@ -723,7 +794,7 @@ impl AtmNetwork {
         }
         // Destination host: account and reassemble.
         let now = self.now;
-        let Some(state) = self.vcs.get_mut(&vc) else {
+        let Some(state) = self.vc_mut(vc) else {
             return;
         };
         if state.dst != node_id {
@@ -746,9 +817,8 @@ impl AtmNetwork {
         if !is_end {
             return;
         }
-        let cells: Vec<AtmCell> = state.rx.iter().map(|f| f.cell.clone()).collect();
         let send_call = state.rx.first().map(|f| f.send_call).unwrap_or(now);
-        state.rx.clear();
+        let cells: Vec<AtmCell> = state.rx.drain(..).map(|f| f.cell).collect();
         match aal5::reassemble(&cells) {
             Ok(payload) => {
                 state.stats.pdus_delivered += 1;

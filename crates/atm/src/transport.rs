@@ -182,13 +182,13 @@ impl ReliableChannel {
     fn on_data(
         &mut self,
         net: &mut AtmNetwork,
-        frame: &[u8],
+        frame: &Bytes,
     ) -> Result<Vec<TransportEvent>, NetError> {
         if frame.len() < HDR {
             return Ok(Vec::new());
         }
         let seq = u32::from_be_bytes(frame[1..5].try_into().expect("4 bytes"));
-        let body = Bytes::copy_from_slice(&frame[5..]); // flags + payload
+        let body = frame.slice(5..); // flags + payload — zero-copy view
         let mut events = Vec::new();
         if seq == self.rx_next {
             self.accept(body, &mut events);
@@ -214,6 +214,12 @@ impl ReliableChannel {
         self.stats.segments_rx += 1;
         self.rx_next = self.rx_next.wrapping_add(1);
         let flags = body[0];
+        if flags & FLAG_LAST_FRAG != 0 && self.rx_assembly.is_empty() {
+            // Single-fragment message: hand the wire bytes straight up
+            // without staging them through the assembly buffer.
+            events.push(TransportEvent::Message(body.slice(1..)));
+            return;
+        }
         self.rx_assembly.extend_from_slice(&body[1..]);
         if flags & FLAG_LAST_FRAG != 0 {
             let msg = std::mem::take(&mut self.rx_assembly).freeze();
@@ -232,6 +238,8 @@ impl ReliableChannel {
             .collect();
         for seq in expired {
             let (frame, _, retries) = self.unacked.get(&seq).expect("present").clone();
+            // `frame` is a Bytes view — this clone is a refcount bump, not
+            // a copy of the segment.
             net.send(self.out_vc, frame.clone())?;
             self.stats.segments_tx += 1;
             self.stats.retransmissions += 1;

@@ -4,19 +4,25 @@
 //! Usage:
 //!   cargo run -p mits-bench --bin tables            # all experiments
 //!   cargo run -p mits-bench --bin tables -- --exp e_bb
+//!   cargo run -p mits-bench --bin tables -- --exp campus   # scale run,
+//!       writes BENCH_campus.json (override path with MITS_CAMPUS_OUT;
+//!       size with MITS_CAMPUS_STUDENTS / MITS_CAMPUS_THREADS)
 
+use bytes::Bytes;
 use mits_atm::{FaultPlan, LinkFaults, LinkProfile};
 use mits_author::compile_hyperdoc;
 use mits_bench::{atm_course, one_of_each_class, reuse_course};
 use mits_core::models::{compare_delivery_models, reuse_ablation};
 use mits_core::stack::layer_breakdown;
 use mits_core::stream::{profile_name, stream_audio_over, stream_video_over};
-use mits_core::{ClientId, CodSession, MitsSystem, SystemConfig};
+use mits_core::{
+    run_campus, CampusConfig, CampusWorkload, ClientId, CodSession, MitsSystem, SystemConfig,
+};
 use mits_db::RetryPolicy;
 use mits_media::codec::{
     CodecModel, AVI_BITS_PER_SEC, MIDI_BYTES_PER_MIN, MPEG_BITS_PER_SEC, WAV_BYTES_PER_SEC,
 };
-use mits_media::{MediaFormat, VideoDims};
+use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
 use mits_mheg::{encode_object, MhegEngine, PresentationEvent, WireFormat};
 use mits_navigator::PresentationSession;
 use mits_school::{simulate_facilitation, FacilitationModel};
@@ -72,6 +78,11 @@ fn main() {
     }
     if want("obs") {
         obs();
+    }
+    // Scale experiment: opt-in only — it reports host wall-clock numbers,
+    // which would make the default (deterministic) output machine-dependent.
+    if filter.as_deref() == Some("campus") {
+        campus();
     }
 }
 
@@ -756,4 +767,154 @@ fn e_reuse() {
             r.bytes as f64 / baseline as f64
         );
     }
+}
+
+/// Seed-tree throughput of the 200 KB fetch microbench (KB/s), measured
+/// with `fetch_microbench` below on the pre-zero-copy code at the same
+/// commit this experiment was introduced. Kept as the "before" figure in
+/// `BENCH_campus.json` so the speedup is visible without rebuilding the
+/// old tree.
+const FETCH200K_KBPS_SEED: f64 = 27_104.7;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A campus courseware: one tiny scenario closure plus `clips` MPEG
+/// objects of `clip_bytes` each — the "content objects of large size"
+/// (§3.4.2) that dominate the wire.
+fn campus_workload(clips: usize, clip_bytes: usize) -> CampusWorkload {
+    use mits_mheg::{ClassLibrary, GenericValue};
+    let mut lib = ClassLibrary::new(1);
+    let v = lib.value_content("v", GenericValue::Int(1));
+    let root = lib.container("Course", vec![v]);
+    let media = (0..clips)
+        .map(|i| {
+            let data: Vec<u8> = (0..clip_bytes)
+                .map(|j| ((i * 31 + j * 7) % 251) as u8)
+                .collect();
+            MediaObject::new(
+                MediaId(1000 + i as u64),
+                format!("clip{i}.mpg"),
+                MediaFormat::Mpeg,
+                SimDuration::from_secs(1),
+                VideoDims::new(320, 240),
+                Bytes::from(data),
+            )
+        })
+        .collect();
+    CampusWorkload {
+        objects: lib.into_objects(),
+        media,
+        root,
+    }
+}
+
+/// Wall-clock throughput of single-seat 200 KB media fetches through the
+/// full client → ATM → server → ATM → client stack. Returns KB/s.
+fn fetch_microbench() -> f64 {
+    let w = campus_workload(32, 200 * 1024);
+    let mut sys = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    sys.load_directly(w.objects, w.media);
+    // Warmup fetch excluded from timing (first fetch pays setup costs).
+    let _ = sys.fetch_content(ClientId(0), MediaId(1000)).unwrap();
+    let t0 = std::time::Instant::now();
+    let mut total = 0usize;
+    for i in 1..32u64 {
+        let (m, _) = sys.fetch_content(ClientId(0), MediaId(1000 + i)).unwrap();
+        total += m.data.len();
+    }
+    total as f64 / 1024.0 / t0.elapsed().as_secs_f64()
+}
+
+fn campus() {
+    header(
+        "CAMPUS",
+        "parallel campus runner over the zero-copy media path",
+    );
+    let students = env_usize("MITS_CAMPUS_STUDENTS", 64);
+    let threads = env_usize("MITS_CAMPUS_THREADS", 8);
+    let clips = env_usize("MITS_CAMPUS_CLIPS", 8);
+    let out = std::env::var("MITS_CAMPUS_OUT").unwrap_or_else(|_| "BENCH_campus.json".into());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let fetch_kbps = fetch_microbench();
+    println!(
+        "200KB fetch:  {FETCH200K_KBPS_SEED:.1} KB/s seed -> {:.1} KB/s now ({:.2}x)",
+        fetch_kbps,
+        fetch_kbps / FETCH200K_KBPS_SEED
+    );
+
+    let workload = campus_workload(clips, 200 * 1024);
+    let serial = run_campus(
+        &CampusConfig {
+            students,
+            threads: 1,
+            base_seed: 42,
+        },
+        &workload,
+    )
+    .unwrap();
+    let parallel = run_campus(
+        &CampusConfig {
+            students,
+            threads,
+            base_seed: 42,
+        },
+        &workload,
+    )
+    .unwrap();
+    assert_eq!(
+        serial.digest, parallel.digest,
+        "campus digest must not depend on thread count"
+    );
+
+    let speedup = serial.wall_secs / parallel.wall_secs.max(1e-9);
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "run", "threads", "wall", "students/s", "MB/s"
+    );
+    for r in [&serial, &parallel] {
+        println!(
+            "{:<22} {:>10} {:>10.3}s {:>12.1} {:>10.1}",
+            format!("{} students", r.students),
+            r.threads,
+            r.wall_secs,
+            r.students_per_sec(),
+            r.bytes_per_sec() / (1024.0 * 1024.0)
+        );
+    }
+    println!(
+        "digest 0x{:016x} identical on 1 and {} threads; {speedup:.2}x on {host_cores} core(s)",
+        parallel.digest, parallel.threads
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"campus\",\n  \"students\": {},\n  \"threads\": {},\n  \"host_cores\": {},\n  \"base_seed\": 42,\n  \"clips_per_student\": {},\n  \"clip_bytes\": {},\n  \"digest\": \"0x{:016x}\",\n  \"digest_match_1_vs_n_threads\": {},\n  \"bytes_simulated\": {},\n  \"wall_secs_1_thread\": {:.4},\n  \"wall_secs_n_threads\": {:.4},\n  \"speedup_n_over_1\": {:.3},\n  \"students_per_sec\": {:.2},\n  \"bytes_per_sec\": {:.1},\n  \"session_ms_p50\": {:.3},\n  \"session_ms_p99\": {:.3},\n  \"shard_wall_ms_p50\": {:.3},\n  \"shard_wall_ms_p99\": {:.3},\n  \"fetch200k_kbps_seed\": {:.1},\n  \"fetch200k_kbps_now\": {:.1},\n  \"fetch200k_speedup\": {:.2}\n}}\n",
+        parallel.students,
+        parallel.threads,
+        host_cores,
+        clips,
+        200 * 1024,
+        parallel.digest,
+        serial.digest == parallel.digest,
+        parallel.bytes,
+        serial.wall_secs,
+        parallel.wall_secs,
+        speedup,
+        parallel.students_per_sec(),
+        parallel.bytes_per_sec(),
+        parallel.session_percentile(0.50) * 1e3,
+        parallel.session_percentile(0.99) * 1e3,
+        parallel.wall_percentile(0.50) * 1e3,
+        parallel.wall_percentile(0.99) * 1e3,
+        FETCH200K_KBPS_SEED,
+        fetch_kbps,
+        fetch_kbps / FETCH200K_KBPS_SEED
+    );
+    std::fs::write(&out, json).expect("write campus bench json");
+    println!("wrote {out}");
 }

@@ -1,0 +1,346 @@
+//! Parallel campus runner: many independent student sessions at once.
+//!
+//! The paper sizes MITS for a campus, not a single seat — the broadband
+//! network exists so that "a thousand students" can pull courseware
+//! concurrently. One `MitsSystem` models one student's end-to-end session
+//! on one virtual clock; a campus run shards the student population into
+//! independent per-student systems and executes the shards on a pool of
+//! worker threads.
+//!
+//! Determinism is the contract: shard `i` always runs with the seed
+//! derived from `(base_seed, i)` and its report depends only on simulated
+//! quantities, so the merged campus digest is byte-identical whether the
+//! shards ran on one thread or eight. Host wall-clock is reported for
+//! throughput numbers but never folded into a digest.
+
+use crate::system::{ClientId, MitsSystem, SystemConfig, SystemError};
+use mits_media::MediaObject;
+use mits_mheg::{MhegId, MhegObject};
+use mits_sim::SimDuration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many students to simulate and how many worker threads to use.
+#[derive(Debug, Clone)]
+pub struct CampusConfig {
+    /// Number of independent student sessions (one shard each).
+    pub students: usize,
+    /// Worker threads; 1 runs the shards inline on the caller's thread.
+    pub threads: usize,
+    /// Base seed; shard `i` derives its own seed from `(base_seed, i)`.
+    pub base_seed: u64,
+}
+
+/// The courseware every student session fetches.
+#[derive(Debug, Clone)]
+pub struct CampusWorkload {
+    /// Scenario objects preloaded into each shard's database.
+    pub objects: Vec<MhegObject>,
+    /// Media catalogue; every student fetches every object once.
+    pub media: Vec<MediaObject>,
+    /// Root container fetched as the courseware closure.
+    pub root: MhegId,
+}
+
+/// Outcome of one student shard. All fields except `wall_secs` are
+/// deterministic functions of `(workload, seed)`.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index == student index.
+    pub student: usize,
+    /// The derived seed the shard ran with.
+    pub seed: u64,
+    /// FNV digest over the shard's simulated observables.
+    pub digest: u64,
+    /// Bytes delivered to the student across the simulated downlink.
+    pub bytes: u64,
+    /// Simulated session time (courseware fetch + every media fetch).
+    pub session: SimDuration,
+    /// Host wall-clock the shard took (not part of any digest).
+    pub wall_secs: f64,
+}
+
+/// Merged outcome of a campus run.
+#[derive(Debug, Clone)]
+pub struct CampusReport {
+    /// Students simulated.
+    pub students: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Order-independent merge: FNV over per-shard digests in shard order.
+    pub digest: u64,
+    /// Total bytes delivered across all shards.
+    pub bytes: u64,
+    /// Host wall-clock for the whole campus run.
+    pub wall_secs: f64,
+    /// Per-shard reports, in shard order regardless of completion order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl CampusReport {
+    /// Students completed per host second.
+    pub fn students_per_sec(&self) -> f64 {
+        self.students as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Simulated bytes delivered per host second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Percentile (0.0..=1.0) of per-shard host wall-time, in seconds.
+    pub fn wall_percentile(&self, p: f64) -> f64 {
+        percentile(self.shards.iter().map(|s| s.wall_secs).collect(), p)
+    }
+
+    /// Percentile (0.0..=1.0) of simulated session time, in seconds.
+    pub fn session_percentile(&self, p: f64) -> f64 {
+        percentile(
+            self.shards
+                .iter()
+                .map(|s| s.session.as_secs_f64())
+                .collect(),
+            p,
+        )
+    }
+}
+
+fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = (p.clamp(0.0, 1.0) * (xs.len() - 1) as f64).round() as usize;
+    xs[rank]
+}
+
+/// SplitMix64 finalizer: decorrelates per-shard seeds so neighbouring
+/// students do not share RNG streams.
+fn derive_seed(base: u64, shard: u64) -> u64 {
+    let mut z = base ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_fold(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Run one student's whole session: fetch the courseware closure, then
+/// fetch every media object (cold cache — each shard is a fresh seat).
+fn run_shard(
+    workload: &CampusWorkload,
+    student: usize,
+    seed: u64,
+) -> Result<ShardReport, SystemError> {
+    let start = Instant::now();
+    let config = SystemConfig::broadband(1).with_seed(seed);
+    let mut sys = MitsSystem::build(&config)?;
+    sys.load_directly(workload.objects.clone(), workload.media.clone());
+    let student_id = ClientId(0);
+
+    let (objects, mut session) = sys.fetch_courseware(student_id, workload.root)?;
+    let mut digest = fnv_fold(FNV_OFFSET, seed);
+    digest = fnv_fold(digest, objects.len() as u64);
+    for m in &workload.media {
+        let (got, t) = sys.fetch_content(student_id, m.id)?;
+        session += t;
+        digest = fnv_fold(digest, got.data.len() as u64);
+    }
+    let bytes = sys.bytes_to_client(student_id);
+    digest = fnv_fold(digest, bytes);
+    digest = fnv_fold(digest, session.as_micros());
+    digest = fnv_fold(digest, sys.db().state_digest());
+
+    Ok(ShardReport {
+        student,
+        seed,
+        digest,
+        bytes,
+        session,
+        wall_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Run the campus: `students` independent sessions over `threads` workers.
+///
+/// Workers claim shard indices from a shared counter, so scheduling is
+/// dynamic — but each report lands in its shard's slot and the merge walks
+/// slots in index order, so the result is independent of thread count and
+/// claim interleaving.
+pub fn run_campus(
+    config: &CampusConfig,
+    workload: &CampusWorkload,
+) -> Result<CampusReport, SystemError> {
+    let students = config.students;
+    let threads = config.threads.max(1).min(students.max(1));
+    let start = Instant::now();
+
+    let slots: Mutex<Vec<Option<Result<ShardReport, SystemError>>>> =
+        Mutex::new((0..students).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+
+    let work = || loop {
+        let shard = next.fetch_add(1, Ordering::Relaxed);
+        if shard >= students {
+            break;
+        }
+        let report = run_shard(workload, shard, derive_seed(config.base_seed, shard as u64));
+        slots.lock().expect("campus slots")[shard] = Some(report);
+    };
+
+    if threads == 1 {
+        work();
+    } else {
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move |_| work());
+            }
+        })
+        .map_err(|_| SystemError::Protocol("campus worker panicked".into()))?;
+    }
+
+    let slots = slots.into_inner().expect("campus slots");
+    let mut shards = Vec::with_capacity(students);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(report)) => shards.push(report),
+            Some(Err(e)) => return Err(e),
+            None => return Err(SystemError::Protocol(format!("campus shard {i} never ran"))),
+        }
+    }
+
+    let mut digest = FNV_OFFSET;
+    let mut bytes = 0u64;
+    for s in &shards {
+        digest = fnv_fold(digest, s.digest);
+        bytes += s.bytes;
+    }
+
+    Ok(CampusReport {
+        students,
+        threads,
+        digest,
+        bytes,
+        wall_secs: start.elapsed().as_secs_f64(),
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mits_media::{MediaFormat, MediaId, VideoDims};
+    use mits_mheg::{ClassLibrary, GenericValue};
+
+    fn tiny_workload(clips: usize, clip_bytes: usize) -> CampusWorkload {
+        let mut lib = ClassLibrary::new(1);
+        let v = lib.value_content("v", GenericValue::Int(1));
+        let root = lib.container("Course", vec![v]);
+        let media = (0..clips)
+            .map(|i| {
+                let data: Vec<u8> = (0..clip_bytes)
+                    .map(|j| ((i * 31 + j) % 251) as u8)
+                    .collect();
+                MediaObject::new(
+                    MediaId(900 + i as u64),
+                    format!("clip{i}.mpg"),
+                    MediaFormat::Mpeg,
+                    SimDuration::from_secs(1),
+                    VideoDims::new(160, 120),
+                    Bytes::from(data),
+                )
+            })
+            .collect();
+        CampusWorkload {
+            objects: lib.into_objects(),
+            media,
+            root,
+        }
+    }
+
+    #[test]
+    fn campus_digest_is_thread_count_invariant() {
+        let w = tiny_workload(2, 4096);
+        let base = CampusConfig {
+            students: 6,
+            threads: 1,
+            base_seed: 42,
+        };
+        let serial = run_campus(&base, &w).unwrap();
+        for threads in [2, 8] {
+            let parallel = run_campus(
+                &CampusConfig {
+                    threads,
+                    ..base.clone()
+                },
+                &w,
+            )
+            .unwrap();
+            assert_eq!(serial.digest, parallel.digest, "threads={threads}");
+            assert_eq!(serial.bytes, parallel.bytes);
+            assert_eq!(
+                serial.shards.iter().map(|s| s.digest).collect::<Vec<_>>(),
+                parallel.shards.iter().map(|s| s.digest).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn campus_shards_have_distinct_seeds_and_full_coverage() {
+        let w = tiny_workload(1, 1024);
+        let report = run_campus(
+            &CampusConfig {
+                students: 5,
+                threads: 3,
+                base_seed: 7,
+            },
+            &w,
+        )
+        .unwrap();
+        assert_eq!(report.students, 5);
+        assert_eq!(report.shards.len(), 5);
+        for (i, s) in report.shards.iter().enumerate() {
+            assert_eq!(s.student, i);
+            assert_eq!(s.bytes, report.shards[0].bytes, "same workload, same bytes");
+            assert!(s.bytes > 1024, "content plus protocol overhead");
+        }
+        let mut seeds: Vec<u64> = report.shards.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5, "derived seeds must not collide");
+    }
+
+    #[test]
+    fn base_seed_changes_the_campus_digest() {
+        let w = tiny_workload(1, 2048);
+        let a = run_campus(
+            &CampusConfig {
+                students: 3,
+                threads: 2,
+                base_seed: 1,
+            },
+            &w,
+        )
+        .unwrap();
+        let b = run_campus(
+            &CampusConfig {
+                students: 3,
+                threads: 2,
+                base_seed: 2,
+            },
+            &w,
+        )
+        .unwrap();
+        assert_ne!(a.digest, b.digest, "seed must reach the digest");
+    }
+}

@@ -26,12 +26,14 @@
 //!   interactivity metric (experiment E-MODEL), and the content-delivery
 //!   ablation of §3.4.2 (experiment E-REUSE).
 
+pub mod campus;
 pub mod cod;
 pub mod models;
 pub mod stack;
 pub mod stream;
 pub mod system;
 
+pub use campus::{run_campus, CampusConfig, CampusReport, CampusWorkload, ShardReport};
 pub use cod::{CodReport, CodSession};
 pub use models::{compare_delivery_models, reuse_ablation, ModelMetrics, ReuseReport};
 pub use stack::{layer_breakdown, LayerCost};

@@ -473,8 +473,12 @@ impl MitsSystem {
 
     // ---------- the pump ----------
 
-    fn earliest_wakeup(&self) -> Option<SimTime> {
-        let mut next = self.net.next_event_time();
+    /// Earliest instant a *system-level* timer fires — transport
+    /// timeouts, client retry wakeups, queued responses, crashes,
+    /// checkpoints — excluding the network's internal cell events, which
+    /// the pump batches through [`AtmNetwork::advance_until_delivery`].
+    fn earliest_system_timer(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
         let mut fold = |t: Option<SimTime>| {
             if let Some(t) = t {
                 next = Some(next.map_or(t, |n| n.min(t)));
@@ -793,17 +797,33 @@ impl MitsSystem {
     /// Advance the whole system to `deadline`, processing everything due.
     pub fn pump_until(&mut self, deadline: SimTime) -> Result<(), SystemError> {
         loop {
+            self.pump_step(deadline)?;
+            if self.net.now() >= deadline {
+                self.run_crash_events()?;
+                self.poll_clients()?;
+                return Ok(());
+            }
+        }
+    }
+
+    /// One pump step: run everything due now, then advance the clock to
+    /// the next instant anything observable can happen — a PDU delivery,
+    /// a system timer, or `deadline` — and process it. Cell-level events
+    /// between those instants are batched inside the network, so the
+    /// per-cell cost is a heap operation, not a full system sweep.
+    fn pump_step(&mut self, deadline: SimTime) -> Result<(), SystemError> {
+        {
             self.run_crash_events()?;
             self.run_checkpoints();
             self.ship_replication()?;
             self.flush_server_ready()?;
             self.poll_clients()?;
-            let next = self.earliest_wakeup();
+            let next = self.earliest_system_timer();
             let step_to = match next {
-                Some(t) if t <= deadline => t,
+                Some(t) if t <= deadline => t.max(self.net.now()),
                 _ => deadline,
             };
-            let deliveries = self.net.advance(step_to);
+            let deliveries = self.net.advance_until_delivery(step_to);
             for d in &deliveries {
                 // Server side. Cells addressed to a down server die with
                 // it — the process that owned the VC no longer exists.
@@ -875,12 +895,8 @@ impl MitsSystem {
                     ch.on_tick(&mut self.net)?;
                 }
             }
-            if self.net.now() >= deadline {
-                self.run_crash_events()?;
-                self.poll_clients()?;
-                return Ok(());
-            }
         }
+        Ok(())
     }
 
     /// Server request handling: decode, dispatch, queue the response
@@ -888,8 +904,8 @@ impl MitsSystem {
     /// backlog is past the configured overload threshold are shed with a
     /// cheap `Unavailable` that bypasses the service queue. Every
     /// response is stamped with the server's failover epoch.
-    fn serve(&mut self, server: usize, peer: usize, frame: &[u8]) -> Result<(), SystemError> {
-        let env = Request::decode(frame)?;
+    fn serve(&mut self, server: usize, peer: usize, frame: &Bytes) -> Result<(), SystemError> {
+        let env = Request::decode_shared(frame)?;
         let now = self.net.now();
         let kind = env.body.kind();
         let node = &mut self.servers[server];
@@ -977,12 +993,7 @@ impl MitsSystem {
             if self.net.now() >= deadline {
                 return Err(SystemError::Timeout);
             }
-            let step = self
-                .earliest_wakeup()
-                .unwrap_or(deadline)
-                .min(deadline)
-                .max(self.net.now() + SimDuration::from_micros(1));
-            self.pump_until(step)?;
+            self.pump_step(deadline)?;
         }
     }
 
@@ -1199,12 +1210,7 @@ impl MitsSystem {
             if self.net.now() >= deadline {
                 return Err(SystemError::Timeout);
             }
-            let step = self
-                .earliest_wakeup()
-                .unwrap_or(deadline)
-                .min(deadline)
-                .max(self.net.now() + SimDuration::from_micros(1));
-            self.pump_until(step)?;
+            self.pump_step(deadline)?;
             for (i, c) in clients.iter().enumerate() {
                 if latencies[i].is_some() {
                     continue;

@@ -90,25 +90,37 @@ impl ClientCache {
         }
     }
 
-    /// Insert an object.
-    pub fn put_object(&mut self, obj: MhegObject) {
-        if self.objects.insert(obj.id, obj.clone()).is_none() {
-            self.used_bytes += OBJ_COST;
-            self.order.push_back(CacheKey::Obj(obj.id));
+    /// Insert an object. Presence is checked before anything is cloned:
+    /// a hit that delivers identical bytes costs no allocation at all.
+    pub fn put_object(&mut self, obj: &MhegObject) {
+        match self.objects.get_mut(&obj.id) {
+            Some(slot) => {
+                if slot != obj {
+                    *slot = obj.clone(); // refreshed content for the same id
+                }
+            }
+            None => {
+                self.objects.insert(obj.id, obj.clone());
+                self.used_bytes += OBJ_COST;
+                self.order.push_back(CacheKey::Obj(obj.id));
+                self.evict_to(self.capacity_bytes);
+            }
         }
-        self.evict_to(self.capacity_bytes);
     }
 
-    /// Insert a media object.
-    pub fn put_content(&mut self, m: MediaObject) {
+    /// Insert a media object. Media is immutable per id, so a hit is a
+    /// no-op — the clone happens only on a miss.
+    pub fn put_content(&mut self, m: &MediaObject) {
         let cost = m.data.len();
         if cost > self.capacity_bytes {
             return; // would evict everything for one oversized item
         }
-        if self.content.insert(m.id, m.clone()).is_none() {
-            self.used_bytes += cost;
-            self.order.push_back(CacheKey::Med(m.id));
+        if self.content.contains_key(&m.id) {
+            return;
         }
+        self.content.insert(m.id, m.clone());
+        self.used_bytes += cost;
+        self.order.push_back(CacheKey::Med(m.id));
         self.evict_to(self.capacity_bytes);
     }
 
@@ -634,9 +646,9 @@ impl DbClient {
     /// matching nothing in flight are [`ClientEvent::Ignored`]: with
     /// idempotent re-issue a late duplicate of a completed request is
     /// expected traffic, not a protocol violation.
-    pub fn on_frame(&mut self, frame: &[u8], now: SimTime) -> ClientEvent {
+    pub fn on_frame(&mut self, frame: &Bytes, now: SimTime) -> ClientEvent {
         self.metrics.bytes_received += frame.len() as u64;
-        let (env, epoch) = match Response::decode_with_epoch(frame) {
+        let (env, epoch) = match Response::decode_with_epoch_shared(frame) {
             Ok(pair) => pair,
             Err(e) => {
                 self.metrics.decode_errors += 1;
@@ -722,10 +734,10 @@ impl DbClient {
         match &env.body {
             Response::Objects(objs) => {
                 for o in objs {
-                    self.cache.put_object(o.clone());
+                    self.cache.put_object(o);
                 }
             }
-            Response::Content(m) => self.cache.put_content(m.clone()),
+            Response::Content(m) => self.cache.put_content(m),
             _ => {}
         }
         self.metrics.completed += 1;
@@ -744,7 +756,7 @@ impl DbClient {
     /// Deprecated shim over [`DbClient::on_frame`] anchored at the epoch.
     #[deprecated(note = "use on_frame(frame, now) for deadline/retry-aware handling")]
     pub fn on_response(&mut self, frame: &[u8]) -> Result<Envelope<Response>, DbError> {
-        match self.on_frame(frame, SimTime::ZERO) {
+        match self.on_frame(&Bytes::copy_from_slice(frame), SimTime::ZERO) {
             ClientEvent::Completed { env, .. } => Ok(env),
             ClientEvent::Failed { error, .. } => Err(error),
             ClientEvent::RetryScheduled { req_id, .. } => Err(DbError::Unavailable(format!(
@@ -928,7 +940,7 @@ mod tests {
         // A frame carrying the right correlation id but a mangled body.
         let mut bad = id.to_be_bytes().to_vec();
         bad.push(200); // unknown response tag
-        match client.on_frame(&bad, SimTime::ZERO) {
+        match client.on_frame(&Bytes::from(bad), SimTime::ZERO) {
             ClientEvent::Failed { req_id, error } => {
                 assert_eq!(req_id, id);
                 assert!(matches!(error, DbError::Malformed(_)));
@@ -1170,7 +1182,7 @@ mod tests {
         use mits_sim::SimDuration;
         let mut cache = ClientCache::new(10_000);
         for i in 0..10u64 {
-            cache.put_content(MediaObject::new(
+            cache.put_content(&MediaObject::new(
                 MediaId(i),
                 format!("m{i}"),
                 MediaFormat::Gif,
@@ -1195,7 +1207,7 @@ mod tests {
         use mits_media::{MediaFormat, MediaObject, VideoDims};
         use mits_sim::SimDuration;
         let mut cache = ClientCache::new(1_000);
-        cache.put_content(MediaObject::new(
+        cache.put_content(&MediaObject::new(
             MediaId(1),
             "big",
             MediaFormat::Mpeg,

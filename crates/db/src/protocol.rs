@@ -309,6 +309,9 @@ impl W {
 
 struct R<'a> {
     d: &'a [u8],
+    /// When decoding straight off a wire frame, the frame itself — lets
+    /// [`R::bytes`] return zero-copy views instead of copies.
+    shared: Option<&'a Bytes>,
     p: usize,
 }
 
@@ -316,7 +319,20 @@ type DR<T> = Result<T, DbError>;
 
 impl<'a> R<'a> {
     fn new(d: &'a [u8]) -> Self {
-        R { d, p: 0 }
+        R {
+            d,
+            shared: None,
+            p: 0,
+        }
+    }
+
+    /// Reader whose byte fields alias `frame`'s backing storage.
+    fn new_shared(frame: &'a Bytes) -> Self {
+        R {
+            d: frame,
+            shared: Some(frame),
+            p: 0,
+        }
     }
     fn take(&mut self, n: usize) -> DR<&'a [u8]> {
         let end = self.p.checked_add(n).ok_or_else(truncated)?;
@@ -343,7 +359,14 @@ impl<'a> R<'a> {
     }
     fn bytes(&mut self) -> DR<Bytes> {
         let n = self.u32()? as usize;
-        Ok(Bytes::copy_from_slice(self.take(n)?))
+        let start = self.p;
+        let raw = self.take(n)?;
+        Ok(match self.shared {
+            // Zero-copy: a 200 KB media body decoded off the wire stays a
+            // view into the frame the transport delivered.
+            Some(frame) => frame.slice(start..start + n),
+            None => Bytes::copy_from_slice(raw),
+        })
     }
     fn id(&mut self) -> DR<MhegId> {
         Ok(MhegId::new(self.u32()?, self.u64()?))
@@ -476,7 +499,16 @@ impl Request {
 
     /// Decode an enveloped request.
     pub fn decode(data: &[u8]) -> DR<Envelope<Request>> {
-        let mut r = R::new(data);
+        Self::decode_r(R::new(data))
+    }
+
+    /// Decode an enveloped request whose byte fields (media bodies,
+    /// encoded objects) alias the frame instead of being copied.
+    pub fn decode_shared(frame: &Bytes) -> DR<Envelope<Request>> {
+        Self::decode_r(R::new_shared(frame))
+    }
+
+    fn decode_r(mut r: R<'_>) -> DR<Envelope<Request>> {
         let req_id = r.u64()?;
         let trace = r.u64()?;
         let body = match r.u8()? {
@@ -602,7 +634,16 @@ impl Response {
     /// Decode an enveloped response along with the server's failover
     /// epoch.
     pub fn decode_with_epoch(data: &[u8]) -> DR<(Envelope<Response>, u64)> {
-        let mut r = R::new(data);
+        Self::decode_with_epoch_r(R::new(data))
+    }
+
+    /// Like [`Response::decode_with_epoch`], but byte fields (media
+    /// bodies) alias the frame instead of being copied out of it.
+    pub fn decode_with_epoch_shared(frame: &Bytes) -> DR<(Envelope<Response>, u64)> {
+        Self::decode_with_epoch_r(R::new_shared(frame))
+    }
+
+    fn decode_with_epoch_r(mut r: R<'_>) -> DR<(Envelope<Response>, u64)> {
         let req_id = r.u64()?;
         let epoch = r.u64()?;
         let trace = r.u64()?;

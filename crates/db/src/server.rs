@@ -410,7 +410,7 @@ impl DbServer {
     /// locally (preserving the primary's sequence number; duplicates are
     /// verified but not re-appended), then apply the record. Returns
     /// whether the record changed local state.
-    pub fn apply_shipped(&self, frame: &[u8]) -> Result<bool, DbError> {
+    pub fn apply_shipped(&self, frame: &Bytes) -> Result<bool, DbError> {
         let _gate = self.write_gate.lock();
         let rec = {
             let mut wal = self.wal.lock();
@@ -422,8 +422,8 @@ impl DbServer {
                     rec
                 }
                 None => {
-                    let (_, payload, _) = wal::decode_frame(frame)?;
-                    WalRecord::decode(payload)?
+                    let (_, payload, _) = wal::decode_frame_shared(frame)?;
+                    WalRecord::decode_shared(&payload)?
                 }
             }
         };

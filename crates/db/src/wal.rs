@@ -345,7 +345,26 @@ impl WalRecord {
 
     /// Decode a record payload.
     pub fn decode(data: &[u8]) -> Result<WalRecord, DbError> {
-        let mut r = Rd { d: data, p: 0 };
+        WalRecord::decode_rd(Rd {
+            d: data,
+            shared: None,
+            p: 0,
+        })
+    }
+
+    /// Decode a record payload from a shared frame: a `PutContent`
+    /// record's media bytes become a view of `payload`'s backing buffer
+    /// instead of a fresh allocation, so replica shipment does not copy
+    /// the media once per replica.
+    pub fn decode_shared(payload: &Bytes) -> Result<WalRecord, DbError> {
+        WalRecord::decode_rd(Rd {
+            d: payload,
+            shared: Some(payload),
+            p: 0,
+        })
+    }
+
+    fn decode_rd(mut r: Rd<'_>) -> Result<WalRecord, DbError> {
         let rec = match r.u8()? {
             TAG_PUT_OBJECT => {
                 let n = r.u32()? as usize;
@@ -365,7 +384,7 @@ impl WalRecord {
                 let duration = mits_sim::SimDuration::from_micros(r.u64()?);
                 let dims = mits_media::VideoDims::new(r.u32()?, r.u32()?);
                 let n = r.u32()? as usize;
-                let data = Bytes::copy_from_slice(r.take(n)?);
+                let data = r.bytes(n)?;
                 WalRecord::PutContent {
                     media: MediaObject::new(id, name, format, duration, dims, data),
                 }
@@ -393,7 +412,7 @@ impl WalRecord {
             },
             t => return Err(DbError::Malformed(format!("unknown wal tag {t}"))),
         };
-        if r.p != data.len() {
+        if r.p != r.d.len() {
             return Err(DbError::Malformed("trailing bytes in wal record".into()));
         }
         Ok(rec)
@@ -407,6 +426,9 @@ fn put_str(w: &mut BytesMut, s: &str) {
 
 struct Rd<'a> {
     d: &'a [u8],
+    /// When decoding straight out of a shipped frame, the frame itself —
+    /// lets `bytes` return zero-copy views instead of allocations.
+    shared: Option<&'a Bytes>,
     p: usize,
 }
 
@@ -433,6 +455,14 @@ impl<'a> Rd<'a> {
     fn str(&mut self) -> Result<String, DbError> {
         let n = self.u32()? as usize;
         String::from_utf8(self.take(n)?.to_vec()).map_err(|e| DbError::Malformed(e.to_string()))
+    }
+    fn bytes(&mut self, n: usize) -> Result<Bytes, DbError> {
+        let start = self.p;
+        let raw = self.take(n)?;
+        Ok(match self.shared {
+            Some(frame) => frame.slice(start..start + n),
+            None => Bytes::copy_from_slice(raw),
+        })
     }
 }
 
@@ -470,6 +500,14 @@ pub fn decode_frame(data: &[u8]) -> Result<(u64, &[u8], usize), DbError> {
     }
     let seq = u64::from_be_bytes(body[..8].try_into().expect("8"));
     Ok((seq, &body[8..], FRAME_HEADER + len))
+}
+
+/// [`decode_frame`] for a shared frame: the returned payload is a
+/// zero-copy view of `frame`'s backing buffer.
+pub fn decode_frame_shared(frame: &Bytes) -> Result<(u64, Bytes, usize), DbError> {
+    let (seq, payload, flen) = decode_frame(frame)?;
+    let start = flen - payload.len();
+    Ok((seq, frame.slice(start..flen), flen))
 }
 
 /// What a replay scan found.
@@ -588,12 +626,12 @@ impl Wal {
     /// number. Frames older than the cursor are verified but *not*
     /// re-appended (duplicate shipment). Returns the decoded record and
     /// its seq.
-    pub fn append_frame(&mut self, frame: &[u8]) -> Result<(u64, WalRecord), DbError> {
-        let (seq, payload, flen) = decode_frame(frame)?;
+    pub fn append_frame(&mut self, frame: &Bytes) -> Result<(u64, WalRecord), DbError> {
+        let (seq, payload, flen) = decode_frame_shared(frame)?;
         if flen != frame.len() {
             return Err(DbError::Malformed("trailing bytes after wal frame".into()));
         }
-        let rec = WalRecord::decode(payload)?;
+        let rec = WalRecord::decode_shared(&payload)?;
         if seq >= self.next_seq {
             self.dev.append(frame);
             self.appended_records += 1;

@@ -7,45 +7,90 @@
 //! follow-up events. Simultaneous events run in the order they were
 //! scheduled (FIFO tie-break on a monotonically increasing sequence number),
 //! which keeps runs bit-for-bit deterministic.
+//!
+//! ## The timing wheel
+//!
+//! [`EventQueue`] is a four-level hierarchical timing wheel rather than a
+//! binary heap. Each level has 256 slots; level `l` buckets events by bits
+//! `8l..8(l+1)` of their microsecond timestamp, so together the wheel spans
+//! a 2³² µs (~71 min) horizon with O(1) insert and O(1) amortized extract
+//! — no `log n` sift and no per-operation comparisons against boxed
+//! closures. Events beyond the horizon wait in a `BTreeMap` overflow and
+//! migrate into the wheel when the clock reaches their epoch. Nodes live in
+//! a slab arena threaded into per-slot intrusive FIFO lists; slot occupancy
+//! is tracked in 256-bit bitmaps scanned with `trailing_zeros`. Slots are
+//! cascaded to lower levels strictly in list order, which preserves the
+//! exact (time, seq) extraction order of the original heap — golden traces
+//! are byte-identical across the swap.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
 /// A boxed event callback: receives the world and a scheduler for follow-ups.
 pub type Event<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
 
-struct Entry<W> {
-    at: SimTime,
+const NIL: u32 = u32::MAX;
+const SLOTS: usize = 256;
+const LEVELS: usize = 4;
+
+/// Arena node: timestamp, FIFO tie-break, intrusive slot-list link, payload.
+struct Node<W> {
+    at: u64,
     seq: u64,
-    run: Event<W>,
+    next: u32,
+    run: Option<Event<W>>,
 }
 
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// One wheel level: 256 intrusive FIFO lists plus an occupancy bitmap.
+struct Level {
+    head: [u32; SLOTS],
+    tail: [u32; SLOTS],
+    bits: [u64; SLOTS / 64],
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            head: [NIL; SLOTS],
+            tail: [NIL; SLOTS],
+            bits: [0; SLOTS / 64],
+        }
     }
-}
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
-        // entry is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    /// Lowest occupied slot index `>= from`, if any.
+    fn first_set(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        let mut mask = !0u64 << (from % 64);
+        while word < SLOTS / 64 {
+            let b = self.bits[word] & mask;
+            if b != 0 {
+                return Some(word * 64 + b.trailing_zeros() as usize);
+            }
+            word += 1;
+            mask = !0;
+        }
+        None
     }
 }
 
 /// A time-ordered queue of pending events.
+///
+/// Extraction order is exactly ascending `(time, seq)` where `seq` is the
+/// push order — identical to the binary-heap implementation it replaced.
 pub struct EventQueue<W> {
-    heap: BinaryHeap<Entry<W>>,
+    nodes: Vec<Node<W>>,
+    free: Vec<u32>,
+    levels: [Level; LEVELS],
+    /// Events beyond the 2³² µs wheel horizon, keyed by (time, seq).
+    overflow: BTreeMap<(u64, u64), u32>,
+    /// Events pushed with a timestamp before the wheel cursor (possible only
+    /// through direct `EventQueue` use — `Simulation` forbids it).
+    overdue: BTreeMap<(u64, u64), u32>,
+    /// Wheel cursor: no event in the wheel levels is earlier than this.
+    cur: u64,
+    /// Cached earliest wheel-resident timestamp (excludes overflow/overdue).
+    wheel_min: Option<u64>,
+    len: usize,
     next_seq: u64,
 }
 
@@ -59,7 +104,14 @@ impl<W> EventQueue<W> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            levels: [Level::new(), Level::new(), Level::new(), Level::new()],
+            overflow: BTreeMap::new(),
+            overdue: BTreeMap::new(),
+            cur: 0,
+            wheel_min: None,
+            len: 0,
             next_seq: 0,
         }
     }
@@ -68,31 +120,190 @@ impl<W> EventQueue<W> {
     pub fn push(&mut self, at: SimTime, event: Event<W>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            run: event,
-        });
+        let idx = self.alloc(at.as_micros(), seq, event);
+        self.place(idx);
+        self.len += 1;
     }
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event<W>)> {
-        self.heap.pop().map(|e| (e.at, e.run))
+        // Overdue events are strictly earlier than the wheel cursor, and
+        // everything in the wheel is at or after it.
+        if let Some((_, idx)) = self.overdue.pop_first() {
+            return Some(self.detach(idx));
+        }
+        self.settle();
+        let min = self.wheel_min?;
+        let slot = (min & 0xFF) as usize;
+        let idx = self.pop_slot_head(slot);
+        self.cur = min;
+        let out = self.detach(idx);
+        self.settle();
+        Some(out)
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        let mut best = self.wheel_min;
+        if let Some((&(t, _), _)) = self.overflow.first_key_value() {
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        if let Some((&(t, _), _)) = self.overdue.first_key_value() {
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        best.map(SimTime::from_micros)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    fn alloc(&mut self, at: u64, seq: u64, run: Event<W>) -> u32 {
+        let node = Node {
+            at,
+            seq,
+            next: NIL,
+            run: Some(run),
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Remove a node from the arena, returning its timestamp and callback.
+    fn detach(&mut self, idx: u32) -> (SimTime, Event<W>) {
+        let node = &mut self.nodes[idx as usize];
+        debug_assert_eq!(node.next, NIL);
+        let at = node.at;
+        let run = node.run.take().expect("event node already detached");
+        self.free.push(idx);
+        self.len -= 1;
+        (SimTime::from_micros(at), run)
+    }
+
+    /// File a node into the level (or map) its distance from the cursor
+    /// selects. Within a slot, nodes are appended FIFO, so equal-time
+    /// events keep push order.
+    fn place(&mut self, idx: u32) {
+        let t = self.nodes[idx as usize].at;
+        let seq = self.nodes[idx as usize].seq;
+        if t < self.cur {
+            self.overdue.insert((t, seq), idx);
+            return;
+        }
+        // Shared high bits decide the level: events whose timestamp agrees
+        // with the cursor down to bit 8(l+1) belong on level l.
+        let d = t ^ self.cur;
+        let level = if d < 1 << 8 {
+            0
+        } else if d < 1 << 16 {
+            1
+        } else if d < 1 << 24 {
+            2
+        } else if d < 1 << 32 {
+            3
+        } else {
+            self.overflow.insert((t, seq), idx);
+            return;
+        };
+        let slot = ((t >> (8 * level)) & 0xFF) as usize;
+        let lv = &mut self.levels[level];
+        if lv.head[slot] == NIL {
+            lv.head[slot] = idx;
+            lv.bits[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.nodes[lv.tail[slot] as usize].next = idx;
+        }
+        lv.tail[slot] = idx;
+        self.wheel_min = Some(self.wheel_min.map_or(t, |m| m.min(t)));
+    }
+
+    /// Unlink and return the head node of a level-0 slot.
+    fn pop_slot_head(&mut self, slot: usize) -> u32 {
+        let lv = &mut self.levels[0];
+        let idx = lv.head[slot];
+        debug_assert_ne!(idx, NIL, "pop from empty slot");
+        let next = self.nodes[idx as usize].next;
+        self.nodes[idx as usize].next = NIL;
+        lv.head[slot] = next;
+        if next == NIL {
+            lv.tail[slot] = NIL;
+            lv.bits[slot / 64] &= !(1 << (slot % 64));
+        }
+        idx
+    }
+
+    /// Detach an entire slot list, clearing its occupancy bit.
+    fn take_slot(&mut self, level: usize, slot: usize) -> u32 {
+        let lv = &mut self.levels[level];
+        let head = lv.head[slot];
+        lv.head[slot] = NIL;
+        lv.tail[slot] = NIL;
+        lv.bits[slot / 64] &= !(1 << (slot % 64));
+        head
+    }
+
+    /// Cascade until the earliest wheel event sits in level 0 (caching its
+    /// time in `wheel_min`), migrating overflow epochs as the cursor
+    /// reaches them. Leaves `wheel_min` as `None` only when the wheel and
+    /// overflow are both empty.
+    fn settle(&mut self) {
+        'outer: loop {
+            // Earliest level-0 slot in the current 256 µs window is the
+            // global wheel minimum: every higher-level event differs from
+            // the cursor in some bit above bit 7, hence lies beyond it.
+            if let Some(slot) = self.levels[0].first_set((self.cur & 0xFF) as usize) {
+                self.wheel_min = Some((self.cur & !0xFF) | slot as u64);
+                return;
+            }
+            for level in 1..LEVELS {
+                let shift = 8 * level;
+                let from = ((self.cur >> shift) & 0xFF) as usize;
+                if let Some(slot) = self.levels[level].first_set(from) {
+                    // Advance the cursor to the slot's window and deal its
+                    // list (in FIFO order) down to lower levels.
+                    let span_mask = (1u64 << (8 * (level + 1))) - 1;
+                    let slot_start = (self.cur & !span_mask) | ((slot as u64) << shift);
+                    debug_assert!(slot_start >= self.cur, "cascade moved cursor backwards");
+                    self.cur = self.cur.max(slot_start);
+                    let mut walk = self.take_slot(level, slot);
+                    while walk != NIL {
+                        let next = self.nodes[walk as usize].next;
+                        self.nodes[walk as usize].next = NIL;
+                        self.place(walk);
+                        walk = next;
+                    }
+                    continue 'outer;
+                }
+            }
+            // Wheel empty: pull the next overflow epoch into it, if any.
+            if let Some((&(t, _), _)) = self.overflow.first_key_value() {
+                self.cur = t;
+                while let Some((&(t2, _), _)) = self.overflow.first_key_value() {
+                    if t2 >> 32 != self.cur >> 32 {
+                        break;
+                    }
+                    let (_, idx) = self.overflow.pop_first().expect("checked non-empty");
+                    self.place(idx);
+                }
+                continue;
+            }
+            self.wheel_min = None;
+            return;
+        }
     }
 }
 
@@ -350,5 +561,119 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_micros(50));
         sim.run_until(SimTime::from_micros(150));
         assert_eq!(sim.now(), SimTime::from_micros(100), "clock at last event");
+    }
+
+    #[test]
+    fn order_preserved_across_level_boundaries() {
+        // Times straddling every wheel-level boundary, plus duplicates; the
+        // pop order must be ascending time with FIFO among equals.
+        let times: Vec<u64> = vec![
+            300,
+            255,
+            256,
+            257,
+            300, // duplicate, pushed later — must pop after the first 300
+            65_535,
+            65_536,
+            65_537,
+            1 << 24,
+            (1 << 24) - 1,
+            (1 << 32) + 5, // beyond the wheel horizon → overflow map
+            (1 << 32) + 5,
+            1,
+            0,
+        ];
+        let mut q: EventQueue<Vec<usize>> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), Box::new(move |w, _| w.push(i)));
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let mut got = Vec::new();
+        let mut last = 0u64;
+        while let Some((at, _ev)) = q.pop() {
+            assert!(at.as_micros() >= last, "time went backwards");
+            last = at.as_micros();
+            got.push(at.as_micros());
+        }
+        assert_eq!(
+            got,
+            expect.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            "pop times ascending with ties in push order"
+        );
+    }
+
+    #[test]
+    fn late_push_of_equal_time_pops_after_earlier_push() {
+        // An event far ahead lands on a high wheel level; after the cursor
+        // advances, a second event at the *same* time goes straight to level
+        // 0. The earlier push must still pop first.
+        let mut q: EventQueue<Vec<&'static str>> = EventQueue::new();
+        q.push(SimTime::from_micros(300), Box::new(|w, _| w.push("early")));
+        q.push(SimTime::from_micros(290), Box::new(|w, _| w.push("pre")));
+        // Pop the 290 event: the cursor moves into 300's window.
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at.as_micros(), 290);
+        q.push(SimTime::from_micros(300), Box::new(|w, _| w.push("late")));
+        let mut world = Vec::new();
+        while let Some((at2, ev)) = q.pop() {
+            assert_eq!(at2.as_micros(), 300);
+            let mut sched = Scheduler {
+                now: at2,
+                pending: Vec::new(),
+            };
+            ev(&mut world, &mut sched);
+        }
+        assert_eq!(world, vec!["early", "late"]);
+    }
+
+    #[test]
+    fn wheel_matches_reference_order_under_random_churn() {
+        use crate::rng::SimRng;
+        // Interleave pushes and pops; verify extraction matches a stable
+        // sort by (time, push-seq) — the binary-heap contract.
+        let mut rng = SimRng::seed_from_u64(0xC0FF_EE00);
+        let mut q: EventQueue<()> = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (time, seq) pending
+        let mut popped: Vec<u64> = Vec::new();
+        let mut expected: Vec<u64> = Vec::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..5_000 {
+            if rng.chance(0.6) || reference.is_empty() {
+                // Push at now + skewed delta, crossing all level widths.
+                let delta = match rng.below(5) {
+                    0 => rng.below(64),
+                    1 => rng.below(1 << 10),
+                    2 => rng.below(1 << 18),
+                    3 => rng.below(1 << 26),
+                    _ => rng.below(1u64 << 34),
+                };
+                let t = now + delta;
+                q.push(SimTime::from_micros(t), Box::new(|_, _| {}));
+                reference.push((t, seq));
+                seq += 1;
+            } else {
+                let (at, _) = q.pop().expect("reference says non-empty");
+                popped.push(at.as_micros());
+                let best = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &k)| k)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                expected.push(reference.remove(best).0);
+                now = at.as_micros();
+            }
+        }
+        while let Some((at, _)) = q.pop() {
+            popped.push(at.as_micros());
+        }
+        reference.sort_unstable();
+        expected.extend(reference.iter().map(|&(t, _)| t));
+        assert_eq!(popped, expected);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
     }
 }

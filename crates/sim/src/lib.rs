@@ -10,8 +10,10 @@
 //! The kernel is deliberately small and allocation-light:
 //!
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
-//! * [`EventQueue`] — a binary-heap future event list with deterministic
-//!   FIFO tie-breaking for simultaneous events.
+//! * [`EventQueue`] — a hierarchical timing-wheel future event list with
+//!   deterministic FIFO tie-breaking for simultaneous events.
+//! * [`Payload`] — a zero-copy shared byte buffer (`Arc<[u8]>` + range)
+//!   cloned by reference-count bump, used for every media payload.
 //! * [`Simulation`] — an executor that owns a mutable world `W` and runs
 //!   closures-as-events against it.
 //! * [`rng`] — seedable, splittable random streams so that experiments are
@@ -44,6 +46,7 @@
 //! ```
 
 pub mod event;
+pub mod payload;
 pub mod queue;
 pub mod registry;
 pub mod rng;
@@ -52,6 +55,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, Scheduler, Simulation};
+pub use payload::Payload;
 pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
 pub use registry::{MetricValue, MetricsRegistry};
 pub use rng::SimRng;

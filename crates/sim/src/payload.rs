@@ -1,0 +1,286 @@
+//! Zero-copy shared payload buffer.
+//!
+//! [`Payload`] is an immutable byte buffer backed by an `Arc<[u8]>` plus a
+//! `[start, end)` window: cloning or slicing one is a reference-count bump
+//! and two integer assignments, never a byte copy. The ATM layer uses it so
+//! that a 200 KB MPEG PDU segmented into ~4 300 cells shares one backing
+//! allocation across every cell, every retransmit, and every replica ship
+//! instead of being copied at each hop.
+//!
+//! Equality, ordering and hashing are by content (like `&[u8]`), not by
+//! backing identity, so swapping a deep copy for a `Payload` view is
+//! observationally transparent to any code that only reads bytes.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply-cloneable immutable byte buffer: `Arc<[u8]>` + range view.
+#[derive(Clone)]
+pub struct Payload {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Payload {
+    /// Empty payload.
+    pub fn new() -> Self {
+        Payload::from_arc(Arc::from(&[][..]))
+    }
+
+    /// Payload holding a copy of `data` (the one unavoidable copy when the
+    /// source is a borrowed slice).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Payload::from_arc(Arc::from(data))
+    }
+
+    /// Payload viewing an entire shared allocation — no copy.
+    pub fn from_arc(buf: Arc<[u8]>) -> Self {
+        let end = buf.len();
+        Payload { buf, start: 0, end }
+    }
+
+    /// Payload viewing `[start, end)` of a shared allocation — no copy.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn from_arc_range(buf: Arc<[u8]>, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= buf.len(), "range out of bounds");
+        Payload { buf, start, end }
+    }
+
+    /// The shared backing allocation. May be larger than `self` when this
+    /// payload is a window into a bigger buffer.
+    pub fn backing(&self) -> &Arc<[u8]> {
+        &self.buf
+    }
+
+    /// This payload's `[start, end)` window within [`Payload::backing`].
+    pub fn range(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-view sharing the same storage — no copy.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Payload {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Payload {
+            buf: Arc::clone(&self.buf),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// True when `other` views the same allocation and `self`'s window ends
+    /// exactly where `other`'s begins — the zero-copy reassembly test.
+    pub fn is_contiguous_with(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf) && self.end == other.start
+    }
+
+    /// Mutable access to the bytes, copy-on-write: when the backing
+    /// allocation is shared (or this is a window into a larger buffer) the
+    /// viewed bytes are first copied into a private allocation. Fault
+    /// injection uses this to corrupt cells without disturbing siblings
+    /// that share the same storage.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        let private =
+            self.start == 0 && self.end == self.buf.len() && Arc::get_mut(&mut self.buf).is_some();
+        if !private {
+            let copy: Arc<[u8]> = Arc::from(&self.buf[self.start..self.end]);
+            self.start = 0;
+            self.end = copy.len();
+            self.buf = copy;
+        }
+        Arc::get_mut(&mut self.buf).expect("payload buffer just privatized")
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::new()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Payload {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialOrd for Payload {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Payload {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Payload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::from_arc(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<Box<[u8]>> for Payload {
+    fn from(v: Box<[u8]>) -> Self {
+        Payload::from_arc(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Payload {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_storage() {
+        let p = Payload::from(vec![1u8, 2, 3, 4, 5, 6]);
+        let c = p.clone();
+        assert!(Arc::ptr_eq(p.backing(), c.backing()));
+        let s = p.slice(2..5);
+        assert_eq!(&s[..], &[3, 4, 5]);
+        assert!(Arc::ptr_eq(p.backing(), s.backing()));
+        assert_eq!(s.range(), (2, 5));
+        let ss = s.slice(1..3);
+        assert_eq!(&ss[..], &[4, 5]);
+        assert_eq!(ss.range(), (3, 5));
+    }
+
+    #[test]
+    fn contiguity_detects_adjacent_windows() {
+        let p = Payload::from(vec![0u8; 96]);
+        let a = p.slice(0..48);
+        let b = p.slice(48..96);
+        assert!(a.is_contiguous_with(&b));
+        assert!(!b.is_contiguous_with(&a));
+        let other = Payload::from(vec![0u8; 96]).slice(48..96);
+        assert!(!a.is_contiguous_with(&other), "different allocations");
+    }
+
+    #[test]
+    fn make_mut_is_copy_on_write() {
+        let p = Payload::from(vec![9u8; 8]);
+        let mut view = p.slice(2..6);
+        view.make_mut()[0] = 0;
+        assert_eq!(&view[..], &[0, 9, 9, 9]);
+        assert_eq!(&p[..], &[9u8; 8][..], "original untouched");
+        assert!(!Arc::ptr_eq(p.backing(), view.backing()));
+    }
+
+    #[test]
+    fn make_mut_in_place_when_unshared() {
+        let mut p = Payload::from(vec![1u8, 2, 3]);
+        let before = Arc::as_ptr(p.backing());
+        p.make_mut()[1] = 7;
+        assert_eq!(&p[..], &[1, 7, 3]);
+        assert_eq!(Arc::as_ptr(p.backing()), before, "no copy when private");
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Payload::from(vec![1u8, 2, 3]);
+        let b = Payload::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a, [1u8, 2, 3][..]);
+        let w = Payload::from(vec![0u8, 1, 2, 3, 0]).slice(1..4);
+        assert_eq!(a, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let p = Payload::from(vec![0u8; 4]);
+        let _ = p.slice(1..6);
+    }
+}

@@ -60,9 +60,10 @@ impl<T> BoundedQueue<T> {
             None
         };
         if dropped.is_some() {
-            // A head drop still counts the arrival as accepted but records
-            // one loss for the evicted item.
+            // A head drop is two ledger entries: one loss for the evicted
+            // item and one accepted arrival for the item taking its place.
             self.drops.record(true);
+            self.drops.record(false);
         } else {
             self.drops.record(false);
         }
@@ -203,6 +204,9 @@ mod tests {
         assert_eq!(q.take(), Some(2));
         assert_eq!(q.take(), Some(3));
         assert_eq!(q.drops.hits, 1);
+        // Three arrivals all accepted plus one eviction: four ledger
+        // entries, one of them a loss.
+        assert_eq!(q.drops.total, 4);
     }
 
     #[test]

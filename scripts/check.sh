@@ -7,6 +7,7 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+cargo bench --no-run
 
 # Determinism gate: the observability example's trace must reproduce the
 # checked-in golden byte for byte (same seed => same spans, same times).
@@ -15,3 +16,22 @@ trap 'rm -f "$trace"' EXIT
 cargo run -q --release -p mits --example observability -- --trace-out "$trace" >/dev/null
 diff -u tests/golden/observability_trace.jsonl "$trace"
 echo "observability trace matches golden"
+
+# Campus smoke: a small parallel campus run must produce a well-formed,
+# non-empty BENCH_campus.json (written to a temp path so the checked-in
+# full-size numbers stay put).
+campus_json="$(mktemp)"
+trap 'rm -f "$trace" "$campus_json"' EXIT
+MITS_CAMPUS_STUDENTS=6 MITS_CAMPUS_THREADS=2 MITS_CAMPUS_CLIPS=2 \
+  MITS_CAMPUS_OUT="$campus_json" \
+  cargo run -q --release -p mits-bench --bin tables -- --exp campus >/dev/null
+python3 - "$campus_json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("students", "digest", "digest_match_1_vs_n_threads",
+            "bytes_simulated", "students_per_sec", "fetch200k_speedup"):
+    assert key in d, f"BENCH_campus.json missing {key}"
+assert d["students"] > 0 and d["bytes_simulated"] > 0, "empty campus run"
+assert d["digest_match_1_vs_n_threads"] is True, "campus digest diverged"
+PY
+echo "campus bench json well-formed"

@@ -1,7 +1,9 @@
 //! Minimal, offline, API-compatible subset of the `bytes` crate.
 //!
-//! `Bytes` is a cheaply-clonable immutable byte buffer (`Arc<[u8]>`),
-//! `BytesMut` a growable builder that freezes into one, and `BufMut`
+//! `Bytes` is a cheaply-clonable immutable byte buffer — an `Arc<[u8]>`
+//! plus a `[start, end)` window, so `clone` and `slice` share the
+//! backing storage instead of copying (matching the real crate).
+//! `BytesMut` is a growable builder that freezes into one, and `BufMut`
 //! the write-cursor trait the wire codecs use. Only the surface the
 //! workspace actually exercises is provided.
 
@@ -13,33 +15,67 @@ use std::sync::Arc;
 
 /// Cheaply clonable, immutable, contiguous slice of memory.
 #[derive(Clone)]
-pub struct Bytes(Arc<[u8]>);
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// Empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes::from_shared(Arc::from(&[][..]))
     }
 
     /// Buffer viewing a static slice (copied here; semantics identical).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes(Arc::from(bytes))
+        Bytes::from_shared(Arc::from(bytes))
     }
 
     /// Buffer holding a copy of `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_shared(Arc::from(data))
+    }
+
+    /// Buffer viewing an entire shared allocation (no copy).
+    pub fn from_shared(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
+    /// Buffer viewing `[start, end)` of a shared allocation (no copy).
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn from_shared_range(data: Arc<[u8]>, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= data.len(), "range out of bounds");
+        Bytes { data, start, end }
+    }
+
+    /// The shared backing allocation (covers more than `self` when this
+    /// buffer is a slice of a larger one).
+    pub fn shared(&self) -> &Arc<[u8]> {
+        &self.data
+    }
+
+    /// This buffer's `[start, end)` window within [`Bytes::shared`].
+    pub fn shared_range(&self) -> (usize, usize) {
+        (self.start, self.end)
     }
 
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
-    /// Sub-slice as a new buffer (copies; the real crate shares).
+    /// Sub-slice as a new buffer sharing the same storage (no copy).
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -50,13 +86,22 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.0.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes(Arc::from(&self.0[start..end]))
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
@@ -69,26 +114,26 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -99,7 +144,7 @@ impl fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.0[..] == other.0[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -113,55 +158,55 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0[..].cmp(&other.0[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.0[..].hash(state)
+        self.as_slice().hash(state)
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.0[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.0[..] == **other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.0[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl PartialEq<str> for Bytes {
     fn eq(&self, other: &str) -> bool {
-        self.0[..] == *other.as_bytes()
+        self.as_slice() == other.as_bytes()
     }
 }
 
 impl PartialEq<&str> for Bytes {
     fn eq(&self, other: &&str) -> bool {
-        self.0[..] == *other.as_bytes()
+        self.as_slice() == other.as_bytes()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes::from_shared(Arc::from(v.into_boxed_slice()))
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes(Arc::from(v))
+        Bytes::from_shared(Arc::from(v))
     }
 }
 
@@ -193,7 +238,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -339,5 +384,33 @@ mod tests {
         let b = Bytes::from("ping");
         assert_eq!(b, "ping");
         assert_eq!(b, b"ping"[..]);
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert!(Arc::ptr_eq(b.shared(), s.shared()), "no copy on slice");
+        assert_eq!(s.shared_range(), (1, 4));
+        let ss = s.slice(1..2);
+        assert_eq!(&ss[..], &[3]);
+        assert_eq!(ss.shared_range(), (2, 3));
+    }
+
+    #[test]
+    fn nested_slice_of_slice_bounds() {
+        let b = Bytes::from(vec![0u8; 10]);
+        let s = b.slice(2..8);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.slice(..).len(), 6);
+        assert_eq!(s.slice(6..6).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        let b = Bytes::from(vec![0u8; 4]);
+        let _ = b.slice(2..6);
     }
 }
