@@ -7,6 +7,9 @@
 //!   cargo run -p mits-bench --bin tables -- --exp campus   # scale run,
 //!       writes BENCH_campus.json (override path with MITS_CAMPUS_OUT;
 //!       size with MITS_CAMPUS_STUDENTS / MITS_CAMPUS_THREADS)
+//!   cargo run -p mits-bench --bin tables -- --exp slo      # campus SLO
+//!       verdicts (size with MITS_SLO_STUDENTS / MITS_SLO_THREADS;
+//!       MITS_SLO_OUT writes the verdict JSON to a file)
 
 use bytes::Bytes;
 use mits_atm::{FaultPlan, LinkFaults, LinkProfile};
@@ -79,10 +82,14 @@ fn main() {
     if want("obs") {
         obs();
     }
-    // Scale experiment: opt-in only — it reports host wall-clock numbers,
-    // which would make the default (deterministic) output machine-dependent.
+    // Scale experiments: opt-in only — campus reports host wall-clock
+    // numbers, which would make the default (deterministic) output
+    // machine-dependent, and slo runs a whole campus.
     if filter.as_deref() == Some("campus") {
         campus();
+    }
+    if filter.as_deref() == Some("slo") {
+        slo();
     }
 }
 
@@ -733,6 +740,8 @@ fn obs() {
     drop(session);
     println!("-- waterfall (offset, duration, span) --");
     print!("{}", sys.tracer.waterfall(root));
+    println!("-- profile (self-time fold of the span tree) --");
+    print!("{}", mits_sim::profile_tracer(&sys.tracer).render_top(10));
     println!("-- metrics --");
     print!("{}", sys.metrics.to_text());
 }
@@ -849,27 +858,16 @@ fn campus() {
     );
 
     let workload = campus_workload(clips, 200 * 1024);
-    let serial = run_campus(
-        &CampusConfig {
-            students,
-            threads: 1,
-            base_seed: 42,
-        },
-        &workload,
-    )
-    .unwrap();
-    let parallel = run_campus(
-        &CampusConfig {
-            students,
-            threads,
-            base_seed: 42,
-        },
-        &workload,
-    )
-    .unwrap();
+    let serial = run_campus(&CampusConfig::new(students, 1, 42), &workload).unwrap();
+    let parallel = run_campus(&CampusConfig::new(students, threads, 42), &workload).unwrap();
     assert_eq!(
         serial.digest, parallel.digest,
         "campus digest must not depend on thread count"
+    );
+    assert_eq!(
+        serial.metrics.to_json(),
+        parallel.metrics.to_json(),
+        "merged metrics rollup must not depend on thread count"
     );
 
     let speedup = serial.wall_secs / parallel.wall_secs.max(1e-9);
@@ -893,7 +891,7 @@ fn campus() {
     );
 
     let json = format!(
-        "{{\n  \"experiment\": \"campus\",\n  \"students\": {},\n  \"threads\": {},\n  \"host_cores\": {},\n  \"base_seed\": 42,\n  \"clips_per_student\": {},\n  \"clip_bytes\": {},\n  \"digest\": \"0x{:016x}\",\n  \"digest_match_1_vs_n_threads\": {},\n  \"bytes_simulated\": {},\n  \"wall_secs_1_thread\": {:.4},\n  \"wall_secs_n_threads\": {:.4},\n  \"speedup_n_over_1\": {:.3},\n  \"students_per_sec\": {:.2},\n  \"bytes_per_sec\": {:.1},\n  \"session_ms_p50\": {:.3},\n  \"session_ms_p99\": {:.3},\n  \"shard_wall_ms_p50\": {:.3},\n  \"shard_wall_ms_p99\": {:.3},\n  \"fetch200k_kbps_seed\": {:.1},\n  \"fetch200k_kbps_now\": {:.1},\n  \"fetch200k_speedup\": {:.2}\n}}\n",
+        "{{\n  \"experiment\": \"campus\",\n  \"students\": {},\n  \"threads\": {},\n  \"host_cores\": {},\n  \"base_seed\": 42,\n  \"clips_per_student\": {},\n  \"clip_bytes\": {},\n  \"digest\": \"0x{:016x}\",\n  \"digest_match_1_vs_n_threads\": {},\n  \"metrics_match_1_vs_n_threads\": {},\n  \"traces_sampled\": {},\n  \"slo_breaches\": {},\n  \"bytes_simulated\": {},\n  \"wall_secs_1_thread\": {:.4},\n  \"wall_secs_n_threads\": {:.4},\n  \"speedup_n_over_1\": {:.3},\n  \"students_per_sec\": {:.2},\n  \"bytes_per_sec\": {:.1},\n  \"session_ms_p50\": {:.3},\n  \"session_ms_p99\": {:.3},\n  \"shard_wall_ms_p50\": {:.3},\n  \"shard_wall_ms_p99\": {:.3},\n  \"fetch200k_kbps_seed\": {:.1},\n  \"fetch200k_kbps_now\": {:.1},\n  \"fetch200k_speedup\": {:.2}\n}}\n",
         parallel.students,
         parallel.threads,
         host_cores,
@@ -901,6 +899,9 @@ fn campus() {
         200 * 1024,
         parallel.digest,
         serial.digest == parallel.digest,
+        serial.metrics.to_json() == parallel.metrics.to_json(),
+        parallel.traces.len(),
+        parallel.slo.breaches(),
         parallel.bytes,
         serial.wall_secs,
         parallel.wall_secs,
@@ -917,4 +918,46 @@ fn campus() {
     );
     std::fs::write(&out, json).expect("write campus bench json");
     println!("wrote {out}");
+}
+
+/// SLO: run a small campus, judge the merged metrics rollup against the
+/// default objectives, and emit the machine-readable verdicts. Opt-in
+/// (`--exp slo`). The last stdout line is the verdict JSON; set
+/// `MITS_SLO_OUT` to also write it to a file for CI parsing.
+fn slo() {
+    header(
+        "SLO",
+        "campus objectives judged on the merged metrics rollup",
+    );
+    let students = env_usize("MITS_SLO_STUDENTS", 16);
+    let threads = env_usize("MITS_SLO_THREADS", 4);
+    let clips = env_usize("MITS_SLO_CLIPS", 2);
+    let workload = campus_workload(clips, 64 * 1024);
+    let report = run_campus(&CampusConfig::new(students, threads, 42), &workload).unwrap();
+    println!(
+        "{:<22} {:>12} {:>10} {:>10}  verdict",
+        "objective", "observed", "warn", "breach"
+    );
+    for o in &report.slo.outcomes {
+        println!(
+            "{:<22} {:>12.6} {:>10.3} {:>10.3}  {}",
+            o.name,
+            o.observed,
+            o.warn,
+            o.breach,
+            o.verdict.as_str()
+        );
+    }
+    println!(
+        "traces sampled: {} of {} students ({} anomalous)",
+        report.traces.len(),
+        report.students,
+        report.shards.iter().filter(|s| s.anomalous).count()
+    );
+    let json = report.slo.to_json();
+    if let Ok(out) = std::env::var("MITS_SLO_OUT") {
+        std::fs::write(&out, format!("{json}\n")).expect("write slo json");
+        println!("wrote {out}");
+    }
+    println!("{json}");
 }

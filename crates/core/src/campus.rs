@@ -12,16 +12,37 @@
 //! quantities, so the merged campus digest is byte-identical whether the
 //! shards ran on one thread or eight. Host wall-clock is reported for
 //! throughput numbers but never folded into a digest.
+//!
+//! Telemetry scales the same way. Every shard freezes its
+//! [`MetricsRegistry`] into a [`MetricsSnapshot`]; the merge folds the
+//! snapshots in shard-index order (counters add, histograms merge,
+//! gauges keep the latest virtual stamp), so
+//! [`CampusReport::metrics`] is byte-identical across thread counts.
+//! Traces are *sampled*, Dapper-style: a deterministic per-student
+//! lottery ([`TraceSampler`]) keeps a bounded fraction, and anomalous
+//! sessions — degraded (the client retried, timed out or hit a decode
+//! error), failed over, or slower than the latency threshold — are
+//! always kept. The merged snapshot is then judged against declarative
+//! SLOs ([`default_campus_slos`]) into pass/warn/breach verdicts.
 
 use crate::system::{ClientId, MitsSystem, SystemConfig, SystemError};
 use mits_media::MediaObject;
 use mits_mheg::{MhegId, MhegObject};
-use mits_sim::SimDuration;
+use mits_sim::{
+    MetricsSnapshot, SampleReason, SimDuration, Slo, SloInput, SloReport, TailSignals, TraceSampler,
+};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// How many students to simulate and how many worker threads to use.
+/// Histogram geometry for per-session simulated time, shared by every
+/// shard so the merged campus histogram is well-defined.
+const SESSION_SECS_HI: f64 = 60.0;
+const SESSION_SECS_BINS: usize = 600;
+
+/// How many students to simulate, how many worker threads to use, and
+/// how the campus telemetry behaves.
 #[derive(Debug, Clone)]
 pub struct CampusConfig {
     /// Number of independent student sessions (one shard each).
@@ -30,6 +51,37 @@ pub struct CampusConfig {
     pub threads: usize,
     /// Base seed; shard `i` derives its own seed from `(base_seed, i)`.
     pub base_seed: u64,
+    /// Fraction of students whose traces are head-sampled (0.0..=1.0).
+    /// Anomalous sessions are kept regardless (tail sampling).
+    pub trace_sample_rate: f64,
+    /// Sessions simulating longer than this are tail-sampled as slow.
+    pub slow_session: SimDuration,
+}
+
+impl CampusConfig {
+    /// A campus with default telemetry: 5% head sampling, 30 s slow
+    /// threshold.
+    pub fn new(students: usize, threads: usize, base_seed: u64) -> Self {
+        CampusConfig {
+            students,
+            threads,
+            base_seed,
+            trace_sample_rate: 0.05,
+            slow_session: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Override the head-sampling fraction.
+    pub fn with_trace_sample_rate(mut self, rate: f64) -> Self {
+        self.trace_sample_rate = rate;
+        self
+    }
+
+    /// Override the slow-session tail-sampling threshold.
+    pub fn with_slow_session(mut self, d: SimDuration) -> Self {
+        self.slow_session = d;
+        self
+    }
 }
 
 /// The courseware every student session fetches.
@@ -41,6 +93,20 @@ pub struct CampusWorkload {
     pub media: Vec<MediaObject>,
     /// Root container fetched as the courseware closure.
     pub root: MhegId,
+}
+
+/// One sampled shard trace: the student's full JSONL span/event export
+/// plus why the sampler kept it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTrace {
+    /// Shard index == student index.
+    pub student: usize,
+    /// The seed the shard ran with.
+    pub seed: u64,
+    /// Why the sampler kept this trace.
+    pub reason: SampleReason,
+    /// The shard tracer's JSONL export.
+    pub jsonl: String,
 }
 
 /// Outcome of one student shard. All fields except `wall_secs` are
@@ -57,6 +123,11 @@ pub struct ShardReport {
     pub bytes: u64,
     /// Simulated session time (courseware fetch + every media fetch).
     pub session: SimDuration,
+    /// Whether the session was anomalous: client retries/timeouts/
+    /// decode errors (degraded service) or a database failover.
+    pub anomalous: bool,
+    /// The sampler's decision for this shard, if it kept the trace.
+    pub sampled: Option<SampleReason>,
     /// Host wall-clock the shard took (not part of any digest).
     pub wall_secs: f64,
 }
@@ -76,6 +147,15 @@ pub struct CampusReport {
     pub wall_secs: f64,
     /// Per-shard reports, in shard order regardless of completion order.
     pub shards: Vec<ShardReport>,
+    /// Every shard's metrics snapshot folded in shard-index order:
+    /// counters add, histograms merge, gauges keep the latest virtual
+    /// stamp. Byte-identical across thread counts.
+    pub metrics: MetricsSnapshot,
+    /// Sampled traces in shard-index order — head winners plus every
+    /// anomalous or slow session.
+    pub traces: Vec<ShardTrace>,
+    /// Default campus SLOs judged against the merged snapshot.
+    pub slo: SloReport,
 }
 
 impl CampusReport {
@@ -90,11 +170,13 @@ impl CampusReport {
     }
 
     /// Percentile (0.0..=1.0) of per-shard host wall-time, in seconds.
+    /// An empty report reads 0.0; a single shard reads its own sample.
     pub fn wall_percentile(&self, p: f64) -> f64 {
         percentile(self.shards.iter().map(|s| s.wall_secs).collect(), p)
     }
 
     /// Percentile (0.0..=1.0) of simulated session time, in seconds.
+    /// An empty report reads 0.0; a single shard reads its own sample.
     pub fn session_percentile(&self, p: f64) -> f64 {
         percentile(
             self.shards
@@ -104,15 +186,35 @@ impl CampusReport {
             p,
         )
     }
+
+    /// The sampled traces concatenated into one JSONL document, each
+    /// shard prefixed by a header line. Deterministic byte for byte.
+    pub fn traces_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.traces {
+            out.push_str(&format!(
+                "{{\"t\":\"shard\",\"student\":{},\"seed\":{},\"reason\":\"{}\"}}\n",
+                t.student,
+                t.seed,
+                t.reason.as_str()
+            ));
+            out.push_str(&t.jsonl);
+        }
+        out
+    }
 }
 
+/// Nearest-rank percentile over finite samples. Empty input reads 0.0;
+/// a single sample reads itself. `total_cmp` keeps the sort total even
+/// if a non-finite value sneaks in (NaN sorts last instead of
+/// panicking the comparator).
 fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(f64::total_cmp);
     let rank = (p.clamp(0.0, 1.0) * (xs.len() - 1) as f64).round() as usize;
-    xs[rank]
+    xs[rank.min(xs.len() - 1)]
 }
 
 /// SplitMix64 finalizer: decorrelates per-shard seeds so neighbouring
@@ -122,6 +224,58 @@ fn derive_seed(base: u64, shard: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The default campus service-level objectives, judged against the
+/// merged snapshot (all inputs are simulated quantities, so the
+/// verdicts are as deterministic as the digest):
+///
+/// * `session_p99_wall` — p99 simulated session time under 10 s
+///   (warn) / 30 s (breach), from the merged `campus.session_secs`
+///   histogram.
+/// * `retry_rate` — client re-issues per attempt ≤ 1% / 10%.
+/// * `shed_rate` — primary-server load shedding ≤ 0 / 5%.
+/// * `degraded_fraction` — sessions with client anomalies or failovers
+///   ≤ 0 / 2%.
+pub fn default_campus_slos() -> Vec<Slo> {
+    vec![
+        Slo::upper(
+            "session_p99_wall",
+            SloInput::HistogramQuantile {
+                name: "campus.session_secs".into(),
+                q: 0.99,
+            },
+            10.0,
+            30.0,
+        ),
+        Slo::upper(
+            "retry_rate",
+            SloInput::Ratio {
+                numerator: "client0.retries".into(),
+                denominator: "client0.attempts".into(),
+            },
+            0.01,
+            0.10,
+        ),
+        Slo::upper(
+            "shed_rate",
+            SloInput::Ratio {
+                numerator: "db.server0.requests_shed".into(),
+                denominator: "db.server0.requests_served".into(),
+            },
+            0.0,
+            0.05,
+        ),
+        Slo::upper(
+            "degraded_fraction",
+            SloInput::Ratio {
+                numerator: "campus.sessions_degraded".into(),
+                denominator: "campus.sessions".into(),
+            },
+            0.0,
+            0.02,
+        ),
+    ]
 }
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -134,13 +288,22 @@ fn fnv_fold(mut h: u64, word: u64) -> u64 {
     h
 }
 
+/// What one shard hands back to the merge: the lean report plus its
+/// telemetry (dropped into the rollup, not kept per shard).
+struct ShardOutcome {
+    report: ShardReport,
+    snapshot: MetricsSnapshot,
+    trace: Option<ShardTrace>,
+}
+
 /// Run one student's whole session: fetch the courseware closure, then
 /// fetch every media object (cold cache — each shard is a fresh seat).
 fn run_shard(
     workload: &CampusWorkload,
+    sampler: &TraceSampler,
     student: usize,
     seed: u64,
-) -> Result<ShardReport, SystemError> {
+) -> Result<ShardOutcome, SystemError> {
     let start = Instant::now();
     let config = SystemConfig::broadband(1).with_seed(seed);
     let mut sys = MitsSystem::build(&config)?;
@@ -160,13 +323,54 @@ fn run_shard(
     digest = fnv_fold(digest, session.as_micros());
     digest = fnv_fold(digest, sys.db().state_digest());
 
-    Ok(ShardReport {
+    // Telemetry: freeze this shard's registry (stamped at the session's
+    // final virtual instant) with the campus-level session counters the
+    // SLO layer reads from the merged rollup.
+    sys.export_metrics();
+    let degraded = sys.client_metrics(student_id).tail_sample_signal();
+    let failed_over = sys.failovers > 0;
+    let anomalous = degraded || failed_over;
+    sys.metrics.counter_set("campus.sessions", 1);
+    sys.metrics
+        .counter_set("campus.sessions_degraded", u64::from(anomalous));
+    sys.metrics.observe(
+        "campus.session_secs",
+        session.as_secs_f64(),
+        0.0,
+        SESSION_SECS_HI,
+        SESSION_SECS_BINS,
+    );
+    let sampled = sampler.decide(
+        student as u64,
+        &TailSignals {
+            degraded,
+            failed_over,
+            session,
+        },
+    );
+    sys.metrics
+        .counter_set("campus.traces_sampled", u64::from(sampled.is_some()));
+    let snapshot = sys.metrics.snapshot();
+    let trace = sampled.map(|reason| ShardTrace {
         student,
         seed,
-        digest,
-        bytes,
-        session,
-        wall_secs: start.elapsed().as_secs_f64(),
+        reason,
+        jsonl: sys.tracer.to_jsonl(),
+    });
+
+    Ok(ShardOutcome {
+        report: ShardReport {
+            student,
+            seed,
+            digest,
+            bytes,
+            session,
+            anomalous,
+            sampled,
+            wall_secs: start.elapsed().as_secs_f64(),
+        },
+        snapshot,
+        trace,
     })
 }
 
@@ -174,7 +378,8 @@ fn run_shard(
 ///
 /// Workers claim shard indices from a shared counter, so scheduling is
 /// dynamic — but each report lands in its shard's slot and the merge walks
-/// slots in index order, so the result is independent of thread count and
+/// slots in index order, so the result (digest, merged metrics snapshot,
+/// sampled-trace set, SLO verdicts) is independent of thread count and
 /// claim interleaving.
 pub fn run_campus(
     config: &CampusConfig,
@@ -182,9 +387,11 @@ pub fn run_campus(
 ) -> Result<CampusReport, SystemError> {
     let students = config.students;
     let threads = config.threads.max(1).min(students.max(1));
+    let sampler = TraceSampler::new(config.base_seed, config.trace_sample_rate)
+        .with_latency_threshold(config.slow_session);
     let start = Instant::now();
 
-    let slots: Mutex<Vec<Option<Result<ShardReport, SystemError>>>> =
+    let slots: Mutex<Vec<Option<Result<ShardOutcome, SystemError>>>> =
         Mutex::new((0..students).map(|_| None).collect());
     let next = AtomicUsize::new(0);
 
@@ -193,8 +400,13 @@ pub fn run_campus(
         if shard >= students {
             break;
         }
-        let report = run_shard(workload, shard, derive_seed(config.base_seed, shard as u64));
-        slots.lock().expect("campus slots")[shard] = Some(report);
+        let outcome = run_shard(
+            workload,
+            &sampler,
+            shard,
+            derive_seed(config.base_seed, shard as u64),
+        );
+        slots.lock().expect("campus slots")[shard] = Some(outcome);
     };
 
     if threads == 1 {
@@ -202,7 +414,7 @@ pub fn run_campus(
     } else {
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(move |_| work());
+                scope.spawn(|_| work());
             }
         })
         .map_err(|_| SystemError::Protocol("campus worker panicked".into()))?;
@@ -210,9 +422,17 @@ pub fn run_campus(
 
     let slots = slots.into_inner().expect("campus slots");
     let mut shards = Vec::with_capacity(students);
+    let mut metrics = MetricsSnapshot::new();
+    let mut traces = Vec::new();
     for (i, slot) in slots.into_iter().enumerate() {
         match slot {
-            Some(Ok(report)) => shards.push(report),
+            Some(Ok(outcome)) => {
+                metrics.merge(&outcome.snapshot);
+                if let Some(trace) = outcome.trace {
+                    traces.push(trace);
+                }
+                shards.push(outcome.report);
+            }
             Some(Err(e)) => return Err(e),
             None => return Err(SystemError::Protocol(format!("campus shard {i} never ran"))),
         }
@@ -225,6 +445,8 @@ pub fn run_campus(
         bytes += s.bytes;
     }
 
+    let slo = SloReport::evaluate(&default_campus_slos(), &metrics, &BTreeMap::new());
+
     Ok(CampusReport {
         students,
         threads,
@@ -232,6 +454,9 @@ pub fn run_campus(
         bytes,
         wall_secs: start.elapsed().as_secs_f64(),
         shards,
+        metrics,
+        traces,
+        slo,
     })
 }
 
@@ -241,6 +466,7 @@ mod tests {
     use bytes::Bytes;
     use mits_media::{MediaFormat, MediaId, VideoDims};
     use mits_mheg::{ClassLibrary, GenericValue};
+    use mits_sim::Verdict;
 
     fn tiny_workload(clips: usize, clip_bytes: usize) -> CampusWorkload {
         let mut lib = ClassLibrary::new(1);
@@ -271,11 +497,7 @@ mod tests {
     #[test]
     fn campus_digest_is_thread_count_invariant() {
         let w = tiny_workload(2, 4096);
-        let base = CampusConfig {
-            students: 6,
-            threads: 1,
-            base_seed: 42,
-        };
+        let base = CampusConfig::new(6, 1, 42);
         let serial = run_campus(&base, &w).unwrap();
         for threads in [2, 8] {
             let parallel = run_campus(
@@ -296,17 +518,72 @@ mod tests {
     }
 
     #[test]
+    fn campus_telemetry_is_thread_count_invariant() {
+        let w = tiny_workload(2, 4096);
+        // High head rate so the sampled set is non-trivial.
+        let base = CampusConfig::new(6, 1, 42).with_trace_sample_rate(0.5);
+        let serial = run_campus(&base, &w).unwrap();
+        assert!(
+            !serial.traces.is_empty(),
+            "a 50% lottery over 6 students should keep something"
+        );
+        assert!(
+            serial.traces.len() < serial.students,
+            "sampling must bound the trace set"
+        );
+        for threads in [2, 8] {
+            let parallel = run_campus(
+                &CampusConfig {
+                    threads,
+                    ..base.clone()
+                },
+                &w,
+            )
+            .unwrap();
+            assert_eq!(
+                serial.metrics.to_json(),
+                parallel.metrics.to_json(),
+                "merged snapshot must be byte-identical at threads={threads}"
+            );
+            assert_eq!(
+                serial.metrics.to_text(),
+                parallel.metrics.to_text(),
+                "text rendering too"
+            );
+            assert_eq!(
+                serial.traces_jsonl(),
+                parallel.traces_jsonl(),
+                "sampled trace set must be byte-identical at threads={threads}"
+            );
+            assert_eq!(serial.slo.to_json(), parallel.slo.to_json());
+        }
+    }
+
+    #[test]
+    fn campus_rollup_sums_counters_and_judges_slos() {
+        let w = tiny_workload(1, 2048);
+        let report = run_campus(&CampusConfig::new(4, 2, 9), &w).unwrap();
+        assert_eq!(report.metrics.counter("campus.sessions"), Some(4));
+        assert_eq!(report.metrics.counter("campus.sessions_degraded"), Some(0));
+        let h = report.metrics.histogram("campus.session_secs").unwrap();
+        assert_eq!(h.count(), 4, "one session sample per shard");
+        // Client attempts accumulate across shards.
+        let attempts = report.metrics.counter("client0.attempts").unwrap();
+        assert!(attempts >= 4 * 2, "each shard fetched courseware + clip");
+        // Zero-fault campus: every default SLO passes.
+        assert_eq!(report.slo.breaches(), 0, "{}", report.slo.to_json());
+        assert!(report
+            .slo
+            .outcomes
+            .iter()
+            .all(|o| o.verdict == Verdict::Pass));
+        assert!(report.shards.iter().all(|s| !s.anomalous));
+    }
+
+    #[test]
     fn campus_shards_have_distinct_seeds_and_full_coverage() {
         let w = tiny_workload(1, 1024);
-        let report = run_campus(
-            &CampusConfig {
-                students: 5,
-                threads: 3,
-                base_seed: 7,
-            },
-            &w,
-        )
-        .unwrap();
+        let report = run_campus(&CampusConfig::new(5, 3, 7), &w).unwrap();
         assert_eq!(report.students, 5);
         assert_eq!(report.shards.len(), 5);
         for (i, s) in report.shards.iter().enumerate() {
@@ -323,24 +600,47 @@ mod tests {
     #[test]
     fn base_seed_changes_the_campus_digest() {
         let w = tiny_workload(1, 2048);
-        let a = run_campus(
-            &CampusConfig {
-                students: 3,
-                threads: 2,
-                base_seed: 1,
-            },
-            &w,
-        )
-        .unwrap();
-        let b = run_campus(
-            &CampusConfig {
-                students: 3,
-                threads: 2,
-                base_seed: 2,
-            },
-            &w,
-        )
-        .unwrap();
+        let a = run_campus(&CampusConfig::new(3, 2, 1), &w).unwrap();
+        let b = run_campus(&CampusConfig::new(3, 2, 2), &w).unwrap();
         assert_ne!(a.digest, b.digest, "seed must reach the digest");
+    }
+
+    #[test]
+    fn percentile_edge_cases_do_not_panic_or_extrapolate() {
+        let empty = CampusReport {
+            students: 0,
+            threads: 1,
+            digest: 0,
+            bytes: 0,
+            wall_secs: 0.0,
+            shards: Vec::new(),
+            metrics: MetricsSnapshot::new(),
+            traces: Vec::new(),
+            slo: SloReport::default(),
+        };
+        assert_eq!(empty.wall_percentile(0.99), 0.0);
+        assert_eq!(empty.session_percentile(0.5), 0.0);
+
+        let one_shard = ShardReport {
+            student: 0,
+            seed: 1,
+            digest: 1,
+            bytes: 1,
+            session: SimDuration::from_millis(250),
+            anomalous: false,
+            sampled: None,
+            wall_secs: 0.125,
+        };
+        let single = CampusReport {
+            shards: vec![one_shard],
+            students: 1,
+            ..empty.clone()
+        };
+        for p in [0.0, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(single.wall_percentile(p), 0.125, "p={p}");
+            assert_eq!(single.session_percentile(p), 0.25, "p={p}");
+        }
+        // A NaN sample must not panic the comparator; it sorts last.
+        assert_eq!(percentile(vec![f64::NAN, 2.0, 1.0], 0.0), 1.0);
     }
 }

@@ -372,6 +372,18 @@ impl<'a> CodSession<'a> {
         tr.end(self.session_span, now);
         self.presentation.export_metrics(&self.system.metrics);
         self.system.export_metrics();
+        // Session-outcome counters, so a campus rollup can compute the
+        // degraded fraction and stall totals without keeping CodReports.
+        let m = &self.system.metrics;
+        m.counter_set("cod.sessions", 1);
+        m.counter_set(
+            "cod.sessions_degraded",
+            u64::from(self.report.is_degraded()),
+        );
+        m.counter_set("cod.sessions_completed", u64::from(self.report.completed));
+        m.counter_set("cod.stalls", self.report.stalls.len() as u64);
+        m.counter_set("cod.degraded_units", self.report.degraded.len() as u64);
+        m.counter_set("cod.stall_time_us", self.report.total_stall().as_micros());
     }
 }
 

@@ -33,7 +33,10 @@ pub mod stack;
 pub mod stream;
 pub mod system;
 
-pub use campus::{run_campus, CampusConfig, CampusReport, CampusWorkload, ShardReport};
+pub use campus::{
+    default_campus_slos, run_campus, CampusConfig, CampusReport, CampusWorkload, ShardReport,
+    ShardTrace,
+};
 pub use cod::{CodReport, CodSession};
 pub use models::{compare_delivery_models, reuse_ablation, ModelMetrics, ReuseReport};
 pub use stack::{layer_breakdown, LayerCost};

@@ -448,6 +448,10 @@ impl MitsSystem {
     /// wanted — exports are idempotent overwrites, so repeated calls
     /// just refresh the registry.
     pub fn export_metrics(&self) {
+        // Stamp gauges with the virtual instant of this export, so that
+        // merged campus snapshots can resolve gauge conflicts by
+        // "latest virtual time wins".
+        self.metrics.set_clock(self.now());
         self.net.export_metrics(&self.metrics);
         for (i, s) in self.servers.iter().enumerate() {
             s.db.export_metrics(&self.metrics, &format!("db.server{i}"));

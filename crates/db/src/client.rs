@@ -410,6 +410,18 @@ impl DbClientMetrics {
         merged.and_then(|m| m.quantile(q))
     }
 
+    /// Whether this client saw anything a trace sampler should always
+    /// keep: a retry, a timeout, an expired request, a stale-epoch
+    /// rejection (failover aftermath) or a decode error. Clean sessions
+    /// return `false` and stay subject to the head-sampling lottery.
+    pub fn tail_sample_signal(&self) -> bool {
+        self.retries > 0
+            || self.timeouts > 0
+            || self.expired > 0
+            || self.stale_epoch > 0
+            || self.decode_errors > 0
+    }
+
     /// Snapshot every counter and latency histogram into `reg` under
     /// `prefix` (e.g. `client0`). Kinds export in [`RequestKind::ALL`]
     /// order, so output is deterministic despite the internal `HashMap`.

@@ -26,7 +26,12 @@
 //! * [`trace`] — deterministic hierarchical spans/events stamped with
 //!   [`SimTime`], with JSONL and latency-waterfall exporters.
 //! * [`registry`] — a unified [`MetricsRegistry`] of named counters, gauges
-//!   and histograms that every layer of the stack exports into.
+//!   and histograms that every layer of the stack exports into, with
+//!   mergeable [`MetricsSnapshot`]s for campus-scale rollups.
+//! * [`slo`] — declarative service-level objectives evaluated against a
+//!   merged snapshot, emitting pass/warn/breach verdicts.
+//! * [`profile`] — a span-tree self-time profiler that folds a trace into
+//!   per-layer virtual-time totals and a flame-style "top" report.
 //!
 //! ## Example
 //!
@@ -47,18 +52,22 @@
 
 pub mod event;
 pub mod payload;
+pub mod profile;
 pub mod queue;
 pub mod registry;
 pub mod rng;
+pub mod slo;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, Scheduler, Simulation};
 pub use payload::Payload;
+pub use profile::{classify_layer, profile_spans, profile_tracer, LayerTotal, NameTotal, Profile};
 pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
-pub use registry::{MetricValue, MetricsRegistry};
+pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot, SnapshotValue};
 pub use rng::SimRng;
+pub use slo::{Slo, SloInput, SloOutcome, SloReport, Verdict};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
-pub use trace::{SpanId, SpanInfo, Tracer};
+pub use trace::{SampleReason, SpanId, SpanInfo, TailSignals, TraceSampler, Tracer};

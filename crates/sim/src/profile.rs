@@ -1,0 +1,298 @@
+//! Span-based self-time profiler over a recorded trace.
+//!
+//! A waterfall shows *one* session's shape; a profile answers the
+//! aggregate question "which layer is the virtual time actually spent
+//! in?". This module folds a [`Tracer`]'s span tree into per-layer
+//! inclusive and *self* virtual-time totals — self time being a span's
+//! duration minus the durations of its direct children, the classic
+//! flame-graph decomposition — and renders a deterministic, flame-style
+//! "top" report for `tables --exp obs`.
+//!
+//! Layers are inferred from span naming conventions already used across
+//! the stack (`net.*` is the ATM substrate, `server*`/`db.*`/`wal.*`
+//! are the courseware database, `cod.*` is the student's navigator,
+//! `mheg.*`/`presentation.*` the interpreter). Everything is integer
+//! microsecond arithmetic on virtual time, so the report is
+//! byte-identical run to run.
+
+use crate::trace::{SpanInfo, Tracer};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Map a span name onto its architectural layer.
+///
+/// The conventions are those established by the instrumentation PRs:
+/// network pump spans carry `net.`, database work carries `db.`,
+/// `serverN.`, `wal.`, `replica.` or `attempt` (client retry attempts),
+/// navigator session stages carry `cod.`, and interpreter work carries
+/// `mheg.` or `presentation.`. Unknown names land in `other` rather
+/// than being dropped, so the totals always add up.
+pub fn classify_layer(name: &str) -> &'static str {
+    if name.starts_with("net.") {
+        "atm"
+    } else if name.starts_with("db.")
+        || name.starts_with("server")
+        || name.starts_with("wal.")
+        || name.starts_with("replica.")
+        || name.starts_with("attempt")
+    {
+        "db"
+    } else if name.starts_with("cod.") {
+        "navigator"
+    } else if name.starts_with("mheg.") || name.starts_with("presentation.") {
+        "mheg"
+    } else {
+        "other"
+    }
+}
+
+/// Aggregated virtual time for one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTotal {
+    /// Layer label from [`classify_layer`].
+    pub layer: &'static str,
+    /// Spans attributed to the layer.
+    pub spans: u64,
+    /// Sum of span durations (children included).
+    pub inclusive_us: u64,
+    /// Sum of span durations minus direct children (never negative).
+    pub self_us: u64,
+}
+
+/// Aggregated virtual time for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameTotal {
+    /// The span name as recorded.
+    pub name: String,
+    /// Layer the name classifies into.
+    pub layer: &'static str,
+    /// Occurrences.
+    pub count: u64,
+    /// Sum of durations.
+    pub inclusive_us: u64,
+    /// Sum of self times.
+    pub self_us: u64,
+}
+
+/// The folded profile of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-layer totals, sorted by self time descending (name ascending
+    /// on ties, so the order is deterministic).
+    pub layers: Vec<LayerTotal>,
+    /// Per-span-name totals, same sort.
+    pub names: Vec<NameTotal>,
+    /// Total self time across every span (the flame graph's base width).
+    pub total_self_us: u64,
+}
+
+/// Fold a span list (as returned by [`Tracer::spans`]) into a profile.
+///
+/// Open spans (no end) contribute zero duration — a deliberately
+/// conservative choice that keeps the fold total, deterministic, and
+/// free of "time travel" from spans that never closed. Self time is
+/// clamped at zero when children overlap their parent's recorded
+/// extent (possible when a parent was closed before a late child).
+pub fn profile_spans(spans: &[SpanInfo]) -> Profile {
+    let inclusive =
+        |s: &SpanInfo| -> u64 { s.end.map(|e| e.since(s.start).as_micros()).unwrap_or(0) };
+    // Sum of direct children's inclusive time, indexed by parent span.
+    let mut child_sum: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_sum.entry(p.as_u64()).or_insert(0) += inclusive(s);
+        }
+    }
+
+    let mut by_layer: BTreeMap<&'static str, LayerTotal> = BTreeMap::new();
+    let mut by_name: BTreeMap<String, NameTotal> = BTreeMap::new();
+    let mut total_self_us = 0u64;
+    for s in spans {
+        let inc = inclusive(s);
+        let kids = child_sum.get(&s.id.as_u64()).copied().unwrap_or(0);
+        let self_us = inc.saturating_sub(kids);
+        total_self_us += self_us;
+        let layer = classify_layer(&s.name);
+        let l = by_layer.entry(layer).or_insert(LayerTotal {
+            layer,
+            spans: 0,
+            inclusive_us: 0,
+            self_us: 0,
+        });
+        l.spans += 1;
+        l.inclusive_us += inc;
+        l.self_us += self_us;
+        let n = by_name.entry(s.name.clone()).or_insert(NameTotal {
+            name: s.name.clone(),
+            layer,
+            count: 0,
+            inclusive_us: 0,
+            self_us: 0,
+        });
+        n.count += 1;
+        n.inclusive_us += inc;
+        n.self_us += self_us;
+    }
+
+    let mut layers: Vec<LayerTotal> = by_layer.into_values().collect();
+    layers.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.layer.cmp(b.layer)));
+    let mut names: Vec<NameTotal> = by_name.into_values().collect();
+    names.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+
+    Profile {
+        layers,
+        names,
+        total_self_us,
+    }
+}
+
+/// Convenience: profile everything a tracer recorded.
+pub fn profile_tracer(tracer: &Tracer) -> Profile {
+    profile_spans(&tracer.spans())
+}
+
+impl Profile {
+    /// Render a flame-style "top" report: a per-layer table (self time,
+    /// inclusive time, share-of-total bar) followed by the hottest span
+    /// names. `max_names` bounds the second table. Integer math and
+    /// fixed sort order keep the bytes stable run to run.
+    pub fn render_top(&self, max_names: usize) -> String {
+        const BAR: u64 = 24;
+        let total = self.total_self_us.max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>12} {:>12} {:>6}  flame",
+            "layer", "spans", "self", "incl", "self%"
+        );
+        for l in &self.layers {
+            let pct_x10 = l.self_us * 1000 / total;
+            let fill = (l.self_us * BAR / total).min(BAR);
+            let mut bar = String::with_capacity(BAR as usize);
+            for i in 0..BAR {
+                bar.push(if i < fill { '#' } else { '.' });
+            }
+            let _ = writeln!(
+                out,
+                "{:<10} {:>7} {:>12} {:>12} {:>4}.{}%  |{}|",
+                l.layer,
+                l.spans,
+                fmt_us(l.self_us),
+                fmt_us(l.inclusive_us),
+                pct_x10 / 10,
+                pct_x10 % 10,
+                bar,
+            );
+        }
+        let _ = writeln!(out, "top spans by self time:");
+        for n in self.names.iter().take(max_names) {
+            let pct_x10 = n.self_us * 1000 / total;
+            let _ = writeln!(
+                out,
+                "  {:>12} {:>12} x{:<6} {:>4}.{}%  {} [{}]",
+                fmt_us(n.self_us),
+                fmt_us(n.inclusive_us),
+                n.count,
+                pct_x10 / 10,
+                pct_x10 % 10,
+                n.name,
+                n.layer,
+            );
+        }
+        out
+    }
+}
+
+/// Microseconds as fixed-point milliseconds (integer math only).
+fn fmt_us(us: u64) -> String {
+    format!("{}.{:03}ms", us / 1000, us % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn classifier_covers_the_stack_conventions() {
+        assert_eq!(classify_layer("net.uplink"), "atm");
+        assert_eq!(classify_layer("db.request get_content"), "db");
+        assert_eq!(classify_layer("server0.serve get_content"), "db");
+        assert_eq!(classify_layer("attempt 2"), "db");
+        assert_eq!(classify_layer("wal.replay"), "db");
+        assert_eq!(classify_layer("replica.resync"), "db");
+        assert_eq!(classify_layer("cod.prefetch"), "navigator");
+        assert_eq!(classify_layer("mheg.run"), "mheg");
+        assert_eq!(classify_layer("presentation.decode"), "mheg");
+        assert_eq!(classify_layer("mystery"), "other");
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let tr = Tracer::new();
+        let root = tr.root_span("cod.session", t(0));
+        let req = tr.child(root, "db.request get_content", t(10));
+        let up = tr.child(req, "net.uplink", t(10));
+        tr.end(up, t(30));
+        let down = tr.child(req, "net.downlink", t(40));
+        tr.end(down, t(70));
+        tr.end(req, t(80));
+        tr.end(root, t(100));
+        let p = profile_tracer(&tr);
+        // root: 100 incl, 100-70=30 self (navigator).
+        // req:  70 incl, 70-(20+30)=20 self (db).
+        // net:  20+30 incl and self (atm).
+        let get = |layer: &str| p.layers.iter().find(|l| l.layer == layer).unwrap();
+        assert_eq!(get("navigator").inclusive_us, 100_000);
+        assert_eq!(get("navigator").self_us, 30_000);
+        assert_eq!(get("db").inclusive_us, 70_000);
+        assert_eq!(get("db").self_us, 20_000);
+        assert_eq!(get("atm").inclusive_us, 50_000);
+        assert_eq!(get("atm").self_us, 50_000);
+        assert_eq!(p.total_self_us, 100_000, "self times tile the root");
+    }
+
+    #[test]
+    fn open_spans_and_overlapping_children_stay_sane() {
+        let tr = Tracer::new();
+        let root = tr.root_span("cod.session", t(0));
+        // Child outlives the recorded parent extent.
+        let late = tr.child(root, "net.uplink", t(5));
+        tr.end(late, t(50));
+        tr.end(root, t(20));
+        let open = tr.root_span("db.request hang", t(0));
+        let _ = open;
+        let p = profile_tracer(&tr);
+        let nav = p.layers.iter().find(|l| l.layer == "navigator").unwrap();
+        assert_eq!(nav.self_us, 0, "clamped, not negative");
+        let db = p.layers.iter().find(|l| l.layer == "db").unwrap();
+        assert_eq!(db.inclusive_us, 0, "open span contributes nothing");
+    }
+
+    #[test]
+    fn render_top_is_deterministic_and_ordered_by_self() {
+        let tr = Tracer::new();
+        let root = tr.root_span("cod.session", t(0));
+        let a = tr.child(root, "net.uplink", t(0));
+        tr.end(a, t(60));
+        let b = tr.child(root, "mheg.run", t(60));
+        tr.end(b, t(70));
+        tr.end(root, t(100));
+        let p = profile_tracer(&tr);
+        assert_eq!(p.layers[0].layer, "atm", "most self time first");
+        let r1 = p.render_top(8);
+        let r2 = profile_tracer(&tr).render_top(8);
+        assert_eq!(r1, r2);
+        assert!(r1.contains("top spans by self time:"), "{r1}");
+        assert!(r1.contains("net.uplink [atm]"), "{r1}");
+        let first = r1.lines().next().unwrap();
+        assert!(
+            first.contains("layer") && first.contains("self%"),
+            "{first}"
+        );
+    }
+}

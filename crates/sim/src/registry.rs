@@ -15,8 +15,17 @@
 //! the simulation is single-threaded and layers either update metrics
 //! in place or snapshot their internal stats into the registry at
 //! export time.
+//!
+//! For campus-scale runs, a registry can be frozen into a
+//! [`MetricsSnapshot`] and snapshots from independent shards merged into
+//! one rollup: counters add, histograms merge bin for bin, and gauges
+//! take the value with the latest virtual timestamp (stamped from the
+//! registry clock set via [`MetricsRegistry::set_clock`]). Merging in
+//! shard-index order makes the rollup byte-identical regardless of how
+//! many worker threads ran the shards.
 
 use crate::stats::Histogram;
+use crate::time::SimTime;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -33,11 +42,22 @@ pub enum MetricValue {
     Histogram(Histogram),
 }
 
+#[derive(Default)]
+struct RegistryInner {
+    map: BTreeMap<String, MetricValue>,
+    /// Virtual set-time per gauge (absent entries were stamped at the
+    /// clock's default, `SimTime::ZERO`).
+    gauge_at: BTreeMap<String, SimTime>,
+    /// Stamp applied to gauge writes; layers that export at a known
+    /// virtual instant call [`MetricsRegistry::set_clock`] first.
+    clock: SimTime,
+}
+
 /// A shared, cloneable registry of named metrics. Clones view the same
 /// underlying map, so each layer can hold its own handle.
 #[derive(Clone, Default)]
 pub struct MetricsRegistry {
-    map: Arc<Mutex<BTreeMap<String, MetricValue>>>,
+    inner: Arc<Mutex<RegistryInner>>,
 }
 
 impl MetricsRegistry {
@@ -46,43 +66,57 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Set the virtual timestamp stamped onto subsequent gauge writes.
+    /// Snapshot merges resolve gauge conflicts by "latest stamp wins",
+    /// so exporters should set the clock to the simulation's `now`
+    /// before refreshing their gauges.
+    pub fn set_clock(&self, now: SimTime) {
+        self.inner.lock().clock = now;
+    }
+
     /// Add `by` to the counter `name`, creating it at zero first. If
     /// `name` exists with a different type it becomes a counter.
     pub fn inc(&self, name: &str, by: u64) {
-        let mut map = self.map.lock();
-        let v = match map.get(name) {
+        let mut inner = self.inner.lock();
+        let v = match inner.map.get(name) {
             Some(MetricValue::Counter(c)) => c + by,
             _ => by,
         };
-        map.insert(name.to_string(), MetricValue::Counter(v));
+        inner.map.insert(name.to_string(), MetricValue::Counter(v));
     }
 
     /// Set the counter `name` to an absolute value (for layers that
     /// already maintain their own totals and snapshot them at export).
     pub fn counter_set(&self, name: &str, value: u64) {
-        self.map
+        self.inner
             .lock()
+            .map
             .insert(name.to_string(), MetricValue::Counter(value));
     }
 
-    /// Set the gauge `name`.
+    /// Set the gauge `name`, stamped with the registry clock.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.map
-            .lock()
+        let mut inner = self.inner.lock();
+        let at = inner.clock;
+        inner
+            .map
             .insert(name.to_string(), MetricValue::Gauge(value));
+        inner.gauge_at.insert(name.to_string(), at);
     }
 
     /// Record one sample into the histogram `name`, creating it with
     /// range `[lo, hi)` and `bins` buckets if absent. An existing
     /// non-histogram entry is replaced.
     pub fn observe(&self, name: &str, x: f64, lo: f64, hi: f64, bins: usize) {
-        let mut map = self.map.lock();
-        match map.get_mut(name) {
+        let mut inner = self.inner.lock();
+        match inner.map.get_mut(name) {
             Some(MetricValue::Histogram(h)) => h.record(x),
             _ => {
                 let mut h = Histogram::new(lo, hi, bins);
                 h.record(x);
-                map.insert(name.to_string(), MetricValue::Histogram(h));
+                inner
+                    .map
+                    .insert(name.to_string(), MetricValue::Histogram(h));
             }
         }
     }
@@ -90,14 +124,15 @@ impl MetricsRegistry {
     /// Store a snapshot of an externally maintained histogram under
     /// `name` (replacing any previous snapshot).
     pub fn record_histogram(&self, name: &str, h: &Histogram) {
-        self.map
+        self.inner
             .lock()
+            .map
             .insert(name.to_string(), MetricValue::Histogram(h.clone()));
     }
 
     /// Current value of the counter `name`, if it is a counter.
     pub fn get_counter(&self, name: &str) -> Option<u64> {
-        match self.map.lock().get(name) {
+        match self.inner.lock().map.get(name) {
             Some(MetricValue::Counter(c)) => Some(*c),
             _ => None,
         }
@@ -105,7 +140,7 @@ impl MetricsRegistry {
 
     /// Current value of the gauge `name`, if it is a gauge.
     pub fn get_gauge(&self, name: &str) -> Option<f64> {
-        match self.map.lock().get(name) {
+        match self.inner.lock().map.get(name) {
             Some(MetricValue::Gauge(g)) => Some(*g),
             _ => None,
         }
@@ -113,35 +148,184 @@ impl MetricsRegistry {
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.inner.lock().map.len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        self.inner.lock().map.is_empty()
     }
 
     /// All metric names, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.map.lock().keys().cloned().collect()
+        self.inner.lock().map.keys().cloned().collect()
+    }
+
+    /// Freeze the registry into an owned, mergeable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let entries = inner
+            .map
+            .iter()
+            .map(|(name, v)| {
+                let e = match v {
+                    MetricValue::Counter(c) => SnapshotValue::Counter(*c),
+                    MetricValue::Gauge(g) => SnapshotValue::Gauge {
+                        at: inner.gauge_at.get(name).copied().unwrap_or(SimTime::ZERO),
+                        value: *g,
+                    },
+                    MetricValue::Histogram(h) => SnapshotValue::Histogram(h.clone()),
+                };
+                (name.clone(), e)
+            })
+            .collect();
+        MetricsSnapshot { entries }
     }
 
     /// Aligned text snapshot, one metric per line, names sorted.
     /// Histograms render as `count=N p50=X p99=Y`.
     pub fn to_text(&self) -> String {
-        let map = self.map.lock();
-        let width = map.keys().map(|k| k.len()).max().unwrap_or(0);
+        self.snapshot().to_text()
+    }
+
+    /// JSON object snapshot (hand-written; names sorted). Counters are
+    /// integers, gauges floats, histograms
+    /// `{"count":N,"p50":X,"p99":Y}`.
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// One entry of a frozen [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    /// Monotonic count — merges by addition.
+    Counter(u64),
+    /// Instantaneous measurement — merges by latest virtual stamp
+    /// (ties resolved in favour of the merged-in value, which in a
+    /// campus rollup walking shards in index order means the highest
+    /// shard index).
+    Gauge {
+        /// Virtual instant the gauge was last set.
+        at: SimTime,
+        /// The measurement.
+        value: f64,
+    },
+    /// Distribution — merges bin for bin ([`Histogram::merge`]).
+    Histogram(Histogram),
+}
+
+/// An owned, mergeable freeze of a [`MetricsRegistry`]. The campus
+/// runner collects one per shard and folds them, in shard-index order,
+/// into the rollup reported for the whole student population.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, SnapshotValue>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (the identity for [`MetricsSnapshot::merge`]).
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries.get(name)
+    }
+
+    /// Counter value under `name`, if it is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(SnapshotValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Gauge value under `name`, if it is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(SnapshotValue::Gauge { value, .. }) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Histogram under `name`, if it is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.entries.get(name) {
+            Some(SnapshotValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metric names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Merge `other` into this snapshot: counters add, histograms merge,
+    /// gauges keep the later virtual stamp (`other` wins ties). A name
+    /// present on only one side is kept as-is; a name whose kind differs
+    /// between the two sides takes `other`'s entry (last writer wins,
+    /// mirroring the registry's own type-coercion rule).
+    ///
+    /// The operation is associative, so folding shard snapshots in index
+    /// order yields the same rollup regardless of how the shards were
+    /// scheduled across worker threads.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, theirs) in &other.entries {
+            match (self.entries.get_mut(name), theirs) {
+                (Some(SnapshotValue::Counter(a)), SnapshotValue::Counter(b)) => *a += b,
+                (
+                    Some(SnapshotValue::Gauge { at, value }),
+                    SnapshotValue::Gauge {
+                        at: at_b,
+                        value: value_b,
+                    },
+                ) => {
+                    if *at_b >= *at {
+                        *at = *at_b;
+                        *value = *value_b;
+                    }
+                }
+                (Some(SnapshotValue::Histogram(a)), SnapshotValue::Histogram(b)) => a.merge(b),
+                (entry, theirs) => {
+                    let theirs = theirs.clone();
+                    match entry {
+                        Some(e) => *e = theirs,
+                        None => {
+                            self.entries.insert(name.clone(), theirs);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aligned text rendering, one metric per line, names sorted.
+    pub fn to_text(&self) -> String {
+        let width = self.entries.keys().map(|k| k.len()).max().unwrap_or(0);
         let mut out = String::new();
-        for (name, v) in map.iter() {
+        for (name, v) in &self.entries {
             let _ = write!(out, "{name:<width$}  ");
             match v {
-                MetricValue::Counter(c) => {
+                SnapshotValue::Counter(c) => {
                     let _ = writeln!(out, "{c}");
                 }
-                MetricValue::Gauge(g) => {
-                    let _ = writeln!(out, "{g:.6}");
+                SnapshotValue::Gauge { value, .. } => {
+                    let _ = writeln!(out, "{value:.6}");
                 }
-                MetricValue::Histogram(h) => {
+                SnapshotValue::Histogram(h) => {
                     let p50 = h.quantile(0.50).unwrap_or(0.0);
                     let p99 = h.quantile(0.99).unwrap_or(0.0);
                     let _ = writeln!(out, "count={} p50={:.3} p99={:.3}", h.count(), p50, p99);
@@ -151,25 +335,23 @@ impl MetricsRegistry {
         out
     }
 
-    /// JSON object snapshot (hand-written; names sorted). Counters are
-    /// integers, gauges floats, histograms
+    /// JSON object rendering (names sorted; byte-stable). Counters are
+    /// integers, gauges floats (non-finite values render as `null` to
+    /// keep the document valid JSON), histograms
     /// `{"count":N,"p50":X,"p99":Y}`.
     pub fn to_json(&self) -> String {
-        let map = self.map.lock();
         let mut out = String::from("{");
-        for (i, (name, v)) in map.iter().enumerate() {
+        for (i, (name, v)) in self.entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":", crate::trace::json_escape(name));
             match v {
-                MetricValue::Counter(c) => {
+                SnapshotValue::Counter(c) => {
                     let _ = write!(out, "{c}");
                 }
-                MetricValue::Gauge(g) => {
-                    let _ = write!(out, "{g:.6}");
-                }
-                MetricValue::Histogram(h) => {
+                SnapshotValue::Gauge { value, .. } => write_json_f64(&mut out, *value),
+                SnapshotValue::Histogram(h) => {
                     let p50 = h.quantile(0.50).unwrap_or(0.0);
                     let p99 = h.quantile(0.99).unwrap_or(0.0);
                     let _ = write!(
@@ -184,6 +366,17 @@ impl MetricsRegistry {
         }
         out.push('}');
         out
+    }
+}
+
+/// Write an `f64` as a valid JSON value: fixed six-decimal notation for
+/// finite values, `null` for NaN/infinities (JSON has no spelling for
+/// them, and a bare `inf` would corrupt the whole document).
+pub(crate) fn write_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:.6}");
+    } else {
+        out.push_str("null");
     }
 }
 
@@ -239,5 +432,88 @@ mod tests {
             json,
             "{\"c\":3,\"g\":0.500000,\"h\":{\"count\":1,\"p50\":1.500,\"p99\":1.500}}"
         );
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_null() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("bad.ratio", f64::NAN);
+        reg.gauge_set("bad.rate", f64::INFINITY);
+        assert_eq!(reg.to_json(), "{\"bad.rate\":null,\"bad.ratio\":null}");
+    }
+
+    #[test]
+    fn snapshot_merge_counters_add_histograms_fold() {
+        let a = MetricsRegistry::new();
+        a.inc("reqs", 3);
+        a.observe("lat", 1.0, 0.0, 10.0, 10);
+        let b = MetricsRegistry::new();
+        b.inc("reqs", 4);
+        b.observe("lat", 9.0, 0.0, 10.0, 10);
+        b.inc("only_b", 1);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("reqs"), Some(7));
+        assert_eq!(merged.counter("only_b"), Some(1));
+        assert_eq!(merged.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_merge_gauges_take_latest_stamp() {
+        let a = MetricsRegistry::new();
+        a.set_clock(SimTime::from_secs(10));
+        a.gauge_set("depth", 5.0);
+        let b = MetricsRegistry::new();
+        b.set_clock(SimTime::from_secs(3));
+        b.gauge_set("depth", 9.0);
+        // a is later: merging b into a keeps a's value...
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.gauge("depth"), Some(5.0));
+        // ...and merging a into b adopts a's value.
+        let mut m = b.snapshot();
+        m.merge(&a.snapshot());
+        assert_eq!(m.gauge("depth"), Some(5.0));
+        // Equal stamps: the merged-in side wins (last writer).
+        let c = MetricsRegistry::new();
+        c.set_clock(SimTime::from_secs(10));
+        c.gauge_set("depth", 7.0);
+        let mut m = a.snapshot();
+        m.merge(&c.snapshot());
+        assert_eq!(m.gauge("depth"), Some(7.0));
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative() {
+        let make = |clock: u64, n: u64| {
+            let r = MetricsRegistry::new();
+            r.set_clock(SimTime::from_secs(clock));
+            r.inc("c", n);
+            r.gauge_set("g", n as f64);
+            r.observe("h", n as f64, 0.0, 10.0, 5);
+            r.snapshot()
+        };
+        let (a, b, c) = (make(1, 1), make(3, 2), make(2, 3));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.to_json(), right.to_json());
+        assert_eq!(left.counter("c"), Some(6));
+        assert_eq!(left.gauge("g"), Some(2.0), "latest stamp (t=3) wins");
+    }
+
+    #[test]
+    fn registry_renderers_match_snapshot_renderers() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a", 1);
+        reg.gauge_set("b", 2.0);
+        assert_eq!(reg.to_text(), reg.snapshot().to_text());
+        assert_eq!(reg.to_json(), reg.snapshot().to_json());
     }
 }

@@ -28,6 +28,15 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One SplitMix64 step as a pure function: mix `x` into a decorrelated
+/// 64-bit value. This is the finalizer behind per-shard seed derivation
+/// and per-student trace-sampling decisions — both need a stateless,
+/// stable hash of `(base, index)` rather than a stream.
+pub fn splitmix64_mix(x: u64) -> u64 {
+    let mut state = x;
+    splitmix64(&mut state)
+}
+
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {

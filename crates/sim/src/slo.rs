@@ -1,0 +1,362 @@
+//! Declarative service-level objectives evaluated against a metrics
+//! snapshot.
+//!
+//! A campus run produces one merged [`MetricsSnapshot`] — thousands of
+//! counters and histograms. An operator does not read those raw; they
+//! ask four questions: is the p99 session under budget, is the retry
+//! rate sane, is the database shedding load, did anyone's playout
+//! degrade? An [`Slo`] names one such question as data — an input
+//! expression over the snapshot plus warn/breach thresholds — and
+//! [`SloReport::evaluate`] turns a set of them into machine-readable
+//! pass/warn/breach verdicts.
+//!
+//! All objectives here are *upper bounds* (less is better), matching
+//! the USE-style latency/error/saturation checks the campus needs.
+//! Evaluation is pure and deterministic: the same snapshot and the same
+//! objective list always render the same report bytes, so the JSON
+//! output can be asserted in CI the same way trace goldens are.
+
+use crate::registry::{write_json_f64, MetricsSnapshot};
+use crate::trace::json_escape;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What a single objective measures, resolved against the merged
+/// snapshot (plus a side table of externally computed values for
+/// quantities the snapshot cannot hold, such as a cross-shard session
+/// percentile).
+#[derive(Debug, Clone)]
+pub enum SloInput {
+    /// A raw counter value.
+    Counter(String),
+    /// A raw gauge value.
+    Gauge(String),
+    /// A quantile (0.0..=1.0) of a histogram.
+    HistogramQuantile {
+        /// Histogram metric name.
+        name: String,
+        /// Quantile to read, e.g. `0.99`.
+        q: f64,
+    },
+    /// `numerator / denominator` over two counters; `0/0` reads as 0.0
+    /// (no events means no violation, not a division error).
+    Ratio {
+        /// Counter divided.
+        numerator: String,
+        /// Counter divided by.
+        denominator: String,
+    },
+    /// A named externally computed value (e.g. `session.p99_secs`).
+    Value(String),
+}
+
+impl SloInput {
+    /// Resolve the input to a number. Metrics missing from the snapshot
+    /// read as 0.0: a layer that never retried simply never exported a
+    /// non-zero retry counter, and absence must not manufacture a
+    /// breach.
+    pub fn resolve(&self, snapshot: &MetricsSnapshot, values: &BTreeMap<String, f64>) -> f64 {
+        match self {
+            SloInput::Counter(name) => snapshot.counter(name).unwrap_or(0) as f64,
+            SloInput::Gauge(name) => snapshot.gauge(name).unwrap_or(0.0),
+            SloInput::HistogramQuantile { name, q } => snapshot
+                .histogram(name)
+                .and_then(|h| h.quantile(*q))
+                .unwrap_or(0.0),
+            SloInput::Ratio {
+                numerator,
+                denominator,
+            } => {
+                let d = snapshot.counter(denominator).unwrap_or(0);
+                if d == 0 {
+                    0.0
+                } else {
+                    snapshot.counter(numerator).unwrap_or(0) as f64 / d as f64
+                }
+            }
+            SloInput::Value(name) => values.get(name).copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// One declarative objective: keep `input` at or under `warn`
+/// (ideally) and never over `breach`.
+#[derive(Debug, Clone)]
+pub struct Slo {
+    /// Objective name, e.g. `session_p99_wall`.
+    pub name: String,
+    /// What to measure.
+    pub input: SloInput,
+    /// Exceeding this (strictly) is a warning.
+    pub warn: f64,
+    /// Exceeding this (strictly) is a breach.
+    pub breach: f64,
+}
+
+impl Slo {
+    /// An upper-bound objective (`observed <= warn` passes,
+    /// `observed <= breach` warns, above that breaches).
+    pub fn upper(name: &str, input: SloInput, warn: f64, breach: f64) -> Slo {
+        debug_assert!(warn <= breach, "warn threshold above breach threshold");
+        Slo {
+            name: name.to_string(),
+            input,
+            warn,
+            breach,
+        }
+    }
+
+    /// Evaluate this objective against a snapshot and side values.
+    pub fn evaluate(
+        &self,
+        snapshot: &MetricsSnapshot,
+        values: &BTreeMap<String, f64>,
+    ) -> SloOutcome {
+        let observed = self.input.resolve(snapshot, values);
+        // NaN compares false everywhere, which would silently pass — an
+        // undefined measurement is a breach, not a clean bill.
+        let verdict = if observed.is_nan() || observed > self.breach {
+            Verdict::Breach
+        } else if observed > self.warn {
+            Verdict::Warn
+        } else {
+            Verdict::Pass
+        };
+        SloOutcome {
+            name: self.name.clone(),
+            observed,
+            warn: self.warn,
+            breach: self.breach,
+            verdict,
+        }
+    }
+}
+
+/// Evaluation result tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// At or under the warn threshold.
+    Pass,
+    /// Over warn, at or under breach.
+    Warn,
+    /// Over breach (or undefined).
+    Breach,
+}
+
+impl Verdict {
+    /// Stable lowercase label for JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Warn => "warn",
+            Verdict::Breach => "breach",
+        }
+    }
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone)]
+pub struct SloOutcome {
+    /// Objective name.
+    pub name: String,
+    /// The measured value.
+    pub observed: f64,
+    /// Warn threshold it was judged against.
+    pub warn: f64,
+    /// Breach threshold it was judged against.
+    pub breach: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// All objectives evaluated against one snapshot, in declaration order.
+#[derive(Debug, Clone, Default)]
+pub struct SloReport {
+    /// Per-objective outcomes, in the order the objectives were given.
+    pub outcomes: Vec<SloOutcome>,
+}
+
+impl SloReport {
+    /// Evaluate every objective against `snapshot` (+ side `values`).
+    pub fn evaluate(
+        slos: &[Slo],
+        snapshot: &MetricsSnapshot,
+        values: &BTreeMap<String, f64>,
+    ) -> SloReport {
+        SloReport {
+            outcomes: slos.iter().map(|s| s.evaluate(snapshot, values)).collect(),
+        }
+    }
+
+    /// Number of warnings.
+    pub fn warns(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict == Verdict::Warn)
+            .count()
+    }
+
+    /// Number of breaches.
+    pub fn breaches(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict == Verdict::Breach)
+            .count()
+    }
+
+    /// Whether every objective passed or merely warned.
+    pub fn healthy(&self) -> bool {
+        self.breaches() == 0
+    }
+
+    /// Machine-readable JSON:
+    /// `{"slos":[{"name":..,"observed":..,"warn":..,"breach":..,"verdict":".."}],"warns":N,"breaches":N}`.
+    /// Deterministic byte for byte for a given report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"slos\":[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"observed\":", json_escape(&o.name));
+            write_json_f64(&mut out, o.observed);
+            out.push_str(",\"warn\":");
+            write_json_f64(&mut out, o.warn);
+            out.push_str(",\"breach\":");
+            write_json_f64(&mut out, o.breach);
+            let _ = write!(out, ",\"verdict\":\"{}\"}}", o.verdict.as_str());
+        }
+        let _ = write!(
+            out,
+            "],\"warns\":{},\"breaches\":{}}}",
+            self.warns(),
+            self.breaches()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.inc("client.retries", 5);
+        reg.inc("client.attempts", 100);
+        reg.inc("db.shed", 0);
+        reg.inc("db.served", 40);
+        reg.gauge_set("queue.depth", 3.0);
+        for x in [1.0, 2.0, 3.0, 50.0] {
+            reg.observe("lat", x, 0.0, 60.0, 600);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn inputs_resolve_against_snapshot_and_values() {
+        let snap = snapshot();
+        let mut values = BTreeMap::new();
+        values.insert("session.p99_secs".to_string(), 4.5);
+        assert_eq!(
+            SloInput::Counter("client.retries".into()).resolve(&snap, &values),
+            5.0
+        );
+        assert_eq!(
+            SloInput::Gauge("queue.depth".into()).resolve(&snap, &values),
+            3.0
+        );
+        let ratio = SloInput::Ratio {
+            numerator: "client.retries".into(),
+            denominator: "client.attempts".into(),
+        }
+        .resolve(&snap, &values);
+        assert!((ratio - 0.05).abs() < 1e-12);
+        assert_eq!(
+            SloInput::Value("session.p99_secs".into()).resolve(&snap, &values),
+            4.5
+        );
+        let p99 = SloInput::HistogramQuantile {
+            name: "lat".into(),
+            q: 0.99,
+        }
+        .resolve(&snap, &values);
+        assert!(p99 > 3.0, "p99 {p99} reflects the 50s outlier");
+    }
+
+    #[test]
+    fn missing_metrics_read_as_zero_not_breach() {
+        let snap = MetricsSnapshot::new();
+        let values = BTreeMap::new();
+        let slo = Slo::upper("quiet", SloInput::Counter("nope".into()), 1.0, 2.0);
+        assert_eq!(slo.evaluate(&snap, &values).verdict, Verdict::Pass);
+        let ratio = Slo::upper(
+            "zero_over_zero",
+            SloInput::Ratio {
+                numerator: "a".into(),
+                denominator: "b".into(),
+            },
+            0.1,
+            0.2,
+        );
+        assert_eq!(ratio.evaluate(&snap, &values).verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn thresholds_tier_pass_warn_breach() {
+        let snap = snapshot();
+        let values = BTreeMap::new();
+        let mk = |warn, breach| {
+            Slo::upper(
+                "retries",
+                SloInput::Counter("client.retries".into()),
+                warn,
+                breach,
+            )
+            .evaluate(&snap, &values)
+            .verdict
+        };
+        assert_eq!(mk(5.0, 10.0), Verdict::Pass, "at warn is still a pass");
+        assert_eq!(mk(4.0, 10.0), Verdict::Warn);
+        assert_eq!(mk(1.0, 4.0), Verdict::Breach);
+    }
+
+    #[test]
+    fn nan_observation_breaches() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("bad", f64::NAN);
+        let slo = Slo::upper("bad", SloInput::Gauge("bad".into()), 1.0, 2.0);
+        let out = slo.evaluate(&reg.snapshot(), &BTreeMap::new());
+        assert_eq!(out.verdict, Verdict::Breach);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_machine_readable() {
+        let snap = snapshot();
+        let values = BTreeMap::new();
+        let slos = vec![
+            Slo::upper(
+                "retry_rate",
+                SloInput::Ratio {
+                    numerator: "client.retries".into(),
+                    denominator: "client.attempts".into(),
+                },
+                0.10,
+                0.25,
+            ),
+            Slo::upper("shed", SloInput::Counter("db.shed".into()), 0.0, 5.0),
+        ];
+        let report = SloReport::evaluate(&slos, &snap, &values);
+        assert_eq!(report.breaches(), 0);
+        assert!(report.healthy());
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"slos\":[{\"name\":\"retry_rate\",\"observed\":0.050000,\"warn\":0.100000,\
+             \"breach\":0.250000,\"verdict\":\"pass\"},{\"name\":\"shed\",\"observed\":0.000000,\
+             \"warn\":0.000000,\"breach\":5.000000,\"verdict\":\"pass\"}],\"warns\":0,\"breaches\":0}"
+        );
+        assert_eq!(json, report.to_json(), "stable bytes");
+    }
+}

@@ -336,6 +336,120 @@ impl Tracer {
     }
 }
 
+// ---------- sampling ----------
+
+/// Why a session's trace was kept by a [`TraceSampler`].
+///
+/// Ordered by precedence: when several reasons apply the sampler reports
+/// the first in this order, so the recorded reason is itself
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleReason {
+    /// The session ended degraded (placeholders served, stalled playout).
+    Degraded,
+    /// The session drove a database failover.
+    Failover,
+    /// Simulated session time exceeded the sampler's latency threshold.
+    Slow,
+    /// Won the deterministic per-student head-sampling lottery.
+    Head,
+}
+
+impl SampleReason {
+    /// Stable lowercase label for JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SampleReason::Degraded => "degraded",
+            SampleReason::Failover => "failover",
+            SampleReason::Slow => "slow",
+            SampleReason::Head => "head",
+        }
+    }
+}
+
+/// Per-session anomaly signals feeding the sampler's tail decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TailSignals {
+    /// The session completed degraded.
+    pub degraded: bool,
+    /// The session's client failed over between database servers.
+    pub failed_over: bool,
+    /// Simulated end-to-end session time.
+    pub session: crate::time::SimDuration,
+}
+
+/// Deterministic Dapper-style trace sampler for campus runs.
+///
+/// A thousand-student campus cannot keep every shard's full trace (the
+/// JSONL would dwarf the simulation), and keeping none would blind the
+/// very runs where something went wrong. The sampler makes two kinds of
+/// decisions, both pure functions of its inputs:
+///
+/// * **Head sampling** — a fixed fraction of students, chosen by hashing
+///   `(base_seed, student)` through the SplitMix64 finalizer. The choice
+///   is independent of thread count and of every other student, so the
+///   sampled set is byte-stable across runs and schedules.
+/// * **Tail sampling** — always-on retention for anomalous sessions:
+///   degraded playout, a database failover, or simulated session time
+///   over a configurable threshold. Anomalies are exactly the traces an
+///   operator needs, so they bypass the lottery.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSampler {
+    base_seed: u64,
+    /// Head-sampling acceptance bound on a 2^64 scale (u128 so a rate of
+    /// 1.0 can admit every hash value).
+    head_bound: u128,
+    latency_threshold: Option<crate::time::SimDuration>,
+}
+
+impl TraceSampler {
+    /// Stream label mixed into the per-student hash so the sampling
+    /// lottery is decorrelated from the shard's own seed derivation.
+    const STREAM: u64 = 0xA24B_AED4_963E_E407;
+
+    /// A sampler keeping roughly `head_rate` (clamped to `[0, 1]`) of
+    /// students by lottery, with tail sampling always on.
+    pub fn new(base_seed: u64, head_rate: f64) -> Self {
+        let head_bound = (head_rate.clamp(0.0, 1.0) * (1u128 << 64) as f64) as u128;
+        TraceSampler {
+            base_seed,
+            head_bound,
+            latency_threshold: None,
+        }
+    }
+
+    /// Also tail-sample any session whose simulated time exceeds `d`.
+    pub fn with_latency_threshold(mut self, d: crate::time::SimDuration) -> Self {
+        self.latency_threshold = Some(d);
+        self
+    }
+
+    /// The deterministic head-sampling lottery for `student`.
+    pub fn head_sampled(&self, student: u64) -> bool {
+        let h =
+            crate::rng::splitmix64_mix(self.base_seed ^ student.wrapping_mul(TraceSampler::STREAM));
+        (h as u128) < self.head_bound
+    }
+
+    /// Full decision for one finished session: `Some(reason)` keeps the
+    /// trace, `None` drops it. Tail reasons take precedence over the
+    /// head lottery so the export records *why* an anomaly was kept.
+    pub fn decide(&self, student: u64, signals: &TailSignals) -> Option<SampleReason> {
+        if signals.degraded {
+            return Some(SampleReason::Degraded);
+        }
+        if signals.failed_over {
+            return Some(SampleReason::Failover);
+        }
+        if let Some(limit) = self.latency_threshold {
+            if signals.session > limit {
+                return Some(SampleReason::Slow);
+            }
+        }
+        self.head_sampled(student).then_some(SampleReason::Head)
+    }
+}
+
 /// Milliseconds with fixed microsecond precision — integer math only,
 /// so the rendering is deterministic.
 fn fmt_ms(us: u64) -> String {
@@ -479,6 +593,151 @@ mod tests {
         // past the middle.
         assert!(lines[1].contains("|#"));
         assert!(lines[2].contains("....#"), "{w}");
+    }
+
+    /// Minimal JSON-line validity scanner: balanced braces/brackets
+    /// outside string literals, only legal escape sequences inside them,
+    /// no raw control characters. Enough to catch broken escaping
+    /// without vendoring a JSON parser.
+    fn assert_valid_json_line(line: &str) {
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut chars = line.chars();
+        while let Some(c) = chars.next() {
+            if in_string {
+                match c {
+                    '"' => in_string = false,
+                    '\\' => {
+                        let e = chars.next().expect("escape has a follow-up");
+                        match e {
+                            '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' => {}
+                            'u' => {
+                                for _ in 0..4 {
+                                    let h = chars.next().expect("four hex digits");
+                                    assert!(h.is_ascii_hexdigit(), "bad \\u escape in {line}");
+                                }
+                            }
+                            other => panic!("illegal escape \\{other} in {line}"),
+                        }
+                    }
+                    c if (c as u32) < 0x20 => panic!("raw control char in string: {line}"),
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "unbalanced close in {line}");
+            }
+        }
+        assert!(!in_string, "unterminated string in {line}");
+        assert_eq!(depth, 0, "unbalanced braces in {line}");
+    }
+
+    #[test]
+    fn hostile_labels_export_as_valid_json() {
+        let tr = Tracer::new();
+        let s = tr.root_span("evil \"name\" \\ with \u{1} ctrl", SimTime::ZERO);
+        tr.attr(s, "path\\key", "C:\\media\\\"clip\".mpg");
+        tr.attr(s, "multi\nline", "tab\there\r\n");
+        tr.end(s, SimTime::from_micros(3));
+        tr.event_with(
+            Some(s),
+            "drop \"burst\"\\",
+            SimTime::from_micros(2),
+            &[("why\"", "loss\\burst\u{7f}".into())],
+        );
+        let out = tr.to_jsonl();
+        for line in out.lines() {
+            assert_valid_json_line(line);
+        }
+        assert!(
+            out.contains("\"name\":\"evil \\\"name\\\" \\\\ with \\u0001 ctrl\""),
+            "{out}"
+        );
+        assert!(
+            out.contains("\"path\\\\key\":\"C:\\\\media\\\\\\\"clip\\\".mpg\""),
+            "{out}"
+        );
+        assert!(
+            out.contains("\"multi\\nline\":\"tab\\there\\r\\n\""),
+            "{out}"
+        );
+        assert!(out.contains("\"name\":\"drop \\\"burst\\\"\\\\\""), "{out}");
+        // Same hostile input, same bytes: escaping must not destabilise
+        // the regression-witness property.
+        let again = {
+            let tr2 = Tracer::new();
+            let s2 = tr2.root_span("evil \"name\" \\ with \u{1} ctrl", SimTime::ZERO);
+            tr2.attr(s2, "path\\key", "C:\\media\\\"clip\".mpg");
+            tr2.attr(s2, "multi\nline", "tab\there\r\n");
+            tr2.end(s2, SimTime::from_micros(3));
+            tr2.event_with(
+                Some(s2),
+                "drop \"burst\"\\",
+                SimTime::from_micros(2),
+                &[("why\"", "loss\\burst\u{7f}".into())],
+            );
+            tr2.to_jsonl()
+        };
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn sampler_head_decision_is_deterministic_and_rate_shaped() {
+        let s = TraceSampler::new(42, 0.1);
+        let kept: Vec<u64> = (0..10_000).filter(|&i| s.head_sampled(i)).collect();
+        let again: Vec<u64> = (0..10_000).filter(|&i| s.head_sampled(i)).collect();
+        assert_eq!(kept, again, "pure function of (seed, student)");
+        // 10% of 10k: expect ~1000, allow wide slack (binomial ±5σ).
+        assert!(
+            (850..1150).contains(&kept.len()),
+            "kept {} of 10000",
+            kept.len()
+        );
+        // Different base seeds choose different students.
+        let other = TraceSampler::new(43, 0.1);
+        let kept_other: Vec<u64> = (0..10_000).filter(|&i| other.head_sampled(i)).collect();
+        assert_ne!(kept, kept_other);
+        // Rate extremes.
+        let none = TraceSampler::new(42, 0.0);
+        let all = TraceSampler::new(42, 1.0);
+        assert!((0..1000).all(|i| !none.head_sampled(i)));
+        assert!((0..1000).all(|i| all.head_sampled(i)));
+    }
+
+    #[test]
+    fn sampler_tail_reasons_take_precedence() {
+        use crate::time::SimDuration;
+        let s = TraceSampler::new(7, 0.0).with_latency_threshold(SimDuration::from_secs(10));
+        let calm = TailSignals {
+            session: SimDuration::from_secs(1),
+            ..TailSignals::default()
+        };
+        assert_eq!(s.decide(3, &calm), None, "rate 0, no anomaly, dropped");
+        let slow = TailSignals {
+            session: SimDuration::from_secs(11),
+            ..TailSignals::default()
+        };
+        assert_eq!(s.decide(3, &slow), Some(SampleReason::Slow));
+        let failed = TailSignals {
+            failed_over: true,
+            session: SimDuration::from_secs(11),
+            ..TailSignals::default()
+        };
+        assert_eq!(s.decide(3, &failed), Some(SampleReason::Failover));
+        let degraded = TailSignals {
+            degraded: true,
+            failed_over: true,
+            session: SimDuration::from_secs(11),
+        };
+        assert_eq!(s.decide(3, &degraded), Some(SampleReason::Degraded));
+        // Head winners report Head when calm.
+        let all = TraceSampler::new(7, 1.0);
+        assert_eq!(all.decide(3, &calm), Some(SampleReason::Head));
     }
 
     #[test]

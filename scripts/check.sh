@@ -29,9 +29,59 @@ python3 - "$campus_json" <<'PY'
 import json, sys
 d = json.load(open(sys.argv[1]))
 for key in ("students", "digest", "digest_match_1_vs_n_threads",
+            "metrics_match_1_vs_n_threads", "traces_sampled", "slo_breaches",
             "bytes_simulated", "students_per_sec", "fetch200k_speedup"):
     assert key in d, f"BENCH_campus.json missing {key}"
 assert d["students"] > 0 and d["bytes_simulated"] > 0, "empty campus run"
 assert d["digest_match_1_vs_n_threads"] is True, "campus digest diverged"
+assert d["metrics_match_1_vs_n_threads"] is True, "campus metrics rollup diverged"
 PY
 echo "campus bench json well-formed"
+
+# SLO smoke: a small zero-fault campus must emit valid verdict JSON with
+# zero breaches (warn tiers are informational; a breach here means the
+# default objectives or the campus telemetry regressed).
+slo_json="$(mktemp)"
+trap 'rm -f "$trace" "$campus_json" "$slo_json"' EXIT
+MITS_SLO_STUDENTS=8 MITS_SLO_THREADS=2 MITS_SLO_CLIPS=2 \
+  MITS_SLO_OUT="$slo_json" \
+  cargo run -q --release -p mits-bench --bin tables -- --exp slo >/dev/null
+python3 - "$slo_json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["slos"], "no SLO verdicts emitted"
+for o in d["slos"]:
+    for key in ("name", "observed", "warn", "breach", "verdict"):
+        assert key in o, f"SLO verdict missing {key}"
+    assert o["verdict"] in ("pass", "warn", "breach"), o
+assert d["breaches"] == 0, f"zero-fault campus breached SLOs: {d}"
+PY
+echo "slo verdicts valid, zero breaches"
+
+# Bench regression gate: re-run the campus at the committed baseline's
+# own size and fail on a >25% drop in students/s throughput. Wall-clock
+# is noisy, so the tolerance is deliberately loose; a real regression
+# (like losing the zero-copy path) blows way past it.
+gate_json="$(mktemp)"
+trap 'rm -f "$trace" "$campus_json" "$slo_json" "$gate_json"' EXIT
+baseline_students="$(python3 -c 'import json;print(json.load(open("BENCH_campus.json"))["students"])')"
+baseline_threads="$(python3 -c 'import json;print(json.load(open("BENCH_campus.json"))["threads"])')"
+baseline_clips="$(python3 -c 'import json;print(json.load(open("BENCH_campus.json"))["clips_per_student"])')"
+MITS_CAMPUS_STUDENTS="$baseline_students" MITS_CAMPUS_THREADS="$baseline_threads" \
+  MITS_CAMPUS_CLIPS="$baseline_clips" MITS_CAMPUS_OUT="$gate_json" \
+  cargo run -q --release -p mits-bench --bin tables -- --exp campus >/dev/null
+python3 - BENCH_campus.json "$gate_json" <<'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))
+now = json.load(open(sys.argv[2]))
+floor = 0.75 * base["students_per_sec"]
+assert now["students_per_sec"] >= floor, (
+    f"campus throughput regressed >25%: {now['students_per_sec']:.2f} students/s "
+    f"vs baseline {base['students_per_sec']:.2f} (floor {floor:.2f})")
+assert now["digest"] == base["digest"], (
+    f"campus digest changed: {now['digest']} vs baseline {base['digest']} "
+    "(simulation behaviour drifted; regenerate BENCH_campus.json deliberately)")
+print(f"throughput {now['students_per_sec']:.2f} students/s "
+      f">= floor {floor:.2f} (baseline {base['students_per_sec']:.2f})")
+PY
+echo "campus bench regression gate passed"

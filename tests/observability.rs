@@ -12,7 +12,8 @@ use mits::core::{ClientId, CodSession, MitsSystem, SystemConfig};
 use mits::db::RetryPolicy;
 use mits::media::{CaptureSpec, MediaFormat, MediaObject, ProductionCenter, VideoDims};
 use mits::mheg::MhegObject;
-use mits::sim::{SimDuration, SimTime, SpanInfo};
+use mits::sim::{profile_tracer, SimDuration, SimTime, SloReport, SpanInfo, Verdict};
+use std::collections::BTreeMap;
 
 fn course() -> (Vec<MhegObject>, Vec<MediaObject>, mits::mheg::MhegId) {
     let mut studio = ProductionCenter::new(81);
@@ -209,4 +210,80 @@ fn metrics_registry_covers_every_layer() {
         "publishing journaled bytes"
     );
     assert!(system.metrics.get_counter("system.requests_sent") > Some(0));
+}
+
+#[test]
+fn profiler_folds_a_real_session_into_layers() {
+    let (objects, media, root) = course();
+    let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    system.load_directly(objects, media);
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Traced Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    session.finish();
+    drop(session);
+
+    let profile = profile_tracer(&system.tracer);
+    let layer = |name: &str| {
+        profile
+            .layers
+            .iter()
+            .find(|l| l.layer == name)
+            .unwrap_or_else(|| panic!("no {name} layer in {:?}", profile.layers))
+    };
+    // The session touched every layer the classifier knows about.
+    assert!(layer("navigator").inclusive_us > 0, "cod spans folded");
+    assert!(layer("db").spans > 0, "request/serve spans folded");
+    assert!(layer("atm").self_us > 0, "wire time is self time");
+    // Network hops have no children: inclusive == self.
+    let atm = layer("atm");
+    assert_eq!(atm.inclusive_us, atm.self_us);
+    // Self times tile the trace: no layer exceeds the total.
+    for l in &profile.layers {
+        assert!(l.self_us <= profile.total_self_us);
+    }
+    // Rendering is stable and mentions each layer row.
+    let top = profile.render_top(8);
+    assert_eq!(top, profile_tracer(&system.tracer).render_top(8));
+    assert!(top.contains("navigator"), "{top}");
+    assert!(top.contains("top spans by self time:"), "{top}");
+}
+
+#[test]
+fn slo_verdicts_from_a_live_system_snapshot() {
+    let (objects, media, root) = course();
+    let mut system = MitsSystem::build(&SystemConfig::broadband(1)).unwrap();
+    system.load_directly(objects, media);
+    let mut session = CodSession::open(&mut system, ClientId(0), root, "Traced Course").unwrap();
+    session.start().unwrap();
+    session.auto_play(SimDuration::from_secs(5)).unwrap();
+    session.finish();
+    drop(session);
+
+    let snapshot = system.metrics.snapshot();
+    let report = SloReport::evaluate(
+        &mits::core::default_campus_slos(),
+        &snapshot,
+        &BTreeMap::new(),
+    );
+    assert_eq!(report.outcomes.len(), 4, "{}", report.to_json());
+    // A clean single-seat session breaches nothing.
+    assert_eq!(report.breaches(), 0, "{}", report.to_json());
+    let retry = report
+        .outcomes
+        .iter()
+        .find(|o| o.name == "retry_rate")
+        .unwrap();
+    assert_eq!(retry.verdict, Verdict::Pass);
+    assert_eq!(retry.observed, 0.0, "fault-free run never retries");
+    // The verdict JSON is stable byte for byte.
+    assert_eq!(
+        report.to_json(),
+        SloReport::evaluate(
+            &mits::core::default_campus_slos(),
+            &snapshot,
+            &BTreeMap::new()
+        )
+        .to_json()
+    );
 }
