@@ -229,6 +229,29 @@ impl PartialOrd for Timer {
     }
 }
 
+/// Recycled allocation capacity harvested from a retired [`AtmNetwork`].
+///
+/// A campus worker retires thousands of short-lived per-student networks;
+/// rebuilding each one from empty `Vec`s re-pays every growth
+/// reallocation of the timer heap, the in-flight cell slab, the delivery
+/// buffer, the VC/route tables, and the topology vectors. `NetScratch`
+/// carries those containers — emptied of contents but keeping their
+/// capacity — from [`AtmNetwork::into_scratch`] into the next
+/// [`AtmNetwork::with_scratch`]. A recycled network is observably
+/// identical to a fresh one: every container is cleared, clocks reset,
+/// and the RNG streams are re-seeded in place from the new seed.
+#[derive(Default)]
+pub struct NetScratch {
+    nodes: Vec<NodeState>,
+    links: Vec<LinkState>,
+    link_index: HashMap<(NodeId, NodeId), LinkId>,
+    vcs: Vec<VcState>,
+    timers: BinaryHeap<Timer>,
+    in_flight: Vec<Option<Flying>>,
+    free_flights: Vec<u32>,
+    deliveries: Vec<Delivery>,
+}
+
 /// The ATM network simulator.
 pub struct AtmNetwork {
     nodes: Vec<NodeState>,
@@ -257,22 +280,64 @@ pub struct AtmNetwork {
 impl AtmNetwork {
     /// An empty network; `seed` drives the loss process.
     pub fn new(seed: u64) -> Self {
+        Self::with_scratch(seed, NetScratch::default())
+    }
+
+    /// An empty network reusing the allocation capacity of a retired
+    /// one. Behaviour is bit-identical to [`AtmNetwork::new`] — only
+    /// the containers' reserved capacity differs.
+    pub fn with_scratch(seed: u64, scratch: NetScratch) -> Self {
         AtmNetwork {
-            nodes: Vec::new(),
-            links: Vec::new(),
-            link_index: HashMap::new(),
-            vcs: Vec::new(),
+            nodes: scratch.nodes,
+            links: scratch.links,
+            link_index: scratch.link_index,
+            vcs: scratch.vcs,
             next_vci: 1,
-            timers: BinaryHeap::new(),
+            timers: scratch.timers,
             timer_seq: 0,
-            in_flight: Vec::new(),
-            free_flights: Vec::new(),
+            in_flight: scratch.in_flight,
+            free_flights: scratch.free_flights,
             now: SimTime::ZERO,
             rng: SimRng::seed_from_u64(seed ^ 0xA7A7_17D0),
-            deliveries: Vec::new(),
+            deliveries: scratch.deliveries,
             fault_plan: FaultPlan::none(),
             fault_rng: SimRng::seed_from_u64(seed ^ 0xFA17_0BAD),
             fault_stats: FaultStats::default(),
+        }
+    }
+
+    /// Retire this network and harvest its containers' capacity for the
+    /// next one (see [`NetScratch`]). All contents are dropped here; only
+    /// empty-but-reserved allocations survive.
+    pub fn into_scratch(self) -> NetScratch {
+        let AtmNetwork {
+            mut nodes,
+            mut links,
+            mut link_index,
+            mut vcs,
+            mut timers,
+            mut in_flight,
+            mut free_flights,
+            mut deliveries,
+            ..
+        } = self;
+        nodes.clear();
+        links.clear();
+        link_index.clear();
+        vcs.clear();
+        timers.clear();
+        in_flight.clear();
+        free_flights.clear();
+        deliveries.clear();
+        NetScratch {
+            nodes,
+            links,
+            link_index,
+            vcs,
+            timers,
+            in_flight,
+            free_flights,
+            deliveries,
         }
     }
 

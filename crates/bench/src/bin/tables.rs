@@ -19,7 +19,8 @@ use mits_core::models::{compare_delivery_models, reuse_ablation};
 use mits_core::stack::layer_breakdown;
 use mits_core::stream::{profile_name, stream_audio_over, stream_video_over};
 use mits_core::{
-    run_campus, CampusConfig, CampusWorkload, ClientId, CodSession, MitsSystem, SystemConfig,
+    host_cores, Campus, CampusReport, CampusRollup, CampusWorkload, ClientId, CodSession,
+    MitsSystem, ReportSink, SessionReport, ShardTrace, SystemConfig,
 };
 use mits_db::RetryPolicy;
 use mits_media::codec::{
@@ -839,16 +840,93 @@ fn fetch_microbench() -> f64 {
     total as f64 / 1024.0 / t0.elapsed().as_secs_f64()
 }
 
+/// Resident-set high-water mark of this process, in MB (0.0 when
+/// `/proc` is unavailable).
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// The bench's [`ReportSink`]: folds the streaming campus output into a
+/// [`CampusReport`] and writes `BENCH_campus.json` from the rollup
+/// callback — the JSON is produced by the stream, not plucked out of a
+/// buffered report afterwards.
+struct BenchJsonSink {
+    report: CampusReport,
+    out: String,
+    clips: usize,
+    clip_bytes: usize,
+    serial: CampusReport,
+    fetch_kbps: f64,
+    host_cores: usize,
+}
+
+impl ReportSink for BenchJsonSink {
+    fn session(&mut self, report: &SessionReport) {
+        self.report.session(report);
+    }
+
+    fn trace(&mut self, trace: &ShardTrace) {
+        self.report.trace(trace);
+    }
+
+    fn rollup(&mut self, rollup: &CampusRollup) {
+        self.report.rollup(rollup);
+        let speedup = self.serial.wall_secs / rollup.wall_secs.max(1e-9);
+        let json = format!(
+            "{{\n  \"experiment\": \"campus\",\n  \"students\": {},\n  \"threads\": {},\n  \"host_cores\": {},\n  \"max_concurrent\": {},\n  \"peak_rss_mb\": {:.1},\n  \"base_seed\": 42,\n  \"clips_per_student\": {},\n  \"clip_bytes\": {},\n  \"digest\": \"0x{:016x}\",\n  \"digest_match_1_vs_n_threads\": {},\n  \"metrics_match_1_vs_n_threads\": {},\n  \"traces_sampled\": {},\n  \"slo_breaches\": {},\n  \"bytes_simulated\": {},\n  \"wall_secs_1_thread\": {:.4},\n  \"wall_secs_n_threads\": {:.4},\n  \"speedup_n_over_1\": {:.3},\n  \"students_per_sec\": {:.2},\n  \"bytes_per_sec\": {:.1},\n  \"session_ms_p50\": {:.3},\n  \"session_ms_p99\": {:.3},\n  \"shard_wall_ms_p50\": {:.3},\n  \"shard_wall_ms_p99\": {:.3},\n  \"fetch200k_kbps_seed\": {:.1},\n  \"fetch200k_kbps_now\": {:.1},\n  \"fetch200k_speedup\": {:.2}\n}}\n",
+            rollup.students,
+            rollup.threads,
+            self.host_cores,
+            rollup.max_concurrent,
+            peak_rss_mb(),
+            self.clips,
+            self.clip_bytes,
+            rollup.digest,
+            self.serial.digest == rollup.digest,
+            self.serial.metrics.to_json() == rollup.metrics.to_json(),
+            self.report.traces.len(),
+            rollup.slo.breaches(),
+            rollup.bytes,
+            self.serial.wall_secs,
+            rollup.wall_secs,
+            speedup,
+            rollup.students as f64 / rollup.wall_secs.max(1e-9),
+            rollup.bytes as f64 / rollup.wall_secs.max(1e-9),
+            self.report.session_percentile(0.50) * 1e3,
+            self.report.session_percentile(0.99) * 1e3,
+            self.report.wall_percentile(0.50) * 1e3,
+            self.report.wall_percentile(0.99) * 1e3,
+            FETCH200K_KBPS_SEED,
+            self.fetch_kbps,
+            self.fetch_kbps / FETCH200K_KBPS_SEED
+        );
+        std::fs::write(&self.out, json).expect("write campus bench json");
+    }
+}
+
 fn campus() {
     header(
         "CAMPUS",
-        "parallel campus runner over the zero-copy media path",
+        "memory-bounded campus: streaming session lifecycle over work-stealing shards",
     );
-    let students = env_usize("MITS_CAMPUS_STUDENTS", 64);
-    let threads = env_usize("MITS_CAMPUS_THREADS", 8);
-    let clips = env_usize("MITS_CAMPUS_CLIPS", 8);
+    let cores = host_cores();
+    let students = env_usize("MITS_CAMPUS_STUDENTS", 10_000);
+    // On a single-core host the parallel leg still runs 2 threads so the
+    // determinism claim ("1 vs N") is exercised for real.
+    let threads = env_usize("MITS_CAMPUS_THREADS", cores.max(2));
+    let clips = env_usize("MITS_CAMPUS_CLIPS", 2);
+    let clip_bytes = env_usize("MITS_CAMPUS_CLIP_BYTES", 64 * 1024);
+    let max_concurrent = env_usize("MITS_CAMPUS_MAX_CONCURRENT", 0);
     let out = std::env::var("MITS_CAMPUS_OUT").unwrap_or_else(|_| "BENCH_campus.json".into());
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let fetch_kbps = fetch_microbench();
     println!(
@@ -857,9 +935,29 @@ fn campus() {
         fetch_kbps / FETCH200K_KBPS_SEED
     );
 
-    let workload = campus_workload(clips, 200 * 1024);
-    let serial = run_campus(&CampusConfig::new(students, 1, 42), &workload).unwrap();
-    let parallel = run_campus(&CampusConfig::new(students, threads, 42), &workload).unwrap();
+    let workload = campus_workload(clips, clip_bytes);
+    let serial = Campus::new(students, 42)
+        .threads(1)
+        .max_concurrent(max_concurrent)
+        .workload(workload.clone())
+        .run()
+        .unwrap();
+    let mut sink = BenchJsonSink {
+        report: CampusReport::new(),
+        out: out.clone(),
+        clips,
+        clip_bytes,
+        serial,
+        fetch_kbps,
+        host_cores: cores,
+    };
+    Campus::new(students, 42)
+        .threads(threads)
+        .max_concurrent(max_concurrent)
+        .workload(workload)
+        .run_with(&mut sink)
+        .unwrap();
+    let (serial, parallel) = (&sink.serial, &sink.report);
     assert_eq!(
         serial.digest, parallel.digest,
         "campus digest must not depend on thread count"
@@ -875,7 +973,7 @@ fn campus() {
         "{:<22} {:>10} {:>12} {:>12} {:>10}",
         "run", "threads", "wall", "students/s", "MB/s"
     );
-    for r in [&serial, &parallel] {
+    for r in [serial, parallel] {
         println!(
             "{:<22} {:>10} {:>10.3}s {:>12.1} {:>10.1}",
             format!("{} students", r.students),
@@ -886,37 +984,14 @@ fn campus() {
         );
     }
     println!(
-        "digest 0x{:016x} identical on 1 and {} threads; {speedup:.2}x on {host_cores} core(s)",
-        parallel.digest, parallel.threads
-    );
-
-    let json = format!(
-        "{{\n  \"experiment\": \"campus\",\n  \"students\": {},\n  \"threads\": {},\n  \"host_cores\": {},\n  \"base_seed\": 42,\n  \"clips_per_student\": {},\n  \"clip_bytes\": {},\n  \"digest\": \"0x{:016x}\",\n  \"digest_match_1_vs_n_threads\": {},\n  \"metrics_match_1_vs_n_threads\": {},\n  \"traces_sampled\": {},\n  \"slo_breaches\": {},\n  \"bytes_simulated\": {},\n  \"wall_secs_1_thread\": {:.4},\n  \"wall_secs_n_threads\": {:.4},\n  \"speedup_n_over_1\": {:.3},\n  \"students_per_sec\": {:.2},\n  \"bytes_per_sec\": {:.1},\n  \"session_ms_p50\": {:.3},\n  \"session_ms_p99\": {:.3},\n  \"shard_wall_ms_p50\": {:.3},\n  \"shard_wall_ms_p99\": {:.3},\n  \"fetch200k_kbps_seed\": {:.1},\n  \"fetch200k_kbps_now\": {:.1},\n  \"fetch200k_speedup\": {:.2}\n}}\n",
-        parallel.students,
-        parallel.threads,
-        host_cores,
-        clips,
-        200 * 1024,
+        "digest 0x{:016x} identical on 1 and {} threads; {speedup:.2}x on {} core(s); \
+         window {}; peak RSS {:.1} MB",
         parallel.digest,
-        serial.digest == parallel.digest,
-        serial.metrics.to_json() == parallel.metrics.to_json(),
-        parallel.traces.len(),
-        parallel.slo.breaches(),
-        parallel.bytes,
-        serial.wall_secs,
-        parallel.wall_secs,
-        speedup,
-        parallel.students_per_sec(),
-        parallel.bytes_per_sec(),
-        parallel.session_percentile(0.50) * 1e3,
-        parallel.session_percentile(0.99) * 1e3,
-        parallel.wall_percentile(0.50) * 1e3,
-        parallel.wall_percentile(0.99) * 1e3,
-        FETCH200K_KBPS_SEED,
-        fetch_kbps,
-        fetch_kbps / FETCH200K_KBPS_SEED
+        parallel.threads,
+        cores,
+        parallel.max_concurrent,
+        peak_rss_mb()
     );
-    std::fs::write(&out, json).expect("write campus bench json");
     println!("wrote {out}");
 }
 
@@ -933,7 +1008,11 @@ fn slo() {
     let threads = env_usize("MITS_SLO_THREADS", 4);
     let clips = env_usize("MITS_SLO_CLIPS", 2);
     let workload = campus_workload(clips, 64 * 1024);
-    let report = run_campus(&CampusConfig::new(students, threads, 42), &workload).unwrap();
+    let report = Campus::new(students, 42)
+        .threads(threads)
+        .workload(workload)
+        .run()
+        .unwrap();
     println!(
         "{:<22} {:>12} {:>10} {:>10}  verdict",
         "objective", "observed", "warn", "breach"
@@ -952,7 +1031,7 @@ fn slo() {
         "traces sampled: {} of {} students ({} anomalous)",
         report.traces.len(),
         report.students,
-        report.shards.iter().filter(|s| s.anomalous).count()
+        report.sessions_anomalous
     );
     let json = report.slo.to_json();
     if let Ok(out) = std::env::var("MITS_SLO_OUT") {

@@ -1,93 +1,108 @@
-//! Parallel campus runner: many independent student sessions at once.
+//! Memory-bounded campus runner: many independent student sessions with
+//! an explicit lifecycle.
 //!
 //! The paper sizes MITS for a campus, not a single seat — the broadband
 //! network exists so that "a thousand students" can pull courseware
 //! concurrently. One `MitsSystem` models one student's end-to-end session
-//! on one virtual clock; a campus run shards the student population into
-//! independent per-student systems and executes the shards on a pool of
-//! worker threads.
+//! on one virtual clock; a campus run executes the population as a stream
+//! of short-lived sessions over a pool of worker threads.
 //!
-//! Determinism is the contract: shard `i` always runs with the seed
-//! derived from `(base_seed, i)` and its report depends only on simulated
-//! quantities, so the merged campus digest is byte-identical whether the
-//! shards ran on one thread or eight. Host wall-clock is reported for
-//! throughput numbers but never folded into a digest.
+//! Three mechanisms keep live memory bounded by *concurrent* sessions,
+//! never by population:
 //!
-//! Telemetry scales the same way. Every shard freezes its
-//! [`MetricsRegistry`] into a [`MetricsSnapshot`]; the merge folds the
-//! snapshots in shard-index order (counters add, histograms merge,
-//! gauges keep the latest virtual stamp), so
-//! [`CampusReport::metrics`] is byte-identical across thread counts.
-//! Traces are *sampled*, Dapper-style: a deterministic per-student
-//! lottery ([`TraceSampler`]) keeps a bounded fraction, and anomalous
-//! sessions — degraded (the client retried, timed out or hit a decode
-//! error), failed over, or slower than the latency threshold — are
-//! always kept. The merged snapshot is then judged against declarative
-//! SLOs ([`default_campus_slos`]) into pass/warn/breach verdicts.
+//! * **Session lifecycle (`admit → run → retire`)** — a student exists as
+//!   a compact [`SessionSpec`] (index + derived seed) until a worker
+//!   admits it through the [`Campus::max_concurrent`] admission window,
+//!   builds its `MitsSystem`, runs the fetches, and retires it. Retiring
+//!   folds the session's digest, metrics snapshot and (if sampled) trace
+//!   into per-batch accumulators and frees the whole per-student world.
+//! * **Work-stealing batch queue** — student indices are grouped into
+//!   contiguous batches; each worker starts with its own span of batches
+//!   and steals from the most-loaded peer when it runs dry, so a straggler
+//!   session delays only its own batch, not a statically-partitioned
+//!   slice of the population.
+//! * **Streaming merge** — completed batches flush through an in-order
+//!   frontier: batch *i* streams into the rollup (and into any
+//!   [`ReportSink`]) as soon as every batch before it has, then its
+//!   buffers are dropped. The out-of-order window is a handful of batches
+//!   (stragglers), never the population.
+//!
+//! Determinism is the contract: student `i` always runs with the seed
+//! derived from `(base_seed, i)`, every merge walks strict index order,
+//! and nothing host-dependent reaches a digest — so the campus digest,
+//! merged metrics rollup, sampled-trace bundle and SLO verdicts are
+//! byte-identical whether the sessions ran on one thread or eight, under
+//! an admission window of 1 or of the whole population. Host wall-clock
+//! is reported for throughput numbers but never folded into a digest.
+//!
+//! Telemetry scales the same way it did before the redesign: every
+//! session freezes its [`MetricsRegistry`](mits_sim::MetricsRegistry)
+//! into a [`MetricsSnapshot`] (counters add, histograms merge, gauges
+//! keep the latest virtual stamp), traces are sampled Dapper-style
+//! ([`TraceSampler`] head lottery plus always-keep tails for degraded /
+//! failed-over / slow / failed sessions), and the merged snapshot is
+//! judged against declarative SLOs ([`default_campus_slos`]).
 
-use crate::system::{ClientId, MitsSystem, SystemConfig, SystemError};
+use crate::system::{ClientId, MitsSystem, SessionScratch, SystemConfig, SystemError};
 use mits_media::MediaObject;
 use mits_mheg::{MhegId, MhegObject};
 use mits_sim::{
-    MetricsSnapshot, SampleReason, SimDuration, Slo, SloInput, SloReport, TailSignals, TraceSampler,
+    Histogram, MetricsSnapshot, SampleReason, SimDuration, Slo, SloInput, SloReport, TailSignals,
+    TraceSampler,
 };
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Histogram geometry for per-session simulated time, shared by every
-/// shard so the merged campus histogram is well-defined.
+/// session so the merged campus histogram is well-defined.
 const SESSION_SECS_HI: f64 = 60.0;
 const SESSION_SECS_BINS: usize = 600;
 
-/// How many students to simulate, how many worker threads to use, and
-/// how the campus telemetry behaves.
-#[derive(Debug, Clone)]
-pub struct CampusConfig {
-    /// Number of independent student sessions (one shard each).
-    pub students: usize,
-    /// Worker threads; 1 runs the shards inline on the caller's thread.
-    pub threads: usize,
-    /// Base seed; shard `i` derives its own seed from `(base_seed, i)`.
-    pub base_seed: u64,
-    /// Fraction of students whose traces are head-sampled (0.0..=1.0).
-    /// Anomalous sessions are kept regardless (tail sampling).
-    pub trace_sample_rate: f64,
-    /// Sessions simulating longer than this are tail-sampled as slow.
-    pub slow_session: SimDuration,
-}
+/// Host-wall histogram geometry for per-session wall time (1 ms bins).
+const WALL_SECS_HI: f64 = 60.0;
+const WALL_SECS_BINS: usize = 60_000;
 
-impl CampusConfig {
-    /// A campus with default telemetry: 5% head sampling, 30 s slow
-    /// threshold.
-    pub fn new(students: usize, threads: usize, base_seed: u64) -> Self {
-        CampusConfig {
-            students,
-            threads,
-            base_seed,
-            trace_sample_rate: 0.05,
-            slow_session: SimDuration::from_secs(30),
+/// Folded into a failed session's digest so a retire-under-fault session
+/// is distinguishable from a clean one that happened to deliver the same
+/// byte counts.
+const SESSION_FAILED_MARK: u64 = 0xFA11_ED00_5E55_10FF;
+
+/// The schedulable core count of this host: `available_parallelism`
+/// (which respects CPU affinity masks and cgroup quotas) with a
+/// `/proc/cpuinfo` fallback for platforms where it errors out. Never
+/// reports zero. This is the count worth sizing a worker pool by; a
+/// container pinned to one core reports 1 here even when the machine
+/// has more sockets present.
+pub fn host_cores() -> usize {
+    if let Ok(n) = std::thread::available_parallelism() {
+        return n.get();
+    }
+    if let Ok(s) = std::fs::read_to_string("/proc/cpuinfo") {
+        let n = s.lines().filter(|l| l.starts_with("processor")).count();
+        if n > 0 {
+            return n;
         }
     }
+    1
+}
 
-    /// Override the head-sampling fraction.
-    pub fn with_trace_sample_rate(mut self, rate: f64) -> Self {
-        self.trace_sample_rate = rate;
-        self
-    }
-
-    /// Override the slow-session tail-sampling threshold.
-    pub fn with_slow_session(mut self, d: SimDuration) -> Self {
-        self.slow_session = d;
-        self
-    }
+/// Everything the campus knows about a student before admission: its
+/// index and derived seed. A million students is a million of these —
+/// two words each — not a million simulated worlds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Student index in `0..students`.
+    pub student: usize,
+    /// SplitMix64-derived seed for this student's whole session.
+    pub seed: u64,
 }
 
 /// The courseware every student session fetches.
 #[derive(Debug, Clone)]
 pub struct CampusWorkload {
-    /// Scenario objects preloaded into each shard's database.
+    /// Scenario objects preloaded into each session's database.
     pub objects: Vec<MhegObject>,
     /// Media catalogue; every student fetches every object once.
     pub media: Vec<MediaObject>,
@@ -95,70 +110,154 @@ pub struct CampusWorkload {
     pub root: MhegId,
 }
 
-/// One sampled shard trace: the student's full JSONL span/event export
+/// One sampled session trace: the student's full JSONL span/event export
 /// plus why the sampler kept it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardTrace {
-    /// Shard index == student index.
+    /// Student index.
     pub student: usize,
-    /// The seed the shard ran with.
+    /// The seed the session ran with.
     pub seed: u64,
     /// Why the sampler kept this trace.
     pub reason: SampleReason,
-    /// The shard tracer's JSONL export.
+    /// The session tracer's JSONL export.
     pub jsonl: String,
 }
 
-/// Outcome of one student shard. All fields except `wall_secs` are
-/// deterministic functions of `(workload, seed)`.
+/// Outcome of one retired student session. All fields except `wall_secs`
+/// are deterministic functions of `(workload, seed)`.
 #[derive(Debug, Clone)]
-pub struct ShardReport {
-    /// Shard index == student index.
+pub struct SessionReport {
+    /// Student index.
     pub student: usize,
-    /// The derived seed the shard ran with.
+    /// The derived seed the session ran with.
     pub seed: u64,
-    /// FNV digest over the shard's simulated observables.
+    /// FNV digest over the session's simulated observables.
     pub digest: u64,
     /// Bytes delivered to the student across the simulated downlink.
     pub bytes: u64,
     /// Simulated session time (courseware fetch + every media fetch).
     pub session: SimDuration,
     /// Whether the session was anomalous: client retries/timeouts/
-    /// decode errors (degraded service) or a database failover.
+    /// decode errors (degraded service), a database failover, or an
+    /// outright failure.
     pub anomalous: bool,
-    /// The sampler's decision for this shard, if it kept the trace.
+    /// The session died mid-run (deadline expired, server gone). It
+    /// still retired: its partial observables are folded into the
+    /// rollup under [`SESSION_FAILED_MARK`].
+    pub failed: bool,
+    /// Human-readable failure cause, when `failed`.
+    pub error: Option<String>,
+    /// The sampler's decision for this session, if it kept the trace.
     pub sampled: Option<SampleReason>,
-    /// Host wall-clock the shard took (not part of any digest).
+    /// Host wall-clock the session took (not part of any digest).
     pub wall_secs: f64,
 }
 
-/// Merged outcome of a campus run.
+/// Deprecated name for [`SessionReport`] from the slot-per-shard runner.
+#[deprecated(note = "renamed to SessionReport")]
+pub type ShardReport = SessionReport;
+
+/// The campus-wide merge a run ends with: everything deterministic
+/// (digest, metrics, SLOs) plus the host wall totals.
+#[derive(Debug, Clone)]
+pub struct CampusRollup {
+    /// Students simulated (== sessions retired).
+    pub students: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Admission window the run was bounded by.
+    pub max_concurrent: usize,
+    /// FNV fold over per-session digests in student-index order.
+    pub digest: u64,
+    /// Total bytes delivered across all sessions.
+    pub bytes: u64,
+    /// Sessions that died mid-run but still retired into the rollup.
+    pub sessions_failed: u64,
+    /// Host wall-clock for the whole campus run.
+    pub wall_secs: f64,
+    /// Every session's metrics snapshot folded in student-index order.
+    pub metrics: MetricsSnapshot,
+    /// Default campus SLOs judged against the merged snapshot.
+    pub slo: SloReport,
+}
+
+/// A consumer of campus output, fed *while the campus runs* instead of
+/// from a buffered report. All callbacks arrive in deterministic
+/// student-index order regardless of thread count, work stealing or the
+/// admission window; `rollup` is called exactly once at the end of a
+/// successful run. [`CampusReport`] is one provided sink; `tables --exp
+/// campus` streams into its own JSON-writing sink.
+pub trait ReportSink: Send {
+    /// A session retired. Called in student-index order.
+    fn session(&mut self, _report: &SessionReport) {}
+    /// A sampled trace, in student-index order.
+    fn trace(&mut self, _trace: &ShardTrace) {}
+    /// The final merge of a completed campus run.
+    fn rollup(&mut self, _rollup: &CampusRollup) {}
+}
+
+/// Merged outcome of a campus run — the provided [`ReportSink`] that
+/// keeps the compact rollup: digest, merged metrics, sampled traces, SLO
+/// verdicts and bounded wall-time histograms. It does **not** buffer
+/// per-session reports, so its memory is independent of population size.
 #[derive(Debug, Clone)]
 pub struct CampusReport {
     /// Students simulated.
     pub students: usize,
     /// Worker threads used.
     pub threads: usize,
-    /// Order-independent merge: FNV over per-shard digests in shard order.
+    /// Admission window the run was bounded by.
+    pub max_concurrent: usize,
+    /// FNV fold over per-session digests in student-index order.
     pub digest: u64,
-    /// Total bytes delivered across all shards.
+    /// Total bytes delivered across all sessions.
     pub bytes: u64,
+    /// Sessions that died mid-run but still retired into the rollup.
+    pub sessions_failed: u64,
+    /// Sessions flagged anomalous (degraded, failed over, or failed).
+    pub sessions_anomalous: u64,
     /// Host wall-clock for the whole campus run.
     pub wall_secs: f64,
-    /// Per-shard reports, in shard order regardless of completion order.
-    pub shards: Vec<ShardReport>,
-    /// Every shard's metrics snapshot folded in shard-index order:
+    /// Every session's metrics snapshot folded in student-index order:
     /// counters add, histograms merge, gauges keep the latest virtual
     /// stamp. Byte-identical across thread counts.
     pub metrics: MetricsSnapshot,
-    /// Sampled traces in shard-index order — head winners plus every
-    /// anomalous or slow session.
+    /// Sampled traces in student-index order — head winners plus every
+    /// anomalous, failed or slow session.
     pub traces: Vec<ShardTrace>,
     /// Default campus SLOs judged against the merged snapshot.
     pub slo: SloReport,
+    /// Per-session host wall times, binned at 1 ms (not deterministic,
+    /// never folded into a digest).
+    wall_hist: Histogram,
+}
+
+impl Default for CampusReport {
+    fn default() -> Self {
+        CampusReport::new()
+    }
 }
 
 impl CampusReport {
+    /// An empty report, ready to be streamed into as a [`ReportSink`].
+    pub fn new() -> Self {
+        CampusReport {
+            students: 0,
+            threads: 0,
+            max_concurrent: 0,
+            digest: 0,
+            bytes: 0,
+            sessions_failed: 0,
+            sessions_anomalous: 0,
+            wall_secs: 0.0,
+            metrics: MetricsSnapshot::new(),
+            traces: Vec::new(),
+            slo: SloReport::default(),
+            wall_hist: Histogram::new(0.0, WALL_SECS_HI, WALL_SECS_BINS),
+        }
+    }
+
     /// Students completed per host second.
     pub fn students_per_sec(&self) -> f64 {
         self.students as f64 / self.wall_secs.max(1e-9)
@@ -169,26 +268,24 @@ impl CampusReport {
         self.bytes as f64 / self.wall_secs.max(1e-9)
     }
 
-    /// Percentile (0.0..=1.0) of per-shard host wall-time, in seconds.
-    /// An empty report reads 0.0; a single shard reads its own sample.
+    /// Percentile (0.0..=1.0) of per-session host wall-time, in seconds,
+    /// from the 1 ms-binned histogram. An empty report reads 0.0.
     pub fn wall_percentile(&self, p: f64) -> f64 {
-        percentile(self.shards.iter().map(|s| s.wall_secs).collect(), p)
+        self.wall_hist.quantile(p.clamp(0.0, 1.0)).unwrap_or(0.0)
     }
 
-    /// Percentile (0.0..=1.0) of simulated session time, in seconds.
-    /// An empty report reads 0.0; a single shard reads its own sample.
+    /// Percentile (0.0..=1.0) of simulated session time, in seconds,
+    /// from the merged `campus.session_secs` histogram. An empty report
+    /// reads 0.0.
     pub fn session_percentile(&self, p: f64) -> f64 {
-        percentile(
-            self.shards
-                .iter()
-                .map(|s| s.session.as_secs_f64())
-                .collect(),
-            p,
-        )
+        self.metrics
+            .histogram("campus.session_secs")
+            .and_then(|h| h.quantile(p.clamp(0.0, 1.0)))
+            .unwrap_or(0.0)
     }
 
     /// The sampled traces concatenated into one JSONL document, each
-    /// shard prefixed by a header line. Deterministic byte for byte.
+    /// session prefixed by a header line. Deterministic byte for byte.
     pub fn traces_jsonl(&self) -> String {
         let mut out = String::new();
         for t in &self.traces {
@@ -204,23 +301,33 @@ impl CampusReport {
     }
 }
 
-/// Nearest-rank percentile over finite samples. Empty input reads 0.0;
-/// a single sample reads itself. `total_cmp` keeps the sort total even
-/// if a non-finite value sneaks in (NaN sorts last instead of
-/// panicking the comparator).
-fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+impl ReportSink for CampusReport {
+    fn session(&mut self, report: &SessionReport) {
+        self.wall_hist.record(report.wall_secs);
+        self.sessions_anomalous += u64::from(report.anomalous);
     }
-    xs.sort_by(f64::total_cmp);
-    let rank = (p.clamp(0.0, 1.0) * (xs.len() - 1) as f64).round() as usize;
-    xs[rank.min(xs.len() - 1)]
+
+    fn trace(&mut self, trace: &ShardTrace) {
+        self.traces.push(trace.clone());
+    }
+
+    fn rollup(&mut self, rollup: &CampusRollup) {
+        self.students = rollup.students;
+        self.threads = rollup.threads;
+        self.max_concurrent = rollup.max_concurrent;
+        self.digest = rollup.digest;
+        self.bytes = rollup.bytes;
+        self.sessions_failed = rollup.sessions_failed;
+        self.wall_secs = rollup.wall_secs;
+        self.metrics = rollup.metrics.clone();
+        self.slo = rollup.slo.clone();
+    }
 }
 
-/// SplitMix64 finalizer: decorrelates per-shard seeds so neighbouring
+/// SplitMix64 finalizer: decorrelates per-session seeds so neighbouring
 /// students do not share RNG streams.
-fn derive_seed(base: u64, shard: u64) -> u64 {
-    let mut z = base ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+fn derive_seed(base: u64, student: u64) -> u64 {
+    let mut z = base ^ student.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -288,51 +395,466 @@ fn fnv_fold(mut h: u64, word: u64) -> u64 {
     h
 }
 
-/// What one shard hands back to the merge: the lean report plus its
-/// telemetry (dropped into the rollup, not kept per shard).
-struct ShardOutcome {
-    report: ShardReport,
+/// Per-student `SystemConfig` hook (see [`Campus::configure_sessions`]).
+type SessionConfigFn = dyn Fn(&SessionSpec, SystemConfig) -> SystemConfig + Send + Sync;
+
+/// Builder for a campus run.
+///
+/// ```no_run
+/// # use mits_core::campus::{Campus, CampusWorkload};
+/// # fn demo(workload: CampusWorkload) -> Result<(), mits_core::system::SystemError> {
+/// let report = Campus::new(10_000, 42)
+///     .threads(8)
+///     .max_concurrent(64)
+///     .workload(workload)
+///     .run()?;
+/// assert_eq!(report.students, 10_000);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// `threads(0)` (the default) sizes the pool to [`host_cores`];
+/// `max_concurrent(0)` (the default) admits as many sessions as there
+/// are workers. Lowering `max_concurrent` below the worker count bounds
+/// live memory harder at the cost of idle workers; results never change.
+pub struct Campus {
+    students: usize,
+    base_seed: u64,
+    threads: usize,
+    max_concurrent: usize,
+    batch: usize,
+    trace_sample_rate: f64,
+    slow_session: SimDuration,
+    workload: Option<CampusWorkload>,
+    session_config: Option<Arc<SessionConfigFn>>,
+}
+
+impl Campus {
+    /// A campus of `students` sessions, seeded by `base_seed`, with
+    /// default telemetry: 5% head sampling, 30 s slow threshold.
+    pub fn new(students: usize, base_seed: u64) -> Self {
+        Campus {
+            students,
+            base_seed,
+            threads: 0,
+            max_concurrent: 0,
+            batch: 0,
+            trace_sample_rate: 0.05,
+            slow_session: SimDuration::from_secs(30),
+            workload: None,
+            session_config: None,
+        }
+    }
+
+    /// Worker threads; 0 = auto ([`host_cores`]), 1 runs inline on the
+    /// caller's thread.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Admission window: at most this many sessions live at once,
+    /// bounding memory by concurrency instead of population. 0 = one
+    /// per worker, capped at [`host_cores`].
+    pub fn max_concurrent(mut self, k: usize) -> Self {
+        self.max_concurrent = k;
+        self
+    }
+
+    /// Students per work-stealing batch; 0 = auto-sized from the
+    /// population and worker count. Batch size is independent of the
+    /// thread count, so it never reaches the digest.
+    pub fn batch(mut self, n: usize) -> Self {
+        self.batch = n;
+        self
+    }
+
+    /// The courseware every session fetches. Required.
+    pub fn workload(mut self, w: CampusWorkload) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Fraction of students whose traces are head-sampled (0.0..=1.0).
+    /// Anomalous sessions are kept regardless (tail sampling).
+    pub fn trace_sample_rate(mut self, rate: f64) -> Self {
+        self.trace_sample_rate = rate;
+        self
+    }
+
+    /// Sessions simulating longer than this are tail-sampled as slow.
+    pub fn slow_session(mut self, d: SimDuration) -> Self {
+        self.slow_session = d;
+        self
+    }
+
+    /// Customise a student's `SystemConfig` (fault plans, crash
+    /// schedules, retry policies). The hook receives the session spec
+    /// and the seeded single-seat base config; it must stay a pure
+    /// function of the spec or the determinism contract breaks.
+    pub fn configure_sessions(
+        mut self,
+        f: impl Fn(&SessionSpec, SystemConfig) -> SystemConfig + Send + Sync + 'static,
+    ) -> Self {
+        self.session_config = Some(Arc::new(f));
+        self
+    }
+
+    /// Run the campus into the provided [`CampusReport`] sink.
+    pub fn run(&self) -> Result<CampusReport, SystemError> {
+        let mut report = CampusReport::new();
+        self.run_with(&mut report)?;
+        Ok(report)
+    }
+
+    /// Run the campus, streaming sessions, traces and the final rollup
+    /// into `sink` in deterministic student-index order.
+    pub fn run_with(&self, sink: &mut dyn ReportSink) -> Result<(), SystemError> {
+        let workload = self.workload.as_ref().ok_or_else(|| {
+            SystemError::Protocol("Campus::workload(..) must be set before run()".into())
+        })?;
+        let students = self.students;
+        let threads = if self.threads == 0 {
+            host_cores()
+        } else {
+            self.threads
+        };
+        let batch = if self.batch == 0 {
+            (students / (threads.max(1) * 4)).clamp(1, 64)
+        } else {
+            self.batch.max(1)
+        };
+        let n_batches = students.div_ceil(batch);
+        let workers = threads.max(1).min(n_batches.max(1));
+        let max_concurrent = if self.max_concurrent == 0 {
+            // One live session per worker, capped at the physical core
+            // count: admitting more concurrent sessions than cores can
+            // run only grows live memory and thrashes the cache. Only
+            // throughput depends on this; results never do.
+            workers.min(host_cores()).max(1)
+        } else {
+            self.max_concurrent
+        };
+        let sampler = TraceSampler::new(self.base_seed, self.trace_sample_rate)
+            .with_latency_threshold(self.slow_session);
+        let start = Instant::now();
+
+        let queue = BatchQueue::new(n_batches, workers);
+        let window = AdmissionWindow::new(max_concurrent);
+        let merge = Mutex::new(MergeState::new(sink));
+        let fatal: Mutex<Option<SystemError>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+
+        let work = |worker: usize| {
+            let mut scratch = SessionScratch::default();
+            while let Some(b) = queue.claim(worker) {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let lo = b * batch;
+                let hi = ((b + 1) * batch).min(students);
+                let mut out = BatchOut::new();
+                for student in lo..hi {
+                    let spec = SessionSpec {
+                        student,
+                        seed: derive_seed(self.base_seed, student as u64),
+                    };
+                    let base = SystemConfig::broadband(1).with_seed(spec.seed);
+                    let config = match &self.session_config {
+                        Some(f) => f(&spec, base),
+                        None => base,
+                    };
+                    // admit: wait for an admission slot, then build the
+                    // session's world (reusing this worker's scratch).
+                    window.admit();
+                    let ran = run_session(
+                        workload,
+                        &sampler,
+                        &spec,
+                        &config,
+                        std::mem::take(&mut scratch),
+                    );
+                    // retire: the session's world is already torn down
+                    // (its allocations harvested into `scratch`); free
+                    // the admission slot and fold the outcome.
+                    window.retire();
+                    match ran {
+                        Ok((outcome, recycled)) => {
+                            scratch = recycled;
+                            out.push(outcome);
+                        }
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let mut f = fatal.lock().expect("campus fatal");
+                            if f.is_none() {
+                                *f = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+                merge.lock().expect("campus merge").complete(b, out);
+            }
+        };
+
+        if workers <= 1 {
+            work(0);
+        } else {
+            let work = &work;
+            crossbeam::thread::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move |_| work(w));
+                }
+            })
+            .map_err(|_| SystemError::Protocol("campus worker panicked".into()))?;
+        }
+
+        if let Some(e) = fatal.into_inner().expect("campus fatal") {
+            return Err(e);
+        }
+        let mut merged = merge.into_inner().expect("campus merge");
+        if merged.next != n_batches {
+            return Err(SystemError::Protocol(format!(
+                "campus batch {} never retired",
+                merged.next
+            )));
+        }
+
+        let slo = SloReport::evaluate(&default_campus_slos(), &merged.metrics, &BTreeMap::new());
+        let rollup = CampusRollup {
+            students,
+            threads: workers,
+            max_concurrent,
+            digest: merged.digest,
+            bytes: merged.bytes,
+            sessions_failed: merged.failed,
+            wall_secs: start.elapsed().as_secs_f64(),
+            metrics: std::mem::replace(&mut merged.metrics, MetricsSnapshot::new()),
+            slo,
+        };
+        merged.sink.rollup(&rollup);
+        Ok(())
+    }
+}
+
+/// What one retired session hands to the merge.
+struct SessionOutcome {
+    report: SessionReport,
     snapshot: MetricsSnapshot,
     trace: Option<ShardTrace>,
 }
 
+/// A completed batch: its sessions in index order, ready to flush.
+struct BatchOut {
+    sessions: Vec<SessionReport>,
+    traces: Vec<ShardTrace>,
+    snapshot: MetricsSnapshot,
+}
+
+impl BatchOut {
+    fn new() -> Self {
+        BatchOut {
+            sessions: Vec::new(),
+            traces: Vec::new(),
+            snapshot: MetricsSnapshot::new(),
+        }
+    }
+
+    fn push(&mut self, outcome: SessionOutcome) {
+        self.snapshot.merge(&outcome.snapshot);
+        if let Some(t) = outcome.trace {
+            self.traces.push(t);
+        }
+        self.sessions.push(outcome.report);
+    }
+}
+
+/// The streaming rollup: batches arrive in completion order, flush in
+/// index order. `parked` holds only the out-of-order window (batches
+/// that finished while an earlier one is still running), so its size is
+/// bounded by in-flight work, not by population.
+struct MergeState<'a> {
+    sink: &'a mut dyn ReportSink,
+    next: usize,
+    parked: BTreeMap<usize, BatchOut>,
+    digest: u64,
+    bytes: u64,
+    failed: u64,
+    metrics: MetricsSnapshot,
+}
+
+impl<'a> MergeState<'a> {
+    fn new(sink: &'a mut dyn ReportSink) -> Self {
+        MergeState {
+            sink,
+            next: 0,
+            parked: BTreeMap::new(),
+            digest: FNV_OFFSET,
+            bytes: 0,
+            failed: 0,
+            metrics: MetricsSnapshot::new(),
+        }
+    }
+
+    fn complete(&mut self, batch: usize, out: BatchOut) {
+        self.parked.insert(batch, out);
+        while let Some(out) = self.parked.remove(&self.next) {
+            for s in &out.sessions {
+                self.digest = fnv_fold(self.digest, s.digest);
+                self.bytes += s.bytes;
+                self.failed += u64::from(s.failed);
+                self.sink.session(s);
+            }
+            for t in &out.traces {
+                self.sink.trace(t);
+            }
+            self.metrics.merge(&out.snapshot);
+            self.next += 1;
+        }
+    }
+}
+
+/// Per-worker queues of batch indices with stealing: a worker drains its
+/// own span front-to-back (keeping the flush frontier moving) and steals
+/// from the *back* of the most-loaded peer when dry, so a straggling
+/// session delays one batch instead of serializing the pool.
+struct BatchQueue {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl BatchQueue {
+    fn new(batches: usize, workers: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let per = batches / workers;
+        let extra = batches % workers;
+        let mut b = 0;
+        for (w, q) in queues.iter_mut().enumerate() {
+            let n = per + usize::from(w < extra);
+            for _ in 0..n {
+                q.push_back(b);
+                b += 1;
+            }
+        }
+        BatchQueue {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    fn claim(&self, me: usize) -> Option<usize> {
+        if let Some(b) = self.queues[me].lock().expect("batch queue").pop_front() {
+            return Some(b);
+        }
+        loop {
+            let mut victim: Option<(usize, usize)> = None; // (len, index)
+            for (i, q) in self.queues.iter().enumerate() {
+                if i == me {
+                    continue;
+                }
+                let len = q.lock().expect("batch queue").len();
+                if len > 0 && victim.is_none_or(|(best, _)| len > best) {
+                    victim = Some((len, i));
+                }
+            }
+            let (_, v) = victim?;
+            if let Some(b) = self.queues[v].lock().expect("batch queue").pop_back() {
+                return Some(b);
+            }
+            // Raced with the victim draining its own queue; rescan.
+        }
+    }
+}
+
+/// Counting semaphore bounding live sessions (the admission window).
+struct AdmissionWindow {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl AdmissionWindow {
+    fn new(k: usize) -> Self {
+        AdmissionWindow {
+            permits: Mutex::new(k.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn admit(&self) {
+        let mut p = self.permits.lock().expect("admission window");
+        while *p == 0 {
+            p = self.freed.wait(p).expect("admission window");
+        }
+        *p -= 1;
+    }
+
+    fn retire(&self) {
+        *self.permits.lock().expect("admission window") += 1;
+        self.freed.notify_one();
+    }
+}
+
 /// Run one student's whole session: fetch the courseware closure, then
-/// fetch every media object (cold cache — each shard is a fresh seat).
-fn run_shard(
+/// fetch every media object (cold cache — each session is a fresh seat).
+/// A mid-session failure (deadline expired, server gone for good) does
+/// *not* abort the campus: the session retires with `failed` set, its
+/// partial observables folded under [`SESSION_FAILED_MARK`]. Only a
+/// build failure — a broken config — is fatal.
+fn run_session(
     workload: &CampusWorkload,
     sampler: &TraceSampler,
-    student: usize,
-    seed: u64,
-) -> Result<ShardOutcome, SystemError> {
+    spec: &SessionSpec,
+    config: &SystemConfig,
+    scratch: SessionScratch,
+) -> Result<(SessionOutcome, SessionScratch), SystemError> {
     let start = Instant::now();
-    let config = SystemConfig::broadband(1).with_seed(seed);
-    let mut sys = MitsSystem::build(&config)?;
-    sys.load_directly(workload.objects.clone(), workload.media.clone());
+    let mut sys = MitsSystem::build_with_scratch(config, scratch)?;
+    sys.load_shared(&workload.objects, &workload.media);
     let student_id = ClientId(0);
 
-    let (objects, mut session) = sys.fetch_courseware(student_id, workload.root)?;
-    let mut digest = fnv_fold(FNV_OFFSET, seed);
-    digest = fnv_fold(digest, objects.len() as u64);
-    for m in &workload.media {
-        let (got, t) = sys.fetch_content(student_id, m.id)?;
-        session += t;
-        digest = fnv_fold(digest, got.data.len() as u64);
+    let mut digest = fnv_fold(FNV_OFFSET, spec.seed);
+    let mut session = SimDuration::ZERO;
+    let mut error: Option<String> = None;
+    match sys.fetch_courseware(student_id, workload.root) {
+        Ok((objects, t)) => {
+            session = t;
+            digest = fnv_fold(digest, objects.len() as u64);
+        }
+        Err(e) => error = Some(e.to_string()),
+    }
+    if error.is_none() {
+        for m in &workload.media {
+            match sys.fetch_content(student_id, m.id) {
+                Ok((got, t)) => {
+                    session += t;
+                    digest = fnv_fold(digest, got.data.len() as u64);
+                }
+                Err(e) => {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+    }
+    let failed = error.is_some();
+    if failed {
+        digest = fnv_fold(digest, SESSION_FAILED_MARK);
     }
     let bytes = sys.bytes_to_client(student_id);
     digest = fnv_fold(digest, bytes);
     digest = fnv_fold(digest, session.as_micros());
     digest = fnv_fold(digest, sys.db().state_digest());
 
-    // Telemetry: freeze this shard's registry (stamped at the session's
-    // final virtual instant) with the campus-level session counters the
-    // SLO layer reads from the merged rollup.
+    // Telemetry: freeze this session's registry (stamped at the final
+    // virtual instant) with the campus-level session counters the SLO
+    // layer reads from the merged rollup.
     sys.export_metrics();
-    let degraded = sys.client_metrics(student_id).tail_sample_signal();
+    let degraded = sys.client_metrics(student_id).tail_sample_signal() || failed;
     let failed_over = sys.failovers > 0;
     let anomalous = degraded || failed_over;
     sys.metrics.counter_set("campus.sessions", 1);
     sys.metrics
         .counter_set("campus.sessions_degraded", u64::from(anomalous));
+    sys.metrics
+        .counter_set("campus.sessions_failed", u64::from(failed));
     sys.metrics.observe(
         "campus.session_secs",
         session.as_secs_f64(),
@@ -341,7 +863,7 @@ fn run_shard(
         SESSION_SECS_BINS,
     );
     let sampled = sampler.decide(
-        student as u64,
+        spec.student as u64,
         &TailSignals {
             degraded,
             failed_over,
@@ -352,112 +874,95 @@ fn run_shard(
         .counter_set("campus.traces_sampled", u64::from(sampled.is_some()));
     let snapshot = sys.metrics.snapshot();
     let trace = sampled.map(|reason| ShardTrace {
-        student,
-        seed,
+        student: spec.student,
+        seed: spec.seed,
         reason,
         jsonl: sys.tracer.to_jsonl(),
     });
 
-    Ok(ShardOutcome {
-        report: ShardReport {
-            student,
-            seed,
-            digest,
-            bytes,
-            session,
-            anomalous,
-            sampled,
-            wall_secs: start.elapsed().as_secs_f64(),
+    let report = SessionReport {
+        student: spec.student,
+        seed: spec.seed,
+        digest,
+        bytes,
+        session,
+        anomalous,
+        failed,
+        error,
+        sampled,
+        wall_secs: start.elapsed().as_secs_f64(),
+    };
+    let scratch = sys.into_scratch();
+    Ok((
+        SessionOutcome {
+            report,
+            snapshot,
+            trace,
         },
-        snapshot,
-        trace,
-    })
+        scratch,
+    ))
 }
 
-/// Run the campus: `students` independent sessions over `threads` workers.
-///
-/// Workers claim shard indices from a shared counter, so scheduling is
-/// dynamic — but each report lands in its shard's slot and the merge walks
-/// slots in index order, so the result (digest, merged metrics snapshot,
-/// sampled-trace set, SLO verdicts) is independent of thread count and
-/// claim interleaving.
+// ---------- deprecated pre-builder API ----------
+
+/// Legacy configuration for [`run_campus`].
+#[deprecated(note = "use the Campus builder: Campus::new(students, seed).threads(n).run()")]
+#[derive(Debug, Clone)]
+pub struct CampusConfig {
+    /// Number of independent student sessions.
+    pub students: usize,
+    /// Worker threads; 1 runs the sessions inline on the caller's thread.
+    pub threads: usize,
+    /// Base seed; student `i` derives its own seed from `(base_seed, i)`.
+    pub base_seed: u64,
+    /// Fraction of students whose traces are head-sampled (0.0..=1.0).
+    pub trace_sample_rate: f64,
+    /// Sessions simulating longer than this are tail-sampled as slow.
+    pub slow_session: SimDuration,
+}
+
+#[allow(deprecated)]
+impl CampusConfig {
+    /// A campus with default telemetry: 5% head sampling, 30 s slow
+    /// threshold.
+    pub fn new(students: usize, threads: usize, base_seed: u64) -> Self {
+        CampusConfig {
+            students,
+            threads,
+            base_seed,
+            trace_sample_rate: 0.05,
+            slow_session: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Override the head-sampling fraction.
+    pub fn with_trace_sample_rate(mut self, rate: f64) -> Self {
+        self.trace_sample_rate = rate;
+        self
+    }
+
+    /// Override the slow-session tail-sampling threshold.
+    pub fn with_slow_session(mut self, d: SimDuration) -> Self {
+        self.slow_session = d;
+        self
+    }
+}
+
+/// Legacy entry point: run the campus described by a [`CampusConfig`].
+/// Delegates to the [`Campus`] builder; behaviour (digest, metrics,
+/// traces, SLOs) is identical.
+#[deprecated(note = "use Campus::new(students, seed).threads(n).workload(w).run()")]
+#[allow(deprecated)]
 pub fn run_campus(
     config: &CampusConfig,
     workload: &CampusWorkload,
 ) -> Result<CampusReport, SystemError> {
-    let students = config.students;
-    let threads = config.threads.max(1).min(students.max(1));
-    let sampler = TraceSampler::new(config.base_seed, config.trace_sample_rate)
-        .with_latency_threshold(config.slow_session);
-    let start = Instant::now();
-
-    let slots: Mutex<Vec<Option<Result<ShardOutcome, SystemError>>>> =
-        Mutex::new((0..students).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-
-    let work = || loop {
-        let shard = next.fetch_add(1, Ordering::Relaxed);
-        if shard >= students {
-            break;
-        }
-        let outcome = run_shard(
-            workload,
-            &sampler,
-            shard,
-            derive_seed(config.base_seed, shard as u64),
-        );
-        slots.lock().expect("campus slots")[shard] = Some(outcome);
-    };
-
-    if threads == 1 {
-        work();
-    } else {
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| work());
-            }
-        })
-        .map_err(|_| SystemError::Protocol("campus worker panicked".into()))?;
-    }
-
-    let slots = slots.into_inner().expect("campus slots");
-    let mut shards = Vec::with_capacity(students);
-    let mut metrics = MetricsSnapshot::new();
-    let mut traces = Vec::new();
-    for (i, slot) in slots.into_iter().enumerate() {
-        match slot {
-            Some(Ok(outcome)) => {
-                metrics.merge(&outcome.snapshot);
-                if let Some(trace) = outcome.trace {
-                    traces.push(trace);
-                }
-                shards.push(outcome.report);
-            }
-            Some(Err(e)) => return Err(e),
-            None => return Err(SystemError::Protocol(format!("campus shard {i} never ran"))),
-        }
-    }
-
-    let mut digest = FNV_OFFSET;
-    let mut bytes = 0u64;
-    for s in &shards {
-        digest = fnv_fold(digest, s.digest);
-        bytes += s.bytes;
-    }
-
-    let slo = SloReport::evaluate(&default_campus_slos(), &metrics, &BTreeMap::new());
-
-    Ok(CampusReport {
-        students,
-        threads,
-        digest,
-        bytes,
-        wall_secs: start.elapsed().as_secs_f64(),
-        shards,
-        metrics,
-        traces,
-        slo,
-    })
+    Campus::new(config.students, config.base_seed)
+        .threads(config.threads.max(1))
+        .trace_sample_rate(config.trace_sample_rate)
+        .slow_session(config.slow_session)
+        .workload(workload.clone())
+        .run()
 }
 
 #[cfg(test)]
@@ -494,26 +999,20 @@ mod tests {
         }
     }
 
+    fn campus(students: usize, threads: usize, seed: u64, w: &CampusWorkload) -> Campus {
+        Campus::new(students, seed)
+            .threads(threads)
+            .workload(w.clone())
+    }
+
     #[test]
     fn campus_digest_is_thread_count_invariant() {
         let w = tiny_workload(2, 4096);
-        let base = CampusConfig::new(6, 1, 42);
-        let serial = run_campus(&base, &w).unwrap();
+        let serial = campus(6, 1, 42, &w).run().unwrap();
         for threads in [2, 8] {
-            let parallel = run_campus(
-                &CampusConfig {
-                    threads,
-                    ..base.clone()
-                },
-                &w,
-            )
-            .unwrap();
+            let parallel = campus(6, threads, 42, &w).run().unwrap();
             assert_eq!(serial.digest, parallel.digest, "threads={threads}");
             assert_eq!(serial.bytes, parallel.bytes);
-            assert_eq!(
-                serial.shards.iter().map(|s| s.digest).collect::<Vec<_>>(),
-                parallel.shards.iter().map(|s| s.digest).collect::<Vec<_>>(),
-            );
         }
     }
 
@@ -521,8 +1020,7 @@ mod tests {
     fn campus_telemetry_is_thread_count_invariant() {
         let w = tiny_workload(2, 4096);
         // High head rate so the sampled set is non-trivial.
-        let base = CampusConfig::new(6, 1, 42).with_trace_sample_rate(0.5);
-        let serial = run_campus(&base, &w).unwrap();
+        let serial = campus(6, 1, 42, &w).trace_sample_rate(0.5).run().unwrap();
         assert!(
             !serial.traces.is_empty(),
             "a 50% lottery over 6 students should keep something"
@@ -532,14 +1030,10 @@ mod tests {
             "sampling must bound the trace set"
         );
         for threads in [2, 8] {
-            let parallel = run_campus(
-                &CampusConfig {
-                    threads,
-                    ..base.clone()
-                },
-                &w,
-            )
-            .unwrap();
+            let parallel = campus(6, threads, 42, &w)
+                .trace_sample_rate(0.5)
+                .run()
+                .unwrap();
             assert_eq!(
                 serial.metrics.to_json(),
                 parallel.metrics.to_json(),
@@ -562,14 +1056,17 @@ mod tests {
     #[test]
     fn campus_rollup_sums_counters_and_judges_slos() {
         let w = tiny_workload(1, 2048);
-        let report = run_campus(&CampusConfig::new(4, 2, 9), &w).unwrap();
+        let report = campus(4, 2, 9, &w).run().unwrap();
         assert_eq!(report.metrics.counter("campus.sessions"), Some(4));
         assert_eq!(report.metrics.counter("campus.sessions_degraded"), Some(0));
+        assert_eq!(report.metrics.counter("campus.sessions_failed"), Some(0));
+        assert_eq!(report.sessions_failed, 0);
+        assert_eq!(report.sessions_anomalous, 0);
         let h = report.metrics.histogram("campus.session_secs").unwrap();
-        assert_eq!(h.count(), 4, "one session sample per shard");
-        // Client attempts accumulate across shards.
+        assert_eq!(h.count(), 4, "one session sample per student");
+        // Client attempts accumulate across sessions.
         let attempts = report.metrics.counter("client0.attempts").unwrap();
-        assert!(attempts >= 4 * 2, "each shard fetched courseware + clip");
+        assert!(attempts >= 4 * 2, "each session fetched courseware + clip");
         // Zero-fault campus: every default SLO passes.
         assert_eq!(report.slo.breaches(), 0, "{}", report.slo.to_json());
         assert!(report
@@ -577,21 +1074,74 @@ mod tests {
             .outcomes
             .iter()
             .all(|o| o.verdict == Verdict::Pass));
-        assert!(report.shards.iter().all(|s| !s.anomalous));
     }
 
     #[test]
-    fn campus_shards_have_distinct_seeds_and_full_coverage() {
-        let w = tiny_workload(1, 1024);
-        let report = run_campus(&CampusConfig::new(5, 3, 7), &w).unwrap();
-        assert_eq!(report.students, 5);
-        assert_eq!(report.shards.len(), 5);
-        for (i, s) in report.shards.iter().enumerate() {
-            assert_eq!(s.student, i);
-            assert_eq!(s.bytes, report.shards[0].bytes, "same workload, same bytes");
-            assert!(s.bytes > 1024, "content plus protocol overhead");
+    fn sink_streams_sessions_in_index_order() {
+        struct OrderSink {
+            students: Vec<usize>,
+            bytes: u64,
+            rollups: usize,
+            rollup_bytes: u64,
         }
-        let mut seeds: Vec<u64> = report.shards.iter().map(|s| s.seed).collect();
+        impl ReportSink for OrderSink {
+            fn session(&mut self, r: &SessionReport) {
+                self.students.push(r.student);
+                self.bytes += r.bytes;
+            }
+            fn rollup(&mut self, rollup: &CampusRollup) {
+                self.rollups += 1;
+                self.rollup_bytes = rollup.bytes;
+            }
+        }
+        let w = tiny_workload(1, 1024);
+        let mut sink = OrderSink {
+            students: Vec::new(),
+            bytes: 0,
+            rollups: 0,
+            rollup_bytes: 0,
+        };
+        campus(9, 4, 7, &w).batch(2).run_with(&mut sink).unwrap();
+        assert_eq!(sink.students, (0..9).collect::<Vec<_>>());
+        assert_eq!(sink.rollups, 1);
+        assert_eq!(sink.bytes, sink.rollup_bytes, "streamed == merged");
+    }
+
+    #[test]
+    fn admission_window_edges_do_not_change_results() {
+        let w = tiny_workload(1, 2048);
+        let base = campus(8, 4, 11, &w).run().unwrap();
+        for k in [1, 8] {
+            let bounded = campus(8, 4, 11, &w).max_concurrent(k).run().unwrap();
+            assert_eq!(bounded.max_concurrent, k);
+            assert_eq!(base.digest, bounded.digest, "max_concurrent={k}");
+            assert_eq!(base.metrics.to_json(), bounded.metrics.to_json());
+            assert_eq!(base.traces_jsonl(), bounded.traces_jsonl());
+        }
+    }
+
+    #[test]
+    fn campus_seeds_are_distinct_and_coverage_is_full() {
+        struct SeedSink {
+            seeds: Vec<u64>,
+            bytes: Vec<u64>,
+        }
+        impl ReportSink for SeedSink {
+            fn session(&mut self, r: &SessionReport) {
+                self.seeds.push(r.seed);
+                self.bytes.push(r.bytes);
+            }
+        }
+        let w = tiny_workload(1, 1024);
+        let mut sink = SeedSink {
+            seeds: Vec::new(),
+            bytes: Vec::new(),
+        };
+        campus(5, 3, 7, &w).run_with(&mut sink).unwrap();
+        assert_eq!(sink.seeds.len(), 5);
+        assert!(sink.bytes.iter().all(|&b| b == sink.bytes[0]));
+        assert!(sink.bytes[0] > 1024, "content plus protocol overhead");
+        let mut seeds = sink.seeds.clone();
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 5, "derived seeds must not collide");
@@ -600,47 +1150,45 @@ mod tests {
     #[test]
     fn base_seed_changes_the_campus_digest() {
         let w = tiny_workload(1, 2048);
-        let a = run_campus(&CampusConfig::new(3, 2, 1), &w).unwrap();
-        let b = run_campus(&CampusConfig::new(3, 2, 2), &w).unwrap();
+        let a = campus(3, 2, 1, &w).run().unwrap();
+        let b = campus(3, 2, 2, &w).run().unwrap();
         assert_ne!(a.digest, b.digest, "seed must reach the digest");
     }
 
     #[test]
+    fn missing_workload_is_an_error_not_a_panic() {
+        let err = Campus::new(4, 1).run().unwrap_err();
+        assert!(matches!(err, SystemError::Protocol(_)));
+    }
+
+    #[test]
     fn percentile_edge_cases_do_not_panic_or_extrapolate() {
-        let empty = CampusReport {
-            students: 0,
-            threads: 1,
-            digest: 0,
-            bytes: 0,
-            wall_secs: 0.0,
-            shards: Vec::new(),
-            metrics: MetricsSnapshot::new(),
-            traces: Vec::new(),
-            slo: SloReport::default(),
-        };
+        let empty = CampusReport::new();
         assert_eq!(empty.wall_percentile(0.99), 0.0);
         assert_eq!(empty.session_percentile(0.5), 0.0);
-
-        let one_shard = ShardReport {
-            student: 0,
-            seed: 1,
-            digest: 1,
-            bytes: 1,
-            session: SimDuration::from_millis(250),
-            anomalous: false,
-            sampled: None,
-            wall_secs: 0.125,
-        };
-        let single = CampusReport {
-            shards: vec![one_shard],
-            students: 1,
-            ..empty.clone()
-        };
-        for p in [0.0, 0.5, 0.99, 1.0, -3.0, 7.0] {
-            assert_eq!(single.wall_percentile(p), 0.125, "p={p}");
-            assert_eq!(single.session_percentile(p), 0.25, "p={p}");
+        // Out-of-range p clamps instead of panicking.
+        let w = tiny_workload(0, 0);
+        let one = campus(1, 1, 3, &w).run().unwrap();
+        for p in [-3.0, 0.0, 0.5, 1.0, 7.0] {
+            assert!(one.wall_percentile(p) >= 0.0, "p={p}");
+            assert!(one.session_percentile(p) >= 0.0, "p={p}");
         }
-        // A NaN sample must not panic the comparator; it sorts last.
-        assert_eq!(percentile(vec![f64::NAN, 2.0, 1.0], 0.0), 1.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_campus_shim_matches_builder() {
+        let w = tiny_workload(1, 2048);
+        let old = run_campus(&CampusConfig::new(4, 2, 9), &w).unwrap();
+        let new = campus(4, 2, 9, &w).run().unwrap();
+        assert_eq!(old.digest, new.digest);
+        assert_eq!(old.bytes, new.bytes);
+        assert_eq!(old.metrics.to_json(), new.metrics.to_json());
+        assert_eq!(old.traces_jsonl(), new.traces_jsonl());
+    }
+
+    #[test]
+    fn host_cores_is_positive() {
+        assert!(host_cores() >= 1);
     }
 }

@@ -34,9 +34,11 @@ pub mod stream;
 pub mod system;
 
 pub use campus::{
-    default_campus_slos, run_campus, CampusConfig, CampusReport, CampusWorkload, ShardReport,
-    ShardTrace,
+    default_campus_slos, host_cores, Campus, CampusReport, CampusRollup, CampusWorkload,
+    ReportSink, SessionReport, SessionSpec, ShardTrace,
 };
+#[allow(deprecated)]
+pub use campus::{run_campus, CampusConfig, ShardReport};
 pub use cod::{CodReport, CodSession};
 pub use models::{compare_delivery_models, reuse_ablation, ModelMetrics, ReuseReport};
 pub use stack::{layer_breakdown, LayerCost};

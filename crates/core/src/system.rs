@@ -11,7 +11,7 @@
 
 use bytes::Bytes;
 use mits_atm::{
-    AtmNetwork, CrashSchedule, FaultKind, FaultPlan, LinkProfile, NetError, NodeId,
+    AtmNetwork, CrashSchedule, FaultKind, FaultPlan, LinkProfile, NetError, NetScratch, NodeId,
     ReliableChannel, ServiceClass, TransportEvent, VcId,
 };
 use mits_db::{
@@ -246,10 +246,37 @@ pub struct MitsSystem {
     resp_meta: BTreeMap<(usize, u64), SimTime>,
 }
 
+/// Reusable allocation capacity carried from one retired [`MitsSystem`]
+/// to the next one a campus worker admits. Today this is the network's
+/// recycled containers (timer heap, cell slab, delivery buffer, VC and
+/// topology tables — see [`mits_atm::NetScratch`]); the wrapper exists so
+/// further layers can join without touching the campus runner.
+#[derive(Default)]
+pub struct SessionScratch {
+    net: NetScratch,
+}
+
 impl MitsSystem {
     /// Build the installation described by `config`.
     pub fn build(config: &SystemConfig) -> Result<Self, SystemError> {
-        let mut net = AtmNetwork::new(config.seed);
+        Self::build_with_scratch(config, SessionScratch::default())
+    }
+
+    /// Retire this system and harvest reusable allocation capacity for
+    /// the next [`MitsSystem::build_with_scratch`].
+    pub fn into_scratch(self) -> SessionScratch {
+        SessionScratch {
+            net: self.net.into_scratch(),
+        }
+    }
+
+    /// [`MitsSystem::build`], but reusing a retired system's allocations.
+    /// Bit-identical behaviour; only container capacity is inherited.
+    pub fn build_with_scratch(
+        config: &SystemConfig,
+        scratch: SessionScratch,
+    ) -> Result<Self, SystemError> {
+        let mut net = AtmNetwork::with_scratch(config.seed, scratch.net);
         net.set_fault_plan(config.fault_plan.clone());
         let switch = net.add_switch("campus-switch");
         let mut server_hosts = vec![net.add_host("courseware-db")];
@@ -1044,6 +1071,14 @@ impl MitsSystem {
     /// server is loaded identically — the journals agree record for
     /// record, so nothing needs shipping.
     pub fn load_directly(&mut self, objects: Vec<MhegObject>, media: Vec<MediaObject>) {
+        self.load_shared(&objects, &media);
+    }
+
+    /// [`MitsSystem::load_directly`] over borrowed slices: the campus
+    /// runner loads one shared workload into thousands of sessions, so
+    /// cloning happens once per server here instead of once per call at
+    /// every call site.
+    pub fn load_shared(&mut self, objects: &[MhegObject], media: &[MediaObject]) {
         for s in &self.servers {
             s.db.load_objects(objects.iter().cloned());
             s.db.load_media(media.iter().cloned());

@@ -30,13 +30,24 @@ import json, sys
 d = json.load(open(sys.argv[1]))
 for key in ("students", "digest", "digest_match_1_vs_n_threads",
             "metrics_match_1_vs_n_threads", "traces_sampled", "slo_breaches",
-            "bytes_simulated", "students_per_sec", "fetch200k_speedup"):
+            "bytes_simulated", "students_per_sec", "fetch200k_speedup",
+            "host_cores", "max_concurrent", "peak_rss_mb"):
     assert key in d, f"BENCH_campus.json missing {key}"
 assert d["students"] > 0 and d["bytes_simulated"] > 0, "empty campus run"
 assert d["digest_match_1_vs_n_threads"] is True, "campus digest diverged"
 assert d["metrics_match_1_vs_n_threads"] is True, "campus metrics rollup diverged"
+assert d["max_concurrent"] >= 1, "admission window must be recorded"
 PY
 echo "campus bench json well-formed"
+
+# API gate: the deprecated run_campus/CampusConfig shim must not be used
+# in-repo outside its own definition and equivalence test.
+if grep -rn --include='*.rs' -E 'run_campus\(|CampusConfig::' crates tests examples \
+    | grep -v 'crates/core/src/campus.rs'; then
+  echo "deprecated campus shim used outside crates/core/src/campus.rs" >&2
+  exit 1
+fi
+echo "no deprecated campus API usage in-repo"
 
 # SLO smoke: a small zero-fault campus must emit valid verdict JSON with
 # zero breaches (warn tiers are informational; a breach here means the
@@ -81,7 +92,18 @@ assert now["students_per_sec"] >= floor, (
 assert now["digest"] == base["digest"], (
     f"campus digest changed: {now['digest']} vs baseline {base['digest']} "
     "(simulation behaviour drifted; regenerate BENCH_campus.json deliberately)")
+# Threads must not lose. The committed baseline records the claim; the
+# fresh run re-proves it with a core-aware floor: on a multi-core host
+# the worker pool must genuinely win (>= 1.0); on a single core the
+# parallel leg can only tie, so allow scheduler noise down to 0.85.
+assert base["speedup_n_over_1"] >= 1.0, (
+    f"committed baseline records threads losing: {base['speedup_n_over_1']}")
+speedup_floor = 1.0 if now["host_cores"] > 1 else 0.85
+assert now["speedup_n_over_1"] >= speedup_floor, (
+    f"threads lose: speedup {now['speedup_n_over_1']:.3f} "
+    f"< floor {speedup_floor} on {now['host_cores']} core(s)")
 print(f"throughput {now['students_per_sec']:.2f} students/s "
-      f">= floor {floor:.2f} (baseline {base['students_per_sec']:.2f})")
+      f">= floor {floor:.2f} (baseline {base['students_per_sec']:.2f}); "
+      f"speedup {now['speedup_n_over_1']:.3f} >= {speedup_floor}")
 PY
 echo "campus bench regression gate passed"

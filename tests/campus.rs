@@ -1,0 +1,166 @@
+//! Campus lifecycle integration tests: the determinism contract of the
+//! memory-bounded runner under work stealing, admission-window edges,
+//! and retire-under-fault.
+//!
+//! The campus digest is the repo's best regression tripwire — it folds
+//! every session's observables in student-index order, so any
+//! scheduling leak (worker identity, steal order, admission timing)
+//! shows up as a digest mismatch between thread counts.
+
+use bytes::Bytes;
+use mits::core::{Campus, CampusWorkload};
+use mits::db::RetryPolicy;
+use mits::media::{MediaFormat, MediaId, MediaObject, VideoDims};
+use mits::mheg::{ClassLibrary, GenericValue};
+use mits::sim::{SimDuration, SimTime};
+
+fn workload(clips: usize, clip_bytes: usize) -> CampusWorkload {
+    let mut lib = ClassLibrary::new(1);
+    let v = lib.value_content("v", GenericValue::Int(1));
+    let root = lib.container("Course", vec![v]);
+    let media = (0..clips)
+        .map(|i| {
+            let data: Vec<u8> = (0..clip_bytes)
+                .map(|j| ((i * 13 + j * 5) % 251) as u8)
+                .collect();
+            MediaObject::new(
+                MediaId(700 + i as u64),
+                format!("clip{i}.mpg"),
+                MediaFormat::Mpeg,
+                SimDuration::from_secs(1),
+                VideoDims::new(160, 120),
+                Bytes::from(data),
+            )
+        })
+        .collect();
+    CampusWorkload {
+        objects: lib.into_objects(),
+        media,
+        root,
+    }
+}
+
+/// Admit-order determinism at 1k students: the digest, merged metrics
+/// and sampled-trace bundle must be byte-identical on 1, 2 and 8
+/// threads (work stealing may run batches in any order; the frontier
+/// merge must hide it), and identical again under an admission window
+/// of 1 and of the whole population.
+#[test]
+fn thousand_students_are_deterministic_under_stealing_and_windows() {
+    let students = 1000;
+    let w = workload(1, 2048);
+    let base = Campus::new(students, 42)
+        .threads(1)
+        .workload(w.clone())
+        .run()
+        .unwrap();
+    assert_eq!(base.students, students);
+    assert_eq!(
+        base.metrics.counter("campus.sessions"),
+        Some(students as u64)
+    );
+
+    let variants: [(usize, usize); 3] = [(2, 0), (8, 1), (8, students)];
+    for (threads, window) in variants {
+        let r = Campus::new(students, 42)
+            .threads(threads)
+            .max_concurrent(window)
+            .workload(w.clone())
+            .run()
+            .unwrap();
+        assert_eq!(
+            base.digest, r.digest,
+            "digest drifted at threads={threads} window={window}"
+        );
+        assert_eq!(base.bytes, r.bytes);
+        assert_eq!(
+            base.metrics.to_json(),
+            r.metrics.to_json(),
+            "metrics drifted at threads={threads} window={window}"
+        );
+        assert_eq!(
+            base.traces_jsonl(),
+            r.traces_jsonl(),
+            "traces drifted at threads={threads} window={window}"
+        );
+    }
+}
+
+/// A session that dies mid-run (its database server crashes and never
+/// restarts) still retires: the campus completes, the failure is
+/// counted and folded into the digest, the dead session's trace is
+/// tail-sampled — and all of it is thread-count invariant.
+#[test]
+fn crashed_session_retires_and_folds_into_the_rollup() {
+    let w = workload(1, 2048);
+    let campus = |threads: usize| {
+        Campus::new(6, 77)
+            .threads(threads)
+            .workload(w.clone())
+            .trace_sample_rate(0.0) // only tail sampling below
+            .configure_sessions(|spec, config| {
+                if spec.student == 3 {
+                    // Student 3's server dies before the first fetch and
+                    // never comes back; the bounded retry deadline turns
+                    // that into a session failure instead of an endless
+                    // ARQ storm.
+                    config
+                        .with_retry(
+                            RetryPolicy::interactive().with_deadline(SimDuration::from_secs(2)),
+                        )
+                        .with_crash(SimTime::from_millis(1), 0)
+                } else {
+                    config
+                }
+            })
+    };
+
+    let base = campus(1).run().unwrap();
+    assert_eq!(base.students, 6, "campus must complete despite the crash");
+    assert_eq!(base.sessions_failed, 1);
+    assert_eq!(base.metrics.counter("campus.sessions_failed"), Some(1));
+    assert_eq!(base.metrics.counter("campus.sessions"), Some(6));
+    assert_eq!(
+        base.traces.len(),
+        1,
+        "the dead session must be tail-sampled"
+    );
+    assert_eq!(base.traces[0].student, 3);
+
+    for threads in [2, 8] {
+        let r = campus(threads).run().unwrap();
+        assert_eq!(base.digest, r.digest, "threads={threads}");
+        assert_eq!(base.metrics.to_json(), r.metrics.to_json());
+        assert_eq!(base.traces_jsonl(), r.traces_jsonl());
+        assert_eq!(r.sessions_failed, 1);
+    }
+}
+
+/// The failure marker must reach the digest: a campus with the crash is
+/// distinguishable from the same campus without it.
+#[test]
+fn failed_sessions_change_the_campus_digest() {
+    let w = workload(1, 2048);
+    let clean = Campus::new(4, 9)
+        .threads(2)
+        .workload(w.clone())
+        .run()
+        .unwrap();
+    let faulty = Campus::new(4, 9)
+        .threads(2)
+        .workload(w.clone())
+        .configure_sessions(|spec, config| {
+            if spec.student == 2 {
+                config
+                    .with_retry(RetryPolicy::interactive().with_deadline(SimDuration::from_secs(2)))
+                    .with_crash(SimTime::from_millis(1), 0)
+            } else {
+                config
+            }
+        })
+        .run()
+        .unwrap();
+    assert_eq!(clean.sessions_failed, 0);
+    assert_eq!(faulty.sessions_failed, 1);
+    assert_ne!(clean.digest, faulty.digest);
+}
