@@ -10,6 +10,10 @@
 //!   cargo run -p mits-bench --bin tables -- --exp slo      # campus SLO
 //!       verdicts (size with MITS_SLO_STUDENTS / MITS_SLO_THREADS;
 //!       MITS_SLO_OUT writes the verdict JSON to a file)
+//!   cargo run -p mits-bench --bin tables -- --exp shards   # fault-storm
+//!       survival gate + edge-cached flash crowd, writes
+//!       BENCH_shards.json (override with MITS_SHARDS_OUT; size with
+//!       MITS_SHARDS / MITS_SHARDS_STUDENTS / MITS_SHARDS_VICTIM)
 
 use bytes::Bytes;
 use mits_atm::{FaultPlan, LinkFaults, LinkProfile};
@@ -91,6 +95,9 @@ fn main() {
     }
     if filter.as_deref() == Some("slo") {
         slo();
+    }
+    if filter.as_deref() == Some("shards") {
+        shards();
     }
 }
 
@@ -1039,4 +1046,145 @@ fn slo() {
         println!("wrote {out}");
     }
     println!("{json}");
+}
+
+/// SHARDS: the partitioned store's survival gate. Runs a seeded fault
+/// storm (victim shard's primary + replica crash mid-session behind a
+/// shard-wide link outage) against its storm-free twin and checks the
+/// blast radius — only victim-keyed sessions degrade, healthy sessions
+/// stay byte-identical — plus seed determinism and the storm SLOs.
+/// Then measures a hot-document flash crowd with and without the
+/// campus-edge cache to bound origin load. Opt-in (`--exp shards`);
+/// writes `BENCH_shards.json` (override with `MITS_SHARDS_OUT`).
+fn shards() {
+    use mits_core::{fault_storm_slos, sharded_workloads, FaultStorm};
+
+    header(
+        "SHARDS",
+        "partitioned store: fault-storm blast radius + edge-cached flash crowd",
+    );
+    let shards = env_usize("MITS_SHARDS", 3).max(2);
+    let students = env_usize("MITS_SHARDS_STUDENTS", 9);
+    let victim = env_usize("MITS_SHARDS_VICTIM", 1) % shards;
+    let clip_bytes = env_usize("MITS_SHARDS_CLIP_BYTES", 300_000);
+    let flash_clients = env_usize("MITS_SHARDS_FLASH_CLIENTS", 8);
+    let seed = env_usize("MITS_SHARDS_SEED", 42) as u64;
+    let out = std::env::var("MITS_SHARDS_OUT").unwrap_or_else(|_| "BENCH_shards.json".into());
+
+    let workloads = sharded_workloads(shards, 2, clip_bytes);
+    let storm = FaultStorm::new(
+        shards,
+        victim,
+        SimTime::from_millis(2),
+        SimTime::from_secs(120),
+    );
+    // Every session is keyed to workloads[student % shards]; the storm's
+    // failure budget is exactly the victim residue class's share.
+    let on_victim = (0..students).filter(|s| s % shards == victim).count();
+
+    /// Per-session outcomes in student order plus the rollup verdicts.
+    #[derive(Default)]
+    struct StormSink {
+        outcomes: Vec<(usize, u64, bool)>,
+        breaches: usize,
+        digest: u64,
+        metrics_json: String,
+        slo_json: String,
+    }
+    impl ReportSink for StormSink {
+        fn session(&mut self, r: &SessionReport) {
+            self.outcomes
+                .push((r.student, r.digest, r.failed || r.anomalous));
+        }
+        fn rollup(&mut self, rollup: &CampusRollup) {
+            self.breaches = rollup.slo.breaches();
+            self.digest = rollup.digest;
+            self.metrics_json = rollup.metrics.to_json();
+            self.slo_json = rollup.slo.to_json();
+        }
+    }
+
+    let run = |seed: u64, stormy: bool| {
+        let s = storm.clone();
+        let mut sink = StormSink::default();
+        Campus::new(students, seed)
+            .threads(2)
+            .workloads(workloads.clone())
+            .slos(fault_storm_slos(on_victim as f64 / students as f64))
+            .configure_sessions(move |_, base| {
+                if stormy {
+                    s.apply(base)
+                } else {
+                    s.apply_calm(base)
+                }
+            })
+            .run_with(&mut sink)
+            .unwrap();
+        sink
+    };
+    let hit = run(seed, true);
+    let replay = run(seed, true);
+    let twin = run(seed, false);
+
+    let mut degraded_on_victim = 0usize;
+    let mut healthy_clean = true;
+    let mut healthy_digest_match = true;
+    for (&(s, d, bad), &(_, td, _)) in hit.outcomes.iter().zip(&twin.outcomes) {
+        if s % shards == victim {
+            degraded_on_victim += usize::from(bad);
+        } else {
+            healthy_clean &= !bad;
+            healthy_digest_match &= d == td;
+        }
+    }
+    let storm_deterministic =
+        hit.digest == replay.digest && hit.metrics_json == replay.metrics_json;
+    let slo_breaches = hit.breaches + twin.breaches;
+
+    println!(
+        "storm seed {seed}: {degraded_on_victim}/{on_victim} victim sessions degraded; \
+         healthy clean {healthy_clean}, digests match twin {healthy_digest_match}, \
+         deterministic {storm_deterministic}, SLO breaches {slo_breaches}"
+    );
+    println!("{}", hit.slo_json);
+
+    // The flash crowd: every client fetches the same hot clip. With the
+    // edge tier the origin serves it once; without, every client pays.
+    let flash = |edge_bytes: usize| {
+        let cfg = SystemConfig::broadband(flash_clients)
+            .with_shards(shards)
+            .with_edge_cache(edge_bytes);
+        let mut sys = MitsSystem::build(&cfg).unwrap();
+        for w in &workloads {
+            sys.load_doc(&w.objects, &w.media, w.root);
+        }
+        let hot = workloads[0].media[0].id;
+        for c in 0..flash_clients {
+            sys.fetch_content(ClientId(c), hot).unwrap();
+        }
+        sys
+    };
+    let warm = flash(4 << 20);
+    let cold = flash(0);
+    let edge = warm.edge_cache().expect("edge tier configured");
+    let cache_hit_rate = edge.hits as f64 / edge.lookups().max(1) as f64;
+    let origin_bound_ok = edge.origin_requests <= edge.misses + edge.invalidations;
+    println!(
+        "flash crowd of {flash_clients}: origin {} -> {} requests with the edge \
+         ({:.1}% hit rate; bound origin <= misses + invalidations: {origin_bound_ok})",
+        cold.requests_sent,
+        edge.origin_requests,
+        cache_hit_rate * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"shards\",\n  \"shards\": {shards},\n  \"victim_shard\": {victim},\n  \"students\": {students},\n  \"sessions_on_victim\": {on_victim},\n  \"degraded_on_victim\": {degraded_on_victim},\n  \"healthy_clean\": {healthy_clean},\n  \"healthy_digest_match\": {healthy_digest_match},\n  \"storm_deterministic\": {storm_deterministic},\n  \"slo_breaches\": {slo_breaches},\n  \"flash_clients\": {flash_clients},\n  \"origin_no_cache\": {},\n  \"origin_with_cache\": {},\n  \"cache_hit_rate\": {cache_hit_rate:.4},\n  \"origin_bound_ok\": {origin_bound_ok},\n  \"edge_hits\": {},\n  \"edge_misses\": {},\n  \"edge_invalidations\": {}\n}}\n",
+        cold.requests_sent,
+        edge.origin_requests,
+        edge.hits,
+        edge.misses,
+        edge.invalidations
+    );
+    std::fs::write(&out, json).expect("write shards bench json");
+    println!("wrote {out}");
 }

@@ -44,11 +44,13 @@
 //! judged against declarative SLOs ([`default_campus_slos`]).
 
 use crate::system::{ClientId, MitsSystem, SessionScratch, SystemConfig, SystemError};
-use mits_media::MediaObject;
-use mits_mheg::{MhegId, MhegObject};
+use bytes::Bytes;
+use mits_db::{RetryPolicy, ShardRouter};
+use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
+use mits_mheg::{ClassLibrary, GenericValue, MhegId, MhegObject};
 use mits_sim::{
-    Histogram, MetricsSnapshot, SampleReason, SimDuration, Slo, SloInput, SloReport, TailSignals,
-    TraceSampler,
+    Histogram, MetricsSnapshot, SampleReason, SimDuration, SimTime, Slo, SloInput, SloReport,
+    TailSignals, TraceSampler,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -385,6 +387,187 @@ pub fn default_campus_slos() -> Vec<Slo> {
     ]
 }
 
+/// Build one workload per shard, each keyed *entirely* to its shard:
+/// the root container (and with it the whole object closure, which the
+/// ring places by root) hashes to shard `d`, and so does every one of
+/// its media clips. Rotated through [`Campus::workloads`], student `i`
+/// touches only shard `i % shards` — a shard fault's blast radius
+/// becomes a residue class of the student population, which the
+/// fault-storm gate asserts exactly.
+///
+/// Placement is a pure function of object/media ids, so the searches
+/// here are deterministic and seed-free.
+pub fn sharded_workloads(shards: usize, clips: usize, clip_bytes: usize) -> Vec<CampusWorkload> {
+    let router = ShardRouter::new(shards.max(1));
+    (0..shards.max(1))
+        .map(|d| {
+            // Scan application ids until the compiled root lands on `d`.
+            let mut app = 1 + d as u32;
+            let (objects, root) = loop {
+                let mut lib = ClassLibrary::new(app);
+                let v = lib.value_content("v", GenericValue::Int(1));
+                let root = lib.container(&format!("Course shard {d}"), vec![v]);
+                if router.shard_for_object(root) == d {
+                    break (lib.into_objects(), root);
+                }
+                app += shards.max(1) as u32;
+            };
+            // Same scan for media ids: only ids hashing to `d` are used.
+            let mut media = Vec::with_capacity(clips);
+            let mut next = 0x0900_0000_u64 + ((d as u64) << 40);
+            while media.len() < clips {
+                let id = MediaId(next);
+                next += 1;
+                if router.shard_for_media(id) != d {
+                    continue;
+                }
+                let i = media.len();
+                let data: Vec<u8> = (0..clip_bytes)
+                    .map(|j| ((i * 31 + j) % 251) as u8)
+                    .collect();
+                media.push(MediaObject::new(
+                    id,
+                    format!("shard{d}-clip{i}.mpg"),
+                    MediaFormat::Mpeg,
+                    SimDuration::from_secs(1),
+                    VideoDims::new(160, 120),
+                    Bytes::from(data),
+                ));
+            }
+            CampusWorkload {
+                objects,
+                media,
+                root,
+            }
+        })
+        .collect()
+}
+
+/// A correlated fault storm aimed at one shard, replayed inside every
+/// student session's virtual clock: at [`FaultStorm::crash_at`] the
+/// victim shard's primary *and* its hot standby crash together, and
+/// every link between the victim group and the switch goes down until
+/// [`FaultStorm::outage_until`] — so per-shard failover, which saves a
+/// session from a lone primary crash, cannot save one from the storm.
+/// Sessions whose working set hashes to the victim fail at their retry
+/// deadline; sessions keyed to healthy shards must be byte-identical
+/// to a storm-free twin run ([`FaultStorm::apply_calm`]).
+#[derive(Debug, Clone)]
+pub struct FaultStorm {
+    /// Shard groups in every session's store.
+    pub shards: usize,
+    /// The shard the storm takes out.
+    pub victim: usize,
+    /// When (virtual, per session) the victim's servers crash.
+    pub crash_at: SimTime,
+    /// End of the victim group's link outage window.
+    pub outage_until: SimTime,
+    /// Optional restart of the victim primary (failback drills).
+    pub restart_at: Option<SimTime>,
+    /// Campus-edge cache budget per session (0 = no edge tier).
+    pub edge_cache_bytes: usize,
+    /// Client retry policy under the storm. Victim sessions must *fail*
+    /// at this policy's deadline, never hang.
+    pub retry: RetryPolicy,
+}
+
+impl FaultStorm {
+    /// A storm with the default interactive retry policy, no failback
+    /// and no edge tier.
+    pub fn new(shards: usize, victim: usize, crash_at: SimTime, outage_until: SimTime) -> Self {
+        FaultStorm {
+            shards,
+            victim,
+            crash_at,
+            outage_until,
+            restart_at: None,
+            edge_cache_bytes: 0,
+            retry: RetryPolicy::interactive(),
+        }
+    }
+
+    /// The storm-free twin: the same topology (shards, per-shard
+    /// replicas, edge budget, retry policy) with no faults at all. The
+    /// survival gate diffs healthy-shard session digests against this.
+    pub fn apply_calm(&self, config: SystemConfig) -> SystemConfig {
+        config
+            .with_shards(self.shards)
+            .with_replica()
+            .with_edge_cache(self.edge_cache_bytes)
+            .with_retry(self.retry)
+    }
+
+    /// The storm itself: the calm topology plus the correlated crash
+    /// pair and the shard-wide link outage (and the optional failback
+    /// restart).
+    pub fn apply(&self, config: SystemConfig) -> SystemConfig {
+        let mut c = self
+            .apply_calm(config)
+            .with_shard_crash(self.crash_at, self.victim, 0)
+            .with_shard_crash(self.crash_at, self.victim, 1)
+            .with_shard_outage(self.victim, self.crash_at, self.outage_until);
+        if let Some(at) = self.restart_at {
+            c = c.with_shard_restart(at, self.victim, 0);
+        }
+        c
+    }
+}
+
+/// SLOs for a fault-storm campaign. The storm *intends* to fail the
+/// victim shard's sessions, so the failure budget is the victim's share
+/// of the population — one session more than that share is a breach,
+/// because it means the blast radius leaked past the victim shard.
+pub fn fault_storm_slos(victim_share: f64) -> Vec<Slo> {
+    vec![
+        Slo::upper(
+            "storm_failed_fraction",
+            SloInput::Ratio {
+                numerator: "campus.sessions_failed".into(),
+                denominator: "campus.sessions".into(),
+            },
+            victim_share,
+            victim_share,
+        ),
+        Slo::upper(
+            "storm_degraded_fraction",
+            SloInput::Ratio {
+                numerator: "campus.sessions_degraded".into(),
+                denominator: "campus.sessions".into(),
+            },
+            victim_share,
+            victim_share,
+        ),
+    ]
+}
+
+/// SLOs for an edge-cached flash crowd: the hit rate must stay *above*
+/// `min_hit_rate` (a [`Slo::lower`] floor — half the floor is a
+/// breach), and origin traffic per lookup must stay under the
+/// complementary bound (an origin request for every lookup means the
+/// cache absorbed nothing).
+pub fn edge_cache_slos(min_hit_rate: f64) -> Vec<Slo> {
+    vec![
+        Slo::lower(
+            "edge_hit_rate",
+            SloInput::Ratio {
+                numerator: "edge.hits".into(),
+                denominator: "edge.lookups".into(),
+            },
+            min_hit_rate,
+            min_hit_rate / 2.0,
+        ),
+        Slo::upper(
+            "edge_origin_fraction",
+            SloInput::Ratio {
+                numerator: "edge.origin_requests".into(),
+                denominator: "edge.lookups".into(),
+            },
+            1.0 - min_hit_rate,
+            1.0,
+        ),
+    ]
+}
+
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
@@ -425,7 +608,8 @@ pub struct Campus {
     batch: usize,
     trace_sample_rate: f64,
     slow_session: SimDuration,
-    workload: Option<CampusWorkload>,
+    workloads: Vec<CampusWorkload>,
+    slos: Option<Vec<Slo>>,
     session_config: Option<Arc<SessionConfigFn>>,
 }
 
@@ -441,7 +625,8 @@ impl Campus {
             batch: 0,
             trace_sample_rate: 0.05,
             slow_session: SimDuration::from_secs(30),
-            workload: None,
+            workloads: Vec::new(),
+            slos: None,
             session_config: None,
         }
     }
@@ -469,9 +654,29 @@ impl Campus {
         self
     }
 
-    /// The courseware every session fetches. Required.
+    /// The courseware every session fetches. Required (or
+    /// [`Campus::workloads`]).
     pub fn workload(mut self, w: CampusWorkload) -> Self {
-        self.workload = Some(w);
+        self.workloads = vec![w];
+        self
+    }
+
+    /// A rotation of workloads: student `i` fetches
+    /// `workloads[i % workloads.len()]`. With per-shard workloads (see
+    /// [`sharded_workloads`]) this keys each student's whole working
+    /// set to one shard, so a shard fault's blast radius is a residue
+    /// class of the student population.
+    pub fn workloads(mut self, ws: Vec<CampusWorkload>) -> Self {
+        self.workloads = ws;
+        self
+    }
+
+    /// Override the SLO list the rollup is judged against (default:
+    /// [`default_campus_slos`]). A fault-storm campaign judges with
+    /// [`fault_storm_slos`] instead, which budgets for the victim
+    /// shard's share of sessions.
+    pub fn slos(mut self, slos: Vec<Slo>) -> Self {
+        self.slos = Some(slos);
         self
     }
 
@@ -510,9 +715,11 @@ impl Campus {
     /// Run the campus, streaming sessions, traces and the final rollup
     /// into `sink` in deterministic student-index order.
     pub fn run_with(&self, sink: &mut dyn ReportSink) -> Result<(), SystemError> {
-        let workload = self.workload.as_ref().ok_or_else(|| {
-            SystemError::Protocol("Campus::workload(..) must be set before run()".into())
-        })?;
+        if self.workloads.is_empty() {
+            return Err(SystemError::Protocol(
+                "Campus::workload(..) must be set before run()".into(),
+            ));
+        }
         let students = self.students;
         let threads = if self.threads == 0 {
             host_cores()
@@ -568,7 +775,7 @@ impl Campus {
                     // session's world (reusing this worker's scratch).
                     window.admit();
                     let ran = run_session(
-                        workload,
+                        &self.workloads[student % self.workloads.len()],
                         &sampler,
                         &spec,
                         &config,
@@ -620,7 +827,11 @@ impl Campus {
             )));
         }
 
-        let slo = SloReport::evaluate(&default_campus_slos(), &merged.metrics, &BTreeMap::new());
+        let slos = match &self.slos {
+            Some(s) => s.clone(),
+            None => default_campus_slos(),
+        };
+        let slo = SloReport::evaluate(&slos, &merged.metrics, &BTreeMap::new());
         let rollup = CampusRollup {
             students,
             threads: workers,
@@ -807,7 +1018,7 @@ fn run_session(
 ) -> Result<(SessionOutcome, SessionScratch), SystemError> {
     let start = Instant::now();
     let mut sys = MitsSystem::build_with_scratch(config, scratch)?;
-    sys.load_shared(&workload.objects, &workload.media);
+    sys.load_doc(&workload.objects, &workload.media, workload.root);
     let student_id = ClientId(0);
 
     let mut digest = fnv_fold(FNV_OFFSET, spec.seed);

@@ -34,8 +34,9 @@ pub mod stream;
 pub mod system;
 
 pub use campus::{
-    default_campus_slos, host_cores, Campus, CampusReport, CampusRollup, CampusWorkload,
-    ReportSink, SessionReport, SessionSpec, ShardTrace,
+    default_campus_slos, edge_cache_slos, fault_storm_slos, host_cores, sharded_workloads, Campus,
+    CampusReport, CampusRollup, CampusWorkload, FaultStorm, ReportSink, SessionReport, SessionSpec,
+    ShardTrace,
 };
 #[allow(deprecated)]
 pub use campus::{run_campus, CampusConfig, ShardReport};

@@ -15,14 +15,15 @@ use mits_atm::{
     ReliableChannel, ServiceClass, TransportEvent, VcId,
 };
 use mits_db::{
-    peek_req_id, peek_response_trace, read_snapshot, wal, ClientAction, ClientEvent, DbClient,
-    DbClientMetrics, DbError, DbServer, KeywordTree, RecoveryReport, Request, Response,
-    RetryPolicy, ServiceModel, SharedLogDevice,
+    merge_doc_ids, merge_doc_lists, peek_req_id, peek_response_trace, read_snapshot, wal,
+    ClientAction, ClientEvent, DbClient, DbClientMetrics, DbError, DbServer, EdgeCache,
+    KeywordTree, RecoveryReport, Request, Response, RetryPolicy, Route, ServiceModel, ShardRouter,
+    SharedLogDevice,
 };
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
 use mits_sim::{MetricsRegistry, SimDuration, SimTime, SpanId, Tracer};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Identifies one student endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,6 +62,20 @@ pub struct SystemConfig {
     /// Checkpoint cadence: every so often each live server folds its
     /// WAL into a snapshot and truncates the log.
     pub checkpoint_every: Option<SimDuration>,
+    /// Shard the courseware store across this many primary(/replica)
+    /// groups behind a consistent-hash ring. 1 (the default) is the
+    /// classic single-store deployment, byte-identical to before
+    /// sharding existed. With [`SystemConfig::replica`] set, *every*
+    /// shard gets its own hot standby.
+    pub shards: usize,
+    /// Campus-edge cache budget in bytes. 0 (the default) disables the
+    /// edge tier; otherwise media fetched from the ring is kept at the
+    /// campus edge with epoch-fenced invalidation.
+    pub edge_cache_bytes: usize,
+    /// Scheduled link outages taking a whole shard group off the
+    /// network: `(shard, from, until)` downs every link between the
+    /// shard's hosts and the switch for the window.
+    pub shard_outages: Vec<(usize, SimTime, SimTime)>,
 }
 
 impl SystemConfig {
@@ -79,6 +94,9 @@ impl SystemConfig {
             replica: false,
             crashes: CrashSchedule::none(),
             checkpoint_every: None,
+            shards: 1,
+            edge_cache_bytes: 0,
+            shard_outages: Vec::new(),
         }
     }
 
@@ -135,6 +153,38 @@ impl SystemConfig {
         self.checkpoint_every = Some(every);
         self
     }
+
+    /// Partition the store across `shards` consistent-hashed groups.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Put an epoch-fenced edge cache of `bytes` in front of the ring.
+    pub fn with_edge_cache(mut self, bytes: usize) -> Self {
+        self.edge_cache_bytes = bytes;
+        self
+    }
+
+    /// Down every link between shard `shard`'s hosts and the switch for
+    /// `[from, until)` — a correlated shard-wide network outage.
+    pub fn with_shard_outage(mut self, shard: usize, from: SimTime, until: SimTime) -> Self {
+        self.shard_outages.push((shard, from, until));
+        self
+    }
+
+    /// Schedule a crash of shard `shard`'s server in `role` (0 =
+    /// primary, 1 = replica) at `at`.
+    pub fn with_shard_crash(self, at: SimTime, shard: usize, role: usize) -> Self {
+        let group_size = 1 + usize::from(self.replica);
+        self.with_crash(at, (shard * group_size + role) as u32)
+    }
+
+    /// Schedule a restart of shard `shard`'s server in `role` at `at`.
+    pub fn with_shard_restart(self, at: SimTime, shard: usize, role: usize) -> Self {
+        let group_size = 1 + usize::from(self.replica);
+        self.with_restart(at, (shard * group_size + role) as u32)
+    }
 }
 
 /// Errors from system service calls.
@@ -188,8 +238,13 @@ struct Endpoint {
     profile: LinkProfile,
     /// One reliable channel per database server.
     chans: Vec<ReliableChannel>,
-    /// Which server this endpoint currently talks to (failover state).
-    active_server: usize,
+    /// Which server this endpoint currently talks to, per shard group
+    /// (failover state — entries are *server indices*, initially each
+    /// group's primary).
+    active: Vec<usize>,
+    /// Shard each in-flight request was routed to, so retries follow
+    /// that shard's failover state and never leak to another group.
+    req_shard: HashMap<u64, usize>,
     db_client: DbClient,
     inbox: Vec<(u64, Response)>,
     /// Every downlink VC that ever carried data to this endpoint
@@ -222,8 +277,22 @@ pub struct MitsSystem {
     pub net: AtmNetwork,
     switch: NodeId,
     backbone: LinkProfile,
-    servers: Vec<ServerNode>, // primary first, optional replica second
+    /// Shard groups in order: shard 0's primary(, replica), shard 1's
+    /// primary(, replica), … Server index = shard × group size + role.
+    servers: Vec<ServerNode>,
     endpoints: Vec<Endpoint>, // clients then author (last)
+    /// Routes single-key requests by ring position; catalogue queries
+    /// scatter/gather.
+    router: ShardRouter,
+    /// Servers per shard group (1, or 2 with a replica).
+    group_size: usize,
+    /// The campus-edge media cache, when configured.
+    edge: Option<EdgeCache>,
+    /// Scatter/gather queries issued (shards > 1 only).
+    pub scatter_queries: u64,
+    /// Scatter/gather queries that returned degraded (partial) results
+    /// because at least one shard was unreachable.
+    pub scatter_partial: u64,
     crashes: CrashSchedule,
     crash_idx: usize,
     checkpoint_every: Option<SimDuration>,
@@ -279,12 +348,49 @@ impl MitsSystem {
         let mut net = AtmNetwork::with_scratch(config.seed, scratch.net);
         net.set_fault_plan(config.fault_plan.clone());
         let switch = net.add_switch("campus-switch");
-        let mut server_hosts = vec![net.add_host("courseware-db")];
-        net.connect(server_hosts[0], switch, config.backbone);
-        if config.replica {
-            let r = net.add_host("courseware-db-replica");
-            net.connect(r, switch, config.backbone);
-            server_hosts.push(r);
+        let shards = config.shards.max(1);
+        let group_size = 1 + usize::from(config.replica);
+        let mut server_hosts = Vec::with_capacity(shards * group_size);
+        for d in 0..shards {
+            // The single-shard deployment keeps its historical host
+            // names so traces and metrics stay byte-identical.
+            let name = if shards == 1 {
+                "courseware-db".to_string()
+            } else {
+                format!("courseware-db-s{d}")
+            };
+            let h = net.add_host(&name);
+            net.connect(h, switch, config.backbone);
+            server_hosts.push(h);
+            if config.replica {
+                let name = if shards == 1 {
+                    "courseware-db-replica".to_string()
+                } else {
+                    format!("courseware-db-s{d}-replica")
+                };
+                let r = net.add_host(&name);
+                net.connect(r, switch, config.backbone);
+                server_hosts.push(r);
+            }
+        }
+        if !config.shard_outages.is_empty() {
+            // Translate shard-wide outages into per-link down windows on
+            // every link between the victim group's hosts and the
+            // switch, folded over whatever plan was already configured.
+            let mut plan = config.fault_plan.clone();
+            for &(shard, from, until) in &config.shard_outages {
+                if shard >= shards {
+                    continue;
+                }
+                for role in 0..group_size {
+                    let h = server_hosts[shard * group_size + role];
+                    for (a, b) in [(h, switch), (switch, h)] {
+                        let base = plan.for_link(a, b).cloned().unwrap_or_default();
+                        plan = plan.with_link(a, b, base.with_down(from, until));
+                    }
+                }
+            }
+            net.set_fault_plan(plan);
         }
         let author_host = net.add_host("author-site");
         net.connect(author_host, switch, config.backbone);
@@ -319,8 +425,10 @@ impl MitsSystem {
                 }
             })
             .collect();
-        if servers.len() > 1 {
-            servers[0].db.set_shipping(true);
+        if group_size > 1 {
+            for d in 0..shards {
+                servers[d * group_size].db.set_shipping(true);
+            }
         }
 
         let tracer = Tracer::new();
@@ -351,19 +459,23 @@ impl MitsSystem {
                 host,
                 profile,
                 chans,
-                active_server: 0,
+                active: (0..shards).map(|d| d * group_size).collect(),
+                req_shard: HashMap::new(),
                 db_client,
                 inbox: Vec::new(),
                 down_vcs,
             });
         }
-        if servers.len() > 1 {
+        if group_size > 1 {
             let timeout = Self::arq_timeout(&config.backbone);
-            let (a, b) = (servers[0].host, servers[1].host);
-            let up = net.open_vc(&[a, switch, b], ServiceClass::Ubr, None)?;
-            let down = net.open_vc(&[b, switch, a], ServiceClass::Ubr, None)?;
-            servers[0].rep_chan = Some(ReliableChannel::new(up, down, 2, timeout));
-            servers[1].rep_chan = Some(ReliableChannel::new(down, up, 2, timeout));
+            for d in 0..shards {
+                let p = d * group_size;
+                let (a, b) = (servers[p].host, servers[p + 1].host);
+                let up = net.open_vc(&[a, switch, b], ServiceClass::Ubr, None)?;
+                let down = net.open_vc(&[b, switch, a], ServiceClass::Ubr, None)?;
+                servers[p].rep_chan = Some(ReliableChannel::new(up, down, 2, timeout));
+                servers[p + 1].rep_chan = Some(ReliableChannel::new(down, up, 2, timeout));
+            }
         }
 
         Ok(MitsSystem {
@@ -372,6 +484,12 @@ impl MitsSystem {
             backbone: config.backbone,
             servers,
             endpoints,
+            router: ShardRouter::new(shards),
+            group_size,
+            edge: (config.edge_cache_bytes > 0)
+                .then(|| EdgeCache::new(config.edge_cache_bytes, shards)),
+            scatter_queries: 0,
+            scatter_partial: 0,
             crashes: config.crashes.clone(),
             crash_idx: 0,
             checkpoint_every: config.checkpoint_every,
@@ -407,9 +525,40 @@ impl MitsSystem {
         self.servers[index].up
     }
 
-    /// Which server a client endpoint currently talks to.
+    /// Which server a client endpoint currently talks to on shard 0 —
+    /// the whole store when unsharded.
     pub fn active_server(&self, client: ClientId) -> usize {
-        self.endpoints[client.0].active_server
+        self.endpoints[client.0].active[0]
+    }
+
+    /// Which server a client endpoint currently talks to for `shard`.
+    pub fn active_server_for_shard(&self, client: ClientId, shard: usize) -> usize {
+        self.endpoints[client.0].active[shard]
+    }
+
+    /// How many shard groups partition the store.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// Server index of shard `shard`'s `role` (0 = primary, 1 = replica).
+    pub fn server_index(&self, shard: usize, role: usize) -> usize {
+        shard * self.group_size + role
+    }
+
+    /// The shard owning a document root (or object) id.
+    pub fn shard_of_object(&self, id: MhegId) -> usize {
+        self.router.shard_for_object(id)
+    }
+
+    /// The shard owning a media id.
+    pub fn shard_of_media(&self, id: MediaId) -> usize {
+        self.router.shard_for_media(id)
+    }
+
+    /// The campus-edge cache, when one is configured.
+    pub fn edge_cache(&self) -> Option<&EdgeCache> {
+        self.edge.as_ref()
     }
 
     /// ARQ timeout sized to the link: several max-segment serializations
@@ -500,6 +649,17 @@ impl MitsSystem {
         self.metrics
             .counter_set("system.requests_sent", self.requests_sent);
         self.metrics.counter_set("system.failovers", self.failovers);
+        // Sharding/edge metrics only exist when the features are on, so
+        // default-deployment snapshots stay byte-identical.
+        if self.router.shards() > 1 {
+            self.metrics
+                .counter_set("system.scatter_queries", self.scatter_queries);
+            self.metrics
+                .counter_set("system.scatter_partial", self.scatter_partial);
+        }
+        if let Some(edge) = &self.edge {
+            edge.export_metrics(&self.metrics, "edge");
+        }
     }
 
     // ---------- the pump ----------
@@ -561,20 +721,26 @@ impl MitsSystem {
         Ok(())
     }
 
-    /// Ship the primary's journaled frames to the replica. With the
-    /// replica down the frames are dropped — it resyncs from the
+    /// Ship each primary's journaled frames to its shard's replica. With
+    /// the replica down the frames are dropped — it resyncs from the
     /// primary's devices when it restarts.
     fn ship_replication(&mut self) -> Result<(), SystemError> {
-        if self.servers.len() < 2 || !self.servers[0].up {
+        if self.group_size < 2 {
             return Ok(());
         }
-        let frames = self.servers[0].db.take_outbox();
-        if frames.is_empty() || !self.servers[1].up {
-            return Ok(());
-        }
-        for f in frames {
-            if let Some(ch) = self.servers[0].rep_chan.as_mut() {
-                ch.send_message(&mut self.net, &f)?;
+        for d in 0..self.router.shards() {
+            let p = d * self.group_size;
+            if !self.servers[p].up {
+                continue;
+            }
+            let frames = self.servers[p].db.take_outbox();
+            if frames.is_empty() || !self.servers[p + 1].up {
+                continue;
+            }
+            for f in frames {
+                if let Some(ch) = self.servers[p].rep_chan.as_mut() {
+                    ch.send_message(&mut self.net, &f)?;
+                }
             }
         }
         Ok(())
@@ -621,13 +787,27 @@ impl MitsSystem {
         for q in &mut self.servers[target].ready {
             q.clear();
         }
-        let max_epoch = self.servers.iter().map(|s| s.db.epoch()).max().unwrap_or(0);
-        for (i, s) in self.servers.iter_mut().enumerate() {
-            if i != target && s.up {
-                s.db.set_epoch(max_epoch + 1);
+        // Epoch promotion is group-scoped: only the dead server's shard
+        // fences, other shards' epochs (and caches) are untouched.
+        let (lo, hi) = self.group_range(target);
+        let max_epoch = self.servers[lo..hi]
+            .iter()
+            .map(|s| s.db.epoch())
+            .max()
+            .unwrap_or(0);
+        for i in lo..hi {
+            if i != target && self.servers[i].up {
+                self.servers[i].db.set_epoch(max_epoch + 1);
                 break;
             }
         }
+    }
+
+    /// The `[lo, hi)` server-index range of the shard group containing
+    /// server `target`.
+    fn group_range(&self, target: usize) -> (usize, usize) {
+        let lo = (target / self.group_size) * self.group_size;
+        (lo, lo + self.group_size)
     }
 
     /// Bring a server back: recover from its surviving devices, resync
@@ -646,13 +826,18 @@ impl MitsSystem {
             Box::new(self.servers[target].wal_dev.clone()),
             Box::new(self.servers[target].snap_dev.clone()),
         );
-        // Resync from a live peer's devices: apply its snapshot records
+        // Resync from a live peer's devices — the peer is the shard
+        // group's other member; another shard's store holds a different
+        // keyspace and must not leak in. Apply its snapshot records
         // (idempotent) and re-journal its WAL tail, preserving sequence
         // numbers. Both reads are charged to recovery latency.
+        let (lo, hi) = self.group_range(target);
         let peer_state = self
             .servers
             .iter()
             .enumerate()
+            .take(hi)
+            .skip(lo)
             .find(|(i, s)| *i != target && s.up)
             .map(|(_, s)| (s.snap_dev.snapshot(), s.wal_dev.snapshot()));
         let mut resync_bytes = 0u64;
@@ -671,9 +856,13 @@ impl MitsSystem {
             // its devices are self-contained again.
             db.checkpoint();
         }
-        let max_epoch = self.servers.iter().map(|s| s.db.epoch()).max().unwrap_or(0);
+        let max_epoch = self.servers[lo..hi]
+            .iter()
+            .map(|s| s.db.epoch())
+            .max()
+            .unwrap_or(0);
         db.set_epoch(max_epoch + 1);
-        db.set_shipping(target == 0 && self.servers.len() > 1);
+        db.set_shipping(target == lo && self.group_size > 1);
         let replayed = report.replayed_bytes() + resync_bytes;
         self.servers[target].db = db;
         self.servers[target].up = true;
@@ -698,10 +887,12 @@ impl MitsSystem {
         self.tracer.end(rec, busy_until);
         self.last_recovery = Some(report);
         self.reopen_server_transport(target)?;
-        // Failback: with the primary up again, clients return to it.
-        if self.servers[0].up {
+        // Failback: with this shard's primary up again, clients return
+        // to it.
+        let group = target / self.group_size;
+        if self.servers[lo].up {
             for e in &mut self.endpoints {
-                e.active_server = 0;
+                e.active[group] = lo;
             }
         }
         Ok(())
@@ -725,17 +916,18 @@ impl MitsSystem {
             self.servers[target].chans[i] = ReliableChannel::new(down, up, 2, timeout);
             self.endpoints[i].down_vcs.push(down);
         }
-        if self.servers.len() > 1 {
+        if self.group_size > 1 {
             let timeout = Self::arq_timeout(&self.backbone);
-            let (a, b) = (self.servers[0].host, self.servers[1].host);
+            let (lo, _) = self.group_range(target);
+            let (a, b) = (self.servers[lo].host, self.servers[lo + 1].host);
             let up = self
                 .net
                 .open_vc(&[a, self.switch, b], ServiceClass::Ubr, None)?;
             let down = self
                 .net
                 .open_vc(&[b, self.switch, a], ServiceClass::Ubr, None)?;
-            self.servers[0].rep_chan = Some(ReliableChannel::new(up, down, 2, timeout));
-            self.servers[1].rep_chan = Some(ReliableChannel::new(down, up, 2, timeout));
+            self.servers[lo].rep_chan = Some(ReliableChannel::new(up, down, 2, timeout));
+            self.servers[lo + 1].rep_chan = Some(ReliableChannel::new(down, up, 2, timeout));
         }
         Ok(())
     }
@@ -762,9 +954,19 @@ impl MitsSystem {
     fn deliver_event(&mut self, index: usize, event: ClientEvent) {
         match event {
             ClientEvent::Completed { env, .. } => {
+                // Propagate the accepted epoch into the edge cache's
+                // per-shard floor: the first post-failover completion
+                // fences every entry the deposed primary filled.
+                if let Some(shard) = self.endpoints[index].req_shard.remove(&env.req_id) {
+                    if let Some(edge) = &mut self.edge {
+                        let floor = self.endpoints[index].db_client.epoch_floor(shard as u64);
+                        edge.observe_epoch(shard, floor);
+                    }
+                }
                 self.endpoints[index].inbox.push((env.req_id, env.body));
             }
             ClientEvent::Failed { req_id, error } => {
+                self.endpoints[index].req_shard.remove(&req_id);
                 self.endpoints[index]
                     .inbox
                     .push((req_id, Response::Err(error)));
@@ -778,51 +980,72 @@ impl MitsSystem {
     /// Run every endpoint's retry machinery: re-transmit frames whose
     /// backoff elapsed, surface requests that ran out of budget. An
     /// endpoint whose attempt died outright (timeout, no response) fails
-    /// over to the next live server before re-issuing.
+    /// over — within the shard group the quiet request was routed to —
+    /// before re-issuing. A crash on one shard never rotates another.
     fn poll_clients(&mut self) -> Result<(), SystemError> {
         let now = self.net.now();
         for i in 0..self.endpoints.len() {
-            let timeouts_before = self.endpoints[i].db_client.metrics.timeouts;
             let actions = self.endpoints[i].db_client.poll(now);
-            if self.servers.len() > 1
-                && self.endpoints[i].db_client.metrics.timeouts > timeouts_before
-            {
-                let cur = self.endpoints[i].active_server;
-                let n = self.servers.len();
-                for k in 1..=n {
-                    let cand = (cur + k) % n;
-                    if self.servers[cand].up {
-                        if cand != cur {
-                            self.endpoints[i].active_server = cand;
-                            self.failovers += 1;
-                            self.tracer.event_with(
-                                None,
-                                "client.failover",
-                                now,
-                                &[
-                                    ("endpoint", i.to_string()),
-                                    ("from", cur.to_string()),
-                                    ("to", cand.to_string()),
-                                ],
-                            );
-                        }
-                        break;
-                    }
+            if self.group_size > 1 && !self.endpoints[i].db_client.timed_out().is_empty() {
+                let mut quiet: Vec<usize> = self.endpoints[i]
+                    .db_client
+                    .timed_out()
+                    .iter()
+                    .map(|id| self.endpoints[i].req_shard.get(id).copied().unwrap_or(0))
+                    .collect();
+                quiet.sort_unstable();
+                quiet.dedup();
+                for shard in quiet {
+                    self.rotate_shard(i, shard, now);
                 }
             }
-            let active = self.endpoints[i].active_server;
             for action in actions {
                 match action {
-                    ClientAction::Resend { frame, .. } => {
+                    ClientAction::Resend { req_id, frame } => {
+                        let shard = self.endpoints[i]
+                            .req_shard
+                            .get(&req_id)
+                            .copied()
+                            .unwrap_or(0);
+                        let active = self.endpoints[i].active[shard];
                         self.endpoints[i].chans[active].send_message(&mut self.net, &frame)?;
                     }
                     ClientAction::Expired { req_id, error, .. } => {
+                        self.endpoints[i].req_shard.remove(&req_id);
                         self.endpoints[i].inbox.push((req_id, Response::Err(error)));
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Rotate endpoint `i`'s active server for `shard` to the next live
+    /// member of that shard's group.
+    fn rotate_shard(&mut self, i: usize, shard: usize, now: SimTime) {
+        let lo = shard * self.group_size;
+        let cur = self.endpoints[i].active[shard];
+        let cur_role = cur - lo;
+        for k in 1..=self.group_size {
+            let cand = lo + (cur_role + k) % self.group_size;
+            if self.servers[cand].up {
+                if cand != cur {
+                    self.endpoints[i].active[shard] = cand;
+                    self.failovers += 1;
+                    self.tracer.event_with(
+                        None,
+                        "client.failover",
+                        now,
+                        &[
+                            ("endpoint", i.to_string()),
+                            ("from", cur.to_string()),
+                            ("to", cand.to_string()),
+                        ],
+                    );
+                }
+                break;
+            }
+        }
     }
 
     /// Advance the whole system to `deadline`, processing everything due.
@@ -994,17 +1217,38 @@ impl MitsSystem {
 
     /// Send a request from endpoint `index` and pump until its response
     /// arrives (or `timeout` elapses). Returns the response and elapsed
-    /// virtual time.
+    /// virtual time. Single-key requests route by ring position;
+    /// scatter-routed requests are handled by the facades before they
+    /// reach here (shard 0 is the whole store when unsharded).
     fn call(
         &mut self,
         index: usize,
         req: Request,
         timeout: SimDuration,
     ) -> Result<(Response, SimDuration), SystemError> {
+        let shard = match self.router.route(&req) {
+            Route::Shard(s) => s,
+            Route::Scatter => 0,
+        };
+        self.call_on_shard(index, req, shard, timeout)
+    }
+
+    /// [`MitsSystem::call`] pinned to one shard group.
+    fn call_on_shard(
+        &mut self,
+        index: usize,
+        req: Request,
+        shard: usize,
+        timeout: SimDuration,
+    ) -> Result<(Response, SimDuration), SystemError> {
         let started = self.net.now();
         let (req_id, frame) = self.endpoints[index].db_client.request_at(req, started);
+        self.endpoints[index]
+            .db_client
+            .set_request_domain(req_id, shard as u64);
+        self.endpoints[index].req_shard.insert(req_id, shard);
         self.requests_sent += 1;
-        let active = self.endpoints[index].active_server;
+        let active = self.endpoints[index].active[shard];
         self.endpoints[index].chans[active].send_message(&mut self.net, &frame)?;
         let deadline = started + timeout;
         loop {
@@ -1026,6 +1270,75 @@ impl MitsSystem {
             }
             self.pump_step(deadline)?;
         }
+    }
+
+    /// Issue `req` to every shard concurrently and gather all legs. A
+    /// leg answered by a down shard fails through the client's retry
+    /// deadline (or, at worst, this call's `timeout`) — partial results
+    /// degrade, they never hang. Returns one `Result` per shard, in
+    /// shard order, plus elapsed virtual time.
+    fn call_scatter(
+        &mut self,
+        index: usize,
+        req: &Request,
+        timeout: SimDuration,
+    ) -> Result<(Vec<Result<Response, DbError>>, SimDuration), SystemError> {
+        let started = self.net.now();
+        let shards = self.router.shards();
+        self.scatter_queries += 1;
+        let mut ids = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (req_id, frame) = self.endpoints[index]
+                .db_client
+                .request_at(req.clone(), started);
+            self.endpoints[index]
+                .db_client
+                .set_request_domain(req_id, shard as u64);
+            self.endpoints[index].req_shard.insert(req_id, shard);
+            self.requests_sent += 1;
+            let active = self.endpoints[index].active[shard];
+            self.endpoints[index].chans[active].send_message(&mut self.net, &frame)?;
+            ids.push(req_id);
+        }
+        let deadline = started + timeout;
+        let mut results: Vec<Option<Result<Response, DbError>>> = vec![None; shards];
+        loop {
+            for (k, id) in ids.iter().enumerate() {
+                if results[k].is_some() {
+                    continue;
+                }
+                if let Some(pos) = self.endpoints[index]
+                    .inbox
+                    .iter()
+                    .position(|(rid, _)| rid == id)
+                {
+                    let (_, resp) = self.endpoints[index].inbox.swap_remove(pos);
+                    results[k] = Some(match resp {
+                        Response::Err(e) => Err(e),
+                        other => Ok(other),
+                    });
+                }
+            }
+            if results.iter().all(Option::is_some) {
+                break;
+            }
+            if self.net.now() >= deadline {
+                for r in results.iter_mut() {
+                    if r.is_none() {
+                        *r = Some(Err(DbError::Unavailable(
+                            "shard unreachable at scatter deadline".to_string(),
+                        )));
+                    }
+                }
+                break;
+            }
+            self.pump_step(deadline)?;
+        }
+        let results: Vec<_> = results.into_iter().map(|r| r.expect("filled")).collect();
+        if results.iter().any(Result::is_err) && results.iter().any(Result::is_ok) {
+            self.scatter_partial += 1;
+        }
+        Ok((results, self.net.now().since(started)))
     }
 
     /// Default call timeout: generous, scaled for narrowband links.
@@ -1086,39 +1399,126 @@ impl MitsSystem {
         let _ = self.servers[0].db.take_outbox();
     }
 
+    /// Load one document's closure and media respecting the ring: the
+    /// closure lands on the root's shard (both roles, so journals agree
+    /// without shipping), each medium on its own id's shard. On a single
+    /// shard this is exactly [`MitsSystem::load_shared`].
+    pub fn load_doc(&mut self, objects: &[MhegObject], media: &[MediaObject], root: MhegId) {
+        if self.router.shards() <= 1 {
+            self.load_shared(objects, media);
+            return;
+        }
+        let lo = self.router.shard_for_object(root) * self.group_size;
+        for s in &self.servers[lo..lo + self.group_size] {
+            s.db.load_objects(objects.iter().cloned());
+        }
+        for m in media {
+            let lo = self.router.shard_for_media(m.id) * self.group_size;
+            for s in &self.servers[lo..lo + self.group_size] {
+                s.db.load_media(std::iter::once(m.clone()));
+            }
+        }
+        for d in 0..self.router.shards() {
+            let _ = self.servers[d * self.group_size].db.take_outbox();
+        }
+    }
+
     // ---------- the paper's query facade (§5.3.2) ----------
 
-    /// `Get_List_Doc()`: the catalogue of courseware documents.
+    /// `Get_List_Doc()`: the catalogue of courseware documents. On a
+    /// sharded store the catalogue is scatter/gathered; unreachable
+    /// shards degrade the list to the reachable shards' entries.
     pub fn get_list_doc(
         &mut self,
         client: ClientId,
     ) -> Result<(Vec<(MhegId, String)>, SimDuration), SystemError> {
+        if self.router.shards() > 1 {
+            let (parts, t) =
+                self.call_scatter(client.0, &Request::ListDocs, Self::default_timeout())?;
+            let mut lists = Vec::new();
+            let mut last_err = None;
+            for r in parts {
+                match r {
+                    Ok(resp) => lists.push(resp.into_doc_list()?),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if lists.is_empty() {
+                if let Some(e) = last_err {
+                    return Err(SystemError::Db(e));
+                }
+            }
+            return Ok((merge_doc_lists(lists), t));
+        }
         let (resp, t) = self.call(client.0, Request::ListDocs, Self::default_timeout())?;
         Ok((resp.into_doc_list()?, t))
     }
 
     /// `Get_Selected_Doc(name)`: a document's full object closure by
-    /// title.
+    /// title. A name alone does not reveal its root's shard, so on a
+    /// sharded store the lookup scatters and the first shard holding the
+    /// document wins.
     pub fn get_selected_doc(
         &mut self,
         client: ClientId,
         name: &str,
     ) -> Result<(Vec<MhegObject>, SimDuration), SystemError> {
-        let (resp, t) = self.call(
-            client.0,
-            Request::GetDoc {
-                name: name.to_string(),
-            },
-            Self::default_timeout(),
-        )?;
+        let req = Request::GetDoc {
+            name: name.to_string(),
+        };
+        if self.router.shards() > 1 {
+            let (parts, t) = self.call_scatter(client.0, &req, Self::default_timeout())?;
+            let mut err: Option<DbError> = None;
+            for r in parts {
+                match r {
+                    Ok(resp) => return Ok((resp.into_objects()?, t)),
+                    // NotFound from a shard just means "not mine"; a
+                    // harder error (unreachable shard) is only surfaced
+                    // when no shard has the document.
+                    Err(DbError::NotFound(e)) => {
+                        err.get_or_insert(DbError::NotFound(e));
+                    }
+                    Err(e) => err = Some(e),
+                }
+            }
+            return Err(SystemError::Db(
+                err.unwrap_or_else(|| DbError::NotFound(name.to_string())),
+            ));
+        }
+        let (resp, t) = self.call(client.0, req, Self::default_timeout())?;
         Ok((resp.into_objects()?, t))
     }
 
     /// `GetKeywordTree()`: the keyword taxonomy for library browsing.
+    /// On a sharded store each shard holds its own documents' keyword
+    /// entries; the trees are scatter/gathered and merged, degrading to
+    /// the reachable shards' taxonomy when one is down.
     pub fn get_keyword_tree(
         &mut self,
         client: ClientId,
     ) -> Result<(KeywordTree, SimDuration), SystemError> {
+        if self.router.shards() > 1 {
+            let (parts, t) =
+                self.call_scatter(client.0, &Request::GetKeywordTree, Self::default_timeout())?;
+            let mut merged = KeywordTree::new();
+            let mut any_ok = false;
+            let mut last_err = None;
+            for r in parts {
+                match r {
+                    Ok(resp) => {
+                        merged.merge_from(&resp.into_keyword_tree()?);
+                        any_ok = true;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !any_ok {
+                if let Some(e) = last_err {
+                    return Err(SystemError::Db(e));
+                }
+            }
+            return Ok((merged, t));
+        }
         let (resp, t) = self.call(client.0, Request::GetKeywordTree, Self::default_timeout())?;
         Ok((resp.into_keyword_tree()?, t))
     }
@@ -1139,14 +1539,28 @@ impl MitsSystem {
         keyword: &str,
         subtree: bool,
     ) -> Result<(Vec<MhegId>, SimDuration), SystemError> {
-        let (resp, t) = self.call(
-            client.0,
-            Request::QueryKeyword {
-                keyword: keyword.to_string(),
-                subtree,
-            },
-            Self::default_timeout(),
-        )?;
+        let req = Request::QueryKeyword {
+            keyword: keyword.to_string(),
+            subtree,
+        };
+        if self.router.shards() > 1 {
+            let (parts, t) = self.call_scatter(client.0, &req, Self::default_timeout())?;
+            let mut lists = Vec::new();
+            let mut last_err = None;
+            for r in parts {
+                match r {
+                    Ok(resp) => lists.push(resp.into_doc_ids()?),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if lists.is_empty() {
+                if let Some(e) = last_err {
+                    return Err(SystemError::Db(e));
+                }
+            }
+            return Ok((merge_doc_ids(lists), t));
+        }
+        let (resp, t) = self.call(client.0, req, Self::default_timeout())?;
         Ok((resp.into_doc_ids()?, t))
     }
 
@@ -1187,7 +1601,10 @@ impl MitsSystem {
         self.get_selected_doc(client, name)
     }
 
-    /// Fetch bulk content, consulting the client cache first.
+    /// Fetch bulk content, consulting the client cache, then the campus
+    /// edge cache (when configured), then the owning shard's origin
+    /// servers. Origin responses fill the edge stamped with the epoch
+    /// the client accepted them under, so a later failover fences them.
     pub fn fetch_content(
         &mut self,
         client: ClientId,
@@ -1196,12 +1613,29 @@ impl MitsSystem {
         if let Some(m) = self.endpoints[client.0].db_client.cache.get_content(media) {
             return Ok((m, SimDuration::ZERO));
         }
-        let (resp, t) = self.call(
+        if let Some(edge) = &mut self.edge {
+            if let Some(m) = edge.get(media) {
+                // Served at the campus edge: the origin shard is never
+                // touched. The client keeps its own copy like any fetch.
+                self.endpoints[client.0].db_client.cache.put_content(&m);
+                return Ok((m, SimDuration::ZERO));
+            }
+            edge.note_origin();
+        }
+        let shard = self.router.shard_for_media(media);
+        let (resp, t) = self.call_on_shard(
             client.0,
             Request::GetContent { media },
+            shard,
             Self::default_timeout(),
         )?;
-        Ok((resp.into_content()?, t))
+        let m = resp.into_content()?;
+        if let Some(edge) = &mut self.edge {
+            let epoch = self.endpoints[client.0].db_client.epoch_floor(shard as u64);
+            edge.observe_epoch(shard, epoch);
+            edge.fill(media, shard, epoch, &m);
+        }
+        Ok((m, t))
     }
 
     /// Keyword query from a client.
@@ -1234,12 +1668,17 @@ impl MitsSystem {
     ) -> Result<Vec<SimDuration>, SystemError> {
         let started = self.net.now();
         let mut ids = Vec::with_capacity(clients.len());
+        let shard = self.router.shard_for_object(root);
         for c in clients {
             let (req_id, frame) = self.endpoints[c.0]
                 .db_client
                 .request_at(Request::GetCourseware { root }, started);
+            self.endpoints[c.0]
+                .db_client
+                .set_request_domain(req_id, shard as u64);
+            self.endpoints[c.0].req_shard.insert(req_id, shard);
             self.requests_sent += 1;
-            let active = self.endpoints[c.0].active_server;
+            let active = self.endpoints[c.0].active[shard];
             self.endpoints[c.0].chans[active].send_message(&mut self.net, &frame)?;
             ids.push(req_id);
         }

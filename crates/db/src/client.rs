@@ -282,6 +282,13 @@ pub struct Pending {
     pub attempt_deadline: SimTime,
     /// Set while backing off: the earliest time to re-issue.
     pub retry_at: Option<SimTime>,
+    /// Epoch domain the request is fenced against (the shard group it
+    /// was routed to; 0 on an unsharded store).
+    pub domain: u64,
+    /// Attempt number whose stale-epoch response has already been
+    /// counted (0 = none): duplicate stale deliveries of one attempt
+    /// bump `stale_epoch` once, not once per frame.
+    pub stale_attempt: u32,
     /// Raw id of the request span (0 when the client is untraced).
     /// This is the trace context carried on the wire — constant across
     /// re-issues, so retried frames stay byte-identical.
@@ -453,6 +460,14 @@ pub struct DbClient {
     /// Highest failover epoch seen in any response. Responses stamped
     /// with a lower epoch come from a deposed primary and are rejected.
     last_epoch: u64,
+    /// Per-domain epoch floors. Each shard group promotes independently,
+    /// so fencing is per domain: domain d's floor only rejects responses
+    /// routed to d. Domain 0 is the whole store when unsharded.
+    floors: HashMap<u64, u64>,
+    /// Requests whose attempt timed out during the latest [`DbClient::poll`]
+    /// call — the failover signal, scoped so the driver can rotate only
+    /// the shard groups that actually went quiet.
+    timed_out: Vec<u64>,
     /// Object/content cache.
     pub cache: ClientCache,
     /// Requests that went to the network (cache misses + explicit calls).
@@ -481,6 +496,8 @@ impl DbClient {
             pending: HashMap::new(),
             rng: SimRng::seed_from_u64(seed),
             last_epoch: 0,
+            floors: HashMap::new(),
+            timed_out: Vec::new(),
             cache: ClientCache::new(cache_bytes),
             network_requests: 0,
             metrics: DbClientMetrics::default(),
@@ -538,6 +555,8 @@ impl DbClient {
                 deadline: now + self.policy.deadline,
                 attempt_deadline: now + self.policy.attempt_timeout,
                 retry_at: None,
+                domain: 0,
+                stale_attempt: 0,
                 span,
                 attempt_span,
             },
@@ -681,11 +700,29 @@ impl DbClient {
             return ClientEvent::Ignored;
         }
         // A response from a deposed primary (older failover epoch than
-        // one already observed) must not complete the request — the
-        // promoted replica's answer is the authoritative one. Keep the
-        // request pending; retry/deadline machinery carries on.
-        if epoch < self.last_epoch {
-            self.metrics.stale_epoch += 1;
+        // one already observed in the request's domain) must not complete
+        // the request — the promoted replica's answer is the
+        // authoritative one. Keep the request pending; retry/deadline
+        // machinery carries on. Fencing is per epoch domain: a promotion
+        // on one shard must not reject healthy answers from another.
+        let domain = self.pending.get(&env.req_id).map(|p| p.domain).unwrap_or(0);
+        let floor = self.floors.get(&domain).copied().unwrap_or(0);
+        if epoch < floor {
+            // Count the fenced primary once per attempt it answered:
+            // byte-identical re-issues can draw several copies of the
+            // same stale response, and those duplicates are `ignored`
+            // traffic, not additional stale-epoch observations.
+            let counted = match self.pending.get_mut(&env.req_id) {
+                Some(p) if p.stale_attempt == p.attempts => false,
+                Some(p) => {
+                    p.stale_attempt = p.attempts;
+                    true
+                }
+                None => true,
+            };
+            if counted {
+                self.metrics.stale_epoch += 1;
+            }
             self.metrics.ignored += 1;
             if let Some(tr) = &self.tracer {
                 let span = self
@@ -696,15 +733,15 @@ impl DbClient {
                     span,
                     "stale_epoch_rejected",
                     now,
-                    &[
-                        ("epoch", epoch.to_string()),
-                        ("floor", self.last_epoch.to_string()),
-                    ],
+                    &[("epoch", epoch.to_string()), ("floor", floor.to_string())],
                 );
             }
             return ClientEvent::Ignored;
         }
-        self.last_epoch = epoch;
+        if epoch > floor {
+            self.floors.insert(domain, epoch);
+        }
+        self.last_epoch = self.last_epoch.max(epoch);
         // Server shed the request and the budget allows another go:
         // schedule a backed-off byte-identical re-issue.
         if let Response::Err(e) = &env.body {
@@ -783,6 +820,7 @@ impl DbClient {
     /// given seed and fault schedule). Call whenever the clock reaches
     /// [`DbClient::next_wakeup`].
     pub fn poll(&mut self, now: SimTime) -> Vec<ClientAction> {
+        self.timed_out.clear();
         let mut ids: Vec<u64> = self.pending.keys().copied().collect();
         ids.sort_unstable();
         let mut actions = Vec::new();
@@ -826,6 +864,7 @@ impl DbClient {
             }
             if now >= p.attempt_deadline {
                 self.metrics.timeouts += 1;
+                self.timed_out.push(id);
                 if let Some(tr) = &self.tracer {
                     if let Some(a) = SpanId::from_wire(p.attempt_span) {
                         tr.attr(a, "outcome", "timeout");
@@ -870,6 +909,28 @@ impl DbClient {
     /// Highest failover epoch the client has observed in responses.
     pub fn last_epoch(&self) -> u64 {
         self.last_epoch
+    }
+
+    /// Highest failover epoch observed in `domain` (a shard group; 0 on
+    /// an unsharded store).
+    pub fn epoch_floor(&self, domain: u64) -> u64 {
+        self.floors.get(&domain).copied().unwrap_or(0)
+    }
+
+    /// Tag an in-flight request with the epoch domain it was routed to,
+    /// so stale-epoch fencing compares against that shard's floor.
+    pub fn set_request_domain(&mut self, req_id: u64, domain: u64) {
+        if let Some(p) = self.pending.get_mut(&req_id) {
+            p.domain = domain;
+        }
+    }
+
+    /// Requests whose attempt timed out during the latest
+    /// [`DbClient::poll`] call, in ascending `req_id` order — the
+    /// failover trigger, scoped to the requests (and hence shards) that
+    /// actually went quiet.
+    pub fn timed_out(&self) -> &[u64] {
+        &self.timed_out
     }
 
     /// Requests still awaiting responses.
@@ -1185,6 +1246,98 @@ mod tests {
         }
         assert_eq!(client.last_epoch(), 3);
         assert_eq!(client.pending_count(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_counts_once_per_response_not_per_duplicate() {
+        let (server, _, a) = setup();
+        let policy = RetryPolicy::interactive().with_jitter_frac(0.0);
+        let mut client = DbClient::with_policy(1 << 20, policy, 11);
+        let t = SimTime::ZERO;
+        // Raise the floor to 2 with a clean completion.
+        let (id1, f1) = client.request_at(Request::GetObject { id: a }, t);
+        let env = Request::decode(&f1).unwrap();
+        let (resp, _) = server.handle(&env.body);
+        client.on_frame(&resp.encode_with_epoch(id1, 2), t);
+        // The next request draws a stale answer (epoch 1) — and the
+        // transport delivers it twice (byte-identical re-issue traffic).
+        let (id2, f2) = client.request_at(Request::GetObject { id: a }, t);
+        let env = Request::decode(&f2).unwrap();
+        let (resp, _) = server.handle(&env.body);
+        let stale = resp.encode_with_epoch(id2, 1);
+        assert_eq!(client.on_frame(&stale, t), ClientEvent::Ignored);
+        assert_eq!(client.on_frame(&stale, t), ClientEvent::Ignored);
+        assert_eq!(
+            client.metrics.stale_epoch, 1,
+            "duplicate stale delivery of one attempt counts once"
+        );
+        assert_eq!(client.metrics.ignored, 2, "but both frames were dropped");
+        // After a retry (a new attempt) the fenced primary answering
+        // again is a fresh observation.
+        client.poll(SimTime::from_millis(500)); // attempt 1 times out
+        client.poll(SimTime::from_millis(600)); // backoff elapses → attempt 2
+        assert_eq!(client.metrics.retries, 1);
+        assert_eq!(
+            client.on_frame(&stale, SimTime::from_millis(610)),
+            ClientEvent::Ignored
+        );
+        assert_eq!(
+            client.metrics.stale_epoch, 2,
+            "one count per attempt answered"
+        );
+        // The promoted replica still completes the request.
+        match client.on_frame(&resp.encode_with_epoch(id2, 3), SimTime::from_millis(620)) {
+            ClientEvent::Completed { env, .. } => assert_eq!(env.req_id, id2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_floors_are_per_domain() {
+        let (server, _, a) = setup();
+        let mut client = DbClient::new(1 << 20);
+        let t = SimTime::ZERO;
+        // Shard 1 promotes to epoch 5.
+        let (id1, f1) = client.request_at(Request::GetObject { id: a }, t);
+        client.set_request_domain(id1, 1);
+        let env = Request::decode(&f1).unwrap();
+        let (resp, _) = server.handle(&env.body);
+        client.on_frame(&resp.encode_with_epoch(id1, 5), t);
+        assert_eq!(client.epoch_floor(1), 5);
+        assert_eq!(client.epoch_floor(0), 0);
+        // Shard 0 still answers at epoch 0 — healthy, must complete.
+        let (id2, f2) = client.request_at(Request::GetObject { id: a }, t);
+        client.set_request_domain(id2, 0);
+        let env = Request::decode(&f2).unwrap();
+        let (resp, _) = server.handle(&env.body);
+        match client.on_frame(&resp.encode_with_epoch(id2, 0), t) {
+            ClientEvent::Completed { env, .. } => assert_eq!(env.req_id, id2),
+            other => panic!("another shard's promotion must not fence shard 0: {other:?}"),
+        }
+        assert_eq!(client.metrics.stale_epoch, 0);
+        // But shard 1's fenced primary (epoch 4 < 5) is rejected.
+        let (id3, f3) = client.request_at(Request::GetObject { id: a }, t);
+        client.set_request_domain(id3, 1);
+        let env = Request::decode(&f3).unwrap();
+        let (resp, _) = server.handle(&env.body);
+        assert_eq!(
+            client.on_frame(&resp.encode_with_epoch(id3, 4), t),
+            ClientEvent::Ignored
+        );
+        assert_eq!(client.metrics.stale_epoch, 1);
+    }
+
+    #[test]
+    fn poll_reports_timed_out_requests() {
+        let policy = RetryPolicy::interactive().with_jitter_frac(0.0);
+        let mut client = DbClient::with_policy(1 << 20, policy, 9);
+        let (id, _) = client.get_list_doc(SimTime::ZERO);
+        assert!(client.timed_out().is_empty());
+        client.poll(SimTime::from_millis(500));
+        assert_eq!(client.timed_out(), &[id], "attempt timeout recorded");
+        // The next poll (backoff elapse → resend) is not a timeout.
+        client.poll(SimTime::from_millis(600));
+        assert!(client.timed_out().is_empty());
     }
 
     #[test]

@@ -105,6 +105,27 @@ impl KeywordTree {
     pub fn root(&self) -> &KeywordNode {
         &self.root
     }
+
+    /// Fold another tree's entries into this one — the gather side of a
+    /// scatter/gathered `GetKeywordTree` over a sharded store. Duplicate
+    /// (path, doc) pairs collapse, so merging is idempotent and the
+    /// result is independent of shard arrival order.
+    pub fn merge_from(&mut self, other: &KeywordTree) {
+        fn walk(tree: &mut KeywordTree, path: &str, node: &KeywordNode) {
+            for &doc in &node.documents {
+                tree.insert(path, doc);
+            }
+            for (name, child) in &node.children {
+                let p = if path.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{path}/{name}")
+                };
+                walk(tree, &p, child);
+            }
+        }
+        walk(self, "", &other.root);
+    }
 }
 
 fn collect(node: &KeywordNode, out: &mut Vec<MhegId>) {
@@ -182,6 +203,34 @@ mod tests {
                 ("b".to_string(), 1),
             ]
         );
+    }
+
+    #[test]
+    fn merge_from_is_order_independent_and_idempotent() {
+        let mut a = KeywordTree::new();
+        a.insert("telecom/atm", doc(1));
+        a.insert("biology", doc(2));
+        let mut b = KeywordTree::new();
+        b.insert("telecom/atm", doc(1));
+        b.insert("telecom/isdn", doc(3));
+        b.insert("", doc(4));
+
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.len(), 4);
+        assert_eq!(ab.lookup("telecom/atm"), vec![doc(1)]);
+        assert_eq!(ab.lookup(""), vec![doc(4)]);
+
+        // Merging the same shard twice changes nothing.
+        let again = {
+            let mut t = ab.clone();
+            t.merge_from(&b);
+            t
+        };
+        assert_eq!(again, ab);
     }
 
     #[test]

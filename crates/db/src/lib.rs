@@ -24,6 +24,8 @@
 pub mod client;
 pub mod index;
 pub mod protocol;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod snapshot;
 pub mod store;
@@ -36,6 +38,8 @@ pub use index::KeywordTree;
 pub use protocol::{
     peek_req_id, peek_response_trace, DbError, Envelope, Request, RequestKind, Response,
 };
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{first_objects, merge_doc_ids, merge_doc_lists, EdgeCache, Route, ShardRouter};
 pub use server::{CheckpointStats, DbServer, RecoveryReport, ServiceModel};
 pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC};
 pub use store::{ContentStore, ObjectStore};

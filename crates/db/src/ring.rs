@@ -1,0 +1,177 @@
+//! Consistent-hash ring partitioning the courseware store across shards.
+//!
+//! The store scales out by splitting the OID space (and with it the
+//! per-document keyword entries) across N shard groups. Placement uses a
+//! classic consistent-hash ring with virtual nodes: every shard owns many
+//! points on a 64-bit circle, a key belongs to the shard owning the first
+//! point at or after its hash. Two properties matter and both are pinned
+//! by `tests/ring_proptest.rs`:
+//!
+//! * **Balance** — with the default virtual-node count, uniformly random
+//!   keys land within ±20% of the even share on every shard.
+//! * **Minimal remapping** — removing one shard moves only that shard's
+//!   keys; a key owned by a surviving shard keeps its owner, because
+//!   deleting ring points never changes any other key's successor.
+//!
+//! Everything is deterministic: the point set is a pure function of
+//! `(shards, vnodes)` — no RNG, no host state — so every session, every
+//! client and every test agree on placement byte for byte.
+
+use mits_media::MediaId;
+use mits_mheg::MhegId;
+
+/// Virtual nodes per shard. 256 keeps the worst arc within the ±20%
+/// balance envelope for every shard count the system deploys (2..=16)
+/// while a ring build stays a few-thousand-entry sort.
+pub const DEFAULT_VNODES: usize = 256;
+
+/// SplitMix64 finalizer — the same avalanche mix the campus seed
+/// derivation uses; good enough that consecutive vnode indices spread
+/// uniformly over the circle.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over `shards` shard indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    shards: usize,
+    vnodes: usize,
+    /// Sorted (point, shard) pairs — the circle.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards with [`DEFAULT_VNODES`] virtual nodes
+    /// each. A single-shard ring keeps no points: every key trivially
+    /// maps to shard 0.
+    pub fn new(shards: usize) -> Self {
+        Self::with_vnodes(shards, DEFAULT_VNODES)
+    }
+
+    /// A ring with an explicit virtual-node count (tests shrink it to
+    /// exercise imbalance; production uses the default).
+    pub fn with_vnodes(shards: usize, vnodes: usize) -> Self {
+        let shards = shards.max(1);
+        let mut points = Vec::new();
+        if shards > 1 {
+            points.reserve(shards * vnodes);
+            for shard in 0..shards {
+                for v in 0..vnodes {
+                    let p = mix64(((shard as u64) << 32) ^ v as u64 ^ 0x5EED_C0DE_0000_0000);
+                    points.push((p, shard));
+                }
+            }
+            points.sort_unstable();
+        }
+        HashRing {
+            shards,
+            vnodes,
+            points,
+        }
+    }
+
+    /// How many shards the ring spans.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning a raw 64-bit key: the first ring point at or
+    /// after `key`, wrapping at the top of the circle.
+    pub fn shard_for_key(&self, key: u64) -> usize {
+        if self.points.is_empty() {
+            return 0;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        let (_, shard) = if idx == self.points.len() {
+            self.points[0]
+        } else {
+            self.points[idx]
+        };
+        shard
+    }
+
+    /// Placement key for an MHEG object id. Documents are partitioned at
+    /// the granularity of their *root* OID: a whole closure (objects +
+    /// keyword entries) lives on the shard owning the root, so the
+    /// server-side closure walk never crosses shards.
+    pub fn key_for_object(id: MhegId) -> u64 {
+        mix64((id.app as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ id.num)
+    }
+
+    /// Placement key for a media object id. Media route by their own id
+    /// (the client only knows the `MediaId` at fetch time), independent
+    /// of the document that references them.
+    pub fn key_for_media(id: MediaId) -> u64 {
+        mix64(id.0 ^ 0x4D45_4449_4121_5EED)
+    }
+
+    /// The shard owning an object (or document-root) id.
+    pub fn shard_for_object(&self, id: MhegId) -> usize {
+        self.shard_for_key(Self::key_for_object(id))
+    }
+
+    /// The shard owning a media id.
+    pub fn shard_for_media(&self, id: MediaId) -> usize {
+        self.shard_for_key(Self::key_for_media(id))
+    }
+
+    /// The ring with one shard's points deleted — what failout looks
+    /// like at the placement layer. Shard indices are preserved (the
+    /// survivors keep their ids); only the removed shard's arcs are
+    /// absorbed by their successors.
+    pub fn without_shard(&self, shard: usize) -> HashRing {
+        let mut points = self.points.clone();
+        points.retain(|&(_, s)| s != shard);
+        HashRing {
+            shards: self.shards,
+            vnodes: self.vnodes,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_ring_is_trivial() {
+        let r = HashRing::new(1);
+        for k in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(r.shard_for_key(k), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let a = HashRing::new(4);
+        let b = HashRing::new(4);
+        for i in 0..1000u64 {
+            let id = MhegId::new(7, i);
+            assert_eq!(a.shard_for_object(id), b.shard_for_object(id));
+            assert!(a.shard_for_object(id) < 4);
+            assert_eq!(a.shard_for_media(MediaId(i)), b.shard_for_media(MediaId(i)));
+        }
+    }
+
+    #[test]
+    fn wraparound_key_maps_to_first_point() {
+        let r = HashRing::new(3);
+        // A key beyond the last point wraps to the circle's first point.
+        assert_eq!(r.shard_for_key(u64::MAX), r.points[0].1);
+    }
+
+    #[test]
+    fn every_shard_owns_keys() {
+        let r = HashRing::new(8);
+        let mut seen = vec![false; 8];
+        for i in 0..10_000u64 {
+            seen[r.shard_for_key(mix64(i))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -67,7 +67,7 @@ pub use profile::{classify_layer, profile_spans, profile_tracer, LayerTotal, Nam
 pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot, SnapshotValue};
 pub use rng::SimRng;
-pub use slo::{Slo, SloInput, SloOutcome, SloReport, Verdict};
+pub use slo::{Slo, SloInput, SloKind, SloOutcome, SloReport, Verdict};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use trace::{SampleReason, SpanId, SpanInfo, TailSignals, TraceSampler, Tracer};

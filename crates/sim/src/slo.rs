@@ -10,8 +10,10 @@
 //! [`SloReport::evaluate`] turns a set of them into machine-readable
 //! pass/warn/breach verdicts.
 //!
-//! All objectives here are *upper bounds* (less is better), matching
-//! the USE-style latency/error/saturation checks the campus needs.
+//! Objectives are *upper bounds* (less is better) by default, matching
+//! the USE-style latency/error/saturation checks the campus needs;
+//! [`Slo::lower`] declares the dual (more is better) for quantities
+//! like a cache hit rate that must stay *above* a floor.
 //! Evaluation is pure and deterministic: the same snapshot and the same
 //! objective list always render the same report bytes, so the JSON
 //! output can be asserted in CI the same way trace goldens are.
@@ -79,17 +81,28 @@ impl SloInput {
     }
 }
 
-/// One declarative objective: keep `input` at or under `warn`
-/// (ideally) and never over `breach`.
+/// Which side of its thresholds an objective must stay on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Less is better: crossing above `warn`/`breach` degrades.
+    Upper,
+    /// More is better: falling below `warn`/`breach` degrades.
+    Lower,
+}
+
+/// One declarative objective: keep `input` on the right side of `warn`
+/// (ideally) and never past `breach`.
 #[derive(Debug, Clone)]
 pub struct Slo {
     /// Objective name, e.g. `session_p99_wall`.
     pub name: String,
     /// What to measure.
     pub input: SloInput,
-    /// Exceeding this (strictly) is a warning.
+    /// Bound direction.
+    pub kind: SloKind,
+    /// Crossing this (strictly) is a warning.
     pub warn: f64,
-    /// Exceeding this (strictly) is a breach.
+    /// Crossing this (strictly) is a breach.
     pub breach: f64,
 }
 
@@ -101,6 +114,21 @@ impl Slo {
         Slo {
             name: name.to_string(),
             input,
+            kind: SloKind::Upper,
+            warn,
+            breach,
+        }
+    }
+
+    /// A lower-bound objective (`observed >= warn` passes,
+    /// `observed >= breach` warns, below that breaches) — for
+    /// quantities like a cache hit rate that must not *fall*.
+    pub fn lower(name: &str, input: SloInput, warn: f64, breach: f64) -> Slo {
+        debug_assert!(warn >= breach, "warn floor below breach floor");
+        Slo {
+            name: name.to_string(),
+            input,
+            kind: SloKind::Lower,
             warn,
             breach,
         }
@@ -115,9 +143,13 @@ impl Slo {
         let observed = self.input.resolve(snapshot, values);
         // NaN compares false everywhere, which would silently pass — an
         // undefined measurement is a breach, not a clean bill.
-        let verdict = if observed.is_nan() || observed > self.breach {
+        let crossed = |threshold: f64| match self.kind {
+            SloKind::Upper => observed > threshold,
+            SloKind::Lower => observed < threshold,
+        };
+        let verdict = if observed.is_nan() || crossed(self.breach) {
             Verdict::Breach
-        } else if observed > self.warn {
+        } else if crossed(self.warn) {
             Verdict::Warn
         } else {
             Verdict::Pass
@@ -320,6 +352,30 @@ mod tests {
         assert_eq!(mk(5.0, 10.0), Verdict::Pass, "at warn is still a pass");
         assert_eq!(mk(4.0, 10.0), Verdict::Warn);
         assert_eq!(mk(1.0, 4.0), Verdict::Breach);
+    }
+
+    #[test]
+    fn lower_bound_tiers_invert() {
+        let snap = snapshot();
+        let values = BTreeMap::new();
+        let mk = |warn, breach| {
+            Slo::lower(
+                "hit_rate_floor",
+                SloInput::Counter("client.retries".into()), // reads 5
+                warn,
+                breach,
+            )
+            .evaluate(&snap, &values)
+            .verdict
+        };
+        assert_eq!(mk(5.0, 2.0), Verdict::Pass, "at the warn floor passes");
+        assert_eq!(mk(6.0, 2.0), Verdict::Warn, "below warn, above breach");
+        assert_eq!(mk(10.0, 6.0), Verdict::Breach, "below the breach floor");
+        // A missing metric reads 0.0, which for a lower bound *is* a
+        // breach — silence cannot satisfy a floor.
+        let missing = Slo::lower("floor", SloInput::Counter("nope".into()), 0.5, 0.1)
+            .evaluate(&MetricsSnapshot::new(), &values);
+        assert_eq!(missing.verdict, Verdict::Breach);
     }
 
     #[test]

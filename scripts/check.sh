@@ -69,6 +69,37 @@ assert d["breaches"] == 0, f"zero-fault campus breached SLOs: {d}"
 PY
 echo "slo verdicts valid, zero breaches"
 
+# Fault-storm smoke: a seeded storm against one shard of the partitioned
+# store must stay inside its blast radius (healthy sessions clean and
+# byte-identical to the calm twin, zero SLO breaches), replay
+# deterministically under its seed, and the flash-crowd edge tier must
+# bound origin load by misses + invalidations.
+shards_json="$(mktemp)"
+trap 'rm -f "$trace" "$campus_json" "$slo_json" "$shards_json"' EXIT
+MITS_SHARDS=3 MITS_SHARDS_STUDENTS=6 MITS_SHARDS_CLIP_BYTES=100000 \
+  MITS_SHARDS_OUT="$shards_json" \
+  cargo run -q --release -p mits-bench --bin tables -- --exp shards >/dev/null
+python3 - "$shards_json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("shards", "victim_shard", "students", "sessions_on_victim",
+            "degraded_on_victim", "healthy_clean", "healthy_digest_match",
+            "storm_deterministic", "slo_breaches", "flash_clients",
+            "origin_no_cache", "origin_with_cache", "cache_hit_rate",
+            "origin_bound_ok", "edge_hits", "edge_misses",
+            "edge_invalidations"):
+    assert key in d, f"BENCH_shards.json missing {key}"
+assert d["healthy_clean"] is True, "storm leaked past the victim shard"
+assert d["healthy_digest_match"] is True, "healthy sessions diverged from the calm twin"
+assert d["storm_deterministic"] is True, "storm not deterministic under its seed"
+assert d["slo_breaches"] == 0, f"fault-storm SLOs breached: {d}"
+assert d["degraded_on_victim"] == d["sessions_on_victim"], "storm missed its victim"
+assert d["origin_bound_ok"] is True, "edge cache failed to bound origin load"
+assert d["origin_with_cache"] < d["origin_no_cache"], "edge cache absorbed nothing"
+assert 0.0 < d["cache_hit_rate"] <= 1.0, d["cache_hit_rate"]
+PY
+echo "fault-storm smoke passed: blast radius contained, storm deterministic"
+
 # Bench regression gate: re-run the campus at the committed baseline's
 # own size and fail on a >25% drop in students/s throughput. Wall-clock
 # is noisy, so the tolerance is deliberately loose; a real regression
