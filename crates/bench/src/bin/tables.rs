@@ -14,6 +14,10 @@
 //!       survival gate + edge-cached flash crowd, writes
 //!       BENCH_shards.json (override with MITS_SHARDS_OUT; size with
 //!       MITS_SHARDS / MITS_SHARDS_STUDENTS / MITS_SHARDS_VICTIM)
+//!   cargo run -p mits-bench --bin tables -- --exp forensics # storm
+//!       campaign incident bundles + timeline render, writes
+//!       BENCH_forensics.json (override with MITS_FORENSICS_OUT; size
+//!       with MITS_FORENSICS_STUDENTS / MITS_FORENSICS_SHARDS)
 
 use bytes::Bytes;
 use mits_atm::{FaultPlan, LinkFaults, LinkProfile};
@@ -98,6 +102,9 @@ fn main() {
     }
     if filter.as_deref() == Some("shards") {
         shards();
+    }
+    if filter.as_deref() == Some("forensics") {
+        forensics();
     }
 }
 
@@ -1186,5 +1193,99 @@ fn shards() {
         edge.invalidations
     );
     std::fs::write(&out, json).expect("write shards bench json");
+    println!("wrote {out}");
+}
+
+/// FORENSICS: the flight-recorder + breach-forensics gate. Replays the
+/// seeded fault storm with its schedule declared to the campus, checks
+/// that the campaign auto-produces incident bundles whose causal chain
+/// names the injected fault, that bundles and timeline are byte-
+/// identical across thread counts, that every exemplar a bundle cites
+/// resolves to a sampled trace, and that the calm twin produces zero
+/// bundles. Opt-in (`--exp forensics`); writes `BENCH_forensics.json`
+/// (override with `MITS_FORENSICS_OUT`).
+fn forensics() {
+    use mits_core::{fault_storm_slos, sharded_workloads, FaultStorm};
+
+    header(
+        "FORENSICS",
+        "flight recorder + breach forensics: storm campaign incident bundles",
+    );
+    let shards = env_usize("MITS_FORENSICS_SHARDS", 3).max(2);
+    let students = env_usize("MITS_FORENSICS_STUDENTS", 9);
+    let victim = env_usize("MITS_FORENSICS_VICTIM", 1) % shards;
+    let clip_bytes = env_usize("MITS_FORENSICS_CLIP_BYTES", 300_000);
+    let seed = env_usize("MITS_FORENSICS_SEED", 42) as u64;
+    let out = std::env::var("MITS_FORENSICS_OUT").unwrap_or_else(|_| "BENCH_forensics.json".into());
+
+    let workloads = sharded_workloads(shards, 2, clip_bytes);
+    let storm = FaultStorm::new(
+        shards,
+        victim,
+        SimTime::from_millis(2),
+        SimTime::from_secs(120),
+    );
+    let on_victim = (0..students).filter(|s| s % shards == victim).count();
+
+    let run = |threads: usize, stormy: bool| {
+        let s = storm.clone();
+        let mut c = Campus::new(students, seed)
+            .threads(threads)
+            .workloads(workloads.clone())
+            .slos(fault_storm_slos(on_victim as f64 / students as f64))
+            .configure_sessions(move |_, base| {
+                if stormy {
+                    s.apply(base)
+                } else {
+                    s.apply_calm(base)
+                }
+            });
+        if stormy {
+            c = c.fault_schedule(storm.schedule());
+        }
+        c.run().unwrap()
+    };
+    let hit = run(2, true);
+    let serial = run(1, true);
+    let calm = run(2, false);
+
+    let bundles_json = hit.forensics_json();
+    let timeline_json = hit.timeline_json();
+    let forensics_match =
+        bundles_json == serial.forensics_json() && timeline_json == serial.timeline_json();
+    let chain_names_victim = !hit.forensics.is_empty()
+        && hit.forensics.iter().all(|b| {
+            b.chain
+                .first()
+                .is_some_and(|l| l.stage == "fault" && l.label.contains(&format!("shard{victim}")))
+        });
+    // Every exemplar a bundle cites must resolve to a sampled trace
+    // (anomalous sessions are tail-sampled, so this closes the loop
+    // from histogram bucket to concrete span tree).
+    let sampled: Vec<u64> = hit.traces.iter().map(|t| t.student as u64).collect();
+    let exemplars_resolvable = hit
+        .forensics
+        .iter()
+        .flat_map(|b| &b.exemplars)
+        .all(|e| sampled.contains(&e.trace_id));
+
+    print!(
+        "{}",
+        mits_sim::forensics::render_report(&hit.timeline, &hit.forensics)
+    );
+    println!(
+        "storm bundles {} (calm twin {}); chain names victim: {chain_names_victim}; \
+         exemplar traces resolvable: {exemplars_resolvable}; \
+         1-vs-2-thread bundles identical: {forensics_match}",
+        hit.forensics.len(),
+        calm.forensics.len(),
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"forensics\",\n  \"shards\": {shards},\n  \"victim_shard\": {victim},\n  \"students\": {students},\n  \"seed\": {seed},\n  \"storm_bundles\": {},\n  \"calm_bundles\": {},\n  \"forensics_match_1_vs_n_threads\": {forensics_match},\n  \"chain_names_victim\": {chain_names_victim},\n  \"exemplar_trace_resolvable\": {exemplars_resolvable},\n  \"timeline\": {timeline_json},\n  \"bundles\": {bundles_json}\n}}\n",
+        hit.forensics.len(),
+        calm.forensics.len(),
+    );
+    std::fs::write(&out, json).expect("write forensics bench json");
     println!("wrote {out}");
 }

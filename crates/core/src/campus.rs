@@ -49,8 +49,9 @@ use mits_db::{RetryPolicy, ShardRouter};
 use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
 use mits_mheg::{ClassLibrary, GenericValue, MhegId, MhegObject};
 use mits_sim::{
-    Histogram, MetricsSnapshot, SampleReason, SimDuration, SimTime, Slo, SloInput, SloReport,
-    TailSignals, TraceSampler,
+    forensics, Exemplar, FaultWindow, ForensicBundle, ForensicInput, Histogram, MetricsSnapshot,
+    SampleReason, SessionTail, SimDuration, SimTime, Slo, SloInput, SloReport, TailSignals,
+    Timeline, TimelineRecorder, TraceSampler,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -70,6 +71,15 @@ const WALL_SECS_BINS: usize = 60_000;
 /// is distinguishable from a clean one that happened to deliver the same
 /// byte counts.
 const SESSION_FAILED_MARK: u64 = 0xFA11_ED00_5E55_10FF;
+
+/// Default timeline window: 250 ms of session-local virtual time.
+const TIMELINE_WINDOW_MS: u64 = 250;
+
+/// Campus-wide cap on retained flight-recorder tails. Tails are kept
+/// only for degraded/failed sessions and only up to this many (in
+/// student-index order), so forensic evidence is bounded by the anomaly
+/// count, never the population.
+const FORENSIC_TAIL_CAP: usize = 64;
 
 /// The schedulable core count of this host: `available_parallelism`
 /// (which respects CPU affinity masks and cgroup quotas) with a
@@ -182,6 +192,12 @@ pub struct CampusRollup {
     pub metrics: MetricsSnapshot,
     /// Default campus SLOs judged against the merged snapshot.
     pub slo: SloReport,
+    /// Windowed telemetry timeline over session-local virtual time,
+    /// merged associatively — byte-identical across thread counts.
+    pub timeline: Timeline,
+    /// Forensic incident bundles: one if any session retired failed,
+    /// plus one per breached SLO. Empty for a healthy run.
+    pub forensics: Vec<ForensicBundle>,
 }
 
 /// A consumer of campus output, fed *while the campus runs* instead of
@@ -230,6 +246,10 @@ pub struct CampusReport {
     pub traces: Vec<ShardTrace>,
     /// Default campus SLOs judged against the merged snapshot.
     pub slo: SloReport,
+    /// Windowed telemetry timeline over session-local virtual time.
+    pub timeline: Timeline,
+    /// Forensic incident bundles (empty for a healthy run).
+    pub forensics: Vec<ForensicBundle>,
     /// Per-session host wall times, binned at 1 ms (not deterministic,
     /// never folded into a digest).
     wall_hist: Histogram,
@@ -256,6 +276,8 @@ impl CampusReport {
             metrics: MetricsSnapshot::new(),
             traces: Vec::new(),
             slo: SloReport::default(),
+            timeline: Timeline::new(SimDuration::from_millis(TIMELINE_WINDOW_MS)),
+            forensics: Vec::new(),
             wall_hist: Histogram::new(0.0, WALL_SECS_HI, WALL_SECS_BINS),
         }
     }
@@ -288,11 +310,15 @@ impl CampusReport {
 
     /// The sampled traces concatenated into one JSONL document, each
     /// session prefixed by a header line. Deterministic byte for byte.
+    ///
+    /// Header schema (versioned since `"v":1`; consumers must tolerate
+    /// unknown fields so the header can evolve without breakage):
+    /// `{"t":"shard","v":1,"student":N,"seed":N,"reason":"..."}`.
     pub fn traces_jsonl(&self) -> String {
         let mut out = String::new();
         for t in &self.traces {
             out.push_str(&format!(
-                "{{\"t\":\"shard\",\"student\":{},\"seed\":{},\"reason\":\"{}\"}}\n",
+                "{{\"t\":\"shard\",\"v\":1,\"student\":{},\"seed\":{},\"reason\":\"{}\"}}\n",
                 t.student,
                 t.seed,
                 t.reason.as_str()
@@ -300,6 +326,17 @@ impl CampusReport {
             out.push_str(&t.jsonl);
         }
         out
+    }
+
+    /// The windowed timeline as byte-stable JSON (see
+    /// [`Timeline::to_json`]).
+    pub fn timeline_json(&self) -> String {
+        self.timeline.to_json()
+    }
+
+    /// The forensic bundles as one byte-stable JSON array.
+    pub fn forensics_json(&self) -> String {
+        forensics::bundles_json(&self.forensics)
     }
 }
 
@@ -323,6 +360,8 @@ impl ReportSink for CampusReport {
         self.wall_secs = rollup.wall_secs;
         self.metrics = rollup.metrics.clone();
         self.slo = rollup.slo.clone();
+        self.timeline = rollup.timeline.clone();
+        self.forensics = rollup.forensics.clone();
     }
 }
 
@@ -511,6 +550,21 @@ impl FaultStorm {
         }
         c
     }
+
+    /// The storm as an injected fault schedule for forensics: one
+    /// window labelled `fault_storm.shard<victim>`, opening at the
+    /// crash and clearing only if a failback restart is planned (with
+    /// no restart the victim's primary *and* standby stay dead, so the
+    /// fault never clears). Feed this to [`Campus::fault_schedule`] so
+    /// breach bundles can name the storm as their suspect.
+    pub fn schedule(&self) -> Vec<FaultWindow> {
+        vec![FaultWindow {
+            label: format!("fault_storm.shard{}", self.victim),
+            shard: self.victim as u64,
+            onset: self.crash_at,
+            clear: self.restart_at.map(|r| r.max(self.outage_until)),
+        }]
+    }
 }
 
 /// SLOs for a fault-storm campaign. The storm *intends* to fail the
@@ -611,6 +665,8 @@ pub struct Campus {
     workloads: Vec<CampusWorkload>,
     slos: Option<Vec<Slo>>,
     session_config: Option<Arc<SessionConfigFn>>,
+    timeline_window: SimDuration,
+    fault_schedule: Vec<FaultWindow>,
 }
 
 impl Campus {
@@ -628,6 +684,8 @@ impl Campus {
             workloads: Vec::new(),
             slos: None,
             session_config: None,
+            timeline_window: SimDuration::from_millis(TIMELINE_WINDOW_MS),
+            fault_schedule: Vec::new(),
         }
     }
 
@@ -693,6 +751,26 @@ impl Campus {
         self
     }
 
+    /// Width of the windowed telemetry timeline (session-local virtual
+    /// time; default 250 ms). Zero keeps the default. The window width
+    /// reaches the timeline bytes, so compare runs only at equal
+    /// widths.
+    pub fn timeline_window(mut self, w: SimDuration) -> Self {
+        if !w.is_zero() {
+            self.timeline_window = w;
+        }
+        self
+    }
+
+    /// Declare the fault schedule injected via
+    /// [`Campus::configure_sessions`] (e.g. [`FaultStorm::schedule`]),
+    /// so forensic bundles can align breach windows against it and
+    /// name a suspected cause. Purely declarative: it injects nothing.
+    pub fn fault_schedule(mut self, schedule: Vec<FaultWindow>) -> Self {
+        self.fault_schedule = schedule;
+        self
+    }
+
     /// Customise a student's `SystemConfig` (fault plans, crash
     /// schedules, retry policies). The hook receives the session spec
     /// and the seeded single-seat base config; it must stay a pure
@@ -744,11 +822,12 @@ impl Campus {
         };
         let sampler = TraceSampler::new(self.base_seed, self.trace_sample_rate)
             .with_latency_threshold(self.slow_session);
+        let tl_window = self.timeline_window;
         let start = Instant::now();
 
         let queue = BatchQueue::new(n_batches, workers);
         let window = AdmissionWindow::new(max_concurrent);
-        let merge = Mutex::new(MergeState::new(sink));
+        let merge = Mutex::new(MergeState::new(sink, tl_window));
         let fatal: Mutex<Option<SystemError>> = Mutex::new(None);
         let abort = AtomicBool::new(false);
 
@@ -760,7 +839,7 @@ impl Campus {
                 }
                 let lo = b * batch;
                 let hi = ((b + 1) * batch).min(students);
-                let mut out = BatchOut::new();
+                let mut out = BatchOut::new(tl_window);
                 for student in lo..hi {
                     let spec = SessionSpec {
                         student,
@@ -779,6 +858,7 @@ impl Campus {
                         &sampler,
                         &spec,
                         &config,
+                        tl_window,
                         std::mem::take(&mut scratch),
                     );
                     // retire: the session's world is already torn down
@@ -832,6 +912,27 @@ impl Campus {
             None => default_campus_slos(),
         };
         let slo = SloReport::evaluate(&slos, &merged.metrics, &BTreeMap::new());
+
+        // Breach forensics: walk the merged timeline for the anomaly
+        // window, align it against the declared fault schedule, and
+        // attach the exemplar-linked samples and flight-recorder tails
+        // as evidence. Healthy run => no bundles.
+        let timeline = std::mem::replace(&mut merged.timeline, Timeline::new(tl_window));
+        let exemplars: Vec<Exemplar> = merged
+            .metrics
+            .histogram("campus.session_secs")
+            .map(|h| h.exemplars().copied().collect())
+            .unwrap_or_default();
+        let bundles = forensics::generate(&ForensicInput {
+            timeline: &timeline,
+            tails: &merged.tails,
+            schedule: &self.fault_schedule,
+            slo: Some(&slo),
+            exemplars: &exemplars,
+            sessions_failed: merged.failed,
+            sessions_degraded: merged.degraded,
+        });
+
         let rollup = CampusRollup {
             students,
             threads: workers,
@@ -842,6 +943,8 @@ impl Campus {
             wall_secs: start.elapsed().as_secs_f64(),
             metrics: std::mem::replace(&mut merged.metrics, MetricsSnapshot::new()),
             slo,
+            timeline,
+            forensics: bundles,
         };
         merged.sink.rollup(&rollup);
         Ok(())
@@ -853,6 +956,8 @@ struct SessionOutcome {
     report: SessionReport,
     snapshot: MetricsSnapshot,
     trace: Option<ShardTrace>,
+    timeline: Timeline,
+    tail: Option<SessionTail>,
 }
 
 /// A completed batch: its sessions in index order, ready to flush.
@@ -860,21 +965,29 @@ struct BatchOut {
     sessions: Vec<SessionReport>,
     traces: Vec<ShardTrace>,
     snapshot: MetricsSnapshot,
+    timeline: Timeline,
+    tails: Vec<SessionTail>,
 }
 
 impl BatchOut {
-    fn new() -> Self {
+    fn new(window: SimDuration) -> Self {
         BatchOut {
             sessions: Vec::new(),
             traces: Vec::new(),
             snapshot: MetricsSnapshot::new(),
+            timeline: Timeline::new(window),
+            tails: Vec::new(),
         }
     }
 
     fn push(&mut self, outcome: SessionOutcome) {
         self.snapshot.merge(&outcome.snapshot);
+        self.timeline.merge(&outcome.timeline);
         if let Some(t) = outcome.trace {
             self.traces.push(t);
+        }
+        if let Some(t) = outcome.tail {
+            self.tails.push(t);
         }
         self.sessions.push(outcome.report);
     }
@@ -891,11 +1004,14 @@ struct MergeState<'a> {
     digest: u64,
     bytes: u64,
     failed: u64,
+    degraded: u64,
     metrics: MetricsSnapshot,
+    timeline: Timeline,
+    tails: Vec<SessionTail>,
 }
 
 impl<'a> MergeState<'a> {
-    fn new(sink: &'a mut dyn ReportSink) -> Self {
+    fn new(sink: &'a mut dyn ReportSink, window: SimDuration) -> Self {
         MergeState {
             sink,
             next: 0,
@@ -903,7 +1019,10 @@ impl<'a> MergeState<'a> {
             digest: FNV_OFFSET,
             bytes: 0,
             failed: 0,
+            degraded: 0,
             metrics: MetricsSnapshot::new(),
+            timeline: Timeline::new(window),
+            tails: Vec::new(),
         }
     }
 
@@ -914,12 +1033,21 @@ impl<'a> MergeState<'a> {
                 self.digest = fnv_fold(self.digest, s.digest);
                 self.bytes += s.bytes;
                 self.failed += u64::from(s.failed);
+                self.degraded += u64::from(s.anomalous);
                 self.sink.session(s);
             }
             for t in &out.traces {
                 self.sink.trace(t);
             }
             self.metrics.merge(&out.snapshot);
+            self.timeline.merge(&out.timeline);
+            // Tails flush in batch (== student-index) order, so the
+            // retained set under the cap is thread-count invariant.
+            for t in out.tails {
+                if self.tails.len() < FORENSIC_TAIL_CAP {
+                    self.tails.push(t);
+                }
+            }
             self.next += 1;
         }
     }
@@ -1014,12 +1142,20 @@ fn run_session(
     sampler: &TraceSampler,
     spec: &SessionSpec,
     config: &SystemConfig,
+    tl_window: SimDuration,
     scratch: SessionScratch,
 ) -> Result<(SessionOutcome, SessionScratch), SystemError> {
     let start = Instant::now();
     let mut sys = MitsSystem::build_with_scratch(config, scratch)?;
     sys.load_doc(&workload.objects, &workload.media, workload.root);
     let student_id = ClientId(0);
+
+    // Root span over the whole session: every request span nests under
+    // it, and its id is the span half of this session's histogram
+    // exemplars — so an exemplar in a forensic bundle resolves to a
+    // concrete span in the sampled trace.
+    let root = sys.tracer.root_span("campus.session", sys.now());
+    sys.tracer.push_context(root);
 
     let mut digest = fnv_fold(FNV_OFFSET, spec.seed);
     let mut session = SimDuration::ZERO;
@@ -1049,6 +1185,9 @@ fn run_session(
     if failed {
         digest = fnv_fold(digest, SESSION_FAILED_MARK);
     }
+    let end_at = sys.now();
+    sys.tracer.pop_context();
+    sys.tracer.end(root, end_at);
     let bytes = sys.bytes_to_client(student_id);
     digest = fnv_fold(digest, bytes);
     digest = fnv_fold(digest, session.as_micros());
@@ -1066,12 +1205,28 @@ fn run_session(
         .counter_set("campus.sessions_degraded", u64::from(anomalous));
     sys.metrics
         .counter_set("campus.sessions_failed", u64::from(failed));
-    sys.metrics.observe(
+    // A failed session's fetch-time sum only counts the fetches that
+    // succeeded, which understates how long the seat was held; charge
+    // it the virtual time it burned until retirement instead, so its
+    // histogram sample lands in the slow tail it belongs to.
+    let observed = if failed {
+        end_at.since(SimTime::ZERO)
+    } else {
+        session
+    };
+    // The session-duration sample carries an exemplar: (student index
+    // as trace id, root span id, retire instant). Exemplar selection is
+    // a deterministic total order, so the merged histogram keeps the
+    // same exemplars regardless of merge grouping.
+    sys.metrics.observe_exemplar(
         "campus.session_secs",
-        session.as_secs_f64(),
+        observed.as_secs_f64(),
         0.0,
         SESSION_SECS_HI,
         SESSION_SECS_BINS,
+        spec.student as u64,
+        root.as_u64(),
+        end_at,
     );
     let sampled = sampler.decide(
         spec.student as u64,
@@ -1089,6 +1244,22 @@ fn run_session(
         seed: spec.seed,
         reason,
         jsonl: sys.tracer.to_jsonl(),
+    });
+
+    // Fold the flight-recorder tail and the retirement into this
+    // session's timeline slice; keep the raw tail as forensic evidence
+    // only when the session was anomalous (tail-sampled sessions are
+    // exactly the ones bundles reference).
+    let flight_events = sys.flight.tail();
+    let mut recorder = TimelineRecorder::new(tl_window);
+    recorder.record_events(&flight_events);
+    recorder.record_session(end_at, observed, anomalous, failed);
+    let timeline = recorder.finish();
+    let tail = anomalous.then(|| SessionTail {
+        student: spec.student as u64,
+        failed,
+        events: flight_events,
+        dropped: sys.flight.dropped(),
     });
 
     let report = SessionReport {
@@ -1109,6 +1280,8 @@ fn run_session(
             report,
             snapshot,
             trace,
+            timeline,
+            tail,
         },
         scratch,
     ))
@@ -1401,5 +1574,55 @@ mod tests {
     #[test]
     fn host_cores_is_positive() {
         assert!(host_cores() >= 1);
+    }
+
+    #[test]
+    fn calm_campus_has_a_timeline_but_no_forensics() {
+        let w = tiny_workload(1, 2048);
+        let report = campus(4, 2, 9, &w).run().unwrap();
+        assert!(
+            !report.timeline.is_empty(),
+            "retirements must land in the timeline"
+        );
+        assert!(
+            report.forensics.is_empty(),
+            "healthy run must not produce bundles"
+        );
+        assert!(report.timeline_json().starts_with("{\"v\":1,"));
+        assert_eq!(report.forensics_json(), "[]");
+        // Session exemplars ride the merged histogram, keyed by student.
+        let h = report.metrics.histogram("campus.session_secs").unwrap();
+        assert!(h.exemplars().count() >= 1, "exemplars must survive merge");
+        assert!(h.exemplars().all(|e| (e.trace_id as usize) < 4));
+    }
+
+    #[test]
+    fn trace_headers_carry_a_schema_version() {
+        let w = tiny_workload(1, 1024);
+        let report = campus(6, 1, 42, &w).trace_sample_rate(1.0).run().unwrap();
+        assert!(!report.traces.is_empty());
+        for line in report.traces_jsonl().lines() {
+            if line.starts_with("{\"t\":\"shard\"") {
+                assert!(line.contains("\"v\":1,"), "unversioned header: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_storm_schedule_names_the_victim() {
+        let storm = FaultStorm::new(3, 1, SimTime::from_millis(100), SimTime::from_millis(400));
+        let sched = storm.schedule();
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].label, "fault_storm.shard1");
+        assert_eq!(sched[0].shard, 1);
+        assert_eq!(sched[0].onset, SimTime::from_millis(100));
+        assert_eq!(sched[0].clear, None, "no restart => the fault never clears");
+        let mut with_restart = storm.clone();
+        with_restart.restart_at = Some(SimTime::from_millis(300));
+        assert_eq!(
+            with_restart.schedule()[0].clear,
+            Some(SimTime::from_millis(400)),
+            "clear waits for both the restart and the link outage"
+        );
     }
 }

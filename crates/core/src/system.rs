@@ -22,7 +22,7 @@ use mits_db::{
 };
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
-use mits_sim::{MetricsRegistry, SimDuration, SimTime, SpanId, Tracer};
+use mits_sim::{FlightKind, FlightRecorder, MetricsRegistry, SimDuration, SimTime, SpanId, Tracer};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Identifies one student endpoint.
@@ -293,6 +293,11 @@ pub struct MitsSystem {
     /// Scatter/gather queries that returned degraded (partial) results
     /// because at least one shard was unreachable.
     pub scatter_partial: u64,
+    /// Scatter legs dispatched, per shard (shards > 1 only).
+    pub scatter_legs: Vec<u64>,
+    /// Scatter legs whose shard never answered (deadline backstop or
+    /// send failure), per shard.
+    pub scatter_leg_errors: Vec<u64>,
     crashes: CrashSchedule,
     crash_idx: usize,
     checkpoint_every: Option<SimDuration>,
@@ -310,6 +315,12 @@ pub struct MitsSystem {
     pub tracer: Tracer,
     /// Registry every layer exports into via [`MitsSystem::export_metrics`].
     pub metrics: MetricsRegistry,
+    /// Always-on bounded ring of structured anomaly events (fault
+    /// onset/clear, retries, failovers, fences, sheds, invalidations)
+    /// shared with every endpoint's client and the edge cache. Unlike
+    /// the tracer it is never sampled away — campus forensics reads its
+    /// tail when a session retires.
+    pub flight: FlightRecorder,
     /// When each queued response becomes ready, keyed by (endpoint,
     /// req_id) — consumed on delivery to stamp the downlink hop span.
     resp_meta: BTreeMap<(usize, u64), SimTime>,
@@ -432,6 +443,7 @@ impl MitsSystem {
         }
 
         let tracer = Tracer::new();
+        let flight = FlightRecorder::default();
         let mut endpoints = Vec::new();
         for (i, (host, profile)) in peer_hosts.into_iter().enumerate() {
             let timeout = Self::arq_timeout(&profile);
@@ -455,6 +467,7 @@ impl MitsSystem {
                 config.seed ^ (0xC11E_0000 + i as u64),
             );
             db_client.set_tracer(tracer.clone());
+            db_client.set_flight_recorder(flight.clone());
             endpoints.push(Endpoint {
                 host,
                 profile,
@@ -486,10 +499,15 @@ impl MitsSystem {
             endpoints,
             router: ShardRouter::new(shards),
             group_size,
-            edge: (config.edge_cache_bytes > 0)
-                .then(|| EdgeCache::new(config.edge_cache_bytes, shards)),
+            edge: (config.edge_cache_bytes > 0).then(|| {
+                let mut e = EdgeCache::new(config.edge_cache_bytes, shards);
+                e.set_flight_recorder(flight.clone());
+                e
+            }),
             scatter_queries: 0,
             scatter_partial: 0,
+            scatter_legs: vec![0; shards],
+            scatter_leg_errors: vec![0; shards],
             crashes: config.crashes.clone(),
             crash_idx: 0,
             checkpoint_every: config.checkpoint_every,
@@ -500,6 +518,7 @@ impl MitsSystem {
             last_recovery: None,
             tracer,
             metrics: MetricsRegistry::new(),
+            flight,
             resp_meta: BTreeMap::new(),
         })
     }
@@ -656,6 +675,17 @@ impl MitsSystem {
                 .counter_set("system.scatter_queries", self.scatter_queries);
             self.metrics
                 .counter_set("system.scatter_partial", self.scatter_partial);
+            for (d, (&legs, &errs)) in self
+                .scatter_legs
+                .iter()
+                .zip(&self.scatter_leg_errors)
+                .enumerate()
+            {
+                self.metrics
+                    .counter_set(&format!("system.shard{d}.scatter_legs"), legs);
+                self.metrics
+                    .counter_set(&format!("system.shard{d}.scatter_leg_errors"), errs);
+            }
         }
         if let Some(edge) = &self.edge {
             edge.export_metrics(&self.metrics, "edge");
@@ -783,6 +813,12 @@ impl MitsSystem {
             self.net.now(),
             &[("server", target.to_string())],
         );
+        self.flight.record(
+            self.net.now(),
+            FlightKind::FaultOnset,
+            (target / self.group_size) as u64,
+            target as u64,
+        );
         self.servers[target].up = false;
         for q in &mut self.servers[target].ready {
             q.clear();
@@ -885,6 +921,12 @@ impl MitsSystem {
             self.tracer.end(rs, busy_until);
         }
         self.tracer.end(rec, busy_until);
+        self.flight.record(
+            busy_until,
+            FlightKind::FaultClear,
+            (target / self.group_size) as u64,
+            target as u64,
+        );
         self.last_recovery = Some(report);
         self.reopen_server_transport(target)?;
         // Failback: with this shard's primary up again, clients return
@@ -960,7 +1002,8 @@ impl MitsSystem {
                 if let Some(shard) = self.endpoints[index].req_shard.remove(&env.req_id) {
                     if let Some(edge) = &mut self.edge {
                         let floor = self.endpoints[index].db_client.epoch_floor(shard as u64);
-                        edge.observe_epoch(shard, floor);
+                        let now = self.net.now();
+                        edge.observe_epoch(shard, floor, now);
                     }
                 }
                 self.endpoints[index].inbox.push((env.req_id, env.body));
@@ -1032,6 +1075,8 @@ impl MitsSystem {
                 if cand != cur {
                     self.endpoints[i].active[shard] = cand;
                     self.failovers += 1;
+                    self.flight
+                        .record(now, FlightKind::Failover, shard as u64, cand as u64);
                     self.tracer.event_with(
                         None,
                         "client.failover",
@@ -1170,6 +1215,14 @@ impl MitsSystem {
             .filter(|(t, _)| *t > now)
             .count();
         let shed = node.db.overload_threshold().is_some_and(|l| depth >= l);
+        if shed {
+            self.flight.record(
+                now,
+                FlightKind::Shed,
+                (server / self.group_size) as u64,
+                depth as u64,
+            );
+        }
         let wal_before = node.db.wal_device_len();
         let (resp, cost) = node.db.handle_at_depth(&env.body, depth);
         let wal_journaled = node.db.wal_device_len().saturating_sub(wal_before);
@@ -1298,6 +1351,7 @@ impl MitsSystem {
             self.requests_sent += 1;
             let active = self.endpoints[index].active[shard];
             self.endpoints[index].chans[active].send_message(&mut self.net, &frame)?;
+            self.scatter_legs[shard] += 1;
             ids.push(req_id);
         }
         let deadline = started + timeout;
@@ -1335,6 +1389,11 @@ impl MitsSystem {
             self.pump_step(deadline)?;
         }
         let results: Vec<_> = results.into_iter().map(|r| r.expect("filled")).collect();
+        for (shard, r) in results.iter().enumerate() {
+            if r.is_err() {
+                self.scatter_leg_errors[shard] += 1;
+            }
+        }
         if results.iter().any(Result::is_err) && results.iter().any(Result::is_ok) {
             self.scatter_partial += 1;
         }
@@ -1613,8 +1672,9 @@ impl MitsSystem {
         if let Some(m) = self.endpoints[client.0].db_client.cache.get_content(media) {
             return Ok((m, SimDuration::ZERO));
         }
+        let now = self.net.now();
         if let Some(edge) = &mut self.edge {
-            if let Some(m) = edge.get(media) {
+            if let Some(m) = edge.get(media, now) {
                 // Served at the campus edge: the origin shard is never
                 // touched. The client keeps its own copy like any fetch.
                 self.endpoints[client.0].db_client.cache.put_content(&m);
@@ -1632,7 +1692,8 @@ impl MitsSystem {
         let m = resp.into_content()?;
         if let Some(edge) = &mut self.edge {
             let epoch = self.endpoints[client.0].db_client.epoch_floor(shard as u64);
-            edge.observe_epoch(shard, epoch);
+            let now = self.net.now();
+            edge.observe_epoch(shard, epoch, now);
             edge.fill(media, shard, epoch, &m);
         }
         Ok((m, t))

@@ -33,7 +33,10 @@ use crate::protocol::{peek_req_id, DbError, Envelope, Request, RequestKind, Resp
 use bytes::Bytes;
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
-use mits_sim::{Histogram, MetricsRegistry, SimDuration, SimRng, SimTime, SpanId, Tracer};
+use mits_sim::{
+    FlightKind, FlightRecorder, Histogram, MetricsRegistry, SimDuration, SimRng, SimTime, SpanId,
+    Tracer,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// A byte-bounded object/content cache (FIFO eviction — simple and
@@ -478,6 +481,11 @@ pub struct DbClient {
     /// current context) plus one child span per attempt, and the request
     /// span's id rides the wire as the trace context.
     tracer: Option<Tracer>,
+    /// When set, anomalies (retries, attempt timeouts, stale-epoch
+    /// fences, epoch-floor raises) are recorded as flight events. The
+    /// recorder is always-on in campus sessions: recording only fires
+    /// on anomalous paths, so the happy path pays one `Option` check.
+    flight: Option<FlightRecorder>,
 }
 
 impl DbClient {
@@ -502,6 +510,7 @@ impl DbClient {
             network_requests: 0,
             metrics: DbClientMetrics::default(),
             tracer: None,
+            flight: None,
         }
     }
 
@@ -514,6 +523,13 @@ impl DbClient {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Attach a flight recorder; subsequent retries, attempt timeouts,
+    /// stale-epoch rejections and epoch-floor raises are recorded as
+    /// structured flight events (`a` = epoch domain/shard).
+    pub fn set_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     /// The active retry policy.
@@ -722,6 +738,9 @@ impl DbClient {
             };
             if counted {
                 self.metrics.stale_epoch += 1;
+                if let Some(fr) = &self.flight {
+                    fr.record(now, FlightKind::StaleEpoch, domain, epoch);
+                }
             }
             self.metrics.ignored += 1;
             if let Some(tr) = &self.tracer {
@@ -740,6 +759,11 @@ impl DbClient {
         }
         if epoch > floor {
             self.floors.insert(domain, epoch);
+            // A rising floor is the client-side fence going up: every
+            // response below it from here on is from a deposed primary.
+            if let Some(fr) = &self.flight {
+                fr.record(now, FlightKind::EpochFence, domain, epoch);
+            }
         }
         self.last_epoch = self.last_epoch.max(epoch);
         // Server shed the request and the budget allows another go:
@@ -849,6 +873,9 @@ impl DbClient {
                     self.metrics.attempts += 1;
                     self.metrics.retries += 1;
                     self.metrics.bytes_sent += p.frame.len() as u64;
+                    if let Some(fr) = &self.flight {
+                        fr.record(now, FlightKind::Retry, p.domain, u64::from(p.attempts));
+                    }
                     if let Some(tr) = &self.tracer {
                         if let Some(s) = SpanId::from_wire(p.span) {
                             let a = tr.child(s, &format!("attempt {}", p.attempts), now);
@@ -865,6 +892,9 @@ impl DbClient {
             if now >= p.attempt_deadline {
                 self.metrics.timeouts += 1;
                 self.timed_out.push(id);
+                if let Some(fr) = &self.flight {
+                    fr.record(now, FlightKind::Timeout, p.domain, u64::from(p.attempts));
+                }
                 if let Some(tr) = &self.tracer {
                     if let Some(a) = SpanId::from_wire(p.attempt_span) {
                         tr.attr(a, "outcome", "timeout");

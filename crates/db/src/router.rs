@@ -19,6 +19,7 @@ use crate::protocol::Request;
 use crate::ring::HashRing;
 use mits_media::{MediaId, MediaObject};
 use mits_mheg::{MhegId, MhegObject};
+use mits_sim::{FlightKind, FlightRecorder, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// Where a request must go.
@@ -146,6 +147,9 @@ pub struct EdgeCache {
     pub inserts: u64,
     /// Requests the cache forwarded to the origin shards.
     pub origin_requests: u64,
+    /// When set, fence raises and fenced-entry evictions are recorded
+    /// as flight events (`a` = shard, `b` = epoch).
+    flight: Option<FlightRecorder>,
 }
 
 impl EdgeCache {
@@ -163,7 +167,14 @@ impl EdgeCache {
             invalidations: 0,
             inserts: 0,
             origin_requests: 0,
+            flight: None,
         }
+    }
+
+    /// Attach a flight recorder; epoch-fence raises and fenced-entry
+    /// invalidations become structured flight events.
+    pub fn set_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     fn cost(media: &MediaObject) -> usize {
@@ -180,21 +191,25 @@ impl EdgeCache {
         self.floors.get(shard).copied().unwrap_or(0)
     }
 
-    /// Advance a shard's epoch floor. Raising the floor fences every
-    /// entry filled under an older epoch: the next lookup evicts it.
-    pub fn observe_epoch(&mut self, shard: usize, epoch: u64) {
+    /// Advance a shard's epoch floor at virtual instant `now`. Raising
+    /// the floor fences every entry filled under an older epoch: the
+    /// next lookup evicts it.
+    pub fn observe_epoch(&mut self, shard: usize, epoch: u64, now: SimTime) {
         if let Some(f) = self.floors.get_mut(shard) {
             if epoch > *f {
                 *f = epoch;
+                if let Some(fr) = &self.flight {
+                    fr.record(now, FlightKind::EpochFence, shard as u64, epoch);
+                }
             }
         }
     }
 
-    /// Look up a media object. A fenced entry (filled under an epoch
-    /// below its shard's floor) is evicted and counted as an
-    /// invalidation — the caller must refetch from origin, exactly as on
-    /// a miss.
-    pub fn get(&mut self, id: MediaId) -> Option<MediaObject> {
+    /// Look up a media object at virtual instant `now`. A fenced entry
+    /// (filled under an epoch below its shard's floor) is evicted and
+    /// counted as an invalidation — the caller must refetch from
+    /// origin, exactly as on a miss.
+    pub fn get(&mut self, id: MediaId, now: SimTime) -> Option<MediaObject> {
         match self.entries.get(&id) {
             None => {
                 self.misses += 1;
@@ -202,6 +217,9 @@ impl EdgeCache {
             }
             Some(e) if e.epoch < self.floor(e.shard) => {
                 self.invalidations += 1;
+                if let Some(fr) = &self.flight {
+                    fr.record(now, FlightKind::EdgeInvalidation, e.shard as u64, e.epoch);
+                }
                 self.remove(id);
                 None
             }
@@ -271,7 +289,7 @@ mod tests {
     use super::*;
     use bytes::Bytes;
     use mits_media::{MediaFormat, VideoDims};
-    use mits_sim::SimDuration;
+    use mits_sim::{SimDuration, SimTime};
 
     fn clip(id: u64, bytes: usize) -> MediaObject {
         MediaObject::new(
@@ -328,10 +346,10 @@ mod tests {
     #[test]
     fn edge_cache_hits_after_fill() {
         let mut c = EdgeCache::new(1 << 20, 2);
-        assert!(c.get(MediaId(1)).is_none());
+        assert!(c.get(MediaId(1), SimTime::ZERO).is_none());
         c.note_origin();
         c.fill(MediaId(1), 0, 0, &clip(1, 1024));
-        let got = c.get(MediaId(1)).expect("filled");
+        let got = c.get(MediaId(1), SimTime::ZERO).expect("filled");
         assert_eq!(got.data.len(), 1024);
         assert_eq!((c.hits, c.misses, c.origin_requests), (1, 1, 1));
     }
@@ -342,16 +360,37 @@ mod tests {
         c.fill(MediaId(7), 1, 0, &clip(7, 512));
         // Shard 1 fences its old primary: everything filled under epoch
         // 0 is now suspect.
-        c.observe_epoch(1, 2);
-        assert!(c.get(MediaId(7)).is_none(), "fenced entry must not serve");
+        c.observe_epoch(1, 2, SimTime::ZERO);
+        assert!(
+            c.get(MediaId(7), SimTime::ZERO).is_none(),
+            "fenced entry must not serve"
+        );
         assert_eq!(c.invalidations, 1);
         assert_eq!(c.misses, 0, "an invalidation is not a miss");
         // Refill at the new epoch serves again.
         c.fill(MediaId(7), 1, 2, &clip(7, 512));
-        assert!(c.get(MediaId(7)).is_some());
+        assert!(c.get(MediaId(7), SimTime::ZERO).is_some());
         // Other shards' floors are independent.
         c.fill(MediaId(9), 0, 0, &clip(9, 512));
-        assert!(c.get(MediaId(9)).is_some());
+        assert!(c.get(MediaId(9), SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn fences_and_invalidations_hit_the_flight_recorder() {
+        use mits_sim::{FlightKind, FlightRecorder};
+        let fr = FlightRecorder::default();
+        let mut c = EdgeCache::new(1 << 20, 2);
+        c.set_flight_recorder(fr.clone());
+        c.fill(MediaId(7), 1, 0, &clip(7, 512));
+        c.observe_epoch(1, 2, SimTime::from_secs(5));
+        c.observe_epoch(1, 2, SimTime::from_secs(6)); // no raise, no event
+        assert!(c.get(MediaId(7), SimTime::from_secs(7)).is_none());
+        assert_eq!(fr.total(FlightKind::EpochFence), 1);
+        assert_eq!(fr.total(FlightKind::EdgeInvalidation), 1);
+        let tail = fr.tail();
+        assert_eq!(tail[0].at, SimTime::from_secs(5));
+        assert_eq!(tail[1].kind, FlightKind::EdgeInvalidation);
+        assert_eq!(tail[1].a, 1, "invalidation names the fenced shard");
     }
 
     #[test]
@@ -360,10 +399,13 @@ mod tests {
         c.fill(MediaId(1), 0, 0, &clip(1, 1024));
         c.fill(MediaId(2), 0, 0, &clip(2, 1024));
         c.fill(MediaId(3), 0, 0, &clip(3, 1024));
-        assert!(c.get(MediaId(1)).is_none(), "oldest entry FIFO'd out");
-        assert!(c.get(MediaId(3)).is_some());
+        assert!(
+            c.get(MediaId(1), SimTime::ZERO).is_none(),
+            "oldest entry FIFO'd out"
+        );
+        assert!(c.get(MediaId(3), SimTime::ZERO).is_some());
         // An over-capacity payload passes through uncached.
         c.fill(MediaId(4), 0, 0, &clip(4, 1 << 20));
-        assert!(c.get(MediaId(4)).is_none());
+        assert!(c.get(MediaId(4), SimTime::ZERO).is_none());
     }
 }

@@ -32,6 +32,11 @@
 //!   merged snapshot, emitting pass/warn/breach verdicts.
 //! * [`profile`] — a span-tree self-time profiler that folds a trace into
 //!   per-layer virtual-time totals and a flame-style "top" report.
+//! * [`timeline`] — a windowed virtual-time timeline of flight events
+//!   and session retirements, merged associatively for campus rollups.
+//! * [`forensics`] — an always-on bounded [`FlightRecorder`] of
+//!   structured anomaly events, and [`ForensicBundle`] incident reports
+//!   that align breach windows against the injected fault schedule.
 //!
 //! ## Example
 //!
@@ -51,6 +56,7 @@
 //! ```
 
 pub mod event;
+pub mod forensics;
 pub mod payload;
 pub mod profile;
 pub mod queue;
@@ -59,15 +65,21 @@ pub mod rng;
 pub mod slo;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 pub mod trace;
 
 pub use event::{EventQueue, Scheduler, Simulation};
+pub use forensics::{
+    ChainLink, FaultWindow, FlightEvent, FlightKind, FlightRecorder, ForensicBundle, ForensicInput,
+    SessionTail, FLIGHT_KINDS, FLIGHT_RING_CAP,
+};
 pub use payload::Payload;
 pub use profile::{classify_layer, profile_spans, profile_tracer, LayerTotal, NameTotal, Profile};
 pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot, SnapshotValue};
 pub use rng::SimRng;
 pub use slo::{Slo, SloInput, SloKind, SloOutcome, SloReport, Verdict};
-pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use stats::{Exemplar, Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use timeline::{Timeline, TimelineRecorder, WindowStats};
 pub use trace::{SampleReason, SpanId, SpanInfo, TailSignals, TraceSampler, Tracer};

@@ -24,7 +24,7 @@
 //! shard-index order makes the rollup byte-identical regardless of how
 //! many worker threads ran the shards.
 
-use crate::stats::Histogram;
+use crate::stats::{Exemplar, Histogram};
 use crate::time::SimTime;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -114,6 +114,42 @@ impl MetricsRegistry {
             _ => {
                 let mut h = Histogram::new(lo, hi, bins);
                 h.record(x);
+                inner
+                    .map
+                    .insert(name.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// Like [`MetricsRegistry::observe`], but also offer an
+    /// [`Exemplar`] linking the sample back to its trace: the bucket
+    /// the sample lands in keeps the exemplar with the largest value
+    /// (deterministic tie-break), so merged snapshots agree on
+    /// exemplars byte-for-byte regardless of merge order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_exemplar(
+        &self,
+        name: &str,
+        x: f64,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        trace_id: u64,
+        span_id: u64,
+        at: SimTime,
+    ) {
+        let ex = Exemplar {
+            value: x,
+            trace_id,
+            span_id,
+            at,
+        };
+        let mut inner = self.inner.lock();
+        match inner.map.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.record_exemplar(x, ex),
+            _ => {
+                let mut h = Histogram::new(lo, hi, bins);
+                h.record_exemplar(x, ex);
                 inner
                     .map
                     .insert(name.to_string(), MetricValue::Histogram(h));

@@ -100,8 +100,48 @@ impl OnlineStats {
     }
 }
 
+/// A pointer from a histogram bucket back into the trace store: the
+/// sample currently "representing" the bucket, with enough identity
+/// (`trace_id`, `span_id`, virtual instant) to pull the matching span
+/// out of the sampled traces. In campus runs `trace_id` is the student
+/// index and `span_id` the session root span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// The sample value.
+    pub value: f64,
+    /// Trace the sample belongs to (campus: student index).
+    pub trace_id: u64,
+    /// Span the sample was measured on (0 when unknown).
+    pub span_id: u64,
+    /// Virtual instant of the sample.
+    pub at: SimTime,
+}
+
+impl Exemplar {
+    /// Total order used for deterministic per-bucket selection: the
+    /// *largest* value wins (the worst sample is the most interesting
+    /// one to link), ties broken toward the smallest
+    /// `(trace_id, span_id, at)`. Because this is a total order, the
+    /// per-bucket join is associative and commutative, which keeps
+    /// histogram merges byte-identical across merge orders.
+    fn beats(&self, other: &Exemplar) -> bool {
+        match self.value.total_cmp(&other.value) {
+            core::cmp::Ordering::Greater => true,
+            core::cmp::Ordering::Less => false,
+            core::cmp::Ordering::Equal => {
+                (other.trace_id, other.span_id, other.at) > (self.trace_id, self.span_id, self.at)
+            }
+        }
+    }
+}
+
 /// Fixed-bin histogram over [lo, hi) with overflow/underflow buckets and
 /// percentile queries. Used for waiting-time and jitter distributions.
+///
+/// A histogram may optionally carry an [`Exemplar`] per bucket
+/// (including the under/overflow buckets); exemplar selection and
+/// merging are deterministic, so an exemplar-carrying histogram keeps
+/// the registry's byte-identity guarantees.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
@@ -110,6 +150,9 @@ pub struct Histogram {
     underflow: u64,
     overflow: u64,
     count: u64,
+    /// Empty when exemplars are disabled; `bins.len() + 2` slots when
+    /// enabled (slot 0 = underflow, `1..=bins`, last = overflow).
+    exemplars: Vec<Option<Exemplar>>,
 }
 
 impl Histogram {
@@ -127,7 +170,53 @@ impl Histogram {
             underflow: 0,
             overflow: 0,
             count: 0,
+            exemplars: Vec::new(),
         }
+    }
+
+    /// Exemplar slot index for sample `x`: 0 for underflow, then one
+    /// slot per bin, then overflow.
+    fn exemplar_slot(&self, x: f64) -> usize {
+        if x < self.lo {
+            0
+        } else if x >= self.hi {
+            self.bins.len() + 1
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            idx + 1
+        }
+    }
+
+    /// Record a sample and offer `ex` as the bucket's exemplar
+    /// (enabling exemplar tracking on first use). The bucket keeps the
+    /// exemplar with the largest value, ties broken toward the smallest
+    /// `(trace_id, span_id, at)` — a deterministic selection that
+    /// merges associatively.
+    pub fn record_exemplar(&mut self, x: f64, ex: Exemplar) {
+        self.record(x);
+        if self.exemplars.is_empty() {
+            self.exemplars = vec![None; self.bins.len() + 2];
+        }
+        let slot = self.exemplar_slot(x);
+        Self::join_exemplar(&mut self.exemplars[slot], &ex);
+    }
+
+    fn join_exemplar(slot: &mut Option<Exemplar>, cand: &Exemplar) {
+        match slot {
+            Some(cur) if !cand.beats(cur) => {}
+            _ => *slot = Some(*cand),
+        }
+    }
+
+    /// Whether any bucket carries an exemplar.
+    pub fn has_exemplars(&self) -> bool {
+        self.exemplars.iter().any(Option::is_some)
+    }
+
+    /// Present exemplars, in bucket order (underflow, bins, overflow).
+    pub fn exemplars(&self) -> impl Iterator<Item = &Exemplar> {
+        self.exemplars.iter().flatten()
     }
 
     /// Record a sample.
@@ -241,6 +330,16 @@ impl Histogram {
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.count += other.count;
+        if !other.exemplars.is_empty() {
+            if self.exemplars.is_empty() {
+                self.exemplars = vec![None; self.bins.len() + 2];
+            }
+            for (slot, theirs) in self.exemplars.iter_mut().zip(&other.exemplars) {
+                if let Some(ex) = theirs {
+                    Self::join_exemplar(slot, ex);
+                }
+            }
+        }
     }
 }
 
@@ -508,6 +607,82 @@ mod tests {
         assert!((mean - 5.0).abs() < 1e-9, "mean {mean}");
         assert_eq!(tw.max(), 10.0);
         assert_eq!(tw.current(), 10.0);
+    }
+
+    #[test]
+    fn exemplars_keep_the_worst_sample_per_bucket() {
+        let ex = |v: f64, trace: u64| Exemplar {
+            value: v,
+            trace_id: trace,
+            span_id: 1,
+            at: SimTime::from_secs(trace),
+        };
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        assert!(!h.has_exemplars());
+        h.record_exemplar(1.0, ex(1.0, 3));
+        h.record_exemplar(4.0, ex(4.0, 9)); // same bucket, larger value wins
+        h.record_exemplar(7.0, ex(7.0, 5));
+        h.record_exemplar(-1.0, ex(-1.0, 2)); // underflow slot
+        h.record_exemplar(99.0, ex(99.0, 8)); // overflow slot
+        assert!(h.has_exemplars());
+        let traces: Vec<u64> = h.exemplars().map(|e| e.trace_id).collect();
+        assert_eq!(traces, vec![2, 9, 5, 8]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn exemplar_ties_break_to_the_smallest_identity() {
+        let ex = |trace: u64| Exemplar {
+            value: 2.0,
+            trace_id: trace,
+            span_id: 0,
+            at: SimTime::ZERO,
+        };
+        let mut a = Histogram::new(0.0, 10.0, 1);
+        a.record_exemplar(2.0, ex(7));
+        let mut b = Histogram::new(0.0, 10.0, 1);
+        b.record_exemplar(2.0, ex(3));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.exemplars().next().unwrap().trace_id, 3);
+        assert_eq!(ba.exemplars().next().unwrap().trace_id, 3);
+    }
+
+    #[test]
+    fn exemplar_merge_is_associative() {
+        let make = |v: f64, trace: u64| {
+            let mut h = Histogram::new(0.0, 10.0, 4);
+            h.record_exemplar(
+                v,
+                Exemplar {
+                    value: v,
+                    trace_id: trace,
+                    span_id: trace,
+                    at: SimTime::from_secs(trace),
+                },
+            );
+            h
+        };
+        let (a, b, c) = (make(1.0, 1), make(1.5, 2), make(9.0, 3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        let l: Vec<&Exemplar> = left.exemplars().collect();
+        let r: Vec<&Exemplar> = right.exemplars().collect();
+        assert_eq!(l, r);
+        assert_eq!(l[0].trace_id, 2, "bucket 0 keeps the larger 1.5 sample");
+        assert_eq!(l[1].trace_id, 3);
+        // Merging an exemplar-free histogram in leaves exemplars alone.
+        let mut plain = Histogram::new(0.0, 10.0, 4);
+        plain.record(2.0);
+        left.merge(&plain);
+        assert_eq!(left.exemplars().count(), 2);
     }
 
     #[test]

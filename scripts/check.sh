@@ -100,6 +100,46 @@ assert 0.0 < d["cache_hit_rate"] <= 1.0, d["cache_hit_rate"]
 PY
 echo "fault-storm smoke passed: blast radius contained, storm deterministic"
 
+# Forensics smoke: the same seeded storm, fed to the campus as an
+# injected fault schedule, must auto-produce a forensic bundle with a
+# valid-JSON causal chain that names the injected fault on the victim
+# shard; the calm twin must produce no bundles; the timeline and the
+# bundles must be byte-identical serial vs parallel.
+forensics_json="$(mktemp)"
+trap 'rm -f "$trace" "$campus_json" "$slo_json" "$shards_json" "$forensics_json"' EXIT
+MITS_FORENSICS_SHARDS=3 MITS_FORENSICS_STUDENTS=6 \
+  MITS_FORENSICS_CLIP_BYTES=100000 MITS_FORENSICS_OUT="$forensics_json" \
+  cargo run -q --release -p mits-bench --bin tables -- --exp forensics >/dev/null
+python3 - "$forensics_json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("shards", "victim_shard", "students", "storm_bundles",
+            "calm_bundles", "forensics_match_1_vs_n_threads",
+            "chain_names_victim", "exemplar_trace_resolvable",
+            "timeline", "bundles"):
+    assert key in d, f"BENCH_forensics.json missing {key}"
+victim = d["victim_shard"]
+assert d["storm_bundles"] >= 1, "storm produced no forensic bundle"
+assert d["calm_bundles"] == 0, "calm twin produced a forensic bundle"
+assert d["forensics_match_1_vs_n_threads"] is True, \
+    "forensics not thread-count invariant"
+assert d["chain_names_victim"] is True, "causal chain missed the victim"
+assert d["exemplar_trace_resolvable"] is True, \
+    "bundle exemplar points at an unsampled trace"
+tl = d["timeline"]
+assert tl["v"] == 1 and tl["window_us"] > 0 and tl["windows"], tl
+for b in d["bundles"]:
+    chain = b["chain"]
+    assert chain, "bundle has an empty causal chain"
+    assert chain[0]["stage"] == "fault", chain[0]
+    assert f"shard {victim}" in chain[0]["label"], chain[0]
+    sus = b["suspect"]
+    assert sus and sus["shard"] == victim, sus
+    assert sus["label"] == f"fault_storm.shard{victim}", sus
+    assert b["window"]["start_us"] <= sus["onset_us"] < b["window"]["end_us"], b
+PY
+echo "forensics smoke passed: bundle names the injected fault, calm twin clean"
+
 # Bench regression gate: re-run the campus at the committed baseline's
 # own size and fail on a >25% drop in students/s throughput. Wall-clock
 # is noisy, so the tolerance is deliberately loose; a real regression

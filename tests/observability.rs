@@ -287,3 +287,53 @@ fn slo_verdicts_from_a_live_system_snapshot() {
         .to_json()
     );
 }
+
+/// The campus rollup carries the sharded-deployment observability
+/// surface: `EdgeCache` counters and per-shard scatter/gather legs, so
+/// a dashboard built on the merged snapshot sees the edge tier and
+/// every shard's query fan-out without scraping individual sessions.
+#[test]
+fn campus_rollup_exposes_edge_and_scatter_metrics() {
+    use mits::core::{fault_storm_slos, sharded_workloads, Campus, FaultStorm};
+
+    const SHARDS: usize = 3;
+    let mut storm = FaultStorm::new(SHARDS, 1, SimTime::from_millis(2), SimTime::from_secs(120));
+    storm.edge_cache_bytes = 1 << 20;
+    let report = Campus::new(6, 42)
+        .threads(2)
+        .workloads(sharded_workloads(SHARDS, 2, 100_000))
+        .slos(fault_storm_slos(1.0 / SHARDS as f64))
+        .configure_sessions(move |_, base| storm.apply_calm(base))
+        .run()
+        .unwrap();
+
+    let m = &report.metrics;
+    // EdgeCache counters, exported under the `edge.` prefix.
+    for name in [
+        "edge.hits",
+        "edge.misses",
+        "edge.invalidations",
+        "edge.inserts",
+        "edge.origin_requests",
+        "edge.lookups",
+    ] {
+        assert!(m.counter(name).is_some(), "missing {name}");
+    }
+    // The edge tier actually saw traffic in a calm sharded campus.
+    assert!(m.counter("edge.lookups").unwrap() > 0);
+    // Scatter/gather fan-out, totalled and broken out per shard.
+    assert!(m.counter("system.scatter_queries").is_some());
+    for d in 0..SHARDS {
+        let legs = format!("system.shard{d}.scatter_legs");
+        let errs = format!("system.shard{d}.scatter_leg_errors");
+        assert!(m.counter(&legs).is_some(), "missing {legs}");
+        assert!(m.counter(&errs).is_some(), "missing {errs}");
+    }
+    // Calm twin: no leg ever errors.
+    for d in 0..SHARDS {
+        assert_eq!(
+            m.counter(&format!("system.shard{d}.scatter_leg_errors")),
+            Some(0)
+        );
+    }
+}
