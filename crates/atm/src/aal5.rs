@@ -7,12 +7,20 @@
 //! which is exactly the behaviour that makes cell loss so expensive for
 //! courseware delivery and shows up in experiment E-BB.
 //!
-//! Segmentation copies the PDU **once** into a padded buffer and hands every
-//! cell a 48-byte [`Payload`] window into it. Reassembly detects when the
-//! arriving cells are still consecutive windows of one buffer (the common
-//! clean-delivery case) and returns a zero-copy view of it; only cells that
-//! were individually mutated in flight (fault injection) or stitched from
-//! multiple sources fall back to a copying path.
+//! Segmentation writes the PDU **once** into a padded shared buffer (the
+//! *run image*) and hands every cell a 48-byte [`Payload`] window into it.
+//! Reassembly detects when the arriving cells are still consecutive
+//! windows of one buffer (the common clean-delivery case) and returns a
+//! zero-copy view of it; the cell-train fast path skips the per-cell form
+//! entirely and validates the run image directly ([`reassemble_run`]).
+//! Only cells that were individually mutated in flight (fault injection)
+//! or stitched from multiple sources fall back to a copying path.
+//!
+//! The CRC-32 kernel runs over every PDU twice (segment + reassemble), so
+//! it gets three implementations: a slice-by-16 table walk as the portable
+//! baseline, a carryless-multiply fold on x86_64 (PCLMULQDQ), and the
+//! dedicated CRC instructions on aarch64 — both detected at runtime and
+//! self-checked against the table path before being trusted.
 
 use crate::cell::{AtmCell, CELL_PAYLOAD};
 use bytes::Bytes;
@@ -48,12 +56,27 @@ impl std::fmt::Display for Aal5Error {
 
 impl std::error::Error for Aal5Error {}
 
-/// CRC-32 (IEEE 802.3 polynomial, bit-reflected) as used by AAL5.
-///
-/// Table-driven, slice-by-8: the CRC runs over every PDU twice (once at
-/// segmentation, once at reassembly), so at media rates the bit-serial
-/// formulation was the single hottest loop in the simulator.
+// ---- CRC-32 (IEEE 802.3 polynomial, bit-reflected) ----
+
+/// CRC-32 as used by AAL5, dispatching to the fastest implementation the
+/// host supports: PCLMULQDQ folding on x86_64, the CRC instructions on
+/// aarch64, slice-by-16 tables everywhere else. Hardware paths are
+/// runtime-detected and verified against the table path once at first
+/// use; a failed self-check (wrong microcode, exotic core) permanently
+/// falls back to the tables, so the answer is always the IEEE CRC.
 pub fn crc32(data: &[u8]) -> u32 {
+    match crc_impl() {
+        #[cfg(target_arch = "x86_64")]
+        CrcImpl::Pclmul => crc32_pclmul(data),
+        #[cfg(target_arch = "aarch64")]
+        CrcImpl::HwCrc => crc32_hwcrc(data),
+        CrcImpl::Slice16 => crc32_slice16(data),
+    }
+}
+
+/// Slice-by-8 table implementation (the previous production kernel), kept
+/// callable as an independent cross-check and benchmark reference.
+pub fn crc32_slice8(data: &[u8]) -> u32 {
     let t = &CRC_TABLES;
     let mut crc = 0xFFFF_FFFFu32;
     let mut chunks = data.chunks_exact(8);
@@ -75,13 +98,53 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Lookup tables for [`crc32`]: `CRC_TABLES[0]` is the classic byte-at-a-
-/// time table; table `k` advances a byte `k` positions further into the
-/// message, letting the main loop fold 8 bytes per iteration.
-static CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+/// Slice-by-16 table implementation: folds 16 message bytes per
+/// iteration. The portable fallback for [`crc32`].
+pub fn crc32_slice16(data: &[u8]) -> u32 {
+    !crc32_slice16_update(0xFFFF_FFFF, data)
+}
 
-const fn build_crc_tables() -> [[u32; 256]; 8] {
-    let mut t = [[0u32; 256]; 8];
+/// Slice-by-16 continuation on a raw (pre-inverted) CRC state — lets the
+/// SIMD path hand its sub-16-byte tail over without re-finalizing.
+fn crc32_slice16_update(mut crc: u32, data: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut chunks = data.chunks_exact(16);
+    for c in &mut chunks {
+        let a = u32::from_le_bytes(c[..4].try_into().expect("4 bytes")) ^ crc;
+        let b = u32::from_le_bytes(c[4..8].try_into().expect("4 bytes"));
+        let d = u32::from_le_bytes(c[8..12].try_into().expect("4 bytes"));
+        let e = u32::from_le_bytes(c[12..16].try_into().expect("4 bytes"));
+        crc = t[15][(a & 0xFF) as usize]
+            ^ t[14][((a >> 8) & 0xFF) as usize]
+            ^ t[13][((a >> 16) & 0xFF) as usize]
+            ^ t[12][(a >> 24) as usize]
+            ^ t[11][(b & 0xFF) as usize]
+            ^ t[10][((b >> 8) & 0xFF) as usize]
+            ^ t[9][((b >> 16) & 0xFF) as usize]
+            ^ t[8][(b >> 24) as usize]
+            ^ t[7][(d & 0xFF) as usize]
+            ^ t[6][((d >> 8) & 0xFF) as usize]
+            ^ t[5][((d >> 16) & 0xFF) as usize]
+            ^ t[4][(d >> 24) as usize]
+            ^ t[3][(e & 0xFF) as usize]
+            ^ t[2][((e >> 8) & 0xFF) as usize]
+            ^ t[1][((e >> 16) & 0xFF) as usize]
+            ^ t[0][(e >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// Lookup tables: `CRC_TABLES[0]` is the classic byte-at-a-time table;
+/// table `k` advances a byte `k` positions further into the message,
+/// letting the slice-by-16 loop fold 16 bytes per iteration (slice-by-8
+/// uses the first 8 tables).
+static CRC_TABLES: [[u32; 256]; 16] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 16] {
+    let mut t = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -95,7 +158,7 @@ const fn build_crc_tables() -> [[u32; 256]; 8] {
         i += 1;
     }
     let mut k = 1;
-    while k < 8 {
+    while k < 16 {
         let mut i = 0;
         while i < 256 {
             let prev = t[k - 1][i];
@@ -107,34 +170,318 @@ const fn build_crc_tables() -> [[u32; 256]; 8] {
     t
 }
 
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CrcImpl {
+    Slice16,
+    #[cfg(target_arch = "x86_64")]
+    Pclmul,
+    #[cfg(target_arch = "aarch64")]
+    HwCrc,
+}
+
+fn crc_impl() -> CrcImpl {
+    static IMPL: std::sync::OnceLock<CrcImpl> = std::sync::OnceLock::new();
+    *IMPL.get_or_init(detect_crc_impl)
+}
+
+/// Runtime detection with a self-check: the hardware path must agree with
+/// slice-by-16 on a spread of lengths (covering the fold loop, the 4→1
+/// reduction, 16-byte folds and odd tails) before it is trusted.
+fn detect_crc_impl() -> CrcImpl {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("pclmulqdq")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+            && hw_agrees_with_tables(crc32_pclmul)
+        {
+            return CrcImpl::Pclmul;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("crc") && hw_agrees_with_tables(crc32_hwcrc) {
+            return CrcImpl::HwCrc;
+        }
+    }
+    CrcImpl::Slice16
+}
+
+#[allow(dead_code)] // unused on targets without a hardware CRC path
+fn hw_agrees_with_tables(hw: fn(&[u8]) -> u32) -> bool {
+    let mut buf = [0u8; 259];
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for b in &mut buf {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = x as u8;
+    }
+    [0usize, 1, 9, 15, 16, 63, 64, 65, 80, 127, 128, 193, 259]
+        .iter()
+        .all(|&n| hw(&buf[..n]) == crc32_slice16(&buf[..n]))
+}
+
+/// True when [`crc32`] dispatches to a hardware (SIMD / CRC-instruction)
+/// implementation on this host.
+pub fn crc32_is_hw_accelerated() -> bool {
+    crc_impl() != CrcImpl::Slice16
+}
+
+/// PCLMULQDQ-folded CRC-32 (x86_64). Safe wrapper: feature presence is
+/// guaranteed by the dispatcher, and short or ragged inputs run through
+/// the table path. Public so benches and tests can pin this path.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // std::arch intrinsics; guarded by runtime detection
+pub fn crc32_pclmul(data: &[u8]) -> u32 {
+    if data.len() < 64 || !std::arch::is_x86_feature_detected!("pclmulqdq") {
+        return crc32_slice16(data);
+    }
+    let split = data.len() & !15;
+    // SAFETY: pclmulqdq + sse4.1 presence checked above / by the caller's
+    // dispatcher; `split` is ≥ 64 and a multiple of 16.
+    let crc = unsafe { crc32_fold_pclmul(0xFFFF_FFFF, &data[..split]) };
+    !crc32_slice16_update(crc, &data[split..])
+}
+
+/// The 128-bit carryless-multiply fold (reflected CRC-32, IEEE poly).
+/// Constants are the standard reflected folding set: k1/k2 fold 64 bytes,
+/// k3/k4 fold 16, k5 reduces 128→64 bits, and (P', μ) drive the final
+/// Barrett reduction.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // std::arch intrinsics; guarded by runtime detection
+#[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+unsafe fn crc32_fold_pclmul(crc: u32, data: &[u8]) -> u32 {
+    use core::arch::x86_64::*;
+    debug_assert!(data.len() >= 64 && data.len().is_multiple_of(16));
+    let k1k2 = _mm_set_epi64x(0x0001_c6e4_1596, 0x0001_5444_2bd4);
+    let k3k4 = _mm_set_epi64x(0x0000_ccaa_009e, 0x0001_7519_97d0);
+    let k5 = _mm_set_epi64x(0, 0x0001_63cd_6124);
+    let poly_mu = _mm_set_epi64x(0x0001_f701_1641, 0x0001_db71_0641);
+    let mask32 = _mm_set_epi32(0, -1, 0, -1);
+
+    let mut buf = data.as_ptr();
+    let mut len = data.len();
+    let mut x1 = _mm_loadu_si128(buf.cast());
+    let mut x2 = _mm_loadu_si128(buf.add(16).cast());
+    let mut x3 = _mm_loadu_si128(buf.add(32).cast());
+    let mut x4 = _mm_loadu_si128(buf.add(48).cast());
+    x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(crc as i32));
+    buf = buf.add(64);
+    len -= 64;
+
+    while len >= 64 {
+        let y1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+        let y2 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+        let y3 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+        let y4 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+        x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+        x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+        x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+        x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+        x1 = _mm_xor_si128(_mm_xor_si128(x1, y1), _mm_loadu_si128(buf.cast()));
+        x2 = _mm_xor_si128(_mm_xor_si128(x2, y2), _mm_loadu_si128(buf.add(16).cast()));
+        x3 = _mm_xor_si128(_mm_xor_si128(x3, y3), _mm_loadu_si128(buf.add(32).cast()));
+        x4 = _mm_xor_si128(_mm_xor_si128(x4, y4), _mm_loadu_si128(buf.add(48).cast()));
+        buf = buf.add(64);
+        len -= 64;
+    }
+
+    // Fold the four 128-bit lanes into one.
+    let mut y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), y);
+    y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), y);
+    y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), y);
+
+    while len >= 16 {
+        y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+        x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+        x1 = _mm_xor_si128(_mm_xor_si128(x1, _mm_loadu_si128(buf.cast())), y);
+        buf = buf.add(16);
+        len -= 16;
+    }
+
+    // 128 → 64 bits.
+    y = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+    x1 = _mm_srli_si128(x1, 8);
+    x1 = _mm_xor_si128(x1, y);
+    let upper = _mm_srli_si128(x1, 4);
+    x1 = _mm_and_si128(x1, mask32);
+    x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+    x1 = _mm_xor_si128(x1, upper);
+
+    // Barrett reduction 64 → 32 bits.
+    let mut t = _mm_and_si128(x1, mask32);
+    t = _mm_clmulepi64_si128(t, poly_mu, 0x10);
+    t = _mm_and_si128(t, mask32);
+    t = _mm_clmulepi64_si128(t, poly_mu, 0x00);
+    x1 = _mm_xor_si128(x1, t);
+    _mm_extract_epi32(x1, 1) as u32
+}
+
+/// CRC-instruction implementation (aarch64). Safe wrapper; feature
+/// presence is guaranteed by the dispatcher's detection + self-check.
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)] // std::arch intrinsics; guarded by runtime detection
+pub fn crc32_hwcrc(data: &[u8]) -> u32 {
+    if !std::arch::is_aarch64_feature_detected!("crc") {
+        return crc32_slice16(data);
+    }
+    // SAFETY: the `crc` feature was just detected.
+    unsafe { crc32_hwcrc_inner(data) }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)] // std::arch intrinsics; guarded by runtime detection
+#[target_feature(enable = "crc")]
+unsafe fn crc32_hwcrc_inner(data: &[u8]) -> u32 {
+    use core::arch::aarch64::{__crc32b, __crc32d};
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        crc = __crc32d(crc, u64::from_le_bytes(c.try_into().expect("8 bytes")));
+    }
+    for &b in chunks.remainder() {
+        crc = __crc32b(crc, b);
+    }
+    !crc
+}
+
+// ---- segmentation ----
+
 const TRAILER: usize = 8;
 
-/// Segment a PDU into cells for the given VC identifiers.
-///
-/// The PDU is copied once into a padded trailer-carrying buffer; the cells
-/// are zero-copy 48-byte views into it.
-pub fn segment(vpi: u8, vci: u16, pdu_seq: u64, payload: &[u8]) -> Vec<AtmCell> {
-    // PDU + trailer padded up to a whole number of cells.
+/// A segmented PDU held as one padded, trailer-carrying buffer — the
+/// *run image* the cell-train fast path ships across the network without
+/// ever materializing per-cell structs. `payload` spans the whole padded
+/// body (`ncells * 48` bytes); cell `i`'s wire payload is bytes
+/// `[i*48, (i+1)*48)`.
+#[derive(Debug, Clone)]
+pub struct RunImage {
+    /// The padded body, trailer included, as a shared view.
+    pub payload: Payload,
+    /// Number of 48-byte cells in the run.
+    pub ncells: usize,
+}
+
+/// Build the padded run image for a PDU: one allocation, written in
+/// place (payload bytes, zero padding, length field, CRC) — no
+/// `vec![0; total]` pre-zeroing and no second copy into the shared
+/// buffer.
+#[allow(unsafe_code)] // single-pass init of an uninit Arc slice, fully written before use
+pub fn segment_run(payload: &[u8]) -> RunImage {
     let body_len = payload.len() + TRAILER;
     let ncells = body_len.div_ceil(CELL_PAYLOAD).max(1);
     let total = ncells * CELL_PAYLOAD;
-    let mut buf = vec![0u8; total];
-    buf[..payload.len()].copy_from_slice(payload);
-    // Trailer sits at the very end of the padded buffer.
-    let len_field = payload.len() as u32;
-    buf[total - 6..total - 4].copy_from_slice(&(len_field as u16).to_be_bytes());
-    // (16-bit length like real AAL5; PDUs > 65535 carry length mod 2^16 and
-    // rely on the cell count check, as real AAL5 caps PDUs at 65535.)
-    let crc = crc32(&buf[..total - 4]);
-    buf[total - 4..].copy_from_slice(&crc.to_be_bytes());
+    let mut arc: Arc<[std::mem::MaybeUninit<u8>]> = Arc::new_uninit_slice(total);
+    let buf = Arc::get_mut(&mut arc).expect("freshly allocated");
+    let dst = buf.as_mut_ptr().cast::<u8>();
+    // SAFETY: `dst` points at `total` writable bytes; the three writes
+    // below initialize [0, total-4) exactly once (payload, then zeroed
+    // padding + reserved trailer bytes, then the length field), and the
+    // CRC write initializes the final 4.
+    let crc = unsafe {
+        std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
+        std::ptr::write_bytes(dst.add(payload.len()), 0, total - 6 - payload.len());
+        let len_be = (payload.len() as u16).to_be_bytes();
+        // (16-bit length like real AAL5; PDUs > 65535 carry length mod 2^16
+        // and rely on the cell count check, as real AAL5 caps PDUs at 65535.)
+        std::ptr::copy_nonoverlapping(len_be.as_ptr(), dst.add(total - 6), 2);
+        crc32(std::slice::from_raw_parts(dst, total - 4))
+    };
+    let crc_be = crc.to_be_bytes();
+    // SAFETY: last 4 bytes of the same allocation.
+    unsafe {
+        std::ptr::copy_nonoverlapping(crc_be.as_ptr(), dst.add(total - 4), 4);
+    }
+    // SAFETY: every byte of the slice was initialized above.
+    let arc: Arc<[u8]> = unsafe { arc.assume_init() };
+    RunImage {
+        payload: Payload::from_arc(arc),
+        ncells,
+    }
+}
 
-    let shared = Payload::from(buf);
-    (0..ncells)
-        .map(|i| {
-            AtmCell::new(vpi, vci, pdu_seq, i as u32, i == ncells - 1)
-                .with_payload_view(shared.slice(i * CELL_PAYLOAD..(i + 1) * CELL_PAYLOAD))
-        })
-        .collect()
+/// Pool bounds for [`segment_run_pooled`]: small control PDUs (acks)
+/// churn too fast to be worth pooling, and the pool itself must stay a
+/// bounded scratch, not a cache.
+const POOL_MAX: usize = 16;
+const POOL_MIN_BYTES: usize = 1024;
+
+/// [`segment_run`] with buffer recycling through `pool` (typically the
+/// network's `NetScratch`). When the pool holds a retired buffer of
+/// exactly the right size whose only remaining owner is the pool itself,
+/// the run is rewritten into it in place — zero allocations on the steady
+///-state send path. Every byte is overwritten (payload, padding, length
+/// field, CRC), so a recycled run is bit-identical to a fresh one. The
+/// buffer stays registered in the pool and becomes reusable again once
+/// the network and its deliveries drop their views.
+pub fn segment_run_pooled(payload: &[u8], pool: &mut Vec<Arc<[u8]>>) -> RunImage {
+    let body_len = payload.len() + TRAILER;
+    let ncells = body_len.div_ceil(CELL_PAYLOAD).max(1);
+    let total = ncells * CELL_PAYLOAD;
+    if total < POOL_MIN_BYTES {
+        return segment_run(payload);
+    }
+    let reusable = pool
+        .iter()
+        .position(|a| a.len() == total && Arc::strong_count(a) == 1);
+    let Some(i) = reusable else {
+        let run = segment_run(payload);
+        if pool.len() >= POOL_MAX {
+            pool.swap_remove(0);
+        }
+        pool.push(Arc::clone(run.payload.backing()));
+        return run;
+    };
+    let mut arc = pool.swap_remove(i);
+    {
+        let buf = Arc::get_mut(&mut arc).expect("uniquely owned");
+        buf[..payload.len()].copy_from_slice(payload);
+        buf[payload.len()..total - 6].fill(0);
+        buf[total - 6..total - 4].copy_from_slice(&(payload.len() as u16).to_be_bytes());
+        let crc = crc32(&buf[..total - 4]);
+        buf[total - 4..].copy_from_slice(&crc.to_be_bytes());
+    }
+    let view = Payload::from_arc(Arc::clone(&arc));
+    pool.push(arc);
+    RunImage {
+        payload: view,
+        ncells,
+    }
+}
+
+/// Materialize the per-cell form of a run image into `out` (cleared
+/// first): zero-copy 48-byte views into the run buffer.
+pub fn cells_from_run(vpi: u8, vci: u16, pdu_seq: u64, run: &RunImage, out: &mut Vec<AtmCell>) {
+    out.clear();
+    out.reserve(run.ncells);
+    for i in 0..run.ncells {
+        out.push(
+            AtmCell::new(vpi, vci, pdu_seq, i as u32, i == run.ncells - 1)
+                .with_payload_view(run.payload.slice(i * CELL_PAYLOAD..(i + 1) * CELL_PAYLOAD)),
+        );
+    }
+}
+
+/// Segment a PDU into cells, reusing `out`'s allocation (cleared first).
+/// The PDU is written once into a padded trailer-carrying buffer; the
+/// cells are zero-copy 48-byte views into it.
+pub fn segment_into(vpi: u8, vci: u16, pdu_seq: u64, payload: &[u8], out: &mut Vec<AtmCell>) {
+    let run = segment_run(payload);
+    cells_from_run(vpi, vci, pdu_seq, &run, out);
+}
+
+/// Segment a PDU into freshly allocated cells for the given VC
+/// identifiers (see [`segment_into`] for the allocation-reusing form).
+pub fn segment(vpi: u8, vci: u16, pdu_seq: u64, payload: &[u8]) -> Vec<AtmCell> {
+    let mut out = Vec::new();
+    segment_into(vpi, vci, pdu_seq, payload, &mut out);
+    out
 }
 
 /// Validate trailer length against the cell count, returning the true PDU
@@ -147,16 +494,16 @@ fn validated_length(buf: &[u8]) -> Result<usize, Aal5Error> {
     }
     let len_field =
         u16::from_be_bytes(buf[total - 6..total - 4].try_into().expect("2 bytes")) as usize;
-    // Recover true length: the cell count pins the payload to within one
-    // 65536 window of the 16-bit length field.
+    // Recover the true length: it is congruent to the 16-bit field mod
+    // 65536, and the cell count pins it to the single candidate whose
+    // padding fits inside the final cell. Lifting to the highest window
+    // that still fits keeps exact-65536-multiple PDUs (len_field == 0)
+    // on the maximal candidate instead of the empty one.
     let max_payload = total - TRAILER;
-    let mut length = len_field;
-    while length + 65536 <= max_payload {
-        length += 65536;
-    }
-    if length > max_payload || max_payload - length >= CELL_PAYLOAD + 65536 {
+    if len_field > max_payload {
         return Err(Aal5Error::BadLength);
     }
+    let length = len_field + (max_payload - len_field) / 65536 * 65536;
     // Padding must fit within the final cell (+ trailer).
     if total - (length + TRAILER) >= CELL_PAYLOAD {
         return Err(Aal5Error::BadLength);
@@ -204,6 +551,21 @@ pub fn reassemble(cells: &[AtmCell]) -> Result<Bytes, Aal5Error> {
     Ok(Bytes::from(buf))
 }
 
+/// Reassemble straight from a run descriptor: the contiguity fast path of
+/// [`reassemble`] without the per-cell walk. `run` must span the whole
+/// padded body (as built by [`segment_run`]); the CRC and length field
+/// are still validated honestly, so a corrupted buffer is caught exactly
+/// as it would be cell-by-cell.
+pub fn reassemble_run(run: &Payload) -> Result<Bytes, Aal5Error> {
+    let (start, end) = run.range();
+    if (end - start) % CELL_PAYLOAD != 0 || end == start {
+        return Err(Aal5Error::BadLength);
+    }
+    let arc = Arc::clone(run.backing());
+    let length = validated_length(&arc[start..end])?;
+    Ok(Bytes::from_shared_range(arc, start, start + length))
+}
+
 /// Number of cells a PDU of `len` bytes occupies.
 pub fn cells_for(len: usize) -> usize {
     (len + TRAILER).div_ceil(CELL_PAYLOAD).max(1)
@@ -231,6 +593,24 @@ mod tests {
         assert_eq!(cells_for(41), 2);
         assert_eq!(cells_for(0), 1);
         assert_eq!(cells_for(88), 2);
+    }
+
+    #[test]
+    fn length_window_boundaries_round_trip() {
+        // The 16-bit length field wraps at 65536: 65530 (just below),
+        // 65536 and 131072 (exact multiples, field reads zero), 65544
+        // (just past) — all recovered via the cell count, per cell AND
+        // via the run descriptor.
+        for size in [65_530usize, 65_536, 65_544, 131_072] {
+            let payload: Vec<u8> = (0..size).map(|i| (i % 249) as u8).collect();
+            let cells = segment(0, 5, 1, &payload);
+            assert_eq!(cells.len(), cells_for(size), "size {size}");
+            let back = reassemble(&cells).unwrap_or_else(|e| panic!("size {size}: {e}"));
+            assert_eq!(&back[..], &payload[..], "size {size}");
+            let run = segment_run(&payload);
+            let back = reassemble_run(&run.payload).unwrap();
+            assert_eq!(&back[..], &payload[..], "run size {size}");
+        }
     }
 
     #[test]
@@ -283,6 +663,60 @@ mod tests {
     fn crc32_known_vector() {
         // CRC-32("123456789") = 0xCBF43926 (standard check value).
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_slice8(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_slice16(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_implementations_agree() {
+        let mut buf = vec![0u8; 4096];
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for b in &mut buf {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        for n in [0usize, 1, 7, 8, 15, 16, 47, 48, 63, 64, 65, 100, 1023, 4096] {
+            let expect = crc32_slice8(&buf[..n]);
+            assert_eq!(crc32_slice16(&buf[..n]), expect, "slice16 len {n}");
+            assert_eq!(crc32(&buf[..n]), expect, "dispatch len {n}");
+            #[cfg(target_arch = "x86_64")]
+            assert_eq!(crc32_pclmul(&buf[..n]), expect, "pclmul len {n}");
+            #[cfg(target_arch = "aarch64")]
+            assert_eq!(crc32_hwcrc(&buf[..n]), expect, "hwcrc len {n}");
+        }
+    }
+
+    #[test]
+    fn segment_into_reuses_and_matches() {
+        let mut out = Vec::new();
+        for size in [0usize, 40, 41, 1000] {
+            let payload: Vec<u8> = (0..size).map(|i| (i % 253) as u8).collect();
+            segment_into(0, 5, 2, &payload, &mut out);
+            let fresh = segment(0, 5, 2, &payload);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(&a.payload[..], &b.payload[..]);
+                assert_eq!(a.pdu_end, b.pdu_end);
+                assert_eq!(a.cell_index, b.cell_index);
+            }
+        }
+    }
+
+    #[test]
+    fn run_image_matches_cells_and_reassembles() {
+        let payload: Vec<u8> = (0..5_000).map(|i| (i % 251) as u8).collect();
+        let run = segment_run(&payload);
+        assert_eq!(run.ncells, cells_for(payload.len()));
+        let mut cells = Vec::new();
+        cells_from_run(0, 5, 3, &run, &mut cells);
+        let via_cells = reassemble(&cells).unwrap();
+        let via_run = reassemble_run(&run.payload).unwrap();
+        assert_eq!(&via_cells[..], &payload[..]);
+        assert_eq!(&via_run[..], &payload[..]);
+        // Both are zero-copy views of the same run buffer.
+        assert!(Arc::ptr_eq(via_run.shared(), run.payload.backing()));
     }
 
     #[test]
@@ -307,5 +741,15 @@ mod tests {
         cells[2].payload.make_mut()[0] = 5; // same value: CRC stays valid
         let back = reassemble(&cells).unwrap();
         assert_eq!(&back[..], &payload[..]);
+    }
+
+    #[test]
+    fn corrupted_run_rejected() {
+        let payload = vec![3u8; 500];
+        let run = segment_run(&payload);
+        let mut raw: Vec<u8> = run.payload.to_vec();
+        raw[17] ^= 0x40;
+        let corrupted = Payload::from(raw);
+        assert_eq!(reassemble_run(&corrupted), Err(Aal5Error::BadCrc));
     }
 }

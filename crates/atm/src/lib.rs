@@ -41,6 +41,6 @@ pub use fault::{
     BurstLoss, CrashEvent, CrashSchedule, FaultKind, FaultPlan, FaultStats, LinkFaults,
 };
 pub use link::{LinkProfile, ServiceClass};
-pub use network::{AtmNetwork, Delivery, NetError, NetScratch, NodeId, VcId, VcStats};
+pub use network::{AtmNetwork, Delivery, NetError, NetScratch, NodeId, TrainStats, VcId, VcStats};
 pub use traffic::{CbrSource, OnOffSource, VbrVideoSource};
 pub use transport::{ReliableChannel, TransportEvent};

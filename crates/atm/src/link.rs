@@ -106,6 +106,15 @@ impl LinkProfile {
     pub fn raw_transfer_time(&self, bytes: u64) -> SimDuration {
         SimDuration::for_bits(bytes * 8, self.rate_bps)
     }
+
+    /// Time to serialize `cells` back-to-back cells — the wire length of a
+    /// cell train. Deliberately `cells × cell_time()` (whole microseconds
+    /// per cell) rather than `for_bits` over the total bit count, so a
+    /// train lands on exactly the cumulative per-cell schedule it
+    /// replaces.
+    pub fn train_time(&self, cells: u64) -> SimDuration {
+        SimDuration::from_micros(self.cell_time().as_micros() * cells)
+    }
 }
 
 /// A traffic contract for policing: peak cell rate and a burst tolerance.

@@ -9,16 +9,16 @@
 //! VC — the raw material of experiments E-BB and F3.5.
 
 use crate::aal5;
-use crate::cell::{AtmCell, CELL_BITS};
+use crate::cell::{AtmCell, CELL_BITS, CELL_PAYLOAD};
 use crate::fault::{FaultPlan, FaultState, FaultStats, LinkFaults};
 use crate::link::{LinkProfile, Policer, ServiceClass, TrafficContract};
 use bytes::Bytes;
 use mits_sim::{
-    BoundedQueue, DropPolicy, MetricsRegistry, OnlineStats, SimDuration, SimRng, SimTime,
-    TimeWeighted,
+    MetricsRegistry, OnlineStats, RatioCounter, SimDuration, SimRng, SimTime, TimeWeighted,
 };
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// A node (host or switch) in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -129,12 +129,19 @@ impl VcStats {
 struct LinkState {
     to: NodeId,
     profile: LinkProfile,
-    queues: Vec<BoundedQueue<Flying>>,
+    queues: Vec<TxQueue>,
     busy: bool,
     utilization: TimeWeighted,
     /// Injected faults from the network's [`FaultPlan`], if any.
     faults: Option<LinkFaults>,
     fault_state: FaultState,
+    /// Highest service-class priority (lowest [`ServiceClass::priority`]
+    /// value) of any VC routed over this link. A cell train may only
+    /// occupy the transmitter when no strictly-higher-priority VC could
+    /// enqueue a cell mid-run — the per-cell scheduler re-arbitrates
+    /// priorities at every cell boundary, and the train must never be
+    /// able to diverge from that.
+    top_priority: usize,
 }
 
 #[derive(Clone)]
@@ -142,6 +149,160 @@ struct Flying {
     cell: AtmCell,
     born: SimTime,
     send_call: SimTime,
+}
+
+/// Minimum run length worth batching: below this the train's own events
+/// cost as much as the per-cell ones (acks and control PDUs stay on the
+/// exact per-cell path for free).
+const TRAIN_MIN_CELLS: usize = 4;
+
+/// A whole-PDU cell run on the fast path: one queue entry / timer event
+/// per hop instead of one `Flying` and two timer events per cell. The
+/// run's cells are never materialized unless the train has to fall back
+/// to per-cell dispatch (contention, fault window, realized line loss).
+struct Train {
+    vci: u16,
+    pdu_seq: u64,
+    run: aal5::RunImage,
+    born: SimTime,
+    send_call: SimTime,
+    /// Arrival spacing of consecutive cells at the current hop:
+    /// [`SimDuration::ZERO`] at the source (every cell is queued), the
+    /// upstream cell time downstream.
+    spacing: SimDuration,
+    /// Arrival instant of the run's first cell at the current hop.
+    head_at: SimTime,
+}
+
+impl Train {
+    /// Materialize cell `k` exactly as [`aal5::cells_from_run`] would —
+    /// the fallback paths must produce bit-identical cells to the ones
+    /// the per-cell engine would have carried.
+    fn cell(&self, k: usize) -> AtmCell {
+        AtmCell::new(
+            0,
+            self.vci,
+            self.pdu_seq,
+            k as u32,
+            k == self.run.ncells - 1,
+        )
+        .with_payload_view(
+            self.run
+                .payload
+                .slice(k * CELL_PAYLOAD..(k + 1) * CELL_PAYLOAD),
+        )
+    }
+}
+
+/// One queued transmission: a single cell or a whole-PDU train.
+enum QueuedTx {
+    Cell(Flying),
+    Train(Train),
+}
+
+/// A per-class output queue that counts occupancy in *cells* (a train
+/// weighs its full run) so congestion thresholds, tail-drop capacity and
+/// the drop ledger behave exactly like the per-cell `BoundedQueue` did.
+struct TxQueue {
+    items: VecDeque<QueuedTx>,
+    len_cells: usize,
+    capacity: usize,
+    drops: RatioCounter,
+    high_water: usize,
+}
+
+impl TxQueue {
+    fn new(capacity: usize) -> Self {
+        TxQueue {
+            items: VecDeque::new(),
+            len_cells: 0,
+            capacity,
+            drops: RatioCounter::default(),
+            high_water: 0,
+        }
+    }
+
+    /// Offer one cell; bounces it back (tail drop) when full.
+    fn offer_cell(&mut self, f: Flying) -> Option<Flying> {
+        if self.len_cells >= self.capacity {
+            self.drops.record(true);
+            return Some(f);
+        }
+        self.drops.record(false);
+        self.items.push_back(QueuedTx::Cell(f));
+        self.len_cells += 1;
+        self.high_water = self.high_water.max(self.len_cells);
+        None
+    }
+
+    /// Offer a whole train; the caller has already checked the run fits.
+    fn offer_train(&mut self, t: Train) {
+        let n = t.run.ncells;
+        debug_assert!(self.len_cells + n <= self.capacity, "train overflows queue");
+        // n accepted arrivals on the ledger, exactly as n cell offers.
+        self.drops.total += n as u64;
+        self.len_cells += n;
+        self.high_water = self.high_water.max(self.len_cells);
+        self.items.push_back(QueuedTx::Train(t));
+    }
+
+    /// Ledger a run that passed straight through to the transmitter
+    /// without queueing (the per-cell path would have recorded n
+    /// accepted arrivals and briefly held one cell).
+    fn note_passthrough(&mut self, n: usize) {
+        self.drops.total += n as u64;
+        self.high_water = self.high_water.max(1);
+    }
+
+    fn take(&mut self) -> Option<QueuedTx> {
+        let e = self.items.pop_front()?;
+        self.len_cells -= match &e {
+            QueuedTx::Cell(_) => 1,
+            QueuedTx::Train(t) => t.run.ncells,
+        };
+        Some(e)
+    }
+
+    /// Return a cell to the front (train expansion); occupancy was
+    /// already accounted when its train was taken.
+    fn push_front_cell(&mut self, f: Flying) {
+        self.items.push_front(QueuedTx::Cell(f));
+        self.len_cells += 1;
+    }
+
+    fn peek(&self) -> Option<&QueuedTx> {
+        self.items.front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// What the cell-train fast path did — exposed for tests, benches and
+/// the `net.train.*` registry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Runs served analytically (counted per hop).
+    pub runs: u64,
+    /// Cells those runs carried without per-cell events.
+    pub cells_batched: u64,
+    /// PDUs that never formed a train (short run, policer tag, fault
+    /// plan with RNG-coupled faults, or `force_per_cell`).
+    pub per_cell_pdus: u64,
+    /// Trains expanded to per-cell arrivals at a contended or
+    /// rate-mismatched hop.
+    pub expanded_contention: u64,
+    /// Trains that reached a busy but otherwise clear hop and were
+    /// parked whole in the egress queue instead of expanding (served
+    /// analytically when the transmitter frees).
+    pub parked: u64,
+    /// Trains expanded because a link-down window overlapped the run's
+    /// serialization window.
+    pub expanded_fault_window: u64,
+    /// Runs whose line-noise draw actually hit, shipping survivors
+    /// per-cell.
+    pub line_loss_fallbacks: u64,
 }
 
 struct NodeState {
@@ -201,6 +362,32 @@ enum TimerKind {
     TxDone(u32, u32),
     /// Cell arrives at the far end of `link`.
     Arrive(u32, u32),
+    /// Transmitter on `link` finished serializing a whole train; if the
+    /// second field is a stashed train id (not `u32::MAX`), the run is
+    /// host-bound and its delivery is scheduled from here — the same
+    /// wall instant the per-cell path schedules the last cell's arrival
+    /// from its `tx_done`, so heap sequence numbers (the tie-break for
+    /// simultaneous events) allocate in baseline order.
+    TrainTxDone(u32, u32),
+    /// Fires one cell-time before a train's `TrainTxDone` — the instant
+    /// the per-cell path would *start* serving the run's last cell and
+    /// allocate its `TxDone`. Exists only to allocate `TrainTxDone`'s
+    /// sequence number at that baseline wall time; scheduling it at
+    /// serve start would give the completion an earlier sequence than
+    /// any same-instant arrival, inverting contention tie-breaks.
+    TrainWind(u32, u32),
+    /// Fires when a train's head cell finishes serializing (`s + ct`) —
+    /// the wall instant the per-cell path allocates the head's `Arrive`
+    /// inside `tx_done` — and schedules `TrainHead` one propagation
+    /// delay later.
+    TrainHeadWind(u32, u32),
+    /// A train's head cell arrives at the switch at the far end of
+    /// `link`; the train either re-serializes onto the next hop or
+    /// expands to per-cell arrivals there.
+    TrainHead(u32, u32),
+    /// A train's last cell arrives at the destination host of `link`;
+    /// the whole run is accounted and reassembled at once.
+    TrainDeliver(u32, u32),
 }
 
 struct Timer {
@@ -250,6 +437,14 @@ pub struct NetScratch {
     in_flight: Vec<Option<Flying>>,
     free_flights: Vec<u32>,
     deliveries: Vec<Delivery>,
+    trains: Vec<Option<Train>>,
+    free_trains: Vec<u32>,
+    cell_scratch: Vec<AtmCell>,
+    /// Retired PDU segmentation buffers, ready for
+    /// [`aal5::segment_run_pooled`] to rewrite in place. Buffers are
+    /// fully overwritten before reuse, so recycling is observably
+    /// identical to fresh allocation.
+    pdu_pool: Vec<Arc<[u8]>>,
 }
 
 /// The ATM network simulator.
@@ -275,6 +470,21 @@ pub struct AtmNetwork {
     /// bit-identical to a network without fault injection.
     fault_rng: SimRng,
     fault_stats: FaultStats,
+    /// Slab of trains in flight, claimed by exactly one pending timer.
+    trains: Vec<Option<Train>>,
+    free_trains: Vec<u32>,
+    /// Debug switch: disable the train fast path entirely (the
+    /// equivalence witness for the batched scheduler).
+    per_cell_only: bool,
+    /// Whether the installed fault plan is compatible with analytic
+    /// serialization (down-windows only — no RNG-coupled loss, burst or
+    /// jitter whose draw order a train would perturb).
+    plan_allows_trains: bool,
+    train_stats: TrainStats,
+    /// Reusable cell buffer for per-cell fallback segmentation.
+    cell_scratch: Vec<AtmCell>,
+    /// Recycled PDU segmentation buffers (see [`NetScratch::pdu_pool`]).
+    pdu_pool: Vec<Arc<[u8]>>,
 }
 
 impl AtmNetwork {
@@ -303,6 +513,13 @@ impl AtmNetwork {
             fault_plan: FaultPlan::none(),
             fault_rng: SimRng::seed_from_u64(seed ^ 0xFA17_0BAD),
             fault_stats: FaultStats::default(),
+            trains: scratch.trains,
+            free_trains: scratch.free_trains,
+            per_cell_only: false,
+            plan_allows_trains: true,
+            train_stats: TrainStats::default(),
+            cell_scratch: scratch.cell_scratch,
+            pdu_pool: scratch.pdu_pool,
         }
     }
 
@@ -319,6 +536,10 @@ impl AtmNetwork {
             mut in_flight,
             mut free_flights,
             mut deliveries,
+            mut trains,
+            mut free_trains,
+            mut cell_scratch,
+            pdu_pool,
             ..
         } = self;
         nodes.clear();
@@ -329,6 +550,9 @@ impl AtmNetwork {
         in_flight.clear();
         free_flights.clear();
         deliveries.clear();
+        trains.clear();
+        free_trains.clear();
+        cell_scratch.clear();
         NetScratch {
             nodes,
             links,
@@ -338,6 +562,11 @@ impl AtmNetwork {
             in_flight,
             free_flights,
             deliveries,
+            trains,
+            free_trains,
+            cell_scratch,
+            // Kept as-is: retired buffers carry no observable state.
+            pdu_pool,
         }
     }
 
@@ -345,9 +574,28 @@ impl AtmNetwork {
     /// connected and to links connected afterwards.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.fault_plan = plan;
+        // Trains consume line-noise RNG draws per cell (count-preserving)
+        // but cannot reproduce the fault RNG's per-cell draw order, so
+        // any plan with RNG-coupled faults (extra loss, bursts, jitter)
+        // pins the whole network to the exact per-cell path. Down-only
+        // plans are fine: trains expand inside their windows.
+        self.plan_allows_trains = self.fault_plan.is_down_only();
         for (&(from, to), id) in &self.link_index {
             self.links[id.0 as usize].faults = self.fault_plan.for_link(from, to).cloned();
         }
+    }
+
+    /// Disable the cell-train fast path: every PDU rides the exact
+    /// per-cell scheduler. The batched path must be observably
+    /// indistinguishable from this mode — it exists as the equivalence
+    /// witness for tests and as a forensics escape hatch.
+    pub fn force_per_cell(&mut self) {
+        self.per_cell_only = true;
+    }
+
+    /// What the cell-train fast path has done so far.
+    pub fn train_stats(&self) -> TrainStats {
+        self.train_stats
     }
 
     /// The installed fault plan.
@@ -400,7 +648,7 @@ impl AtmNetwork {
                 profile.queue_cells.max(1 << 20)
             };
             let queues = (0..ServiceClass::LEVELS)
-                .map(|_| BoundedQueue::new(capacity, DropPolicy::DropTail))
+                .map(|_| TxQueue::new(capacity))
                 .collect();
             self.links.push(LinkState {
                 to,
@@ -410,6 +658,7 @@ impl AtmNetwork {
                 utilization: TimeWeighted::new(),
                 faults: self.fault_plan.for_link(from, to).cloned(),
                 fault_state: FaultState::default(),
+                top_priority: usize::MAX,
             });
             self.link_index.insert((from, to), id);
         }
@@ -447,6 +696,8 @@ impl AtmNetwork {
         self.next_vci += 1;
         for (node, link) in &hop_links {
             self.nodes[node.0 as usize].set_route(vc, *link);
+            let l = &mut self.links[link.0 as usize];
+            l.top_priority = l.top_priority.min(class.priority());
         }
         self.vcs.push(VcState {
             class,
@@ -474,19 +725,64 @@ impl AtmNetwork {
         state.next_pdu_seq += 1;
         state.stats.pdus_sent += 1;
         state.stats.bytes_sent += payload.len() as u64;
-        let mut cells = aal5::segment(0, vc.0, seq, &payload);
-        state.stats.cells_sent += cells.len() as u64;
-        // Police at the source UNI: non-conforming cells are tagged CLP=1.
+        let ncells = aal5::cells_for(payload.len());
+        state.stats.cells_sent += ncells as u64;
+        // Police at the source UNI: non-conforming cells are tagged
+        // CLP=1. Tags are collected per cell index so the train decision
+        // can be made before any cell is materialized.
+        let mut tags: Option<Vec<bool>> = None;
         if let Some(policer) = &mut state.policer {
-            for c in &mut cells {
+            let mut v = vec![false; ncells];
+            let mut any = false;
+            for t in v.iter_mut() {
                 if !policer.conforms(now) {
-                    c.clp = true;
+                    *t = true;
+                    any = true;
                 }
+            }
+            if any {
+                tags = Some(v);
             }
         }
         let class = state.class;
         let link = state.first_link;
-        for cell in cells {
+        let run = aal5::segment_run_pooled(&payload, &mut self.pdu_pool);
+        let link_ref = &self.links[link.0 as usize];
+        let queue = &link_ref.queues[class.priority()];
+        let can_train = !self.per_cell_only
+            && self.plan_allows_trains
+            && tags.is_none()
+            && ncells >= TRAIN_MIN_CELLS
+            && link_ref.top_priority >= class.priority()
+            && queue.len_cells + ncells <= queue.capacity;
+        if can_train {
+            let train = Train {
+                vci: vc.0,
+                pdu_seq: seq,
+                run,
+                born: now,
+                send_call: now,
+                spacing: SimDuration::ZERO,
+                head_at: now,
+            };
+            let link_mut = &mut self.links[link.0 as usize];
+            link_mut.queues[class.priority()].offer_train(train);
+            if !link_mut.busy {
+                self.start_tx(link);
+            }
+            return Ok(seq);
+        }
+        // Exact per-cell path: short runs, tagged cells, RNG-coupled
+        // fault plans, or forced fallback.
+        self.train_stats.per_cell_pdus += 1;
+        let mut cells = std::mem::take(&mut self.cell_scratch);
+        aal5::cells_from_run(0, vc.0, seq, &run, &mut cells);
+        if let Some(tags) = tags {
+            for (c, &t) in cells.iter_mut().zip(&tags) {
+                c.clp = t;
+            }
+        }
+        for cell in cells.drain(..) {
             let flying = Flying {
                 cell,
                 born: now,
@@ -494,6 +790,7 @@ impl AtmNetwork {
             };
             self.enqueue_cell(link, class, flying);
         }
+        self.cell_scratch = cells;
         Ok(seq)
     }
 
@@ -510,6 +807,11 @@ impl AtmNetwork {
             match timer.kind {
                 TimerKind::TxDone(link, flight) => self.tx_done(LinkId(link), flight),
                 TimerKind::Arrive(link, flight) => self.arrive(LinkId(link), flight),
+                TimerKind::TrainTxDone(link, tid) => self.train_tx_done(LinkId(link), tid),
+                TimerKind::TrainWind(link, tid) => self.train_wind(LinkId(link), tid),
+                TimerKind::TrainHeadWind(link, tid) => self.train_head_wind(LinkId(link), tid),
+                TimerKind::TrainHead(link, tid) => self.train_head(LinkId(link), tid),
+                TimerKind::TrainDeliver(link, tid) => self.train_deliver(LinkId(link), tid),
             }
         }
         self.now = to;
@@ -538,6 +840,11 @@ impl AtmNetwork {
             match timer.kind {
                 TimerKind::TxDone(link, flight) => self.tx_done(LinkId(link), flight),
                 TimerKind::Arrive(link, flight) => self.arrive(LinkId(link), flight),
+                TimerKind::TrainTxDone(link, tid) => self.train_tx_done(LinkId(link), tid),
+                TimerKind::TrainWind(link, tid) => self.train_wind(LinkId(link), tid),
+                TimerKind::TrainHeadWind(link, tid) => self.train_head_wind(LinkId(link), tid),
+                TimerKind::TrainHead(link, tid) => self.train_head(LinkId(link), tid),
+                TimerKind::TrainDeliver(link, tid) => self.train_deliver(LinkId(link), tid),
             }
         }
         if self.deliveries.is_empty() {
@@ -665,6 +972,22 @@ impl AtmNetwork {
         reg.counter_set("atm.faults.jittered", self.fault_stats.jittered);
         reg.counter_set("atm.faults.faulted_cells", self.fault_stats.faulted_cells);
         reg.counter_set("atm.faults.total_losses", self.fault_stats.total_losses());
+        reg.counter_set("net.train.runs", self.train_stats.runs);
+        reg.counter_set("net.train.cells_batched", self.train_stats.cells_batched);
+        reg.counter_set("net.train.per_cell_pdus", self.train_stats.per_cell_pdus);
+        reg.counter_set(
+            "net.train.expanded_contention",
+            self.train_stats.expanded_contention,
+        );
+        reg.counter_set("net.train.parked", self.train_stats.parked);
+        reg.counter_set(
+            "net.train.expanded_fault_window",
+            self.train_stats.expanded_fault_window,
+        );
+        reg.counter_set(
+            "net.train.line_loss_fallbacks",
+            self.train_stats.line_loss_fallbacks,
+        );
     }
 
     // ---- internals ----
@@ -701,7 +1024,7 @@ impl AtmNetwork {
         let link = &mut self.links[link_id.0 as usize];
         let queue = &mut link.queues[class.priority()];
         // Early discard of tagged cells under congestion (90 % occupancy).
-        let congested = queue.len() * 10 >= queue.capacity() * 9;
+        let congested = queue.len_cells * 10 >= queue.capacity * 9;
         if flying.cell.clp && congested {
             let seq = flying.cell.pdu_seq;
             if let Some(s) = self.vc_mut(vc) {
@@ -709,7 +1032,7 @@ impl AtmNetwork {
             }
             return;
         }
-        if let Some(bounced) = queue.offer(flying) {
+        if let Some(bounced) = queue.offer_cell(flying) {
             // Tail drop.
             let seq = bounced.cell.pdu_seq;
             if let Some(s) = self.vc_mut(vc) {
@@ -722,27 +1045,362 @@ impl AtmNetwork {
         }
     }
 
-    /// Begin serializing the highest-priority queued cell, if any.
+    /// Begin serializing the highest-priority queued entry, if any. A
+    /// train at the head of its queue is served analytically when the
+    /// link is fault-quiet for the run's whole serialization window;
+    /// otherwise it is expanded back into per-cell entries in place and
+    /// the loop retries, now seeing a plain cell.
     fn start_tx(&mut self, link_id: LinkId) {
         let now = self.now;
-        let link = &mut self.links[link_id.0 as usize];
-        let mut next = None;
-        for q in &mut link.queues {
-            if let Some(f) = q.take() {
-                next = Some(f);
-                break;
+        let li = link_id.0 as usize;
+        loop {
+            let link = &mut self.links[li];
+            let Some(qi) = link.queues.iter().position(|q| !q.is_empty()) else {
+                link.busy = false;
+                link.utilization.set(now, 0.0);
+                return;
+            };
+            let needs_expand = matches!(
+                link.queues[qi].peek(),
+                Some(QueuedTx::Train(t)) if !Self::link_clear_for_train(link, now, t.run.ncells)
+            );
+            if needs_expand {
+                // Down window overlaps the run: expand in place and
+                // retry, so faults land per cell exactly as the slow
+                // path would land them.
+                self.train_stats.expanded_fault_window += 1;
+                let q = &mut self.links[li].queues[qi];
+                let Some(QueuedTx::Train(t)) = q.take() else {
+                    unreachable!("peeked a train");
+                };
+                Self::expand_train_into_queue(q, t);
+                continue;
+            }
+            match link.queues[qi].take() {
+                Some(QueuedTx::Cell(flying)) => {
+                    link.busy = true;
+                    link.utilization.set(now, 1.0);
+                    let cell_time =
+                        mits_sim::SimDuration::for_bits(CELL_BITS, link.profile.rate_bps);
+                    let flight = self.stash(flying);
+                    self.schedule(now + cell_time, TimerKind::TxDone(link_id.0, flight));
+                }
+                Some(QueuedTx::Train(t)) => self.serve_train(link_id, t),
+                None => unreachable!("queue was non-empty"),
+            }
+            return;
+        }
+    }
+
+    /// Expand a train back into per-cell queue entries at the front of
+    /// `q`, preserving cell order. Occupancy in cells is unchanged.
+    fn expand_train_into_queue(q: &mut TxQueue, t: Train) {
+        for k in (0..t.run.ncells).rev() {
+            q.push_front_cell(Flying {
+                cell: t.cell(k),
+                born: t.born,
+                send_call: t.send_call,
+            });
+        }
+    }
+
+    /// Whether the link is clear to serialize an `n`-cell run starting
+    /// now: no down window may touch any of the run's per-cell TxDone
+    /// instants `now + k·cell_time`, k = 1..=n. The check is
+    /// conservative (window overlap, not instant membership) — a false
+    /// negative only costs the fallback to the exact per-cell path.
+    fn link_clear_for_train(link: &LinkState, now: SimTime, n: usize) -> bool {
+        let Some(faults) = &link.faults else {
+            return true;
+        };
+        let first = now + link.profile.cell_time();
+        let last = now + link.profile.train_time(n as u64);
+        !faults
+            .down
+            .iter()
+            .any(|&(from, until)| from <= last && until > first)
+    }
+
+    fn stash_train(&mut self, t: Train) -> u32 {
+        match self.free_trains.pop() {
+            Some(id) => {
+                self.trains[id as usize] = Some(t);
+                id
+            }
+            None => {
+                self.trains.push(Some(t));
+                (self.trains.len() - 1) as u32
             }
         }
-        let Some(flying) = next else {
-            link.busy = false;
-            link.utilization.set(now, 0.0);
+    }
+
+    fn unstash_train(&mut self, id: u32) -> Option<Train> {
+        let t = self.trains.get_mut(id as usize)?.take();
+        if t.is_some() {
+            self.free_trains.push(id);
+        }
+        t
+    }
+
+    /// Serialize a whole run analytically: one `TrainTxDone` for the
+    /// transmitter plus one arrival event at the far end, instead of
+    /// `2n` per-cell events. Per-cell observables are reproduced exactly:
+    /// the utilization trace gets a sample at every cell boundary, the
+    /// line-noise RNG is drawn once per cell in cell order, and a
+    /// realized loss (≈ 1e-9 per draw) falls back to per-cell arrivals
+    /// for the survivors.
+    fn serve_train(&mut self, link_id: LinkId, train: Train) {
+        let s = self.now;
+        let n = train.run.ncells;
+        let link = &mut self.links[link_id.0 as usize];
+        link.busy = true;
+        let ct = mits_sim::SimDuration::for_bits(CELL_BITS, link.profile.rate_bps);
+        let ct_us = ct.as_micros();
+        // The per-cell path samples utilization 1.0 at each cell's
+        // start-of-serialization instant; reproduce the trace exactly
+        // (TimeWeighted accumulates f64 in sample order).
+        for k in 0..n as u64 {
+            link.utilization
+                .set(s + SimDuration::from_micros(ct_us * k), 1.0);
+        }
+        if link.faults.is_some() {
+            // Every cell of the run crosses a faulted link (down windows
+            // were excluded by `link_clear_for_train`).
+            self.fault_stats.faulted_cells += n as u64;
+        }
+        let loss_rate = link.profile.loss_rate;
+        let prop = link.profile.prop_delay;
+        let to_switch = self.nodes[link.to.0 as usize].is_switch;
+        let done_at = s + link.profile.train_time(n as u64);
+        // One line-noise draw per cell, in cell order — the RNG stream
+        // stays count- and order-identical to the per-cell path.
+        let mut lost: Vec<usize> = Vec::new();
+        for k in 0..n {
+            if self.rng.chance(loss_rate) {
+                lost.push(k);
+            }
+        }
+        if lost.is_empty() {
+            self.train_stats.runs += 1;
+            self.train_stats.cells_batched += n as u64;
+            let mut t = train;
+            t.spacing = ct;
+            t.head_at = s + ct + prop;
+            let tid = self.stash_train(t);
+            // Event sequence numbers are the tie-break for simultaneous
+            // timers, so each train event must be *allocated* at the wall
+            // instant its per-cell counterpart would be: the head arrival
+            // from the head cell's tx-done (s + ct), the completion from
+            // the last cell's serve start (done_at - ct), and — inside
+            // `train_tx_done` — the delivery from the last cell's
+            // tx-done (done_at). The wind events exist to pin those
+            // allocation instants.
+            if to_switch {
+                self.schedule(s + ct, TimerKind::TrainHeadWind(link_id.0, tid));
+                self.schedule(done_at - ct, TimerKind::TrainWind(link_id.0, u32::MAX));
+            } else {
+                self.schedule(done_at - ct, TimerKind::TrainWind(link_id.0, tid));
+            }
+            return;
+        }
+        self.schedule(done_at - ct, TimerKind::TrainWind(link_id.0, u32::MAX));
+        // A line hit inside the run: ship survivors per cell so the PDU
+        // fails exactly as it would have on the slow path.
+        self.train_stats.line_loss_fallbacks += 1;
+        let vc = VcId(train.vci);
+        let mut lost_iter = lost.iter().copied().peekable();
+        for k in 0..n {
+            if lost_iter.peek() == Some(&k) {
+                lost_iter.next();
+                let seq = train.pdu_seq;
+                if let Some(st) = self.vc_mut(vc) {
+                    st.drop_cell(seq);
+                }
+                continue;
+            }
+            let flying = Flying {
+                cell: train.cell(k),
+                born: train.born,
+                send_call: train.send_call,
+            };
+            let id = self.stash(flying);
+            let at = s + SimDuration::from_micros(ct_us * (k as u64 + 1)) + prop;
+            self.schedule(at, TimerKind::Arrive(link_id.0, id));
+        }
+    }
+
+    /// One cell-time before the run completes — the instant the per-cell
+    /// path would start serving the last cell: allocate the completion
+    /// event's sequence number now, exactly as `start_tx` would.
+    fn train_wind(&mut self, link_id: LinkId, tid: u32) {
+        let ct = self.links[link_id.0 as usize].profile.cell_time();
+        self.schedule(self.now + ct, TimerKind::TrainTxDone(link_id.0, tid));
+    }
+
+    /// The head cell finished serializing — the instant the per-cell
+    /// path's `tx_done` would put it in flight: allocate the head
+    /// arrival's sequence number now.
+    fn train_head_wind(&mut self, link_id: LinkId, tid: u32) {
+        let prop = self.links[link_id.0 as usize].profile.prop_delay;
+        self.schedule(self.now + prop, TimerKind::TrainHead(link_id.0, tid));
+    }
+
+    /// The transmitter finished a whole run. For a host-bound run the
+    /// delivery goes into flight first (mirroring the per-cell `tx_done`,
+    /// which schedules the arrival before serving the next cell), then
+    /// whatever queued up behind the train is served.
+    fn train_tx_done(&mut self, link_id: LinkId, tid: u32) {
+        if tid != u32::MAX {
+            let prop = self.links[link_id.0 as usize].profile.prop_delay;
+            self.schedule(self.now + prop, TimerKind::TrainDeliver(link_id.0, tid));
+        }
+        self.start_tx(link_id);
+    }
+
+    /// A train's head cell reaches a switch. If the next hop's
+    /// transmitter is idle, its queues empty, its cell rate matches the
+    /// arrival spacing, and its fault window is clear, the run
+    /// re-serializes analytically (classic cut-through: each cell starts
+    /// tx the instant it arrives). Otherwise the train expands into
+    /// per-cell arrivals at this switch and proceeds on the exact path.
+    fn train_head(&mut self, link_id: LinkId, tid: u32) {
+        let Some(train) = self.unstash_train(tid) else {
             return;
         };
-        link.busy = true;
-        link.utilization.set(now, 1.0);
-        let cell_time = mits_sim::SimDuration::for_bits(CELL_BITS, link.profile.rate_bps);
-        let flight = self.stash(flying);
-        self.schedule(now + cell_time, TimerKind::TxDone(link_id.0, flight));
+        let now = self.now;
+        let n = train.run.ncells;
+        let node_id = self.links[link_id.0 as usize].to;
+        let vc = VcId(train.vci);
+        let node = &self.nodes[node_id.0 as usize];
+        debug_assert!(node.is_switch, "TrainHead only targets switches");
+        let Some(next_link) = node.route(vc) else {
+            // Misrouted: the whole run drops, cell by cell.
+            let seq = train.pdu_seq;
+            if let Some(s) = self.vc_mut(vc) {
+                for _ in 0..n {
+                    s.drop_cell(seq);
+                }
+            }
+            return;
+        };
+        let class = self
+            .vcs
+            .get((vc.0 as usize).wrapping_sub(1))
+            .map(|s| s.class)
+            .unwrap_or(ServiceClass::Ubr);
+        let nl = &self.links[next_link.0 as usize];
+        let ct2 = mits_sim::SimDuration::for_bits(CELL_BITS, nl.profile.rate_bps);
+        // Structurally clear: nothing queued ahead, no higher-priority VC
+        // routed over the hop, and the egress cell rate matches the
+        // arrival spacing — the run will drain head-first, back-to-back.
+        let clear = nl.queues.iter().all(|q| q.is_empty())
+            && nl.top_priority >= class.priority()
+            && ct2 == train.spacing;
+        let engageable = clear && !nl.busy && Self::link_clear_for_train(nl, now, n);
+        if engageable {
+            // Ledger the run's pass-through on the egress queue (the
+            // per-cell path records n accepted offers there).
+            self.links[next_link.0 as usize].queues[class.priority()].note_passthrough(n);
+            self.serve_train(next_link, train);
+            return;
+        }
+        if clear && nl.busy && n <= nl.queues[class.priority()].capacity {
+            // Transmitter still draining (back-to-back runs meet here:
+            // the previous run's completion fires at this same instant
+            // or later). Park the run whole; `start_tx` serves it when
+            // the link frees, at exactly the instants the per-cell path
+            // would serve the queued head and its in-flight successors
+            // (cell k starts at free-time + k·ct ≥ its arrival
+            // now + k·spacing, since ct == spacing). Down windows are
+            // re-checked at serve time, as the per-cell path would.
+            self.train_stats.parked += 1;
+            self.links[next_link.0 as usize].queues[class.priority()].offer_train(train);
+            return;
+        }
+        // Contended / rate-mismatched hop: expand. Later cells become
+        // in-flight arrivals on this link (they are still propagating);
+        // the head cell enqueues right now. Arrives are scheduled before
+        // the head's enqueue so same-instant events keep the per-cell
+        // timer order (Arrive seq precedes the TxDone the enqueue may
+        // schedule).
+        self.train_stats.expanded_contention += 1;
+        let sp_us = train.spacing.as_micros();
+        for k in 1..n {
+            let flying = Flying {
+                cell: train.cell(k),
+                born: train.born,
+                send_call: train.send_call,
+            };
+            let id = self.stash(flying);
+            let at = now + SimDuration::from_micros(sp_us * k as u64);
+            self.schedule(at, TimerKind::Arrive(link_id.0, id));
+        }
+        let head = Flying {
+            cell: train.cell(0),
+            born: train.born,
+            send_call: train.send_call,
+        };
+        self.enqueue_cell(next_link, class, head);
+    }
+
+    /// A train's last cell reaches the destination host: account every
+    /// cell at its analytic arrival instant and validate the run image
+    /// in one pass.
+    fn train_deliver(&mut self, link_id: LinkId, tid: u32) {
+        let Some(train) = self.unstash_train(tid) else {
+            return;
+        };
+        let now = self.now;
+        let n = train.run.ncells;
+        let node_id = self.links[link_id.0 as usize].to;
+        let vc = VcId(train.vci);
+        let this_seq = train.pdu_seq;
+        let Some(state) = self.vc_mut(vc) else {
+            return;
+        };
+        if state.dst != node_id {
+            for _ in 0..n {
+                state.drop_cell(this_seq);
+            }
+            return;
+        }
+        // Stale partial PDU in the reassembly buffer (lost its end cell
+        // upstream): flush on sequence change, as the per-cell first-cell
+        // arrival would.
+        if state.rx.first().is_some_and(|f| f.cell.pdu_seq != this_seq) {
+            let stale = state.rx[0].cell.pdu_seq;
+            if state.failed_pdus.insert(stale) {
+                state.stats.pdus_failed += 1;
+            }
+            state.rx.clear();
+        }
+        state.stats.cells_delivered += n as u64;
+        let sp_us = train.spacing.as_micros();
+        for k in 0..n as u64 {
+            let at = train.head_at + SimDuration::from_micros(sp_us * k);
+            state.stats.ctd.record(at.since(train.born).as_secs_f64());
+        }
+        match aal5::reassemble_run(&train.run.payload) {
+            Ok(payload) => {
+                state.stats.pdus_delivered += 1;
+                state.stats.bytes_delivered += payload.len() as u64;
+                state
+                    .stats
+                    .pdu_latency
+                    .record(now.since(train.send_call).as_secs_f64());
+                self.deliveries.push(Delivery {
+                    at: now,
+                    vc,
+                    node: node_id,
+                    payload,
+                });
+            }
+            Err(_) => {
+                if state.failed_pdus.insert(this_seq) {
+                    state.stats.pdus_failed += 1;
+                }
+            }
+        }
     }
 
     fn tx_done(&mut self, link_id: LinkId, flight: u32) {

@@ -67,6 +67,10 @@ pub struct ReliableChannel {
     rx_next: u32,
     rx_ooo: BTreeMap<u32, Bytes>, // out-of-order frames
     rx_assembly: BytesMut,
+    /// Largest reassembled message so far — `freeze` gives the buffer
+    /// away, so the next message pre-reserves this much instead of
+    /// re-growing through doubling reallocations.
+    rx_high_water: usize,
     /// Counters.
     pub stats: ChannelStats,
 }
@@ -88,6 +92,7 @@ impl ReliableChannel {
             rx_next: 0,
             rx_ooo: BTreeMap::new(),
             rx_assembly: BytesMut::new(),
+            rx_high_water: 0,
             stats: ChannelStats::default(),
         }
     }
@@ -220,11 +225,22 @@ impl ReliableChannel {
             events.push(TransportEvent::Message(body.slice(1..)));
             return;
         }
+        if self.rx_assembly.is_empty() {
+            self.rx_assembly.reserve(self.rx_high_water);
+        }
         self.rx_assembly.extend_from_slice(&body[1..]);
         if flags & FLAG_LAST_FRAG != 0 {
+            self.rx_high_water = self.rx_high_water.max(self.rx_assembly.len());
             let msg = std::mem::take(&mut self.rx_assembly).freeze();
             events.push(TransportEvent::Message(msg));
         }
+    }
+
+    /// The VC this endpoint receives on — lets a pump loop route a
+    /// [`Delivery`] to the one channel that owns it instead of offering
+    /// it to every channel in the system.
+    pub fn in_vc(&self) -> VcId {
+        self.in_vc
     }
 
     /// Retransmit timed-out segments. Call whenever the clock advances.

@@ -74,6 +74,49 @@ fn aal5_zero_copy_matches_seed_reference_at_boundaries() {
     }
 }
 
+/// `validated_length` boundaries at exact 65536 multiples: PDU lengths
+/// whose 16-bit length field wraps to 0 (or near it) must still
+/// round-trip — the cell count disambiguates the window.
+#[test]
+fn aal5_length_field_window_boundaries() {
+    for n in [65530usize, 65535, 65536, 65537, 65544, 131072] {
+        let payload: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        assert_matches_reference(&payload);
+        let run = aal5::segment_run(&payload);
+        let back = aal5::reassemble_run(&run.payload).expect("run round trip");
+        assert_eq!(&back[..], &payload[..], "run round trip ({n})");
+    }
+}
+
+proptest! {
+    // Payloads here run to 200 KB — keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full-window round trip: any length up to 200 000 survives
+    /// segment→reassemble through the run-descriptor path, and every
+    /// CRC-32 implementation — slice-by-8, slice-by-16, and the runtime
+    /// dispatcher (which takes the SIMD lane where the host supports
+    /// it) — agrees byte-for-byte with the bit-serial oracle.
+    #[test]
+    fn aal5_crc_impls_agree_across_full_window(
+        len in 0usize..=200_000,
+        seed in any::<u64>(),
+    ) {
+        let mult = seed | 1;
+        let payload: Vec<u8> = (0..len)
+            .map(|i| ((i as u64).wrapping_mul(mult) >> 13) as u8)
+            .collect();
+        let oracle = crc32_ref(&payload);
+        prop_assert_eq!(aal5::crc32_slice8(&payload), oracle, "slice-by-8");
+        prop_assert_eq!(aal5::crc32_slice16(&payload), oracle, "slice-by-16");
+        prop_assert_eq!(aal5::crc32(&payload), oracle, "dispatch");
+        let run = aal5::segment_run(&payload);
+        prop_assert_eq!(run.ncells, aal5::cells_for(payload.len()));
+        let back = aal5::reassemble_run(&run.payload).expect("run round trip");
+        prop_assert_eq!(&back[..], &payload[..]);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -6,7 +6,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mits_atm::aal5::{cells_for, crc32};
+use mits_atm::aal5::{cells_for, crc32, crc32_slice16, crc32_slice8, reassemble_run, segment_run};
 use mits_atm::{reassemble, segment, AtmNetwork, LinkProfile, ServiceClass};
 use mits_sim::SimTime;
 
@@ -21,9 +21,17 @@ fn bench_media_path(c: &mut Criterion) {
     let payload = vec![0xA5u8; PDU];
 
     // Stage 1: the CRC-32 kernel alone — it runs over every PDU twice
-    // (segment + reassemble), so this is the hot inner loop.
+    // (segment + reassemble), so this is the hot inner loop. Each
+    // implementation tier gets its own line so a dispatch change (SIMD
+    // lane lost, table rebuilt) shows up against its fallbacks.
     group.bench_function("net.aal5.crc32_64KiB", |b| {
         b.iter(|| crc32(criterion::black_box(&payload)))
+    });
+    group.bench_function("net.aal5.crc32_slice8_64KiB", |b| {
+        b.iter(|| crc32_slice8(criterion::black_box(&payload)))
+    });
+    group.bench_function("net.aal5.crc32_slice16_64KiB", |b| {
+        b.iter(|| crc32_slice16(criterion::black_box(&payload)))
     });
 
     // Stage 2: segmentation (copy + trailer + CRC + cell views).
@@ -39,22 +47,43 @@ fn bench_media_path(c: &mut Criterion) {
         b.iter(|| reassemble(criterion::black_box(&cells)).unwrap())
     });
 
-    // Stage 4: switch advance — one PDU through a two-hop OC-3 path,
-    // dominated by per-cell queueing/forwarding in the event loop.
-    group.bench_function("net.switch.advance_64KiB_two_hops_oc3", |b| {
-        b.iter(|| {
-            let mut net = AtmNetwork::new(1);
-            let a = net.add_host("a");
-            let s = net.add_switch("s");
-            let d = net.add_host("d");
-            net.connect(a, s, LinkProfile::atm_oc3());
-            net.connect(s, d, LinkProfile::atm_oc3());
-            let vc = net.open_vc(&[a, s, d], ServiceClass::Ubr, None).unwrap();
-            net.send(vc, Bytes::from(payload.clone())).unwrap();
-            let deliveries = net.drain(SimTime::from_secs(10));
-            assert_eq!(deliveries.len(), 1);
-        })
+    // Stage 3b: the run-descriptor pipeline the train path rides —
+    // segment once into a contiguous run image, reassemble from it
+    // without materializing cells.
+    group.bench_function("net.aal5.segment_run_64KiB", |b| {
+        b.iter(|| segment_run(criterion::black_box(&payload)))
     });
+    let run = segment_run(&payload);
+    group.bench_function("net.aal5.reassemble_run_64KiB", |b| {
+        b.iter(|| reassemble_run(criterion::black_box(&run.payload)).unwrap())
+    });
+
+    // Stage 4: switch advance — one PDU through a two-hop OC-3 path.
+    // With trains engaged the event loop sees one run per hop; pinned
+    // per-cell it pays 2n events per hop. Both lines are kept so the
+    // batched/exact ratio is visible in the bench history.
+    for (name, per_cell) in [
+        ("net.switch.advance_64KiB_two_hops_oc3", false),
+        ("net.switch.advance_64KiB_two_hops_oc3_per_cell", true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = AtmNetwork::new(1);
+                if per_cell {
+                    net.force_per_cell();
+                }
+                let a = net.add_host("a");
+                let s = net.add_switch("s");
+                let d = net.add_host("d");
+                net.connect(a, s, LinkProfile::atm_oc3());
+                net.connect(s, d, LinkProfile::atm_oc3());
+                let vc = net.open_vc(&[a, s, d], ServiceClass::Ubr, None).unwrap();
+                net.send(vc, Bytes::from(payload.clone())).unwrap();
+                let deliveries = net.drain(SimTime::from_secs(10));
+                assert_eq!(deliveries.len(), 1);
+            })
+        });
+    }
 
     group.finish();
 }

@@ -18,6 +18,10 @@
 //!       campaign incident bundles + timeline render, writes
 //!       BENCH_forensics.json (override with MITS_FORENSICS_OUT; size
 //!       with MITS_FORENSICS_STUDENTS / MITS_FORENSICS_SHARDS)
+//!   cargo run -p mits-bench --bin tables -- --exp media     # media-path
+//!       stage throughput (CRC kernels, AAL5, cell trains vs per-cell,
+//!       end-to-end fetch), writes BENCH_media.json (override with
+//!       MITS_MEDIA_OUT)
 
 use bytes::Bytes;
 use mits_atm::{FaultPlan, LinkFaults, LinkProfile};
@@ -105,6 +109,9 @@ fn main() {
     }
     if filter.as_deref() == Some("forensics") {
         forensics();
+    }
+    if filter.as_deref() == Some("media") {
+        media();
     }
 }
 
@@ -852,6 +859,100 @@ fn fetch_microbench() -> f64 {
         total += m.data.len();
     }
     total as f64 / 1024.0 / t0.elapsed().as_secs_f64()
+}
+
+/// Wall-clock throughput of `f` in MB/s: warm up once, then repeat for
+/// ~200 ms of wall time.
+fn stage_mbps(bytes_per_iter: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = std::time::Instant::now();
+    let mut iters = 0usize;
+    while t0.elapsed() < std::time::Duration::from_millis(200) {
+        f();
+        iters += 1;
+    }
+    (bytes_per_iter * iters) as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// Throughput of a 200 KB PDU crossing host → switch → host on OC-3,
+/// with the cell-train fast path either engaged or forced off.
+fn net_stage_mbps(per_cell: bool) -> f64 {
+    use mits_atm::{AtmNetwork, ServiceClass};
+    const BYTES: usize = 200 * 1024;
+    let payload = Bytes::from(vec![7u8; BYTES]);
+    let mut scratch = mits_atm::NetScratch::default();
+    stage_mbps(BYTES, || {
+        let mut net = AtmNetwork::with_scratch(1, std::mem::take(&mut scratch));
+        if per_cell {
+            net.force_per_cell();
+        }
+        let a = net.add_host("A");
+        let s = net.add_switch("S");
+        let b = net.add_host("B");
+        net.connect(a, s, LinkProfile::atm_oc3());
+        net.connect(s, b, LinkProfile::atm_oc3());
+        let vc = net.open_vc(&[a, s, b], ServiceClass::Ubr, None).unwrap();
+        net.send(vc, payload.clone()).unwrap();
+        let d = net.drain(SimTime::from_secs(60));
+        assert_eq!(d.len(), 1, "200 KB PDU must cross");
+        scratch = net.into_scratch();
+    })
+}
+
+/// MEDIA: per-stage throughput of the media path — the CRC kernels, AAL5
+/// segmentation/reassembly, the cell-train network fast path against the
+/// per-cell scheduler, and the end-to-end 200 KB fetch. Writes
+/// `BENCH_media.json` so `check.sh` can validate the stage names the
+/// flame profiler attributes time to.
+fn media() {
+    use mits_atm::aal5;
+    header("MEDIA", "media-path stage throughput");
+    let out = std::env::var("MITS_MEDIA_OUT").unwrap_or_else(|_| "BENCH_media.json".into());
+    let buf: Vec<u8> = (0..1 << 20).map(|i| (i * 31 % 251) as u8).collect();
+    let crc_slice8 = stage_mbps(buf.len(), || {
+        std::hint::black_box(aal5::crc32_slice8(std::hint::black_box(&buf)));
+    });
+    let crc_slice16 = stage_mbps(buf.len(), || {
+        std::hint::black_box(aal5::crc32_slice16(std::hint::black_box(&buf)));
+    });
+    // The dispatching entry point: the SIMD path when the host supports
+    // it (and its self-check passed), slice-by-16 otherwise.
+    let crc_dispatch = stage_mbps(buf.len(), || {
+        std::hint::black_box(aal5::crc32(std::hint::black_box(&buf)));
+    });
+    let segment = {
+        let payload = vec![3u8; 200 * 1024];
+        let mut pool = Vec::new();
+        stage_mbps(payload.len(), || {
+            std::hint::black_box(aal5::segment_run_pooled(&payload, &mut pool));
+        })
+    };
+    let reassemble = {
+        let payload = vec![3u8; 200 * 1024];
+        let run = aal5::segment_run(&payload);
+        stage_mbps(payload.len(), || {
+            std::hint::black_box(aal5::reassemble_run(&run.payload).unwrap());
+        })
+    };
+    let net_train = net_stage_mbps(false);
+    let net_per_cell = net_stage_mbps(true);
+    let fetch_kbps = fetch_microbench();
+    let json = format!(
+        "{{\n  \"experiment\": \"media\",\n  \"crc_hw_accelerated\": {},\n  \"crc_slice8_mbps\": {:.1},\n  \"crc_slice16_mbps\": {:.1},\n  \"crc_dispatch_mbps\": {:.1},\n  \"segment_mbps\": {:.1},\n  \"reassemble_mbps\": {:.1},\n  \"net_train_mbps\": {:.1},\n  \"net_per_cell_mbps\": {:.1},\n  \"train_speedup\": {:.2},\n  \"fetch200k_kbps\": {:.1}\n}}\n",
+        aal5::crc32_is_hw_accelerated(),
+        crc_slice8,
+        crc_slice16,
+        crc_dispatch,
+        segment,
+        reassemble,
+        net_train,
+        net_per_cell,
+        net_train / net_per_cell.max(1e-9),
+        fetch_kbps,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_media.json");
+    print!("{json}");
+    println!("wrote {out}");
 }
 
 /// Resident-set high-water mark of this process, in MB (0.0 when

@@ -1131,6 +1131,9 @@ impl MitsSystem {
                         continue;
                     }
                     for i in 0..self.servers[s].chans.len() {
+                        if self.servers[s].chans[i].in_vc() != d.vc {
+                            continue;
+                        }
                         let events = self.servers[s].chans[i].on_delivery(&mut self.net, d)?;
                         for ev in events {
                             if let TransportEvent::Message(frame) = ev {
@@ -1153,6 +1156,9 @@ impl MitsSystem {
                 // Client side.
                 for i in 0..self.endpoints.len() {
                     for c in 0..self.endpoints[i].chans.len() {
+                        if self.endpoints[i].chans[c].in_vc() != d.vc {
+                            continue;
+                        }
                         let events = self.endpoints[i].chans[c].on_delivery(&mut self.net, d)?;
                         for ev in events {
                             if let TransportEvent::Message(frame) = ev {

@@ -79,7 +79,7 @@ pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot, SnapshotValue};
 pub use rng::SimRng;
 pub use slo::{Slo, SloInput, SloKind, SloOutcome, SloReport, Verdict};
-pub use stats::{Exemplar, Histogram, OnlineStats, TimeWeighted};
+pub use stats::{Exemplar, Histogram, OnlineStats, RatioCounter, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use timeline::{Timeline, TimelineRecorder, WindowStats};
 pub use trace::{SampleReason, SpanId, SpanInfo, TailSignals, TraceSampler, Tracer};

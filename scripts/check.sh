@@ -40,6 +40,28 @@ assert d["max_concurrent"] >= 1, "admission window must be recorded"
 PY
 echo "campus bench json well-formed"
 
+# Media-path smoke: the per-stage throughput table must emit every stage
+# the flame profiler attributes time to, the CRC tiers must all be live,
+# and the train fast path must actually beat the per-cell scheduler.
+media_json="$(mktemp)"
+trap 'rm -f "$trace" "$campus_json" "$media_json"' EXIT
+MITS_MEDIA_OUT="$media_json" \
+  cargo run -q --release -p mits-bench --bin tables -- --exp media >/dev/null
+python3 - "$media_json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("crc_hw_accelerated", "crc_slice8_mbps", "crc_slice16_mbps",
+            "crc_dispatch_mbps", "segment_mbps", "reassemble_mbps",
+            "net_train_mbps", "net_per_cell_mbps", "train_speedup",
+            "fetch200k_kbps"):
+    assert key in d, f"BENCH_media.json missing {key}"
+    if key != "crc_hw_accelerated":
+        assert d[key] > 0, f"BENCH_media.json {key} not positive: {d[key]}"
+assert d["train_speedup"] > 1.0, (
+    f"cell trains slower than per-cell dispatch: {d['train_speedup']}")
+PY
+echo "media bench json well-formed, train fast path engaged"
+
 # API gate: the deprecated run_campus/CampusConfig shim must not be used
 # in-repo outside its own definition and equivalence test.
 if grep -rn --include='*.rs' -E 'run_campus\(|CampusConfig::' crates tests examples \
@@ -163,6 +185,13 @@ assert now["students_per_sec"] >= floor, (
 assert now["digest"] == base["digest"], (
     f"campus digest changed: {now['digest']} vs baseline {base['digest']} "
     "(simulation behaviour drifted; regenerate BENCH_campus.json deliberately)")
+# Media-path ratchet: the 200 KB fetch rides the cell-train fast path;
+# losing it (silent expansion, CRC dispatch fallback) costs integer
+# factors, so a 15% tolerance only absorbs wall-clock noise.
+fetch_floor = 0.85 * base["fetch200k_kbps_now"]
+assert now["fetch200k_kbps_now"] >= fetch_floor, (
+    f"200KB fetch regressed >15%: {now['fetch200k_kbps_now']:.1f} KB/s "
+    f"vs baseline {base['fetch200k_kbps_now']:.1f} (floor {fetch_floor:.1f})")
 # Threads must not lose. The committed baseline records the claim; the
 # fresh run re-proves it with a core-aware floor: on a multi-core host
 # the worker pool must genuinely win (>= 1.0); on a single core the

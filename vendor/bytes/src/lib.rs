@@ -267,6 +267,11 @@ impl BytesMut {
         self.0.clear()
     }
 
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.0.reserve(additional)
+    }
+
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
         self.0.extend_from_slice(extend)
     }
