@@ -40,7 +40,10 @@ pub use cell::{AtmCell, CELL_PAYLOAD, CELL_SIZE};
 pub use fault::{
     BurstLoss, CrashEvent, CrashSchedule, FaultKind, FaultPlan, FaultStats, LinkFaults,
 };
-pub use link::{LinkProfile, ServiceClass};
+pub use link::{
+    LinkProfile, LinkTelemetry, LinkWindowSample, ServeKind, ServiceClass, TELEMETRY_RING_CAP,
+    TELEMETRY_WINDOW_US,
+};
 pub use network::{AtmNetwork, Delivery, NetError, NetScratch, NodeId, TrainStats, VcId, VcStats};
 pub use traffic::{CbrSource, OnOffSource, VbrVideoSource};
 pub use transport::{ReliableChannel, TransportEvent};

@@ -117,6 +117,148 @@ impl LinkProfile {
     }
 }
 
+/// Width of one weathermap sample window. Five milliseconds spans a
+/// couple of thousand OC-3 cell times — wide enough that a whole cell
+/// train usually lands in one window, narrow enough to see a fault
+/// window open and close.
+pub const TELEMETRY_WINDOW_US: u64 = 5_000;
+
+/// Windows retained per link. With 5 ms windows, 64 slots cover the
+/// most recent ~320 ms of virtual time — the active tail of a session.
+pub const TELEMETRY_RING_CAP: usize = 64;
+
+/// How a batch of cells crossed a hop, as the weathermap counts them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeKind {
+    /// Served analytically as one whole cell train (the O(1) fast path).
+    Trained,
+    /// Served cell-by-cell through the priority queues (fault windows,
+    /// contended links).
+    PerCell,
+    /// Parked at an idle host egress awaiting pull (counted once, when
+    /// the train parks).
+    Parked,
+}
+
+/// One `SimDuration`-window of per-link weather: how deep the queues
+/// got, how long the transmitter was busy, how the cells that moved
+/// were served, and whether an injected fault window covered any of
+/// it. Samples are taken only at run/cell-train boundaries — the same
+/// instants the simulator already visits — so a quiet link costs
+/// nothing and a busy link stays O(1) events per hop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkWindowSample {
+    /// Window index (`start_us = window * TELEMETRY_WINDOW_US`).
+    pub window: u64,
+    /// Deepest any priority queue got during the window, in cells.
+    pub queue_high_water: u64,
+    /// Microseconds of serialization attributed to this window's cells.
+    pub busy_us: u64,
+    /// Cells served as whole trains.
+    pub cells_trained: u64,
+    /// Cells served one at a time.
+    pub cells_per_cell: u64,
+    /// Cells parked at a host egress awaiting pull.
+    pub cells_parked: u64,
+    /// Whether an injected fault window was open at any sample instant.
+    pub faulted: bool,
+}
+
+/// Bounded ring of [`LinkWindowSample`]s for one link, plus lifetime
+/// serve-mode totals. Observation-only: it draws no randomness and
+/// schedules no events, so recording is digest-neutral by
+/// construction.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTelemetry {
+    ring: Vec<LinkWindowSample>,
+    cur: Option<LinkWindowSample>,
+    /// Windows evicted from the full ring.
+    pub dropped_windows: u64,
+    /// Lifetime cells served as whole trains.
+    pub total_trained: u64,
+    /// Lifetime cells served one at a time.
+    pub total_per_cell: u64,
+    /// Lifetime cells parked at a host egress.
+    pub total_parked: u64,
+}
+
+impl LinkTelemetry {
+    /// Record one serve observation at `now`. `cells` is how many cells
+    /// the observation covers, `queue_cells` the queue depth at the
+    /// sample instant, `busy` the serialization time attributed to the
+    /// batch, and `faulted` whether an injected fault window is open.
+    pub fn note(
+        &mut self,
+        now: SimTime,
+        kind: ServeKind,
+        cells: u64,
+        queue_cells: u64,
+        busy: SimDuration,
+        faulted: bool,
+    ) {
+        match kind {
+            ServeKind::Trained => self.total_trained += cells,
+            ServeKind::PerCell => self.total_per_cell += cells,
+            ServeKind::Parked => self.total_parked += cells,
+        }
+        let window = now.as_micros() / TELEMETRY_WINDOW_US;
+        let cur = match self.cur.as_mut() {
+            Some(c) if c.window == window => c,
+            _ => {
+                self.flush();
+                self.cur.insert(LinkWindowSample {
+                    window,
+                    ..LinkWindowSample::default()
+                })
+            }
+        };
+        cur.queue_high_water = cur.queue_high_water.max(queue_cells);
+        cur.busy_us += busy.as_micros();
+        cur.faulted |= faulted;
+        match kind {
+            ServeKind::Trained => cur.cells_trained += cells,
+            ServeKind::PerCell => cur.cells_per_cell += cells,
+            ServeKind::Parked => cur.cells_parked += cells,
+        }
+    }
+
+    /// Push the in-progress window (if any) into the ring, evicting the
+    /// oldest sample when full.
+    fn flush(&mut self) {
+        if let Some(c) = self.cur.take() {
+            if self.ring.len() == TELEMETRY_RING_CAP {
+                self.ring.remove(0);
+                self.dropped_windows += 1;
+            }
+            self.ring.push(c);
+        }
+    }
+
+    /// Lifetime cells observed in any serve mode.
+    pub fn total_cells(&self) -> u64 {
+        self.total_trained + self.total_per_cell + self.total_parked
+    }
+
+    /// Retained windows oldest-first, including the in-progress one.
+    pub fn windows(&self) -> Vec<LinkWindowSample> {
+        let mut v = self.ring.clone();
+        if let Some(c) = self.cur {
+            v.push(c);
+        }
+        v
+    }
+
+    /// Forget everything (scratch reuse across sessions).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.cur = None;
+        self.dropped_windows = 0;
+        self.total_trained = 0;
+        self.total_per_cell = 0;
+        self.total_parked = 0;
+    }
+}
+
 /// A traffic contract for policing: peak cell rate and a burst tolerance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrafficContract {
@@ -208,5 +350,79 @@ mod tests {
         let c = TrafficContract::for_bit_rate(1_500_000, 32.0);
         // 1.5 Mb/s over 384-bit payloads ≈ 3906 cells/s.
         assert!((3_900.0..3_910.0).contains(&c.pcr_cells_per_sec));
+    }
+
+    #[test]
+    fn telemetry_windows_and_totals() {
+        use mits_sim::SimTime;
+        let mut t = LinkTelemetry::default();
+        let busy = SimDuration::from_micros(3);
+        t.note(
+            SimTime::from_micros(10),
+            ServeKind::Trained,
+            40,
+            2,
+            busy,
+            false,
+        );
+        t.note(
+            SimTime::from_micros(20),
+            ServeKind::PerCell,
+            1,
+            5,
+            busy,
+            true,
+        );
+        // Next window: the first one must flush into the ring.
+        t.note(
+            SimTime::from_micros(TELEMETRY_WINDOW_US + 1),
+            ServeKind::Parked,
+            8,
+            0,
+            SimDuration::ZERO,
+            false,
+        );
+        let w = t.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].window, 0);
+        assert_eq!(w[0].cells_trained, 40);
+        assert_eq!(w[0].cells_per_cell, 1);
+        assert_eq!(w[0].queue_high_water, 5);
+        assert_eq!(w[0].busy_us, 6);
+        assert!(w[0].faulted, "fault flag is sticky within a window");
+        assert_eq!(w[1].window, 1);
+        assert_eq!(w[1].cells_parked, 8);
+        assert!(!w[1].faulted);
+        assert_eq!(t.total_cells(), 49);
+        assert_eq!(t.dropped_windows, 0);
+    }
+
+    #[test]
+    fn telemetry_ring_evicts_oldest_and_counts() {
+        use mits_sim::SimTime;
+        let mut t = LinkTelemetry::default();
+        let n = (TELEMETRY_RING_CAP as u64) + 5;
+        for w in 0..=n {
+            t.note(
+                SimTime::from_micros(w * TELEMETRY_WINDOW_US),
+                ServeKind::Trained,
+                1,
+                0,
+                SimDuration::ZERO,
+                false,
+            );
+        }
+        let windows = t.windows();
+        assert_eq!(
+            windows.len(),
+            TELEMETRY_RING_CAP + 1,
+            "ring plus in-progress"
+        );
+        assert_eq!(t.dropped_windows, n - TELEMETRY_RING_CAP as u64);
+        assert_eq!(windows[0].window, t.dropped_windows, "oldest were evicted");
+        assert_eq!(t.total_trained, n + 1, "totals survive eviction");
+        t.clear();
+        assert!(t.windows().is_empty());
+        assert_eq!(t.total_cells(), 0);
     }
 }

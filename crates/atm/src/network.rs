@@ -11,7 +11,7 @@
 use crate::aal5;
 use crate::cell::{AtmCell, CELL_BITS, CELL_PAYLOAD};
 use crate::fault::{FaultPlan, FaultState, FaultStats, LinkFaults};
-use crate::link::{LinkProfile, Policer, ServiceClass, TrafficContract};
+use crate::link::{LinkProfile, LinkTelemetry, Policer, ServeKind, ServiceClass, TrafficContract};
 use bytes::Bytes;
 use mits_sim::{
     MetricsRegistry, OnlineStats, RatioCounter, SimDuration, SimRng, SimTime, TimeWeighted,
@@ -142,6 +142,11 @@ struct LinkState {
     /// priorities at every cell boundary, and the train must never be
     /// able to diverge from that.
     top_priority: usize,
+    /// Per-hop weathermap: windowed serve-mode samples, recorded only at
+    /// the run/cell boundaries the simulator already visits. Purely
+    /// observational — no RNG draws, no events — so it cannot perturb
+    /// the digest.
+    telemetry: LinkTelemetry,
 }
 
 #[derive(Clone)]
@@ -659,6 +664,7 @@ impl AtmNetwork {
                 faults: self.fault_plan.for_link(from, to).cloned(),
                 fault_state: FaultState::default(),
                 top_priority: usize::MAX,
+                telemetry: LinkTelemetry::default(),
             });
             self.link_index.insert((from, to), id);
         }
@@ -936,6 +942,12 @@ impl AtmNetwork {
                 &format!("{p}.drops"),
                 link.queues.iter().map(|q| q.drops.hits).sum(),
             );
+            reg.counter_set(&format!("{p}.cells_trained"), link.telemetry.total_trained);
+            reg.counter_set(
+                &format!("{p}.cells_per_cell"),
+                link.telemetry.total_per_cell,
+            );
+            reg.counter_set(&format!("{p}.cells_parked"), link.telemetry.total_parked);
         }
         let mut agg = VcStats::default();
         let mut ctd = OnlineStats::new();
@@ -988,6 +1000,112 @@ impl AtmNetwork {
             "net.train.line_loss_fallbacks",
             self.train_stats.line_loss_fallbacks,
         );
+    }
+
+    /// Directed links that carried at least one cell this run, as
+    /// `(from, to)` node-name pairs in link-id order. For a single
+    /// session's network this *is* the session's route through the
+    /// topology.
+    pub fn active_links(&self) -> Vec<(String, String)> {
+        let mut labels: Vec<Option<(NodeId, NodeId)>> = vec![None; self.links.len()];
+        for (&(from, to), id) in &self.link_index {
+            labels[id.0 as usize] = Some((from, to));
+        }
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.telemetry.total_cells() > 0)
+            .filter_map(|(i, _)| labels[i])
+            .map(|(from, to)| {
+                (
+                    self.nodes[from.0 as usize].name.clone(),
+                    self.nodes[to.0 as usize].name.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Render the per-hop weathermap as one versioned JSON object
+    /// (`{"t":"weathermap","v":1,...}`, byte-stable): every link that
+    /// carried traffic, its windowed samples, and per-VC QoS
+    /// aggregates. Node names are code-controlled identifiers, emitted
+    /// verbatim.
+    pub fn weathermap_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut labels: Vec<Option<(NodeId, NodeId)>> = vec![None; self.links.len()];
+        for (&(from, to), id) in &self.link_index {
+            labels[id.0 as usize] = Some((from, to));
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"t\":\"weathermap\",\"v\":1,\"window_us\":{},\"links\":[",
+            crate::link::TELEMETRY_WINDOW_US
+        );
+        let mut first = true;
+        for (i, link) in self.links.iter().enumerate() {
+            if link.telemetry.total_cells() == 0 {
+                continue;
+            }
+            let Some((from, to)) = labels[i] else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let t = &link.telemetry;
+            let _ = write!(
+                out,
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"cells_trained\":{},\"cells_per_cell\":{},\
+                 \"cells_parked\":{},\"dropped_windows\":{},\"windows\":[",
+                self.nodes[from.0 as usize].name,
+                self.nodes[to.0 as usize].name,
+                t.total_trained,
+                t.total_per_cell,
+                t.total_parked,
+                t.dropped_windows
+            );
+            for (j, w) in t.windows().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"start_us\":{},\"queue_high_water\":{},\"busy_us\":{},\
+                     \"cells_trained\":{},\"cells_per_cell\":{},\"cells_parked\":{},\
+                     \"faulted\":{}}}",
+                    w.window * crate::link::TELEMETRY_WINDOW_US,
+                    w.queue_high_water,
+                    w.busy_us,
+                    w.cells_trained,
+                    w.cells_per_cell,
+                    w.cells_parked,
+                    w.faulted
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"vcs\":[");
+        for (i, vc) in self.vcs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &vc.stats;
+            let _ = write!(
+                out,
+                "{{\"vci\":{},\"cells_sent\":{},\"cells_delivered\":{},\"cells_dropped\":{},\
+                 \"pdus_delivered\":{},\"pdus_failed\":{}}}",
+                i + 1,
+                s.cells_sent,
+                s.cells_delivered,
+                s.cells_dropped,
+                s.pdus_delivered,
+                s.pdus_failed
+            );
+        }
+        out.push_str("]}");
+        out
     }
 
     // ---- internals ----
@@ -1082,6 +1200,10 @@ impl AtmNetwork {
                     link.utilization.set(now, 1.0);
                     let cell_time =
                         mits_sim::SimDuration::for_bits(CELL_BITS, link.profile.rate_bps);
+                    let queued = link.queues.iter().map(|q| q.len_cells as u64).sum();
+                    let faulted = link.faults.as_ref().is_some_and(|f| f.is_down(now));
+                    link.telemetry
+                        .note(now, ServeKind::PerCell, 1, queued, cell_time, faulted);
                     let flight = self.stash(flying);
                     self.schedule(now + cell_time, TimerKind::TxDone(link_id.0, flight));
                 }
@@ -1162,6 +1284,13 @@ impl AtmNetwork {
         for k in 0..n as u64 {
             link.utilization
                 .set(s + SimDuration::from_micros(ct_us * k), 1.0);
+        }
+        {
+            let queued = link.queues.iter().map(|q| q.len_cells as u64).sum();
+            let faulted = link.faults.as_ref().is_some_and(|f| f.is_down(s));
+            let busy_for = link.profile.train_time(n as u64);
+            link.telemetry
+                .note(s, ServeKind::Trained, n as u64, queued, busy_for, faulted);
         }
         if link.faults.is_some() {
             // Every cell of the run crosses a faulted link (down windows
@@ -1314,7 +1443,18 @@ impl AtmNetwork {
             // now + k·spacing, since ct == spacing). Down windows are
             // re-checked at serve time, as the per-cell path would.
             self.train_stats.parked += 1;
-            self.links[next_link.0 as usize].queues[class.priority()].offer_train(train);
+            let nl = &mut self.links[next_link.0 as usize];
+            nl.queues[class.priority()].offer_train(train);
+            let queued = nl.queues.iter().map(|q| q.len_cells as u64).sum();
+            let faulted = nl.faults.as_ref().is_some_and(|f| f.is_down(now));
+            nl.telemetry.note(
+                now,
+                ServeKind::Parked,
+                n as u64,
+                queued,
+                SimDuration::ZERO,
+                faulted,
+            );
             return;
         }
         // Contended / rate-mismatched hop: expand. Later cells become
@@ -1595,6 +1735,37 @@ mod tests {
         assert_eq!(stats.pdus_delivered, 1);
         assert_eq!(stats.cells_dropped, 0);
         assert!(stats.ctd.mean() > 0.0);
+    }
+
+    #[test]
+    fn weathermap_covers_the_active_route() {
+        let (mut net, a, s, b) = small_net();
+        let vc = net.open_vc(&[a, s, b], ServiceClass::Ubr, None).unwrap();
+        net.send(vc, Bytes::from(vec![7u8; 100_000])).unwrap();
+        let d = net.drain(SimTime::from_secs(1));
+        assert_eq!(d.len(), 1);
+        // Exactly the two forward hops carried cells; reverse links idle.
+        let route = net.active_links();
+        assert_eq!(
+            route,
+            vec![
+                ("A".to_string(), "S".to_string()),
+                ("S".to_string(), "B".to_string())
+            ]
+        );
+        let json = net.weathermap_json();
+        assert_eq!(json, net.weathermap_json(), "rendering is read-only");
+        assert!(json.starts_with("{\"t\":\"weathermap\",\"v\":1,"));
+        for (from, to) in &route {
+            assert!(
+                json.contains(&format!("\"from\":\"{from}\",\"to\":\"{to}\"")),
+                "weathermap must cover hop {from}->{to}"
+            );
+        }
+        assert!(json.contains("\"cells_delivered\""));
+        // 100 kB segments into >4-cell runs, so the fast path carried it.
+        assert!(json.contains("\"cells_trained\""));
+        assert!(!json.contains("\"from\":\"B\""), "idle links are omitted");
     }
 
     #[test]

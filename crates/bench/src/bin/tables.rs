@@ -110,6 +110,9 @@ fn main() {
     if filter.as_deref() == Some("forensics") {
         forensics();
     }
+    if filter.as_deref() == Some("replay") {
+        replay();
+    }
     if filter.as_deref() == Some("media") {
         media();
     }
@@ -1041,6 +1044,9 @@ fn campus() {
     let clips = env_usize("MITS_CAMPUS_CLIPS", 2);
     let clip_bytes = env_usize("MITS_CAMPUS_CLIP_BYTES", 64 * 1024);
     let max_concurrent = env_usize("MITS_CAMPUS_MAX_CONCURRENT", 0);
+    // Flight-recorder ring cap; 0 keeps the library default. The ring
+    // never reaches the digest, so this is safe to vary per run.
+    let flight_ring = env_usize("MITS_FLIGHT_RING", 0);
     let out = std::env::var("MITS_CAMPUS_OUT").unwrap_or_else(|_| "BENCH_campus.json".into());
 
     let fetch_kbps = fetch_microbench();
@@ -1054,6 +1060,7 @@ fn campus() {
     let serial = Campus::new(students, 42)
         .threads(1)
         .max_concurrent(max_concurrent)
+        .flight_ring(flight_ring)
         .workload(workload.clone())
         .run()
         .unwrap();
@@ -1069,6 +1076,7 @@ fn campus() {
     Campus::new(students, 42)
         .threads(threads)
         .max_concurrent(max_concurrent)
+        .flight_ring(flight_ring)
         .workload(workload)
         .run_with(&mut sink)
         .unwrap();
@@ -1388,5 +1396,100 @@ fn forensics() {
         calm.forensics.len(),
     );
     std::fs::write(&out, json).expect("write forensics bench json");
+    println!("wrote {out}");
+}
+
+/// Replay observatory (ISSUE 10): run the same fault-storm campaign as
+/// `--exp forensics`, take the victim session's ready-to-run replay
+/// handle from the incident bundle, and re-run that one session
+/// standalone with instrumentation forced to maximum. Faithfulness is
+/// the hard gate — the replayed digest must equal the campus digest
+/// layer by layer — and the per-hop weathermap covers the victim's
+/// route. Opt-in (`--exp replay`); writes `BENCH_replay.json`
+/// (override with `MITS_REPLAY_OUT`).
+fn replay() {
+    use mits_core::{fault_storm_slos, sharded_workloads, FaultStorm};
+
+    header(
+        "REPLAY",
+        "extract-and-replay the storm victim with max instrumentation",
+    );
+    let shards = env_usize("MITS_FORENSICS_SHARDS", 3).max(2);
+    let students = env_usize("MITS_FORENSICS_STUDENTS", 9);
+    let victim = env_usize("MITS_FORENSICS_VICTIM", 1) % shards;
+    let clip_bytes = env_usize("MITS_FORENSICS_CLIP_BYTES", 300_000);
+    let seed = env_usize("MITS_FORENSICS_SEED", 42) as u64;
+    let flight_ring = env_usize("MITS_FLIGHT_RING", 0);
+    let out = std::env::var("MITS_REPLAY_OUT").unwrap_or_else(|_| "BENCH_replay.json".into());
+
+    let workloads = sharded_workloads(shards, 2, clip_bytes);
+    let storm = FaultStorm::new(
+        shards,
+        victim,
+        SimTime::from_millis(2),
+        SimTime::from_secs(120),
+    );
+    let on_victim = (0..students).filter(|s| s % shards == victim).count();
+
+    let campus = || {
+        let s = storm.clone();
+        Campus::new(students, seed)
+            .threads(2)
+            .flight_ring(flight_ring)
+            .workloads(workloads.clone())
+            .slos(fault_storm_slos(on_victim as f64 / students as f64))
+            .configure_sessions(move |_, base| s.apply(base))
+            .fault_schedule(storm.schedule())
+    };
+
+    // Run the storm campaign once; the session to replay comes from an
+    // incident bundle's replay handle, closing the forensics loop.
+    let campaign = campus().run().unwrap();
+    let (student, handle_seed) = campaign
+        .forensics
+        .iter()
+        .flat_map(|b| &b.replays)
+        .next()
+        .copied()
+        .map(|(s, h)| (s as usize, h))
+        .unwrap_or_else(|| {
+            (
+                (0..students)
+                    .find(|s| s % shards == victim)
+                    .unwrap_or(victim),
+                0,
+            )
+        });
+
+    let r = campus().replay(student).expect("replay the storm victim");
+    let handle_agrees = handle_seed == 0 || handle_seed == r.bundle.seed;
+
+    print!("{}", r.waterfall);
+    print!("{}", r.profile_top);
+    println!(
+        "replayed student {student} (seed {:#018x}): digest_match {}, breach_reproduced {}, \
+         handle agrees: {handle_agrees}, route hops {}",
+        r.bundle.seed,
+        r.digest_match,
+        r.breach_reproduced,
+        r.route.len(),
+    );
+
+    let route_json = r
+        .route
+        .iter()
+        .map(|(from, to)| format!("{{\"from\":\"{from}\",\"to\":\"{to}\"}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\n  \"experiment\": \"replay\",\n  \"shards\": {shards},\n  \"victim_shard\": {victim},\n  \"students\": {students},\n  \"seed\": {seed},\n  \"student\": {student},\n  \"session_seed\": {},\n  \"digest\": {},\n  \"digest_match\": {},\n  \"breach_reproduced\": {},\n  \"handle_agrees\": {handle_agrees},\n  \"bundle\": {},\n  \"route\": [{route_json}],\n  \"weathermap\": {}\n}}\n",
+        r.bundle.seed,
+        r.bundle.digest,
+        r.digest_match,
+        r.breach_reproduced,
+        r.bundle.to_json(),
+        r.weathermap,
+    );
+    std::fs::write(&out, json).expect("write replay bench json");
     println!("wrote {out}");
 }

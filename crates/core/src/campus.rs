@@ -49,9 +49,9 @@ use mits_db::{RetryPolicy, ShardRouter};
 use mits_media::{MediaFormat, MediaId, MediaObject, VideoDims};
 use mits_mheg::{ClassLibrary, GenericValue, MhegId, MhegObject};
 use mits_sim::{
-    forensics, Exemplar, FaultWindow, ForensicBundle, ForensicInput, Histogram, MetricsSnapshot,
-    SampleReason, SessionTail, SimDuration, SimTime, Slo, SloInput, SloReport, TailSignals,
-    Timeline, TimelineRecorder, TraceSampler,
+    derive_seed, forensics, DigestTrace, Exemplar, FaultWindow, ForensicBundle, ForensicInput,
+    Histogram, MetricsSnapshot, ReplayBundle, SampleReason, SessionTail, SimDuration, SimTime, Slo,
+    SloInput, SloReport, TailSignals, Timeline, TimelineRecorder, TraceSampler,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -162,6 +162,13 @@ pub struct SessionReport {
     pub error: Option<String>,
     /// The sampler's decision for this session, if it kept the trace.
     pub sampled: Option<SampleReason>,
+    /// The virtual instant the session retired — the end of its span,
+    /// used to slice the fault schedule for a [`ReplayBundle`].
+    pub end: SimTime,
+    /// Layer-by-layer digest checkpoints of the session fold, so a
+    /// replay mismatch can name the first divergent layer instead of an
+    /// opaque final-digest difference.
+    pub layers: DigestTrace,
     /// Host wall-clock the session took (not part of any digest).
     pub wall_secs: f64,
 }
@@ -363,15 +370,6 @@ impl ReportSink for CampusReport {
         self.timeline = rollup.timeline.clone();
         self.forensics = rollup.forensics.clone();
     }
-}
-
-/// SplitMix64 finalizer: decorrelates per-session seeds so neighbouring
-/// students do not share RNG streams.
-fn derive_seed(base: u64, student: u64) -> u64 {
-    let mut z = base ^ student.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// The default campus service-level objectives, judged against the
@@ -667,6 +665,7 @@ pub struct Campus {
     session_config: Option<Arc<SessionConfigFn>>,
     timeline_window: SimDuration,
     fault_schedule: Vec<FaultWindow>,
+    flight_ring: usize,
 }
 
 impl Campus {
@@ -686,6 +685,7 @@ impl Campus {
             session_config: None,
             timeline_window: SimDuration::from_millis(TIMELINE_WINDOW_MS),
             fault_schedule: Vec::new(),
+            flight_ring: mits_sim::FLIGHT_RING_CAP,
         }
     }
 
@@ -758,6 +758,19 @@ impl Campus {
     pub fn timeline_window(mut self, w: SimDuration) -> Self {
         if !w.is_zero() {
             self.timeline_window = w;
+        }
+        self
+    }
+
+    /// Capacity of every session's flight-recorder ring (default
+    /// [`mits_sim::FLIGHT_RING_CAP`]). The ring never reaches the
+    /// session digest, but its tail feeds the timeline and forensic
+    /// evidence — so compare timelines only at equal caps. Zero keeps
+    /// the default; [`Campus::replay`] forces an effectively unbounded
+    /// ring on the replayed session.
+    pub fn flight_ring(mut self, cap: usize) -> Self {
+        if cap != 0 {
+            self.flight_ring = cap;
         }
         self
     }
@@ -845,7 +858,9 @@ impl Campus {
                         student,
                         seed: derive_seed(self.base_seed, student as u64),
                     };
-                    let base = SystemConfig::broadband(1).with_seed(spec.seed);
+                    let base = SystemConfig::broadband(1)
+                        .with_seed(spec.seed)
+                        .with_flight_ring(self.flight_ring);
                     let config = match &self.session_config {
                         Some(f) => f(&spec, base),
                         None => base,
@@ -860,6 +875,7 @@ impl Campus {
                         &config,
                         tl_window,
                         std::mem::take(&mut scratch),
+                        None,
                     );
                     // retire: the session's world is already torn down
                     // (its allocations harvested into `scratch`); free
@@ -931,6 +947,7 @@ impl Campus {
             exemplars: &exemplars,
             sessions_failed: merged.failed,
             sessions_degraded: merged.degraded,
+            base_seed: self.base_seed,
         });
 
         let rollup = CampusRollup {
@@ -948,6 +965,188 @@ impl Campus {
         };
         merged.sink.rollup(&rollup);
         Ok(())
+    }
+
+    /// Capture everything needed to re-run `report`'s session
+    /// standalone: the spec, workload id, shard/replica topology (read
+    /// off the configured session's `SystemConfig`), the fault-schedule
+    /// slice intersecting the session's span, and the campus-recorded
+    /// digest checkpoints. Pure — nothing is simulated here.
+    pub fn extract(&self, report: &SessionReport) -> ReplayBundle {
+        let spec = SessionSpec {
+            student: report.student,
+            seed: report.seed,
+        };
+        let base = SystemConfig::broadband(1).with_seed(spec.seed);
+        let config = match &self.session_config {
+            Some(f) => f(&spec, base),
+            None => base,
+        };
+        let faults = self
+            .fault_schedule
+            .iter()
+            .filter(|w| w.overlaps(SimTime::ZERO, report.end))
+            .cloned()
+            .collect();
+        ReplayBundle {
+            student: report.student,
+            seed: report.seed,
+            workload: report.student % self.workloads.len().max(1),
+            shards: config.shards,
+            replica: config.replica,
+            digest: report.digest,
+            layers: report.layers.clone(),
+            anomalous: report.anomalous,
+            failed: report.failed,
+            faults,
+        }
+    }
+
+    /// Re-run one captured session standalone with instrumentation
+    /// forced to maximum — trace kept unconditionally, an effectively
+    /// unbounded flight ring, and the link weathermap harvested off the
+    /// live network — then prove faithfulness: the replayed digest
+    /// checkpoints must equal the campus-recorded ones layer for layer.
+    /// A divergence is a hard error naming the first layer that
+    /// disagrees. Neither the sampler nor the flight-ring cap feeds the
+    /// digest, so the instrumentation delta cannot cause one.
+    pub fn replay_bundle(&self, bundle: &ReplayBundle) -> Result<ReplayReport, SystemError> {
+        if self.workloads.is_empty() {
+            return Err(SystemError::Protocol(
+                "Campus::workload(..) must be set before replay".into(),
+            ));
+        }
+        let spec = SessionSpec {
+            student: bundle.student,
+            seed: bundle.seed,
+        };
+        let base = SystemConfig::broadband(1)
+            .with_seed(spec.seed)
+            .with_flight_ring(usize::MAX);
+        let config = match &self.session_config {
+            Some(f) => f(&spec, base),
+            None => base,
+        };
+        // Rate 1.0 head-samples every student, so the replayed trace is
+        // always kept; the decision stays out of the digest.
+        let sampler =
+            TraceSampler::new(self.base_seed, 1.0).with_latency_threshold(self.slow_session);
+        let mut weathermap = String::new();
+        let mut route = Vec::new();
+        let mut waterfall = String::new();
+        let mut profile_top = String::new();
+        let mut observe = |sys: &MitsSystem| {
+            weathermap = sys.net.weathermap_json();
+            route = sys.net.active_links();
+            // The session's root span is the first ever opened, so the
+            // waterfall renders the whole replayed session end to end.
+            if let Some(root) = sys.tracer.spans().first().map(|s| s.id) {
+                waterfall = sys.tracer.waterfall(root);
+            }
+            profile_top = mits_sim::profile_tracer(&sys.tracer).render_top(10);
+        };
+        let (outcome, _) = run_session(
+            &self.workloads[bundle.workload % self.workloads.len()],
+            &sampler,
+            &spec,
+            &config,
+            self.timeline_window,
+            SessionScratch::default(),
+            Some(&mut observe),
+        )?;
+        let report = outcome.report;
+        report.layers.compare(&bundle.layers).map_err(|d| {
+            SystemError::Protocol(format!(
+                "replay of student {} unfaithful: {d}",
+                bundle.student
+            ))
+        })?;
+        if report.digest != bundle.digest {
+            return Err(SystemError::Protocol(format!(
+                "replay of student {} unfaithful: final digest {:#018x} != campus {:#018x}",
+                bundle.student, report.digest, bundle.digest
+            )));
+        }
+        let breach_reproduced =
+            report.failed == bundle.failed && report.anomalous == bundle.anomalous;
+        let trace_jsonl = outcome.trace.map(|t| t.jsonl).unwrap_or_default();
+        Ok(ReplayReport {
+            bundle: bundle.clone(),
+            digest_match: true,
+            breach_reproduced,
+            report,
+            trace_jsonl,
+            weathermap,
+            route,
+            waterfall,
+            profile_top,
+        })
+    }
+
+    /// Extract-and-replay one student: run the campus (streaming, so
+    /// memory stays bounded), capture that student's [`SessionReport`],
+    /// and [`Campus::replay_bundle`] it. This is the one-call debugging
+    /// loop: name a victim (e.g. from a [`ForensicBundle`]'s replay
+    /// handles) and get back its solo re-run at full instrumentation,
+    /// faithfulness already proven.
+    pub fn replay(&self, student: usize) -> Result<ReplayReport, SystemError> {
+        let mut sink = CaptureSink {
+            student,
+            report: None,
+        };
+        self.run_with(&mut sink)?;
+        let report = sink.report.ok_or_else(|| {
+            SystemError::Protocol(format!(
+                "student {student} is outside this campus (population {})",
+                self.students
+            ))
+        })?;
+        self.replay_bundle(&self.extract(&report))
+    }
+}
+
+/// Outcome of a faithful solo re-run of one captured session (see
+/// [`Campus::replay_bundle`]). Existence implies the digest proof
+/// passed — an unfaithful replay is an error, not a report.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// The bundle that was replayed.
+    pub bundle: ReplayBundle,
+    /// Always true: a digest mismatch errors instead of reporting.
+    pub digest_match: bool,
+    /// Whether the replay also reproduced the campus-recorded outcome
+    /// flags (failed / anomalous) — the SLO-breach behaviour, which is
+    /// not entirely covered by the digest.
+    pub breach_reproduced: bool,
+    /// The replayed session's report (digest, bytes, timings, layers).
+    pub report: SessionReport,
+    /// The replayed session's full trace (sample rate forced to 1.0).
+    pub trace_jsonl: String,
+    /// Versioned `{"t":"weathermap","v":1,...}` JSON of the replayed
+    /// session's network.
+    pub weathermap: String,
+    /// The links that carried cells, `(from, to)` node names in link-id
+    /// order — the victim's route.
+    pub route: Vec<(String, String)>,
+    /// The replayed session's latency waterfall, rendered from the root
+    /// span (virtual-time offsets and bars).
+    pub waterfall: String,
+    /// Per-layer self-time profile of the replayed trace (flame-style
+    /// "top", 10 rows).
+    pub profile_top: String,
+}
+
+/// Sink that keeps exactly one student's report and drops the rest.
+struct CaptureSink {
+    student: usize,
+    report: Option<SessionReport>,
+}
+
+impl ReportSink for CaptureSink {
+    fn session(&mut self, report: &SessionReport) {
+        if report.student == self.student {
+            self.report = Some(report.clone());
+        }
     }
 }
 
@@ -1144,6 +1343,9 @@ fn run_session(
     config: &SystemConfig,
     tl_window: SimDuration,
     scratch: SessionScratch,
+    // Called with the live system just before teardown — replay uses it
+    // to harvest the weathermap and route. The campus path passes None.
+    observe: Option<&mut dyn FnMut(&MitsSystem)>,
 ) -> Result<(SessionOutcome, SessionScratch), SystemError> {
     let start = Instant::now();
     let mut sys = MitsSystem::build_with_scratch(config, scratch)?;
@@ -1157,22 +1359,29 @@ fn run_session(
     let root = sys.tracer.root_span("campus.session", sys.now());
     sys.tracer.push_context(root);
 
+    // Each fold checkpoint is recorded into the layer trace, so two
+    // executions of the same session can be diffed layer by layer —
+    // the replay faithfulness proof names the first divergent layer.
+    let mut layers = DigestTrace::new();
     let mut digest = fnv_fold(FNV_OFFSET, spec.seed);
+    layers.record("seed", digest);
     let mut session = SimDuration::ZERO;
     let mut error: Option<String> = None;
     match sys.fetch_courseware(student_id, workload.root) {
         Ok((objects, t)) => {
             session = t;
             digest = fnv_fold(digest, objects.len() as u64);
+            layers.record("courseware", digest);
         }
         Err(e) => error = Some(e.to_string()),
     }
     if error.is_none() {
-        for m in &workload.media {
+        for (i, m) in workload.media.iter().enumerate() {
             match sys.fetch_content(student_id, m.id) {
                 Ok((got, t)) => {
                     session += t;
                     digest = fnv_fold(digest, got.data.len() as u64);
+                    layers.record(format!("media.{i}"), digest);
                 }
                 Err(e) => {
                     error = Some(e.to_string());
@@ -1184,14 +1393,18 @@ fn run_session(
     let failed = error.is_some();
     if failed {
         digest = fnv_fold(digest, SESSION_FAILED_MARK);
+        layers.record("failure", digest);
     }
     let end_at = sys.now();
     sys.tracer.pop_context();
     sys.tracer.end(root, end_at);
     let bytes = sys.bytes_to_client(student_id);
     digest = fnv_fold(digest, bytes);
+    layers.record("bytes", digest);
     digest = fnv_fold(digest, session.as_micros());
+    layers.record("session_time", digest);
     digest = fnv_fold(digest, sys.db().state_digest());
+    layers.record("db_state", digest);
 
     // Telemetry: freeze this session's registry (stamped at the final
     // virtual instant) with the campus-level session counters the SLO
@@ -1272,8 +1485,13 @@ fn run_session(
         failed,
         error,
         sampled,
+        end: end_at,
+        layers,
         wall_secs: start.elapsed().as_secs_f64(),
     };
+    if let Some(observe) = observe {
+        observe(&sys);
+    }
     let scratch = sys.into_scratch();
     Ok((
         SessionOutcome {
@@ -1387,6 +1605,82 @@ mod tests {
         Campus::new(students, seed)
             .threads(threads)
             .workload(w.clone())
+    }
+
+    #[test]
+    fn replay_of_a_healthy_student_is_faithful() {
+        let w = tiny_workload(2, 4096);
+        let c = campus(4, 1, 42, &w);
+        let full = c.run().unwrap();
+        let r = c.replay(2).unwrap();
+        assert!(r.digest_match);
+        assert!(r.breach_reproduced, "healthy flags must reproduce too");
+        assert_eq!(r.bundle.student, 2);
+        assert_eq!(r.bundle.seed, derive_seed(42, 2));
+        assert!(!r.trace_jsonl.is_empty(), "replay always keeps the trace");
+        assert!(r.weathermap.starts_with("{\"t\":\"weathermap\",\"v\":1,"));
+        assert!(
+            !r.route.is_empty(),
+            "a session that moved bytes has a route"
+        );
+        // The replayed digest is the same fold the campus recorded.
+        assert_eq!(r.report.layers.final_digest(), Some(r.report.digest));
+        // Replaying every student must leave the campus digest derivable.
+        let _ = full;
+    }
+
+    #[test]
+    fn tampered_bundle_names_the_divergent_layer() {
+        let w = tiny_workload(1, 2048);
+        let c = campus(2, 1, 7, &w);
+        let mut sink = CaptureSink {
+            student: 1,
+            report: None,
+        };
+        c.run_with(&mut sink).unwrap();
+        let report = sink.report.unwrap();
+        let mut bundle = c.extract(&report);
+        // Corrupt the courseware checkpoint: the replay must hard-error
+        // and name that layer, not report success or a generic mismatch.
+        let mut forged = DigestTrace::new();
+        for (name, d) in bundle.layers.layers() {
+            forged.record(name.clone(), if name == "courseware" { d ^ 1 } else { *d });
+        }
+        bundle.layers = forged;
+        let err = c.replay_bundle(&bundle).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unfaithful"), "{msg}");
+        assert!(msg.contains("courseware"), "{msg}");
+    }
+
+    #[test]
+    fn extract_slices_the_fault_schedule_to_the_session_span() {
+        let w = tiny_workload(1, 2048);
+        let late = FaultWindow {
+            label: "late.shard0".into(),
+            shard: 0,
+            onset: SimTime::from_secs(3_600),
+            clear: None,
+        };
+        let early = FaultWindow {
+            label: "early.shard0".into(),
+            shard: 0,
+            onset: SimTime::from_millis(1),
+            clear: Some(SimTime::from_millis(2)),
+        };
+        let c = campus(1, 1, 9, &w).fault_schedule(vec![early.clone(), late]);
+        let mut sink = CaptureSink {
+            student: 0,
+            report: None,
+        };
+        c.run_with(&mut sink).unwrap();
+        let report = sink.report.unwrap();
+        let bundle = c.extract(&report);
+        assert_eq!(
+            bundle.faults,
+            vec![early],
+            "only windows overlapping the session span ride along"
+        );
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod system;
 
 pub use campus::{
     default_campus_slos, edge_cache_slos, fault_storm_slos, host_cores, sharded_workloads, Campus,
-    CampusReport, CampusRollup, CampusWorkload, FaultStorm, ReportSink, SessionReport, SessionSpec,
-    ShardTrace,
+    CampusReport, CampusRollup, CampusWorkload, FaultStorm, ReplayReport, ReportSink,
+    SessionReport, SessionSpec, ShardTrace,
 };
 #[allow(deprecated)]
 pub use campus::{run_campus, CampusConfig, ShardReport};

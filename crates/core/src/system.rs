@@ -76,6 +76,11 @@ pub struct SystemConfig {
     /// network: `(shard, from, until)` downs every link between the
     /// shard's hosts and the switch for the window.
     pub shard_outages: Vec<(usize, SimTime, SimTime)>,
+    /// Capacity of the always-on flight-recorder ring. The default
+    /// ([`mits_sim::FLIGHT_RING_CAP`]) bounds campus memory; replay
+    /// raises it to keep every anomaly event. The ring never feeds the
+    /// session digest, so the cap is digest-neutral by construction.
+    pub flight_ring: usize,
 }
 
 impl SystemConfig {
@@ -97,6 +102,7 @@ impl SystemConfig {
             shards: 1,
             edge_cache_bytes: 0,
             shard_outages: Vec::new(),
+            flight_ring: mits_sim::FLIGHT_RING_CAP,
         }
     }
 
@@ -184,6 +190,13 @@ impl SystemConfig {
     pub fn with_shard_restart(self, at: SimTime, shard: usize, role: usize) -> Self {
         let group_size = 1 + usize::from(self.replica);
         self.with_restart(at, (shard * group_size + role) as u32)
+    }
+
+    /// Size the flight-recorder ring (clamped to at least 1). Use
+    /// `usize::MAX` for an effectively unbounded ring during replay.
+    pub fn with_flight_ring(mut self, cap: usize) -> Self {
+        self.flight_ring = cap;
+        self
     }
 }
 
@@ -443,7 +456,7 @@ impl MitsSystem {
         }
 
         let tracer = Tracer::new();
-        let flight = FlightRecorder::default();
+        let flight = FlightRecorder::new(config.flight_ring);
         let mut endpoints = Vec::new();
         for (i, (host, profile)) in peer_hosts.into_iter().enumerate() {
             let timeout = Self::arq_timeout(&profile);
@@ -690,6 +703,10 @@ impl MitsSystem {
         if let Some(edge) = &self.edge {
             edge.export_metrics(&self.metrics, "edge");
         }
+        // Flight-ring truncation is visible, not silent: a non-zero
+        // count means the tail forensics read is missing older events.
+        self.metrics
+            .counter_set("system.flight.dropped_events", self.flight.dropped());
     }
 
     // ---------- the pump ----------

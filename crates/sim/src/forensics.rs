@@ -276,7 +276,7 @@ impl SessionTail {
 /// One entry of an injected fault schedule: what the harness broke,
 /// where, and when. Forensics aligns breach windows against these to
 /// name a suspected cause.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultWindow {
     /// Human-readable fault label, e.g. `fault_storm.shard1`.
     pub label: String,
@@ -289,7 +289,7 @@ pub struct FaultWindow {
 }
 
 impl FaultWindow {
-    fn write_json(&self, out: &mut String) {
+    pub(crate) fn write_json(&self, out: &mut String) {
         let _ = write!(
             out,
             "{{\"label\":\"{}\",\"shard\":{},\"onset_us\":{}",
@@ -368,6 +368,10 @@ pub struct ForensicBundle {
     pub exemplars: Vec<Exemplar>,
     /// Flight-recorder tails of affected sessions (capped).
     pub tails: Vec<SessionTail>,
+    /// Ready-to-run replay handles, one `(student, derived seed)` pair
+    /// per affected student — feed either half to `Campus::replay` to
+    /// re-run the victim solo at full instrumentation.
+    pub replays: Vec<(u64, u64)>,
 }
 
 impl ForensicBundle {
@@ -421,6 +425,13 @@ impl ForensicBundle {
             }
             t.write_json(&mut out);
         }
+        out.push_str("],\"replay\":[");
+        for (i, (student, seed)) in self.replays.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"student\":{student},\"seed\":{seed}}}");
+        }
         out.push_str("]}");
         out
     }
@@ -457,6 +468,9 @@ pub struct ForensicInput<'a> {
     pub sessions_failed: u64,
     /// Total sessions that retired degraded (failures included).
     pub sessions_degraded: u64,
+    /// The campus base seed, so bundles can embed `(student, seed)`
+    /// replay handles via [`crate::replay::derive_seed`].
+    pub base_seed: u64,
 }
 
 /// Generate one bundle per incident: one if any session retired
@@ -558,6 +572,13 @@ fn build_bundle(input: &ForensicInput, reason: String) -> ForensicBundle {
 
     let tails: Vec<SessionTail> = input.tails.iter().take(BUNDLE_TAIL_CAP).cloned().collect();
 
+    // Every affected student gets a ready-to-run replay handle: the
+    // (student, derived seed) pair is all `Campus::replay` needs.
+    let replays: Vec<(u64, u64)> = students
+        .iter()
+        .map(|&s| (s, crate::replay::derive_seed(input.base_seed, s)))
+        .collect();
+
     ForensicBundle {
         reason,
         window_start,
@@ -567,6 +588,7 @@ fn build_bundle(input: &ForensicInput, reason: String) -> ForensicBundle {
         students,
         exemplars,
         tails,
+        replays,
     }
 }
 
@@ -677,6 +699,7 @@ mod tests {
             exemplars: &[],
             sessions_failed: 0,
             sessions_degraded: 0,
+            base_seed: 42,
         });
         assert!(bundles.is_empty());
     }
@@ -714,6 +737,7 @@ mod tests {
             exemplars: &[],
             sessions_failed: 1,
             sessions_degraded: 1,
+            base_seed: 42,
         });
         assert_eq!(bundles.len(), 1);
         let b = &bundles[0];
@@ -726,10 +750,19 @@ mod tests {
         assert!(b.chain.iter().any(|l| l.stage == "failovers"));
         assert!(b.chain.iter().any(|l| l.stage == "degraded_sessions"));
         assert_eq!(b.students, vec![7]);
+        assert_eq!(
+            b.replays,
+            vec![(7, crate::replay::derive_seed(42, 7))],
+            "each affected student carries a ready-to-run replay handle"
+        );
         assert!(b.window_start <= SimTime::from_secs(10));
         let json = b.to_json();
         assert!(json.contains("\"reason\":\"sessions_failed\""));
         assert!(json.contains("fault_storm.shard1"));
+        assert!(json.contains(&format!(
+            "\"replay\":[{{\"student\":7,\"seed\":{}}}]",
+            crate::replay::derive_seed(42, 7)
+        )));
     }
 
     #[test]
@@ -747,6 +780,7 @@ mod tests {
                 exemplars: &[],
                 sessions_failed: 1,
                 sessions_degraded: 1,
+                base_seed: 42,
             });
             bundles_json(&bundles)
         };

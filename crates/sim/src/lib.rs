@@ -37,6 +37,9 @@
 //! * [`forensics`] — an always-on bounded [`FlightRecorder`] of
 //!   structured anomaly events, and [`ForensicBundle`] incident reports
 //!   that align breach windows against the injected fault schedule.
+//! * [`replay`] — [`ReplayBundle`] capture of one victim session plus
+//!   the layered [`DigestTrace`] that proves a standalone re-run is
+//!   the same execution (a mismatch names the divergent layer).
 //!
 //! ## Example
 //!
@@ -61,6 +64,7 @@ pub mod payload;
 pub mod profile;
 pub mod queue;
 pub mod registry;
+pub mod replay;
 pub mod rng;
 pub mod slo;
 pub mod stats;
@@ -77,6 +81,7 @@ pub use payload::Payload;
 pub use profile::{classify_layer, profile_spans, profile_tracer, LayerTotal, NameTotal, Profile};
 pub use queue::{BoundedQueue, DropPolicy, TokenBucket};
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot, SnapshotValue};
+pub use replay::{derive_seed, DigestTrace, Divergence, ReplayBundle};
 pub use rng::SimRng;
 pub use slo::{Slo, SloInput, SloKind, SloOutcome, SloReport, Verdict};
 pub use stats::{Exemplar, Histogram, OnlineStats, RatioCounter, TimeWeighted};

@@ -102,7 +102,9 @@ impl WindowStats {
 
     /// Upper bound (µs) of the `q`-quantile of session durations in
     /// this window, from the log2 buckets. Returns 0 when no session
-    /// retired here.
+    /// retired here. Never exceeds [`Self::dur_max_us`]: the bucket's
+    /// power-of-two ceiling would otherwise overstate a lone slow
+    /// session (one 800 ms sample must not report a 1.05 s p99).
     pub fn dur_quantile_us(&self, q: f64) -> u64 {
         if self.sessions == 0 {
             return 0;
@@ -113,7 +115,7 @@ impl WindowStats {
         for (i, &b) in self.dur_bins.iter().enumerate() {
             cum += b;
             if cum >= target {
-                return upper_bound_us(i);
+                return upper_bound_us(i).min(self.dur_max_us);
             }
         }
         self.dur_max_us
@@ -230,11 +232,16 @@ impl Timeline {
         }
     }
 
-    /// `[start, end)` of the full populated span, if any.
+    /// `[start, end)` of the full populated span, if any. The end is
+    /// exclusive; a populated final window (index `u64::MAX / w`)
+    /// saturates rather than wrapping to an empty span.
     pub fn full_span(&self) -> Option<(SimTime, SimTime)> {
         let first = *self.windows.keys().next()?;
         let last = *self.windows.keys().next_back()?;
-        Some((self.window_start(first), self.window_start(last + 1)))
+        Some((
+            self.window_start(first),
+            self.window_start(last.saturating_add(1)),
+        ))
     }
 
     /// `[start, end)` covering the first through last anomalous
@@ -249,7 +256,10 @@ impl Timeline {
                 last = Some(*idx);
             }
         }
-        Some((self.window_start(first?), self.window_start(last? + 1)))
+        Some((
+            self.window_start(first?),
+            self.window_start(last?.saturating_add(1)),
+        ))
     }
 
     /// Total count of `kind` over windows intersecting `[start, end)`.
@@ -519,6 +529,84 @@ mod tests {
         assert!(w.dur_quantile_us(0.5) >= 200_000);
         assert!(w.dur_quantile_us(0.99) >= 800_000);
         assert_eq!(w.dur_max_us, 800_000);
+    }
+
+    #[test]
+    fn empty_timeline_has_no_spans_and_zero_quantiles() {
+        let tl = Timeline::new(SimDuration::from_millis(250));
+        assert!(tl.is_empty());
+        assert_eq!(tl.full_span(), None);
+        assert_eq!(tl.anomaly_span(), None);
+        assert_eq!(WindowStats::default().dur_quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn single_window_timeline_brackets_itself() {
+        let mut tl = Timeline::new(SimDuration::from_secs(1));
+        tl.record_event(&ev(SimTime::from_millis(400), FlightKind::Retry));
+        tl.record_session(
+            SimTime::from_millis(600),
+            SimDuration::from_millis(600),
+            true,
+            false,
+        );
+        assert_eq!(tl.len(), 1);
+        let span = (SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(tl.full_span(), Some(span));
+        assert_eq!(tl.anomaly_span(), Some(span));
+        assert_eq!(tl.sum_kind_in(FlightKind::Retry, span.0, span.1), 1);
+    }
+
+    #[test]
+    fn anomalies_only_in_final_window_bracket_correctly() {
+        let mut tl = Timeline::new(SimDuration::from_secs(1));
+        // Clean traffic up front, the only anomaly in the last
+        // populated window: the span must cover exactly that window.
+        for s in 0..5u64 {
+            tl.record_session(
+                SimTime::from_secs(s),
+                SimDuration::from_millis(100),
+                false,
+                false,
+            );
+        }
+        tl.record_event(&ev(SimTime::from_secs(9), FlightKind::FaultOnset));
+        let (start, end) = tl.anomaly_span().expect("anomaly present");
+        assert_eq!(start, SimTime::from_secs(9));
+        assert_eq!(end, SimTime::from_secs(10));
+        let (full_start, full_end) = tl.full_span().unwrap();
+        assert_eq!(full_start, SimTime::ZERO);
+        assert_eq!(full_end, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn final_window_index_saturates_instead_of_wrapping() {
+        // A window at the top of the index space: `last + 1` must
+        // saturate, producing a non-inverted (if clamped) span.
+        let mut tl = Timeline::new(SimDuration::from_micros(1));
+        tl.record_event(&ev(SimTime::from_micros(u64::MAX), FlightKind::FaultOnset));
+        let (start, end) = tl.anomaly_span().expect("anomaly present");
+        assert!(start <= end, "span inverted: {start} > {end}");
+        assert_eq!(start, SimTime::from_micros(u64::MAX));
+        let (fs, fe) = tl.full_span().unwrap();
+        assert!(fs <= fe);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_observed_max() {
+        let mut tl = Timeline::new(SimDuration::from_secs(1));
+        // One 800 ms session: bucket ceiling is 2^20 µs ≈ 1.05 s, but
+        // the reported quantiles must stay at the observed 800 ms.
+        tl.record_session(
+            SimTime::from_millis(500),
+            SimDuration::from_millis(800),
+            false,
+            false,
+        );
+        let w = tl.get(0).unwrap();
+        assert_eq!(w.dur_quantile_us(0.50), 800_000);
+        assert_eq!(w.dur_quantile_us(0.99), 800_000);
+        assert_eq!(w.dur_quantile_us(1.0), w.dur_max_us);
     }
 
     #[test]

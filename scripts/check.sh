@@ -162,12 +162,51 @@ for b in d["bundles"]:
 PY
 echo "forensics smoke passed: bundle names the injected fault, calm twin clean"
 
+# Replay smoke: the same storm again, then extract the victim session
+# from the incident bundle's replay handle and re-run it solo at max
+# instrumentation. The faithfulness proof (digest checkpoints layer for
+# layer) and the breach reproduction must hold, and the weathermap must
+# parse and cover every hop on the victim's route.
+replay_json="$(mktemp)"
+trap 'rm -f "$trace" "$campus_json" "$slo_json" "$shards_json" "$forensics_json" "$replay_json"' EXIT
+MITS_FORENSICS_SHARDS=3 MITS_FORENSICS_STUDENTS=6 \
+  MITS_FORENSICS_CLIP_BYTES=100000 MITS_REPLAY_OUT="$replay_json" \
+  cargo run -q --release -p mits-bench --bin tables -- --exp replay >/dev/null
+python3 - "$replay_json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("shards", "victim_shard", "students", "student", "session_seed",
+            "digest", "digest_match", "breach_reproduced", "handle_agrees",
+            "bundle", "route", "weathermap"):
+    assert key in d, f"BENCH_replay.json missing {key}"
+assert d["digest_match"] is True, "replay diverged from the campus digest"
+assert d["breach_reproduced"] is True, "replay failed to reproduce the breach"
+assert d["handle_agrees"] is True, "forensic replay handle seed disagrees"
+assert d["student"] % d["shards"] == d["victim_shard"], \
+    "replayed a student off the victim shard"
+b = d["bundle"]
+assert b["t"] == "replay" and b["v"] == 1, b
+assert b["digest"] == d["digest"] and b["layers"], "bundle lost its checkpoints"
+assert b["layers"][-1]["digest"] == b["digest"], \
+    "layer trace does not fold to the digest"
+assert b["faults"], "fault-schedule slice missing from the bundle"
+wm = d["weathermap"]
+assert wm["t"] == "weathermap" and wm["v"] == 1 and wm["window_us"] > 0, wm
+hops = {(h["from"], h["to"]) for h in d["route"]}
+assert hops, "victim route is empty"
+covered = {(l["from"], l["to"]) for l in wm["links"]}
+assert hops <= covered, f"weathermap misses hops: {hops - covered}"
+for l in wm["links"]:
+    assert l["windows"], f"link {l['from']}->{l['to']} has no telemetry windows"
+PY
+echo "replay smoke passed: victim reproduced under proof, weathermap covers the route"
+
 # Bench regression gate: re-run the campus at the committed baseline's
 # own size and fail on a >25% drop in students/s throughput. Wall-clock
 # is noisy, so the tolerance is deliberately loose; a real regression
 # (like losing the zero-copy path) blows way past it.
 gate_json="$(mktemp)"
-trap 'rm -f "$trace" "$campus_json" "$slo_json" "$gate_json"' EXIT
+trap 'rm -f "$trace" "$campus_json" "$slo_json" "$shards_json" "$forensics_json" "$replay_json" "$gate_json"' EXIT
 baseline_students="$(python3 -c 'import json;print(json.load(open("BENCH_campus.json"))["students"])')"
 baseline_threads="$(python3 -c 'import json;print(json.load(open("BENCH_campus.json"))["threads"])')"
 baseline_clips="$(python3 -c 'import json;print(json.load(open("BENCH_campus.json"))["clips_per_student"])')"

@@ -5,7 +5,7 @@
 //! names the injected fault on the correct shard.
 
 use mits::core::{fault_storm_slos, sharded_workloads, Campus, CampusReport, FaultStorm};
-use mits::sim::{Exemplar, SimTime};
+use mits::sim::{derive_seed, Exemplar, SimTime};
 
 const SHARDS: usize = 3;
 const STUDENTS: usize = 9;
@@ -110,6 +110,14 @@ fn storm_bundle_names_the_injected_fault_and_reproduces() {
                 "exemplar trace {} not sampled",
                 e.trace_id
             );
+        }
+        // Every implicated student ships with a ready-to-run replay
+        // handle whose seed matches the campus derivation, so
+        // `Campus::replay` can re-run the victim without guessing.
+        assert_eq!(b.replays.len(), b.students.len());
+        for (&s, &(rs, seed)) in b.students.iter().zip(&b.replays) {
+            assert_eq!(rs, s);
+            assert_eq!(seed, derive_seed(42, s));
         }
     }
 
